@@ -1,0 +1,189 @@
+(* Benchmark / reproduction harness.
+
+   Phase 1 regenerates every experiment table of the paper reproduction
+   (E1-E17, cf. DESIGN.md section 3 and EXPERIMENTS.md) at Standard scale;
+   set SMALLWORLD_BENCH_QUICK=1 for a fast smoke run.
+
+   Phase 2 runs Bechamel micro-benchmarks: one Test.make per experiment
+   kernel (a miniature version of its workload) plus the core operations
+   (generators, routing protocols, BFS).
+
+     dune exec bench/main.exe                                              *)
+
+open Bechamel
+open Toolkit
+
+let scale =
+  match Sys.getenv_opt "SMALLWORLD_BENCH_QUICK" with
+  | Some ("1" | "true" | "yes") -> Experiments.Context.Quick
+  | Some _ | None -> Experiments.Context.Standard
+
+let run_experiment_tables () =
+  print_endline "==============================================================";
+  print_endline " Phase 1: paper-reproduction tables (one block per experiment)";
+  print_endline "==============================================================\n";
+  let ctx = Experiments.Context.make ~seed:42 ~scale () in
+  List.iter
+    (fun e ->
+      let t0 = Unix.gettimeofday () in
+      print_string (Experiments.Registry.run_and_render e ctx);
+      Printf.printf "(%s finished in %.1fs)\n\n%!" e.Experiments.Registry.id
+        (Unix.gettimeofday () -. t0))
+    Experiments.Registry.all
+
+(* ------------------------------------------------------------------ *)
+(* Phase 2: Bechamel micro-benchmarks                                   *)
+
+(* Shared fixtures, built once outside the timed region. *)
+let fixture_girg =
+  lazy
+    (let params = Girg.Params.make ~dim:2 ~beta:2.5 ~c:0.15 ~n:20_000 () in
+     let inst = Girg.Instance.generate ~rng:(Prng.Rng.create ~seed:3) params in
+     let giant =
+       Sparse_graph.Components.giant_members (Sparse_graph.Components.compute inst.graph)
+     in
+     (inst, giant))
+
+let fixture_sparse_girg =
+  lazy
+    (let params = Girg.Params.make ~dim:2 ~beta:2.6 ~c:0.07 ~w_min:0.6 ~n:20_000 () in
+     let inst = Girg.Instance.generate ~rng:(Prng.Rng.create ~seed:4) params in
+     let giant =
+       Sparse_graph.Components.giant_members (Sparse_graph.Components.compute inst.graph)
+     in
+     (inst, giant))
+
+let fixture_hrg =
+  lazy (Hyperbolic.Hrg.generate ~rng:(Prng.Rng.create ~seed:5)
+          (Hyperbolic.Hrg.make ~alpha_h:0.75 ~radius_c:(-1.0) ~n:20_000 ()))
+
+let route_bench ~name ~protocol ~sparse =
+  Test.make ~name
+    (Staged.stage (fun () ->
+         let inst, giant = Lazy.force (if sparse then fixture_sparse_girg else fixture_girg) in
+         let rng = Prng.Rng.create ~seed:(Hashtbl.hash name) in
+         let i, j = Prng.Dist.sample_distinct_pair rng ~n:(Array.length giant) in
+         let objective = Greedy_routing.Objective.girg_phi inst ~target:giant.(j) in
+         ignore
+           (Greedy_routing.Protocol.run protocol ~graph:inst.graph ~objective
+              ~source:giant.(i) ())))
+
+(* One miniature kernel per (cheap enough) experiment id, so regressions in
+   any reproduced pipeline show up as timing changes here.  The heavyweight
+   sweep experiments are covered through their per-unit workloads below. *)
+let experiment_kernels =
+  let mini_ctx = Experiments.Context.make ~seed:1 ~scale:Experiments.Context.Quick () in
+  let kernel id =
+    match Experiments.Registry.find id with
+    | None -> failwith ("unknown experiment " ^ id)
+    | Some e -> Test.make ~name:("kernel/" ^ id) (Staged.stage (fun () -> ignore (e.run mini_ctx)))
+  in
+  List.map kernel [ "E4"; "E5"; "E8"; "E9"; "E11"; "E12"; "E13"; "E15"; "E16"; "E17" ]
+
+let generator_benches =
+  [
+    Test.make ~name:"girg/cell n=10k d=2"
+      (Staged.stage (fun () ->
+           let params = Girg.Params.make ~dim:2 ~beta:2.5 ~c:0.15 ~n:10_000 () in
+           ignore
+             (Girg.Instance.generate ~sampler:Girg.Instance.Use_cell
+                ~rng:(Prng.Rng.create ~seed:11) params)));
+    Test.make ~name:"girg/naive n=1k d=2"
+      (Staged.stage (fun () ->
+           let params = Girg.Params.make ~dim:2 ~beta:2.5 ~c:0.15 ~n:1000 () in
+           ignore
+             (Girg.Instance.generate ~sampler:Girg.Instance.Use_naive
+                ~rng:(Prng.Rng.create ~seed:12) params)));
+    Test.make ~name:"girg/cell n=10k threshold"
+      (Staged.stage (fun () ->
+           let params =
+             Girg.Params.make ~dim:2 ~beta:2.5 ~alpha:Girg.Params.Infinite ~c:0.15 ~n:10_000 ()
+           in
+           ignore (Girg.Instance.generate ~rng:(Prng.Rng.create ~seed:13) params)));
+    Test.make ~name:"hrg/cell n=10k"
+      (Staged.stage (fun () ->
+           ignore
+             (Hyperbolic.Hrg.generate ~rng:(Prng.Rng.create ~seed:14)
+                (Hyperbolic.Hrg.make ~alpha_h:0.75 ~radius_c:(-1.0) ~n:10_000 ()))));
+    Test.make ~name:"chung_lu/n=30k"
+      (Staged.stage (fun () ->
+           ignore
+             (Girg.Chung_lu.generate_power_law
+                ~rng:(Prng.Rng.create ~seed:18) ~n:30_000 ~beta:2.5 ~w_min:2.0)));
+    Test.make ~name:"embed/tree-layout n=10k"
+      (Staged.stage (fun () ->
+           let h = Lazy.force fixture_hrg in
+           ignore
+             (Hyperbolic.Embed.infer ~rng:(Prng.Rng.create ~seed:19)
+                ~graph:h.Hyperbolic.Hrg.graph ())));
+    Test.make ~name:"kleinberg/side=64"
+      (Staged.stage (fun () ->
+           ignore
+             (Kleinberg.Lattice.generate ~rng:(Prng.Rng.create ~seed:15)
+                (Kleinberg.Lattice.make ~side:64 ()))));
+  ]
+
+let routing_benches =
+  [
+    route_bench ~name:"route/greedy dense" ~protocol:Greedy_routing.Protocol.Greedy ~sparse:false;
+    route_bench ~name:"route/phi-dfs sparse" ~protocol:Greedy_routing.Protocol.Patch_dfs
+      ~sparse:true;
+    route_bench ~name:"route/history sparse" ~protocol:Greedy_routing.Protocol.Patch_history
+      ~sparse:true;
+    route_bench ~name:"route/gravity sparse" ~protocol:Greedy_routing.Protocol.Gravity_pressure
+      ~sparse:true;
+    Test.make ~name:"route/hyperbolic greedy"
+      (Staged.stage (fun () ->
+           let h = Lazy.force fixture_hrg in
+           let rng = Prng.Rng.create ~seed:16 in
+           let s, t = Prng.Dist.sample_distinct_pair rng ~n:(Sparse_graph.Graph.n h.graph) in
+           let objective = Greedy_routing.Objective.hyperbolic h ~target:t in
+           ignore (Greedy_routing.Greedy.route ~graph:h.graph ~objective ~source:s ())));
+    Test.make ~name:"bfs/bidirectional pair"
+      (Staged.stage (fun () ->
+           let inst, giant = Lazy.force fixture_girg in
+           let rng = Prng.Rng.create ~seed:17 in
+           let i, j = Prng.Dist.sample_distinct_pair rng ~n:(Array.length giant) in
+           ignore (Sparse_graph.Bfs.distance inst.graph ~source:giant.(i) ~target:giant.(j))));
+  ]
+
+let all_benches =
+  Test.make_grouped ~name:"smallworld" ~fmt:"%s %s"
+    (generator_benches @ routing_benches @ experiment_kernels)
+
+let run_benchmarks () =
+  print_endline "==============================================================";
+  print_endline " Phase 2: Bechamel micro-benchmarks (OLS estimate per run)";
+  print_endline "==============================================================\n";
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:1000 ~quota:(Time.second 1.5) ~stabilize:true ~kde:(Some 10) ()
+  in
+  let raw = Benchmark.all cfg instances all_benches in
+  let results = List.map (fun instance -> Analyze.all ols instance raw) instances in
+  let merged = Analyze.merge ols instances results in
+  match Hashtbl.find_opt merged (Measure.label Instance.monotonic_clock) with
+  | None -> print_endline "no monotonic clock results?"
+  | Some tbl ->
+      let rows =
+        Hashtbl.fold
+          (fun name ols_result acc ->
+            let ns =
+              match Analyze.OLS.estimates ols_result with
+              | Some (est :: _) -> est
+              | Some [] | None -> nan
+            in
+            (name, ns) :: acc)
+          tbl []
+      in
+      let rows = List.sort compare rows in
+      Printf.printf "  %-42s %15s %12s\n" "benchmark" "ns/run" "ms/run";
+      Printf.printf "  %s\n" (String.make 71 '-');
+      List.iter
+        (fun (name, ns) -> Printf.printf "  %-42s %15.0f %12.3f\n" name ns (ns /. 1e6))
+        rows
+
+let () =
+  run_experiment_tables ();
+  run_benchmarks ()

@@ -1,0 +1,87 @@
+(* Command-line driver for the paper-reproduction experiment suite.
+
+     experiments_cli list
+     experiments_cli run [-e E3] [-e E5] [--quick] [--seed N] [--csv DIR]   *)
+
+open Cmdliner
+
+let scale_of_quick quick = if quick then Experiments.Context.Quick else Experiments.Context.Standard
+
+let list_cmd =
+  let doc = "List all experiments with the paper claim each one reproduces." in
+  let run () =
+    List.iter
+      (fun e ->
+        Printf.printf "%-4s %s\n     %s\n\n" e.Experiments.Registry.id e.title e.claim)
+      Experiments.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let run_cmd =
+  let doc = "Run experiments (all by default) and print their tables." in
+  let ids =
+    Arg.(value & opt_all string [] & info [ "e"; "experiment" ] ~docv:"ID"
+           ~doc:"Experiment id (e.g. E3); repeatable.  Default: all.")
+  in
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Small sizes (seconds instead of minutes).")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Base random seed.")
+  in
+  let csv_dir =
+    Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"DIR"
+           ~doc:"Also write every table as a CSV file into $(docv).")
+  in
+  let run ids quick seed csv_dir =
+    let ctx = Experiments.Context.make ~seed ~scale:(scale_of_quick quick) () in
+    let selected =
+      match ids with
+      | [] -> Ok Experiments.Registry.all
+      | ids ->
+          let rec resolve acc = function
+            | [] -> Ok (List.rev acc)
+            | id :: rest -> begin
+                match Experiments.Registry.find id with
+                | Some e -> resolve (e :: acc) rest
+                | None -> Error (`Msg (Printf.sprintf "unknown experiment %S" id))
+              end
+          in
+          resolve [] ids
+    in
+    match selected with
+    | Error e -> Error e
+    | Ok experiments ->
+        List.iter
+          (fun e ->
+            let t0 = Sys.time () in
+            let tables = e.Experiments.Registry.run ctx in
+            Printf.printf "---- %s: %s ----\n" e.id e.title;
+            Printf.printf "claim: %s\n\n" e.claim;
+            List.iter (fun t -> print_string (Stats.Table.render t); print_newline ()) tables;
+            (match csv_dir with
+            | None -> ()
+            | Some dir ->
+                if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+                List.iteri
+                  (fun i t ->
+                    let file =
+                      Filename.concat dir
+                        (Printf.sprintf "%s_%d.csv" (String.lowercase_ascii e.id) i)
+                    in
+                    Out_channel.with_open_text file (fun oc ->
+                        output_string oc (Stats.Table.to_csv t)))
+                  tables);
+            Printf.printf "(%s finished in %.1fs)\n\n%!" e.id (Sys.time () -. t0))
+          experiments;
+        Ok ()
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc)
+    Term.(term_result (const run $ ids $ quick $ seed $ csv_dir))
+
+let main =
+  let doc = "Reproduction suite for 'Greedy Routing and the Algorithmic Small-World Phenomenon'" in
+  Cmd.group (Cmd.info "smallworld-experiments" ~doc) [ list_cmd; run_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/figure1.ml: Array Float Geometry Girg Greedy_routing Hashtbl List Option Printf Prng Sparse_graph Stats String

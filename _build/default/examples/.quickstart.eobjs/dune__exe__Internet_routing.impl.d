@@ -1,0 +1,1 @@
+examples/internet_routing.ml: Array Greedy_routing Hyperbolic List Printf Prng Sparse_graph Stats

@@ -1,0 +1,1 @@
+examples/milgram.ml: Girg Greedy_routing List Printf Prng Sparse_graph Stats

@@ -1,0 +1,1 @@
+examples/patching_demo.ml: Array Experiments Girg Greedy_routing List Printf Prng Sparse_graph

@@ -1,0 +1,1 @@
+examples/patching_demo.mli:

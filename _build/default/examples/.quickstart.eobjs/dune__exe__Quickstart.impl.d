@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Geometry Girg Greedy_routing List Printf Prng Sparse_graph

@@ -1,0 +1,84 @@
+(* Dead-end recovery, protocol by protocol (Section 5 of the paper).
+
+   On a deliberately sparse GIRG pure greedy often drops the packet.  This
+   demo finds a pair where that happens and shows how each patching
+   strategy recovers: the paper's distributed Phi-DFS (Algorithm 2), the
+   SMTP-style history protocol, and the (P3)-violating gravity-pressure
+   heuristic.
+
+     dune exec examples/patching_demo.exe                                  *)
+
+let () =
+  let rng = Prng.Rng.create ~seed:55 in
+  let params = Girg.Params.make ~n:30_000 ~dim:2 ~beta:2.6 ~c:0.07 ~w_min:0.6 () in
+  let inst = Girg.Instance.generate ~rng params in
+  let graph = inst.graph in
+  Printf.printf "sparse network: n=%d, avg degree %.1f\n" (Sparse_graph.Graph.n graph)
+    (Sparse_graph.Graph.avg_degree graph);
+  let comps = Sparse_graph.Components.compute graph in
+  let giant = Sparse_graph.Components.giant_members comps in
+
+  (* Find a same-component pair where plain greedy dies. *)
+  let rec find_stuck_pair attempts =
+    if attempts > 10_000 then failwith "no dead end found (graph too dense?)";
+    let i, j = Prng.Dist.sample_distinct_pair rng ~n:(Array.length giant) in
+    let source = giant.(i) and target = giant.(j) in
+    let objective = Greedy_routing.Objective.girg_phi inst ~target in
+    let outcome = Greedy_routing.Greedy.route ~graph ~objective ~source () in
+    if outcome.status = Greedy_routing.Outcome.Dead_end then (source, target, objective, outcome)
+    else find_stuck_pair (attempts + 1)
+  in
+  let source, target, objective, greedy_outcome = find_stuck_pair 0 in
+  Printf.printf "\npacket from %d to %d:\n" source target;
+  Printf.printf "  %-17s %s\n" "greedy" (Greedy_routing.Outcome.to_string greedy_outcome);
+  (match List.rev greedy_outcome.walk with
+  | stuck :: _ ->
+      Printf.printf "  (stuck at vertex %d: none of its %d neighbours improves phi)\n" stuck
+        (Sparse_graph.Graph.degree graph stuck)
+  | [] -> ());
+
+  let shortest = Sparse_graph.Bfs.distance graph ~source ~target in
+  (match shortest with
+  | Some d -> Printf.printf "  a path exists though: shortest = %d hops\n\n" d
+  | None -> print_endline "  (actually disconnected?)");
+
+  List.iter
+    (fun protocol ->
+      let outcome = Greedy_routing.Protocol.run protocol ~graph ~objective ~source () in
+      let stretch =
+        match shortest with
+        | Some d when d > 0 && Greedy_routing.Outcome.delivered outcome ->
+            Printf.sprintf " (stretch %.2f, visited %d vertices)"
+              (float_of_int outcome.steps /. float_of_int d)
+              outcome.visited
+        | _ -> ""
+      in
+      Printf.printf "  %-17s %s%s\n"
+        (Greedy_routing.Protocol.name protocol)
+        (Greedy_routing.Outcome.to_string outcome)
+        stretch)
+    [
+      Greedy_routing.Protocol.Patch_dfs;
+      Greedy_routing.Protocol.Patch_history;
+      Greedy_routing.Protocol.Gravity_pressure;
+    ];
+
+  (* Aggregate view over many pairs. *)
+  print_endline "\naggregate over 300 random giant-component pairs:";
+  let pairs =
+    Array.init 300 (fun _ ->
+        let i, j = Prng.Dist.sample_distinct_pair rng ~n:(Array.length giant) in
+        (giant.(i), giant.(j)))
+  in
+  List.iter
+    (fun protocol ->
+      let res =
+        Experiments.Workload.run ~graph
+          ~objective_for:(fun ~target -> Greedy_routing.Objective.girg_phi inst ~target)
+          ~protocol ~pairs ()
+      in
+      Printf.printf "  %-17s success %.1f%%  mean steps %.1f\n"
+        (Greedy_routing.Protocol.name protocol)
+        (100.0 *. Experiments.Workload.success_rate res)
+        (Experiments.Workload.mean_steps res))
+    Greedy_routing.Protocol.all

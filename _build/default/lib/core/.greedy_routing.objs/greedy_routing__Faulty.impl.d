@@ -1,0 +1,1 @@
+lib/core/faulty.ml: List Objective Option Outcome Prng Sparse_graph

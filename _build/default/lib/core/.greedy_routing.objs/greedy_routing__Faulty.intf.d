@@ -1,0 +1,1 @@
+lib/core/faulty.mli: Objective Outcome Prng Sparse_graph

@@ -1,0 +1,1 @@
+lib/core/gravity_pressure.ml: Array List Objective Option Outcome Sparse_graph

@@ -1,0 +1,1 @@
+lib/core/gravity_pressure.mli: Objective Outcome Sparse_graph

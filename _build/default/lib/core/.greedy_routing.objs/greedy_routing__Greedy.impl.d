@@ -1,0 +1,1 @@
+lib/core/greedy.ml: List Objective Option Outcome Sparse_graph

@@ -1,0 +1,1 @@
+lib/core/greedy.mli: Objective Outcome Sparse_graph

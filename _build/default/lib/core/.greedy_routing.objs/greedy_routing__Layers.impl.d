@@ -1,0 +1,1 @@
+lib/core/layers.ml: Array Float Girg Hashtbl List Objective Option

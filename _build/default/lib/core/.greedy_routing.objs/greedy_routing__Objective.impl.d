@@ -1,0 +1,1 @@
+lib/core/objective.ml: Array Float Geometry Girg Hyperbolic Int64 Printf

@@ -1,0 +1,1 @@
+lib/core/patch_dfs.ml: Array List Objective Option Outcome Sparse_graph

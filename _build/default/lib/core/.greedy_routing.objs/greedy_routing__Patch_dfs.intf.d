@@ -1,0 +1,1 @@
+lib/core/patch_dfs.mli: Objective Outcome Sparse_graph

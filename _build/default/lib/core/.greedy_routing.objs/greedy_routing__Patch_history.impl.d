@@ -1,0 +1,1 @@
+lib/core/patch_history.ml: Array Binary_heap List Objective Option Outcome Sparse_graph

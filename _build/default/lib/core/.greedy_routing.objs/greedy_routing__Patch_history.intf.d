@@ -1,0 +1,1 @@
+lib/core/patch_history.mli: Objective Outcome Sparse_graph

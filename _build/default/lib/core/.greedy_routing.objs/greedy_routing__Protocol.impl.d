@@ -1,0 +1,1 @@
+lib/core/protocol.ml: Gravity_pressure Greedy Patch_dfs Patch_history

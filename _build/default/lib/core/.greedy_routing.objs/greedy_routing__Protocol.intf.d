@@ -1,0 +1,1 @@
+lib/core/protocol.mli: Objective Outcome Sparse_graph

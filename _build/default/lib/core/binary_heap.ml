@@ -1,0 +1,58 @@
+type 'a t = { mutable prio : float array; mutable data : 'a option array; mutable len : int }
+
+let create () = { prio = Array.make 16 0.0; data = Array.make 16 None; len = 0 }
+
+let is_empty t = t.len = 0
+let size t = t.len
+
+let swap t i j =
+  let p = t.prio.(i) and d = t.data.(i) in
+  t.prio.(i) <- t.prio.(j);
+  t.data.(i) <- t.data.(j);
+  t.prio.(j) <- p;
+  t.data.(j) <- d
+
+let push t p x =
+  if t.len = Array.length t.prio then begin
+    let np = Array.make (2 * t.len) 0.0 and nd = Array.make (2 * t.len) None in
+    Array.blit t.prio 0 np 0 t.len;
+    Array.blit t.data 0 nd 0 t.len;
+    t.prio <- np;
+    t.data <- nd
+  end;
+  t.prio.(t.len) <- p;
+  t.data.(t.len) <- Some x;
+  t.len <- t.len + 1;
+  let i = ref (t.len - 1) in
+  while !i > 0 && t.prio.((!i - 1) / 2) < t.prio.(!i) do
+    swap t !i ((!i - 1) / 2);
+    i := (!i - 1) / 2
+  done
+
+let pop_max t =
+  if t.len = 0 then None
+  else begin
+    let p = t.prio.(0) and x = t.data.(0) in
+    t.len <- t.len - 1;
+    t.prio.(0) <- t.prio.(t.len);
+    t.data.(0) <- t.data.(t.len);
+    t.data.(t.len) <- None;
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let biggest = ref !i in
+      if l < t.len && t.prio.(l) > t.prio.(!biggest) then biggest := l;
+      if r < t.len && t.prio.(r) > t.prio.(!biggest) then biggest := r;
+      if !biggest = !i then continue := false
+      else begin
+        swap t !i !biggest;
+        i := !biggest
+      end
+    done;
+    match x with None -> None | Some x -> Some (p, x)
+  end
+
+let peek_max t =
+  if t.len = 0 then None
+  else match t.data.(0) with None -> None | Some x -> Some (t.prio.(0), x)

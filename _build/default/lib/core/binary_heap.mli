@@ -1,0 +1,11 @@
+(** Minimal max-heap of (priority, payload) pairs, used by the history-based
+    patching protocol's frontier of unexplored edges. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+val push : 'a t -> float -> 'a -> unit
+val pop_max : 'a t -> (float * 'a) option
+val peek_max : 'a t -> (float * 'a) option

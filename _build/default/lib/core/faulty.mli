@@ -1,0 +1,25 @@
+(** Greedy routing under transient link failures.
+
+    The discussion around Theorem 3.5 points out that greedy routing is
+    robust: "it is no problem if some of the edges fail during execution of
+    the routing, since the current vertex can send the message to any other
+    good neighbor instead".  This module makes that executable: at every
+    forwarding step each incident edge is independently unavailable with
+    probability [failure_prob] (fresh coins per hop, modelling transient
+    congestion/loss), and the message goes to the best {e reachable}
+    improving neighbour.  Experiment E13 measures how slowly success and
+    path length degrade as the failure rate grows. *)
+
+val route :
+  graph:Sparse_graph.Graph.t ->
+  objective:Objective.t ->
+  source:int ->
+  rng:Prng.Rng.t ->
+  failure_prob:float ->
+  ?max_steps:int ->
+  unit ->
+  Outcome.t
+(** With [failure_prob = 0] this behaves exactly like {!Greedy.route}.  The
+    objective still strictly increases along the walk (only improving moves
+    are taken), so [max_steps] keeps its [n + 1] default.
+    @raise Invalid_argument unless [0 <= failure_prob < 1]. *)

@@ -1,0 +1,83 @@
+type mode = Gravity | Pressure of float (* objective of the vertex we got stuck at *)
+
+let route ~graph ~objective ~source ?max_steps () =
+  let open Objective in
+  let n = Sparse_graph.Graph.n graph in
+  let max_steps = Option.value max_steps ~default:((50 * n) + 1000) in
+  let phi = objective.score in
+  let target = objective.target in
+  let visits = Array.make n 0 in
+  let seen = Array.make n false in
+  let visited = ref 0 in
+  let steps = ref 0 in
+  let walk = ref [] in
+  let record v =
+    walk := v :: !walk;
+    visits.(v) <- visits.(v) + 1;
+    if not seen.(v) then begin
+      seen.(v) <- true;
+      incr visited
+    end
+  in
+  record source;
+  let best_neighbor v =
+    let best = ref (-1) and best_score = ref neg_infinity in
+    Sparse_graph.Graph.iter_neighbors graph v (fun u ->
+        let s = phi u in
+        if s > !best_score then begin
+          best := u;
+          best_score := s
+        end);
+    (!best, !best_score)
+  in
+  (* Least-visited neighbour; ties broken towards better objective, then
+     smaller id (the iteration order). *)
+  let pressure_neighbor v =
+    let best = ref (-1) and best_visits = ref max_int and best_score = ref neg_infinity in
+    Sparse_graph.Graph.iter_neighbors graph v (fun u ->
+        let c = visits.(u) and s = phi u in
+        if c < !best_visits || (c = !best_visits && s > !best_score) then begin
+          best := u;
+          best_visits := c;
+          best_score := s
+        end);
+    !best
+  in
+  let result = ref None in
+  let cur = ref source in
+  let mode = ref Gravity in
+  while !result = None do
+    let v = !cur in
+    if v = target then result := Some Outcome.Delivered
+    else if !steps >= max_steps then result := Some Outcome.Cutoff
+    else begin
+      (match !mode with
+      | Pressure stuck when phi v > stuck -> mode := Gravity
+      | Pressure _ | Gravity -> ());
+      match !mode with
+      | Gravity ->
+          let u, s = best_neighbor v in
+          if u >= 0 && s > phi v then begin
+            incr steps;
+            record u;
+            cur := u
+          end
+          else if u < 0 then result := Some Outcome.Dead_end (* isolated vertex *)
+          else begin
+            (* Stuck: remember the local optimum and take a pressure hop. *)
+            mode := Pressure (phi v);
+            let u = pressure_neighbor v in
+            incr steps;
+            record u;
+            cur := u
+          end
+      | Pressure _ ->
+          let u = pressure_neighbor v in
+          incr steps;
+          record u;
+          cur := u
+    end
+  done;
+  match !result with
+  | None -> assert false
+  | Some status -> { Outcome.status; steps = !steps; visited = !visited; walk = List.rev !walk }

@@ -1,0 +1,25 @@
+let route ~graph ~objective ~source ?max_steps () =
+  let open Objective in
+  let max_steps = Option.value max_steps ~default:(Sparse_graph.Graph.n graph + 1) in
+  let target = objective.target in
+  let rec go v score_v steps walk =
+    if v = target then
+      { Outcome.status = Delivered; steps; visited = steps + 1; walk = List.rev walk }
+    else if steps >= max_steps then
+      { Outcome.status = Cutoff; steps; visited = steps + 1; walk = List.rev walk }
+    else begin
+      (* Best neighbour; ties resolved towards the smaller id (neighbours
+         iterate in ascending order) for determinism. *)
+      let best = ref (-1) and best_score = ref neg_infinity in
+      Sparse_graph.Graph.iter_neighbors graph v (fun u ->
+          let s = objective.score u in
+          if s > !best_score then begin
+            best := u;
+            best_score := s
+          end);
+      if !best >= 0 && !best_score > score_v then
+        go !best !best_score (steps + 1) (!best :: walk)
+      else { Outcome.status = Dead_end; steps; visited = steps + 1; walk = List.rev walk }
+    end
+  in
+  go source (objective.score source) 0 [ source ]

@@ -1,0 +1,16 @@
+(** Algorithm 1: pure greedy routing.
+
+    From the current vertex the message moves to the neighbour of maximum
+    objective; if no neighbour beats the current vertex the packet is
+    dropped (dead end).  Each vertex uses only the addresses of its direct
+    neighbours plus the target's address carried in the message. *)
+
+val route :
+  graph:Sparse_graph.Graph.t ->
+  objective:Objective.t ->
+  source:int ->
+  ?max_steps:int ->
+  unit ->
+  Outcome.t
+(** [max_steps] defaults to [n + 1], which pure greedy can never exceed
+    (the objective strictly increases along the path). *)

@@ -1,0 +1,112 @@
+type phase = Weight_phase | Objective_phase
+
+type t = {
+  score : int -> float;
+  weights : float array;
+  gamma : float;
+  growth : float;
+  w_base : float; (* y_0: weight of the first layer *)
+  psi_base : float; (* psi_0: objective of the first (largest) layer *)
+}
+
+let make ~(inst : Girg.Instance.t) ~target ?(epsilon = 0.1) () =
+  if not (epsilon > 0.0 && epsilon < 1.0) then
+    invalid_arg "Layers.make: epsilon must lie in (0, 1)";
+  let p = inst.params in
+  let beta = p.Girg.Params.beta in
+  let gamma = (1.0 -. epsilon) /. (beta -. 2.0) in
+  let zeta =
+    match p.Girg.Params.alpha with
+    | Girg.Params.Infinite -> 1.5
+    | Girg.Params.Finite a ->
+        Float.max 1.5 (((2.0 *. a) -. 1.0) /. ((2.0 *. a) +. 4.0 -. (2.0 *. beta)))
+  in
+  let growth = (1.0 -. (zeta *. epsilon)) /. (beta -. 2.0) in
+  if growth <= 1.0 then
+    invalid_arg "Layers.make: epsilon too large for this beta (growth <= 1)";
+  let objective = Objective.girg_phi inst ~target in
+  {
+    score = objective.Objective.score;
+    weights = inst.weights;
+    gamma;
+    growth;
+    w_base = Float.max 2.0 (2.0 *. p.Girg.Params.w_min);
+    psi_base = 0.5;
+  }
+
+let gamma t = t.gamma
+let growth t = t.growth
+
+let phase t v =
+  if t.score v <= t.weights.(v) ** -.t.gamma then Weight_phase else Objective_phase
+
+(* Index of x in the doubly exponential ladder x_0 = base, x_{j+1} = x_j^g.
+   [direction] is [`Up] for weights (base > 1, growing) and [`Down] for
+   objectives (base < 1, shrinking). *)
+let ladder_index ~base ~growth x ~direction =
+  let inside = match direction with `Up -> x >= base | `Down -> x <= base in
+  if not inside then -1
+  else begin
+    (* log x / log base = g^j  =>  j = floor(log_g (log x / log base)). *)
+    let ratio = log x /. log base in
+    if ratio < 1.0 then 0 else int_of_float (log ratio /. log growth)
+  end
+
+let weight_layer t v =
+  ladder_index ~base:t.w_base ~growth:t.growth t.weights.(v) ~direction:`Up
+
+let objective_layer t v =
+  let s = t.score v in
+  if s = infinity then -1
+  else ladder_index ~base:t.psi_base ~growth:t.growth s ~direction:`Down
+
+type walk_report = {
+  length : int;
+  phase_switches : int;
+  repeated_weight_layers : int;
+  repeated_objective_layers : int;
+  weight_layers_visited : int;
+  objective_layers_visited : int;
+}
+
+let analyze_walk t walk =
+  let phases = List.map (phase t) walk in
+  let rec count_switches acc = function
+    | a :: (b :: _ as rest) -> count_switches (if a <> b then acc + 1 else acc) rest
+    | [ _ ] | [] -> acc
+  in
+  let count_repeats layers =
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun j ->
+        if j >= 0 then
+          Hashtbl.replace tbl j (1 + Option.value ~default:0 (Hashtbl.find_opt tbl j)))
+      layers;
+    let repeats = ref 0 and distinct = ref 0 in
+    Hashtbl.iter
+      (fun _ c ->
+        incr distinct;
+        if c > 1 then incr repeats)
+      tbl;
+    (!repeats, !distinct)
+  in
+  let v1_part =
+    List.filter_map
+      (fun (v, ph) -> if ph = Weight_phase then Some (weight_layer t v) else None)
+      (List.combine walk phases)
+  in
+  let v2_part =
+    List.filter_map
+      (fun (v, ph) -> if ph = Objective_phase then Some (objective_layer t v) else None)
+      (List.combine walk phases)
+  in
+  let repeated_weight_layers, weight_layers_visited = count_repeats v1_part in
+  let repeated_objective_layers, objective_layers_visited = count_repeats v2_part in
+  {
+    length = max 0 (List.length walk - 1);
+    phase_switches = count_switches 0 phases;
+    repeated_weight_layers;
+    repeated_objective_layers;
+    weight_layers_visited;
+    objective_layers_visited;
+  }

@@ -1,0 +1,55 @@
+(** The layer decomposition behind the paper's main lemma (Sections 7.3 and
+    8.1), as an empirical analysis tool.
+
+    The proofs split the vertex set into
+    [V1 = {v : phi(v) <= w_v^-gamma}] (first phase, weight-driven) and
+    [V2 = {v : phi(v) >= w_v^-gamma}] (second phase, objective-driven) with
+    [gamma = (1 - eps)/(beta - 2)], and partition each into doubly
+    exponential layers: weight layers [y_{j+1} = y_j^g] in V1 and objective
+    layers [psi_{j+1} = psi_j^g] in V2.  Lemma 8.1 shows that a.a.s. a greedy
+    path crosses from V1 to V2 exactly once and visits every layer at most
+    once — experiment E12 verifies both claims on sampled walks. *)
+
+type phase = Weight_phase  (** V1 *) | Objective_phase  (** V2 *)
+
+type t
+
+val make : inst:Girg.Instance.t -> target:int -> ?epsilon:float -> unit -> t
+(** Layer classifier for one instance and target.  [epsilon] is the paper's
+    eps_1 (default 0.1); it must satisfy [0 < epsilon < 1]. *)
+
+val gamma : t -> float
+(** The phase-boundary exponent [(1 - eps)/(beta - 2)]. *)
+
+val growth : t -> float
+(** The per-layer exponent [g = gamma(zeta * eps)] with the paper's
+    [zeta = max(3/2, (2a-1)/(2a+4-2b))] (3/2 in the threshold case). *)
+
+val phase : t -> int -> phase
+(** Which side of the V1/V2 boundary a vertex lies on. *)
+
+val weight_layer : t -> int -> int
+(** Index [j >= 0] of the weight layer [A_{1,j}] containing the vertex, or
+    [-1] for weights below the base layer. *)
+
+val objective_layer : t -> int -> int
+(** Index [j >= 0] of the objective layer [A_{2,j}]; larger indices mean
+    smaller objectives (the walk traverses them downwards); [-1] when the
+    objective already exceeds the base [psi_0]. *)
+
+type walk_report = {
+  length : int;  (** hops in the walk *)
+  phase_switches : int;
+      (** transitions between V1 and V2 along the walk; Lemma 8.1 (ii)
+          predicts at most 1 *)
+  repeated_weight_layers : int;
+      (** weight layers visited more than once during the V1 part;
+          predicted 0 *)
+  repeated_objective_layers : int;
+      (** objective layers visited more than once during the V2 part;
+          predicted 0 *)
+  weight_layers_visited : int;
+  objective_layers_visited : int;
+}
+
+val analyze_walk : t -> int list -> walk_report

@@ -1,0 +1,82 @@
+type t = { name : string; target : int; score : int -> float }
+
+let of_fun ~name ~target f =
+  { name; target; score = (fun v -> if v = target then infinity else f v) }
+
+let girg_phi (inst : Girg.Instance.t) ~target =
+  let p = inst.params in
+  let denom = p.Girg.Params.w_min *. float_of_int p.Girg.Params.n in
+  let dim = p.Girg.Params.dim in
+  let xt = inst.positions.(target) in
+  let dist_fn = Geometry.Torus.dist_fn p.Girg.Params.norm in
+  let score v =
+    let dist = dist_fn inst.positions.(v) xt in
+    let dist_d =
+      match dim with
+      | 1 -> dist
+      | 2 -> dist *. dist
+      | 3 -> dist *. dist *. dist
+      | _ -> dist ** float_of_int dim
+    in
+    inst.weights.(v) /. (denom *. dist_d)
+  in
+  of_fun ~name:"phi" ~target score
+
+let geometric ~positions ~target =
+  let xt = positions.(target) in
+  of_fun ~name:"geometric" ~target (fun v ->
+      1.0 /. Geometry.Torus.dist_linf positions.(v) xt)
+
+let hyperbolic (h : Hyperbolic.Hrg.t) ~target =
+  let p = h.params in
+  let nf = float_of_int p.Hyperbolic.Hrg.n in
+  let w_min = exp (-.p.Hyperbolic.Hrg.radius_c /. 2.0) in
+  let ct = h.coords.(target) in
+  let wt = h.weights.(target) in
+  let score v =
+    let a = h.coords.(v) in
+    let dangle =
+      let d = abs_float (a.Hyperbolic.Hrg.angle -. ct.Hyperbolic.Hrg.angle) in
+      if d > Float.pi then (2.0 *. Float.pi) -. d else d
+    in
+    let cosh_dh =
+      cosh (a.Hyperbolic.Hrg.r -. ct.Hyperbolic.Hrg.r)
+      +. ((1.0 -. cos dangle) *. sinh a.Hyperbolic.Hrg.r *. sinh ct.Hyperbolic.Hrg.r)
+    in
+    nf /. (wt *. w_min *. sqrt (Float.max 1.0 cosh_dh))
+  in
+  of_fun ~name:"phi_H" ~target score
+
+(* Deterministic per-vertex uniform in [0, 1): one SplitMix64-style mix of
+   (seed, vertex).  Stable across calls, so an objective scores consistently
+   during a whole routing run. *)
+let hash_unit ~seed v =
+  let z = Int64.add (Int64.of_int seed) (Int64.mul (Int64.of_int (v + 1)) 0x9E3779B97F4A7C15L) in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  let bits53 = Int64.to_int (Int64.shift_right_logical z 11) in
+  float_of_int bits53 /. 9007199254740992.0
+
+let noisy_factor ~seed ~spread base =
+  if spread < 0.0 then invalid_arg "Objective.noisy_factor: negative spread";
+  let score v =
+    let u = (2.0 *. hash_unit ~seed v) -. 1.0 in
+    base.score v *. exp (u *. spread)
+  in
+  of_fun ~name:(Printf.sprintf "%s~factor(%g)" base.name spread) ~target:base.target score
+
+let noisy_polynomial ~seed ~delta ~weights base =
+  if delta < 0.0 then invalid_arg "Objective.noisy_polynomial: negative delta";
+  let score v =
+    let s = base.score v in
+    if s <= 0.0 then s
+    else begin
+      let m = Float.min weights.(v) (1.0 /. s) in
+      let u = (2.0 *. hash_unit ~seed v) -. 1.0 in
+      s *. (Float.max 1.0 m ** (u *. delta))
+    end
+  in
+  of_fun
+    ~name:(Printf.sprintf "%s~poly(%g)" base.name delta)
+    ~target:base.target score

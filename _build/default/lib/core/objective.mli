@@ -1,0 +1,46 @@
+(** Objective functions for greedy routing (Section 2.2 of the paper).
+
+    An objective scores vertices; routing protocols forward the message to
+    the neighbour of maximum score.  Every objective is maximised at its
+    target ([score target = infinity] by construction), which realises the
+    paper's requirement that the target globally maximises phi. *)
+
+type t = {
+  name : string;
+  target : int;
+  score : int -> float;
+}
+
+val girg_phi : Girg.Instance.t -> target:int -> t
+(** The paper's objective [phi(v) = w_v / (w_min n ||x_v - x_t||^d)]
+    (Section 2.2) — maximising [phi] maximises the connection probability
+    to the target.  [score target = infinity]. *)
+
+val geometric : positions:Geometry.Torus.point array -> target:int -> t
+(** Degree-agnostic geometric routing ([9, 10] in the paper): score
+    [1 / ||x_v - x_t||].  Used by experiment E11 to show objective-based
+    greedy routing is more robust. *)
+
+val hyperbolic : Hyperbolic.Hrg.t -> target:int -> t
+(** Geometric routing on hyperbolic random graphs: the objective [phi_H] of
+    Section 11, [n / (w_t w_min sqrt(cosh d_H(v, t)))].  Maximising [phi_H]
+    minimises the hyperbolic distance to the target. *)
+
+val of_fun : name:string -> target:int -> (int -> float) -> t
+(** Wrap an arbitrary scoring function; the target's score is forced to
+    [infinity].  (Lattice-greedy on Kleinberg graphs uses this with the
+    negated Manhattan distance.) *)
+
+val noisy_factor : seed:int -> spread:float -> t -> t
+(** Theorem 3.5, bounded relaxation: multiply each vertex's score by a
+    deterministic pseudo-random factor [exp u], [u] uniform in
+    [[-spread, spread]] (a function of [seed] and the vertex id).  The
+    target's score stays [infinity]. *)
+
+val noisy_polynomial :
+  seed:int -> delta:float -> weights:float array -> t -> t
+(** Theorem 3.5, full relaxation: multiply each score by
+    [M_v^(u delta)] with [M_v = min(w_v, 1 / score v)] and [u] uniform in
+    [[-1, 1]] — the [min(w_v, phi(v)^-1)^(o(1))] perturbation class.  With
+    [delta = o(1)] all theorems survive; constant [delta] degrades routing
+    (Remark 10.1), which experiment E6 demonstrates. *)

@@ -1,0 +1,17 @@
+type status = Delivered | Dead_end | Exhausted | Cutoff
+
+type t = { status : status; steps : int; visited : int; walk : int list }
+
+let delivered t = t.status = Delivered
+
+let path_if_delivered t = if delivered t then Some t.walk else None
+
+let status_to_string = function
+  | Delivered -> "delivered"
+  | Dead_end -> "dead-end"
+  | Exhausted -> "exhausted"
+  | Cutoff -> "cutoff"
+
+let to_string t =
+  Printf.sprintf "%s in %d steps (%d vertices visited)" (status_to_string t.status)
+    t.steps t.visited

@@ -1,0 +1,25 @@
+(** Routing run results shared by all protocols. *)
+
+type status =
+  | Delivered  (** the message reached the target *)
+  | Dead_end  (** pure greedy entered a local optimum and dropped the packet *)
+  | Exhausted  (** a patching protocol proved the target unreachable *)
+  | Cutoff  (** the step budget ran out (should not happen in theory) *)
+
+type t = {
+  status : status;
+  steps : int;
+      (** edge traversals by the message, including backtracking moves —
+          the quantity bounded by Theorems 3.3 and 3.4 *)
+  visited : int;  (** distinct vertices seen *)
+  walk : int list;  (** full vertex sequence of the message, source first *)
+}
+
+val delivered : t -> bool
+
+val path_if_delivered : t -> int list option
+(** The walk when the run delivered, [None] otherwise. *)
+
+val status_to_string : status -> string
+
+val to_string : t -> string

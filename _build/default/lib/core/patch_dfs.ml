@@ -1,0 +1,137 @@
+(* Iterative translation of the paper's Algorithm 2.  The mutually recursive
+   EXPLORE / BACKTRACK_TO procedures become a two-state machine; the message
+   token moves along one edge per state transition (except the in-place
+   re-EXPLORE after resuming a paused DFS, line 27 of the pseudocode, which
+   costs no step).  [m_last] always holds the vertex occupied immediately
+   before the current one, which is what both the parent assignment
+   (INIT_VERTEX) and the "children still unexplored" window in BACKTRACK_TO
+   rely on. *)
+
+type action = Explore of int | Backtrack of int
+
+let route ~graph ~objective ~source ?max_steps () =
+  let open Objective in
+  let n = Sparse_graph.Graph.n graph in
+  let max_steps = Option.value max_steps ~default:((200 * n) + 10_000) in
+  let phi = objective.score in
+  let target = objective.target in
+  let v_phi = Array.make n nan in
+  let v_parent = Array.make n (-1) in
+  let v_started = Array.make n false in
+  let v_prev_phi = Array.make n neg_infinity in
+  let seen = Array.make n false in
+  let visited = ref 0 in
+  let walk = ref [] in
+  let steps = ref 0 in
+  let cur = ref source in
+  let m_phi = ref neg_infinity in
+  let best_seen = ref neg_infinity in
+  let m_last = ref source in
+  let record v =
+    walk := v :: !walk;
+    if not seen.(v) then begin
+      seen.(v) <- true;
+      incr visited
+    end
+  in
+  record source;
+  let move v =
+    if v <> !cur then begin
+      incr steps;
+      m_last := !cur;
+      cur := v;
+      record v
+    end
+  in
+  (* Best neighbour of [v] overall (ties towards smaller id). *)
+  let best_neighbor v =
+    let best = ref (-1) and best_score = ref neg_infinity in
+    Sparse_graph.Graph.iter_neighbors graph v (fun u ->
+        let s = phi u in
+        if s > !best_score then begin
+          best := u;
+          best_score := s
+        end);
+    if !best < 0 then None else Some (!best, !best_score)
+  in
+  let exists_geq v threshold =
+    Sparse_graph.Graph.exists_neighbor graph v (fun u -> phi u >= threshold)
+  in
+  (* Best unexplored child during backtracking: u <> parent with
+     m_phi <= phi u < bound. *)
+  let best_child v ~parent ~bound =
+    let best = ref (-1) and best_score = ref neg_infinity in
+    Sparse_graph.Graph.iter_neighbors graph v (fun u ->
+        if u <> parent then begin
+          let s = phi u in
+          if s >= !m_phi && s < bound && s > !best_score then begin
+            best := u;
+            best_score := s
+          end
+        end);
+    if !best < 0 then None else Some !best
+  in
+  v_phi.(source) <- phi source;
+  let action = ref (Explore source) in
+  let result = ref None in
+  while !result = None do
+    if !steps >= max_steps then result := Some Outcome.Cutoff
+    else begin
+      match !action with
+      | Explore v ->
+          move v;
+          if v = target then result := Some Outcome.Delivered
+          else if v_phi.(v) = !m_phi then
+            (* Already visited in the current Phi-DFS: return immediately. *)
+            action := Backtrack !m_last
+          else begin
+            let pv = phi v in
+            if pv > !best_seen then begin
+              (* SET_NEW_PHI: only actually descend if a better neighbour
+                 exists, otherwise just remember the new record. *)
+              best_seen := pv;
+              if exists_geq v pv then begin
+                v_started.(v) <- true;
+                v_prev_phi.(v) <- !m_phi;
+                m_phi := pv
+              end
+            end;
+            (* INIT_VERTEX *)
+            v_phi.(v) <- !m_phi;
+            v_parent.(v) <- !m_last;
+            match best_neighbor v with
+            | Some (u, pu) when pu >= !m_phi -> action := Explore u
+            | Some _ | None -> action := Backtrack !m_last
+          end
+      | Backtrack v ->
+          move v;
+          let bound = phi !m_last in
+          (match best_child v ~parent:v_parent.(v) ~bound with
+          | Some u -> action := Explore u
+          | None ->
+              if v_started.(v) then begin
+                (* RESET_TO_OLD_PHI: the inner DFS rooted at v failed and is
+                   discarded; resume the outer DFS.  v counts as freshly
+                   visited there, so enumerate all its children again — the
+                   inner DFS only covered the sublevel set G[V >= phi(v)],
+                   and regions hanging below high-objective neighbours are
+                   reachable only by descending through them once more. *)
+                v_started.(v) <- false;
+                m_phi := v_prev_phi.(v);
+                v_phi.(v) <- v_prev_phi.(v);
+                match best_neighbor v with
+                | Some (u, pu) when pu >= !m_phi -> action := Explore u
+                | Some _ | None ->
+                    if v_parent.(v) = v then result := Some Outcome.Exhausted
+                    else action := Backtrack v_parent.(v)
+              end
+              else if v_parent.(v) = v then
+                (* Self-backtracking with nothing left is a fixed point of
+                   the walk: the component is exhausted. *)
+                result := Some Outcome.Exhausted
+              else action := Backtrack v_parent.(v))
+    end
+  done;
+  match !result with
+  | None -> assert false
+  | Some status -> { Outcome.status; steps = !steps; visited = !visited; walk = List.rev !walk }

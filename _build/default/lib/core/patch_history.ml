@@ -1,0 +1,146 @@
+let route ~graph ~objective ~source ?max_steps () =
+  let open Objective in
+  let n = Sparse_graph.Graph.n graph in
+  let max_steps = Option.value max_steps ~default:((50 * n) + 1000) in
+  let phi = objective.score in
+  let target = objective.target in
+  let seen = Array.make n false in
+  let tree_parent = Array.make n (-1) in
+  let tree_depth = Array.make n 0 in
+  (* Per visited vertex: neighbours sorted by descending objective and a
+     cursor to the best not-yet-consumed one. *)
+  let sorted_nbrs : int array array = Array.make n [||] in
+  let cursor = Array.make n 0 in
+  let frontier : int Binary_heap.t = Binary_heap.create () in
+  let visited = ref 0 in
+  let steps = ref 0 in
+  let walk = ref [] in
+  let record v = walk := v :: !walk in
+  (* Best unvisited neighbour of [v], advancing the cursor past visited
+     ones.  Returns its objective or [neg_infinity]. *)
+  let rec frontier_score v =
+    let nbrs = sorted_nbrs.(v) in
+    if cursor.(v) >= Array.length nbrs then neg_infinity
+    else if seen.(nbrs.(cursor.(v))) then begin
+      cursor.(v) <- cursor.(v) + 1;
+      frontier_score v
+    end
+    else phi nbrs.(cursor.(v))
+  in
+  let consume v =
+    let u = sorted_nbrs.(v).(cursor.(v)) in
+    cursor.(v) <- cursor.(v) + 1;
+    u
+  in
+  let visit v ~parent =
+    seen.(v) <- true;
+    incr visited;
+    tree_parent.(v) <- parent;
+    tree_depth.(v) <- (if parent < 0 then 0 else tree_depth.(parent) + 1);
+    let nbrs = Sparse_graph.Graph.neighbors graph v in
+    (* Descending objective; ascending id on ties for determinism. *)
+    Array.sort
+      (fun a b ->
+        let c = compare (phi b) (phi a) in
+        if c <> 0 then c else compare a b)
+      nbrs;
+    sorted_nbrs.(v) <- nbrs;
+    cursor.(v) <- 0;
+    let s = frontier_score v in
+    if s > neg_infinity then Binary_heap.push frontier s v
+  in
+  (* Path from [a] to [b] through the visited tree (via their LCA); the
+     message physically retraces it, so every hop counts as a step. *)
+  let tree_path a b =
+    let rec ancestors v acc = if v < 0 then acc else ancestors tree_parent.(v) (v :: acc) in
+    let chain_a = ancestors a [] and chain_b = ancestors b [] in
+    let rec split ca cb =
+      match (ca, cb) with
+      | x :: ca', y :: cb' when x = y -> begin
+          match (ca', cb') with
+          | x' :: _, y' :: _ when x' = y' -> split ca' cb'
+          | _ -> (x, ca', cb')
+        end
+      | _ -> invalid_arg "tree_path: disjoint trees"
+    in
+    let lca, rest_a, rest_b = split chain_a chain_b in
+    (* Path: a, ..., lca, ..., b  — rest_a reversed gives a..(just below lca). *)
+    List.rev rest_a @ (lca :: rest_b)
+  in
+  let move_along path =
+    (* path starts at the current vertex; each subsequent element is a hop. *)
+    match path with
+    | [] -> ()
+    | _ :: hops ->
+        List.iter
+          (fun v ->
+            incr steps;
+            record v)
+          hops
+  in
+  (* Best neighbour overall, visited or not — (P1) requires moving to it on
+     a first visit whenever it improves. *)
+  let best_neighbor v =
+    let best = ref (-1) and best_score = ref neg_infinity in
+    Sparse_graph.Graph.iter_neighbors graph v (fun u ->
+        let s = phi u in
+        if s > !best_score then begin
+          best := u;
+          best_score := s
+        end);
+    (!best, !best_score)
+  in
+  let result = ref None in
+  let cur = ref source in
+  record source;
+  visit source ~parent:(-1);
+  while !result = None do
+    let v = !cur in
+    if v = target then result := Some Outcome.Delivered
+    else if !steps >= max_steps then result := Some Outcome.Cutoff
+    else begin
+      let b, b_score = best_neighbor v in
+      if b >= 0 && b_score > phi v then begin
+        (* Greedy move.  The objective strictly increases along greedy
+           moves, so revisits cannot cycle; an already-visited best
+           neighbour just means the walk continues from there. *)
+        (* No frontier bookkeeping needed: once b is marked seen, every
+           cursor skips it lazily. *)
+        incr steps;
+        record b;
+        if not seen.(b) then visit b ~parent:v;
+        cur := b
+      end
+      else begin
+        (* Local optimum: jump to the visited vertex owning the globally
+           best unexplored edge.  Lazy heap: re-validate priorities. *)
+        let rec next_jump () =
+          match Binary_heap.pop_max frontier with
+          | None -> None
+          | Some (p, w) ->
+              let s' = frontier_score w in
+              if s' = neg_infinity then next_jump ()
+              else if s' < p then begin
+                (* Stale: its best unexplored changed; re-queue. *)
+                Binary_heap.push frontier s' w;
+                next_jump ()
+              end
+              else Some w
+        in
+        match next_jump () with
+        | None -> result := Some Outcome.Exhausted
+        | Some w ->
+            if w <> v then move_along (tree_path v w);
+            let u = consume w in
+            let s' = frontier_score w in
+            if s' > neg_infinity then Binary_heap.push frontier s' w;
+            incr steps;
+            record u;
+            visit u ~parent:w;
+            cur := u
+      end
+    end
+  done;
+  match !result with
+  | None -> assert false
+  | Some status -> { Outcome.status; steps = !steps; visited = !visited; walk = List.rev !walk }

@@ -1,0 +1,16 @@
+type t = Greedy | Patch_dfs | Patch_history | Gravity_pressure
+
+let all = [ Greedy; Patch_dfs; Patch_history; Gravity_pressure ]
+
+let name = function
+  | Greedy -> "greedy"
+  | Patch_dfs -> "phi-dfs"
+  | Patch_history -> "history"
+  | Gravity_pressure -> "gravity-pressure"
+
+let run t ~graph ~objective ~source ?max_steps () =
+  match t with
+  | Greedy -> Greedy.route ~graph ~objective ~source ?max_steps ()
+  | Patch_dfs -> Patch_dfs.route ~graph ~objective ~source ?max_steps ()
+  | Patch_history -> Patch_history.route ~graph ~objective ~source ?max_steps ()
+  | Gravity_pressure -> Gravity_pressure.route ~graph ~objective ~source ?max_steps ()

@@ -1,0 +1,20 @@
+(** Uniform dispatch over the routing protocols. *)
+
+type t =
+  | Greedy  (** Algorithm 1 — may drop the packet at a local optimum *)
+  | Patch_dfs  (** Algorithm 2 — distributed Φ-DFS, satisfies (P1)–(P3) *)
+  | Patch_history  (** SMTP-style history patching, satisfies (P1)–(P3) *)
+  | Gravity_pressure  (** the (P3)-violating comparator of Section 5 *)
+
+val all : t list
+
+val name : t -> string
+
+val run :
+  t ->
+  graph:Sparse_graph.Graph.t ->
+  objective:Objective.t ->
+  source:int ->
+  ?max_steps:int ->
+  unit ->
+  Outcome.t

@@ -1,0 +1,25 @@
+(** Per-hop trajectory of a routing walk — the data behind Figure 1 of the
+    paper (weights rise doubly exponentially during the first phase, then
+    the objective rises while the geometric distance to the target falls). *)
+
+type point = {
+  hop : int;
+  vertex : int;
+  weight : float;
+  objective : float;
+  dist_to_target : float;
+}
+
+val of_walk : inst:Girg.Instance.t -> target:int -> walk:int list -> point list
+(** Annotate a walk (e.g. [Outcome.walk]) with weight, the paper's phi
+    objective, and L∞ distance to the target. *)
+
+val peak_weight_hop : point list -> int
+(** Hop index of the maximum-weight vertex — the boundary between the
+    weight-increasing first phase and the distance-decreasing second phase. *)
+
+val weight_doubling_exponents : point list -> float list
+(** Successive exponents [log w_{i+1} / log w_i] over the first phase
+    (hops up to the weight peak, restricted to weights >= 4 so the ratio of
+    logarithms is numerically meaningful) — the paper predicts values
+    around [1/(beta-2)]. *)

@@ -1,0 +1,1 @@
+lib/experiments/exp_distributed.ml: Array Context Girg Greedy_routing Hashtbl Netsim Printf Prng Sparse_graph Stats

@@ -1,0 +1,1 @@
+lib/experiments/exp_embedding.ml: Context Greedy_routing Hyperbolic List Printf Stats Workload

@@ -1,0 +1,1 @@
+lib/experiments/exp_failures.ml: Array Context Girg Greedy_routing List Printf Prng Sparse_graph Stats

@@ -1,0 +1,1 @@
+lib/experiments/exp_geometric.ml: Context Girg Greedy_routing List Printf Stats String Workload

@@ -1,0 +1,1 @@
+lib/experiments/exp_geometric.mli: Context Stats

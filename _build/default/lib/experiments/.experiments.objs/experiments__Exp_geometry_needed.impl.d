@@ -1,0 +1,1 @@
+lib/experiments/exp_geometry_needed.ml: Array Context Float Girg Greedy_routing List Printf Sparse_graph Stats Workload

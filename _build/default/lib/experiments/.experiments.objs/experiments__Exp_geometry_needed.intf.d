@@ -1,0 +1,1 @@
+lib/experiments/exp_geometry_needed.mli: Context Stats

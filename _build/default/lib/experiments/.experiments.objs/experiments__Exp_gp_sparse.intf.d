@@ -1,0 +1,1 @@
+lib/experiments/exp_gp_sparse.mli: Context Stats

@@ -1,0 +1,1 @@
+lib/experiments/exp_graph_props.ml: Array Context Exp_length Fun Girg List Option Printf Seq Sparse_graph Stats

@@ -1,0 +1,1 @@
+lib/experiments/exp_graph_props.mli: Context Stats

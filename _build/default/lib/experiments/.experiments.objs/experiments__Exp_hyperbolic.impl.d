@@ -1,0 +1,1 @@
+lib/experiments/exp_hyperbolic.ml: Context Greedy_routing Hyperbolic List Printf Sparse_graph Stats Workload

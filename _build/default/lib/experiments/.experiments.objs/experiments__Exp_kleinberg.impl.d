@@ -1,0 +1,1 @@
+lib/experiments/exp_kleinberg.ml: Array Context Girg Greedy_routing Kleinberg List Printf Prng Sparse_graph Stats Workload

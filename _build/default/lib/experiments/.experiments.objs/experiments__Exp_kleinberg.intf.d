@@ -1,0 +1,1 @@
+lib/experiments/exp_kleinberg.mli: Context Stats

@@ -1,0 +1,1 @@
+lib/experiments/exp_layers.mli: Context Stats

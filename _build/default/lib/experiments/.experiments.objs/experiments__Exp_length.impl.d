@@ -1,0 +1,1 @@
+lib/experiments/exp_length.ml: Array Context Girg Greedy_routing List Printf Stats Workload

@@ -1,0 +1,1 @@
+lib/experiments/exp_patching.ml: Array Context Exp_length Girg Greedy_routing List Printf Stats Workload

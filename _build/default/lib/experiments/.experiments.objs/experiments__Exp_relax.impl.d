@@ -1,0 +1,1 @@
+lib/experiments/exp_relax.ml: Array Context Girg Greedy_routing List Printf Stats Workload

@@ -1,0 +1,1 @@
+lib/experiments/exp_robustness.ml: Array Context Geometry Girg Greedy_routing List Printf Sparse_graph Stats Workload

@@ -1,0 +1,1 @@
+lib/experiments/exp_robustness.mli: Context Stats

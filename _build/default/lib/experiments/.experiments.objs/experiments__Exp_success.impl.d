@@ -1,0 +1,1 @@
+lib/experiments/exp_success.ml: Context Girg Greedy_routing List Printf Sparse_graph Stats Workload

@@ -1,0 +1,1 @@
+lib/experiments/exp_trajectory.ml: Array Context Float Geometry Girg Greedy_routing Hashtbl List Option Printf Prng Sparse_graph Stats

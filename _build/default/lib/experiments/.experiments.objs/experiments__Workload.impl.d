@@ -1,0 +1,1 @@
+lib/experiments/workload.ml: Array Greedy_routing Prng Sparse_graph Stats

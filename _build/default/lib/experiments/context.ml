@@ -1,0 +1,9 @@
+type scale = Quick | Standard
+
+type t = { seed : int; scale : scale }
+
+let make ?(seed = 42) ?(scale = Standard) () = { seed; scale }
+
+let pick t ~quick ~standard = match t.scale with Quick -> quick | Standard -> standard
+
+let rng t ~salt = Prng.Rng.create ~seed:((t.seed * 1_000_003) + salt)

@@ -1,0 +1,16 @@
+(** Execution context shared by all experiments. *)
+
+type scale =
+  | Quick  (** smoke-test sizes: seconds per experiment *)
+  | Standard  (** paper-reproduction sizes: tens of seconds per experiment *)
+
+type t = { seed : int; scale : scale }
+
+val make : ?seed:int -> ?scale:scale -> unit -> t
+(** Defaults: [seed = 42], [scale = Standard]. *)
+
+val pick : t -> quick:'a -> standard:'a -> 'a
+
+val rng : t -> salt:int -> Prng.Rng.t
+(** Independent generator derived from the context seed and a caller-chosen
+    salt, so experiments do not perturb each other's randomness. *)

@@ -1,0 +1,10 @@
+(** E16 — the distributed nature of the protocols (Sections 1–2): greedy
+    routing and Algorithm 2 run as message-passing protocols where each node
+    knows only its neighbours' addresses, the message carries O(1) scalars,
+    one node is awake at a time, and message complexity equals the step
+    bounds of Theorems 3.3/3.4. *)
+
+val id : string
+val title : string
+val claim : string
+val run : Context.t -> Stats.Table.t list

@@ -1,0 +1,9 @@
+(** E15 — the embed-then-route pipeline of Boguñá et al. [11]: infer
+    hyperbolic coordinates for a bare graph and run greedy routing on them.
+    Inferred coordinates should route far above chance, with unchanged path
+    lengths on success, and patching restores guaranteed delivery. *)
+
+val id : string
+val title : string
+val claim : string
+val run : Context.t -> Stats.Table.t list

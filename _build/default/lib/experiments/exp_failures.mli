@@ -1,0 +1,8 @@
+(** E13 — robustness to link failures (Section 3, discussion of Theorem
+    3.5): greedy routing degrades gracefully when every edge is transiently
+    unavailable with constant probability at each forwarding step. *)
+
+val id : string
+val title : string
+val claim : string
+val run : Context.t -> Stats.Table.t list

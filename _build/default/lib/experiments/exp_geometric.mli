@@ -1,0 +1,8 @@
+(** E11 — Section 4 ([9, 10]): degree-agnostic geometric routing (pure
+    distance minimisation) is less robust than objective-based greedy
+    routing and degrades as beta approaches 3. *)
+
+val id : string
+val title : string
+val claim : string
+val run : Context.t -> Stats.Table.t list

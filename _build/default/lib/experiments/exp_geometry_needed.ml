@@ -1,0 +1,79 @@
+let id = "E17"
+let title = "Geometry makes navigability: GIRG vs Chung-Lu (Lemma 7.1)"
+
+let claim =
+  "A Chung-Lu graph with the SAME weights has the same marginal connection \
+   probabilities (Lemma 7.1) and equally ultra-small distances — but \
+   without geometry the only local signal is degree, and degree-greedy \
+   routing (forward to the best-connected acquaintance) almost never finds \
+   the target.  The small-world phenomenon is existential in Chung-Lu \
+   graphs but ALGORITHMIC in GIRGs."
+
+let run ctx =
+  let sizes = Context.pick ctx ~quick:[ 2048; 8192 ] ~standard:[ 4096; 16384; 65536 ] in
+  let pairs_count = Context.pick ctx ~quick:150 ~standard:300 in
+  let beta = 2.5 in
+  let table =
+    Stats.Table.create
+      ~title:(id ^ ": " ^ title)
+      ~columns:
+        [ "model"; "n"; "avg deg"; "avg dist"; "objective"; "success"; "mean steps"; "paper" ]
+  in
+  List.iteri
+    (fun ni n ->
+      let rng = Context.rng ctx ~salt:(17_000 + ni) in
+      let params = Girg.Params.make ~dim:2 ~beta ~c:0.25 ~n () in
+      let inst = Girg.Instance.generate ~rng params in
+      (* The Chung-Lu twin reuses the GIRG's weight sequence, scaled so both
+         graphs have the same density (the GIRG kernel's Theta-constants
+         make it denser than the bare w_u w_v / W rule); a denser twin is
+         the baseline's best shot, since hubs become easier to reach. *)
+      let cl =
+        let trial = Girg.Chung_lu.generate ~rng ~weights:inst.weights in
+        let ratio =
+          Sparse_graph.Graph.avg_degree inst.graph
+          /. Float.max 0.1 (Sparse_graph.Graph.avg_degree trial.Girg.Chung_lu.graph)
+        in
+        (* p = w_u w_v / W scales linearly when all weights scale linearly. *)
+        let scaled = Array.map (fun w -> w *. ratio) inst.weights in
+        Girg.Chung_lu.generate ~rng ~weights:scaled
+      in
+      let row ~model ~graph ~objective_label ~objective_for ~prediction =
+        let comps = Sparse_graph.Components.compute graph in
+        let giant = Sparse_graph.Components.giant_members comps in
+        let avg_dist =
+          Sparse_graph.Gstats.avg_distance_sample graph ~rng
+            ~pairs:(Context.pick ctx ~quick:60 ~standard:150)
+            ~within:giant
+        in
+        let pairs = Workload.sample_pairs_giant ~rng ~graph ~count:pairs_count in
+        let res =
+          Workload.run ~graph ~objective_for ~protocol:Greedy_routing.Protocol.Greedy
+            ~pairs ()
+        in
+        Stats.Table.add_row table
+          [
+            model;
+            string_of_int n;
+            Printf.sprintf "%.1f" (Sparse_graph.Graph.avg_degree graph);
+            (match avg_dist with None -> "nan" | Some d -> Printf.sprintf "%.2f" d);
+            objective_label;
+            Printf.sprintf "%.3f" (Workload.success_rate res);
+            Printf.sprintf "%.2f" (Workload.mean_steps res);
+            prediction;
+          ]
+      in
+      row ~model:"GIRG" ~graph:inst.graph ~objective_label:"phi (geometry + weight)"
+        ~objective_for:(fun ~target -> Greedy_routing.Objective.girg_phi inst ~target)
+        ~prediction:"navigable: Omega(1) success";
+      row ~model:"Chung-Lu twin" ~graph:cl.Girg.Chung_lu.graph
+        ~objective_label:"degree-greedy"
+        ~objective_for:(fun ~target ->
+          Greedy_routing.Objective.of_fun ~name:"weight" ~target (fun v ->
+              cl.Girg.Chung_lu.weights.(v)))
+        ~prediction:"not navigable: success -> 0")
+    sizes;
+  Stats.Table.note table
+    "both models use identical weight sequences; 'avg dist' shows the short \
+     paths exist in both — only the GIRG lets a local rule find them.";
+  [ table ]

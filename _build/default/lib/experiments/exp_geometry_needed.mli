@@ -1,0 +1,9 @@
+(** E17 — geometry is what makes networks navigable (Sections 1.1/2.1):
+    Chung–Lu graphs share the GIRG's exact marginal connection probabilities
+    (Lemma 7.1) and are just as ultra-small, yet without positions no local
+    greedy rule can find the short paths. *)
+
+val id : string
+val title : string
+val claim : string
+val run : Context.t -> Stats.Table.t list

@@ -1,0 +1,7 @@
+(** E9 — Section 5: gravity–pressure routing (which violates (P3)) degrades
+    badly on sparse networks, while the (P1)–(P3) protocols stay fast. *)
+
+val id : string
+val title : string
+val claim : string
+val run : Context.t -> Stats.Table.t list

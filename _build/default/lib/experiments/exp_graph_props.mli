@@ -1,0 +1,9 @@
+(** E10 — substrate validation (Lemmas 7.2/7.3 and the GIRG literature):
+    degrees are Pois(Theta(w)), the degree distribution is a power law with
+    exponent beta, a unique linear-size giant exists, the average distance
+    matches (2±o(1))/|log(beta-2)| log log n, and clustering is constant. *)
+
+val id : string
+val title : string
+val claim : string
+val run : Context.t -> Stats.Table.t list

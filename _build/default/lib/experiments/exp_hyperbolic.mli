@@ -1,0 +1,9 @@
+(** E7 — Corollary 3.6 / Section 11: geometric routing on hyperbolic random
+    graphs inherits all the greedy-routing guarantees; at internet-like
+    parameters the success rate is very high and the stretch close to 1
+    (cf. Boguñá et al.'s 97% on the embedded internet). *)
+
+val id : string
+val title : string
+val claim : string
+val run : Context.t -> Stats.Table.t list

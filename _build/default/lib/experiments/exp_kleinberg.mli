@@ -1,0 +1,8 @@
+(** E8 — Section 1.1 baselines: Kleinberg's model routes in Theta(log^2 n)
+    steps and only at the critical exponent; removing the perfect lattice
+    (random positions) makes greedy routing fail; GIRGs beat both. *)
+
+val id : string
+val title : string
+val claim : string
+val run : Context.t -> Stats.Table.t list

@@ -1,0 +1,85 @@
+let id = "E12"
+let title = "Layer structure of greedy paths (main Lemma 8.1)"
+
+let claim =
+  "The proof machinery predicts that a greedy path crosses the V1/V2 \
+   boundary (weight-driven to objective-driven) at most once, and visits \
+   each doubly exponential weight/objective layer at most once; the union \
+   bound in Lemma 8.1 rests on exactly these events."
+
+let run ctx =
+  let sizes = Context.pick ctx ~quick:[ 8192 ] ~standard:[ 16384; 65536 ] in
+  let betas = [ 2.3; 2.5; 2.8 ] in
+  let pairs_count = Context.pick ctx ~quick:150 ~standard:400 in
+  let table =
+    Stats.Table.create
+      ~title:(id ^ ": " ^ title)
+      ~columns:
+        [
+          "beta"; "n"; "paths"; "<=1 phase switch"; "no layer repeat";
+          "mean layers visited"; "paper";
+        ]
+  in
+  List.iteri
+    (fun bi beta ->
+      List.iteri
+        (fun ni n ->
+          let rng = Context.rng ctx ~salt:(12_000 + (100 * bi) + ni) in
+          let params = Girg.Params.make ~dim:2 ~beta ~c:0.25 ~n () in
+          let inst = Girg.Instance.generate ~rng params in
+          let comps = Sparse_graph.Components.compute inst.graph in
+          let giant = Sparse_graph.Components.giant_members comps in
+          let analyzed = ref 0 in
+          let clean_phases = ref 0 in
+          let clean_layers = ref 0 in
+          let layer_counts = ref [] in
+          for _ = 1 to pairs_count do
+            let i, j = Prng.Dist.sample_distinct_pair rng ~n:(Array.length giant) in
+            let s = giant.(i) and t = giant.(j) in
+            let objective = Greedy_routing.Objective.girg_phi inst ~target:t in
+            let outcome =
+              Greedy_routing.Greedy.route ~graph:inst.graph ~objective ~source:s ()
+            in
+            (* The lemma describes successful walks of nontrivial length. *)
+            if Greedy_routing.Outcome.delivered outcome && outcome.steps >= 2 then begin
+              incr analyzed;
+              let layers = Greedy_routing.Layers.make ~inst ~target:t () in
+              (* Exclude the target itself (phi = infinity puts it in V2
+                 trivially). *)
+              let walk_body =
+                List.filteri
+                  (fun k _ -> k < List.length outcome.walk - 1)
+                  outcome.walk
+              in
+              let report = Greedy_routing.Layers.analyze_walk layers walk_body in
+              if report.Greedy_routing.Layers.phase_switches <= 1 then incr clean_phases;
+              if
+                report.Greedy_routing.Layers.repeated_weight_layers = 0
+                && report.Greedy_routing.Layers.repeated_objective_layers = 0
+              then incr clean_layers;
+              layer_counts :=
+                float_of_int
+                  (report.Greedy_routing.Layers.weight_layers_visited
+                 + report.Greedy_routing.Layers.objective_layers_visited)
+                :: !layer_counts
+            end
+          done;
+          let frac x = float_of_int x /. float_of_int (max 1 !analyzed) in
+          Stats.Table.add_row table
+            [
+              Printf.sprintf "%.1f" beta;
+              string_of_int n;
+              string_of_int !analyzed;
+              Printf.sprintf "%.3f" (frac !clean_phases);
+              Printf.sprintf "%.3f" (frac !clean_layers);
+              (match !layer_counts with
+              | [] -> "nan"
+              | xs -> Printf.sprintf "%.1f" (Stats.Summary.mean (Array.of_list xs)));
+              "both fractions -> 1 (a.a.s.)";
+            ])
+        sizes)
+    betas;
+  Stats.Table.note table
+    "walks of >= 2 hops, target excluded; layers use epsilon = 0.1 as in \
+     Greedy_routing.Layers.";
+  [ table ]

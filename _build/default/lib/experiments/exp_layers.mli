@@ -1,0 +1,8 @@
+(** E12 — Lemma 8.1 (the main lemma): greedy paths respect the layer
+    structure — at most one crossing from the weight-driven region V1 to the
+    objective-driven region V2, and no layer visited twice. *)
+
+val id : string
+val title : string
+val claim : string
+val run : Context.t -> Stats.Table.t list

@@ -1,0 +1,68 @@
+let id = "E3"
+let title = "Greedy path length and stretch (Theorem 3.3)"
+
+let claim =
+  "A.a.s. greedy routing stops within (2+o(1))/|log(beta-2)| * log log n \
+   steps, matching the average distance of the giant component; conditioned \
+   on success the stretch is 1 + o(1)."
+
+let predicted_length ~beta ~n =
+  2.0 /. abs_float (log (beta -. 2.0)) *. log (log (float_of_int n))
+
+let run ctx =
+  let sizes =
+    Context.pick ctx ~quick:[ 4096; 16384 ] ~standard:[ 4096; 16384; 65536; 131072 ]
+  in
+  let pairs_per_size = Context.pick ctx ~quick:120 ~standard:300 in
+  let betas = [ 2.3; 2.5; 2.8 ] in
+  let table =
+    Stats.Table.create
+      ~title:(id ^ ": " ^ title)
+      ~columns:
+        [ "beta"; "n"; "mean steps"; "p95"; "predicted"; "steps/pred"; "mean stretch"; "paper" ]
+  in
+  List.iteri
+    (fun bi beta ->
+      let points = ref [] in
+      List.iteri
+        (fun ni n ->
+          let rng = Context.rng ctx ~salt:(3000 + (100 * bi) + ni) in
+          let params = Girg.Params.make ~dim:2 ~beta ~c:0.25 ~n () in
+          let inst = Girg.Instance.generate ~rng params in
+          let pairs =
+            Workload.sample_pairs_giant ~rng ~graph:inst.graph ~count:pairs_per_size
+          in
+          let res =
+            Workload.run ~graph:inst.graph
+              ~objective_for:(fun ~target -> Greedy_routing.Objective.girg_phi inst ~target)
+              ~protocol:Greedy_routing.Protocol.Greedy ~with_stretch:true ~pairs ()
+          in
+          let mean = Workload.mean_steps res in
+          let p95 =
+            if Array.length res.steps = 0 then nan
+            else Stats.Summary.percentile res.steps ~p:0.95
+          in
+          let predicted = predicted_length ~beta ~n in
+          points := (log (log (float_of_int n)), mean) :: !points;
+          Stats.Table.add_row table
+            [
+              Printf.sprintf "%.1f" beta;
+              string_of_int n;
+              Printf.sprintf "%.2f" mean;
+              Printf.sprintf "%.0f" p95;
+              Printf.sprintf "%.2f" predicted;
+              Printf.sprintf "%.2f" (mean /. predicted);
+              Printf.sprintf "%.3f" (Workload.mean_stretch res);
+              "<= (2+o(1))/|ln(b-2)| lnln n; stretch -> 1";
+            ])
+        sizes;
+      if List.length !points >= 2 then begin
+        let fit = Stats.Regression.linear (Array.of_list !points) in
+        Stats.Table.note table
+          (Printf.sprintf
+             "beta=%.1f: mean steps ~ %.2f * lnln n + %.2f (paper coefficient %.2f)" beta
+             fit.Stats.Regression.slope fit.intercept
+             (2.0 /. abs_float (log (beta -. 2.0))))
+      end)
+    betas;
+  [ table ]

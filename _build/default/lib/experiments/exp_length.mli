@@ -1,0 +1,11 @@
+(** E3 — Theorem 3.3: successful greedy paths have length
+    (2+o(1))/|log(beta-2)| * log log n and stretch 1 + o(1). *)
+
+val id : string
+val title : string
+val claim : string
+
+val predicted_length : beta:float -> n:int -> float
+(** The paper's leading-order bound [2 / |ln(beta-2)| * ln ln n]. *)
+
+val run : Context.t -> Stats.Table.t list

@@ -1,0 +1,8 @@
+(** E5 — Theorem 3.4: any patching protocol satisfying (P1)–(P3) succeeds
+    with probability 1 on same-component pairs and still routes in
+    (2+o(1))/|log(beta-2)| * log log n steps. *)
+
+val id : string
+val title : string
+val claim : string
+val run : Context.t -> Stats.Table.t list

@@ -1,0 +1,76 @@
+let id = "E6"
+let title = "Relaxed (approximate) objectives (Theorem 3.5)"
+
+let claim =
+  "Greedy routing is robust to approximation: multiplying phi by bounded \
+   factors, or by min(w_v, phi(v)^-1)^delta with small delta, preserves \
+   success rate and path length; constant-delta polynomial noise degrades \
+   the path length (Remark 10.1)."
+
+let run ctx =
+  let n = Context.pick ctx ~quick:8192 ~standard:32768 in
+  let pairs_count = Context.pick ctx ~quick:200 ~standard:500 in
+  let rng = Context.rng ctx ~salt:6000 in
+  (* Sparser than E1/E3 so paths are long enough for noise to bite. *)
+  let params = Girg.Params.make ~dim:2 ~beta:2.5 ~c:0.1 ~n () in
+  let inst = Girg.Instance.generate ~rng params in
+  let pairs = Workload.sample_pairs_giant ~rng ~graph:inst.graph ~count:pairs_count in
+  let noise_seed = 1234 in
+  let objectives =
+    [
+      ("exact phi", "baseline", fun ~target -> Greedy_routing.Objective.girg_phi inst ~target);
+      ( "factor exp(±0.5)",
+        "success Omega(1), length unchanged",
+        fun ~target ->
+          Greedy_routing.Objective.noisy_factor ~seed:noise_seed ~spread:0.5
+            (Greedy_routing.Objective.girg_phi inst ~target) );
+      ( "factor exp(±2.0)",
+        "success Omega(1), length unchanged",
+        fun ~target ->
+          Greedy_routing.Objective.noisy_factor ~seed:noise_seed ~spread:2.0
+            (Greedy_routing.Objective.girg_phi inst ~target) );
+      ( "poly delta=0.1",
+        "unchanged (small exponent)",
+        fun ~target ->
+          Greedy_routing.Objective.noisy_polynomial ~seed:noise_seed ~delta:0.1
+            ~weights:inst.weights
+            (Greedy_routing.Objective.girg_phi inst ~target) );
+      ( "poly delta=0.5",
+        "slower (Remark 10.1)",
+        fun ~target ->
+          Greedy_routing.Objective.noisy_polynomial ~seed:noise_seed ~delta:0.5
+            ~weights:inst.weights
+            (Greedy_routing.Objective.girg_phi inst ~target) );
+      ( "poly delta=1.5",
+        "much slower (Remark 10.1)",
+        fun ~target ->
+          Greedy_routing.Objective.noisy_polynomial ~seed:noise_seed ~delta:1.5
+            ~weights:inst.weights
+            (Greedy_routing.Objective.girg_phi inst ~target) );
+    ]
+  in
+  let table =
+    Stats.Table.create
+      ~title:(id ^ ": " ^ title)
+      ~columns:[ "objective"; "protocol"; "success"; "mean steps"; "p95"; "paper" ]
+  in
+  List.iter
+    (fun (label, prediction, objective_for) ->
+      List.iter
+        (fun protocol ->
+          let res =
+            Workload.run ~graph:inst.graph ~objective_for ~protocol ~pairs ()
+          in
+          Stats.Table.add_row table
+            [
+              label;
+              Greedy_routing.Protocol.name protocol;
+              Printf.sprintf "%.3f" (Workload.success_rate res);
+              Printf.sprintf "%.2f" (Workload.mean_steps res);
+              (if Array.length res.steps = 0 then "nan"
+               else Printf.sprintf "%.0f" (Stats.Summary.percentile res.steps ~p:0.95));
+              prediction;
+            ])
+        [ Greedy_routing.Protocol.Greedy; Greedy_routing.Protocol.Patch_dfs ])
+    objectives;
+  [ table ]

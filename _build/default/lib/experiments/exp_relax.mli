@@ -1,0 +1,10 @@
+(** E6 — Theorem 3.5 / Remark 10.1: routing with approximate objectives.
+
+    Bounded multiplicative noise (and sub-polynomial noise in
+    min(w, phi^-1)) leaves success probability and path lengths intact;
+    polynomially large noise slows routing down. *)
+
+val id : string
+val title : string
+val claim : string
+val run : Context.t -> Stats.Table.t list

@@ -1,0 +1,74 @@
+let id = "E14"
+let title = "Model-parameter robustness ablation (Section 1/3)"
+
+let claim =
+  "The theorems hold for ALL parameter choices: any dimension d, any decay \
+   alpha > 1 (including the threshold model), Poisson or fixed vertex \
+   counts, and any probability constant.  Ablating each knob leaves success \
+   probability Omega(1) and ultra-small path lengths intact."
+
+type variant = {
+  label : string;
+  dim : int;
+  alpha : Girg.Params.alpha;
+  c : float;
+  norm : Geometry.Torus.norm;
+  poisson : bool;
+}
+
+let baseline =
+  { label = "baseline (d=2, a=2, Linf, poisson)"; dim = 2; alpha = Girg.Params.Finite 2.0;
+    c = 0.25; norm = Geometry.Torus.Linf; poisson = true }
+
+let variants =
+  [
+    baseline;
+    { baseline with label = "d=1"; dim = 1 };
+    { baseline with label = "d=3"; dim = 3 };
+    { baseline with label = "alpha=1.2 (weak decay)"; alpha = Girg.Params.Finite 1.2 };
+    { baseline with label = "alpha=4 (strong decay)"; alpha = Girg.Params.Finite 4.0 };
+    { baseline with label = "alpha=inf (threshold)"; alpha = Girg.Params.Infinite };
+    { baseline with label = "L2 norm"; norm = Geometry.Torus.L2 };
+    { baseline with label = "L1 norm"; norm = Geometry.Torus.L1 };
+    { baseline with label = "fixed vertex count"; poisson = false };
+    { baseline with label = "c=0.5 (denser)"; c = 0.5 };
+  ]
+
+let run ctx =
+  let n = Context.pick ctx ~quick:8192 ~standard:32768 in
+  let pairs_count = Context.pick ctx ~quick:150 ~standard:400 in
+  let beta = 2.5 in
+  let table =
+    Stats.Table.create
+      ~title:(id ^ ": " ^ title)
+      ~columns:[ "variant"; "avg deg"; "success"; "mean steps"; "p95"; "paper" ]
+  in
+  List.iteri
+    (fun i v ->
+      let rng = Context.rng ctx ~salt:(14_000 + i) in
+      let params =
+        Girg.Params.make ~dim:v.dim ~beta ~alpha:v.alpha ~c:v.c ~norm:v.norm
+          ~poisson_count:v.poisson ~n ()
+      in
+      let inst = Girg.Instance.generate ~rng params in
+      let pairs = Workload.sample_pairs_giant ~rng ~graph:inst.graph ~count:pairs_count in
+      let res =
+        Workload.run ~graph:inst.graph
+          ~objective_for:(fun ~target -> Greedy_routing.Objective.girg_phi inst ~target)
+          ~protocol:Greedy_routing.Protocol.Greedy ~pairs ()
+      in
+      Stats.Table.add_row table
+        [
+          v.label;
+          Printf.sprintf "%.1f" (Sparse_graph.Graph.avg_degree inst.graph);
+          Printf.sprintf "%.3f" (Workload.success_rate res);
+          Printf.sprintf "%.2f" (Workload.mean_steps res);
+          (if Array.length res.steps = 0 then "nan"
+           else Printf.sprintf "%.0f" (Stats.Summary.percentile res.steps ~p:0.95));
+          "Omega(1) success, short paths";
+        ])
+    variants;
+  Stats.Table.note table
+    "contrast with Kleinberg's model, where changing the decay exponent \
+     destroys navigability (E8).";
+  [ table ]

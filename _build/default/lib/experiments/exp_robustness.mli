@@ -1,0 +1,9 @@
+(** E14 — model-parameter robustness ablation (the "our results are robust
+    in the model parameters" bullet of Section 1): dimension, decay
+    parameter, vertex-count law and probability constant do not change the
+    qualitative behaviour of greedy routing. *)
+
+val id : string
+val title : string
+val claim : string
+val run : Context.t -> Stats.Table.t list

@@ -1,0 +1,12 @@
+(** E1 — Theorem 3.1: greedy routing succeeds with probability Ω(1).
+
+    Sweeps the graph size for several (beta, alpha) combinations and reports
+    the success rate of pure greedy routing over uniformly random
+    source–target pairs.  Paper-predicted shape: the rate is bounded away
+    from 0 and essentially flat in n (failures are dominated by the constant
+    per-endpoint hazards of the first and last hops, not by n). *)
+
+val id : string
+val title : string
+val claim : string
+val run : Context.t -> Stats.Table.t list

@@ -1,0 +1,11 @@
+(** E4 — Figure 1 / Section 6: the typical trajectory of a greedy path.
+
+    First phase: the current weight rises doubly exponentially (one exponent
+    ~ 1/(beta-2) per hop); second phase: weights fall again while the
+    geometric distance to the target collapses and the objective keeps
+    rising. *)
+
+val id : string
+val title : string
+val claim : string
+val run : Context.t -> Stats.Table.t list

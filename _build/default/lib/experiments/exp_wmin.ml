@@ -1,0 +1,83 @@
+let id = "E2"
+let title = "Failure probability vs w_min (Theorem 3.2)"
+
+let claim =
+  "With (EP3), greedy routing fails with probability O(exp(-w_min^Omega(1))): \
+   log failure-rate falls roughly linearly in w_min.  For heavy endpoints \
+   (w_s, w_t = omega(1)) the failure rate is polynomially small."
+
+let run ctx =
+  let n = Context.pick ctx ~quick:4096 ~standard:16384 in
+  let pairs = Context.pick ctx ~quick:400 ~standard:1500 in
+  let w_mins = [ 0.3; 0.5; 0.8; 1.2; 1.7; 2.3; 3.0 ] in
+  let table =
+    Stats.Table.create
+      ~title:(id ^ ": " ^ title)
+      ~columns:[ "w_min"; "avg_deg"; "success"; "failure"; "ln failure"; "paper" ]
+  in
+  let points = ref [] in
+  List.iteri
+    (fun i w_min ->
+      let rng = Context.rng ctx ~salt:(2000 + i) in
+      (* c = 0.25 keeps (EP3): p_uv = 1 whenever dist^d <= 0.25 w_u w_v / (w_min n). *)
+      let params = Girg.Params.make ~dim:2 ~beta:2.5 ~w_min ~c:0.25 ~n () in
+      let inst = Girg.Instance.generate ~rng params in
+      let pair_set =
+        Workload.sample_pairs_any ~rng ~n:(Sparse_graph.Graph.n inst.graph) ~count:pairs
+      in
+      let res =
+        Workload.run ~graph:inst.graph
+          ~objective_for:(fun ~target -> Greedy_routing.Objective.girg_phi inst ~target)
+          ~protocol:Greedy_routing.Protocol.Greedy ~pairs:pair_set ()
+      in
+      let failure = Workload.failure_rate res in
+      if failure > 0.0 then points := (w_min, log failure) :: !points;
+      Stats.Table.add_row table
+        [
+          Printf.sprintf "%.1f" w_min;
+          Printf.sprintf "%.1f" (Sparse_graph.Graph.avg_degree inst.graph);
+          Printf.sprintf "%.4f" (Workload.success_rate res);
+          Printf.sprintf "%.4f" failure;
+          (if failure > 0.0 then Printf.sprintf "%.2f" (log failure) else "-inf");
+          "exp(-w_min^Omega(1))";
+        ])
+    w_mins;
+  (if List.length !points >= 3 then begin
+     let fit = Stats.Regression.linear (Array.of_list !points) in
+     Stats.Table.note table
+       (Printf.sprintf
+          "ln(failure) ~ %.2f * w_min + %.2f (R^2 = %.3f); a clearly negative slope = exponential decay."
+          fit.Stats.Regression.slope fit.intercept fit.r2)
+   end);
+  (* Part (ii): heavy endpoints at the sparsest setting. *)
+  let table2 =
+    Stats.Table.create
+      ~title:(id ^ "b: heavy endpoints (Theorem 3.2 (ii))")
+      ~columns:[ "min endpoint weight"; "success"; "paper" ]
+  in
+  let rng = Context.rng ctx ~salt:2999 in
+  let params = Girg.Params.make ~dim:2 ~beta:2.5 ~w_min:0.5 ~c:0.25 ~n () in
+  let inst = Girg.Instance.generate ~rng params in
+  List.iter
+    (fun min_weight ->
+      match
+        Workload.sample_pairs_heavy ~rng ~weights:inst.weights ~min_weight
+          ~count:(min pairs 500)
+      with
+      | exception Invalid_argument _ ->
+          Stats.Table.add_row table2
+            [ Printf.sprintf ">= %.0f" min_weight; "n/a (too few)"; "" ]
+      | pair_set ->
+          let res =
+            Workload.run ~graph:inst.graph
+              ~objective_for:(fun ~target -> Greedy_routing.Objective.girg_phi inst ~target)
+              ~protocol:Greedy_routing.Protocol.Greedy ~pairs:pair_set ()
+          in
+          Stats.Table.add_row table2
+            [
+              Printf.sprintf ">= %.0f" min_weight;
+              Printf.sprintf "%.4f" (Workload.success_rate res);
+              "1 - min(w_s,w_t)^-Omega(1)";
+            ])
+    [ 1.0; 2.0; 4.0; 8.0 ];
+  [ table; table2 ]

@@ -1,0 +1,8 @@
+(** E2 — Theorem 3.2: under (EP3) the failure probability of greedy routing
+    decays exponentially in the minimum weight [w_min]; and (ii) it decays
+    polynomially in [min(w_s, w_t)] for heavy endpoints. *)
+
+val id : string
+val title : string
+val claim : string
+val run : Context.t -> Stats.Table.t list

@@ -1,0 +1,100 @@
+type t = {
+  id : string;
+  title : string;
+  claim : string;
+  run : Context.t -> Stats.Table.t list;
+}
+
+let all =
+  [
+    { id = Exp_success.id; title = Exp_success.title; claim = Exp_success.claim; run = Exp_success.run };
+    { id = Exp_wmin.id; title = Exp_wmin.title; claim = Exp_wmin.claim; run = Exp_wmin.run };
+    { id = Exp_length.id; title = Exp_length.title; claim = Exp_length.claim; run = Exp_length.run };
+    {
+      id = Exp_trajectory.id;
+      title = Exp_trajectory.title;
+      claim = Exp_trajectory.claim;
+      run = Exp_trajectory.run;
+    };
+    {
+      id = Exp_patching.id;
+      title = Exp_patching.title;
+      claim = Exp_patching.claim;
+      run = Exp_patching.run;
+    };
+    { id = Exp_relax.id; title = Exp_relax.title; claim = Exp_relax.claim; run = Exp_relax.run };
+    {
+      id = Exp_hyperbolic.id;
+      title = Exp_hyperbolic.title;
+      claim = Exp_hyperbolic.claim;
+      run = Exp_hyperbolic.run;
+    };
+    {
+      id = Exp_kleinberg.id;
+      title = Exp_kleinberg.title;
+      claim = Exp_kleinberg.claim;
+      run = Exp_kleinberg.run;
+    };
+    {
+      id = Exp_gp_sparse.id;
+      title = Exp_gp_sparse.title;
+      claim = Exp_gp_sparse.claim;
+      run = Exp_gp_sparse.run;
+    };
+    {
+      id = Exp_graph_props.id;
+      title = Exp_graph_props.title;
+      claim = Exp_graph_props.claim;
+      run = Exp_graph_props.run;
+    };
+    {
+      id = Exp_geometric.id;
+      title = Exp_geometric.title;
+      claim = Exp_geometric.claim;
+      run = Exp_geometric.run;
+    };
+    { id = Exp_layers.id; title = Exp_layers.title; claim = Exp_layers.claim; run = Exp_layers.run };
+    {
+      id = Exp_failures.id;
+      title = Exp_failures.title;
+      claim = Exp_failures.claim;
+      run = Exp_failures.run;
+    };
+    {
+      id = Exp_robustness.id;
+      title = Exp_robustness.title;
+      claim = Exp_robustness.claim;
+      run = Exp_robustness.run;
+    };
+    {
+      id = Exp_embedding.id;
+      title = Exp_embedding.title;
+      claim = Exp_embedding.claim;
+      run = Exp_embedding.run;
+    };
+    {
+      id = Exp_distributed.id;
+      title = Exp_distributed.title;
+      claim = Exp_distributed.claim;
+      run = Exp_distributed.run;
+    };
+    {
+      id = Exp_geometry_needed.id;
+      title = Exp_geometry_needed.title;
+      claim = Exp_geometry_needed.claim;
+      run = Exp_geometry_needed.run;
+    };
+  ]
+
+let find id =
+  let id = String.lowercase_ascii id in
+  List.find_opt (fun e -> String.lowercase_ascii e.id = id) all
+
+let run_and_render e ctx =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "---- %s: %s ----\n" e.id e.title);
+  Buffer.add_string buf ("claim: " ^ e.claim ^ "\n\n");
+  List.iter
+    (fun table -> Buffer.add_string buf (Stats.Table.render table ^ "\n"))
+    (e.run ctx);
+  Buffer.contents buf

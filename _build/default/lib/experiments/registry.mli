@@ -1,0 +1,18 @@
+(** The experiment registry: one entry per table/figure-level claim of the
+    paper (see DESIGN.md §3 and EXPERIMENTS.md for the full index). *)
+
+type t = {
+  id : string;  (** "E1" .. "E11" *)
+  title : string;
+  claim : string;  (** the paper claim being reproduced, in one paragraph *)
+  run : Context.t -> Stats.Table.t list;
+}
+
+val all : t list
+(** In id order. *)
+
+val find : string -> t option
+(** Case-insensitive lookup by id. *)
+
+val run_and_render : t -> Context.t -> string
+(** Run one experiment and render its claim plus all tables. *)

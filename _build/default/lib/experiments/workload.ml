@@ -1,0 +1,79 @@
+type results = {
+  attempted : int;
+  delivered : int;
+  dead_end : int;
+  exhausted : int;
+  cutoff : int;
+  steps : float array;
+  visited : float array;
+  stretches : float array;
+}
+
+let success_rate r =
+  if r.attempted = 0 then nan else float_of_int r.delivered /. float_of_int r.attempted
+
+let failure_rate r = 1.0 -. success_rate r
+
+let mean_steps r = if Array.length r.steps = 0 then nan else Stats.Summary.mean r.steps
+
+let mean_stretch r =
+  if Array.length r.stretches = 0 then nan else Stats.Summary.mean r.stretches
+
+let sample_pairs_any ~rng ~n ~count =
+  if n < 2 then invalid_arg "Workload.sample_pairs_any: need n >= 2";
+  Array.init count (fun _ -> Prng.Dist.sample_distinct_pair rng ~n)
+
+let pairs_from_pool ~rng ~pool ~count =
+  Array.init count (fun _ ->
+      let i, j = Prng.Dist.sample_distinct_pair rng ~n:(Array.length pool) in
+      (pool.(i), pool.(j)))
+
+let sample_pairs_giant ~rng ~graph ~count =
+  let comps = Sparse_graph.Components.compute graph in
+  let giant = Sparse_graph.Components.giant_members comps in
+  if Array.length giant < 2 then
+    sample_pairs_any ~rng ~n:(Sparse_graph.Graph.n graph) ~count
+  else pairs_from_pool ~rng ~pool:giant ~count
+
+let sample_pairs_heavy ~rng ~weights ~min_weight ~count =
+  let pool = ref [] in
+  Array.iteri (fun v w -> if w >= min_weight then pool := v :: !pool) weights;
+  let pool = Array.of_list !pool in
+  if Array.length pool < 2 then
+    invalid_arg "Workload.sample_pairs_heavy: fewer than two heavy vertices";
+  pairs_from_pool ~rng ~pool ~count
+
+let run ~graph ~objective_for ~protocol ?max_steps ?(with_stretch = false) ~pairs () =
+  let delivered = ref 0 and dead_end = ref 0 and exhausted = ref 0 and cutoff = ref 0 in
+  let steps = ref [] and visited = ref [] and stretches = ref [] in
+  Array.iter
+    (fun (source, target) ->
+      let objective = objective_for ~target in
+      let outcome =
+        Greedy_routing.Protocol.run protocol ~graph ~objective ~source ?max_steps ()
+      in
+      match outcome.Greedy_routing.Outcome.status with
+      | Greedy_routing.Outcome.Delivered ->
+          incr delivered;
+          steps := float_of_int outcome.steps :: !steps;
+          visited := float_of_int outcome.visited :: !visited;
+          if with_stretch then begin
+            match Sparse_graph.Bfs.distance graph ~source ~target with
+            | Some d when d > 0 ->
+                stretches := (float_of_int outcome.steps /. float_of_int d) :: !stretches
+            | Some _ | None -> ()
+          end
+      | Dead_end -> incr dead_end
+      | Exhausted -> incr exhausted
+      | Cutoff -> incr cutoff)
+    pairs;
+  {
+    attempted = Array.length pairs;
+    delivered = !delivered;
+    dead_end = !dead_end;
+    exhausted = !exhausted;
+    cutoff = !cutoff;
+    steps = Array.of_list !steps;
+    visited = Array.of_list !visited;
+    stretches = Array.of_list !stretches;
+  }

@@ -1,0 +1,53 @@
+(** Routing workloads: sample source–target pairs, run a protocol over them,
+    aggregate the outcome statistics every experiment reports. *)
+
+type results = {
+  attempted : int;
+  delivered : int;
+  dead_end : int;
+  exhausted : int;
+  cutoff : int;
+  steps : float array;  (** per delivered run *)
+  visited : float array;  (** per delivered run *)
+  stretches : float array;  (** per delivered run, only when requested *)
+}
+
+val success_rate : results -> float
+val failure_rate : results -> float
+
+val mean_steps : results -> float
+(** Mean steps over delivered runs ([nan] if none). *)
+
+val mean_stretch : results -> float
+
+val sample_pairs_any :
+  rng:Prng.Rng.t -> n:int -> count:int -> (int * int) array
+(** Uniform distinct pairs over all vertices (the adversary may thus pick
+    isolated targets — matching Theorem 3.1's setting). *)
+
+val sample_pairs_giant :
+  rng:Prng.Rng.t -> graph:Sparse_graph.Graph.t -> count:int -> (int * int) array
+(** Uniform distinct pairs within the largest component — the conditioning
+    of Theorems 3.3/3.4.  Falls back to {!sample_pairs_any} when the giant
+    has fewer than two vertices. *)
+
+val sample_pairs_heavy :
+  rng:Prng.Rng.t ->
+  weights:float array ->
+  min_weight:float ->
+  count:int ->
+  (int * int) array
+(** Pairs among vertices of weight at least [min_weight] (Theorem 3.2 (ii)).
+    @raise Invalid_argument if fewer than two such vertices exist. *)
+
+val run :
+  graph:Sparse_graph.Graph.t ->
+  objective_for:(target:int -> Greedy_routing.Objective.t) ->
+  protocol:Greedy_routing.Protocol.t ->
+  ?max_steps:int ->
+  ?with_stretch:bool ->
+  pairs:(int * int) array ->
+  unit ->
+  results
+(** Route each pair, optionally computing the stretch (greedy path length /
+    BFS distance) of delivered runs. *)

@@ -1,0 +1,1 @@
+lib/geometry/torus.ml: Array Float Printf Prng String

@@ -1,0 +1,1 @@
+lib/geometry/torus.mli: Prng

@@ -1,0 +1,67 @@
+type t = {
+  dim : int;
+  max_level : int;
+  codes : int array; (* deepest-level Morton code, ascending *)
+  order : int array; (* order.(k) = vertex id at sorted position k *)
+}
+
+let build ~dim ~max_level ~points ~ids =
+  if max_level > Morton.max_level ~dim then
+    invalid_arg "Grid.build: max_level too deep for dimension";
+  let n = Array.length ids in
+  let keyed =
+    Array.map (fun id -> (Morton.code_of_point ~dim ~level:max_level points.(id), id)) ids
+  in
+  Array.sort (fun (a, _) (b, _) -> compare a b) keyed;
+  ignore n;
+  {
+    dim;
+    max_level;
+    codes = Array.map fst keyed;
+    order = Array.map snd keyed;
+  }
+
+let dim t = t.dim
+let max_level t = t.max_level
+let size t = Array.length t.order
+
+(* First sorted position whose code is >= [key]. *)
+let lower_bound codes key =
+  let lo = ref 0 and hi = ref (Array.length codes) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if codes.(mid) < key then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let cell_range t ~level ~code =
+  if level < 0 || level > t.max_level then invalid_arg "Grid.cell_range: bad level";
+  let shift = t.dim * (t.max_level - level) in
+  let lo_key = code lsl shift in
+  let hi_key = (code + 1) lsl shift in
+  (lower_bound t.codes lo_key, lower_bound t.codes hi_key)
+
+let vertex_at t k = t.order.(k)
+
+let iter_cell t ~level ~code f =
+  let lo, hi = cell_range t ~level ~code in
+  for k = lo to hi - 1 do
+    f t.order.(k)
+  done
+
+let count_cell t ~level ~code =
+  let lo, hi = cell_range t ~level ~code in
+  hi - lo
+
+let nonempty_cells t ~level =
+  let shift = t.dim * (t.max_level - level) in
+  let rec collect k acc =
+    if k < 0 then acc
+    else begin
+      let code = t.codes.(k) lsr shift in
+      match acc with
+      | c :: _ when c = code -> collect (k - 1) acc
+      | _ -> collect (k - 1) (code :: acc)
+    end
+  in
+  collect (Array.length t.codes - 1) []

@@ -1,0 +1,36 @@
+(** A Morton-sorted spatial index over a set of points of [T^d].
+
+    Building sorts the given vertex ids by their deepest-level Morton code;
+    after that, the members of any cell at any level [0..max_level] form a
+    contiguous slice of the sorted order, found by binary search.  This is the
+    backbone of the near-linear GIRG sampler and of nearest-neighbour style
+    queries. *)
+
+type t
+
+val build : dim:int -> max_level:int -> points:Torus.point array -> ids:int array -> t
+(** [build ~dim ~max_level ~points ~ids] indexes the vertices listed in [ids];
+    [points] is indexed by vertex id (it may contain more points than [ids]).
+    @raise Invalid_argument if [max_level] exceeds [Morton.max_level ~dim]. *)
+
+val dim : t -> int
+val max_level : t -> int
+
+val size : t -> int
+(** Number of indexed vertices. *)
+
+val cell_range : t -> level:int -> code:int -> int * int
+(** [cell_range t ~level ~code] is the half-open slice [(lo, hi)] of sorted
+    positions whose vertices lie in the given cell. *)
+
+val vertex_at : t -> int -> int
+(** [vertex_at t k] is the vertex id at sorted position [k]. *)
+
+val iter_cell : t -> level:int -> code:int -> (int -> unit) -> unit
+(** Apply a function to every vertex id in a cell. *)
+
+val count_cell : t -> level:int -> code:int -> int
+(** Number of indexed vertices in a cell. *)
+
+val nonempty_cells : t -> level:int -> int list
+(** Codes of the distinct nonempty cells at [level], ascending. *)

@@ -1,0 +1,80 @@
+let max_level ~dim = 62 / dim
+
+let check ~dim ~level =
+  if dim < 1 then invalid_arg "Morton: dim must be >= 1";
+  if level < 0 || level > max_level ~dim then invalid_arg "Morton: level out of range"
+
+let encode ~dim ~level coords =
+  check ~dim ~level;
+  let code = ref 0 in
+  for b = 0 to level - 1 do
+    for i = 0 to dim - 1 do
+      let bit = (coords.(i) lsr b) land 1 in
+      code := !code lor (bit lsl ((b * dim) + i))
+    done
+  done;
+  !code
+
+let decode ~dim ~level code =
+  check ~dim ~level;
+  let coords = Array.make dim 0 in
+  for b = 0 to level - 1 do
+    for i = 0 to dim - 1 do
+      let bit = (code lsr ((b * dim) + i)) land 1 in
+      coords.(i) <- coords.(i) lor (bit lsl b)
+    done
+  done;
+  coords
+
+let cell_coords_of_point ~dim ~level p =
+  let cells_per_side = 1 lsl level in
+  let scale = float_of_int cells_per_side in
+  Array.init dim (fun i ->
+      let c = int_of_float (p.(i) *. scale) in
+      (* Guard against coordinates exactly at 1.0 after rounding. *)
+      if c >= cells_per_side then cells_per_side - 1 else if c < 0 then 0 else c)
+
+let code_of_point ~dim ~level p = encode ~dim ~level (cell_coords_of_point ~dim ~level p)
+
+let parent ~dim code = code lsr dim
+
+let to_level ~dim ~from_level ~to_level code =
+  if to_level > from_level then invalid_arg "Morton.to_level: cannot refine";
+  code lsr (dim * (from_level - to_level))
+
+let iter_neighbors ~dim ~level code f =
+  check ~dim ~level;
+  if level = 0 then f code
+  else begin
+    let cells_per_side = 1 lsl level in
+    let base = decode ~dim ~level code in
+    let offsets_per_dim = if cells_per_side >= 3 then 3 else cells_per_side in
+    let coords = Array.make dim 0 in
+    (* Enumerate offset vectors in {-1,0,1}^dim (deduplicated when the grid
+       has fewer than 3 cells per side). *)
+    let rec loop i =
+      if i = dim then f (encode ~dim ~level coords)
+      else
+        for o = 0 to offsets_per_dim - 1 do
+          let delta = if offsets_per_dim = 3 then o - 1 else o in
+          coords.(i) <- (base.(i) + delta + cells_per_side) mod cells_per_side;
+          loop (i + 1)
+        done
+    in
+    loop 0
+  end
+
+let cell_side ~level = 1.0 /. float_of_int (1 lsl level)
+
+let cell_min_dist ~dim ~level a b =
+  let cells_per_side = 1 lsl level in
+  let ca = decode ~dim ~level a and cb = decode ~dim ~level b in
+  let side = cell_side ~level in
+  let worst = ref 0 in
+  for i = 0 to dim - 1 do
+    let d = abs (ca.(i) - cb.(i)) in
+    let d = min d (cells_per_side - d) in
+    let gap = if d <= 1 then 0 else d - 1 in
+    if gap > !worst then worst := gap
+  done;
+  float_of_int !worst *. side

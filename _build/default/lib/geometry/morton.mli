@@ -1,0 +1,44 @@
+(** Morton (z-order) codes for hierarchical grids on the torus.
+
+    A level-[l] grid splits [T^d] into [2^(l*d)] cubic cells, [2^l] per side.
+    The Morton code of a cell interleaves the bits of its integer coordinates,
+    so that the cells of a coarser level are exactly the code *prefixes*: a
+    vertex array sorted by deepest-level code is simultaneously sorted for
+    every level, and each cell at each level is one contiguous slice. *)
+
+val max_level : dim:int -> int
+(** Deepest usable level for dimension [dim] (codes must fit in 62 bits). *)
+
+val encode : dim:int -> level:int -> int array -> int
+(** [encode ~dim ~level coords] interleaves the [dim] coordinates (each in
+    [[0, 2^level)]) into a Morton code. *)
+
+val decode : dim:int -> level:int -> int -> int array
+(** Inverse of {!encode}. *)
+
+val cell_coords_of_point : dim:int -> level:int -> Torus.point -> int array
+(** Integer cell coordinates of the cell containing the point. *)
+
+val code_of_point : dim:int -> level:int -> Torus.point -> int
+(** [encode] of {!cell_coords_of_point}. *)
+
+val parent : dim:int -> int -> int
+(** Code of the enclosing cell one level up. *)
+
+val to_level : dim:int -> from_level:int -> to_level:int -> int -> int
+(** [to_level ~dim ~from_level ~to_level code] converts a code between levels
+    ([to_level <= from_level]): the ancestor cell's code. *)
+
+val iter_neighbors : dim:int -> level:int -> int -> (int -> unit) -> unit
+(** [iter_neighbors ~dim ~level code f] applies [f] to the codes of all cells
+    whose coordinates differ from [code]'s by at most 1 in every dimension,
+    with toroidal wrap-around — including [code] itself.  Visits each distinct
+    cell exactly once (at level 0 this is just the single cell; at level 1
+    each axis has only 2 distinct cells). *)
+
+val cell_side : level:int -> float
+(** Side length [2^-level] of a cell. *)
+
+val cell_min_dist : dim:int -> level:int -> int -> int -> float
+(** Minimum possible L∞ distance between a point of the first cell and a point
+    of the second cell (toroidal); 0 for identical or touching cells. *)

@@ -1,0 +1,64 @@
+type point = float array
+
+type norm = Linf | L2 | L1
+
+let coord_dist a b =
+  let d = abs_float (a -. b) in
+  if d > 0.5 then 1.0 -. d else d
+
+let check_dims x y =
+  if Array.length x <> Array.length y then
+    invalid_arg "Torus: dimension mismatch"
+
+let dist_linf x y =
+  check_dims x y;
+  let acc = ref 0.0 in
+  for i = 0 to Array.length x - 1 do
+    let d = coord_dist x.(i) y.(i) in
+    if d > !acc then acc := d
+  done;
+  !acc
+
+let dist_l2 x y =
+  check_dims x y;
+  let acc = ref 0.0 in
+  for i = 0 to Array.length x - 1 do
+    let d = coord_dist x.(i) y.(i) in
+    acc := !acc +. (d *. d)
+  done;
+  sqrt !acc
+
+let dist_l1 x y =
+  check_dims x y;
+  let acc = ref 0.0 in
+  for i = 0 to Array.length x - 1 do
+    acc := !acc +. coord_dist x.(i) y.(i)
+  done;
+  !acc
+
+let dist ?(norm = Linf) x y =
+  match norm with Linf -> dist_linf x y | L2 -> dist_l2 x y | L1 -> dist_l1 x y
+
+let dist_fn = function Linf -> dist_linf | L2 -> dist_l2 | L1 -> dist_l1
+
+let random_point rng ~dim = Array.init dim (fun _ -> Prng.Rng.unit_float rng)
+
+let wrap x =
+  let f = x -. Float.of_int (int_of_float (floor x)) in
+  if f >= 1.0 then f -. 1.0 else if f < 0.0 then f +. 1.0 else f
+
+let add x y =
+  check_dims x y;
+  Array.init (Array.length x) (fun i -> wrap (x.(i) +. y.(i)))
+
+let ball_volume ~dim ~radius =
+  if radius <= 0.0 then 0.0
+  else Float.min 1.0 ((2.0 *. radius) ** float_of_int dim)
+
+let ball_radius_of_volume ~dim ~volume =
+  if volume <= 0.0 then 0.0
+  else (Float.min 1.0 volume ** (1.0 /. float_of_int dim)) /. 2.0
+
+let to_string p =
+  let coords = Array.to_list (Array.map (Printf.sprintf "%.4f") p) in
+  "(" ^ String.concat ", " coords ^ ")"

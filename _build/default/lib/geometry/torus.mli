@@ -1,0 +1,44 @@
+(** The d-dimensional unit torus [T^d = R^d / Z^d].
+
+    Points are float arrays of length [d] with coordinates in [[0, 1)].  The
+    paper's default metric is the wrap-around L∞ (max) norm; L1 and L2 are
+    provided because the GIRG definition is norm-agnostic up to constants. *)
+
+type point = float array
+
+type norm = Linf | L2 | L1
+
+val coord_dist : float -> float -> float
+(** [coord_dist a b] is the 1-dimensional wrap-around distance
+    [min (|a - b|) (1 - |a - b|)], always in [[0, 1/2]]. *)
+
+val dist : ?norm:norm -> point -> point -> float
+(** [dist x y] is the toroidal distance under [norm] (default [Linf]).
+    @raise Invalid_argument if dimensions differ. *)
+
+val dist_linf : point -> point -> float
+(** Specialised L∞ distance (the hot path of every sampler and router). *)
+
+val dist_fn : norm -> point -> point -> float
+(** The distance function for a norm, resolved once (for hot loops).
+    Note [dist_linf x y <= dist_fn L2 x y <= dist_fn L1 x y] pointwise, so
+    L∞-based cell separation bounds lower-bound every supported norm. *)
+
+val random_point : Prng.Rng.t -> dim:int -> point
+(** A uniform point of [T^d]. *)
+
+val wrap : float -> float
+(** [wrap x] maps [x] into [[0, 1)] by taking the fractional part. *)
+
+val add : point -> point -> point
+(** Coordinate-wise addition modulo 1. *)
+
+val ball_volume : dim:int -> radius:float -> float
+(** Volume of an L∞ ball of radius [r] on the torus:
+    [min 1 ((2 r)^d)]. *)
+
+val ball_radius_of_volume : dim:int -> volume:float -> float
+(** Inverse of {!ball_volume} for volumes in [[0, 1]]. *)
+
+val to_string : point -> string
+(** Human-readable rendering, e.g. ["(0.25, 0.75)"]. *)

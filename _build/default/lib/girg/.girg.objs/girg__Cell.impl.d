@@ -1,0 +1,1 @@
+lib/girg/cell.ml: Array Edge_buf Float Geometry Grid Kernel List Morton Prng Torus

@@ -1,0 +1,1 @@
+lib/girg/cell.mli: Geometry Kernel Prng

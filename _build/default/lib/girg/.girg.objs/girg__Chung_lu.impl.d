@@ -1,0 +1,1 @@
+lib/girg/chung_lu.ml: Array Edge_buf Float Fun Prng Sparse_graph

@@ -1,0 +1,1 @@
+lib/girg/chung_lu.mli: Prng Sparse_graph

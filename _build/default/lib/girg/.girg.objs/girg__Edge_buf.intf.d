@@ -1,0 +1,1 @@
+lib/girg/edge_buf.mli:

@@ -1,0 +1,1 @@
+lib/girg/instance.ml: Array Cell Geometry Kernel List Naive Params Prng Sparse_graph

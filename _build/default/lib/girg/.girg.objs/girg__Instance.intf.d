@@ -1,0 +1,1 @@
+lib/girg/instance.mli: Geometry Params Prng Sparse_graph

@@ -1,0 +1,1 @@
+lib/girg/kernel.ml: Float Geometry Params

@@ -1,0 +1,1 @@
+lib/girg/kernel.mli: Geometry Params

@@ -1,0 +1,1 @@
+lib/girg/naive.ml: Array Edge_buf Geometry Kernel Prng

@@ -1,0 +1,1 @@
+lib/girg/naive.mli: Geometry Kernel Prng

@@ -1,0 +1,1 @@
+lib/girg/params.ml: Geometry Printf

@@ -1,0 +1,1 @@
+lib/girg/params.mli: Geometry

@@ -1,0 +1,1 @@
+lib/girg/store.ml: Array Geometry Hashtbl In_channel Instance List Option Out_channel Params Printf Sparse_graph String

@@ -1,0 +1,1 @@
+lib/girg/store.mli: Instance

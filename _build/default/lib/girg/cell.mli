@@ -1,0 +1,46 @@
+(** Expected-near-linear GIRG edge sampler.
+
+    The sampler follows the hierarchical-grid scheme of Bringmann, Keusch and
+    Lengler (and the ESA'19 implementation by Bläsius et al.): vertices are
+    bucketed into geometric *weight layers*; for each pair of layers the grid
+    level whose cell volume matches the layers' connection scale (the
+    kernel's saturation volume) is the pair's *target level*.
+
+    A recursion over Morton-cell pairs starting at the root handles each
+    vertex pair exactly once per layer pair:
+
+    - {b type I}: at a layer pair's target level, all vertex pairs lying in
+      equal or neighbouring cells are tested exhaustively with their exact
+      probability;
+    - {b type II}: a cell pair that first becomes non-adjacent at some level
+      is processed immediately for every layer pair with a deeper target:
+      candidate pairs are enumerated by geometric skip-sampling under the
+      kernel's [upper] envelope and accepted with ratio [prob/upper].
+
+    Vertices with weight at or above [kernel.weight_cap] (only finite for
+    hyperbolic kernels) are excluded from the grid and tested exhaustively
+    against every other vertex.
+
+    The output is distributed exactly as the naive sampler's (each unordered
+    pair is connected independently with its kernel probability), at expected
+    cost roughly O(n + m) up to logarithmic factors. *)
+
+type stats = {
+  type1_pairs : int;  (** vertex pairs tested exhaustively *)
+  type2_trials : int;  (** skip-sampling candidates examined *)
+  cells_visited : int;  (** neighbour cell pairs expanded by the recursion *)
+}
+
+val sample_edges :
+  rng:Prng.Rng.t ->
+  kernel:Kernel.t ->
+  weights:float array ->
+  positions:Geometry.Torus.point array ->
+  (int * int) array
+
+val sample_edges_stats :
+  rng:Prng.Rng.t ->
+  kernel:Kernel.t ->
+  weights:float array ->
+  positions:Geometry.Torus.point array ->
+  (int * int) array * stats

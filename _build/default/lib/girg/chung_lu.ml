@@ -1,0 +1,40 @@
+let sample_edges ~rng ~weights =
+  let n = Array.length weights in
+  let buf = Edge_buf.create () in
+  if n >= 2 then begin
+    let total = Array.fold_left ( +. ) 0.0 weights in
+    (* Vertex ids sorted by decreasing weight: the candidate probability is
+       then non-increasing along the inner scan, which the skip-sampling
+       envelope needs. *)
+    let order = Array.init n Fun.id in
+    Array.sort (fun a b -> compare weights.(b) weights.(a)) order;
+    let w k = weights.(order.(k)) in
+    for i = 0 to n - 2 do
+      let j = ref (i + 1) in
+      let p = ref (Float.min 1.0 (w i *. w !j /. total)) in
+      while !j < n && !p > 0.0 do
+        let skip = Prng.Dist.geometric rng ~p:!p in
+        j := if skip > n then n else !j + skip;
+        if !j < n then begin
+          let q = Float.min 1.0 (w i *. w !j /. total) in
+          if q >= !p || Prng.Rng.unit_float rng < q /. !p then
+            Edge_buf.push buf order.(i) order.(!j);
+          p := q;
+          incr j
+        end
+      done
+    done
+  end;
+  Edge_buf.to_array buf
+
+type t = { weights : float array; graph : Sparse_graph.Graph.t }
+
+let generate ~rng ~weights =
+  let edges = sample_edges ~rng ~weights in
+  { weights; graph = Sparse_graph.Graph.of_edges ~n:(Array.length weights) edges }
+
+let generate_power_law ~rng ~n ~beta ~w_min =
+  let weights =
+    Array.init n (fun _ -> Prng.Dist.pareto rng ~x_min:w_min ~exponent:beta)
+  in
+  generate ~rng ~weights

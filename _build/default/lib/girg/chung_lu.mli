@@ -1,0 +1,29 @@
+(** Chung–Lu random graphs — the non-geometric ancestor of GIRGs.
+
+    Vertices carry weights; each pair connects independently with probability
+    [min(1, w_u w_v / W)] where [W] is the total weight.  Lemma 7.1 of the
+    paper shows GIRGs have exactly these marginal connection probabilities —
+    "GIRGs can be interpreted as a geometric variant of Chung-Lu random
+    graphs".  Experiment E17 uses this model to show that the geometry, not
+    the degree sequence, is what makes greedy routing possible.
+
+    Sampling follows Miller & Hagberg (2011): vertices sorted by decreasing
+    weight; for each [u] the candidates [v > u] are enumerated by geometric
+    skip-sampling under the running probability bound [min(1, w_u w_v / W)],
+    giving expected O(n + m) time. *)
+
+val sample_edges :
+  rng:Prng.Rng.t -> weights:float array -> (int * int) array
+(** Edge list over the vertex ids of [weights]. *)
+
+type t = {
+  weights : float array;
+  graph : Sparse_graph.Graph.t;
+}
+
+val generate : rng:Prng.Rng.t -> weights:float array -> t
+
+val generate_power_law :
+  rng:Prng.Rng.t -> n:int -> beta:float -> w_min:float -> t
+(** Weights drawn from the same Pareto law as a GIRG with these
+    parameters — E17 pairs instances this way. *)

@@ -1,0 +1,17 @@
+type t = { mutable data : int array; mutable len : int (* in ints, 2 per edge *) }
+
+let create ?(capacity = 1024) () = { data = Array.make (max 2 (2 * capacity)) 0; len = 0 }
+
+let push t u v =
+  if t.len + 2 > Array.length t.data then begin
+    let bigger = Array.make (2 * Array.length t.data) 0 in
+    Array.blit t.data 0 bigger 0 t.len;
+    t.data <- bigger
+  end;
+  t.data.(t.len) <- u;
+  t.data.(t.len + 1) <- v;
+  t.len <- t.len + 2
+
+let length t = t.len / 2
+
+let to_array t = Array.init (length t) (fun i -> (t.data.(2 * i), t.data.((2 * i) + 1)))

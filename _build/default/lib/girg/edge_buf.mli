@@ -1,0 +1,13 @@
+(** Growable buffer of undirected edges (amortised O(1) push). *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+val push : t -> int -> int -> unit
+
+val length : t -> int
+(** Number of edges pushed. *)
+
+val to_array : t -> (int * int) array
+(** Fresh array of the pushed edges, in push order. *)

@@ -1,0 +1,80 @@
+type sampler = Auto | Use_naive | Use_cell
+
+type t = {
+  params : Params.t;
+  weights : float array;
+  positions : Geometry.Torus.point array;
+  graph : Sparse_graph.Graph.t;
+}
+
+let threshold_n = 600
+
+let sample_weights ~rng ~params ~count =
+  Array.init count (fun _ ->
+      Prng.Dist.pareto rng ~x_min:params.Params.w_min ~exponent:params.Params.beta)
+
+let sample_positions ~rng ~params ~count =
+  Array.init count (fun _ -> Geometry.Torus.random_point rng ~dim:params.Params.dim)
+
+let vertex_count ~rng ~params =
+  if params.Params.poisson_count then
+    Prng.Dist.poisson rng ~mean:(float_of_int params.Params.n)
+  else params.Params.n
+
+let generate_with ?(sampler = Auto) ~rng ~params ~weights ~positions () =
+  let params = Params.validate_exn params in
+  let count = Array.length weights in
+  if Array.length positions <> count then invalid_arg "Instance.generate_with: length mismatch";
+  let kernel = Kernel.girg params in
+  let edges =
+    let use_cell =
+      match sampler with
+      | Use_cell -> true
+      | Use_naive -> false
+      | Auto -> count > threshold_n
+    in
+    if use_cell then Cell.sample_edges ~rng ~kernel ~weights ~positions
+    else Naive.sample_edges ~rng ~kernel ~weights ~positions
+  in
+  { params; weights; positions; graph = Sparse_graph.Graph.of_edges ~n:count edges }
+
+let generate ?(sampler = Auto) ~rng params =
+  let params = Params.validate_exn params in
+  let rng_count = Prng.Rng.split rng in
+  let rng_weights = Prng.Rng.split rng in
+  let rng_positions = Prng.Rng.split rng in
+  let rng_edges = Prng.Rng.split rng in
+  let count = vertex_count ~rng:rng_count ~params in
+  let weights = sample_weights ~rng:rng_weights ~params ~count in
+  let positions = sample_positions ~rng:rng_positions ~params ~count in
+  generate_with ~sampler ~rng:rng_edges ~params ~weights ~positions ()
+
+let generate_pinned ?(sampler = Auto) ~rng ~params ~pinned () =
+  let params = Params.validate_exn params in
+  List.iter
+    (fun ((w : float), x) ->
+      if w < params.Params.w_min then
+        invalid_arg "Girg.generate_pinned: pinned weight below w_min";
+      if Array.length x <> params.Params.dim then
+        invalid_arg "Girg.generate_pinned: pinned position has wrong dimension")
+    pinned;
+  let rng_count = Prng.Rng.split rng in
+  let rng_weights = Prng.Rng.split rng in
+  let rng_positions = Prng.Rng.split rng in
+  let rng_edges = Prng.Rng.split rng in
+  let k = List.length pinned in
+  let count = max k (vertex_count ~rng:rng_count ~params) in
+  let weights = sample_weights ~rng:rng_weights ~params ~count in
+  let positions = sample_positions ~rng:rng_positions ~params ~count in
+  List.iteri
+    (fun i (w, x) ->
+      weights.(i) <- w;
+      positions.(i) <- Array.copy x)
+    pinned;
+  generate_with ~sampler ~rng:rng_edges ~params ~weights ~positions ()
+
+let connection_prob t u v =
+  let dist = Geometry.Torus.dist_fn t.params.Params.norm t.positions.(u) t.positions.(v) in
+  Kernel.girg_prob t.params ~wu:t.weights.(u) ~wv:t.weights.(v) ~dist
+
+let expected_avg_weight (p : Params.t) = p.w_min *. (p.beta -. 1.0) /. (p.beta -. 2.0)

@@ -1,0 +1,68 @@
+(** Geometric inhomogeneous random graphs (Section 2.1 of the paper).
+
+    An instance bundles the sampled weights, positions, and the resulting
+    graph; the routing protocols of [greedy_routing] take instances of this
+    type (or anything exposing the same data). *)
+
+type sampler =
+  | Auto  (** {!Cell} above {!threshold_n} vertices, {!Naive} below *)
+  | Use_naive
+  | Use_cell
+
+type t = {
+  params : Params.t;
+  weights : float array;
+  positions : Geometry.Torus.point array;
+  graph : Sparse_graph.Graph.t;
+}
+
+val threshold_n : int
+(** Instance size below which [Auto] prefers the naive sampler (small graphs
+    build faster without the grid machinery). *)
+
+val sample_weights : rng:Prng.Rng.t -> params:Params.t -> count:int -> float array
+(** Power-law weights: density proportional to [w^-beta] on [w >= w_min]. *)
+
+val sample_positions :
+  rng:Prng.Rng.t -> params:Params.t -> count:int -> Geometry.Torus.point array
+(** Independent uniform positions on [T^dim]. *)
+
+val vertex_count : rng:Prng.Rng.t -> params:Params.t -> int
+(** Poisson(n) when [params.poisson_count], else exactly [n]. *)
+
+val generate : ?sampler:sampler -> rng:Prng.Rng.t -> Params.t -> t
+(** Sample a complete instance: vertex count, weights, positions, edges.
+    The rng is split into independent substreams per stage, so e.g. the
+    weights of instance [k] do not depend on which sampler was used. *)
+
+val generate_with :
+  ?sampler:sampler ->
+  rng:Prng.Rng.t ->
+  params:Params.t ->
+  weights:float array ->
+  positions:Geometry.Torus.point array ->
+  unit ->
+  t
+(** Build an instance from externally chosen weights/positions (used to pin
+    source/target vertices adversarially, as the paper's theorems allow). *)
+
+val generate_pinned :
+  ?sampler:sampler ->
+  rng:Prng.Rng.t ->
+  params:Params.t ->
+  pinned:(float * Geometry.Torus.point) list ->
+  unit ->
+  t
+(** The adversarial setting of the paper's theorems: "an adversary may pick
+    weights and positions of s and t, while the remaining vertices and all
+    edges are drawn randomly".  The k pinned (weight, position) pairs become
+    vertices [0 .. k-1]; everything else is sampled as in {!generate}.
+    @raise Invalid_argument if a pinned weight is below [w_min] or a pinned
+    position has the wrong dimension. *)
+
+val connection_prob : t -> int -> int -> float
+(** Exact connection probability of a vertex pair in this instance: the
+    quantity greedy routing maximises towards the target. *)
+
+val expected_avg_weight : Params.t -> float
+(** Mean of the weight distribution: [w_min (beta-1)/(beta-2)]. *)

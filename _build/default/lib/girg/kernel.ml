@@ -1,0 +1,57 @@
+type t = {
+  name : string;
+  dim : int;
+  norm : Geometry.Torus.norm;
+  prob : wu:float -> wv:float -> dist:float -> float;
+  upper : wu_ub:float -> wv_ub:float -> min_dist:float -> float;
+  saturation_volume : wu_ub:float -> wv_ub:float -> float;
+  weight_cap : float;
+}
+
+(* [dist^d] without the general [( ** )] for the common small dimensions. *)
+let dist_pow ~dim dist =
+  match dim with
+  | 1 -> dist
+  | 2 -> dist *. dist
+  | 3 -> dist *. dist *. dist
+  | _ -> dist ** float_of_int dim
+
+let girg_prob_fun (p : Params.t) =
+  let denom = p.w_min *. float_of_int p.n in
+  let dim = p.dim in
+  let decay =
+    match p.alpha with
+    | Params.Infinite -> fun _ -> 0.0
+    | Params.Finite a when Float.equal a 2.0 -> fun q -> q *. q
+    | Params.Finite a when Float.equal a 3.0 -> fun q -> q *. q *. q
+    | Params.Finite a -> fun q -> q ** a
+  in
+  let c = p.c in
+  fun ~wu ~wv ~dist ->
+    let dist_d = dist_pow ~dim dist in
+    if dist_d <= 0.0 then 1.0
+    else begin
+      let q = c *. wu *. wv /. (denom *. dist_d) in
+      if q >= 1.0 then 1.0 else decay q
+    end
+
+let girg_prob p ~wu ~wv ~dist = girg_prob_fun p ~wu ~wv ~dist
+
+let girg (p : Params.t) =
+  let p = Params.validate_exn p in
+  let prob = girg_prob_fun p in
+  (* [girg_prob] is nondecreasing in both weights and nonincreasing in the
+     distance, so plugging the bounds straight in yields a valid envelope. *)
+  let upper ~wu_ub ~wv_ub ~min_dist = girg_prob p ~wu:wu_ub ~wv:wv_ub ~dist:min_dist in
+  let saturation_volume ~wu_ub ~wv_ub =
+    p.c *. wu_ub *. wv_ub /. (p.w_min *. float_of_int p.n)
+  in
+  {
+    name = Params.to_string p;
+    dim = p.dim;
+    norm = p.norm;
+    prob;
+    upper;
+    saturation_volume;
+    weight_cap = infinity;
+  }

@@ -1,0 +1,41 @@
+(** Edge-probability kernels.
+
+    A kernel packages everything a sampler needs to know about the edge
+    distribution of a geometric model:
+
+    - [prob ~wu ~wv ~dist]: the exact connection probability of a vertex pair
+      with the given weights at the given toroidal distance;
+    - [upper ~wu_ub ~wv_ub ~min_dist]: an upper bound on [prob] valid for all
+      weights below the bounds and all distances above [min_dist] — the
+      rejection envelope of the cell sampler's type-II skip sampling;
+    - [saturation_volume ~wu_ub ~wv_ub]: the distance^d scale below which
+      [upper] stops being informative (≈ 1); the cell sampler picks the grid
+      level of a weight-layer pair so that one cell has about this volume;
+    - [weight_cap]: weights at or above the cap break the monotonicity of the
+      bound (only hyperbolic kernels have a finite cap); the cell sampler
+      handles such vertices exhaustively against everyone.
+
+    Invariant required of every kernel: for all [wu <= wu_ub], [wv <= wv_ub],
+    [dist >= min_dist > 0]:
+    [prob ~wu ~wv ~dist <= upper ~wu_ub ~wv_ub ~min_dist]. *)
+
+type t = {
+  name : string;
+  dim : int;
+  norm : Geometry.Torus.norm;
+      (** the norm [prob]'s [dist] argument is measured in; samplers must
+          compute pair distances with it.  L∞ cell-separation lower bounds
+          remain valid for every supported norm (L∞ <= L2 <= L1). *)
+  prob : wu:float -> wv:float -> dist:float -> float;
+  upper : wu_ub:float -> wv_ub:float -> min_dist:float -> float;
+  saturation_volume : wu_ub:float -> wv_ub:float -> float;
+  weight_cap : float;  (** [infinity] when no cap is needed *)
+}
+
+val girg : Params.t -> t
+(** The GIRG kernel [min(1, (c q)^alpha)], threshold variant for
+    [alpha = Infinite] ([1] iff [c q >= 1]). *)
+
+val girg_prob : Params.t -> wu:float -> wv:float -> dist:float -> float
+(** Direct access to the GIRG connection probability (used by objectives and
+    by tests). *)

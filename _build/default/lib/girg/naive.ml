@@ -1,0 +1,14 @@
+let sample_edges ~rng ~kernel ~weights ~positions =
+  let n = Array.length weights in
+  if Array.length positions <> n then invalid_arg "Naive.sample_edges: length mismatch";
+  let buf = Edge_buf.create () in
+  let prob = kernel.Kernel.prob in
+  let dist_fn = Geometry.Torus.dist_fn kernel.Kernel.norm in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      let dist = dist_fn positions.(u) positions.(v) in
+      let p = prob ~wu:weights.(u) ~wv:weights.(v) ~dist in
+      if p > 0.0 && (p >= 1.0 || Prng.Rng.unit_float rng < p) then Edge_buf.push buf u v
+    done
+  done;
+  Edge_buf.to_array buf

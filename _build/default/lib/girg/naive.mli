@@ -1,0 +1,13 @@
+(** Reference edge sampler: test all O(n²) vertex pairs independently.
+
+    This is the executable specification of the model — slow but obviously
+    correct.  The cell sampler is property-tested against it. *)
+
+val sample_edges :
+  rng:Prng.Rng.t ->
+  kernel:Kernel.t ->
+  weights:float array ->
+  positions:Geometry.Torus.point array ->
+  (int * int) array
+(** Independent Bernoulli trial per unordered pair, probability given by the
+    kernel at the pair's L∞ torus distance. *)

@@ -1,0 +1,65 @@
+type alpha = Finite of float | Infinite
+
+type t = {
+  n : int;
+  dim : int;
+  beta : float;
+  w_min : float;
+  alpha : alpha;
+  c : float;
+  norm : Geometry.Torus.norm;
+  poisson_count : bool;
+}
+
+let default =
+  {
+    n = 10_000;
+    dim = 2;
+    beta = 2.5;
+    w_min = 1.0;
+    alpha = Finite 2.0;
+    c = 1.0;
+    norm = Geometry.Torus.Linf;
+    poisson_count = true;
+  }
+
+let validate t =
+  if t.n < 1 then Error "n must be >= 1"
+  else if t.dim < 1 then Error "dim must be >= 1"
+  else if not (t.beta > 2.0 && t.beta < 3.0) then Error "beta must lie in (2, 3)"
+  else if not (t.w_min > 0.0) then Error "w_min must be positive"
+  else if not (t.c > 0.0) then Error "c must be positive"
+  else
+    match t.alpha with
+    | Infinite -> Ok t
+    | Finite a -> if a > 1.0 then Ok t else Error "alpha must exceed 1"
+
+let validate_exn t =
+  match validate t with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Girg.Params: " ^ msg)
+
+let make ?(dim = default.dim) ?(beta = default.beta) ?(w_min = default.w_min)
+    ?(alpha = default.alpha) ?(c = default.c) ?(norm = default.norm)
+    ?(poisson_count = default.poisson_count) ~n () =
+  validate_exn { n; dim; beta; w_min; alpha; c; norm; poisson_count }
+
+let alpha_to_string = function
+  | Infinite -> "inf"
+  | Finite a -> Printf.sprintf "%g" a
+
+let norm_to_string = function
+  | Geometry.Torus.Linf -> "linf"
+  | Geometry.Torus.L2 -> "l2"
+  | Geometry.Torus.L1 -> "l1"
+
+let norm_of_string = function
+  | "linf" -> Some Geometry.Torus.Linf
+  | "l2" -> Some Geometry.Torus.L2
+  | "l1" -> Some Geometry.Torus.L1
+  | _ -> None
+
+let to_string t =
+  Printf.sprintf "girg(n=%d, d=%d, beta=%g, w_min=%g, alpha=%s, c=%g, %s, %s)" t.n t.dim
+    t.beta t.w_min (alpha_to_string t.alpha) t.c (norm_to_string t.norm)
+    (if t.poisson_count then "poisson" else "fixed")

@@ -1,0 +1,57 @@
+(** Parameters of the geometric inhomogeneous random graph model (Section 2.1
+    of the paper).
+
+    A GIRG is controlled by the expected vertex count [n] (the intensity of
+    the Poisson point process), the torus dimension [d], the power-law
+    exponent [beta] of the weight distribution (2 < beta < 3), the minimum
+    weight [w_min], and the decay parameter [alpha > 1] (with [alpha = ∞] the
+    threshold model (EP2)).  The constant [c] tunes the concrete edge
+    probability [p_uv = min(1, (c q)^alpha)] with
+    [q = w_u w_v / (w_min n dist^d)]; any [c >= 1] realises condition (EP3)
+    ([p_uv = 1] for sufficiently close pairs). *)
+
+type alpha = Finite of float | Infinite
+
+type t = {
+  n : int;  (** expected number of vertices (PPP intensity) *)
+  dim : int;  (** torus dimension [d >= 1] *)
+  beta : float;  (** power-law exponent, in (2, 3) *)
+  w_min : float;  (** minimum weight, > 0 *)
+  alpha : alpha;  (** decay parameter, > 1 if finite *)
+  c : float;  (** probability constant, > 0; [>= 1] gives (EP3) *)
+  norm : Geometry.Torus.norm;
+      (** the norm of the underlying geometry; the paper allows any norm
+          (constants are absorbed by the Theta in (EP1)/(EP2)) *)
+  poisson_count : bool;
+      (** if [true] (default) the vertex count is Poisson(n); if [false]
+          exactly [n] vertices are placed (the model of [16], footnote 13) *)
+}
+
+val default : t
+(** n = 10_000, dim = 2, beta = 2.5, w_min = 1.0, alpha = Finite 2.0,
+    c = 1.0, norm = Linf, poisson_count = true. *)
+
+val make :
+  ?dim:int ->
+  ?beta:float ->
+  ?w_min:float ->
+  ?alpha:alpha ->
+  ?c:float ->
+  ?norm:Geometry.Torus.norm ->
+  ?poisson_count:bool ->
+  n:int ->
+  unit ->
+  t
+(** Build and {!validate} a parameter record. *)
+
+val validate : t -> (t, string) result
+(** Checks all the domain constraints listed above. *)
+
+val validate_exn : t -> t
+(** @raise Invalid_argument when {!validate} fails. *)
+
+val alpha_to_string : alpha -> string
+val norm_to_string : Geometry.Torus.norm -> string
+val norm_of_string : string -> Geometry.Torus.norm option
+
+val to_string : t -> string

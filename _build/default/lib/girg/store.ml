@@ -1,0 +1,160 @@
+let alpha_to_field = function
+  | Params.Infinite -> "inf"
+  | Params.Finite a -> Printf.sprintf "%h" a
+
+let alpha_of_field = function
+  | "inf" -> Some Params.Infinite
+  | s -> Option.map (fun a -> Params.Finite a) (float_of_string_opt s)
+
+let save ~path (inst : Instance.t) =
+  Out_channel.with_open_text path (fun oc ->
+      let p = inst.params in
+      let count = Array.length inst.weights in
+      Printf.fprintf oc "# smallworld-girg n=%d dim=%d beta=%h w_min=%h alpha=%s c=%h norm=%s poisson=%b count=%d\n"
+        p.Params.n p.Params.dim p.Params.beta p.Params.w_min (alpha_to_field p.Params.alpha)
+        p.Params.c (Params.norm_to_string p.Params.norm) p.Params.poisson_count count;
+      for v = 0 to count - 1 do
+        Printf.fprintf oc "%d %h" v inst.weights.(v);
+        Array.iter (fun x -> Printf.fprintf oc " %h" x) inst.positions.(v);
+        Out_channel.output_char oc '\n'
+      done;
+      Printf.fprintf oc "edges %d\n" (Sparse_graph.Graph.m inst.graph);
+      Sparse_graph.Graph.iter_edges inst.graph (fun u v -> Printf.fprintf oc "%d %d\n" u v))
+
+let parse_header line =
+  let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  match String.split_on_char ' ' (String.trim line) with
+  | "#" :: "smallworld-girg" :: fields -> begin
+      let kv = Hashtbl.create 8 in
+      List.iter
+        (fun field ->
+          match String.index_opt field '=' with
+          | Some i ->
+              Hashtbl.replace kv
+                (String.sub field 0 i)
+                (String.sub field (i + 1) (String.length field - i - 1))
+          | None -> ())
+        fields;
+      let get key = Hashtbl.find_opt kv key in
+      let norm =
+        match get "norm" with
+        | None -> Some Geometry.Torus.Linf (* older files predate the field *)
+        | Some s -> Params.norm_of_string s
+      in
+      match
+        ( Option.bind (get "n") int_of_string_opt,
+          Option.bind (get "dim") int_of_string_opt,
+          Option.bind (get "beta") float_of_string_opt,
+          Option.bind (get "w_min") float_of_string_opt,
+          Option.bind (get "alpha") alpha_of_field,
+          (Option.bind (get "c") float_of_string_opt, norm),
+          Option.bind (get "poisson") bool_of_string_opt,
+          Option.bind (get "count") int_of_string_opt )
+      with
+      | Some n, Some dim, Some beta, Some w_min, Some alpha, (Some c, Some norm), Some poisson, Some count
+        -> begin
+          match
+            Params.validate
+              { Params.n; dim; beta; w_min; alpha; c; norm; poisson_count = poisson }
+          with
+          | Ok params -> Ok (params, count)
+          | Error e -> fail "invalid parameters in header: %s" e
+        end
+      | _ -> fail "missing or malformed header fields"
+    end
+  | _ -> fail "not a smallworld-girg file"
+
+let load ~path =
+  let parse ic =
+    let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+    match In_channel.input_line ic with
+    | None -> Error "empty file"
+    | Some header -> begin
+        match parse_header header with
+        | Error e -> Error e
+        | Ok (params, count) -> begin
+            let weights = Array.make count 0.0 in
+            let positions = Array.make count [||] in
+            let error = ref None in
+            (try
+               for v = 0 to count - 1 do
+                 match In_channel.input_line ic with
+                 | None -> raise Exit
+                 | Some line -> begin
+                     match String.split_on_char ' ' (String.trim line) with
+                     | id_str :: w_str :: coord_strs
+                       when List.length coord_strs = params.Params.dim -> begin
+                         match
+                           ( int_of_string_opt id_str,
+                             float_of_string_opt w_str,
+                             List.map float_of_string_opt coord_strs )
+                         with
+                         | Some id, Some w, coords
+                           when id = v && List.for_all Option.is_some coords ->
+                             weights.(v) <- w;
+                             positions.(v) <-
+                               Array.of_list (List.map Option.get coords)
+                         | _ ->
+                             error := Some (Printf.sprintf "bad vertex line %d" v);
+                             raise Exit
+                       end
+                     | _ ->
+                         error := Some (Printf.sprintf "bad vertex line %d" v);
+                         raise Exit
+                   end
+               done
+             with Exit -> if !error = None then error := Some "truncated vertex section");
+            match !error with
+            | Some e -> Error e
+            | None -> begin
+                match In_channel.input_line ic with
+                | Some sep -> begin
+                    match String.split_on_char ' ' (String.trim sep) with
+                    | [ "edges"; m_str ] -> begin
+                        match int_of_string_opt m_str with
+                        | Some m -> begin
+                            let edges = ref [] in
+                            let ok = ref true in
+                            (try
+                               for _ = 1 to m do
+                                 match In_channel.input_line ic with
+                                 | None -> raise Exit
+                                 | Some line -> begin
+                                     match
+                                       String.split_on_char ' ' (String.trim line)
+                                     with
+                                     | [ u_str; v_str ] -> begin
+                                         match
+                                           (int_of_string_opt u_str, int_of_string_opt v_str)
+                                         with
+                                         | Some u, Some v
+                                           when u >= 0 && u < count && v >= 0 && v < count ->
+                                             edges := (u, v) :: !edges
+                                         | _ -> raise Exit
+                                       end
+                                     | _ -> raise Exit
+                                   end
+                               done
+                             with Exit -> ok := false);
+                            if not !ok then Error "truncated or malformed edge section"
+                            else
+                              Ok
+                                {
+                                  Instance.params;
+                                  weights;
+                                  positions;
+                                  graph = Sparse_graph.Graph.of_edge_list ~n:count !edges;
+                                }
+                          end
+                        | None -> fail "bad edge count %s" m_str
+                      end
+                    | _ -> fail "expected 'edges m' separator, got %s" sep
+                  end
+                | None -> Error "missing edge section"
+              end
+          end
+      end
+  in
+  match In_channel.with_open_text path parse with
+  | result -> result
+  | exception Sys_error msg -> Error msg

@@ -1,0 +1,14 @@
+(** Persistence for complete GIRG instances (parameters, weights, positions,
+    edges), so that expensive samples can be routed on repeatedly or shared
+    with external tooling.
+
+    Format (plain text): a ["# smallworld-girg"] header carrying the
+    parameters, one ["v w x_1 .. x_d"] line per vertex, an ["edges m"]
+    separator, then one ["u v"] line per edge. *)
+
+val save : path:string -> Instance.t -> unit
+
+val load : path:string -> (Instance.t, string) result
+(** [Error] with a diagnostic on malformed or unreadable files.  Loading
+    reconstructs exactly the saved weights/positions/edges (floats round-trip
+    through the shortest exact decimal representation). *)

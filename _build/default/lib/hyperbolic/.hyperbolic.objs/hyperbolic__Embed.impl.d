@@ -1,0 +1,1 @@
+lib/hyperbolic/embed.ml: Array Float Fun Hrg List Prng Queue Sparse_graph Stack

@@ -1,0 +1,1 @@
+lib/hyperbolic/embed.mli: Hrg Prng Sparse_graph

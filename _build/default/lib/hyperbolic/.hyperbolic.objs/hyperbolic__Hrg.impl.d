@@ -1,0 +1,1 @@
+lib/hyperbolic/hrg.ml: Array Float Geometry Girg Printf Prng Sparse_graph

@@ -1,0 +1,1 @@
+lib/hyperbolic/hrg.mli: Geometry Girg Prng Sparse_graph

@@ -1,0 +1,50 @@
+(** Hyperbolic embedding of bare graphs — a lightweight version of the
+    pipeline of Boguñá, Papadopoulos & Krioukov ("Sustaining the Internet
+    with hyperbolic mapping", [11] in the paper): infer coordinates for a
+    graph that has none, then run greedy geometric routing on them.
+
+    The algorithm:
+
+    - {b radii from degrees}: [r_v = 2 ln (n / max(0.5, deg v))] — degrees
+      concentrate around Θ(w_v), and by Theorem 3.5 a constant-factor weight
+      error is harmless for routing;
+    - {b angles from a spanning forest}: a BFS tree per component (largest
+      components first, roots of maximum degree) laid out by recursive
+      sector splitting, each subtree receiving an angular sector
+      proportional to its size.  Tree edges are angularly local by
+      construction, and BFS trees of hyperbolic graphs follow the underlying
+      geometry closely (cf. the tree-based methods of [66]);
+    - optional {b windowed likelihood refinement}: sweeps that move each
+      vertex within a shrinking angular window towards the angle that best
+      explains its edges.  The window prevents the attraction-only
+      likelihood from collapsing the circle.  Refinement tightens edge
+      locality but can perturb the global sector order, so it is off by
+      default — routing quality is the criterion that matters ([11]), and
+      the raw tree layout routes best.
+
+    Experiment E15 measures the result the way [11] did: by how well greedy
+    routing performs on the inferred coordinates. *)
+
+type t = {
+  params : Hrg.params;  (** the assumed model (n from the graph) *)
+  coords : Hrg.polar array;  (** inferred coordinates per vertex *)
+}
+
+val infer :
+  rng:Prng.Rng.t ->
+  graph:Sparse_graph.Graph.t ->
+  ?fit_temperature:float ->
+  ?candidates:int ->
+  ?refinement_sweeps:int ->
+  unit ->
+  t
+(** Defaults: [fit_temperature = 0.5] (refinement likelihood smoothing),
+    [candidates = 32] angles tested per refinement move,
+    [refinement_sweeps = 0].  Cost: O(n + m) for the layout plus
+    O(sweeps · candidates · m) for refinement.
+    @raise Invalid_argument on an empty graph. *)
+
+val to_hrg : t -> graph:Sparse_graph.Graph.t -> Hrg.t
+(** Package an embedding as an [Hrg.t] (GIRG-equivalent weights and
+    positions derived from the inferred coordinates), so the routing
+    objectives of the core library apply unchanged. *)

@@ -1,0 +1,1 @@
+lib/kleinberg/lattice.ml: Array Prng Sparse_graph

@@ -1,0 +1,1 @@
+lib/kleinberg/lattice.mli: Prng Sparse_graph

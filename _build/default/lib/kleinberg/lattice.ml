@@ -1,0 +1,101 @@
+type params = { side : int; long_range : int; exponent : float }
+
+let make ?(long_range = 1) ?(exponent = 2.0) ~side () =
+  if side < 2 then invalid_arg "Lattice.make: side must be >= 2";
+  if long_range < 0 then invalid_arg "Lattice.make: long_range must be >= 0";
+  if exponent < 0.0 then invalid_arg "Lattice.make: exponent must be >= 0";
+  { side; long_range; exponent }
+
+type t = { params : params; graph : Sparse_graph.Graph.t }
+
+let n t = t.params.side * t.params.side
+
+let coords p v = (v / p.side, v mod p.side)
+
+let vertex p (i, j) =
+  let wrap x = ((x mod p.side) + p.side) mod p.side in
+  (wrap i * p.side) + wrap j
+
+let axis_dist side a b =
+  let d = abs (a - b) in
+  min d (side - d)
+
+let manhattan p u v =
+  let ui, uj = coords p u and vi, vj = coords p v in
+  axis_dist p.side ui vi + axis_dist p.side uj vj
+
+(* Offsets (di, dj) grouped by toroidal Manhattan distance, plus the
+   cumulative sampling weights  ring_size(l) * l^-exponent. *)
+let build_distance_table p =
+  let side = p.side in
+  let max_d = 2 * (side / 2) in
+  let groups = Array.make (max_d + 1) [] in
+  for di = -((side - 1) / 2) to side / 2 do
+    for dj = -((side - 1) / 2) to side / 2 do
+      if di <> 0 || dj <> 0 then begin
+        let d = abs di + abs dj in
+        groups.(d) <- (di, dj) :: groups.(d)
+      end
+    done
+  done;
+  let offsets = Array.map Array.of_list groups in
+  let cumulative = Array.make (max_d + 1) 0.0 in
+  let acc = ref 0.0 in
+  for d = 1 to max_d do
+    acc := !acc +. (float_of_int (Array.length offsets.(d)) *. (float_of_int d ** -.p.exponent));
+    cumulative.(d) <- !acc
+  done;
+  (offsets, cumulative)
+
+let sample_offset rng offsets cumulative =
+  let max_d = Array.length cumulative - 1 in
+  let total = cumulative.(max_d) in
+  let u = Prng.Rng.unit_float rng *. total in
+  (* Binary search for the smallest distance with cumulative weight > u. *)
+  let lo = ref 1 and hi = ref max_d in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cumulative.(mid) > u then hi := mid else lo := mid + 1
+  done;
+  let ring = offsets.(!lo) in
+  ring.(Prng.Rng.int rng (Array.length ring))
+
+let generate ~rng p =
+  let side = p.side in
+  let count = side * side in
+  let buf = ref [] in
+  (* Grid edges: right and down neighbour of every vertex (torus). *)
+  for v = 0 to count - 1 do
+    let i, j = coords p v in
+    buf := (v, vertex p (i, j + 1)) :: (v, vertex p (i + 1, j)) :: !buf
+  done;
+  if p.long_range > 0 then begin
+    let offsets, cumulative = build_distance_table p in
+    for v = 0 to count - 1 do
+      let i, j = coords p v in
+      for _ = 1 to p.long_range do
+        let di, dj = sample_offset rng offsets cumulative in
+        buf := (v, vertex p (i + di, j + dj)) :: !buf
+      done
+    done
+  end;
+  { params = p; graph = Sparse_graph.Graph.of_edge_list ~n:count !buf }
+
+let greedy_route t ~source ~target =
+  let p = t.params in
+  let rec go v steps =
+    if v = target then steps
+    else begin
+      let best = ref v and best_d = ref (manhattan p v target) in
+      Sparse_graph.Graph.iter_neighbors t.graph v (fun u ->
+          let d = manhattan p u target in
+          if d < !best_d then begin
+            best := u;
+            best_d := d
+          end);
+      (* A grid neighbour always strictly decreases the distance. *)
+      assert (!best <> v);
+      go !best (steps + 1)
+    end
+  in
+  go source 0

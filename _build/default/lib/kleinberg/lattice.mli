@@ -1,0 +1,45 @@
+(** Kleinberg's small-world model (STOC 2000) — the baseline of Section 1.1.
+
+    Vertices form a [side x side] lattice (we use the toroidal lattice for
+    symmetry, which does not affect the asymptotics); every vertex keeps its
+    4 grid edges and draws [long_range] extra contacts, the other endpoint
+    chosen with probability proportional to [manhattan_dist^-exponent].
+    Kleinberg's theorem: decentralised greedy routing takes O(log^2 n) steps
+    iff [exponent = 2] (= the lattice dimension), and n^Omega(1) otherwise.
+
+    The *noisy* variant discussed in Section 1.1 (random positions instead of
+    a perfect lattice) is a GIRG with constant weights; experiments build it
+    through [Girg.Instance.generate_with] with unit weights. *)
+
+type params = {
+  side : int;  (** lattice side; the graph has [side * side] vertices *)
+  long_range : int;  (** long-range contacts per vertex (Kleinberg's q) *)
+  exponent : float;  (** decay exponent r of the contact distribution *)
+}
+
+val make : ?long_range:int -> ?exponent:float -> side:int -> unit -> params
+(** Defaults: [long_range = 1], [exponent = 2.0].
+    @raise Invalid_argument if [side < 2] or [long_range < 0] or
+    [exponent < 0]. *)
+
+type t = { params : params; graph : Sparse_graph.Graph.t }
+
+val n : t -> int
+
+val coords : params -> int -> int * int
+(** Lattice coordinates of a vertex id (row-major). *)
+
+val vertex : params -> int * int -> int
+
+val manhattan : params -> int -> int -> int
+(** Toroidal Manhattan distance between two vertices. *)
+
+val generate : rng:Prng.Rng.t -> params -> t
+(** Sample the long-range contacts (grid edges are deterministic).
+    Long-range endpoints are drawn in O(1) per edge from a precomputed
+    distance table. *)
+
+val greedy_route : t -> source:int -> target:int -> int
+(** Steps taken by lattice greedy routing (always move to the neighbour
+    closest to the target in Manhattan distance; grid edges guarantee
+    progress, so routing always succeeds). *)

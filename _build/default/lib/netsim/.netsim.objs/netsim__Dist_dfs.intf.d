@@ -1,0 +1,1 @@
+lib/netsim/dist_dfs.mli: Girg Greedy_routing Local_view Sim

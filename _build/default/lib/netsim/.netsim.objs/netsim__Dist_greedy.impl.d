@@ -1,0 +1,1 @@
+lib/netsim/dist_greedy.ml: Array Greedy_routing List Local_view Sim

@@ -1,0 +1,1 @@
+lib/netsim/dist_greedy.mli: Girg Greedy_routing Local_view Sim

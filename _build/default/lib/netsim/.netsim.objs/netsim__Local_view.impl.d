@@ -1,0 +1,1 @@
+lib/netsim/local_view.ml: Array Geometry Girg Sparse_graph

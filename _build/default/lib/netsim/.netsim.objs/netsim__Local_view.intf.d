@@ -1,0 +1,1 @@
+lib/netsim/local_view.mli: Geometry Girg

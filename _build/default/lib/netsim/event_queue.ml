@@ -1,0 +1,61 @@
+type 'a entry = { time : float; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry option array;
+  mutable len : int;
+  mutable next_seq : int;
+}
+
+let create () = { heap = Array.make 16 None; len = 0; next_seq = 0 }
+
+let is_empty t = t.len = 0
+let size t = t.len
+
+let earlier a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let entry_at t i = match t.heap.(i) with Some e -> e | None -> assert false
+
+let push t ~time payload =
+  if Float.is_nan time || time < 0.0 then
+    invalid_arg "Event_queue.push: time must be a non-negative number";
+  if t.len = Array.length t.heap then begin
+    let bigger = Array.make (2 * t.len) None in
+    Array.blit t.heap 0 bigger 0 t.len;
+    t.heap <- bigger
+  end;
+  t.heap.(t.len) <- Some { time; seq = t.next_seq; payload };
+  t.next_seq <- t.next_seq + 1;
+  t.len <- t.len + 1;
+  let i = ref (t.len - 1) in
+  while !i > 0 && earlier (entry_at t !i) (entry_at t ((!i - 1) / 2)) do
+    swap t !i ((!i - 1) / 2);
+    i := (!i - 1) / 2
+  done
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let top = entry_at t 0 in
+    t.len <- t.len - 1;
+    t.heap.(0) <- t.heap.(t.len);
+    t.heap.(t.len) <- None;
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < t.len && earlier (entry_at t l) (entry_at t !smallest) then smallest := l;
+      if r < t.len && earlier (entry_at t r) (entry_at t !smallest) then smallest := r;
+      if !smallest = !i then continue := false
+      else begin
+        swap t !i !smallest;
+        i := !smallest
+      end
+    done;
+    Some (top.time, top.payload)
+  end

@@ -1,0 +1,16 @@
+(** Discrete-event queue: a binary min-heap on (time, sequence number).
+
+    Ties in time break by insertion order, so simulations are fully
+    deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+val push : 'a t -> time:float -> 'a -> unit
+(** @raise Invalid_argument on negative or NaN time. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Earliest event, FIFO among equal times. *)

@@ -1,0 +1,34 @@
+(** The strictly local knowledge of a node, per Section 2.2 of the paper:
+    "Every vertex has local information, i.e., it knows the address of
+    itself and of its neighbors", where an address is the pair (position,
+    weight).  Distributed protocol handlers receive exactly one of these
+    views plus the message contents — nothing else — so locality holds by
+    construction, not by promise. *)
+
+type address = { id : int; weight : float; position : Geometry.Torus.point }
+
+type config = {
+  dim : int;
+  denom : float;  (** the model constant [w_min * n] in the objective phi *)
+}
+(** Protocol configuration: global {e constants} of the model (known to
+    every participant, like the protocol version), not topology
+    knowledge. *)
+
+type t = {
+  config : config;
+  self : address;
+  neighbors : address array;  (** ascending by id *)
+}
+
+val of_instance : Girg.Instance.t -> t array
+(** One view per vertex. *)
+
+val phi : t -> address -> target:address -> float
+(** The objective [phi] of the given address towards [target], computed
+    from constants every node knows; [infinity] when the address {e is} the
+    target. *)
+
+val best_neighbor : t -> target:address -> (address * float) option
+(** The neighbour maximising [phi] towards the target (ties to the smaller
+    id), or [None] for an isolated node. *)

@@ -1,0 +1,58 @@
+type 'msg api = {
+  self : int;
+  now : float;
+  send : dst:int -> 'msg -> unit;
+  halt : unit -> unit;
+}
+
+type 'msg envelope = { src : int; dst : int; msg : 'msg }
+
+type 'msg t = {
+  n : int;
+  latency : src:int -> dst:int -> float;
+  handler : 'msg api -> src:int -> 'msg -> unit;
+  queue : 'msg envelope Event_queue.t;
+  mutable sends : int;
+  mutable halted : bool;
+}
+
+let create ~n ?(latency = fun ~src:_ ~dst:_ -> 1.0) ~handler () =
+  if n < 0 then invalid_arg "Sim.create: negative n";
+  { n; latency; handler; queue = Event_queue.create (); sends = 0; halted = false }
+
+let check_node t v ctx =
+  if v < 0 || v >= t.n then invalid_arg (ctx ^ ": node id out of range")
+
+let inject t ?(time = 0.0) ~dst msg =
+  check_node t dst "Sim.inject";
+  Event_queue.push t.queue ~time { src = dst; dst; msg }
+
+type stats = { deliveries : int; sends : int; final_time : float; halted : bool }
+
+let run ?(max_deliveries = 10_000_000) (t : 'msg t) =
+  let deliveries = ref 0 in
+  let final_time = ref 0.0 in
+  let continue = ref true in
+  while !continue && not t.halted && !deliveries < max_deliveries do
+    match Event_queue.pop t.queue with
+    | None -> continue := false
+    | Some (time, env) ->
+        incr deliveries;
+        final_time := time;
+        let api =
+          {
+            self = env.dst;
+            now = time;
+            send =
+              (fun ~dst msg ->
+                check_node t dst "Sim.send";
+                t.sends <- t.sends + 1;
+                Event_queue.push t.queue
+                  ~time:(time +. t.latency ~src:env.dst ~dst)
+                  { src = env.dst; dst; msg });
+            halt = (fun () -> t.halted <- true);
+          }
+        in
+        t.handler api ~src:env.src env.msg
+  done;
+  { deliveries = !deliveries; sends = t.sends; final_time = !final_time; halted = t.halted }

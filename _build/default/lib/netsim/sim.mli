@@ -1,0 +1,42 @@
+(** A minimal discrete-event message-passing simulator.
+
+    Nodes are integers; behaviour is a handler invoked once per delivered
+    message.  Handlers interact with the world exclusively through the
+    {!api} they receive — sending messages (delivered after the link
+    latency) and halting the simulation.  Exactly one handler runs at a
+    time, which makes the paper's "only one node needs to be awake at a
+    time" observation directly visible: the trace of a greedy route is a
+    single chain of events. *)
+
+type 'msg api = {
+  self : int;  (** the node running the handler *)
+  now : float;  (** current simulation time *)
+  send : dst:int -> 'msg -> unit;  (** schedule delivery at [now + latency] *)
+  halt : unit -> unit;  (** stop the simulation after this handler returns *)
+}
+
+type 'msg t
+
+val create :
+  n:int ->
+  ?latency:(src:int -> dst:int -> float) ->
+  handler:('msg api -> src:int -> 'msg -> unit) ->
+  unit ->
+  'msg t
+(** [latency] defaults to a constant 1.0 per link.
+    @raise Invalid_argument if [n < 0]. *)
+
+val inject : 'msg t -> ?time:float -> dst:int -> 'msg -> unit
+(** Enqueue an initial message, delivered at [time] (default 0.0) with
+    source [dst] itself. *)
+
+type stats = {
+  deliveries : int;  (** handler invocations *)
+  sends : int;  (** messages sent by handlers *)
+  final_time : float;  (** delivery time of the last processed event *)
+  halted : bool;  (** whether a handler called [halt] *)
+}
+
+val run : ?max_deliveries:int -> 'msg t -> stats
+(** Process events until the queue drains, a handler halts, or
+    [max_deliveries] (default 10^7) is reached. *)

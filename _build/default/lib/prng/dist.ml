@@ -1,0 +1,129 @@
+let bernoulli rng ~p =
+  if p >= 1.0 then true
+  else if p <= 0.0 then false
+  else Rng.unit_float rng < p
+
+let exponential rng ~rate =
+  if rate <= 0.0 then invalid_arg "Dist.exponential: rate must be positive";
+  -.log (Rng.unit_float_pos rng) /. rate
+
+let pareto rng ~x_min ~exponent =
+  if x_min <= 0.0 then invalid_arg "Dist.pareto: x_min must be positive";
+  if exponent <= 1.0 then invalid_arg "Dist.pareto: exponent must exceed 1";
+  let u = Rng.unit_float_pos rng in
+  x_min *. (u ** (-1.0 /. (exponent -. 1.0)))
+
+let pareto_truncated rng ~x_min ~x_max ~exponent =
+  if x_max < x_min then invalid_arg "Dist.pareto_truncated: empty support";
+  (* Inversion restricted to [x_min, x_max]: the CDF tail weight of the
+     untruncated law above x is (x/x_min)^(1-exponent). *)
+  let tail_at_max = (x_max /. x_min) ** (1.0 -. exponent) in
+  let u = Rng.unit_float_pos rng in
+  let u' = tail_at_max +. (u *. (1.0 -. tail_at_max)) in
+  x_min *. (u' ** (-1.0 /. (exponent -. 1.0)))
+
+let geometric rng ~p =
+  if p <= 0.0 then invalid_arg "Dist.geometric: p must be positive";
+  if p >= 1.0 then 0
+  else begin
+    let u = Rng.unit_float_pos rng in
+    let k = log u /. log1p (-.p) in
+    (* Clamp: for tiny p the skip can exceed integer range of interest. *)
+    if k >= float_of_int max_int then max_int else int_of_float k
+  end
+
+let log_sqrt_2pi = 0.91893853320467267
+
+(* log k! for k = 0..9; larger k use the Stirling series inside PTRD. *)
+let log_factorial_table =
+  [| 0.0; 0.0; 0.6931471805599453; 1.791759469228055; 3.1780538303479458;
+     4.787491742782046; 6.579251212010101; 8.525161361065415;
+     10.60460290274525; 12.801827480081469 |]
+
+(* Transformed-rejection sampler for Poisson, Hörmann (1993), for mean >= 10. *)
+let poisson_ptrd rng mu =
+  let smu = sqrt mu in
+  let b = 0.931 +. (2.53 *. smu) in
+  let a = -0.059 +. (0.02483 *. b) in
+  let inv_alpha = 1.1239 +. (1.1328 /. (b -. 3.4)) in
+  let v_r = 0.9277 -. (3.6224 /. (b -. 2.0)) in
+  let rec attempt () =
+    let v = Rng.unit_float rng in
+    if v <= 0.86 *. v_r then begin
+      let u = (v /. v_r) -. 0.43 in
+      let us = 0.5 -. abs_float u in
+      int_of_float (((2.0 *. a /. us) +. b) *. u +. mu +. 0.445)
+    end
+    else begin
+      let u, v =
+        if v >= v_r then (Rng.unit_float rng -. 0.5, v)
+        else begin
+          let u = (v /. v_r) -. 0.93 in
+          let u = (if u >= 0.0 then 0.5 else -0.5) -. u in
+          (u, Rng.unit_float rng *. v_r)
+        end
+      in
+      let us = 0.5 -. abs_float u in
+      if us < 0.013 && v > us then attempt ()
+      else begin
+        let kf = floor (((2.0 *. a /. us) +. b) *. u +. mu +. 0.445) in
+        let v = v *. inv_alpha /. ((a /. (us *. us)) +. b) in
+        if kf >= 10.0 then begin
+          let k = kf in
+          let correction = (1.0 /. 12.0 -. (1.0 /. (360.0 *. k *. k))) /. k in
+          if
+            log (v *. smu)
+            <= ((k +. 0.5) *. log (mu /. k)) -. mu -. log_sqrt_2pi +. k -. correction
+          then int_of_float k
+          else attempt ()
+        end
+        else if kf >= 0.0 then begin
+          let k = int_of_float kf in
+          if log v <= (kf *. log mu) -. mu -. log_factorial_table.(k) then k
+          else attempt ()
+        end
+        else attempt ()
+      end
+    end
+  in
+  attempt ()
+
+(* Knuth's product method, fine for small means. *)
+let poisson_knuth rng mu =
+  let limit = exp (-.mu) in
+  let rec loop k p =
+    let p = p *. Rng.unit_float rng in
+    if p <= limit then k else loop (k + 1) p
+  in
+  loop 0 1.0
+
+let poisson rng ~mean =
+  if mean < 0.0 then invalid_arg "Dist.poisson: mean must be non-negative";
+  if mean = 0.0 then 0
+  else if mean < 10.0 then poisson_knuth rng mean
+  else poisson_ptrd rng mean
+
+let gaussian rng ~mean ~stddev =
+  let u1 = Rng.unit_float_pos rng in
+  let u2 = Rng.unit_float rng in
+  let r = sqrt (-2.0 *. log u1) in
+  mean +. (stddev *. r *. cos (2.0 *. Float.pi *. u2))
+
+let log_uniform_factor rng ~spread =
+  if spread = 0.0 then 1.0
+  else exp ((Rng.unit_float rng *. 2.0 *. spread) -. spread)
+
+let shuffle_in_place rng arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = Rng.int rng (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let sample_distinct_pair rng ~n =
+  if n < 2 then invalid_arg "Dist.sample_distinct_pair: need n >= 2";
+  let a = Rng.int rng n in
+  let b = Rng.int rng (n - 1) in
+  let b = if b >= a then b + 1 else b in
+  (a, b)

@@ -1,0 +1,48 @@
+(** Random variate generators for the distributions used by the models.
+
+    All samplers draw from an explicit {!Rng.t}. *)
+
+val bernoulli : Rng.t -> p:float -> bool
+(** [bernoulli rng ~p] is [true] with probability [max 0 (min 1 p)]. *)
+
+val exponential : Rng.t -> rate:float -> float
+(** [exponential rng ~rate] samples Exp(rate) by inversion.
+    @raise Invalid_argument if [rate <= 0]. *)
+
+val pareto : Rng.t -> x_min:float -> exponent:float -> float
+(** [pareto rng ~x_min ~exponent] samples the Pareto (power-law) distribution
+    with density proportional to [w^-exponent] on [w >= x_min]; this is the
+    GIRG weight law with [exponent = beta].  Sampled by inversion:
+    [x_min * u^(-1/(exponent-1))].
+    @raise Invalid_argument if [x_min <= 0] or [exponent <= 1]. *)
+
+val pareto_truncated :
+  Rng.t -> x_min:float -> x_max:float -> exponent:float -> float
+(** Like {!pareto} but conditioned on the result lying in [[x_min, x_max]]. *)
+
+val geometric : Rng.t -> p:float -> int
+(** [geometric rng ~p] is the number of independent failures before the first
+    success of a Bernoulli(p) trial (support {0, 1, ...}).  Used for skip
+    sampling over candidate edge slots.  For [p >= 1] the result is [0].
+    @raise Invalid_argument if [p <= 0]. *)
+
+val poisson : Rng.t -> mean:float -> int
+(** [poisson rng ~mean] samples Poisson(mean).  Uses Knuth's product method
+    for small means and the PTRD transformed-rejection method (Hörmann 1993)
+    for large means, so it is safe for means in the millions.
+    @raise Invalid_argument if [mean < 0]. *)
+
+val gaussian : Rng.t -> mean:float -> stddev:float -> float
+(** [gaussian rng ~mean ~stddev] samples a normal variate (Box–Muller). *)
+
+val log_uniform_factor : Rng.t -> spread:float -> float
+(** [log_uniform_factor rng ~spread] samples a multiplicative noise factor
+    [exp u] with [u] uniform on [[-spread, spread]]; used by the relaxed
+    objectives of Theorem 3.5.  [spread = 0] yields exactly [1.0]. *)
+
+val shuffle_in_place : Rng.t -> 'a array -> unit
+(** Fisher–Yates shuffle. *)
+
+val sample_distinct_pair : Rng.t -> n:int -> int * int
+(** [sample_distinct_pair rng ~n] returns two distinct indices uniform on
+    [0, n).  @raise Invalid_argument if [n < 2]. *)

@@ -1,0 +1,72 @@
+(* xoshiro256** with SplitMix64 seeding.  References:
+   Blackman & Vigna, "Scrambled linear pseudorandom number generators" (2018);
+   Steele, Lea & Flood, "Fast splittable pseudorandom number generators"
+   (OOPSLA 2014). *)
+
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+(* One SplitMix64 step: advance [state] by the golden gamma and mix. *)
+let splitmix64_next state =
+  state := Int64.add !state golden_gamma;
+  let z = !state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let of_seed64 seed64 =
+  let st = ref seed64 in
+  let s0 = splitmix64_next st in
+  let s1 = splitmix64_next st in
+  let s2 = splitmix64_next st in
+  let s3 = splitmix64_next st in
+  { s0; s1; s2; s3 }
+
+let create ~seed = of_seed64 (Int64.of_int seed)
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let bits64 t =
+  let result = Int64.mul (rotl (Int64.mul t.s1 5L) 7) 9L in
+  let tmp = Int64.shift_left t.s1 17 in
+  t.s2 <- Int64.logxor t.s2 t.s0;
+  t.s3 <- Int64.logxor t.s3 t.s1;
+  t.s1 <- Int64.logxor t.s1 t.s2;
+  t.s0 <- Int64.logxor t.s0 t.s3;
+  t.s2 <- Int64.logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t = of_seed64 (bits64 t)
+
+(* Top 62 bits as a non-negative OCaml int. *)
+let bits62 t = Int64.to_int (Int64.shift_right_logical (bits64 t) 2)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  if bound land (bound - 1) = 0 then bits62 t land (bound - 1)
+  else begin
+    (* Rejection sampling to avoid modulo bias. *)
+    let max62 = (1 lsl 62) - 1 in
+    let limit = max62 - (max62 mod bound) in
+    let rec draw () =
+      let v = bits62 t in
+      if v >= limit then draw () else v mod bound
+    in
+    draw ()
+  end
+
+let two_pow_53 = 9007199254740992.0 (* 2^53 *)
+
+let unit_float t =
+  let bits53 = Int64.to_int (Int64.shift_right_logical (bits64 t) 11) in
+  float_of_int bits53 /. two_pow_53
+
+let unit_float_pos t = 1.0 -. unit_float t
+
+let float t bound = bound *. unit_float t
+
+let bool t = Int64.compare (bits64 t) 0L < 0

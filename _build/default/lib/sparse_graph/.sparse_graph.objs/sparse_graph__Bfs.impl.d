@@ -1,0 +1,1 @@
+lib/sparse_graph/bfs.ml: Array Graph List Queue

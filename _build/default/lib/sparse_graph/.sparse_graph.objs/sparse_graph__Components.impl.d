@@ -1,0 +1,1 @@
+lib/sparse_graph/components.ml: Array Fun Graph List

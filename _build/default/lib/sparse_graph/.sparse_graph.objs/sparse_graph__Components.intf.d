@@ -1,0 +1,1 @@
+lib/sparse_graph/components.mli: Graph

@@ -1,0 +1,1 @@
+lib/sparse_graph/graph.ml: Array Int

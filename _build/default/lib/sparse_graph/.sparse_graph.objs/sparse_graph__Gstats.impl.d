@@ -1,0 +1,1 @@
+lib/sparse_graph/gstats.ml: Array Bfs Graph Hashtbl List Option Prng

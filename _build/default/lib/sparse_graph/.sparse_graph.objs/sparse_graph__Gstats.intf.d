@@ -1,0 +1,1 @@
+lib/sparse_graph/gstats.mli: Graph Prng

@@ -1,0 +1,1 @@
+lib/sparse_graph/io.ml: Graph In_channel Out_channel Printf String

@@ -1,0 +1,1 @@
+lib/sparse_graph/io.mli: Graph In_channel Out_channel

@@ -1,0 +1,93 @@
+let distances g ~source =
+  let n = Graph.n g in
+  let dist = Array.make n (-1) in
+  let queue = Queue.create () in
+  dist.(source) <- 0;
+  Queue.add source queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    let du = dist.(u) in
+    Graph.iter_neighbors g u (fun v ->
+        if dist.(v) < 0 then begin
+          dist.(v) <- du + 1;
+          Queue.add v queue
+        end)
+  done;
+  dist
+
+(* Bidirectional BFS.  Frontiers expand alternately (smaller side first);
+   the meet-in-the-middle distance is minimised over all contact edges found
+   while expanding the level on which the frontiers first touch. *)
+let distance g ~source ~target =
+  if source = target then Some 0
+  else begin
+    let n = Graph.n g in
+    let dist_s = Array.make n (-1) and dist_t = Array.make n (-1) in
+    dist_s.(source) <- 0;
+    dist_t.(target) <- 0;
+    let frontier_s = ref [ source ] and frontier_t = ref [ target ] in
+    let depth_s = ref 0 and depth_t = ref 0 in
+    let best = ref max_int in
+    let expand frontier depth dist_mine dist_other =
+      incr depth;
+      let next = ref [] in
+      List.iter
+        (fun u ->
+          Graph.iter_neighbors g u (fun v ->
+              if dist_other.(v) >= 0 then begin
+                let through = !depth + dist_other.(v) in
+                if through < !best then best := through
+              end;
+              if dist_mine.(v) < 0 then begin
+                dist_mine.(v) <- !depth;
+                next := v :: !next
+              end))
+        !frontier;
+      frontier := !next
+    in
+    let result = ref None in
+    let finished = ref false in
+    while not !finished do
+      if !frontier_s = [] && !frontier_t = [] then begin
+        finished := true;
+        result := if !best < max_int then Some !best else None
+      end
+      else if !best < max_int && !best <= !depth_s + !depth_t + 1 then begin
+        (* No shorter path can appear: any further meeting costs more. *)
+        finished := true;
+        result := Some !best
+      end
+      else if
+        !frontier_t = []
+        || (!frontier_s <> [] && List.length !frontier_s <= List.length !frontier_t)
+      then expand frontier_s depth_s dist_s dist_t
+      else expand frontier_t depth_t dist_t dist_s
+    done;
+    !result
+  end
+
+let shortest_path g ~source ~target =
+  let n = Graph.n g in
+  let parent = Array.make n (-1) in
+  let seen = Array.make n false in
+  let queue = Queue.create () in
+  seen.(source) <- true;
+  Queue.add source queue;
+  let found = ref (source = target) in
+  while (not !found) && not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    Graph.iter_neighbors g u (fun v ->
+        if not seen.(v) then begin
+          seen.(v) <- true;
+          parent.(v) <- u;
+          if v = target then found := true else Queue.add v queue
+        end)
+  done;
+  if not !found then None
+  else begin
+    let rec backtrack v acc = if v = source then v :: acc else backtrack parent.(v) (v :: acc) in
+    Some (backtrack target [])
+  end
+
+let eccentricity_lower_bound g ~source =
+  Array.fold_left max 0 (distances g ~source)

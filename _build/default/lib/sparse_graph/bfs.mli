@@ -1,0 +1,17 @@
+(** Breadth-first search: shortest (hop) distances on unweighted graphs. *)
+
+val distances : Graph.t -> source:int -> int array
+(** [distances g ~source] returns an array [d] with [d.(v)] the hop distance
+    from [source] to [v], or [-1] if unreachable. *)
+
+val distance : Graph.t -> source:int -> target:int -> int option
+(** Single-pair distance via bidirectional BFS; [None] if disconnected.
+    Much faster than {!distances} on small-world graphs, where full BFS
+    explores nearly everything after a few levels. *)
+
+val shortest_path : Graph.t -> source:int -> target:int -> int list option
+(** An explicit shortest path (vertex sequence including both endpoints). *)
+
+val eccentricity_lower_bound : Graph.t -> source:int -> int
+(** Maximum finite BFS distance from [source]; a lower bound on the diameter
+    of the source's component. *)

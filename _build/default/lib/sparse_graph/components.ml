@@ -1,0 +1,56 @@
+type t = { ids : int array; sizes : int array; giant : int }
+
+(* Union-find with path halving and union by size. *)
+let compute g =
+  let n = Graph.n g in
+  let parent = Array.init n Fun.id in
+  let rank = Array.make n 1 in
+  let rec find x =
+    let p = parent.(x) in
+    if p = x then x
+    else begin
+      parent.(x) <- parent.(p);
+      find parent.(x)
+    end
+  in
+  let union a b =
+    let ra = find a and rb = find b in
+    if ra <> rb then begin
+      let big, small = if rank.(ra) >= rank.(rb) then (ra, rb) else (rb, ra) in
+      parent.(small) <- big;
+      rank.(big) <- rank.(big) + rank.(small)
+    end
+  in
+  Graph.iter_edges g union;
+  let ids = Array.make n (-1) in
+  let next_id = ref 0 in
+  let sizes_rev = ref [] in
+  for v = 0 to n - 1 do
+    let root = find v in
+    if ids.(root) < 0 then begin
+      ids.(root) <- !next_id;
+      sizes_rev := rank.(root) :: !sizes_rev;
+      incr next_id
+    end;
+    ids.(v) <- ids.(root)
+  done;
+  let sizes = Array.of_list (List.rev !sizes_rev) in
+  let giant = ref 0 in
+  Array.iteri (fun i s -> if s > sizes.(!giant) then giant := i) sizes;
+  { ids; sizes; giant = !giant }
+
+let count t = Array.length t.sizes
+let id t v = t.ids.(v)
+let size t c = t.sizes.(c)
+let same t u v = t.ids.(u) = t.ids.(v)
+let giant_id t = t.giant
+let giant_size t = t.sizes.(t.giant)
+
+let members t c =
+  let buf = ref [] in
+  for v = Array.length t.ids - 1 downto 0 do
+    if t.ids.(v) = c then buf := v :: !buf
+  done;
+  Array.of_list !buf
+
+let giant_members t = members t t.giant

@@ -1,0 +1,29 @@
+(** Connected components via union–find. *)
+
+type t
+
+val compute : Graph.t -> t
+
+val count : t -> int
+(** Number of connected components. *)
+
+val id : t -> int -> int
+(** Component id of a vertex (ids are [0 .. count-1], in order of first
+    appearance by vertex number). *)
+
+val size : t -> int -> int
+(** Size of a component given its id. *)
+
+val same : t -> int -> int -> bool
+(** Whether two vertices share a component. *)
+
+val giant_id : t -> int
+(** Id of a largest component. *)
+
+val giant_size : t -> int
+
+val giant_members : t -> int array
+(** Vertices of a largest component, ascending. *)
+
+val members : t -> int -> int array
+(** Vertices of the given component, ascending. *)

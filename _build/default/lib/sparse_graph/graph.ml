@@ -1,0 +1,130 @@
+type t = {
+  n : int;
+  m : int;
+  offsets : int array; (* length n+1 *)
+  targets : int array; (* length 2m, neighbours of v at offsets.(v)..offsets.(v+1)-1 *)
+}
+
+(* Insertion sort of a slice of an int array; adjacency slices are short on
+   sparse graphs, so this beats a general comparison sort. *)
+let sort_slice arr lo hi =
+  if hi - lo > 48 then begin
+    (* Heavy hubs (power-law graphs have a few) get a comparison sort. *)
+    let tmp = Array.sub arr lo (hi - lo) in
+    Array.sort Int.compare tmp;
+    Array.blit tmp 0 arr lo (hi - lo)
+  end
+  else
+  for i = lo + 1 to hi - 1 do
+    let x = arr.(i) in
+    let j = ref (i - 1) in
+    while !j >= lo && arr.(!j) > x do
+      arr.(!j + 1) <- arr.(!j);
+      decr j
+    done;
+    arr.(!j + 1) <- x
+  done
+
+let of_edges ~n edges =
+  if n < 0 then invalid_arg "Graph.of_edges: negative n";
+  Array.iter
+    (fun (u, v) ->
+      if u < 0 || u >= n || v < 0 || v >= n then
+        invalid_arg "Graph.of_edges: endpoint out of range")
+    edges;
+  (* Counting-sort CSR construction: bucket raw half-edges per vertex, sort
+     each short adjacency slice, then compact away self-loops/duplicates. *)
+  let raw_degree = Array.make (n + 1) 0 in
+  Array.iter
+    (fun (u, v) ->
+      if u <> v then begin
+        raw_degree.(u) <- raw_degree.(u) + 1;
+        raw_degree.(v) <- raw_degree.(v) + 1
+      end)
+    edges;
+  let raw_offsets = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    raw_offsets.(v + 1) <- raw_offsets.(v) + raw_degree.(v)
+  done;
+  let raw_targets = Array.make raw_offsets.(n) 0 in
+  let cursor = Array.copy raw_offsets in
+  Array.iter
+    (fun (u, v) ->
+      if u <> v then begin
+        raw_targets.(cursor.(u)) <- v;
+        cursor.(u) <- cursor.(u) + 1;
+        raw_targets.(cursor.(v)) <- u;
+        cursor.(v) <- cursor.(v) + 1
+      end)
+    edges;
+  let offsets = Array.make (n + 1) 0 in
+  let targets = Array.make raw_offsets.(n) 0 in
+  let write = ref 0 in
+  for v = 0 to n - 1 do
+    let lo = raw_offsets.(v) and hi = raw_offsets.(v + 1) in
+    sort_slice raw_targets lo hi;
+    offsets.(v) <- !write;
+    for k = lo to hi - 1 do
+      let w = raw_targets.(k) in
+      if k = lo || raw_targets.(k - 1) <> w then begin
+        targets.(!write) <- w;
+        incr write
+      end
+    done
+  done;
+  offsets.(n) <- !write;
+  let targets = if !write = Array.length targets then targets else Array.sub targets 0 !write in
+  { n; m = !write / 2; offsets; targets }
+
+let of_edge_list ~n edges = of_edges ~n (Array.of_list edges)
+
+let n t = t.n
+let m t = t.m
+
+let degree t v = t.offsets.(v + 1) - t.offsets.(v)
+
+let iter_neighbors t v f =
+  for k = t.offsets.(v) to t.offsets.(v + 1) - 1 do
+    f t.targets.(k)
+  done
+
+let fold_neighbors t v ~init ~f =
+  let acc = ref init in
+  for k = t.offsets.(v) to t.offsets.(v + 1) - 1 do
+    acc := f !acc t.targets.(k)
+  done;
+  !acc
+
+let exists_neighbor t v pred =
+  let rec scan k = k < t.offsets.(v + 1) && (pred t.targets.(k) || scan (k + 1)) in
+  scan t.offsets.(v)
+
+let neighbors t v = Array.sub t.targets t.offsets.(v) (degree t v)
+
+let has_edge t u v =
+  let lo = ref t.offsets.(u) and hi = ref t.offsets.(u + 1) in
+  let found = ref false in
+  while !lo < !hi && not !found do
+    let mid = (!lo + !hi) / 2 in
+    let w = t.targets.(mid) in
+    if w = v then found := true else if w < v then lo := mid + 1 else hi := mid
+  done;
+  !found
+
+let iter_edges t f =
+  for u = 0 to t.n - 1 do
+    for k = t.offsets.(u) to t.offsets.(u + 1) - 1 do
+      let v = t.targets.(k) in
+      if u < v then f u v
+    done
+  done
+
+let max_degree t =
+  let best = ref 0 in
+  for v = 0 to t.n - 1 do
+    let d = degree t v in
+    if d > !best then best := d
+  done;
+  !best
+
+let avg_degree t = if t.n = 0 then 0.0 else 2.0 *. float_of_int t.m /. float_of_int t.n

@@ -1,0 +1,44 @@
+(** Immutable undirected graphs in compressed sparse row (CSR) form.
+
+    Vertices are integers [0 .. n-1].  The representation stores each
+    undirected edge in both directions, sorted per vertex, which gives cache-
+    friendly neighbour scans — the inner loop of every routing protocol. *)
+
+type t
+
+val of_edges : n:int -> (int * int) array -> t
+(** [of_edges ~n edges] builds the graph on [n] vertices.  Self-loops and
+    duplicate edges are dropped.  @raise Invalid_argument on out-of-range
+    endpoints. *)
+
+val of_edge_list : n:int -> (int * int) list -> t
+(** List variant of {!of_edges}. *)
+
+val n : t -> int
+(** Number of vertices. *)
+
+val m : t -> int
+(** Number of undirected edges. *)
+
+val degree : t -> int -> int
+
+val iter_neighbors : t -> int -> (int -> unit) -> unit
+(** [iter_neighbors g v f] applies [f] to each neighbour of [v] in ascending
+    order. *)
+
+val fold_neighbors : t -> int -> init:'a -> f:('a -> int -> 'a) -> 'a
+
+val exists_neighbor : t -> int -> (int -> bool) -> bool
+
+val neighbors : t -> int -> int array
+(** Fresh array of the neighbours of [v] (ascending). *)
+
+val has_edge : t -> int -> int -> bool
+(** Binary search in the adjacency slice: O(log deg). *)
+
+val iter_edges : t -> (int -> int -> unit) -> unit
+(** Applies the function once per undirected edge, with [u < v]. *)
+
+val max_degree : t -> int
+
+val avg_degree : t -> float

@@ -1,0 +1,65 @@
+let degree_histogram g =
+  let tbl = Hashtbl.create 64 in
+  for v = 0 to Graph.n g - 1 do
+    let d = Graph.degree g v in
+    Hashtbl.replace tbl d (1 + Option.value ~default:0 (Hashtbl.find_opt tbl d))
+  done;
+  List.sort compare (Hashtbl.fold (fun d c acc -> (d, c) :: acc) tbl [])
+
+let power_law_exponent_mle ?(d_min = 5) g =
+  let shift = float_of_int d_min -. 0.5 in
+  let count = ref 0 and log_sum = ref 0.0 in
+  for v = 0 to Graph.n g - 1 do
+    let d = Graph.degree g v in
+    if d >= d_min then begin
+      incr count;
+      log_sum := !log_sum +. log (float_of_int d /. shift)
+    end
+  done;
+  if !count < 10 || !log_sum <= 0.0 then None
+  else Some (1.0 +. (float_of_int !count /. !log_sum))
+
+let local_clustering g v =
+  let nbrs = Graph.neighbors g v in
+  let d = Array.length nbrs in
+  if d < 2 then nan
+  else begin
+    let closed = ref 0 in
+    for i = 0 to d - 1 do
+      for j = i + 1 to d - 1 do
+        if Graph.has_edge g nbrs.(i) nbrs.(j) then incr closed
+      done
+    done;
+    2.0 *. float_of_int !closed /. float_of_int (d * (d - 1))
+  end
+
+let global_clustering_sample g ~rng ~samples =
+  let eligible = ref [] in
+  for v = 0 to Graph.n g - 1 do
+    if Graph.degree g v >= 2 then eligible := v :: !eligible
+  done;
+  match Array.of_list !eligible with
+  | [||] -> nan
+  | pool ->
+      let total = ref 0.0 in
+      for _ = 1 to samples do
+        let v = pool.(Prng.Rng.int rng (Array.length pool)) in
+        total := !total +. local_clustering g v
+      done;
+      !total /. float_of_int samples
+
+let avg_distance_sample g ~rng ~pairs ~within =
+  let k = Array.length within in
+  if k < 2 then None
+  else begin
+    let total = ref 0 and found = ref 0 in
+    for _ = 1 to pairs do
+      let i, j = Prng.Dist.sample_distinct_pair rng ~n:k in
+      match Bfs.distance g ~source:within.(i) ~target:within.(j) with
+      | Some d ->
+          total := !total + d;
+          incr found
+      | None -> ()
+    done;
+    if !found = 0 then None else Some (float_of_int !total /. float_of_int !found)
+  end

@@ -1,0 +1,23 @@
+(** Structural statistics of graphs: degree distribution, power-law exponent
+    estimation, clustering, sampled average distance.  Used by experiment E10
+    to validate the GIRG substrate against Lemmas 7.2/7.3 of the paper. *)
+
+val degree_histogram : Graph.t -> (int * int) list
+(** [(degree, multiplicity)] pairs, ascending by degree. *)
+
+val power_law_exponent_mle : ?d_min:int -> Graph.t -> float option
+(** Maximum-likelihood estimate of the exponent [beta] of a power-law degree
+    tail [p(k) ~ k^-beta], using the continuous-approximation Hill estimator
+    [1 + n / sum (ln (d_i / (d_min - 1/2)))] over degrees [>= d_min]
+    (Clauset–Shalizi–Newman 2009).  [None] if fewer than 10 usable vertices.
+    Default [d_min] = 5. *)
+
+val global_clustering_sample : Graph.t -> rng:Prng.Rng.t -> samples:int -> float
+(** Sampled estimate of the mean local clustering coefficient over vertices of
+    degree [>= 2].  Returns [nan] when no such vertex exists. *)
+
+val avg_distance_sample :
+  Graph.t -> rng:Prng.Rng.t -> pairs:int -> within:int array -> float option
+(** Mean BFS distance over random pairs drawn from the vertex set [within]
+    (e.g. a giant component).  [None] if [within] has fewer than 2 vertices
+    or no sampled pair was connected. *)

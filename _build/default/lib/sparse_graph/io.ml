@@ -1,0 +1,57 @@
+let write_graph oc g =
+  Printf.fprintf oc "# smallworld-graph %d %d\n" (Graph.n g) (Graph.m g);
+  Graph.iter_edges g (fun u v -> Printf.fprintf oc "%d %d\n" u v)
+
+let read_graph ic =
+  let parse_error fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  match In_channel.input_line ic with
+  | None -> Error "empty file"
+  | Some header -> begin
+      match String.split_on_char ' ' (String.trim header) with
+      | [ "#"; "smallworld-graph"; n_str; m_str ] -> begin
+          match (int_of_string_opt n_str, int_of_string_opt m_str) with
+          | Some n, Some m when n >= 0 && m >= 0 -> begin
+              let edges = ref [] in
+              let count = ref 0 in
+              let error = ref None in
+              let rec loop lineno =
+                match In_channel.input_line ic with
+                | None -> ()
+                | Some line ->
+                    let line = String.trim line in
+                    if line = "" || (String.length line > 0 && line.[0] = '#') then
+                      loop (lineno + 1)
+                    else begin
+                      match String.split_on_char ' ' line with
+                      | [ u_str; v_str ] -> begin
+                          match (int_of_string_opt u_str, int_of_string_opt v_str) with
+                          | Some u, Some v when u >= 0 && u < n && v >= 0 && v < n ->
+                              edges := (u, v) :: !edges;
+                              incr count;
+                              loop (lineno + 1)
+                          | _ ->
+                              error :=
+                                Some (Printf.sprintf "line %d: bad edge %S" lineno line)
+                        end
+                      | _ -> error := Some (Printf.sprintf "line %d: expected 'u v'" lineno)
+                    end
+              in
+              loop 2;
+              match !error with
+              | Some e -> Error e
+              | None ->
+                  if !count <> m then
+                    parse_error "header promises %d edges, file has %d" m !count
+                  else Ok (Graph.of_edge_list ~n !edges)
+            end
+          | _ -> parse_error "bad header counts: %s" header
+        end
+      | _ -> parse_error "not a smallworld-graph file (header: %s)" header
+    end
+
+let save ~path g = Out_channel.with_open_text path (fun oc -> write_graph oc g)
+
+let load ~path =
+  match In_channel.with_open_text path read_graph with
+  | result -> result
+  | exception Sys_error msg -> Error msg

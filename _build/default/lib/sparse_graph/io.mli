@@ -1,0 +1,20 @@
+(** Plain-text persistence for graphs.
+
+    Format: a header line ["# smallworld-graph n m"], then one ["u v"] line
+    per undirected edge with [u < v].  Lines starting with ['#'] are
+    comments.  The format round-trips exactly and is trivially consumable by
+    external tools (numpy, networkx, gnuplot). *)
+
+val write_graph : Out_channel.t -> Graph.t -> unit
+
+val read_graph : In_channel.t -> (Graph.t, string) result
+(** Parses a graph written by {!write_graph}; returns [Error] with a
+    human-readable message on malformed input (bad header, vertex out of
+    range, non-numeric fields). *)
+
+val save : path:string -> Graph.t -> unit
+(** File wrapper around {!write_graph}. *)
+
+val load : path:string -> (Graph.t, string) result
+(** File wrapper around {!read_graph}; [Error] also covers unreadable
+    files. *)

@@ -1,0 +1,68 @@
+type scale = Linear | Log
+
+type t = {
+  scale : scale;
+  lo : float;
+  hi : float;
+  counts : int array;
+  mutable total : int;
+}
+
+let create_linear ~lo ~hi ~bins =
+  if hi <= lo then invalid_arg "Histogram.create_linear: hi <= lo";
+  if bins <= 0 then invalid_arg "Histogram.create_linear: bins <= 0";
+  { scale = Linear; lo; hi; counts = Array.make bins 0; total = 0 }
+
+let create_log ~lo ~hi ~bins =
+  if lo <= 0.0 then invalid_arg "Histogram.create_log: lo must be positive";
+  if hi <= lo then invalid_arg "Histogram.create_log: hi <= lo";
+  if bins <= 0 then invalid_arg "Histogram.create_log: bins <= 0";
+  { scale = Log; lo; hi; counts = Array.make bins 0; total = 0 }
+
+let bin_index t x =
+  let bins = Array.length t.counts in
+  let frac =
+    match t.scale with
+    | Linear -> (x -. t.lo) /. (t.hi -. t.lo)
+    | Log -> if x <= 0.0 then 0.0 else log (x /. t.lo) /. log (t.hi /. t.lo)
+  in
+  let i = int_of_float (frac *. float_of_int bins) in
+  if i < 0 then 0 else if i >= bins then bins - 1 else i
+
+let add t x =
+  t.counts.(bin_index t x) <- t.counts.(bin_index t x) + 1;
+  t.total <- t.total + 1
+
+let add_many t xs = Array.iter (add t) xs
+
+let count t = t.total
+
+let edge t i =
+  let bins = float_of_int (Array.length t.counts) in
+  let frac = float_of_int i /. bins in
+  match t.scale with
+  | Linear -> t.lo +. (frac *. (t.hi -. t.lo))
+  | Log -> t.lo *. ((t.hi /. t.lo) ** frac)
+
+let bins t =
+  List.init (Array.length t.counts) (fun i -> (edge t i, edge t (i + 1), t.counts.(i)))
+
+let mode_bin t =
+  if t.total = 0 then None
+  else begin
+    let best = ref 0 in
+    Array.iteri (fun i c -> if c > t.counts.(!best) then best := i) t.counts;
+    Some (edge t !best, edge t (!best + 1), t.counts.(!best))
+  end
+
+let render ?(width = 50) t =
+  let max_count = Array.fold_left max 1 t.counts in
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (lo, hi, c) ->
+      if c > 0 then begin
+        let bar = String.make (c * width / max_count) '#' in
+        Buffer.add_string buf (Printf.sprintf "[%10.4g, %10.4g) %7d %s\n" lo hi c bar)
+      end)
+    (bins t);
+  Buffer.contents buf

@@ -1,0 +1,27 @@
+(** Fixed-bin and logarithmic-bin histograms. *)
+
+type t
+
+val create_linear : lo:float -> hi:float -> bins:int -> t
+(** Equal-width bins on [[lo, hi)]; out-of-range samples are clamped into the
+    first/last bin.  @raise Invalid_argument if [hi <= lo] or [bins <= 0]. *)
+
+val create_log : lo:float -> hi:float -> bins:int -> t
+(** Bin edges geometric between [lo] and [hi] ([lo > 0] required).  Suited to
+    power-law data (degrees, weights). *)
+
+val add : t -> float -> unit
+
+val add_many : t -> float array -> unit
+
+val count : t -> int
+(** Total number of samples added. *)
+
+val bins : t -> (float * float * int) list
+(** [(lower_edge, upper_edge, count)] per bin, ascending. *)
+
+val mode_bin : t -> (float * float * int) option
+(** The fullest bin, or [None] if the histogram is empty. *)
+
+val render : ?width:int -> t -> string
+(** ASCII bar rendering, one line per nonempty bin. *)

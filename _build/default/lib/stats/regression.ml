@@ -1,0 +1,47 @@
+type fit = { slope : float; intercept : float; r2 : float }
+
+let linear points =
+  let n = Array.length points in
+  if n < 2 then invalid_arg "Regression.linear: need at least 2 points";
+  let nf = float_of_int n in
+  let sx = ref 0.0 and sy = ref 0.0 in
+  Array.iter
+    (fun (x, y) ->
+      sx := !sx +. x;
+      sy := !sy +. y)
+    points;
+  let mx = !sx /. nf and my = !sy /. nf in
+  let sxx = ref 0.0 and sxy = ref 0.0 and syy = ref 0.0 in
+  Array.iter
+    (fun (x, y) ->
+      let dx = x -. mx and dy = y -. my in
+      sxx := !sxx +. (dx *. dx);
+      sxy := !sxy +. (dx *. dy);
+      syy := !syy +. (dy *. dy))
+    points;
+  if !sxx = 0.0 then { slope = 0.0; intercept = my; r2 = (if !syy = 0.0 then 1.0 else 0.0) }
+  else begin
+    let slope = !sxy /. !sxx in
+    let intercept = my -. (slope *. mx) in
+    let ss_res =
+      Array.fold_left
+        (fun acc (x, y) ->
+          let e = y -. ((slope *. x) +. intercept) in
+          acc +. (e *. e))
+        0.0 points
+    in
+    let r2 = if !syy = 0.0 then 1.0 else 1.0 -. (ss_res /. !syy) in
+    { slope; intercept; r2 }
+  end
+
+let log_log points =
+  let usable =
+    Array.of_seq
+      (Seq.filter_map
+         (fun (x, y) -> if x > 0.0 && y > 0.0 then Some (log x, log y) else None)
+         (Array.to_seq points))
+  in
+  if Array.length usable < 2 then invalid_arg "Regression.log_log: need 2 positive points";
+  linear usable
+
+let predict fit x = (fit.slope *. x) +. fit.intercept

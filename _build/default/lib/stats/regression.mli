@@ -1,0 +1,17 @@
+(** Ordinary least-squares fits used to check predicted scaling laws
+    (e.g. greedy path length vs [log log n], log failure rate vs [w_min]). *)
+
+type fit = { slope : float; intercept : float; r2 : float }
+
+val linear : (float * float) array -> fit
+(** OLS fit of [y = slope * x + intercept].  [r2] is the coefficient of
+    determination ([1.0] when all x are equal and y constant; [nan] r2 when
+    variance of y is zero but points fit exactly is reported as 1.0).
+    @raise Invalid_argument with fewer than 2 points. *)
+
+val log_log : (float * float) array -> fit
+(** Fit on [(log x, log y)]: estimates the exponent of a power law
+    [y ~ x^slope].  Points with non-positive coordinates are dropped.
+    @raise Invalid_argument if fewer than 2 usable points remain. *)
+
+val predict : fit -> float -> float

@@ -1,0 +1,84 @@
+type t = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+  p05 : float;
+  p95 : float;
+}
+
+let empty =
+  { count = 0; mean = nan; stddev = nan; min = nan; max = nan; median = nan; p05 = nan; p95 = nan }
+
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then nan else Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let stddev xs =
+  let n = Array.length xs in
+  if n < 2 then nan
+  else begin
+    let mu = mean xs in
+    let ss = Array.fold_left (fun acc x -> acc +. ((x -. mu) *. (x -. mu))) 0.0 xs in
+    sqrt (ss /. float_of_int (n - 1))
+  end
+
+let percentile_sorted sorted ~p =
+  let n = Array.length sorted in
+  if n = 1 then sorted.(0)
+  else begin
+    let pos = p *. float_of_int (n - 1) in
+    let lo = int_of_float (floor pos) in
+    let hi = min (n - 1) (lo + 1) in
+    let frac = pos -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+  end
+
+let percentile xs ~p =
+  if Array.length xs = 0 then invalid_arg "Summary.percentile: empty sample";
+  if p < 0.0 || p > 1.0 then invalid_arg "Summary.percentile: p outside [0,1]";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  percentile_sorted sorted ~p
+
+let of_array xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Summary.of_array: empty sample";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  {
+    count = n;
+    mean = mean xs;
+    stddev = (if n < 2 then 0.0 else stddev xs);
+    min = sorted.(0);
+    max = sorted.(n - 1);
+    median = percentile_sorted sorted ~p:0.5;
+    p05 = percentile_sorted sorted ~p:0.05;
+    p95 = percentile_sorted sorted ~p:0.95;
+  }
+
+let of_list xs = of_array (Array.of_list xs)
+
+let ci95_halfwidth t =
+  if t.count < 2 then nan else 1.96 *. t.stddev /. sqrt (float_of_int t.count)
+
+let binomial_ci95 ~successes ~trials =
+  if trials = 0 then (nan, nan)
+  else begin
+    let z = 1.96 in
+    let nf = float_of_int trials in
+    let p_hat = float_of_int successes /. nf in
+    let z2 = z *. z in
+    let denom = 1.0 +. (z2 /. nf) in
+    let center = (p_hat +. (z2 /. (2.0 *. nf))) /. denom in
+    let half =
+      z /. denom *. sqrt ((p_hat *. (1.0 -. p_hat) /. nf) +. (z2 /. (4.0 *. nf *. nf)))
+    in
+    (Float.max 0.0 (center -. half), Float.min 1.0 (center +. half))
+  end
+
+let to_string t =
+  Printf.sprintf "n=%d mean=%.4f sd=%.4f min=%.4f med=%.4f p95=%.4f max=%.4f" t.count
+    t.mean t.stddev t.min t.median t.p95 t.max

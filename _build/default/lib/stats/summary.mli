@@ -1,0 +1,36 @@
+(** Summary statistics over float samples. *)
+
+type t = {
+  count : int;
+  mean : float;
+  stddev : float; (* sample standard deviation (n-1 denominator) *)
+  min : float;
+  max : float;
+  median : float;
+  p05 : float;
+  p95 : float;
+}
+
+val of_array : float array -> t
+(** @raise Invalid_argument on an empty array. *)
+
+val of_list : float list -> t
+
+val empty : t
+(** All-nan summary with [count = 0]; convenient for absent data. *)
+
+val percentile : float array -> p:float -> float
+(** [percentile xs ~p] for [p] in [[0,1]], linear interpolation between order
+    statistics.  Does not mutate its argument. *)
+
+val mean : float array -> float
+val stddev : float array -> float
+
+val ci95_halfwidth : t -> float
+(** Half-width of the normal-approximation 95% confidence interval for the
+    mean: [1.96 * stddev / sqrt count]; [nan] if [count < 2]. *)
+
+val binomial_ci95 : successes:int -> trials:int -> float * float
+(** Wilson score interval for a proportion. *)
+
+val to_string : t -> string

@@ -1,0 +1,59 @@
+type t = {
+  title : string;
+  columns : string list;
+  mutable rows_rev : string list list;
+  mutable notes_rev : string list;
+}
+
+let create ~title ~columns = { title; columns; rows_rev = []; notes_rev = [] }
+
+let title t = t.title
+let columns t = t.columns
+let rows t = List.rev t.rows_rev
+
+let add_row t cells =
+  if List.length cells <> List.length t.columns then
+    invalid_arg "Table.add_row: arity mismatch with header";
+  t.rows_rev <- cells :: t.rows_rev
+
+let add_rowf t fmt =
+  Printf.ksprintf
+    (fun s -> add_row t (List.map String.trim (String.split_on_char '|' s)))
+    fmt
+
+let note t s = t.notes_rev <- s :: t.notes_rev
+
+let render t =
+  let all_rows = t.columns :: rows t in
+  let ncols = List.length t.columns in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+      List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row)
+    all_rows;
+  let pad i cell = cell ^ String.make (widths.(i) - String.length cell) ' ' in
+  let render_row row = "  " ^ String.concat "  " (List.mapi pad row) in
+  let rule =
+    "  " ^ String.concat "  " (List.init ncols (fun i -> String.make widths.(i) '-'))
+  in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  Buffer.add_string buf (render_row t.columns ^ "\n");
+  Buffer.add_string buf (rule ^ "\n");
+  List.iter (fun row -> Buffer.add_string buf (render_row row ^ "\n")) (rows t);
+  List.iter
+    (fun n -> Buffer.add_string buf ("  note: " ^ n ^ "\n"))
+    (List.rev t.notes_rev);
+  Buffer.contents buf
+
+let csv_cell cell =
+  let needs_quote =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell
+  in
+  if needs_quote then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let to_csv t =
+  let line row = String.concat "," (List.map csv_cell row) in
+  String.concat "\n" (List.map line (t.columns :: rows t)) ^ "\n"

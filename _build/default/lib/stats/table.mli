@@ -1,0 +1,26 @@
+(** Text tables for experiment output: aligned console rendering and CSV. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+(** A table with the given header.  Rows are appended with {!add_row}. *)
+
+val title : t -> string
+val columns : t -> string list
+val rows : t -> string list list
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument if the arity differs from the header. *)
+
+val add_rowf : t -> ('a, unit, string, unit) format4 -> 'a
+(** [add_rowf t fmt ...] formats a single string and splits it on ['|'] into
+    cells, trimming whitespace: [add_rowf t "%d | %.3f" 4 0.5]. *)
+
+val render : t -> string
+(** Console rendering with padded columns and a rule under the header. *)
+
+val to_csv : t -> string
+(** RFC-4180-ish CSV (quotes cells containing commas/quotes/newlines). *)
+
+val note : t -> string -> unit
+(** Attach a free-text footnote printed below the table. *)

@@ -1,0 +1,1 @@
+test/test_bfs.ml: Alcotest Array Bfs Graph List Prng QCheck2 QCheck_alcotest Sparse_graph

@@ -1,0 +1,1 @@
+test/test_chung_lu.ml: Alcotest Array Chung_lu Float Fun Girg Hashtbl Prng Seq Sparse_graph Stats

@@ -1,0 +1,1 @@
+test/test_components.ml: Alcotest Array Bfs Components Graph QCheck2 QCheck_alcotest Sparse_graph

@@ -1,0 +1,1 @@
+test/test_dist.ml: Alcotest Array Dist Fun Hashtbl List Option Printf Prng Rng

@@ -1,0 +1,1 @@
+test/test_embed.ml: Alcotest Array Embed Float Greedy_routing Hrg Hyperbolic Prng Random Sparse_graph

@@ -1,0 +1,1 @@
+test/test_faulty.ml: Alcotest Array Faulty Greedy Greedy_routing Objective Outcome Prng Sparse_graph Test_greedy

@@ -1,0 +1,1 @@
+test/test_girg_params.ml: Alcotest Array Geometry Girg Instance List Params Prng String

@@ -1,0 +1,1 @@
+test/test_gravity.ml: Alcotest Array Gravity_pressure Greedy_routing List Objective Outcome Prng Sparse_graph Test_greedy

@@ -1,0 +1,1 @@
+test/test_greedy.ml: Alcotest Array Girg Greedy Greedy_routing List Objective Outcome Prng Sparse_graph

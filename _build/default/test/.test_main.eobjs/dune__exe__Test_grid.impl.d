@@ -1,0 +1,1 @@
+test/test_grid.ml: Alcotest Array Fun Geometry Grid List Morton Printf Prng Torus

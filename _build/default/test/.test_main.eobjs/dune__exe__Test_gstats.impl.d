@@ -1,0 +1,1 @@
+test/test_gstats.ml: Alcotest Array Float Fun Graph Gstats List Prng Sparse_graph

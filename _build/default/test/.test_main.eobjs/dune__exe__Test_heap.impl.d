@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest Binary_heap Greedy_routing List QCheck2 QCheck_alcotest

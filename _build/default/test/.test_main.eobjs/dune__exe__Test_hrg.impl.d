@@ -1,0 +1,1 @@
+test/test_hrg.ml: Alcotest Float Girg Hrg Hyperbolic Prng QCheck2 QCheck_alcotest Sparse_graph

@@ -1,0 +1,1 @@
+test/test_io.ml: Alcotest Array Filename Geometry Girg Greedy_routing In_channel List Out_channel Printf Prng Sparse_graph String Sys

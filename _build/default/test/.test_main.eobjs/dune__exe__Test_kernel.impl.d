@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Float Girg Kernel List Params Printf Prng QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_lattice.ml: Alcotest Greedy_routing Kleinberg Lattice Prng Sparse_graph

@@ -1,0 +1,1 @@
+test/test_layers.ml: Alcotest Array Girg Greedy Greedy_routing Layers List Objective Outcome Prng Sparse_graph

@@ -1,0 +1,1 @@
+test/test_morton.ml: Alcotest Array Geometry Hashtbl List Morton Prng QCheck2 QCheck_alcotest Torus

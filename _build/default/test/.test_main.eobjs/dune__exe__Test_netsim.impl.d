@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Array Float Girg Greedy_routing List Netsim Printf Prng Sparse_graph Test_greedy

@@ -1,0 +1,1 @@
+test/test_objective.ml: Alcotest Array Float Girg Greedy_routing Hyperbolic List Objective Prng Sparse_graph

@@ -1,0 +1,1 @@
+test/test_patching.ml: Alcotest Array Greedy_routing List Objective Outcome Prng Protocol Sparse_graph Stats Test_greedy

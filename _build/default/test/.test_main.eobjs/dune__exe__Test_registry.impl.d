@@ -1,0 +1,1 @@
+test/test_registry.ml: Alcotest Context Experiments List Printf Prng Registry Stats String

@@ -1,0 +1,1 @@
+test/test_regression.ml: Alcotest Array Prng QCheck2 QCheck_alcotest Regression Stats

@@ -1,0 +1,1 @@
+test/test_samplers.ml: Alcotest Array Cell Fun Geometry Girg Instance Kernel List Naive Params Prng Seq Sparse_graph Stats

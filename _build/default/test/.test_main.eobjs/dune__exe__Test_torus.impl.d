@@ -1,0 +1,1 @@
+test/test_torus.ml: Alcotest Array Fmt Geometry List Prng QCheck2 QCheck_alcotest Torus

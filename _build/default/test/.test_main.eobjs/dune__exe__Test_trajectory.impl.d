@@ -1,0 +1,1 @@
+test/test_trajectory.ml: Alcotest Girg Greedy_routing List Prng Trajectory

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Experiments Float Greedy_routing Prng Sparse_graph Test_greedy Workload

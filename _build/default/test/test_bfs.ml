@@ -1,0 +1,87 @@
+open Sparse_graph
+
+let path_graph n = Graph.of_edge_list ~n (List.init (n - 1) (fun i -> (i, i + 1)))
+
+let random_graph ~seed ~n ~m =
+  let rng = Prng.Rng.create ~seed in
+  let edges =
+    Array.init m (fun _ -> (Prng.Rng.int rng n, Prng.Rng.int rng n))
+  in
+  Graph.of_edges ~n edges
+
+let test_distances_path () =
+  let g = path_graph 6 in
+  Alcotest.(check (array int)) "from 0" [| 0; 1; 2; 3; 4; 5 |] (Bfs.distances g ~source:0);
+  Alcotest.(check (array int)) "from 3" [| 3; 2; 1; 0; 1; 2 |] (Bfs.distances g ~source:3)
+
+let test_distances_disconnected () =
+  let g = Graph.of_edge_list ~n:4 [ (0, 1) ] in
+  Alcotest.(check (array int)) "unreachable -1" [| 0; 1; -1; -1 |] (Bfs.distances g ~source:0)
+
+let test_single_pair () =
+  let g = path_graph 10 in
+  Alcotest.(check (option int)) "0-9" (Some 9) (Bfs.distance g ~source:0 ~target:9);
+  Alcotest.(check (option int)) "same" (Some 0) (Bfs.distance g ~source:4 ~target:4);
+  Alcotest.(check (option int)) "adjacent" (Some 1) (Bfs.distance g ~source:4 ~target:5)
+
+let test_single_pair_disconnected () =
+  let g = Graph.of_edge_list ~n:4 [ (0, 1); (2, 3) ] in
+  Alcotest.(check (option int)) "disconnected" None (Bfs.distance g ~source:0 ~target:3)
+
+let bidirectional_matches_full_prop =
+  QCheck2.Test.make ~name:"bidirectional BFS = full BFS" ~count:150
+    QCheck2.Gen.(
+      tup3 (list_size (int_bound 40) (tup2 (int_bound 11) (int_bound 11)))
+        (int_bound 11) (int_bound 11))
+    (fun (edges, s, t) ->
+      let g = Graph.of_edge_list ~n:12 edges in
+      let full = (Bfs.distances g ~source:s).(t) in
+      let expected = if full < 0 then None else Some full in
+      Bfs.distance g ~source:s ~target:t = expected)
+
+let shortest_path_valid_prop =
+  QCheck2.Test.make ~name:"shortest_path is a valid shortest path" ~count:150
+    QCheck2.Gen.(
+      tup3 (list_size (int_bound 40) (tup2 (int_bound 11) (int_bound 11)))
+        (int_bound 11) (int_bound 11))
+    (fun (edges, s, t) ->
+      let g = Graph.of_edge_list ~n:12 edges in
+      match Bfs.shortest_path g ~source:s ~target:t with
+      | None -> (Bfs.distances g ~source:s).(t) < 0
+      | Some path ->
+          let rec consecutive_edges = function
+            | a :: (b :: _ as rest) -> Graph.has_edge g a b && consecutive_edges rest
+            | [ _ ] | [] -> true
+          in
+          let len = List.length path - 1 in
+          List.hd path = s
+          && List.nth path len = t
+          && consecutive_edges path
+          && len = (Bfs.distances g ~source:s).(t))
+
+let test_eccentricity () =
+  let g = path_graph 7 in
+  Alcotest.(check int) "end" 6 (Bfs.eccentricity_lower_bound g ~source:0);
+  Alcotest.(check int) "middle" 3 (Bfs.eccentricity_lower_bound g ~source:3)
+
+let test_bidirectional_on_random_larger () =
+  let g = random_graph ~seed:5 ~n:300 ~m:500 in
+  let rng = Prng.Rng.create ~seed:6 in
+  for _ = 1 to 100 do
+    let s = Prng.Rng.int rng 300 and t = Prng.Rng.int rng 300 in
+    let full = (Bfs.distances g ~source:s).(t) in
+    let expected = if full < 0 then None else Some full in
+    Alcotest.(check (option int)) "pair distance" expected (Bfs.distance g ~source:s ~target:t)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "distances on a path" `Quick test_distances_path;
+    Alcotest.test_case "distances disconnected" `Quick test_distances_disconnected;
+    Alcotest.test_case "single pair" `Quick test_single_pair;
+    Alcotest.test_case "single pair disconnected" `Quick test_single_pair_disconnected;
+    QCheck_alcotest.to_alcotest bidirectional_matches_full_prop;
+    QCheck_alcotest.to_alcotest shortest_path_valid_prop;
+    Alcotest.test_case "eccentricity lower bound" `Quick test_eccentricity;
+    Alcotest.test_case "bidirectional on random graph" `Quick test_bidirectional_on_random_larger;
+  ]

@@ -1,0 +1,94 @@
+open Girg
+
+let test_per_pair_probabilities () =
+  (* Skip-sampling must realise exactly p = min(1, w_u w_v / W) per pair. *)
+  let weights = [| 5.0; 3.0; 2.0; 1.0; 1.0; 0.5; 4.0; 0.25 |] in
+  let n = Array.length weights in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let trials = 30_000 in
+  let counts = Array.make_matrix n n 0 in
+  for s = 1 to trials do
+    let rng = Prng.Rng.create ~seed:(70_000 + s) in
+    Array.iter
+      (fun (u, v) ->
+        let u, v = (min u v, max u v) in
+        counts.(u).(v) <- counts.(u).(v) + 1)
+      (Chung_lu.sample_edges ~rng ~weights)
+  done;
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      let p = Float.min 1.0 (weights.(u) *. weights.(v) /. total) in
+      let observed = float_of_int counts.(u).(v) /. float_of_int trials in
+      let tolerance = 0.01 +. (4.5 *. sqrt (p *. (1.0 -. p) /. float_of_int trials)) in
+      if abs_float (observed -. p) > tolerance then
+        Alcotest.failf "pair (%d,%d): expected %.4f observed %.4f" u v p observed
+    done
+  done
+
+let test_no_duplicates_or_loops () =
+  let rng = Prng.Rng.create ~seed:71 in
+  let weights = Array.init 200 (fun _ -> Prng.Dist.pareto rng ~x_min:1.0 ~exponent:2.5) in
+  let edges = Chung_lu.sample_edges ~rng:(Prng.Rng.create ~seed:72) ~weights in
+  let seen = Hashtbl.create 256 in
+  Array.iter
+    (fun (u, v) ->
+      if u = v then Alcotest.fail "self loop";
+      let key = (min u v, max u v) in
+      if Hashtbl.mem seen key then Alcotest.fail "duplicate edge";
+      Hashtbl.add seen key ())
+    edges
+
+let test_degree_tracks_weight () =
+  let rng = Prng.Rng.create ~seed:73 in
+  let cl = Chung_lu.generate_power_law ~rng ~n:30_000 ~beta:2.5 ~w_min:3.0 in
+  let points =
+    Array.of_seq
+      (Seq.filter_map
+         (fun v ->
+           let d = Sparse_graph.Graph.degree cl.Chung_lu.graph v in
+           if d > 0 then Some (cl.Chung_lu.weights.(v), float_of_int d) else None)
+         (Seq.init (Sparse_graph.Graph.n cl.Chung_lu.graph) Fun.id))
+  in
+  let fit = Stats.Regression.log_log points in
+  if abs_float (fit.Stats.Regression.slope -. 1.0) > 0.15 then
+    Alcotest.failf "CL degree/weight slope %.3f" fit.Stats.Regression.slope
+
+let test_expected_edge_count () =
+  (* m concentrates around sum over pairs of min(1, w_u w_v / W). *)
+  let weights = Array.make 500 2.0 in
+  (* homogeneous: p = 4/1000 per pair, ~ 499 expected edges *)
+  let total_m = ref 0 in
+  let runs = 30 in
+  for s = 1 to runs do
+    let cl = Chung_lu.generate ~rng:(Prng.Rng.create ~seed:(80 + s)) ~weights in
+    total_m := !total_m + Sparse_graph.Graph.m cl.Chung_lu.graph
+  done;
+  let mean_m = float_of_int !total_m /. float_of_int runs in
+  let expected = 4.0 /. 1000.0 *. float_of_int (500 * 499 / 2) in
+  if abs_float (mean_m -. expected) > 0.1 *. expected then
+    Alcotest.failf "mean edges %.1f vs expected %.1f" mean_m expected
+
+let test_tiny_inputs () =
+  let rng = Prng.Rng.create ~seed:90 in
+  Alcotest.(check int) "empty" 0 (Array.length (Chung_lu.sample_edges ~rng ~weights:[||]));
+  Alcotest.(check int) "single" 0
+    (Array.length (Chung_lu.sample_edges ~rng ~weights:[| 3.0 |]))
+
+let test_heavy_pair_always_connected () =
+  (* Two weights whose product exceeds W force p = 1. *)
+  let weights = [| 100.0; 100.0; 1.0; 1.0 |] in
+  for s = 1 to 50 do
+    let cl = Chung_lu.generate ~rng:(Prng.Rng.create ~seed:(100 + s)) ~weights in
+    if not (Sparse_graph.Graph.has_edge cl.Chung_lu.graph 0 1) then
+      Alcotest.fail "saturated pair missing"
+  done
+
+let suite =
+  [
+    Alcotest.test_case "per-pair probabilities" `Slow test_per_pair_probabilities;
+    Alcotest.test_case "no duplicates or loops" `Quick test_no_duplicates_or_loops;
+    Alcotest.test_case "degree tracks weight" `Quick test_degree_tracks_weight;
+    Alcotest.test_case "expected edge count" `Quick test_expected_edge_count;
+    Alcotest.test_case "tiny inputs" `Quick test_tiny_inputs;
+    Alcotest.test_case "heavy pair always connected" `Quick test_heavy_pair_always_connected;
+  ]

@@ -1,0 +1,66 @@
+open Sparse_graph
+
+let test_two_components () =
+  let g = Graph.of_edge_list ~n:6 [ (0, 1); (1, 2); (3, 4) ] in
+  let c = Components.compute g in
+  Alcotest.(check int) "count" 3 (Components.count c);
+  Alcotest.(check bool) "0~2" true (Components.same c 0 2);
+  Alcotest.(check bool) "3~4" true (Components.same c 3 4);
+  Alcotest.(check bool) "0!~3" false (Components.same c 0 3);
+  Alcotest.(check int) "giant size" 3 (Components.giant_size c);
+  Alcotest.(check (array int)) "giant members" [| 0; 1; 2 |] (Components.giant_members c)
+
+let test_isolated_vertices () =
+  let g = Graph.of_edges ~n:4 [||] in
+  let c = Components.compute g in
+  Alcotest.(check int) "count" 4 (Components.count c);
+  Alcotest.(check int) "giant" 1 (Components.giant_size c)
+
+let test_single_component () =
+  let g = Graph.of_edge_list ~n:5 [ (0, 1); (1, 2); (2, 3); (3, 4) ] in
+  let c = Components.compute g in
+  Alcotest.(check int) "count" 1 (Components.count c);
+  Alcotest.(check int) "giant" 5 (Components.giant_size c)
+
+let test_sizes_sum_to_n () =
+  let g = Graph.of_edge_list ~n:10 [ (0, 1); (2, 3); (3, 4); (7, 8) ] in
+  let c = Components.compute g in
+  let total = ref 0 in
+  for i = 0 to Components.count c - 1 do
+    total := !total + Components.size c i
+  done;
+  Alcotest.(check int) "partition" 10 !total
+
+let components_match_bfs_prop =
+  QCheck2.Test.make ~name:"components agree with BFS reachability" ~count:150
+    QCheck2.Gen.(list_size (int_bound 30) (tup2 (int_bound 9) (int_bound 9)))
+    (fun edges ->
+      let g = Graph.of_edge_list ~n:10 edges in
+      let c = Components.compute g in
+      let ok = ref true in
+      for s = 0 to 9 do
+        let dist = Bfs.distances g ~source:s in
+        for t = 0 to 9 do
+          if Components.same c s t <> (dist.(t) >= 0) then ok := false
+        done
+      done;
+      !ok)
+
+let test_members_consistent_with_id () =
+  let g = Graph.of_edge_list ~n:8 [ (0, 1); (2, 3); (4, 5); (5, 6) ] in
+  let c = Components.compute g in
+  for i = 0 to Components.count c - 1 do
+    let members = Components.members c i in
+    Alcotest.(check int) "size matches" (Components.size c i) (Array.length members);
+    Array.iter (fun v -> Alcotest.(check int) "id matches" i (Components.id c v)) members
+  done
+
+let suite =
+  [
+    Alcotest.test_case "two components" `Quick test_two_components;
+    Alcotest.test_case "isolated vertices" `Quick test_isolated_vertices;
+    Alcotest.test_case "single component" `Quick test_single_component;
+    Alcotest.test_case "sizes partition n" `Quick test_sizes_sum_to_n;
+    QCheck_alcotest.to_alcotest components_match_bfs_prop;
+    Alcotest.test_case "members consistent" `Quick test_members_consistent_with_id;
+  ]

@@ -1,0 +1,195 @@
+open Prng
+
+let rng () = Rng.create ~seed:101
+
+let mean_of f n =
+  let r = rng () in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. f r
+  done;
+  !sum /. float_of_int n
+
+let check_close name ~expected ~tolerance actual =
+  if abs_float (actual -. expected) > tolerance then
+    Alcotest.failf "%s: %f not within %f of %f" name actual tolerance expected
+
+let test_bernoulli_edge_cases () =
+  let r = rng () in
+  Alcotest.(check bool) "p=1" true (Dist.bernoulli r ~p:1.0);
+  Alcotest.(check bool) "p=0" false (Dist.bernoulli r ~p:0.0);
+  Alcotest.(check bool) "p>1" true (Dist.bernoulli r ~p:2.0);
+  Alcotest.(check bool) "p<0" false (Dist.bernoulli r ~p:(-1.0))
+
+let test_bernoulli_rate () =
+  let r = rng () in
+  let hits = ref 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    if Dist.bernoulli r ~p:0.3 then incr hits
+  done;
+  check_close "bernoulli rate" ~expected:0.3 ~tolerance:0.01
+    (float_of_int !hits /. float_of_int n)
+
+let test_exponential_mean () =
+  check_close "exp mean" ~expected:0.5 ~tolerance:0.02
+    (mean_of (fun r -> Dist.exponential r ~rate:2.0) 50_000)
+
+let test_exponential_invalid () =
+  Alcotest.check_raises "rate 0" (Invalid_argument "Dist.exponential: rate must be positive")
+    (fun () -> ignore (Dist.exponential (rng ()) ~rate:0.0))
+
+let test_pareto_support () =
+  let r = rng () in
+  for _ = 1 to 10_000 do
+    if Dist.pareto r ~x_min:2.0 ~exponent:2.5 < 2.0 then
+      Alcotest.fail "pareto below x_min"
+  done
+
+let test_pareto_tail () =
+  (* P(W >= w) = (w / x_min)^(1 - exponent). *)
+  let r = rng () in
+  let n = 200_000 in
+  let above4 = ref 0 in
+  for _ = 1 to n do
+    if Dist.pareto r ~x_min:1.0 ~exponent:2.5 >= 4.0 then incr above4
+  done;
+  check_close "pareto tail at 4" ~expected:(4.0 ** -1.5) ~tolerance:0.01
+    (float_of_int !above4 /. float_of_int n)
+
+let test_pareto_mean () =
+  (* E[W] = x_min (e-1)/(e-2) for exponent e > 2. *)
+  check_close "pareto mean" ~expected:3.0 ~tolerance:0.15
+    (mean_of (fun r -> Dist.pareto r ~x_min:1.0 ~exponent:2.5) 300_000)
+
+let test_pareto_truncated_support () =
+  let r = rng () in
+  for _ = 1 to 10_000 do
+    let w = Dist.pareto_truncated r ~x_min:1.0 ~x_max:8.0 ~exponent:2.5 in
+    if w < 1.0 || w > 8.0 then Alcotest.fail "truncated pareto out of range"
+  done
+
+let test_geometric_mean () =
+  (* E = (1-p)/p. *)
+  check_close "geometric mean" ~expected:(0.8 /. 0.2) ~tolerance:0.1
+    (mean_of (fun r -> float_of_int (Dist.geometric r ~p:0.2)) 100_000)
+
+let test_geometric_p1 () =
+  let r = rng () in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "p=1 -> 0" 0 (Dist.geometric r ~p:1.0)
+  done
+
+let test_geometric_invalid () =
+  Alcotest.check_raises "p=0" (Invalid_argument "Dist.geometric: p must be positive")
+    (fun () -> ignore (Dist.geometric (rng ()) ~p:0.0))
+
+let poisson_moments mean n =
+  let r = rng () in
+  let sum = ref 0.0 and sumsq = ref 0.0 in
+  for _ = 1 to n do
+    let k = float_of_int (Dist.poisson r ~mean) in
+    sum := !sum +. k;
+    sumsq := !sumsq +. (k *. k)
+  done;
+  let m = !sum /. float_of_int n in
+  (m, (!sumsq /. float_of_int n) -. (m *. m))
+
+let test_poisson_small () =
+  let m, v = poisson_moments 3.0 100_000 in
+  check_close "poisson(3) mean" ~expected:3.0 ~tolerance:0.05 m;
+  check_close "poisson(3) var" ~expected:3.0 ~tolerance:0.1 v
+
+let test_poisson_large () =
+  let m, v = poisson_moments 10_000.0 20_000 in
+  check_close "poisson(1e4) mean" ~expected:10_000.0 ~tolerance:5.0 m;
+  check_close "poisson(1e4) var/mean" ~expected:1.0 ~tolerance:0.05 (v /. m)
+
+let test_poisson_boundary () =
+  (* Means around the Knuth/PTRD switch must agree with theory. *)
+  List.iter
+    (fun mean ->
+      let m, _ = poisson_moments mean 100_000 in
+      check_close (Printf.sprintf "poisson(%g) mean" mean) ~expected:mean
+        ~tolerance:(0.03 *. mean) m)
+    [ 8.0; 9.9; 10.1; 14.0 ]
+
+let test_poisson_zero () =
+  Alcotest.(check int) "mean 0" 0 (Dist.poisson (rng ()) ~mean:0.0)
+
+let test_gaussian_moments () =
+  let r = rng () in
+  let n = 100_000 in
+  let sum = ref 0.0 and sumsq = ref 0.0 in
+  for _ = 1 to n do
+    let x = Dist.gaussian r ~mean:2.0 ~stddev:3.0 in
+    sum := !sum +. x;
+    sumsq := !sumsq +. (x *. x)
+  done;
+  let m = !sum /. float_of_int n in
+  let v = (!sumsq /. float_of_int n) -. (m *. m) in
+  check_close "gaussian mean" ~expected:2.0 ~tolerance:0.05 m;
+  check_close "gaussian var" ~expected:9.0 ~tolerance:0.2 v
+
+let test_log_uniform_factor () =
+  let r = rng () in
+  Alcotest.(check (float 0.0)) "spread 0" 1.0 (Dist.log_uniform_factor r ~spread:0.0);
+  for _ = 1 to 10_000 do
+    let f = Dist.log_uniform_factor r ~spread:1.5 in
+    if f < exp (-1.5) -. 1e-9 || f > exp 1.5 +. 1e-9 then
+      Alcotest.fail "factor out of range"
+  done
+
+let test_shuffle_permutation () =
+  let r = rng () in
+  let arr = Array.init 50 Fun.id in
+  Dist.shuffle_in_place r arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 Fun.id) sorted
+
+let test_distinct_pair () =
+  let r = rng () in
+  for _ = 1 to 10_000 do
+    let a, b = Dist.sample_distinct_pair r ~n:5 in
+    if a = b || a < 0 || a >= 5 || b < 0 || b >= 5 then Alcotest.fail "bad pair"
+  done
+
+let test_distinct_pair_uniform () =
+  let r = rng () in
+  let counts = Hashtbl.create 16 in
+  let n = 60_000 in
+  for _ = 1 to n do
+    let p = Dist.sample_distinct_pair r ~n:4 in
+    Hashtbl.replace counts p (1 + Option.value ~default:0 (Hashtbl.find_opt counts p))
+  done;
+  Alcotest.(check int) "12 ordered pairs seen" 12 (Hashtbl.length counts);
+  Hashtbl.iter
+    (fun _ c ->
+      check_close "pair frequency" ~expected:(1.0 /. 12.0) ~tolerance:0.01
+        (float_of_int c /. float_of_int n))
+    counts
+
+let suite =
+  [
+    Alcotest.test_case "bernoulli edge cases" `Quick test_bernoulli_edge_cases;
+    Alcotest.test_case "bernoulli rate" `Quick test_bernoulli_rate;
+    Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+    Alcotest.test_case "exponential invalid" `Quick test_exponential_invalid;
+    Alcotest.test_case "pareto support" `Quick test_pareto_support;
+    Alcotest.test_case "pareto tail" `Quick test_pareto_tail;
+    Alcotest.test_case "pareto mean" `Quick test_pareto_mean;
+    Alcotest.test_case "pareto truncated support" `Quick test_pareto_truncated_support;
+    Alcotest.test_case "geometric mean" `Quick test_geometric_mean;
+    Alcotest.test_case "geometric p=1" `Quick test_geometric_p1;
+    Alcotest.test_case "geometric invalid" `Quick test_geometric_invalid;
+    Alcotest.test_case "poisson small mean/var" `Quick test_poisson_small;
+    Alcotest.test_case "poisson large mean/var" `Quick test_poisson_large;
+    Alcotest.test_case "poisson boundary means" `Quick test_poisson_boundary;
+    Alcotest.test_case "poisson zero" `Quick test_poisson_zero;
+    Alcotest.test_case "gaussian moments" `Quick test_gaussian_moments;
+    Alcotest.test_case "log uniform factor" `Quick test_log_uniform_factor;
+    Alcotest.test_case "shuffle permutation" `Quick test_shuffle_permutation;
+    Alcotest.test_case "distinct pair validity" `Quick test_distinct_pair;
+    Alcotest.test_case "distinct pair uniformity" `Quick test_distinct_pair_uniform;
+  ]

@@ -1,0 +1,89 @@
+open Greedy_routing
+
+let instance () = Test_greedy.girg_instance ~seed:777 ~n:4000 ~c:0.25 ()
+
+let test_zero_failures_matches_greedy () =
+  let inst = instance () in
+  let graph = inst.graph in
+  let rng_pairs = Prng.Rng.create ~seed:1 in
+  for _ = 1 to 50 do
+    let s, t = Prng.Dist.sample_distinct_pair rng_pairs ~n:(Sparse_graph.Graph.n graph) in
+    let objective = Objective.girg_phi inst ~target:t in
+    let plain = Greedy.route ~graph ~objective ~source:s () in
+    let faulty =
+      Faulty.route ~graph ~objective ~source:s ~rng:(Prng.Rng.create ~seed:2)
+        ~failure_prob:0.0 ()
+    in
+    Alcotest.(check (list int)) "identical walks" plain.Outcome.walk faulty.Outcome.walk;
+    Alcotest.(check bool) "same status" true (plain.Outcome.status = faulty.Outcome.status)
+  done
+
+let test_invalid_probability () =
+  let inst = instance () in
+  let objective = Objective.girg_phi inst ~target:0 in
+  Alcotest.check_raises "p = 1" (Invalid_argument "Faulty.route: failure_prob must lie in [0, 1)")
+    (fun () ->
+      ignore
+        (Faulty.route ~graph:inst.graph ~objective ~source:1 ~rng:(Prng.Rng.create ~seed:1)
+           ~failure_prob:1.0 ()))
+
+let test_monotone_objective_still_holds () =
+  let inst = instance () in
+  let graph = inst.graph in
+  let rng = Prng.Rng.create ~seed:3 in
+  for _ = 1 to 50 do
+    let s, t = Prng.Dist.sample_distinct_pair rng ~n:(Sparse_graph.Graph.n graph) in
+    let objective = Objective.girg_phi inst ~target:t in
+    let r = Faulty.route ~graph ~objective ~source:s ~rng ~failure_prob:0.4 () in
+    let rec check = function
+      | a :: (b :: _ as rest) ->
+          if objective.Objective.score b <= objective.Objective.score a then
+            Alcotest.fail "objective must strictly increase even under failures";
+          if not (Sparse_graph.Graph.has_edge graph a b) then
+            Alcotest.fail "walk uses non-edge";
+          check rest
+      | [ _ ] | [] -> ()
+    in
+    check r.Outcome.walk
+  done
+
+let test_graceful_degradation () =
+  let inst = instance () in
+  let graph = inst.graph in
+  let comps = Sparse_graph.Components.compute graph in
+  let giant = Sparse_graph.Components.giant_members comps in
+  let success failure_prob =
+    let rng = Prng.Rng.create ~seed:4 in
+    let delivered = ref 0 in
+    let trials = 300 in
+    for _ = 1 to trials do
+      let i, j = Prng.Dist.sample_distinct_pair rng ~n:(Array.length giant) in
+      let objective = Objective.girg_phi inst ~target:giant.(j) in
+      let r = Faulty.route ~graph ~objective ~source:giant.(i) ~rng ~failure_prob () in
+      if Outcome.delivered r then incr delivered
+    done;
+    float_of_int !delivered /. float_of_int trials
+  in
+  let s0 = success 0.0 and s25 = success 0.25 and s75 = success 0.75 in
+  Alcotest.(check bool) "baseline high" true (s0 > 0.9);
+  Alcotest.(check bool) "moderate failures still mostly fine" true (s25 > 0.7);
+  Alcotest.(check bool) "monotone degradation" true (s0 >= s25 && s25 >= s75)
+
+let test_deterministic_given_rng () =
+  let inst = instance () in
+  let objective = Objective.girg_phi inst ~target:42 in
+  let run seed =
+    (Faulty.route ~graph:inst.graph ~objective ~source:7 ~rng:(Prng.Rng.create ~seed)
+       ~failure_prob:0.3 ())
+      .Outcome.walk
+  in
+  Alcotest.(check (list int)) "same seed same walk" (run 5) (run 5)
+
+let suite =
+  [
+    Alcotest.test_case "p=0 matches greedy" `Quick test_zero_failures_matches_greedy;
+    Alcotest.test_case "invalid probability" `Quick test_invalid_probability;
+    Alcotest.test_case "monotone objective under failures" `Quick test_monotone_objective_still_holds;
+    Alcotest.test_case "graceful degradation" `Quick test_graceful_degradation;
+    Alcotest.test_case "deterministic given rng" `Quick test_deterministic_given_rng;
+  ]

@@ -1,0 +1,92 @@
+open Girg
+
+let is_error = function Error _ -> true | Ok _ -> false
+
+let test_default_valid () =
+  Alcotest.(check bool) "default valid" false (is_error (Params.validate Params.default))
+
+let test_rejects_bad_beta () =
+  Alcotest.(check bool) "beta 2" true
+    (is_error (Params.validate { Params.default with beta = 2.0 }));
+  Alcotest.(check bool) "beta 3" true
+    (is_error (Params.validate { Params.default with beta = 3.0 }));
+  Alcotest.(check bool) "beta 3.5" true
+    (is_error (Params.validate { Params.default with beta = 3.5 }))
+
+let test_rejects_bad_alpha () =
+  Alcotest.(check bool) "alpha 1" true
+    (is_error (Params.validate { Params.default with alpha = Params.Finite 1.0 }));
+  Alcotest.(check bool) "alpha inf ok" false
+    (is_error (Params.validate { Params.default with alpha = Params.Infinite }))
+
+let test_rejects_bad_rest () =
+  Alcotest.(check bool) "n 0" true (is_error (Params.validate { Params.default with n = 0 }));
+  Alcotest.(check bool) "dim 0" true
+    (is_error (Params.validate { Params.default with dim = 0 }));
+  Alcotest.(check bool) "w_min 0" true
+    (is_error (Params.validate { Params.default with w_min = 0.0 }));
+  Alcotest.(check bool) "c 0" true (is_error (Params.validate { Params.default with c = 0.0 }))
+
+let test_make_raises () =
+  Alcotest.check_raises "make validates" (Invalid_argument "Girg.Params: beta must lie in (2, 3)")
+    (fun () -> ignore (Params.make ~beta:5.0 ~n:10 ()))
+
+let test_to_string_mentions_fields () =
+  let s = Params.to_string (Params.make ~n:123 ~beta:2.25 ()) in
+  let contains sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "n" true (contains "123");
+  Alcotest.(check bool) "beta" true (contains "2.25")
+
+let test_norm_strings () =
+  List.iter
+    (fun norm ->
+      Alcotest.(check bool) "roundtrip" true
+        (Params.norm_of_string (Params.norm_to_string norm) = Some norm))
+    [ Geometry.Torus.Linf; Geometry.Torus.L2; Geometry.Torus.L1 ];
+  Alcotest.(check bool) "unknown" true (Params.norm_of_string "l7" = None)
+
+let test_alpha_to_string () =
+  Alcotest.(check string) "inf" "inf" (Params.alpha_to_string Params.Infinite);
+  Alcotest.(check string) "finite" "2.5" (Params.alpha_to_string (Params.Finite 2.5))
+
+let test_expected_avg_weight () =
+  let p = Params.make ~beta:2.5 ~w_min:2.0 ~n:10 () in
+  Alcotest.(check (float 1e-9)) "w_min(b-1)/(b-2)" 6.0 (Instance.expected_avg_weight p)
+
+let test_weights_empirical_mean () =
+  let p = Params.make ~beta:2.5 ~w_min:1.0 ~n:10 () in
+  let rng = Prng.Rng.create ~seed:55 in
+  let ws = Instance.sample_weights ~rng ~params:p ~count:200_000 in
+  let mean = Array.fold_left ( +. ) 0.0 ws /. 200_000.0 in
+  if abs_float (mean -. Instance.expected_avg_weight p) > 0.2 then
+    Alcotest.failf "weight mean %f" mean
+
+let test_vertex_count_modes () =
+  let rng = Prng.Rng.create ~seed:1 in
+  let fixed = Params.make ~n:500 ~poisson_count:false () in
+  Alcotest.(check int) "fixed" 500 (Instance.vertex_count ~rng ~params:fixed);
+  let poisson = Params.make ~n:500 () in
+  let counts = List.init 50 (fun _ -> Instance.vertex_count ~rng ~params:poisson) in
+  let mean = float_of_int (List.fold_left ( + ) 0 counts) /. 50.0 in
+  if abs_float (mean -. 500.0) > 25.0 then Alcotest.failf "poisson count mean %f" mean;
+  Alcotest.(check bool) "varies" true
+    (List.exists (fun c -> c <> List.hd counts) counts)
+
+let suite =
+  [
+    Alcotest.test_case "default valid" `Quick test_default_valid;
+    Alcotest.test_case "rejects bad beta" `Quick test_rejects_bad_beta;
+    Alcotest.test_case "rejects bad alpha" `Quick test_rejects_bad_alpha;
+    Alcotest.test_case "rejects bad n/dim/w_min/c" `Quick test_rejects_bad_rest;
+    Alcotest.test_case "make raises" `Quick test_make_raises;
+    Alcotest.test_case "to_string" `Quick test_to_string_mentions_fields;
+    Alcotest.test_case "norm strings" `Quick test_norm_strings;
+    Alcotest.test_case "alpha_to_string" `Quick test_alpha_to_string;
+    Alcotest.test_case "expected avg weight" `Quick test_expected_avg_weight;
+    Alcotest.test_case "weights empirical mean" `Quick test_weights_empirical_mean;
+    Alcotest.test_case "vertex count modes" `Quick test_vertex_count_modes;
+  ]

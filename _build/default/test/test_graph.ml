@@ -1,0 +1,137 @@
+open Sparse_graph
+
+let test_empty () =
+  let g = Graph.of_edges ~n:5 [||] in
+  Alcotest.(check int) "n" 5 (Graph.n g);
+  Alcotest.(check int) "m" 0 (Graph.m g);
+  for v = 0 to 4 do
+    Alcotest.(check int) "degree 0" 0 (Graph.degree g v)
+  done
+
+let test_zero_vertices () =
+  let g = Graph.of_edges ~n:0 [||] in
+  Alcotest.(check int) "n" 0 (Graph.n g);
+  Alcotest.(check (float 0.0)) "avg degree" 0.0 (Graph.avg_degree g)
+
+let test_triangle () =
+  let g = Graph.of_edge_list ~n:3 [ (0, 1); (1, 2); (2, 0) ] in
+  Alcotest.(check int) "m" 3 (Graph.m g);
+  Alcotest.(check (array int)) "nbrs of 0" [| 1; 2 |] (Graph.neighbors g 0);
+  Alcotest.(check (array int)) "nbrs of 1" [| 0; 2 |] (Graph.neighbors g 1)
+
+let test_self_loops_dropped () =
+  let g = Graph.of_edge_list ~n:3 [ (0, 0); (1, 1); (0, 1) ] in
+  Alcotest.(check int) "m" 1 (Graph.m g);
+  Alcotest.(check int) "deg 0" 1 (Graph.degree g 0)
+
+let test_duplicates_dropped () =
+  let g = Graph.of_edge_list ~n:3 [ (0, 1); (1, 0); (0, 1); (0, 2) ] in
+  Alcotest.(check int) "m" 2 (Graph.m g);
+  Alcotest.(check (array int)) "nbrs of 0" [| 1; 2 |] (Graph.neighbors g 0)
+
+let test_out_of_range_rejected () =
+  Alcotest.check_raises "endpoint range"
+    (Invalid_argument "Graph.of_edges: endpoint out of range") (fun () ->
+      ignore (Graph.of_edge_list ~n:3 [ (0, 3) ]))
+
+let test_has_edge () =
+  let g = Graph.of_edge_list ~n:5 [ (0, 1); (2, 4); (1, 3) ] in
+  Alcotest.(check bool) "0-1" true (Graph.has_edge g 0 1);
+  Alcotest.(check bool) "1-0" true (Graph.has_edge g 1 0);
+  Alcotest.(check bool) "2-4" true (Graph.has_edge g 2 4);
+  Alcotest.(check bool) "0-2" false (Graph.has_edge g 0 2);
+  Alcotest.(check bool) "no self" false (Graph.has_edge g 0 0)
+
+let test_iter_edges_each_once () =
+  let edges = [ (0, 1); (1, 2); (3, 4); (0, 4) ] in
+  let g = Graph.of_edge_list ~n:5 edges in
+  let seen = ref [] in
+  Graph.iter_edges g (fun u v ->
+      if u >= v then Alcotest.fail "iter_edges must give u < v";
+      seen := (u, v) :: !seen);
+  Alcotest.(check (list (pair int int)))
+    "all edges once" (List.sort compare edges) (List.sort compare !seen)
+
+let test_fold_and_exists () =
+  let g = Graph.of_edge_list ~n:4 [ (0, 1); (0, 2); (0, 3) ] in
+  let sum = Graph.fold_neighbors g 0 ~init:0 ~f:( + ) in
+  Alcotest.(check int) "fold sum" 6 sum;
+  Alcotest.(check bool) "exists" true (Graph.exists_neighbor g 0 (fun v -> v = 2));
+  Alcotest.(check bool) "not exists" false (Graph.exists_neighbor g 1 (fun v -> v = 2))
+
+let test_degrees_and_max () =
+  let g = Graph.of_edge_list ~n:5 [ (0, 1); (0, 2); (0, 3); (0, 4); (1, 2) ] in
+  Alcotest.(check int) "max degree" 4 (Graph.max_degree g);
+  Alcotest.(check (float 1e-9)) "avg degree" 2.0 (Graph.avg_degree g)
+
+(* Property: CSR construction agrees with a brute-force adjacency matrix on
+   random multigraph inputs (self-loops and duplicates included). *)
+let csr_vs_matrix_prop =
+  QCheck2.Test.make ~name:"CSR equals adjacency matrix" ~count:200
+    QCheck2.Gen.(
+      let n = 8 in
+      let edge = tup2 (int_bound (n - 1)) (int_bound (n - 1)) in
+      list_size (int_bound 40) edge)
+    (fun edges ->
+      let n = 8 in
+      let g = Graph.of_edge_list ~n edges in
+      let matrix = Array.make_matrix n n false in
+      List.iter
+        (fun (u, v) ->
+          if u <> v then begin
+            matrix.(u).(v) <- true;
+            matrix.(v).(u) <- true
+          end)
+        edges;
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          if Graph.has_edge g u v <> matrix.(u).(v) then ok := false
+        done;
+        let expected_deg =
+          Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 matrix.(u)
+        in
+        if Graph.degree g u <> expected_deg then ok := false
+      done;
+      !ok)
+
+let neighbors_sorted_prop =
+  QCheck2.Test.make ~name:"adjacency slices sorted ascending" ~count:100
+    QCheck2.Gen.(list_size (int_bound 60) (tup2 (int_bound 9) (int_bound 9)))
+    (fun edges ->
+      let g = Graph.of_edge_list ~n:10 edges in
+      let ok = ref true in
+      for v = 0 to 9 do
+        let nbrs = Graph.neighbors g v in
+        for k = 1 to Array.length nbrs - 1 do
+          if nbrs.(k - 1) >= nbrs.(k) then ok := false
+        done
+      done;
+      !ok)
+
+let test_large_hub_sorting () =
+  (* Exercise the comparison-sort path for long adjacency slices. *)
+  let edges = Array.init 500 (fun i -> (0, 500 - i)) in
+  let g = Graph.of_edges ~n:501 edges in
+  let nbrs = Graph.neighbors g 0 in
+  Alcotest.(check int) "hub degree" 500 (Array.length nbrs);
+  for k = 1 to 499 do
+    if nbrs.(k - 1) >= nbrs.(k) then Alcotest.fail "hub slice unsorted"
+  done
+
+let suite =
+  [
+    Alcotest.test_case "empty graph" `Quick test_empty;
+    Alcotest.test_case "zero vertices" `Quick test_zero_vertices;
+    Alcotest.test_case "triangle" `Quick test_triangle;
+    Alcotest.test_case "self loops dropped" `Quick test_self_loops_dropped;
+    Alcotest.test_case "duplicates dropped" `Quick test_duplicates_dropped;
+    Alcotest.test_case "out of range rejected" `Quick test_out_of_range_rejected;
+    Alcotest.test_case "has_edge" `Quick test_has_edge;
+    Alcotest.test_case "iter_edges each once" `Quick test_iter_edges_each_once;
+    Alcotest.test_case "fold/exists neighbors" `Quick test_fold_and_exists;
+    Alcotest.test_case "degrees and max" `Quick test_degrees_and_max;
+    QCheck_alcotest.to_alcotest csr_vs_matrix_prop;
+    QCheck_alcotest.to_alcotest neighbors_sorted_prop;
+    Alcotest.test_case "large hub sorting" `Quick test_large_hub_sorting;
+  ]

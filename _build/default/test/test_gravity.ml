@@ -1,0 +1,82 @@
+open Greedy_routing
+
+let test_plain_greedy_path () =
+  (* When pure gravity suffices, GP behaves exactly like greedy. *)
+  let g = Sparse_graph.Graph.of_edge_list ~n:4 [ (0, 1); (1, 2); (2, 3) ] in
+  let obj = Objective.of_fun ~name:"x" ~target:3 (fun v -> [| 0.1; 0.2; 0.3; 0.0 |].(v)) in
+  let r = Gravity_pressure.route ~graph:g ~objective:obj ~source:0 () in
+  Alcotest.(check bool) "delivered" true (Outcome.delivered r);
+  Alcotest.(check (list int)) "walk" [ 0; 1; 2; 3 ] r.Outcome.walk
+
+let test_escapes_local_optimum () =
+  (* Source is a local optimum; pressure mode must carry the packet over. *)
+  let g = Sparse_graph.Graph.of_edge_list ~n:4 [ (0, 1); (1, 2); (2, 3) ] in
+  let obj = Objective.of_fun ~name:"x" ~target:3 (fun v -> [| 0.9; 0.1; 0.5; 0.0 |].(v)) in
+  let r = Gravity_pressure.route ~graph:g ~objective:obj ~source:0 () in
+  Alcotest.(check bool) "delivered" true (Outcome.delivered r)
+
+let test_delivers_on_sparse_girg () =
+  let inst = Test_greedy.girg_instance ~seed:900 ~n:3000 ~c:0.08 () in
+  let comps = Sparse_graph.Components.compute inst.graph in
+  let giant = Sparse_graph.Components.giant_members comps in
+  let rng = Prng.Rng.create ~seed:901 in
+  for _ = 1 to 40 do
+    let i, j = Prng.Dist.sample_distinct_pair rng ~n:(Array.length giant) in
+    let s = giant.(i) and t = giant.(j) in
+    let objective = Objective.girg_phi inst ~target:t in
+    let r = Gravity_pressure.route ~graph:inst.graph ~objective ~source:s () in
+    if not (Outcome.delivered r) then Alcotest.fail "GP failed in the giant"
+  done
+
+let test_cutoff_when_unreachable () =
+  (* GP has no termination detection: unreachable targets hit the cap. *)
+  let g = Sparse_graph.Graph.of_edge_list ~n:4 [ (0, 1); (2, 3) ] in
+  let obj = Objective.of_fun ~name:"x" ~target:3 (fun v -> float_of_int v) in
+  let r = Gravity_pressure.route ~graph:g ~objective:obj ~source:0 ~max_steps:500 () in
+  Alcotest.(check bool) "cutoff" true (r.Outcome.status = Outcome.Cutoff);
+  Alcotest.(check int) "spent budget" 500 r.Outcome.steps
+
+let test_dead_end_on_isolated () =
+  let g = Sparse_graph.Graph.of_edge_list ~n:2 [] in
+  let obj = Objective.of_fun ~name:"x" ~target:1 (fun _ -> 0.5) in
+  let r = Gravity_pressure.route ~graph:g ~objective:obj ~source:0 () in
+  Alcotest.(check bool) "dead end" true (r.Outcome.status = Outcome.Dead_end)
+
+let test_walk_validity () =
+  let inst = Test_greedy.girg_instance ~seed:902 ~n:1000 ~c:0.1 () in
+  let g = inst.graph in
+  let rng = Prng.Rng.create ~seed:903 in
+  for _ = 1 to 20 do
+    let s, t = Prng.Dist.sample_distinct_pair rng ~n:(Sparse_graph.Graph.n g) in
+    let objective = Objective.girg_phi inst ~target:t in
+    let r = Gravity_pressure.route ~graph:g ~objective ~source:s ~max_steps:5000 () in
+    Alcotest.(check int) "steps = |walk|-1" (List.length r.Outcome.walk - 1) r.Outcome.steps;
+    let rec check_edges = function
+      | a :: (b :: _ as rest) ->
+          if not (Sparse_graph.Graph.has_edge g a b) then Alcotest.fail "non-edge hop";
+          check_edges rest
+      | [ _ ] | [] -> ()
+    in
+    check_edges r.Outcome.walk
+  done
+
+let test_pressure_spreads_visits () =
+  (* In a cycle with the target's objective hidden behind a local optimum,
+     pressure mode must not ping-pong between two vertices forever. *)
+  let g = Sparse_graph.Graph.of_edge_list ~n:6 [ (0, 1); (1, 2); (2, 3); (3, 4); (4, 5); (5, 0) ] in
+  let obj =
+    Objective.of_fun ~name:"x" ~target:3 (fun v -> [| 0.9; 0.1; 0.2; 0.0; 0.05; 0.3 |].(v))
+  in
+  let r = Gravity_pressure.route ~graph:g ~objective:obj ~source:0 ~max_steps:100 () in
+  Alcotest.(check bool) "delivered" true (Outcome.delivered r)
+
+let suite =
+  [
+    Alcotest.test_case "plain greedy path" `Quick test_plain_greedy_path;
+    Alcotest.test_case "escapes local optimum" `Quick test_escapes_local_optimum;
+    Alcotest.test_case "delivers on sparse girg" `Quick test_delivers_on_sparse_girg;
+    Alcotest.test_case "cutoff when unreachable" `Quick test_cutoff_when_unreachable;
+    Alcotest.test_case "dead end on isolated" `Quick test_dead_end_on_isolated;
+    Alcotest.test_case "walk validity" `Quick test_walk_validity;
+    Alcotest.test_case "pressure spreads visits" `Quick test_pressure_spreads_visits;
+  ]

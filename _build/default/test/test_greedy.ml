@@ -1,0 +1,146 @@
+open Greedy_routing
+
+(* Shared helpers for the routing test modules. *)
+
+let line_graph_objective ~target scores =
+  Objective.of_fun ~name:"table" ~target (fun v -> scores.(v))
+
+let girg_instance ?(seed = 123) ?(n = 3000) ?(c = 0.25) ?(beta = 2.5) () =
+  let params = Girg.Params.make ~dim:2 ~beta ~c ~n () in
+  Girg.Instance.generate ~rng:(Prng.Rng.create ~seed) params
+
+(* A random sparse graph (Erdos-Renyi-ish) for adversarial protocol tests. *)
+let random_graph ~seed ~n ~m =
+  let rng = Prng.Rng.create ~seed in
+  Sparse_graph.Graph.of_edges ~n
+    (Array.init m (fun _ -> (Prng.Rng.int rng n, Prng.Rng.int rng n)))
+
+let test_direct_neighbor () =
+  let g = Sparse_graph.Graph.of_edge_list ~n:2 [ (0, 1) ] in
+  let obj = line_graph_objective ~target:1 [| 0.1; infinity |] in
+  let r = Greedy.route ~graph:g ~objective:obj ~source:0 () in
+  Alcotest.(check bool) "delivered" true (Outcome.delivered r);
+  Alcotest.(check int) "one step" 1 r.Outcome.steps;
+  Alcotest.(check (list int)) "walk" [ 0; 1 ] r.Outcome.walk
+
+let test_source_is_target () =
+  let g = Sparse_graph.Graph.of_edge_list ~n:2 [ (0, 1) ] in
+  let obj = line_graph_objective ~target:0 [| infinity; 0.1 |] in
+  let r = Greedy.route ~graph:g ~objective:obj ~source:0 () in
+  Alcotest.(check bool) "delivered" true (Outcome.delivered r);
+  Alcotest.(check int) "zero steps" 0 r.Outcome.steps
+
+let test_monotone_chain () =
+  (* Path 0-1-2-3 with increasing scores: follows the whole chain. *)
+  let g = Sparse_graph.Graph.of_edge_list ~n:4 [ (0, 1); (1, 2); (2, 3) ] in
+  let obj = line_graph_objective ~target:3 [| 0.1; 0.2; 0.3; infinity |] in
+  let r = Greedy.route ~graph:g ~objective:obj ~source:0 () in
+  Alcotest.(check bool) "delivered" true (Outcome.delivered r);
+  Alcotest.(check (list int)) "walk" [ 0; 1; 2; 3 ] r.Outcome.walk
+
+let test_dead_end () =
+  (* 0's only neighbour 1 scores lower: dropped immediately. *)
+  let g = Sparse_graph.Graph.of_edge_list ~n:3 [ (0, 1); (1, 2) ] in
+  let obj = line_graph_objective ~target:2 [| 0.5; 0.2; infinity |] in
+  let r = Greedy.route ~graph:g ~objective:obj ~source:0 () in
+  Alcotest.(check bool) "dead end" true (r.Outcome.status = Outcome.Dead_end);
+  Alcotest.(check int) "no steps" 0 r.Outcome.steps
+
+let test_isolated_source () =
+  let g = Sparse_graph.Graph.of_edges ~n:2 [||] in
+  let obj = line_graph_objective ~target:1 [| 0.5; infinity |] in
+  let r = Greedy.route ~graph:g ~objective:obj ~source:0 () in
+  Alcotest.(check bool) "dead end" true (r.Outcome.status = Outcome.Dead_end)
+
+let test_picks_best_neighbor () =
+  (* Star: 0 adjacent to 1, 2, 3; 2 has the best score and leads to t. *)
+  let g = Sparse_graph.Graph.of_edge_list ~n:5 [ (0, 1); (0, 2); (0, 3); (2, 4) ] in
+  let obj = line_graph_objective ~target:4 [| 0.1; 0.3; 0.8; 0.5; infinity |] in
+  let r = Greedy.route ~graph:g ~objective:obj ~source:0 () in
+  Alcotest.(check (list int)) "via best" [ 0; 2; 4 ] r.Outcome.walk
+
+let test_objective_strictly_increases () =
+  let inst = girg_instance () in
+  let g = inst.graph in
+  let rng = Prng.Rng.create ~seed:77 in
+  for _ = 1 to 100 do
+    let s, t = Prng.Dist.sample_distinct_pair rng ~n:(Sparse_graph.Graph.n g) in
+    let obj = Objective.girg_phi inst ~target:t in
+    let r = Greedy.route ~graph:g ~objective:obj ~source:s () in
+    let rec check_monotone = function
+      | a :: (b :: _ as rest) ->
+          if obj.Objective.score b <= obj.Objective.score a then
+            Alcotest.fail "objective not strictly increasing along greedy path";
+          check_monotone rest
+      | [ _ ] | [] -> ()
+    in
+    check_monotone r.Outcome.walk
+  done
+
+let test_walk_is_a_path_in_graph () =
+  let inst = girg_instance ~seed:124 () in
+  let g = inst.graph in
+  let rng = Prng.Rng.create ~seed:78 in
+  for _ = 1 to 100 do
+    let s, t = Prng.Dist.sample_distinct_pair rng ~n:(Sparse_graph.Graph.n g) in
+    let obj = Objective.girg_phi inst ~target:t in
+    let r = Greedy.route ~graph:g ~objective:obj ~source:s () in
+    let rec check_edges = function
+      | a :: (b :: _ as rest) ->
+          if not (Sparse_graph.Graph.has_edge g a b) then
+            Alcotest.fail "walk uses a non-edge";
+          check_edges rest
+      | [ _ ] | [] -> ()
+    in
+    check_edges r.Outcome.walk;
+    Alcotest.(check int) "steps = |walk|-1" (List.length r.Outcome.walk - 1) r.Outcome.steps;
+    if Outcome.delivered r then begin
+      match List.rev r.Outcome.walk with
+      | last :: _ -> Alcotest.(check int) "ends at target" t last
+      | [] -> Alcotest.fail "empty walk"
+    end
+  done
+
+let test_max_steps_cutoff () =
+  let g = Sparse_graph.Graph.of_edge_list ~n:4 [ (0, 1); (1, 2); (2, 3) ] in
+  let obj = line_graph_objective ~target:3 [| 0.1; 0.2; 0.3; infinity |] in
+  let r = Greedy.route ~graph:g ~objective:obj ~source:0 ~max_steps:1 () in
+  Alcotest.(check bool) "cutoff" true (r.Outcome.status = Outcome.Cutoff)
+
+let test_delivery_when_target_adjacent () =
+  (* Even a lower-scoring path cannot distract: target has score infinity. *)
+  let g = Sparse_graph.Graph.of_edge_list ~n:3 [ (0, 2); (0, 1) ] in
+  let obj = line_graph_objective ~target:2 [| 0.5; 0.9; infinity |] in
+  let r = Greedy.route ~graph:g ~objective:obj ~source:0 () in
+  Alcotest.(check (list int)) "straight to target" [ 0; 2 ] r.Outcome.walk
+
+let test_outcome_to_string () =
+  Alcotest.(check string) "delivered" "delivered" (Outcome.status_to_string Outcome.Delivered);
+  Alcotest.(check string) "dead-end" "dead-end" (Outcome.status_to_string Outcome.Dead_end);
+  Alcotest.(check string) "exhausted" "exhausted" (Outcome.status_to_string Outcome.Exhausted);
+  Alcotest.(check string) "cutoff" "cutoff" (Outcome.status_to_string Outcome.Cutoff)
+
+let test_path_if_delivered () =
+  let g = Sparse_graph.Graph.of_edge_list ~n:2 [ (0, 1) ] in
+  let ok = Greedy.route ~graph:g ~objective:(line_graph_objective ~target:1 [| 0.1; infinity |]) ~source:0 () in
+  Alcotest.(check (option (list int))) "some path" (Some [ 0; 1 ]) (Outcome.path_if_delivered ok);
+  let g2 = Sparse_graph.Graph.of_edge_list ~n:3 [ (0, 1); (1, 2) ] in
+  let fail_obj = line_graph_objective ~target:2 [| 0.5; 0.1; infinity |] in
+  let failed = Greedy.route ~graph:g2 ~objective:fail_obj ~source:0 () in
+  Alcotest.(check (option (list int))) "none" None (Outcome.path_if_delivered failed)
+
+let suite =
+  [
+    Alcotest.test_case "direct neighbor" `Quick test_direct_neighbor;
+    Alcotest.test_case "source is target" `Quick test_source_is_target;
+    Alcotest.test_case "monotone chain" `Quick test_monotone_chain;
+    Alcotest.test_case "dead end" `Quick test_dead_end;
+    Alcotest.test_case "isolated source" `Quick test_isolated_source;
+    Alcotest.test_case "picks best neighbor" `Quick test_picks_best_neighbor;
+    Alcotest.test_case "objective strictly increases" `Quick test_objective_strictly_increases;
+    Alcotest.test_case "walk is a graph path" `Quick test_walk_is_a_path_in_graph;
+    Alcotest.test_case "max_steps cutoff" `Quick test_max_steps_cutoff;
+    Alcotest.test_case "target adjacency wins" `Quick test_delivery_when_target_adjacent;
+    Alcotest.test_case "outcome to_string" `Quick test_outcome_to_string;
+    Alcotest.test_case "path_if_delivered" `Quick test_path_if_delivered;
+  ]

@@ -1,0 +1,111 @@
+open Geometry
+
+let build_random ~seed ~n ~dim ~max_level =
+  let rng = Prng.Rng.create ~seed in
+  let points = Array.init n (fun _ -> Torus.random_point rng ~dim) in
+  let grid = Grid.build ~dim ~max_level ~points ~ids:(Array.init n Fun.id) in
+  (points, grid)
+
+let test_size_and_accessors () =
+  let _, grid = build_random ~seed:1 ~n:100 ~dim:2 ~max_level:5 in
+  Alcotest.(check int) "size" 100 (Grid.size grid);
+  Alcotest.(check int) "dim" 2 (Grid.dim grid);
+  Alcotest.(check int) "max_level" 5 (Grid.max_level grid)
+
+let test_cells_partition_all_levels () =
+  let _, grid = build_random ~seed:2 ~n:500 ~dim:2 ~max_level:6 in
+  List.iter
+    (fun level ->
+      let total = ref 0 in
+      let seen = Array.make 500 false in
+      for code = 0 to (1 lsl (2 * level)) - 1 do
+        Grid.iter_cell grid ~level ~code (fun v ->
+            if seen.(v) then Alcotest.fail "vertex in two cells";
+            seen.(v) <- true;
+            incr total)
+      done;
+      Alcotest.(check int)
+        (Printf.sprintf "level %d partition" level)
+        500 !total)
+    [ 0; 1; 3; 6 ]
+
+let test_cell_contents_match_brute_force () =
+  let points, grid = build_random ~seed:3 ~n:300 ~dim:2 ~max_level:6 in
+  List.iter
+    (fun level ->
+      for code = 0 to (1 lsl (2 * level)) - 1 do
+        let members = ref [] in
+        Grid.iter_cell grid ~level ~code (fun v -> members := v :: !members);
+        let expected = ref [] in
+        Array.iteri
+          (fun v p ->
+            if Morton.code_of_point ~dim:2 ~level p = code then expected := v :: !expected)
+          points;
+        Alcotest.(check (list int))
+          (Printf.sprintf "cell %d@%d" code level)
+          (List.sort compare !expected)
+          (List.sort compare !members)
+      done)
+    [ 1; 2; 4 ]
+
+let test_count_cell () =
+  let _, grid = build_random ~seed:4 ~n:200 ~dim:1 ~max_level:4 in
+  for code = 0 to 15 do
+    let n = ref 0 in
+    Grid.iter_cell grid ~level:4 ~code (fun _ -> incr n);
+    Alcotest.(check int) "count matches iter" !n (Grid.count_cell grid ~level:4 ~code)
+  done
+
+let test_subset_ids () =
+  (* Index only even vertices; odd ones must never appear. *)
+  let rng = Prng.Rng.create ~seed:5 in
+  let points = Array.init 100 (fun _ -> Torus.random_point rng ~dim:2) in
+  let ids = Array.init 50 (fun i -> 2 * i) in
+  let grid = Grid.build ~dim:2 ~max_level:4 ~points ~ids in
+  Alcotest.(check int) "size" 50 (Grid.size grid);
+  for code = 0 to 255 do
+    Grid.iter_cell grid ~level:4 ~code (fun v ->
+        if v mod 2 = 1 then Alcotest.fail "odd vertex indexed")
+  done
+
+let test_nonempty_cells () =
+  let points, grid = build_random ~seed:6 ~n:120 ~dim:2 ~max_level:5 in
+  let level = 3 in
+  let expected =
+    List.sort_uniq compare
+      (Array.to_list (Array.map (fun p -> Morton.code_of_point ~dim:2 ~level p) points))
+  in
+  Alcotest.(check (list int)) "nonempty codes" expected (Grid.nonempty_cells grid ~level)
+
+let test_vertex_at_order () =
+  let _, grid = build_random ~seed:7 ~n:50 ~dim:2 ~max_level:5 in
+  (* Positions 0..size-1 enumerate all indexed vertices exactly once. *)
+  let seen = Array.make 50 false in
+  for k = 0 to 49 do
+    let v = Grid.vertex_at grid k in
+    if seen.(v) then Alcotest.fail "vertex repeated in order";
+    seen.(v) <- true
+  done
+
+let test_bad_level_rejected () =
+  let _, grid = build_random ~seed:8 ~n:10 ~dim:2 ~max_level:3 in
+  Alcotest.check_raises "too deep" (Invalid_argument "Grid.cell_range: bad level")
+    (fun () -> ignore (Grid.cell_range grid ~level:4 ~code:0))
+
+let test_build_too_deep_rejected () =
+  Alcotest.check_raises "max_level too deep"
+    (Invalid_argument "Grid.build: max_level too deep for dimension") (fun () ->
+      ignore (Grid.build ~dim:2 ~max_level:40 ~points:[| [| 0.5; 0.5 |] |] ~ids:[| 0 |]))
+
+let suite =
+  [
+    Alcotest.test_case "size and accessors" `Quick test_size_and_accessors;
+    Alcotest.test_case "cells partition at all levels" `Quick test_cells_partition_all_levels;
+    Alcotest.test_case "cell contents vs brute force" `Quick test_cell_contents_match_brute_force;
+    Alcotest.test_case "count_cell" `Quick test_count_cell;
+    Alcotest.test_case "subset ids" `Quick test_subset_ids;
+    Alcotest.test_case "nonempty_cells" `Quick test_nonempty_cells;
+    Alcotest.test_case "vertex_at enumerates once" `Quick test_vertex_at_order;
+    Alcotest.test_case "bad level rejected" `Quick test_bad_level_rejected;
+    Alcotest.test_case "too deep build rejected" `Quick test_build_too_deep_rejected;
+  ]

@@ -1,0 +1,90 @@
+open Sparse_graph
+
+let test_degree_histogram () =
+  let g = Graph.of_edge_list ~n:4 [ (0, 1); (0, 2); (0, 3) ] in
+  Alcotest.(check (list (pair int int)))
+    "star histogram"
+    [ (1, 3); (3, 1) ]
+    (Gstats.degree_histogram g)
+
+let test_power_law_mle_recovers_exponent () =
+  (* Build a graph whose degree sequence is sampled from a known power law:
+     a star forest where vertex i has round(w_i) leaves. *)
+  let rng = Prng.Rng.create ~seed:42 in
+  let beta = 2.5 in
+  let hubs = 3000 in
+  let edges = ref [] in
+  let next = ref hubs in
+  let total = ref hubs in
+  (* First pass to size the graph. *)
+  let degrees =
+    Array.init hubs (fun _ ->
+        let w = Prng.Dist.pareto rng ~x_min:3.0 ~exponent:beta in
+        let d = int_of_float (Float.round (Float.min w 10_000.0)) in
+        total := !total + d;
+        d)
+  in
+  Array.iteri
+    (fun hub d ->
+      for _ = 1 to d do
+        edges := (hub, !next) :: !edges;
+        incr next
+      done)
+    degrees;
+  let g = Graph.of_edge_list ~n:!total !edges in
+  match Gstats.power_law_exponent_mle ~d_min:5 g with
+  | None -> Alcotest.fail "MLE returned None"
+  | Some b ->
+      if abs_float (b -. beta) > 0.2 then
+        Alcotest.failf "MLE %.2f too far from %.2f" b beta
+
+let test_power_law_mle_too_few () =
+  let g = Graph.of_edge_list ~n:4 [ (0, 1) ] in
+  Alcotest.(check bool) "None on tiny graph" true
+    (Gstats.power_law_exponent_mle g = None)
+
+let test_clustering_triangle () =
+  let g = Graph.of_edge_list ~n:3 [ (0, 1); (1, 2); (2, 0) ] in
+  let rng = Prng.Rng.create ~seed:1 in
+  Alcotest.(check (float 1e-9)) "triangle clustering" 1.0
+    (Gstats.global_clustering_sample g ~rng ~samples:50)
+
+let test_clustering_star () =
+  let g = Graph.of_edge_list ~n:4 [ (0, 1); (0, 2); (0, 3) ] in
+  let rng = Prng.Rng.create ~seed:1 in
+  Alcotest.(check (float 1e-9)) "star clustering" 0.0
+    (Gstats.global_clustering_sample g ~rng ~samples:50)
+
+let test_clustering_no_eligible () =
+  let g = Graph.of_edge_list ~n:2 [ (0, 1) ] in
+  let rng = Prng.Rng.create ~seed:1 in
+  Alcotest.(check bool) "nan" true
+    (Float.is_nan (Gstats.global_clustering_sample g ~rng ~samples:10))
+
+let test_avg_distance_path () =
+  let n = 5 in
+  let g = Graph.of_edge_list ~n (List.init (n - 1) (fun i -> (i, i + 1))) in
+  let rng = Prng.Rng.create ~seed:3 in
+  match Gstats.avg_distance_sample g ~rng ~pairs:500 ~within:(Array.init n Fun.id) with
+  | None -> Alcotest.fail "no distance"
+  | Some d ->
+      (* Exact mean pairwise distance of P5 = 2. *)
+      if abs_float (d -. 2.0) > 0.15 then Alcotest.failf "avg distance %f" d
+
+let test_avg_distance_empty_pool () =
+  let g = Graph.of_edge_list ~n:3 [ (0, 1) ] in
+  let rng = Prng.Rng.create ~seed:3 in
+  Alcotest.(check bool) "None for singleton pool" true
+    (Gstats.avg_distance_sample g ~rng ~pairs:10 ~within:[| 0 |] = None)
+
+let suite =
+  [
+    Alcotest.test_case "degree histogram" `Quick test_degree_histogram;
+    Alcotest.test_case "power-law MLE recovers beta" `Quick test_power_law_mle_recovers_exponent;
+    Alcotest.test_case "power-law MLE too few" `Quick test_power_law_mle_too_few;
+    Alcotest.test_case "clustering triangle" `Quick test_clustering_triangle;
+    Alcotest.test_case "clustering star" `Quick test_clustering_star;
+    Alcotest.test_case "clustering no eligible" `Quick test_clustering_no_eligible;
+    Alcotest.test_case "avg distance on path" `Quick test_avg_distance_path;
+    Alcotest.test_case "avg distance empty pool" `Quick test_avg_distance_empty_pool;
+  ]

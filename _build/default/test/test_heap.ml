@@ -1,0 +1,88 @@
+open Greedy_routing
+
+let test_empty () =
+  let h : int Binary_heap.t = Binary_heap.create () in
+  Alcotest.(check bool) "empty" true (Binary_heap.is_empty h);
+  Alcotest.(check int) "size" 0 (Binary_heap.size h);
+  Alcotest.(check bool) "pop none" true (Binary_heap.pop_max h = None);
+  Alcotest.(check bool) "peek none" true (Binary_heap.peek_max h = None)
+
+let test_push_pop_order () =
+  let h = Binary_heap.create () in
+  List.iter (fun (p, x) -> Binary_heap.push h p x)
+    [ (3.0, "c"); (1.0, "a"); (5.0, "e"); (2.0, "b"); (4.0, "d") ];
+  let order = ref [] in
+  let rec drain () =
+    match Binary_heap.pop_max h with
+    | None -> ()
+    | Some (_, x) ->
+        order := x :: !order;
+        drain ()
+  in
+  drain ();
+  Alcotest.(check (list string)) "descending priority" [ "a"; "b"; "c"; "d"; "e" ] !order
+
+let test_peek_does_not_remove () =
+  let h = Binary_heap.create () in
+  Binary_heap.push h 2.0 "x";
+  Binary_heap.push h 7.0 "y";
+  (match Binary_heap.peek_max h with
+  | Some (p, v) ->
+      Alcotest.(check (float 0.0)) "peek prio" 7.0 p;
+      Alcotest.(check string) "peek value" "y" v
+  | None -> Alcotest.fail "expected element");
+  Alcotest.(check int) "size unchanged" 2 (Binary_heap.size h)
+
+let test_duplicates_and_negative () =
+  let h = Binary_heap.create () in
+  List.iter (fun p -> Binary_heap.push h p p) [ -1.0; -1.0; 0.0; -5.0 ];
+  let firsts = ref [] in
+  let rec drain () =
+    match Binary_heap.pop_max h with
+    | None -> ()
+    | Some (p, _) ->
+        firsts := p :: !firsts;
+        drain ()
+  in
+  drain ();
+  Alcotest.(check (list (float 0.0))) "sorted ascending after reversal"
+    [ -5.0; -1.0; -1.0; 0.0 ] !firsts
+
+let heap_sort_prop =
+  QCheck2.Test.make ~name:"heap drains in descending priority order" ~count:200
+    QCheck2.Gen.(list_size (int_bound 100) (float_range (-100.0) 100.0))
+    (fun prios ->
+      let h = Binary_heap.create () in
+      List.iteri (fun i p -> Binary_heap.push h p i) prios;
+      let rec drain acc =
+        match Binary_heap.pop_max h with
+        | None -> List.rev acc
+        | Some (p, _) -> drain (p :: acc)
+      in
+      let out = drain [] in
+      List.length out = List.length prios
+      && out = List.sort (fun a b -> compare b a) prios)
+
+let test_interleaved_operations () =
+  let h = Binary_heap.create () in
+  Binary_heap.push h 1.0 1;
+  Binary_heap.push h 3.0 3;
+  (match Binary_heap.pop_max h with
+  | Some (_, v) -> Alcotest.(check int) "first pop" 3 v
+  | None -> Alcotest.fail "expected");
+  Binary_heap.push h 2.0 2;
+  Binary_heap.push h 0.5 0;
+  (match Binary_heap.pop_max h with
+  | Some (_, v) -> Alcotest.(check int) "second pop" 2 v
+  | None -> Alcotest.fail "expected");
+  Alcotest.(check int) "remaining" 2 (Binary_heap.size h)
+
+let suite =
+  [
+    Alcotest.test_case "empty heap" `Quick test_empty;
+    Alcotest.test_case "push/pop order" `Quick test_push_pop_order;
+    Alcotest.test_case "peek does not remove" `Quick test_peek_does_not_remove;
+    Alcotest.test_case "duplicates and negatives" `Quick test_duplicates_and_negative;
+    QCheck_alcotest.to_alcotest heap_sort_prop;
+    Alcotest.test_case "interleaved operations" `Quick test_interleaved_operations;
+  ]

@@ -1,0 +1,73 @@
+open Stats
+
+let test_linear_binning () =
+  let h = Histogram.create_linear ~lo:0.0 ~hi:10.0 ~bins:5 in
+  Histogram.add h 1.0;
+  Histogram.add h 3.0;
+  Histogram.add h 3.5;
+  Histogram.add h 9.9;
+  Alcotest.(check int) "count" 4 (Histogram.count h);
+  let counts = List.map (fun (_, _, c) -> c) (Histogram.bins h) in
+  Alcotest.(check (list int)) "per bin" [ 1; 2; 0; 0; 1 ] counts
+
+let test_clamping () =
+  let h = Histogram.create_linear ~lo:0.0 ~hi:1.0 ~bins:2 in
+  Histogram.add h (-5.0);
+  Histogram.add h 42.0;
+  let counts = List.map (fun (_, _, c) -> c) (Histogram.bins h) in
+  Alcotest.(check (list int)) "clamped to edges" [ 1; 1 ] counts
+
+let test_log_binning () =
+  let h = Histogram.create_log ~lo:1.0 ~hi:1000.0 ~bins:3 in
+  Histogram.add h 2.0;
+  Histogram.add h 50.0;
+  Histogram.add h 500.0;
+  let counts = List.map (fun (_, _, c) -> c) (Histogram.bins h) in
+  Alcotest.(check (list int)) "decade bins" [ 1; 1; 1 ] counts;
+  let edges = List.map (fun (lo, _, _) -> lo) (Histogram.bins h) in
+  List.iter2
+    (fun e expected -> Alcotest.(check (float 1e-6)) "edge" expected e)
+    edges [ 1.0; 10.0; 100.0 ]
+
+let test_invalid_args () =
+  Alcotest.check_raises "hi<=lo" (Invalid_argument "Histogram.create_linear: hi <= lo")
+    (fun () -> ignore (Histogram.create_linear ~lo:1.0 ~hi:1.0 ~bins:3));
+  Alcotest.check_raises "log lo<=0" (Invalid_argument "Histogram.create_log: lo must be positive")
+    (fun () -> ignore (Histogram.create_log ~lo:0.0 ~hi:1.0 ~bins:3))
+
+let test_mode_bin () =
+  let h = Histogram.create_linear ~lo:0.0 ~hi:3.0 ~bins:3 in
+  Alcotest.(check bool) "empty none" true (Histogram.mode_bin h = None);
+  Histogram.add_many h [| 1.5; 1.6; 0.5 |];
+  match Histogram.mode_bin h with
+  | Some (lo, hi, c) ->
+      Alcotest.(check (float 1e-9)) "mode lo" 1.0 lo;
+      Alcotest.(check (float 1e-9)) "mode hi" 2.0 hi;
+      Alcotest.(check int) "mode count" 2 c
+  | None -> Alcotest.fail "expected a mode"
+
+let counts_sum_prop =
+  QCheck2.Test.make ~name:"bin counts sum to total" ~count:100
+    QCheck2.Gen.(list_size (int_bound 100) (float_range (-2.0) 12.0))
+    (fun xs ->
+      let h = Histogram.create_linear ~lo:0.0 ~hi:10.0 ~bins:7 in
+      List.iter (Histogram.add h) xs;
+      let total = List.fold_left (fun acc (_, _, c) -> acc + c) 0 (Histogram.bins h) in
+      total = List.length xs && Histogram.count h = List.length xs)
+
+let test_render_nonempty () =
+  let h = Histogram.create_linear ~lo:0.0 ~hi:1.0 ~bins:4 in
+  Histogram.add_many h [| 0.1; 0.1; 0.9 |];
+  let r = Histogram.render h in
+  Alcotest.(check bool) "has bars" true (String.length r > 0 && String.contains r '#')
+
+let suite =
+  [
+    Alcotest.test_case "linear binning" `Quick test_linear_binning;
+    Alcotest.test_case "clamping" `Quick test_clamping;
+    Alcotest.test_case "log binning" `Quick test_log_binning;
+    Alcotest.test_case "invalid args" `Quick test_invalid_args;
+    Alcotest.test_case "mode bin" `Quick test_mode_bin;
+    QCheck_alcotest.to_alcotest counts_sum_prop;
+    Alcotest.test_case "render" `Quick test_render_nonempty;
+  ]

@@ -1,0 +1,157 @@
+open Hyperbolic
+
+let params ?(alpha_h = 0.75) ?(radius_c = -1.0) ?(temperature = 0.0) ~n () =
+  Hrg.make ~alpha_h ~radius_c ~temperature ~n ()
+
+let test_make_validation () =
+  Alcotest.check_raises "alpha too small"
+    (Invalid_argument "Hrg.make: alpha_h must lie in (1/2, 1) for beta in (2, 3)")
+    (fun () -> ignore (Hrg.make ~alpha_h:0.4 ~n:10 ()));
+  Alcotest.check_raises "temperature 1"
+    (Invalid_argument "Hrg.make: temperature must lie in [0, 1)") (fun () ->
+      ignore (Hrg.make ~temperature:1.0 ~n:10 ()))
+
+let test_disk_radius () =
+  let p = params ~radius_c:0.5 ~n:100 () in
+  Alcotest.(check (float 1e-9)) "R" ((2.0 *. log 100.0) +. 0.5) (Hrg.disk_radius p)
+
+let test_beta_mapping () =
+  Alcotest.(check (float 1e-9)) "beta" 2.5 (Hrg.beta (params ~n:10 ()));
+  Alcotest.(check (float 1e-9)) "beta internet" 2.1
+    (Hrg.beta (Hrg.make ~alpha_h:0.55 ~n:10 ()))
+
+let test_distance_identities () =
+  let a = { Hrg.r = 3.0; angle = 0.0 } in
+  (* Same point: distance 0. *)
+  Alcotest.(check (float 1e-9)) "self" 0.0 (Hrg.distance a a);
+  (* Same angle: |r1 - r2|. *)
+  let b = { Hrg.r = 5.0; angle = 0.0 } in
+  Alcotest.(check (float 1e-6)) "radial" 2.0 (Hrg.distance a b);
+  (* Symmetry. *)
+  let c = { Hrg.r = 4.0; angle = 1.3 } in
+  Alcotest.(check (float 1e-9)) "symmetric" (Hrg.distance a c) (Hrg.distance c a)
+
+let distance_triangle_prop =
+  QCheck2.Test.make ~name:"hyperbolic triangle inequality" ~count:300
+    QCheck2.Gen.(
+      tup3
+        (tup2 (float_range 0.1 10.0) (float_range 0.0 6.28))
+        (tup2 (float_range 0.1 10.0) (float_range 0.0 6.28))
+        (tup2 (float_range 0.1 10.0) (float_range 0.0 6.28)))
+    (fun ((r1, a1), (r2, a2), (r3, a3)) ->
+      let p1 = { Hrg.r = r1; angle = a1 } in
+      let p2 = { Hrg.r = r2; angle = a2 } in
+      let p3 = { Hrg.r = r3; angle = a3 } in
+      Hrg.distance p1 p2 <= Hrg.distance p1 p3 +. Hrg.distance p3 p2 +. 1e-6)
+
+let test_edge_prob_threshold () =
+  let p = params ~n:100 () in
+  let big_r = Hrg.disk_radius p in
+  Alcotest.(check (float 0.0)) "below" 1.0 (Hrg.edge_prob p (big_r -. 0.1));
+  Alcotest.(check (float 0.0)) "above" 0.0 (Hrg.edge_prob p (big_r +. 0.1))
+
+let test_edge_prob_temperature () =
+  let p = params ~temperature:0.5 ~n:100 () in
+  let big_r = Hrg.disk_radius p in
+  Alcotest.(check (float 1e-9)) "at R" 0.5 (Hrg.edge_prob p big_r);
+  Alcotest.(check bool) "monotone" true
+    (Hrg.edge_prob p (big_r -. 1.0) > Hrg.edge_prob p (big_r +. 1.0));
+  Alcotest.(check (float 1e-9)) "far" 0.0 (Hrg.edge_prob p (big_r +. 2000.0))
+
+let test_girg_mapping_roundtrip () =
+  let p = params ~n:1000 () in
+  let pt = { Hrg.r = 7.3; angle = 2.1 } in
+  let w = Hrg.girg_weight p ~r:pt.Hrg.r in
+  let x = Hrg.girg_position pt in
+  let back = Hrg.polar_of_girg p ~weight:w ~position:x in
+  Alcotest.(check (float 1e-9)) "radius roundtrip" pt.Hrg.r back.Hrg.r;
+  Alcotest.(check (float 1e-9)) "angle roundtrip" pt.Hrg.angle back.Hrg.angle
+
+let test_radial_density () =
+  (* Radii concentrate near the rim: P(r <= R - 2) should be small. *)
+  let p = params ~n:10_000 () in
+  let rng = Prng.Rng.create ~seed:12 in
+  let big_r = Hrg.disk_radius p in
+  let inner = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    let pt = Hrg.sample_polar ~rng p in
+    if pt.Hrg.r < 0.0 || pt.Hrg.r > big_r +. 1e-9 then Alcotest.fail "radius out of disk";
+    if pt.Hrg.r <= big_r -. 2.0 then incr inner
+  done;
+  (* P(r <= R-2) ~ e^(-2 alpha_h) = 0.22 for alpha_h = 0.75. *)
+  let frac = float_of_int !inner /. float_of_int n in
+  if abs_float (frac -. exp (-2.0 *. 0.75)) > 0.03 then
+    Alcotest.failf "inner fraction %.3f" frac
+
+let test_kernel_envelope () =
+  (* The HRG kernel's envelope must dominate the exact probability for
+     weights below the cap. *)
+  let p = params ~temperature:0.4 ~n:2000 () in
+  let k = Hrg.kernel p in
+  let rng = Prng.Rng.create ~seed:13 in
+  for _ = 1 to 3000 do
+    let wu = Prng.Rng.float rng (k.Girg.Kernel.weight_cap *. 0.99) +. 0.01 in
+    let wv = Prng.Rng.float rng (k.Girg.Kernel.weight_cap *. 0.99) +. 0.01 in
+    let min_dist = Prng.Rng.float rng 0.49 +. 0.001 in
+    let dist = Float.min 0.5 (min_dist *. (1.0 +. Prng.Rng.float rng 2.0)) in
+    let prob = k.Girg.Kernel.prob ~wu ~wv ~dist in
+    let upper = k.Girg.Kernel.upper ~wu_ub:(wu *. 1.5) ~wv_ub:(wv *. 1.5) ~min_dist in
+    if prob > upper +. 1e-9 then
+      Alcotest.failf "envelope violated: prob %.6f > upper %.6f (w=%.1f,%.1f d=%.4f)" prob
+        upper wu wv dist
+  done
+
+let test_kernel_envelope_threshold () =
+  let p = params ~temperature:0.0 ~n:2000 () in
+  let k = Hrg.kernel p in
+  let rng = Prng.Rng.create ~seed:14 in
+  for _ = 1 to 3000 do
+    let wu = Prng.Rng.float rng 50.0 +. 0.1 in
+    let wv = Prng.Rng.float rng 50.0 +. 0.1 in
+    let min_dist = Prng.Rng.float rng 0.49 +. 0.001 in
+    let dist = Float.min 0.5 (min_dist *. (1.0 +. Prng.Rng.float rng 2.0)) in
+    let prob = k.Girg.Kernel.prob ~wu ~wv ~dist in
+    let upper = k.Girg.Kernel.upper ~wu_ub:wu ~wv_ub:wv ~min_dist in
+    if prob > upper then Alcotest.fail "threshold envelope violated"
+  done
+
+let test_generate_samplers_agree () =
+  let p = params ~radius_c:(-1.0) ~n:500 () in
+  let m_of sampler seed =
+    Sparse_graph.Graph.m (Hrg.generate ~sampler ~rng:(Prng.Rng.create ~seed) p).Hrg.graph
+  in
+  let totn = ref 0 and totc = ref 0 in
+  for s = 1 to 15 do
+    totn := !totn + m_of Hrg.Use_naive (s * 31);
+    totc := !totc + m_of Hrg.Use_cell (s * 31)
+  done;
+  (* Threshold model: same points => identical edges, so the totals match
+     exactly seed by seed. *)
+  Alcotest.(check int) "threshold totals equal" !totn !totc
+
+let test_generate_power_law () =
+  let p = params ~radius_c:(-0.5) ~n:20_000 () in
+  let h = Hrg.generate ~rng:(Prng.Rng.create ~seed:15) p in
+  match Sparse_graph.Gstats.power_law_exponent_mle ~d_min:10 h.Hrg.graph with
+  | None -> Alcotest.fail "no MLE"
+  | Some b ->
+      if abs_float (b -. Hrg.beta p) > 0.4 then
+        Alcotest.failf "HRG degree exponent %.2f, expected %.2f" b (Hrg.beta p)
+
+let suite =
+  [
+    Alcotest.test_case "make validation" `Quick test_make_validation;
+    Alcotest.test_case "disk radius" `Quick test_disk_radius;
+    Alcotest.test_case "beta mapping" `Quick test_beta_mapping;
+    Alcotest.test_case "distance identities" `Quick test_distance_identities;
+    QCheck_alcotest.to_alcotest distance_triangle_prop;
+    Alcotest.test_case "edge prob threshold" `Quick test_edge_prob_threshold;
+    Alcotest.test_case "edge prob temperature" `Quick test_edge_prob_temperature;
+    Alcotest.test_case "girg mapping roundtrip" `Quick test_girg_mapping_roundtrip;
+    Alcotest.test_case "radial density" `Quick test_radial_density;
+    Alcotest.test_case "kernel envelope (T>0)" `Quick test_kernel_envelope;
+    Alcotest.test_case "kernel envelope (threshold)" `Quick test_kernel_envelope_threshold;
+    Alcotest.test_case "samplers agree (threshold)" `Slow test_generate_samplers_agree;
+    Alcotest.test_case "degree power law" `Quick test_generate_power_law;
+  ]

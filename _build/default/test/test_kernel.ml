@@ -1,0 +1,99 @@
+open Girg
+
+let params ?(alpha = Params.Finite 2.0) ?(c = 1.0) () =
+  Params.make ~dim:2 ~beta:2.5 ~alpha ~c ~n:1000 ()
+
+let test_prob_range () =
+  let p = params () in
+  let rng = Prng.Rng.create ~seed:1 in
+  for _ = 1 to 2000 do
+    let wu = Prng.Dist.pareto rng ~x_min:1.0 ~exponent:2.5 in
+    let wv = Prng.Dist.pareto rng ~x_min:1.0 ~exponent:2.5 in
+    let dist = Prng.Rng.float rng 0.5 in
+    let pr = Kernel.girg_prob p ~wu ~wv ~dist in
+    if not (pr >= 0.0 && pr <= 1.0) then Alcotest.fail "probability out of [0,1]"
+  done
+
+let test_prob_zero_distance () =
+  let p = params () in
+  Alcotest.(check (float 1e-12)) "dist 0" 1.0 (Kernel.girg_prob p ~wu:1.0 ~wv:1.0 ~dist:0.0)
+
+let test_ep3_saturation () =
+  (* (EP3): p = 1 once c q >= 1, i.e. dist^d <= c wu wv / (w_min n). *)
+  let p = params () in
+  let boundary = sqrt (1.0 *. 4.0 *. 4.0 /. 1000.0) in
+  Alcotest.(check (float 1e-12)) "inside saturation" 1.0
+    (Kernel.girg_prob p ~wu:4.0 ~wv:4.0 ~dist:(boundary *. 0.99));
+  Alcotest.(check bool) "outside saturation" true
+    (Kernel.girg_prob p ~wu:4.0 ~wv:4.0 ~dist:(boundary *. 1.01) < 1.0)
+
+let test_threshold_kernel () =
+  let p = params ~alpha:Params.Infinite () in
+  let boundary = sqrt (16.0 /. 1000.0) in
+  Alcotest.(check (float 1e-12)) "below threshold" 1.0
+    (Kernel.girg_prob p ~wu:4.0 ~wv:4.0 ~dist:(boundary *. 0.99));
+  Alcotest.(check (float 1e-12)) "above threshold" 0.0
+    (Kernel.girg_prob p ~wu:4.0 ~wv:4.0 ~dist:(boundary *. 1.01))
+
+let test_decay_exponent () =
+  (* In the polynomial regime, doubling the distance divides p by 2^(alpha d). *)
+  let p = params ~alpha:(Params.Finite 2.0) () in
+  let p1 = Kernel.girg_prob p ~wu:1.0 ~wv:1.0 ~dist:0.2 in
+  let p2 = Kernel.girg_prob p ~wu:1.0 ~wv:1.0 ~dist:0.4 in
+  Alcotest.(check (float 1e-9)) "ratio 2^(2*2)" 16.0 (p1 /. p2)
+
+let test_specialised_alphas_match_generic () =
+  (* The fast paths for alpha = 2, 3 must equal the generic power. *)
+  List.iter
+    (fun a ->
+      let p_fast = params ~alpha:(Params.Finite a) () in
+      let generic q = q ** a in
+      let q = 1.0 *. 1.0 /. (1.0 *. 1000.0 *. (0.3 *. 0.3)) in
+      Alcotest.(check (float 1e-12))
+        (Printf.sprintf "alpha %.0f" a)
+        (generic q)
+        (Kernel.girg_prob p_fast ~wu:1.0 ~wv:1.0 ~dist:0.3))
+    [ 2.0; 3.0 ]
+
+let monotonicity_prop =
+  QCheck2.Test.make ~name:"girg_prob monotone in weights, antitone in dist" ~count:300
+    QCheck2.Gen.(
+      tup4 (float_range 1.0 50.0) (float_range 1.0 50.0)
+        (float_range 0.01 0.5) (float_range 1.0 2.0))
+    (fun (wu, wv, dist, factor) ->
+      let p = params () in
+      let base = Kernel.girg_prob p ~wu ~wv ~dist in
+      Kernel.girg_prob p ~wu:(wu *. factor) ~wv ~dist >= base -. 1e-12
+      && Kernel.girg_prob p ~wu ~wv ~dist:(Float.min 0.5 (dist *. factor)) <= base +. 1e-12)
+
+let envelope_prop =
+  (* The kernel invariant the cell sampler relies on. *)
+  QCheck2.Test.make ~name:"upper envelope dominates prob" ~count:500
+    QCheck2.Gen.(
+      tup4 (float_range 1.0 20.0) (float_range 1.0 20.0)
+        (float_range 0.01 0.5) (tup2 (float_range 1.0 3.0) (float_range 1.0 3.0)))
+    (fun (wu, wv, min_dist, (fu, fv)) ->
+      let k = Kernel.girg (params ()) in
+      let dist = Float.min 0.5 (min_dist *. 1.3) in
+      k.Kernel.prob ~wu ~wv ~dist
+      <= k.Kernel.upper ~wu_ub:(wu *. fu) ~wv_ub:(wv *. fv) ~min_dist +. 1e-12)
+
+let test_kernel_record_fields () =
+  let k = Kernel.girg (params ()) in
+  Alcotest.(check int) "dim" 2 k.Kernel.dim;
+  Alcotest.(check bool) "no weight cap" true (k.Kernel.weight_cap = infinity);
+  Alcotest.(check (float 1e-12)) "saturation volume" (16.0 /. 1000.0)
+    (k.Kernel.saturation_volume ~wu_ub:4.0 ~wv_ub:4.0)
+
+let suite =
+  [
+    Alcotest.test_case "prob in [0,1]" `Quick test_prob_range;
+    Alcotest.test_case "prob at distance 0" `Quick test_prob_zero_distance;
+    Alcotest.test_case "(EP3) saturation" `Quick test_ep3_saturation;
+    Alcotest.test_case "threshold kernel (EP2)" `Quick test_threshold_kernel;
+    Alcotest.test_case "polynomial decay exponent" `Quick test_decay_exponent;
+    Alcotest.test_case "specialised alpha fast paths" `Quick test_specialised_alphas_match_generic;
+    QCheck_alcotest.to_alcotest monotonicity_prop;
+    QCheck_alcotest.to_alcotest envelope_prop;
+    Alcotest.test_case "kernel record fields" `Quick test_kernel_record_fields;
+  ]

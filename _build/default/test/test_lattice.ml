@@ -1,0 +1,144 @@
+open Kleinberg
+
+let test_make_validation () =
+  Alcotest.check_raises "side 1" (Invalid_argument "Lattice.make: side must be >= 2")
+    (fun () -> ignore (Lattice.make ~side:1 ()));
+  Alcotest.check_raises "negative q" (Invalid_argument "Lattice.make: long_range must be >= 0")
+    (fun () -> ignore (Lattice.make ~long_range:(-1) ~side:4 ()))
+
+let test_coords_roundtrip () =
+  let p = Lattice.make ~side:5 () in
+  for v = 0 to 24 do
+    Alcotest.(check int) "roundtrip" v (Lattice.vertex p (Lattice.coords p v))
+  done
+
+let test_vertex_wraps () =
+  let p = Lattice.make ~side:4 () in
+  Alcotest.(check int) "wrap i" (Lattice.vertex p (0, 2)) (Lattice.vertex p (4, 2));
+  Alcotest.(check int) "wrap negative" (Lattice.vertex p (3, 3)) (Lattice.vertex p (-1, -1))
+
+let test_manhattan () =
+  let p = Lattice.make ~side:8 () in
+  let v a b = Lattice.vertex p (a, b) in
+  Alcotest.(check int) "plain" 3 (Lattice.manhattan p (v 0 0) (v 1 2));
+  Alcotest.(check int) "wrap" 2 (Lattice.manhattan p (v 0 0) (v 7 7));
+  Alcotest.(check int) "self" 0 (Lattice.manhattan p (v 3 3) (v 3 3))
+
+let test_grid_only_graph () =
+  let p = Lattice.make ~side:4 ~long_range:0 () in
+  let t = Lattice.generate ~rng:(Prng.Rng.create ~seed:1) p in
+  Alcotest.(check int) "n" 16 (Lattice.n t);
+  (* Toroidal grid: every vertex has exactly degree 4. *)
+  Alcotest.(check int) "m" 32 (Sparse_graph.Graph.m t.Lattice.graph);
+  for v = 0 to 15 do
+    Alcotest.(check int) "degree" 4 (Sparse_graph.Graph.degree t.Lattice.graph v)
+  done
+
+let test_long_range_degree () =
+  let p = Lattice.make ~side:10 ~long_range:2 () in
+  let t = Lattice.generate ~rng:(Prng.Rng.create ~seed:2) p in
+  (* Each vertex has 4 grid edges plus up to 2 long-range (some may collide
+     with existing edges and be deduped). *)
+  let total_deg = 2 * Sparse_graph.Graph.m t.Lattice.graph in
+  Alcotest.(check bool) "degree range" true
+    (total_deg > 4 * 100 && total_deg <= 8 * 100)
+
+let test_greedy_always_succeeds () =
+  let p = Lattice.make ~side:12 () in
+  let t = Lattice.generate ~rng:(Prng.Rng.create ~seed:3) p in
+  let rng = Prng.Rng.create ~seed:4 in
+  for _ = 1 to 300 do
+    let s, tgt = Prng.Dist.sample_distinct_pair rng ~n:(Lattice.n t) in
+    let steps = Lattice.greedy_route t ~source:s ~target:tgt in
+    if steps <= 0 then Alcotest.fail "must take at least one step";
+    (* Greedy is at most the Manhattan distance hops... no: long-range can
+       only shorten; the grid alone needs exactly manhattan hops, and every
+       greedy hop strictly decreases distance, so steps <= manhattan. *)
+    if steps > Lattice.manhattan p s tgt then Alcotest.fail "greedy slower than grid walk"
+  done
+
+let test_greedy_adjacent () =
+  let p = Lattice.make ~side:6 ~long_range:0 () in
+  let t = Lattice.generate ~rng:(Prng.Rng.create ~seed:5) p in
+  let a = Lattice.vertex p (2, 2) and b = Lattice.vertex p (2, 3) in
+  Alcotest.(check int) "one hop" 1 (Lattice.greedy_route t ~source:a ~target:b)
+
+let test_greedy_same_vertex () =
+  let p = Lattice.make ~side:6 () in
+  let t = Lattice.generate ~rng:(Prng.Rng.create ~seed:6) p in
+  Alcotest.(check int) "zero hops" 0 (Lattice.greedy_route t ~source:3 ~target:3)
+
+let test_long_range_distance_bias () =
+  (* With a large exponent, long-range contacts should be short. *)
+  let count_avg_len exponent =
+    let p = Lattice.make ~side:30 ~long_range:1 ~exponent () in
+    let t = Lattice.generate ~rng:(Prng.Rng.create ~seed:7) p in
+    let total = ref 0 and edges = ref 0 in
+    Sparse_graph.Graph.iter_edges t.Lattice.graph (fun u v ->
+        let d = Lattice.manhattan p u v in
+        if d > 1 then begin
+          total := !total + d;
+          incr edges
+        end);
+    float_of_int !total /. float_of_int (max 1 !edges)
+  in
+  let heavy_tail = count_avg_len 0.5 and short = count_avg_len 4.0 in
+  if not (heavy_tail > 2.0 *. short) then
+    Alcotest.failf "expected decay bias: r=0.5 avg %.1f vs r=4 avg %.1f" heavy_tail short
+
+let test_scaling_log_squared () =
+  (* Steps at r=2 grow roughly like ln^2 n: the ratio between side 16 and
+     side 64 should be far below the linear-distance ratio 4. *)
+  let mean_steps side =
+    let p = Lattice.make ~side () in
+    let t = Lattice.generate ~rng:(Prng.Rng.create ~seed:8) p in
+    let rng = Prng.Rng.create ~seed:9 in
+    let total = ref 0 in
+    let trials = 300 in
+    for _ = 1 to trials do
+      let s, tgt = Prng.Dist.sample_distinct_pair rng ~n:(Lattice.n t) in
+      total := !total + Lattice.greedy_route t ~source:s ~target:tgt
+    done;
+    float_of_int !total /. float_of_int trials
+  in
+  let small = mean_steps 16 and large = mean_steps 64 in
+  if large /. small > 3.0 then
+    Alcotest.failf "scaling ratio %.2f looks linear, not polylog" (large /. small)
+
+let test_matches_core_greedy () =
+  (* Lattice greedy is the core greedy protocol with the negated Manhattan
+     distance as objective (same tie-breaking: first best in ascending
+     neighbour order). *)
+  let p = Lattice.make ~side:10 () in
+  let t = Lattice.generate ~rng:(Prng.Rng.create ~seed:21) p in
+  let rng = Prng.Rng.create ~seed:22 in
+  for _ = 1 to 150 do
+    let s, tgt = Prng.Dist.sample_distinct_pair rng ~n:(Lattice.n t) in
+    let objective =
+      Greedy_routing.Objective.of_fun ~name:"manhattan" ~target:tgt (fun v ->
+          -.float_of_int (Lattice.manhattan p v tgt))
+    in
+    let core =
+      Greedy_routing.Greedy.route ~graph:t.Lattice.graph ~objective ~source:s ()
+    in
+    Alcotest.(check bool) "core delivers" true (Greedy_routing.Outcome.delivered core);
+    Alcotest.(check int) "same steps"
+      (Lattice.greedy_route t ~source:s ~target:tgt)
+      core.Greedy_routing.Outcome.steps
+  done
+
+let suite =
+  [
+    Alcotest.test_case "make validation" `Quick test_make_validation;
+    Alcotest.test_case "coords roundtrip" `Quick test_coords_roundtrip;
+    Alcotest.test_case "vertex wraps" `Quick test_vertex_wraps;
+    Alcotest.test_case "manhattan" `Quick test_manhattan;
+    Alcotest.test_case "grid-only graph" `Quick test_grid_only_graph;
+    Alcotest.test_case "long-range degree" `Quick test_long_range_degree;
+    Alcotest.test_case "greedy always succeeds" `Quick test_greedy_always_succeeds;
+    Alcotest.test_case "greedy adjacent" `Quick test_greedy_adjacent;
+    Alcotest.test_case "greedy same vertex" `Quick test_greedy_same_vertex;
+    Alcotest.test_case "long-range distance bias" `Quick test_long_range_distance_bias;
+    Alcotest.test_case "polylog scaling at r=2" `Slow test_scaling_log_squared;
+    Alcotest.test_case "lattice greedy = core greedy" `Quick test_matches_core_greedy;
+  ]

@@ -1,0 +1,36 @@
+let () =
+  Alcotest.run "smallworld"
+    [
+      ("prng.rng", Test_rng.suite);
+      ("prng.dist", Test_dist.suite);
+      ("geometry.torus", Test_torus.suite);
+      ("geometry.morton", Test_morton.suite);
+      ("geometry.grid", Test_grid.suite);
+      ("sparse_graph.graph", Test_graph.suite);
+      ("sparse_graph.bfs", Test_bfs.suite);
+      ("sparse_graph.components", Test_components.suite);
+      ("sparse_graph.gstats", Test_gstats.suite);
+      ("stats.summary", Test_summary.suite);
+      ("stats.histogram", Test_histogram.suite);
+      ("stats.regression", Test_regression.suite);
+      ("stats.table", Test_table.suite);
+      ("girg.params", Test_girg_params.suite);
+      ("girg.kernel", Test_kernel.suite);
+      ("girg.samplers", Test_samplers.suite);
+      ("hyperbolic.hrg", Test_hrg.suite);
+      ("hyperbolic.embed", Test_embed.suite);
+      ("girg.chung_lu", Test_chung_lu.suite);
+      ("kleinberg.lattice", Test_lattice.suite);
+      ("core.heap", Test_heap.suite);
+      ("core.objective", Test_objective.suite);
+      ("core.greedy", Test_greedy.suite);
+      ("core.patching", Test_patching.suite);
+      ("core.gravity_pressure", Test_gravity.suite);
+      ("core.trajectory", Test_trajectory.suite);
+      ("core.layers", Test_layers.suite);
+      ("core.faulty", Test_faulty.suite);
+      ("persistence.io", Test_io.suite);
+      ("netsim", Test_netsim.suite);
+      ("experiments.workload", Test_workload.suite);
+      ("experiments.registry", Test_registry.suite);
+    ]

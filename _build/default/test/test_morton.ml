@@ -1,0 +1,142 @@
+open Geometry
+
+let test_encode_decode_roundtrip () =
+  List.iter
+    (fun (dim, level) ->
+      let rng = Prng.Rng.create ~seed:(dim * 100 + level) in
+      for _ = 1 to 200 do
+        let coords = Array.init dim (fun _ -> Prng.Rng.int rng (1 lsl level)) in
+        let code = Morton.encode ~dim ~level coords in
+        Alcotest.(check (array int)) "roundtrip" coords (Morton.decode ~dim ~level code)
+      done)
+    [ (1, 5); (2, 7); (3, 6); (4, 4) ]
+
+let test_encode_is_injective_2d () =
+  let level = 4 in
+  let seen = Hashtbl.create 256 in
+  for x = 0 to 15 do
+    for y = 0 to 15 do
+      let code = Morton.encode ~dim:2 ~level [| x; y |] in
+      if Hashtbl.mem seen code then Alcotest.fail "duplicate morton code";
+      Hashtbl.add seen code ()
+    done
+  done;
+  Alcotest.(check int) "all cells distinct" 256 (Hashtbl.length seen)
+
+let test_parent_prefix () =
+  let rng = Prng.Rng.create ~seed:9 in
+  for _ = 1 to 500 do
+    let dim = 1 + Prng.Rng.int rng 3 in
+    let level = 2 + Prng.Rng.int rng 5 in
+    let coords = Array.init dim (fun _ -> Prng.Rng.int rng (1 lsl level)) in
+    let code = Morton.encode ~dim ~level coords in
+    let parent_coords = Array.map (fun c -> c / 2) coords in
+    Alcotest.(check int) "parent = coordinate halving"
+      (Morton.encode ~dim ~level:(level - 1) parent_coords)
+      (Morton.parent ~dim code)
+  done
+
+let test_to_level () =
+  let code = Morton.encode ~dim:2 ~level:5 [| 21; 13 |] in
+  Alcotest.(check int) "two levels up"
+    (Morton.encode ~dim:2 ~level:3 [| 5; 3 |])
+    (Morton.to_level ~dim:2 ~from_level:5 ~to_level:3 code)
+
+let test_cell_of_point () =
+  Alcotest.(check (array int)) "cell coords" [| 1; 3 |]
+    (Morton.cell_coords_of_point ~dim:2 ~level:2 [| 0.3; 0.9 |]);
+  Alcotest.(check (array int)) "boundary clamp" [| 3; 3 |]
+    (Morton.cell_coords_of_point ~dim:2 ~level:2 [| 0.999999999; 1.0 |])
+
+let test_code_consistent_with_grid_membership () =
+  let rng = Prng.Rng.create ~seed:10 in
+  for _ = 1 to 1000 do
+    let p = Torus.random_point rng ~dim:2 in
+    let level = 3 in
+    let code = Morton.code_of_point ~dim:2 ~level p in
+    let coords = Morton.decode ~dim:2 ~level code in
+    let side = Morton.cell_side ~level in
+    Array.iteri
+      (fun i c ->
+        let lo = float_of_int c *. side in
+        if p.(i) < lo -. 1e-12 || p.(i) >= lo +. side +. 1e-12 then
+          Alcotest.fail "point outside its cell")
+      coords
+  done
+
+let test_neighbors_count () =
+  (* Interior cell in a 8x8 grid: 9 neighbours incl. self. *)
+  let collect dim level coords =
+    let acc = ref [] in
+    Morton.iter_neighbors ~dim ~level (Morton.encode ~dim ~level coords) (fun c ->
+        acc := c :: !acc);
+    !acc
+  in
+  Alcotest.(check int) "2d level 3" 9 (List.length (collect 2 3 [| 4; 4 |]));
+  Alcotest.(check int) "1d level 3" 3 (List.length (collect 1 3 [| 4 |]));
+  Alcotest.(check int) "3d level 2" 27 (List.length (collect 3 2 [| 1; 1; 1 |]));
+  (* Level 1 (two cells per side): only 2^dim distinct cells exist. *)
+  Alcotest.(check int) "2d level 1 dedup" 4 (List.length (collect 2 1 [| 0; 1 |]));
+  (* Level 0: single cell. *)
+  Alcotest.(check int) "level 0" 1 (List.length (collect 2 0 [| 0; 0 |]))
+
+let test_neighbors_distinct_and_adjacent () =
+  let dim = 2 and level = 3 in
+  let cps = 1 lsl level in
+  let code = Morton.encode ~dim ~level [| 0; 7 |] in
+  let base = Morton.decode ~dim ~level code in
+  let seen = Hashtbl.create 16 in
+  Morton.iter_neighbors ~dim ~level code (fun c ->
+      if Hashtbl.mem seen c then Alcotest.fail "duplicate neighbor";
+      Hashtbl.add seen c ();
+      let coords = Morton.decode ~dim ~level c in
+      Array.iteri
+        (fun i x ->
+          let d = abs (x - base.(i)) in
+          let d = min d (cps - d) in
+          if d > 1 then Alcotest.fail "non-adjacent neighbor")
+        coords);
+  Alcotest.(check int) "corner cell wraps to 9" 9 (Hashtbl.length seen)
+
+let test_cell_min_dist () =
+  let dim = 1 and level = 3 in
+  (* side = 1/8 *)
+  let c i = Morton.encode ~dim ~level [| i |] in
+  let d a b = Morton.cell_min_dist ~dim ~level (c a) (c b) in
+  Alcotest.(check (float 1e-12)) "same" 0.0 (d 3 3);
+  Alcotest.(check (float 1e-12)) "adjacent" 0.0 (d 3 4);
+  Alcotest.(check (float 1e-12)) "gap 1" 0.125 (d 3 5);
+  Alcotest.(check (float 1e-12)) "wrap adjacent" 0.0 (d 0 7);
+  Alcotest.(check (float 1e-12)) "wrap gap" 0.125 (d 0 6)
+
+let cell_min_dist_is_lower_bound_prop =
+  QCheck2.Test.make ~name:"cell_min_dist lower-bounds point distances" ~count:300
+    QCheck2.Gen.(
+      tup2
+        (array_size (return 2) (float_bound_exclusive 1.0))
+        (array_size (return 2) (float_bound_exclusive 1.0)))
+    (fun (x, y) ->
+      let level = 3 in
+      let a = Morton.code_of_point ~dim:2 ~level x in
+      let b = Morton.code_of_point ~dim:2 ~level y in
+      Morton.cell_min_dist ~dim:2 ~level a b <= Torus.dist_linf x y +. 1e-12)
+
+let test_max_level () =
+  Alcotest.(check int) "d=1" 62 (Morton.max_level ~dim:1);
+  Alcotest.(check int) "d=2" 31 (Morton.max_level ~dim:2);
+  Alcotest.(check int) "d=3" 20 (Morton.max_level ~dim:3)
+
+let suite =
+  [
+    Alcotest.test_case "encode/decode roundtrip" `Quick test_encode_decode_roundtrip;
+    Alcotest.test_case "encode injective" `Quick test_encode_is_injective_2d;
+    Alcotest.test_case "parent = halved coords" `Quick test_parent_prefix;
+    Alcotest.test_case "to_level" `Quick test_to_level;
+    Alcotest.test_case "cell_of_point" `Quick test_cell_of_point;
+    Alcotest.test_case "point in its cell" `Quick test_code_consistent_with_grid_membership;
+    Alcotest.test_case "neighbor counts" `Quick test_neighbors_count;
+    Alcotest.test_case "neighbors distinct+adjacent" `Quick test_neighbors_distinct_and_adjacent;
+    Alcotest.test_case "cell_min_dist cases" `Quick test_cell_min_dist;
+    QCheck_alcotest.to_alcotest cell_min_dist_is_lower_bound_prop;
+    Alcotest.test_case "max_level" `Quick test_max_level;
+  ]

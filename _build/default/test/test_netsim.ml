@@ -1,0 +1,195 @@
+(* The discrete-event substrate and the distributed protocol equivalences:
+   the distributed implementations must produce byte-identical walks to the
+   centralised ones. *)
+
+let test_event_queue_order () =
+  let q = Netsim.Event_queue.create () in
+  List.iter (fun (t, x) -> Netsim.Event_queue.push q ~time:t x)
+    [ (3.0, "c"); (1.0, "a"); (2.0, "b"); (0.5, "z") ];
+  let rec drain acc =
+    match Netsim.Event_queue.pop q with
+    | None -> List.rev acc
+    | Some (_, x) -> drain (x :: acc)
+  in
+  Alcotest.(check (list string)) "time order" [ "z"; "a"; "b"; "c" ] (drain [])
+
+let test_event_queue_fifo_ties () =
+  let q = Netsim.Event_queue.create () in
+  List.iter (fun x -> Netsim.Event_queue.push q ~time:1.0 x) [ 1; 2; 3; 4; 5 ];
+  let rec drain acc =
+    match Netsim.Event_queue.pop q with
+    | None -> List.rev acc
+    | Some (_, x) -> drain (x :: acc)
+  in
+  Alcotest.(check (list int)) "FIFO among ties" [ 1; 2; 3; 4; 5 ] (drain [])
+
+let test_event_queue_validation () =
+  let q = Netsim.Event_queue.create () in
+  Alcotest.check_raises "negative time"
+    (Invalid_argument "Event_queue.push: time must be a non-negative number") (fun () ->
+      Netsim.Event_queue.push q ~time:(-1.0) ())
+
+let test_event_queue_random_order () =
+  let rng = Prng.Rng.create ~seed:3 in
+  let q = Netsim.Event_queue.create () in
+  let times = Array.init 500 (fun _ -> Prng.Rng.float rng 100.0) in
+  Array.iter (fun t -> Netsim.Event_queue.push q ~time:t ()) times;
+  let rec drain last =
+    match Netsim.Event_queue.pop q with
+    | None -> ()
+    | Some (t, ()) ->
+        if t < last then Alcotest.fail "times not monotone";
+        drain t
+  in
+  drain neg_infinity
+
+let test_sim_ping_pong () =
+  (* Two nodes volley a counter until it reaches 5, then halt. *)
+  let log = ref [] in
+  let handler (api : int Netsim.Sim.api) ~src:_ k =
+    log := (api.Netsim.Sim.self, k, api.Netsim.Sim.now) :: !log;
+    if k >= 5 then api.Netsim.Sim.halt ()
+    else api.Netsim.Sim.send ~dst:(1 - api.Netsim.Sim.self) (k + 1)
+  in
+  let sim = Netsim.Sim.create ~n:2 ~handler () in
+  Netsim.Sim.inject sim ~dst:0 0;
+  let stats = Netsim.Sim.run sim in
+  Alcotest.(check int) "deliveries" 6 stats.Netsim.Sim.deliveries;
+  Alcotest.(check int) "sends" 5 stats.Netsim.Sim.sends;
+  Alcotest.(check bool) "halted" true stats.Netsim.Sim.halted;
+  Alcotest.(check (float 1e-9)) "unit latency accumulates" 5.0 stats.Netsim.Sim.final_time;
+  let selves = List.rev_map (fun (s, _, _) -> s) !log in
+  Alcotest.(check (list int)) "alternating nodes" [ 0; 1; 0; 1; 0; 1 ] selves
+
+let test_sim_latency_model () =
+  let handler (api : int Netsim.Sim.api) ~src:_ k =
+    if k < 3 then api.Netsim.Sim.send ~dst:0 (k + 1)
+  in
+  let sim = Netsim.Sim.create ~n:1 ~latency:(fun ~src:_ ~dst:_ -> 2.5) ~handler () in
+  Netsim.Sim.inject sim ~dst:0 0;
+  let stats = Netsim.Sim.run sim in
+  Alcotest.(check (float 1e-9)) "3 hops at 2.5" 7.5 stats.Netsim.Sim.final_time
+
+let test_sim_max_deliveries () =
+  let handler (api : unit Netsim.Sim.api) ~src:_ () = api.Netsim.Sim.send ~dst:0 () in
+  let sim = Netsim.Sim.create ~n:1 ~handler () in
+  Netsim.Sim.inject sim ~dst:0 ();
+  let stats = Netsim.Sim.run ~max_deliveries:100 sim in
+  Alcotest.(check int) "capped" 100 stats.Netsim.Sim.deliveries;
+  Alcotest.(check bool) "not halted" false stats.Netsim.Sim.halted
+
+let test_local_view_matches_graph () =
+  let inst = Test_greedy.girg_instance ~seed:2110 ~n:800 ~c:0.2 () in
+  let views = Netsim.Local_view.of_instance inst in
+  Array.iteri
+    (fun v view ->
+      Alcotest.(check int) "self id" v view.Netsim.Local_view.self.Netsim.Local_view.id;
+      Alcotest.(check (array int)) "neighbour ids"
+        (Sparse_graph.Graph.neighbors inst.graph v)
+        (Array.map (fun a -> a.Netsim.Local_view.id) view.Netsim.Local_view.neighbors))
+    views
+
+let test_local_phi_matches_objective () =
+  let inst = Test_greedy.girg_instance ~seed:2111 ~n:500 ~c:0.2 () in
+  let views = Netsim.Local_view.of_instance inst in
+  let target = 17 in
+  let objective = Greedy_routing.Objective.girg_phi inst ~target in
+  let tgt = views.(target).Netsim.Local_view.self in
+  for v = 0 to Sparse_graph.Graph.n inst.graph - 1 do
+    let local = Netsim.Local_view.phi views.(v) views.(v).Netsim.Local_view.self ~target:tgt in
+    let central = objective.Greedy_routing.Objective.score v in
+    if Float.is_finite central then begin
+      if abs_float (local -. central) > 1e-12 *. Float.max 1.0 (abs_float central) then
+        Alcotest.failf "phi mismatch at %d: %g vs %g" v local central
+    end
+    else if local <> infinity then Alcotest.fail "target phi must be infinite"
+  done
+
+let test_dist_greedy_equivalence () =
+  let inst = Test_greedy.girg_instance ~seed:2112 ~n:3000 ~c:0.15 () in
+  let rng = Prng.Rng.create ~seed:4 in
+  for _ = 1 to 80 do
+    let s, t = Prng.Dist.sample_distinct_pair rng ~n:(Sparse_graph.Graph.n inst.graph) in
+    let objective = Greedy_routing.Objective.girg_phi inst ~target:t in
+    let central = Greedy_routing.Greedy.route ~graph:inst.graph ~objective ~source:s () in
+    let distributed, stats = Netsim.Dist_greedy.run ~inst ~source:s ~target:t () in
+    Alcotest.(check (list int)) "same walk" central.Greedy_routing.Outcome.walk
+      distributed.Greedy_routing.Outcome.walk;
+    Alcotest.(check bool) "same status" true
+      (central.Greedy_routing.Outcome.status = distributed.Greedy_routing.Outcome.status);
+    Alcotest.(check int) "messages = steps" distributed.Greedy_routing.Outcome.steps
+      stats.Netsim.Sim.sends
+  done
+
+let test_dist_dfs_equivalence () =
+  (* Sparse graphs so the walk exercises bounces, resets and backtracks. *)
+  let inst = Test_greedy.girg_instance ~seed:2113 ~n:3000 ~c:0.07 () in
+  let rng = Prng.Rng.create ~seed:5 in
+  for _ = 1 to 60 do
+    let s, t = Prng.Dist.sample_distinct_pair rng ~n:(Sparse_graph.Graph.n inst.graph) in
+    let objective = Greedy_routing.Objective.girg_phi inst ~target:t in
+    let central = Greedy_routing.Patch_dfs.route ~graph:inst.graph ~objective ~source:s () in
+    let distributed, _ = Netsim.Dist_dfs.run ~inst ~source:s ~target:t () in
+    Alcotest.(check bool) "same status" true
+      (central.Greedy_routing.Outcome.status = distributed.Greedy_routing.Outcome.status);
+    Alcotest.(check int) "same steps" central.Greedy_routing.Outcome.steps
+      distributed.Greedy_routing.Outcome.steps;
+    Alcotest.(check (list int)) "same walk" central.Greedy_routing.Outcome.walk
+      distributed.Greedy_routing.Outcome.walk
+  done
+
+let test_dist_dfs_equivalence_random_graphs () =
+  (* Tiny adversarial graphs, including cross-component pairs. *)
+  let rng = Prng.Rng.create ~seed:6 in
+  for trial = 1 to 60 do
+    let count = 3 + Prng.Rng.int rng 10 in
+    let params = Girg.Params.make ~dim:2 ~beta:2.5 ~c:0.3 ~n:count ~poisson_count:false () in
+    let weights = Girg.Instance.sample_weights ~rng ~params ~count in
+    let positions = Girg.Instance.sample_positions ~rng ~params ~count in
+    let inst = Girg.Instance.generate_with ~rng ~params ~weights ~positions () in
+    let s = Prng.Rng.int rng count and t = Prng.Rng.int rng count in
+    if s <> t then begin
+      let objective = Greedy_routing.Objective.girg_phi inst ~target:t in
+      let central = Greedy_routing.Patch_dfs.route ~graph:inst.graph ~objective ~source:s () in
+      let distributed, _ = Netsim.Dist_dfs.run ~inst ~source:s ~target:t () in
+      Alcotest.(check (list int))
+        (Printf.sprintf "trial %d walk" trial)
+        central.Greedy_routing.Outcome.walk distributed.Greedy_routing.Outcome.walk
+    end
+  done
+
+let test_dist_greedy_latency_is_hop_sum () =
+  let inst = Test_greedy.girg_instance ~seed:2114 ~n:1000 ~c:0.25 () in
+  let rng = Prng.Rng.create ~seed:7 in
+  let s, t = Prng.Dist.sample_distinct_pair rng ~n:(Sparse_graph.Graph.n inst.graph) in
+  let outcome, stats =
+    Netsim.Dist_greedy.run ~inst ~source:s ~target:t
+      ~latency:(fun ~src ~dst -> 0.001 *. float_of_int (src + dst + 1))
+      ()
+  in
+  (* Final time = sum of the walk's link latencies. *)
+  let rec link_sum acc = function
+    | a :: (b :: _ as rest) -> link_sum (acc +. (0.001 *. float_of_int (a + b + 1))) rest
+    | [ _ ] | [] -> acc
+  in
+  Alcotest.(check (float 1e-9)) "time = sum of latencies"
+    (link_sum 0.0 outcome.Greedy_routing.Outcome.walk)
+    stats.Netsim.Sim.final_time
+
+let suite =
+  [
+    Alcotest.test_case "event queue order" `Quick test_event_queue_order;
+    Alcotest.test_case "event queue FIFO ties" `Quick test_event_queue_fifo_ties;
+    Alcotest.test_case "event queue validation" `Quick test_event_queue_validation;
+    Alcotest.test_case "event queue random order" `Quick test_event_queue_random_order;
+    Alcotest.test_case "sim ping-pong" `Quick test_sim_ping_pong;
+    Alcotest.test_case "sim latency model" `Quick test_sim_latency_model;
+    Alcotest.test_case "sim max deliveries" `Quick test_sim_max_deliveries;
+    Alcotest.test_case "local view matches graph" `Quick test_local_view_matches_graph;
+    Alcotest.test_case "local phi matches objective" `Quick test_local_phi_matches_objective;
+    Alcotest.test_case "distributed greedy = centralised" `Quick test_dist_greedy_equivalence;
+    Alcotest.test_case "distributed phi-dfs = centralised" `Quick test_dist_dfs_equivalence;
+    Alcotest.test_case "phi-dfs equivalence on random graphs" `Quick
+      test_dist_dfs_equivalence_random_graphs;
+    Alcotest.test_case "latency accumulates over hops" `Quick test_dist_greedy_latency_is_hop_sum;
+  ]

@@ -1,0 +1,123 @@
+open Greedy_routing
+
+let make_instance () =
+  (* 1-d instance with hand-placed vertices for exact phi computations. *)
+  let params = Girg.Params.make ~dim:1 ~beta:2.5 ~w_min:1.0 ~n:10 ~poisson_count:false () in
+  let weights = [| 1.0; 2.0; 4.0; 1.0 |] in
+  let positions = [| [| 0.0 |]; [| 0.1 |]; [| 0.3 |]; [| 0.5 |] |] in
+  let rng = Prng.Rng.create ~seed:1 in
+  Girg.Instance.generate_with ~rng ~params ~weights ~positions ()
+
+let test_girg_phi_values () =
+  let inst = make_instance () in
+  let obj = Objective.girg_phi inst ~target:3 in
+  (* phi(v) = w_v / (w_min * n * dist(v, t)^d); target at 0.5. *)
+  Alcotest.(check (float 1e-9)) "phi(0)" (1.0 /. (10.0 *. 0.5)) (obj.Objective.score 0);
+  Alcotest.(check (float 1e-9)) "phi(1)" (2.0 /. (10.0 *. 0.4)) (obj.Objective.score 1);
+  Alcotest.(check (float 1e-9)) "phi(2)" (4.0 /. (10.0 *. 0.2)) (obj.Objective.score 2);
+  Alcotest.(check bool) "phi(t) = inf" true (obj.Objective.score 3 = infinity)
+
+let test_phi_maximised_at_target () =
+  let params = Girg.Params.make ~dim:2 ~beta:2.5 ~n:500 () in
+  let inst = Girg.Instance.generate ~rng:(Prng.Rng.create ~seed:2) params in
+  let n = Sparse_graph.Graph.n inst.graph in
+  let obj = Objective.girg_phi inst ~target:(n / 2) in
+  for v = 0 to n - 1 do
+    if v <> n / 2 && obj.Objective.score v >= obj.Objective.score (n / 2) then
+      Alcotest.fail "target not the global maximum"
+  done
+
+let test_geometric_objective () =
+  let positions = [| [| 0.0; 0.0 |]; [| 0.4; 0.4 |]; [| 0.5; 0.5 |] |] in
+  let obj = Objective.geometric ~positions ~target:2 in
+  Alcotest.(check bool) "closer scores higher" true
+    (obj.Objective.score 1 > obj.Objective.score 0);
+  Alcotest.(check bool) "target inf" true (obj.Objective.score 2 = infinity)
+
+let test_hyperbolic_objective_ordering () =
+  let p = Hyperbolic.Hrg.make ~n:200 () in
+  let h = Hyperbolic.Hrg.generate ~rng:(Prng.Rng.create ~seed:3) p in
+  let target = 17 in
+  let obj = Objective.hyperbolic h ~target in
+  (* phi_H ordering must match (inverse) hyperbolic distance ordering. *)
+  let rng = Prng.Rng.create ~seed:4 in
+  for _ = 1 to 500 do
+    let u = Prng.Rng.int rng 200 and v = Prng.Rng.int rng 200 in
+    if u <> target && v <> target then begin
+      let du = Hyperbolic.Hrg.distance h.coords.(u) h.coords.(target) in
+      let dv = Hyperbolic.Hrg.distance h.coords.(v) h.coords.(target) in
+      let su = obj.Objective.score u and sv = obj.Objective.score v in
+      if du < dv -. 1e-9 && su < sv then
+        Alcotest.fail "phi_H ordering disagrees with hyperbolic distance"
+    end
+  done;
+  Alcotest.(check bool) "target inf" true (obj.Objective.score target = infinity)
+
+let test_of_fun_forces_target () =
+  let obj = Objective.of_fun ~name:"const" ~target:5 (fun _ -> 1.0) in
+  Alcotest.(check bool) "target inf" true (obj.Objective.score 5 = infinity);
+  Alcotest.(check (float 0.0)) "others" 1.0 (obj.Objective.score 0)
+
+let test_noisy_factor_bounds () =
+  let inst = make_instance () in
+  let base = Objective.girg_phi inst ~target:3 in
+  let noisy = Objective.noisy_factor ~seed:7 ~spread:1.0 base in
+  for v = 0 to 2 do
+    let ratio = noisy.Objective.score v /. base.Objective.score v in
+    if ratio < exp (-1.0) -. 1e-9 || ratio > exp 1.0 +. 1e-9 then
+      Alcotest.fail "factor out of bounds"
+  done;
+  Alcotest.(check bool) "target still inf" true (noisy.Objective.score 3 = infinity)
+
+let test_noisy_deterministic () =
+  let inst = make_instance () in
+  let base = Objective.girg_phi inst ~target:3 in
+  let a = Objective.noisy_factor ~seed:7 ~spread:1.0 base in
+  let b = Objective.noisy_factor ~seed:7 ~spread:1.0 base in
+  for v = 0 to 2 do
+    Alcotest.(check (float 0.0)) "same noise" (a.Objective.score v) (b.Objective.score v)
+  done;
+  let c = Objective.noisy_factor ~seed:8 ~spread:1.0 base in
+  Alcotest.(check bool) "different seed differs" true
+    (List.exists (fun v -> a.Objective.score v <> c.Objective.score v) [ 0; 1; 2 ])
+
+let test_noisy_zero_spread_identity () =
+  let inst = make_instance () in
+  let base = Objective.girg_phi inst ~target:3 in
+  let noisy = Objective.noisy_factor ~seed:7 ~spread:0.0 base in
+  for v = 0 to 2 do
+    Alcotest.(check (float 1e-12)) "identity" (base.Objective.score v) (noisy.Objective.score v)
+  done
+
+let test_noisy_polynomial_bounds () =
+  let inst = make_instance () in
+  let base = Objective.girg_phi inst ~target:3 in
+  let noisy = Objective.noisy_polynomial ~seed:9 ~delta:0.5 ~weights:inst.weights base in
+  for v = 0 to 2 do
+    let s = base.Objective.score v in
+    let m = Float.max 1.0 (Float.min inst.weights.(v) (1.0 /. s)) in
+    let ratio = noisy.Objective.score v /. s in
+    if ratio < (m ** -0.5) -. 1e-9 || ratio > (m ** 0.5) +. 1e-9 then
+      Alcotest.fail "polynomial noise out of Theorem 3.5 bounds"
+  done
+
+let test_noisy_rejects_negative () =
+  let inst = make_instance () in
+  let base = Objective.girg_phi inst ~target:3 in
+  Alcotest.check_raises "negative spread"
+    (Invalid_argument "Objective.noisy_factor: negative spread") (fun () ->
+      ignore (Objective.noisy_factor ~seed:1 ~spread:(-1.0) base))
+
+let suite =
+  [
+    Alcotest.test_case "girg phi values" `Quick test_girg_phi_values;
+    Alcotest.test_case "phi maximised at target" `Quick test_phi_maximised_at_target;
+    Alcotest.test_case "geometric objective" `Quick test_geometric_objective;
+    Alcotest.test_case "hyperbolic objective ordering" `Quick test_hyperbolic_objective_ordering;
+    Alcotest.test_case "of_fun forces target" `Quick test_of_fun_forces_target;
+    Alcotest.test_case "noisy factor bounds" `Quick test_noisy_factor_bounds;
+    Alcotest.test_case "noisy deterministic" `Quick test_noisy_deterministic;
+    Alcotest.test_case "zero spread identity" `Quick test_noisy_zero_spread_identity;
+    Alcotest.test_case "polynomial noise bounds" `Quick test_noisy_polynomial_bounds;
+    Alcotest.test_case "rejects negative spread" `Quick test_noisy_rejects_negative;
+  ]

@@ -1,0 +1,294 @@
+(* The load-bearing property of Theorem 3.4: a (P1)-(P3) patching protocol
+   delivers IF AND ONLY IF source and target share a component.  We check
+   it exhaustively on many random graphs with random objectives, for both
+   Phi-DFS (Algorithm 2) and the history-based protocol. *)
+
+open Greedy_routing
+
+let protocols =
+  [ ("phi-dfs", Protocol.Patch_dfs); ("history", Protocol.Patch_history) ]
+
+let random_objective ~rng ~n ~target =
+  let scores = Array.init n (fun _ -> Prng.Rng.unit_float rng) in
+  Objective.of_fun ~name:"random" ~target (fun v -> scores.(v))
+
+let check_success_iff_connected ~label ~protocol ~graph ~objective ~source ~target =
+  let r = Protocol.run protocol ~graph ~objective ~source () in
+  let connected =
+    Sparse_graph.Components.same (Sparse_graph.Components.compute graph) source target
+  in
+  match r.Outcome.status with
+  | Outcome.Delivered ->
+      if not connected then Alcotest.failf "%s delivered across components" label
+  | Outcome.Exhausted ->
+      if connected then
+        Alcotest.failf "%s exhausted although s-t connected (s=%d t=%d)" label source target
+  | Outcome.Dead_end -> Alcotest.failf "%s returned Dead_end (patching never drops)" label
+  | Outcome.Cutoff -> Alcotest.failf "%s hit the step cap" label
+
+let test_exhaustive_random_graphs () =
+  let rng = Prng.Rng.create ~seed:2024 in
+  for trial = 1 to 150 do
+    let n = 2 + Prng.Rng.int rng 14 in
+    let m = Prng.Rng.int rng (3 * n) in
+    let graph = Test_greedy.random_graph ~seed:trial ~n ~m in
+    let source = Prng.Rng.int rng n in
+    let target = Prng.Rng.int rng n in
+    if source <> target then begin
+      let objective = random_objective ~rng ~n ~target in
+      List.iter
+        (fun (label, protocol) ->
+          check_success_iff_connected ~label ~protocol ~graph ~objective ~source ~target)
+        protocols
+    end
+  done
+
+let test_on_girg_same_component () =
+  let inst = Test_greedy.girg_instance ~seed:321 ~n:4000 ~c:0.08 () in
+  let comps = Sparse_graph.Components.compute inst.graph in
+  let giant = Sparse_graph.Components.giant_members comps in
+  let rng = Prng.Rng.create ~seed:55 in
+  List.iter
+    (fun (label, protocol) ->
+      for _ = 1 to 60 do
+        let i, j = Prng.Dist.sample_distinct_pair rng ~n:(Array.length giant) in
+        let s = giant.(i) and t = giant.(j) in
+        let objective = Objective.girg_phi inst ~target:t in
+        let r = Protocol.run protocol ~graph:inst.graph ~objective ~source:s () in
+        if not (Outcome.delivered r) then
+          Alcotest.failf "%s failed on same-component GIRG pair" label
+      done)
+    protocols
+
+let test_walk_validity () =
+  (* Every patching walk must only use graph edges and count steps as
+     |walk| - 1. *)
+  let inst = Test_greedy.girg_instance ~seed:322 ~n:2000 ~c:0.08 () in
+  let g = inst.graph in
+  let rng = Prng.Rng.create ~seed:56 in
+  List.iter
+    (fun (label, protocol) ->
+      for _ = 1 to 30 do
+        let s, t = Prng.Dist.sample_distinct_pair rng ~n:(Sparse_graph.Graph.n g) in
+        let objective = Objective.girg_phi inst ~target:t in
+        let r = Protocol.run protocol ~graph:g ~objective ~source:s () in
+        Alcotest.(check int)
+          (label ^ " steps = |walk|-1")
+          (List.length r.Outcome.walk - 1)
+          r.Outcome.steps;
+        let rec check_edges = function
+          | a :: (b :: _ as rest) ->
+              if a <> b && not (Sparse_graph.Graph.has_edge g a b) then
+                Alcotest.failf "%s walk uses non-edge %d-%d" label a b;
+              check_edges rest
+          | [ _ ] | [] -> ()
+        in
+        check_edges r.Outcome.walk
+      done)
+    protocols
+
+let test_delivery_path_ends_at_target () =
+  let inst = Test_greedy.girg_instance ~seed:323 ~n:1500 ~c:0.1 () in
+  let comps = Sparse_graph.Components.compute inst.graph in
+  let giant = Sparse_graph.Components.giant_members comps in
+  let rng = Prng.Rng.create ~seed:57 in
+  List.iter
+    (fun (label, protocol) ->
+      for _ = 1 to 30 do
+        let i, j = Prng.Dist.sample_distinct_pair rng ~n:(Array.length giant) in
+        let s = giant.(i) and t = giant.(j) in
+        let objective = Objective.girg_phi inst ~target:t in
+        let r = Protocol.run protocol ~graph:inst.graph ~objective ~source:s () in
+        match List.rev r.Outcome.walk with
+        | last :: _ when Outcome.delivered r ->
+            Alcotest.(check int) (label ^ " ends at t") t last
+        | _ -> Alcotest.failf "%s should deliver in the giant" label
+      done)
+    protocols
+
+let test_patching_beats_greedy_success () =
+  let inst = Test_greedy.girg_instance ~seed:324 ~n:6000 ~c:0.06 () in
+  let comps = Sparse_graph.Components.compute inst.graph in
+  let giant = Sparse_graph.Components.giant_members comps in
+  let rng = Prng.Rng.create ~seed:58 in
+  let pairs =
+    Array.init 150 (fun _ ->
+        let i, j = Prng.Dist.sample_distinct_pair rng ~n:(Array.length giant) in
+        (giant.(i), giant.(j)))
+  in
+  let success protocol =
+    Array.fold_left
+      (fun acc (s, t) ->
+        let objective = Objective.girg_phi inst ~target:t in
+        let r = Protocol.run protocol ~graph:inst.graph ~objective ~source:s () in
+        if Outcome.delivered r then acc + 1 else acc)
+      0 pairs
+  in
+  let greedy = success Protocol.Greedy in
+  let dfs = success Protocol.Patch_dfs in
+  Alcotest.(check int) "phi-dfs delivers all" (Array.length pairs) dfs;
+  Alcotest.(check bool) "greedy drops some on sparse graphs" true
+    (greedy < Array.length pairs)
+
+let test_patching_isolated_source () =
+  let graph = Sparse_graph.Graph.of_edge_list ~n:3 [ (1, 2) ] in
+  List.iter
+    (fun (label, protocol) ->
+      let objective = Objective.of_fun ~name:"x" ~target:2 (fun v -> float_of_int v) in
+      let r = Protocol.run protocol ~graph ~objective ~source:0 () in
+      Alcotest.(check bool) (label ^ " exhausts") true (r.Outcome.status = Outcome.Exhausted))
+    protocols
+
+let test_patching_source_equals_neighbors_worse () =
+  (* Local optimum at the source; patching must still find t. *)
+  let graph = Sparse_graph.Graph.of_edge_list ~n:4 [ (0, 1); (1, 2); (2, 3) ] in
+  let objective = Objective.of_fun ~name:"x" ~target:3 (fun v -> [| 0.9; 0.1; 0.5; 0.0 |].(v)) in
+  List.iter
+    (fun (label, protocol) ->
+      let r = Protocol.run protocol ~graph ~objective ~source:0 () in
+      Alcotest.(check bool) (label ^ " delivers past local opt") true (Outcome.delivered r))
+    protocols
+
+let test_dfs_cheap_on_easy_instances () =
+  (* When greedy succeeds, Phi-DFS should take exactly the same path. *)
+  let inst = Test_greedy.girg_instance ~seed:325 ~n:3000 ~c:0.3 () in
+  let rng = Prng.Rng.create ~seed:59 in
+  for _ = 1 to 50 do
+    let s, t = Prng.Dist.sample_distinct_pair rng ~n:(Sparse_graph.Graph.n inst.graph) in
+    let objective = Objective.girg_phi inst ~target:t in
+    let greedy = Protocol.run Protocol.Greedy ~graph:inst.graph ~objective ~source:s () in
+    if Outcome.delivered greedy then begin
+      let dfs = Protocol.run Protocol.Patch_dfs ~graph:inst.graph ~objective ~source:s () in
+      Alcotest.(check (list int)) "same walk when greedy works" greedy.Outcome.walk
+        dfs.Outcome.walk
+    end
+  done
+
+(* (P1), second clause: whenever the walk enters a vertex for the FIRST
+   time and that vertex has a neighbour of strictly larger objective, the
+   very next hop must be to the vertex's best neighbour. *)
+let test_p1_first_visit_greedy () =
+  let rng = Prng.Rng.create ~seed:4242 in
+  for trial = 1 to 60 do
+    let n = 4 + Prng.Rng.int rng 12 in
+    let graph = Test_greedy.random_graph ~seed:(5000 + trial) ~n ~m:(2 * n) in
+    let target = Prng.Rng.int rng n in
+    let source = Prng.Rng.int rng n in
+    if source <> target then begin
+      let objective = random_objective ~rng ~n ~target in
+      List.iter
+        (fun (label, protocol) ->
+          let r = Protocol.run protocol ~graph ~objective ~source () in
+          let seen = Array.make n false in
+          let rec check = function
+            | a :: (b :: _ as rest) ->
+                if not seen.(a) then begin
+                  seen.(a) <- true;
+                  let best = ref (-1) and best_score = ref neg_infinity in
+                  Sparse_graph.Graph.iter_neighbors graph a (fun u ->
+                      let s = objective.Objective.score u in
+                      if s > !best_score then begin
+                        best := u;
+                        best_score := s
+                      end);
+                  if
+                    !best >= 0
+                    && !best_score > objective.Objective.score a
+                    && b <> !best
+                  then
+                    Alcotest.failf "%s violates (P1) at %d: went to %d, best is %d" label
+                      a b !best
+                end;
+                check rest
+            | [ x ] -> seen.(x) <- true
+            | [] -> ()
+          in
+          check r.Outcome.walk)
+        protocols
+    end
+  done
+
+(* When patching reports Exhausted, it must actually have seen the whole
+   component of the source. *)
+let test_exhausted_means_component_explored () =
+  let rng = Prng.Rng.create ~seed:999 in
+  for trial = 1 to 60 do
+    let n = 4 + Prng.Rng.int rng 12 in
+    let graph = Test_greedy.random_graph ~seed:(6000 + trial) ~n ~m:n in
+    let comps = Sparse_graph.Components.compute graph in
+    let source = Prng.Rng.int rng n in
+    let target = Prng.Rng.int rng n in
+    if source <> target && not (Sparse_graph.Components.same comps source target) then begin
+      let objective = random_objective ~rng ~n ~target in
+      List.iter
+        (fun (label, protocol) ->
+          let r = Protocol.run protocol ~graph ~objective ~source () in
+          Alcotest.(check bool) (label ^ " exhausts") true
+            (r.Outcome.status = Outcome.Exhausted);
+          let component_size =
+            Sparse_graph.Components.size comps (Sparse_graph.Components.id comps source)
+          in
+          Alcotest.(check int)
+            (label ^ " explored the whole component")
+            component_size r.Outcome.visited)
+        protocols
+    end
+  done
+
+let test_steps_grow_with_sparsity_not_n () =
+  (* Theorem 3.4's loglog bound, coarsely: doubling n four times should
+     leave the median patched path length nearly unchanged. *)
+  let median_steps n =
+    let inst = Test_greedy.girg_instance ~seed:(10_000 + n) ~n ~c:0.12 () in
+    let comps = Sparse_graph.Components.compute inst.graph in
+    let giant = Sparse_graph.Components.giant_members comps in
+    let rng = Prng.Rng.create ~seed:77 in
+    let steps = ref [] in
+    for _ = 1 to 80 do
+      let i, j = Prng.Dist.sample_distinct_pair rng ~n:(Array.length giant) in
+      let objective = Objective.girg_phi inst ~target:giant.(j) in
+      let r = Protocol.run Protocol.Patch_history ~graph:inst.graph ~objective ~source:giant.(i) () in
+      if Outcome.delivered r then steps := float_of_int r.Outcome.steps :: !steps
+    done;
+    Stats.Summary.percentile (Array.of_list !steps) ~p:0.5
+  in
+  let small = median_steps 2000 and large = median_steps 32_000 in
+  if large > 3.0 *. small +. 3.0 then
+    Alcotest.failf "median steps grew too fast: %.1f -> %.1f" small large
+
+let test_steps_polynomially_bounded () =
+  (* (P2)/(P3) imply polynomially many steps; on small graphs we can afford
+     a hard cubic ceiling. *)
+  let rng = Prng.Rng.create ~seed:31337 in
+  for trial = 1 to 120 do
+    let n = 3 + Prng.Rng.int rng 13 in
+    let graph = Test_greedy.random_graph ~seed:(7000 + trial) ~n ~m:(3 * n) in
+    let source = Prng.Rng.int rng n and target = Prng.Rng.int rng n in
+    if source <> target then begin
+      let objective = random_objective ~rng ~n ~target in
+      List.iter
+        (fun (label, protocol) ->
+          let r = Protocol.run protocol ~graph ~objective ~source () in
+          let bound = (n * n * n) + (10 * n) + 10 in
+          if r.Outcome.steps > bound then
+            Alcotest.failf "%s took %d steps on n=%d (bound %d)" label r.Outcome.steps n
+              bound)
+        protocols
+    end
+  done
+
+let suite =
+  [
+    Alcotest.test_case "success iff connected (random graphs)" `Quick test_exhaustive_random_graphs;
+    Alcotest.test_case "(P1) first-visit greedy rule" `Quick test_p1_first_visit_greedy;
+    Alcotest.test_case "exhausted = component explored" `Quick test_exhausted_means_component_explored;
+    Alcotest.test_case "loglog growth (coarse)" `Slow test_steps_grow_with_sparsity_not_n;
+    Alcotest.test_case "polynomial step ceiling" `Quick test_steps_polynomially_bounded;
+    Alcotest.test_case "same-component GIRG delivery" `Quick test_on_girg_same_component;
+    Alcotest.test_case "walk validity" `Quick test_walk_validity;
+    Alcotest.test_case "delivery ends at target" `Quick test_delivery_path_ends_at_target;
+    Alcotest.test_case "patching beats greedy" `Quick test_patching_beats_greedy_success;
+    Alcotest.test_case "isolated source exhausts" `Quick test_patching_isolated_source;
+    Alcotest.test_case "escapes source local optimum" `Quick test_patching_source_equals_neighbors_worse;
+    Alcotest.test_case "phi-dfs = greedy when greedy works" `Quick test_dfs_cheap_on_easy_instances;
+  ]

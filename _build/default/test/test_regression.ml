@@ -1,0 +1,88 @@
+open Stats
+
+let test_exact_line () =
+  let points = Array.init 10 (fun i -> (float_of_int i, (2.5 *. float_of_int i) +. 1.0)) in
+  let fit = Regression.linear points in
+  Alcotest.(check (float 1e-9)) "slope" 2.5 fit.slope;
+  Alcotest.(check (float 1e-9)) "intercept" 1.0 fit.intercept;
+  Alcotest.(check (float 1e-9)) "r2" 1.0 fit.r2
+
+let test_constant_y () =
+  let points = Array.init 5 (fun i -> (float_of_int i, 3.0)) in
+  let fit = Regression.linear points in
+  Alcotest.(check (float 1e-9)) "slope" 0.0 fit.slope;
+  Alcotest.(check (float 1e-9)) "intercept" 3.0 fit.intercept;
+  Alcotest.(check (float 1e-9)) "r2" 1.0 fit.r2
+
+let test_constant_x () =
+  let points = [| (1.0, 2.0); (1.0, 4.0) |] in
+  let fit = Regression.linear points in
+  Alcotest.(check (float 1e-9)) "slope" 0.0 fit.slope;
+  Alcotest.(check (float 1e-9)) "intercept (mean y)" 3.0 fit.intercept
+
+let test_too_few_points () =
+  Alcotest.check_raises "one point"
+    (Invalid_argument "Regression.linear: need at least 2 points") (fun () ->
+      ignore (Regression.linear [| (1.0, 1.0) |]))
+
+let test_noisy_slope_recovery () =
+  let rng = Prng.Rng.create ~seed:77 in
+  let points =
+    Array.init 500 (fun i ->
+        let x = float_of_int i /. 10.0 in
+        (x, (1.7 *. x) -. 3.0 +. Prng.Dist.gaussian rng ~mean:0.0 ~stddev:0.5))
+  in
+  let fit = Regression.linear points in
+  if abs_float (fit.slope -. 1.7) > 0.05 then Alcotest.failf "slope %f" fit.slope;
+  if fit.r2 < 0.95 then Alcotest.failf "r2 %f" fit.r2
+
+let test_log_log_power_law () =
+  let points = Array.init 20 (fun i ->
+      let x = float_of_int (i + 1) in
+      (x, 5.0 *. (x ** 1.5)))
+  in
+  let fit = Regression.log_log points in
+  Alcotest.(check (float 1e-9)) "exponent" 1.5 fit.slope;
+  Alcotest.(check (float 1e-9)) "log prefactor" (log 5.0) fit.intercept
+
+let test_log_log_drops_nonpositive () =
+  let points = [| (-1.0, 2.0); (0.0, 3.0); (1.0, 2.0); (2.0, 4.0); (4.0, 8.0) |] in
+  let fit = Regression.log_log points in
+  Alcotest.(check (float 1e-9)) "exponent from positives" 1.0 fit.slope
+
+let test_log_log_too_few () =
+  Alcotest.check_raises "all nonpositive"
+    (Invalid_argument "Regression.log_log: need 2 positive points") (fun () ->
+      ignore (Regression.log_log [| (-1.0, 1.0); (1.0, -1.0) |]))
+
+let test_predict () =
+  let fit = { Regression.slope = 2.0; intercept = 1.0; r2 = 1.0 } in
+  Alcotest.(check (float 1e-9)) "predict" 7.0 (Regression.predict fit 3.0)
+
+let residuals_orthogonal_prop =
+  (* OLS invariant: residuals sum to ~0. *)
+  QCheck2.Test.make ~name:"OLS residuals sum to zero" ~count:100
+    QCheck2.Gen.(list_size (int_range 2 30) (tup2 (float_range 0.0 10.0) (float_range (-5.0) 5.0)))
+    (fun pts ->
+      let points = Array.of_list pts in
+      let fit = Regression.linear points in
+      let resid_sum =
+        Array.fold_left
+          (fun acc (x, y) -> acc +. (y -. Regression.predict fit x))
+          0.0 points
+      in
+      abs_float resid_sum < 1e-6 *. float_of_int (Array.length points))
+
+let suite =
+  [
+    Alcotest.test_case "exact line" `Quick test_exact_line;
+    Alcotest.test_case "constant y" `Quick test_constant_y;
+    Alcotest.test_case "constant x" `Quick test_constant_x;
+    Alcotest.test_case "too few points" `Quick test_too_few_points;
+    Alcotest.test_case "noisy slope recovery" `Quick test_noisy_slope_recovery;
+    Alcotest.test_case "log-log power law" `Quick test_log_log_power_law;
+    Alcotest.test_case "log-log drops nonpositive" `Quick test_log_log_drops_nonpositive;
+    Alcotest.test_case "log-log too few" `Quick test_log_log_too_few;
+    Alcotest.test_case "predict" `Quick test_predict;
+    QCheck_alcotest.to_alcotest residuals_orthogonal_prop;
+  ]

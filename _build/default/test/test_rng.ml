@@ -1,0 +1,123 @@
+open Prng
+
+let test_determinism () =
+  let a = Rng.create ~seed:7 and b = Rng.create ~seed:7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create ~seed:7 and b = Rng.create ~seed:8 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Rng.bits64 a <> Rng.bits64 b then differs := true
+  done;
+  Alcotest.(check bool) "different seeds differ" true !differs
+
+let test_copy_replays () =
+  let a = Rng.create ~seed:3 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  for _ = 1 to 50 do
+    Alcotest.(check int64) "copy replays" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_split_diverges () =
+  let a = Rng.create ~seed:3 in
+  let child = Rng.split a in
+  let clash = ref 0 in
+  for _ = 1 to 100 do
+    if Rng.bits64 a = Rng.bits64 child then incr clash
+  done;
+  Alcotest.(check int) "split streams do not collide" 0 !clash
+
+let test_int_bounds () =
+  let rng = Rng.create ~seed:5 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 17 in
+    if v < 0 || v >= 17 then Alcotest.fail "Rng.int out of bounds"
+  done
+
+let test_int_bound_one () =
+  let rng = Rng.create ~seed:5 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "bound 1 always 0" 0 (Rng.int rng 1)
+  done
+
+let test_int_rejects_nonpositive () =
+  let rng = Rng.create ~seed:5 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_int_uniformity () =
+  let rng = Rng.create ~seed:11 in
+  let buckets = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let v = Rng.int rng 10 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let expected = n / 10 in
+      if abs (c - expected) > expected / 10 then
+        Alcotest.failf "bucket %d count %d too far from %d" i c expected)
+    buckets
+
+let test_unit_float_range () =
+  let rng = Rng.create ~seed:13 in
+  for _ = 1 to 10_000 do
+    let x = Rng.unit_float rng in
+    if not (x >= 0.0 && x < 1.0) then Alcotest.fail "unit_float out of [0,1)"
+  done
+
+let test_unit_float_pos_range () =
+  let rng = Rng.create ~seed:13 in
+  for _ = 1 to 10_000 do
+    let x = Rng.unit_float_pos rng in
+    if not (x > 0.0 && x <= 1.0) then Alcotest.fail "unit_float_pos out of (0,1]"
+  done
+
+let test_unit_float_mean () =
+  let rng = Rng.create ~seed:17 in
+  let n = 100_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.unit_float rng
+  done;
+  let mean = !sum /. float_of_int n in
+  if abs_float (mean -. 0.5) > 0.01 then Alcotest.failf "mean %f too far from 0.5" mean
+
+let test_bool_balance () =
+  let rng = Rng.create ~seed:19 in
+  let n = 100_000 in
+  let heads = ref 0 in
+  for _ = 1 to n do
+    if Rng.bool rng then incr heads
+  done;
+  let frac = float_of_int !heads /. float_of_int n in
+  if abs_float (frac -. 0.5) > 0.01 then Alcotest.failf "coin bias %f" frac
+
+let test_float_scales () =
+  let rng = Rng.create ~seed:23 in
+  for _ = 1 to 1000 do
+    let x = Rng.float rng 42.0 in
+    if not (x >= 0.0 && x < 42.0) then Alcotest.fail "float out of [0,42)"
+  done
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+    Alcotest.test_case "copy replays" `Quick test_copy_replays;
+    Alcotest.test_case "split diverges" `Quick test_split_diverges;
+    Alcotest.test_case "int bounds" `Quick test_int_bounds;
+    Alcotest.test_case "int bound 1" `Quick test_int_bound_one;
+    Alcotest.test_case "int rejects bound<=0" `Quick test_int_rejects_nonpositive;
+    Alcotest.test_case "int uniformity" `Quick test_int_uniformity;
+    Alcotest.test_case "unit_float range" `Quick test_unit_float_range;
+    Alcotest.test_case "unit_float_pos range" `Quick test_unit_float_pos_range;
+    Alcotest.test_case "unit_float mean" `Quick test_unit_float_mean;
+    Alcotest.test_case "bool balance" `Quick test_bool_balance;
+    Alcotest.test_case "float scale" `Quick test_float_scales;
+  ]

@@ -1,0 +1,90 @@
+open Stats
+
+let test_basic () =
+  let s = Summary.of_array [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  Alcotest.(check int) "count" 5 s.count;
+  Alcotest.(check (float 1e-9)) "mean" 3.0 s.mean;
+  Alcotest.(check (float 1e-9)) "median" 3.0 s.median;
+  Alcotest.(check (float 1e-9)) "min" 1.0 s.min;
+  Alcotest.(check (float 1e-9)) "max" 5.0 s.max;
+  Alcotest.(check (float 1e-9)) "stddev" (sqrt 2.5) s.stddev
+
+let test_singleton () =
+  let s = Summary.of_array [| 7.0 |] in
+  Alcotest.(check (float 1e-9)) "mean" 7.0 s.mean;
+  Alcotest.(check (float 1e-9)) "median" 7.0 s.median;
+  Alcotest.(check (float 1e-9)) "stddev" 0.0 s.stddev
+
+let test_empty_rejected () =
+  Alcotest.check_raises "empty" (Invalid_argument "Summary.of_array: empty sample")
+    (fun () -> ignore (Summary.of_array [||]))
+
+let test_percentile_interpolation () =
+  let xs = [| 10.0; 20.0; 30.0; 40.0 |] in
+  Alcotest.(check (float 1e-9)) "p0" 10.0 (Summary.percentile xs ~p:0.0);
+  Alcotest.(check (float 1e-9)) "p1" 40.0 (Summary.percentile xs ~p:1.0);
+  Alcotest.(check (float 1e-9)) "median interp" 25.0 (Summary.percentile xs ~p:0.5);
+  Alcotest.(check (float 1e-9)) "p25" 17.5 (Summary.percentile xs ~p:0.25)
+
+let test_percentile_unsorted_input () =
+  let xs = [| 30.0; 10.0; 40.0; 20.0 |] in
+  Alcotest.(check (float 1e-9)) "sorted internally" 25.0 (Summary.percentile xs ~p:0.5);
+  Alcotest.(check (array (float 0.0))) "input untouched" [| 30.0; 10.0; 40.0; 20.0 |] xs
+
+let test_percentile_bad_p () =
+  Alcotest.check_raises "p>1" (Invalid_argument "Summary.percentile: p outside [0,1]")
+    (fun () -> ignore (Summary.percentile [| 1.0 |] ~p:1.5))
+
+let percentile_monotone_prop =
+  QCheck2.Test.make ~name:"percentile monotone in p" ~count:200
+    QCheck2.Gen.(list_size (int_range 2 30) (float_bound_inclusive 100.0))
+    (fun xs ->
+      let arr = Array.of_list xs in
+      let ps = [ 0.0; 0.1; 0.3; 0.5; 0.7; 0.9; 1.0 ] in
+      let vals = List.map (fun p -> Summary.percentile arr ~p) ps in
+      let rec mono = function
+        | a :: (b :: _ as rest) -> a <= b +. 1e-9 && mono rest
+        | _ -> true
+      in
+      mono vals)
+
+let mean_within_bounds_prop =
+  QCheck2.Test.make ~name:"mean within [min, max]" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 30) (float_range (-50.0) 50.0))
+    (fun xs ->
+      let s = Summary.of_list xs in
+      s.min <= s.mean +. 1e-9 && s.mean <= s.max +. 1e-9)
+
+let test_ci95 () =
+  let s = Summary.of_array (Array.make 100 5.0) in
+  Alcotest.(check (float 1e-9)) "zero variance" 0.0 (Summary.ci95_halfwidth s);
+  let s1 = Summary.of_array [| 1.0 |] in
+  Alcotest.(check bool) "nan for n=1" true (Float.is_nan (Summary.ci95_halfwidth s1))
+
+let test_binomial_ci () =
+  let lo, hi = Summary.binomial_ci95 ~successes:50 ~trials:100 in
+  Alcotest.(check bool) "contains p-hat" true (lo < 0.5 && 0.5 < hi);
+  Alcotest.(check bool) "reasonable width" true (hi -. lo < 0.25);
+  let lo0, _ = Summary.binomial_ci95 ~successes:0 ~trials:100 in
+  Alcotest.(check (float 1e-9)) "lower bound at 0" 0.0 lo0;
+  let _, hi1 = Summary.binomial_ci95 ~successes:100 ~trials:100 in
+  Alcotest.(check (float 1e-9)) "upper bound at 1" 1.0 hi1
+
+let test_empty_summary () =
+  Alcotest.(check int) "count 0" 0 Summary.empty.count;
+  Alcotest.(check bool) "nan mean" true (Float.is_nan Summary.empty.mean)
+
+let suite =
+  [
+    Alcotest.test_case "basic stats" `Quick test_basic;
+    Alcotest.test_case "singleton" `Quick test_singleton;
+    Alcotest.test_case "empty rejected" `Quick test_empty_rejected;
+    Alcotest.test_case "percentile interpolation" `Quick test_percentile_interpolation;
+    Alcotest.test_case "percentile leaves input" `Quick test_percentile_unsorted_input;
+    Alcotest.test_case "percentile bad p" `Quick test_percentile_bad_p;
+    QCheck_alcotest.to_alcotest percentile_monotone_prop;
+    QCheck_alcotest.to_alcotest mean_within_bounds_prop;
+    Alcotest.test_case "ci95" `Quick test_ci95;
+    Alcotest.test_case "binomial ci" `Quick test_binomial_ci;
+    Alcotest.test_case "empty summary" `Quick test_empty_summary;
+  ]

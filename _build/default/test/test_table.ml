@@ -1,0 +1,65 @@
+open Stats
+
+let test_basic_render () =
+  let t = Table.create ~title:"demo" ~columns:[ "a"; "bb" ] in
+  Table.add_row t [ "1"; "2" ];
+  Table.add_row t [ "333"; "4" ];
+  let r = Table.render t in
+  Alcotest.(check bool) "title" true (String.length r > 0);
+  (* Rows preserved in order. *)
+  Alcotest.(check (list (list string))) "rows" [ [ "1"; "2" ]; [ "333"; "4" ] ] (Table.rows t)
+
+let test_arity_check () =
+  let t = Table.create ~title:"demo" ~columns:[ "a"; "b" ] in
+  Alcotest.check_raises "arity" (Invalid_argument "Table.add_row: arity mismatch with header")
+    (fun () -> Table.add_row t [ "only one" ])
+
+let test_add_rowf () =
+  let t = Table.create ~title:"demo" ~columns:[ "x"; "y" ] in
+  Table.add_rowf t "%d | %.2f" 4 0.5;
+  Alcotest.(check (list (list string))) "formatted" [ [ "4"; "0.50" ] ] (Table.rows t)
+
+let test_csv_quoting () =
+  let t = Table.create ~title:"demo" ~columns:[ "name"; "value" ] in
+  Table.add_row t [ "has,comma"; "has\"quote" ];
+  Table.add_row t [ "plain"; "1" ];
+  let csv = Table.to_csv t in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  Alcotest.(check int) "3 lines" 3 (List.length lines);
+  Alcotest.(check string) "header" "name,value" (List.nth lines 0);
+  Alcotest.(check string) "quoted" "\"has,comma\",\"has\"\"quote\"" (List.nth lines 1);
+  Alcotest.(check string) "plain" "plain,1" (List.nth lines 2)
+
+let test_notes_rendered () =
+  let t = Table.create ~title:"demo" ~columns:[ "a" ] in
+  Table.add_row t [ "1" ];
+  Table.note t "important caveat";
+  let r = Table.render t in
+  let contains_sub s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "note present" true (contains_sub r "important caveat")
+
+let test_column_alignment () =
+  let t = Table.create ~title:"demo" ~columns:[ "col"; "c" ] in
+  Table.add_row t [ "x"; "longvalue" ];
+  let r = Table.render t in
+  let lines = String.split_on_char '\n' (String.trim r) in
+  (* Header, rule, and data lines all have the same width. *)
+  match lines with
+  | _ :: header :: rule :: data :: _ ->
+      Alcotest.(check int) "rule width" (String.length header) (String.length rule);
+      Alcotest.(check int) "data width" (String.length header) (String.length data)
+  | _ -> Alcotest.fail "unexpected layout"
+
+let suite =
+  [
+    Alcotest.test_case "basic render" `Quick test_basic_render;
+    Alcotest.test_case "arity check" `Quick test_arity_check;
+    Alcotest.test_case "add_rowf" `Quick test_add_rowf;
+    Alcotest.test_case "csv quoting" `Quick test_csv_quoting;
+    Alcotest.test_case "notes rendered" `Quick test_notes_rendered;
+    Alcotest.test_case "column alignment" `Quick test_column_alignment;
+  ]

@@ -1,0 +1,113 @@
+open Geometry
+
+let point = Alcotest.testable (Fmt.of_to_string Torus.to_string) ( = )
+
+let test_coord_dist () =
+  Alcotest.(check (float 1e-12)) "plain" 0.2 (Torus.coord_dist 0.1 0.3);
+  Alcotest.(check (float 1e-12)) "wrap" 0.2 (Torus.coord_dist 0.9 0.1);
+  Alcotest.(check (float 1e-12)) "half" 0.5 (Torus.coord_dist 0.0 0.5);
+  Alcotest.(check (float 1e-12)) "same" 0.0 (Torus.coord_dist 0.42 0.42)
+
+let test_dist_linf_examples () =
+  Alcotest.(check (float 1e-12)) "2d" 0.3 (Torus.dist_linf [| 0.1; 0.2 |] [| 0.4; 0.3 |]);
+  Alcotest.(check (float 1e-12)) "wrap dominates" 0.15
+    (Torus.dist_linf [| 0.95; 0.5 |] [| 0.1; 0.4 |])
+
+let test_norms_ordering () =
+  let rng = Prng.Rng.create ~seed:1 in
+  for _ = 1 to 500 do
+    let x = Torus.random_point rng ~dim:3 and y = Torus.random_point rng ~dim:3 in
+    let linf = Torus.dist ~norm:Torus.Linf x y in
+    let l2 = Torus.dist ~norm:Torus.L2 x y in
+    let l1 = Torus.dist ~norm:Torus.L1 x y in
+    if not (linf <= l2 +. 1e-12 && l2 <= l1 +. 1e-12) then
+      Alcotest.fail "norm ordering Linf <= L2 <= L1 violated"
+  done
+
+let test_dimension_mismatch () =
+  Alcotest.check_raises "mismatch" (Invalid_argument "Torus: dimension mismatch")
+    (fun () -> ignore (Torus.dist_linf [| 0.1 |] [| 0.1; 0.2 |]))
+
+let metric_axioms_prop =
+  QCheck2.Test.make ~name:"linf metric axioms (symmetry, triangle, bounds)" ~count:500
+    QCheck2.Gen.(
+      tup3
+        (array_size (return 2) (float_bound_exclusive 1.0))
+        (array_size (return 2) (float_bound_exclusive 1.0))
+        (array_size (return 2) (float_bound_exclusive 1.0)))
+    (fun (x, y, z) ->
+      let d_xy = Torus.dist_linf x y
+      and d_yx = Torus.dist_linf y x
+      and d_xz = Torus.dist_linf x z
+      and d_zy = Torus.dist_linf z y in
+      abs_float (d_xy -. d_yx) < 1e-12
+      && d_xy <= d_xz +. d_zy +. 1e-12
+      && d_xy >= 0.0 && d_xy <= 0.5 +. 1e-12
+      && Torus.dist_linf x x = 0.0)
+
+let translation_invariance_prop =
+  QCheck2.Test.make ~name:"linf translation invariance" ~count:500
+    QCheck2.Gen.(
+      tup3
+        (array_size (return 2) (float_bound_exclusive 1.0))
+        (array_size (return 2) (float_bound_exclusive 1.0))
+        (array_size (return 2) (float_bound_exclusive 1.0)))
+    (fun (x, y, t) ->
+      let d0 = Torus.dist_linf x y in
+      let d1 = Torus.dist_linf (Torus.add x t) (Torus.add y t) in
+      abs_float (d0 -. d1) < 1e-9)
+
+let test_dist_fn_dispatch () =
+  let x = [| 0.1; 0.2 |] and y = [| 0.3; 0.5 |] in
+  List.iter
+    (fun norm ->
+      Alcotest.(check (float 1e-12)) "dist_fn = dist" (Torus.dist ~norm x y)
+        (Torus.dist_fn norm x y))
+    [ Torus.Linf; Torus.L2; Torus.L1 ]
+
+let test_wrap () =
+  Alcotest.(check (float 1e-12)) "positive" 0.25 (Torus.wrap 3.25);
+  Alcotest.(check (float 1e-12)) "negative" 0.75 (Torus.wrap (-0.25));
+  Alcotest.(check (float 1e-12)) "zero" 0.0 (Torus.wrap 0.0);
+  Alcotest.(check (float 1e-12)) "one" 0.0 (Torus.wrap 1.0)
+
+let test_add () =
+  let result = Torus.add [| 0.6; 0.7 |] [| 0.5; 0.8 |] in
+  Alcotest.(check (float 1e-12)) "wraps x" 0.1 result.(0);
+  Alcotest.(check (float 1e-12)) "wraps y" 0.5 result.(1)
+
+let test_random_point_in_box () =
+  let rng = Prng.Rng.create ~seed:2 in
+  for _ = 1 to 1000 do
+    let p = Torus.random_point rng ~dim:4 in
+    Alcotest.(check int) "dim" 4 (Array.length p);
+    Array.iter (fun c -> if c < 0.0 || c >= 1.0 then Alcotest.fail "coord out") p
+  done
+
+let test_ball_volume () =
+  Alcotest.(check (float 1e-12)) "2d" 0.16 (Torus.ball_volume ~dim:2 ~radius:0.2);
+  Alcotest.(check (float 1e-12)) "capped" 1.0 (Torus.ball_volume ~dim:2 ~radius:0.9);
+  Alcotest.(check (float 1e-12)) "zero" 0.0 (Torus.ball_volume ~dim:3 ~radius:0.0)
+
+let test_ball_roundtrip () =
+  List.iter
+    (fun v ->
+      let r = Torus.ball_radius_of_volume ~dim:2 ~volume:v in
+      Alcotest.(check (float 1e-9)) "volume roundtrip" v (Torus.ball_volume ~dim:2 ~radius:r))
+    [ 0.01; 0.25; 0.5; 1.0 ]
+
+let suite =
+  [
+    Alcotest.test_case "coord_dist" `Quick test_coord_dist;
+    Alcotest.test_case "dist_linf examples" `Quick test_dist_linf_examples;
+    Alcotest.test_case "norm ordering" `Quick test_norms_ordering;
+    Alcotest.test_case "dimension mismatch" `Quick test_dimension_mismatch;
+    QCheck_alcotest.to_alcotest metric_axioms_prop;
+    QCheck_alcotest.to_alcotest translation_invariance_prop;
+    Alcotest.test_case "dist_fn dispatch" `Quick test_dist_fn_dispatch;
+    Alcotest.test_case "wrap" `Quick test_wrap;
+    Alcotest.test_case "add" `Quick test_add;
+    Alcotest.test_case "random point in box" `Quick test_random_point_in_box;
+    Alcotest.test_case "ball volume" `Quick test_ball_volume;
+    Alcotest.test_case "ball volume roundtrip" `Quick test_ball_roundtrip;
+  ]

@@ -1,0 +1,58 @@
+open Greedy_routing
+
+let make_instance () =
+  let params = Girg.Params.make ~dim:1 ~beta:2.5 ~n:10 ~poisson_count:false () in
+  let weights = [| 1.0; 8.0; 2.0; 1.5 |] in
+  let positions = [| [| 0.0 |]; [| 0.2 |]; [| 0.45 |]; [| 0.5 |] |] in
+  let rng = Prng.Rng.create ~seed:1 in
+  Girg.Instance.generate_with ~rng ~params ~weights ~positions ()
+
+let test_of_walk_annotates () =
+  let inst = make_instance () in
+  let points = Trajectory.of_walk ~inst ~target:3 ~walk:[ 0; 1; 2; 3 ] in
+  Alcotest.(check int) "length" 4 (List.length points);
+  let p0 = List.nth points 0 in
+  Alcotest.(check int) "hop" 0 p0.Trajectory.hop;
+  Alcotest.(check int) "vertex" 0 p0.Trajectory.vertex;
+  Alcotest.(check (float 1e-9)) "weight" 1.0 p0.Trajectory.weight;
+  Alcotest.(check (float 1e-9)) "dist" 0.5 p0.Trajectory.dist_to_target;
+  let p3 = List.nth points 3 in
+  Alcotest.(check (float 1e-9)) "target dist 0" 0.0 p3.Trajectory.dist_to_target;
+  Alcotest.(check bool) "target objective inf" true (p3.Trajectory.objective = infinity)
+
+let test_peak_weight_hop () =
+  let inst = make_instance () in
+  let points = Trajectory.of_walk ~inst ~target:3 ~walk:[ 0; 1; 2; 3 ] in
+  Alcotest.(check int) "peak at hop 1" 1 (Trajectory.peak_weight_hop points)
+
+let test_exponents_filter_small_weights () =
+  let inst = make_instance () in
+  let points = Trajectory.of_walk ~inst ~target:3 ~walk:[ 0; 1; 2; 3 ] in
+  (* Only vertex 1 has weight >= 4 in the first phase, so no ratio exists. *)
+  Alcotest.(check (list (float 0.0))) "no exponents" []
+    (Trajectory.weight_doubling_exponents points)
+
+let test_exponents_on_climbing_path () =
+  let params = Girg.Params.make ~dim:1 ~beta:2.5 ~n:10 ~poisson_count:false () in
+  let weights = [| 4.0; 16.0; 256.0; 1.0 |] in
+  let positions = [| [| 0.0 |]; [| 0.1 |]; [| 0.2 |]; [| 0.5 |] |] in
+  let rng = Prng.Rng.create ~seed:1 in
+  let inst = Girg.Instance.generate_with ~rng ~params ~weights ~positions () in
+  let points = Trajectory.of_walk ~inst ~target:3 ~walk:[ 0; 1; 2; 3 ] in
+  let exps = Trajectory.weight_doubling_exponents points in
+  Alcotest.(check int) "two ratios" 2 (List.length exps);
+  Alcotest.(check (float 1e-9)) "log16/log4" 2.0 (List.nth exps 0);
+  Alcotest.(check (float 1e-9)) "log256/log16" 2.0 (List.nth exps 1)
+
+let test_empty_walk () =
+  let inst = make_instance () in
+  Alcotest.(check int) "empty" 0 (List.length (Trajectory.of_walk ~inst ~target:3 ~walk:[]))
+
+let suite =
+  [
+    Alcotest.test_case "of_walk annotates" `Quick test_of_walk_annotates;
+    Alcotest.test_case "peak weight hop" `Quick test_peak_weight_hop;
+    Alcotest.test_case "exponent noise filter" `Quick test_exponents_filter_small_weights;
+    Alcotest.test_case "exponents on climbing path" `Quick test_exponents_on_climbing_path;
+    Alcotest.test_case "empty walk" `Quick test_empty_walk;
+  ]

@@ -1,0 +1,99 @@
+open Experiments
+
+let instance () = Test_greedy.girg_instance ~seed:700 ~n:2000 ~c:0.15 ()
+
+let test_sample_pairs_any () =
+  let rng = Prng.Rng.create ~seed:1 in
+  let pairs = Workload.sample_pairs_any ~rng ~n:10 ~count:200 in
+  Alcotest.(check int) "count" 200 (Array.length pairs);
+  Array.iter
+    (fun (s, t) ->
+      if s = t || s < 0 || s >= 10 || t < 0 || t >= 10 then Alcotest.fail "bad pair")
+    pairs
+
+let test_sample_pairs_giant () =
+  let inst = instance () in
+  let rng = Prng.Rng.create ~seed:2 in
+  let comps = Sparse_graph.Components.compute inst.graph in
+  let pairs = Workload.sample_pairs_giant ~rng ~graph:inst.graph ~count:100 in
+  Array.iter
+    (fun (s, t) ->
+      if not (Sparse_graph.Components.same comps s t) then
+        Alcotest.fail "pair crosses components";
+      if Sparse_graph.Components.id comps s <> Sparse_graph.Components.giant_id comps then
+        Alcotest.fail "pair outside giant")
+    pairs
+
+let test_sample_pairs_heavy () =
+  let inst = instance () in
+  let rng = Prng.Rng.create ~seed:3 in
+  let pairs = Workload.sample_pairs_heavy ~rng ~weights:inst.weights ~min_weight:2.0 ~count:50 in
+  Array.iter
+    (fun (s, t) ->
+      if inst.weights.(s) < 2.0 || inst.weights.(t) < 2.0 then
+        Alcotest.fail "light endpoint")
+    pairs
+
+let test_sample_pairs_heavy_rejects () =
+  Alcotest.check_raises "no heavy vertices"
+    (Invalid_argument "Workload.sample_pairs_heavy: fewer than two heavy vertices")
+    (fun () ->
+      ignore
+        (Workload.sample_pairs_heavy
+           ~rng:(Prng.Rng.create ~seed:1)
+           ~weights:[| 1.0; 1.0 |] ~min_weight:5.0 ~count:5))
+
+let test_run_counts_consistent () =
+  let inst = instance () in
+  let rng = Prng.Rng.create ~seed:4 in
+  let pairs = Workload.sample_pairs_giant ~rng ~graph:inst.graph ~count:120 in
+  let res =
+    Workload.run ~graph:inst.graph
+      ~objective_for:(fun ~target -> Greedy_routing.Objective.girg_phi inst ~target)
+      ~protocol:Greedy_routing.Protocol.Greedy ~pairs ()
+  in
+  Alcotest.(check int) "attempted" 120 res.Workload.attempted;
+  Alcotest.(check int) "partition"
+    res.Workload.attempted
+    (res.Workload.delivered + res.Workload.dead_end + res.Workload.exhausted
+   + res.Workload.cutoff);
+  Alcotest.(check int) "steps per delivery" res.Workload.delivered
+    (Array.length res.Workload.steps);
+  Alcotest.(check (float 1e-9)) "success + failure = 1" 1.0
+    (Workload.success_rate res +. Workload.failure_rate res)
+
+let test_run_with_stretch () =
+  let inst = instance () in
+  let rng = Prng.Rng.create ~seed:5 in
+  let pairs = Workload.sample_pairs_giant ~rng ~graph:inst.graph ~count:60 in
+  let res =
+    Workload.run ~graph:inst.graph
+      ~objective_for:(fun ~target -> Greedy_routing.Objective.girg_phi inst ~target)
+      ~protocol:Greedy_routing.Protocol.Greedy ~with_stretch:true ~pairs ()
+  in
+  Alcotest.(check bool) "stretch recorded" true (Array.length res.Workload.stretches > 0);
+  Array.iter
+    (fun s -> if s < 1.0 -. 1e-9 then Alcotest.failf "stretch %f below 1" s)
+    res.Workload.stretches
+
+let test_empty_pairs () =
+  let inst = instance () in
+  let res =
+    Workload.run ~graph:inst.graph
+      ~objective_for:(fun ~target -> Greedy_routing.Objective.girg_phi inst ~target)
+      ~protocol:Greedy_routing.Protocol.Greedy ~pairs:[||] ()
+  in
+  Alcotest.(check int) "attempted 0" 0 res.Workload.attempted;
+  Alcotest.(check bool) "nan rates" true (Float.is_nan (Workload.success_rate res));
+  Alcotest.(check bool) "nan steps" true (Float.is_nan (Workload.mean_steps res))
+
+let suite =
+  [
+    Alcotest.test_case "sample_pairs_any" `Quick test_sample_pairs_any;
+    Alcotest.test_case "sample_pairs_giant" `Quick test_sample_pairs_giant;
+    Alcotest.test_case "sample_pairs_heavy" `Quick test_sample_pairs_heavy;
+    Alcotest.test_case "heavy rejects when empty" `Quick test_sample_pairs_heavy_rejects;
+    Alcotest.test_case "run counts consistent" `Quick test_run_counts_consistent;
+    Alcotest.test_case "run with stretch" `Quick test_run_with_stretch;
+    Alcotest.test_case "empty pairs" `Quick test_empty_pairs;
+  ]
