@@ -2,13 +2,17 @@
 
    Phase 1 regenerates every experiment table of the paper reproduction
    (E1-E17, cf. DESIGN.md section 3 and EXPERIMENTS.md) at Standard scale;
-   set SMALLWORLD_BENCH_QUICK=1 for a fast smoke run.
+   set SMALLWORLD_BENCH_QUICK=1 for a fast smoke run.  Each experiment is
+   timed with Obs.Span (its phase tree is printed under the tables), and
+   with `--obs-out FILE` a JSONL run manifest — span tree plus metric
+   snapshot per experiment — is written alongside, so successive bench
+   runs are diffable at phase granularity.
 
    Phase 2 runs Bechamel micro-benchmarks: one Test.make per experiment
    kernel (a miniature version of its workload) plus the core operations
    (generators, routing protocols, BFS).
 
-     dune exec bench/main.exe                                              *)
+     dune exec bench/main.exe -- [--obs-out FILE]                          *)
 
 open Bechamel
 open Toolkit
@@ -18,18 +22,50 @@ let scale =
   | Some ("1" | "true" | "yes") -> Experiments.Context.Quick
   | Some _ | None -> Experiments.Context.Standard
 
+let obs_out =
+  let rec scan = function
+    | "--obs-out" :: path :: _ -> Some path
+    | _ :: rest -> scan rest
+    | [] -> None
+  in
+  scan (Array.to_list Sys.argv)
+
+let seed = 42
+
 let run_experiment_tables () =
   print_endline "==============================================================";
   print_endline " Phase 1: paper-reproduction tables (one block per experiment)";
   print_endline "==============================================================\n";
-  let ctx = Experiments.Context.make ~seed:42 ~scale () in
+  let ctx = Experiments.Context.make ~seed ~scale () in
+  let manifest_oc = Option.map open_out obs_out in
   List.iter
     (fun e ->
-      let t0 = Unix.gettimeofday () in
-      print_string (Experiments.Registry.run_and_render e ctx);
-      Printf.printf "(%s finished in %.1fs)\n\n%!" e.Experiments.Registry.id
-        (Unix.gettimeofday () -. t0))
-    Experiments.Registry.all
+      (* Fresh counters and trace per experiment so the manifest line (and
+         the printed tree) attribute to this experiment alone. *)
+      Obs.Metrics.reset Obs.Metrics.default;
+      Obs.Trace.clear ();
+      let tables, span = Experiments.Registry.run_traced e ctx in
+      print_string (Experiments.Registry.render_header e);
+      List.iter (fun t -> print_string (Stats.Table.render t); print_newline ()) tables;
+      (match span with
+      | Some s ->
+          print_string (Obs.Trace.render s);
+          Printf.printf "(%s finished in %.1fs)\n\n%!" e.Experiments.Registry.id s.Obs.Span.wall_s
+      | None ->
+          Printf.printf "(%s finished; timing disabled via SMALLWORLD_OBS=0)\n\n%!"
+            e.Experiments.Registry.id);
+      Option.iter
+        (fun oc ->
+          output_string oc
+            (Obs.Export.manifest_line ~experiment:e.Experiments.Registry.id ~seed
+               ~scale:(Experiments.Context.scale_name ctx)
+               ~registry:Obs.Metrics.default ~span ());
+          output_char oc '\n';
+          flush oc)
+        manifest_oc)
+    Experiments.Registry.all;
+  Option.iter close_out manifest_oc;
+  Option.iter (Printf.printf "run manifest written to %s\n\n%!") obs_out
 
 (* ------------------------------------------------------------------ *)
 (* Phase 2: Bechamel micro-benchmarks                                   *)

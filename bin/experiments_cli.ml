@@ -1,7 +1,9 @@
 (* Command-line driver for the paper-reproduction experiment suite.
 
      experiments_cli list
-     experiments_cli run [-e E3] [-e E5] [--quick] [--seed N] [--csv DIR]   *)
+     experiments_cli list-metrics
+     experiments_cli run [-e E3] [-e E5] [--quick] [--seed N] [--csv DIR]
+                         [--obs-out FILE]                                   *)
 
 open Cmdliner
 
@@ -16,6 +18,19 @@ let list_cmd =
       Experiments.Registry.all
   in
   Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let list_metrics_cmd =
+  let doc =
+    "List every registered metric name and kind (the run-manifest schema); \
+     metric registration happens at startup, so this is the complete set."
+  in
+  let run () =
+    List.iter
+      (fun (name, kind) ->
+        Printf.printf "%-36s %s\n" name (Obs.Metrics.kind_to_string kind))
+      (Obs.Metrics.list_metrics Obs.Metrics.default)
+  in
+  Cmd.v (Cmd.info "list-metrics" ~doc) Term.(const run $ const ())
 
 let run_cmd =
   let doc = "Run experiments (all by default) and print their tables." in
@@ -33,7 +48,12 @@ let run_cmd =
     Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"DIR"
            ~doc:"Also write every table as a CSV file into $(docv).")
   in
-  let run ids quick seed csv_dir =
+  let obs_out =
+    Arg.(value & opt (some string) None & info [ "obs-out" ] ~docv:"FILE"
+           ~doc:"Write a JSONL run manifest (span tree + metric snapshot per \
+                 experiment) to $(docv).")
+  in
+  let run ids quick seed csv_dir obs_out =
     let ctx = Experiments.Context.make ~seed ~scale:(scale_of_quick quick) () in
     let selected =
       match ids with
@@ -52,12 +72,14 @@ let run_cmd =
     match selected with
     | Error e -> Error e
     | Ok experiments ->
+        let manifest_oc = Option.map open_out obs_out in
         List.iter
           (fun e ->
+            Obs.Metrics.reset Obs.Metrics.default;
+            Obs.Trace.clear ();
             let t0 = Sys.time () in
-            let tables = e.Experiments.Registry.run ctx in
-            Printf.printf "---- %s: %s ----\n" e.id e.title;
-            Printf.printf "claim: %s\n\n" e.claim;
+            let tables, span = Experiments.Registry.run_traced e ctx in
+            print_string (Experiments.Registry.render_header e);
             List.iter (fun t -> print_string (Stats.Table.render t); print_newline ()) tables;
             (match csv_dir with
             | None -> ()
@@ -72,16 +94,28 @@ let run_cmd =
                     Out_channel.with_open_text file (fun oc ->
                         output_string oc (Stats.Table.to_csv t)))
                   tables);
-            Printf.printf "(%s finished in %.1fs)\n\n%!" e.id (Sys.time () -. t0))
+            Option.iter
+              (fun oc ->
+                output_string oc
+                  (Obs.Export.manifest_line ~experiment:e.id ~seed
+                     ~scale:(Experiments.Context.scale_name ctx)
+                     ~registry:Obs.Metrics.default ~span ());
+                output_char oc '\n';
+                flush oc)
+              manifest_oc;
+            match span with
+            | Some s -> Printf.printf "(%s finished in %.1fs)\n\n%!" e.id s.Obs.Span.wall_s
+            | None -> Printf.printf "(%s finished in %.1fs)\n\n%!" e.id (Sys.time () -. t0))
           experiments;
+        Option.iter close_out manifest_oc;
         Ok ()
   in
   Cmd.v
     (Cmd.info "run" ~doc)
-    Term.(term_result (const run $ ids $ quick $ seed $ csv_dir))
+    Term.(term_result (const run $ ids $ quick $ seed $ csv_dir $ obs_out))
 
 let main =
   let doc = "Reproduction suite for 'Greedy Routing and the Algorithmic Small-World Phenomenon'" in
-  Cmd.group (Cmd.info "smallworld-experiments" ~doc) [ list_cmd; run_cmd ]
+  Cmd.group (Cmd.info "smallworld-experiments" ~doc) [ list_cmd; list_metrics_cmd; run_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,7 +1,14 @@
 type mode = Gravity | Pressure of float (* objective of the vertex we got stuck at *)
 
+let c_routes = Obs.Metrics.counter "route.gravity.routes"
+let c_stuck = Obs.Metrics.counter "route.gravity.stuck_events"
+let c_pressure_steps = Obs.Metrics.counter "route.gravity.pressure_steps"
+let c_steps = Obs.Metrics.counter "route.gravity.steps"
+let c_visited = Obs.Metrics.counter "route.gravity.visited"
+
 let route ~graph ~objective ~source ?max_steps () =
   let open Objective in
+  Obs.Metrics.incr c_routes;
   let n = Sparse_graph.Graph.n graph in
   let max_steps = Option.value max_steps ~default:((50 * n) + 1000) in
   let phi = objective.score in
@@ -65,19 +72,25 @@ let route ~graph ~objective ~source ?max_steps () =
           else if u < 0 then result := Some Outcome.Dead_end (* isolated vertex *)
           else begin
             (* Stuck: remember the local optimum and take a pressure hop. *)
+            Obs.Metrics.incr c_stuck;
             mode := Pressure (phi v);
             let u = pressure_neighbor v in
             incr steps;
+            Obs.Metrics.incr c_pressure_steps;
             record u;
             cur := u
           end
       | Pressure _ ->
           let u = pressure_neighbor v in
           incr steps;
+          Obs.Metrics.incr c_pressure_steps;
           record u;
           cur := u
     end
   done;
   match !result with
   | None -> assert false
-  | Some status -> { Outcome.status; steps = !steps; visited = !visited; walk = List.rev !walk }
+  | Some status ->
+      Obs.Metrics.add c_steps !steps;
+      Obs.Metrics.add c_visited !visited;
+      { Outcome.status; steps = !steps; visited = !visited; walk = List.rev !walk }

@@ -1,5 +1,13 @@
+(* Metric handles resolve to no-op stubs under SMALLWORLD_OBS=0, so the
+   hot loop carries no recording cost when observability is off. *)
+let c_routes = Obs.Metrics.counter "route.greedy.routes"
+let c_evals = Obs.Metrics.counter "route.greedy.objective_evals"
+let c_steps = Obs.Metrics.counter "route.greedy.steps"
+let c_dead_ends = Obs.Metrics.counter "route.greedy.dead_ends"
+
 let route ~graph ~objective ~source ?max_steps () =
   let open Objective in
+  Obs.Metrics.incr c_routes;
   let max_steps = Option.value max_steps ~default:(Sparse_graph.Graph.n graph + 1) in
   let target = objective.target in
   let rec go v score_v steps walk =
@@ -12,6 +20,7 @@ let route ~graph ~objective ~source ?max_steps () =
          iterate in ascending order) for determinism. *)
       let best = ref (-1) and best_score = ref neg_infinity in
       Sparse_graph.Graph.iter_neighbors graph v (fun u ->
+          Obs.Metrics.incr c_evals;
           let s = objective.score u in
           if s > !best_score then begin
             best := u;
@@ -22,4 +31,7 @@ let route ~graph ~objective ~source ?max_steps () =
       else { Outcome.status = Dead_end; steps; visited = steps + 1; walk = List.rev walk }
     end
   in
-  go source (objective.score source) 0 [ source ]
+  let outcome = go source (objective.score source) 0 [ source ] in
+  Obs.Metrics.add c_steps outcome.Outcome.steps;
+  if outcome.Outcome.status = Outcome.Dead_end then Obs.Metrics.incr c_dead_ends;
+  outcome

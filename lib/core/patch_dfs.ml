@@ -9,8 +9,15 @@
 
 type action = Explore of int | Backtrack of int
 
+let c_routes = Obs.Metrics.counter "route.patch_dfs.routes"
+let c_patches = Obs.Metrics.counter "route.patch_dfs.patches"
+let c_backtracks = Obs.Metrics.counter "route.patch_dfs.backtracks"
+let c_steps = Obs.Metrics.counter "route.patch_dfs.steps"
+let c_visited = Obs.Metrics.counter "route.patch_dfs.visited"
+
 let route ~graph ~objective ~source ?max_steps () =
   let open Objective in
+  Obs.Metrics.incr c_routes;
   let n = Sparse_graph.Graph.n graph in
   let max_steps = Option.value max_steps ~default:((200 * n) + 10_000) in
   let phi = objective.score in
@@ -91,6 +98,7 @@ let route ~graph ~objective ~source ?max_steps () =
                  exists, otherwise just remember the new record. *)
               best_seen := pv;
               if exists_geq v pv then begin
+                Obs.Metrics.incr c_patches;
                 v_started.(v) <- true;
                 v_prev_phi.(v) <- !m_phi;
                 m_phi := pv
@@ -104,6 +112,7 @@ let route ~graph ~objective ~source ?max_steps () =
             | Some _ | None -> action := Backtrack !m_last
           end
       | Backtrack v ->
+          Obs.Metrics.incr c_backtracks;
           move v;
           let bound = phi !m_last in
           (match best_child v ~parent:v_parent.(v) ~bound with
@@ -134,4 +143,7 @@ let route ~graph ~objective ~source ?max_steps () =
   done;
   match !result with
   | None -> assert false
-  | Some status -> { Outcome.status; steps = !steps; visited = !visited; walk = List.rev !walk }
+  | Some status ->
+      Obs.Metrics.add c_steps !steps;
+      Obs.Metrics.add c_visited !visited;
+      { Outcome.status; steps = !steps; visited = !visited; walk = List.rev !walk }

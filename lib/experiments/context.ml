@@ -6,4 +6,8 @@ let make ?(seed = 42) ?(scale = Standard) () = { seed; scale }
 
 let pick t ~quick ~standard = match t.scale with Quick -> quick | Standard -> standard
 
+let scale_name t = match t.scale with Quick -> "quick" | Standard -> "standard"
+
 let rng t ~salt = Prng.Rng.create ~seed:((t.seed * 1_000_003) + salt)
+
+let phase (_ : t) name f = Obs.Span.with_ ~name:("exp.phase." ^ name) f

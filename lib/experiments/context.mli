@@ -14,3 +14,11 @@ val pick : t -> quick:'a -> standard:'a -> 'a
 val rng : t -> salt:int -> Prng.Rng.t
 (** Independent generator derived from the context seed and a caller-chosen
     salt, so experiments do not perturb each other's randomness. *)
+
+val scale_name : t -> string
+(** ["quick"] or ["standard"] — as written into run manifests. *)
+
+val phase : t -> string -> (unit -> 'a) -> 'a
+(** [phase ctx name f] runs [f] inside an [Obs.Span] named
+    ["exp.phase." ^ name]; experiments use it to attribute time to their
+    generation / routing / patching / aggregation phases. *)

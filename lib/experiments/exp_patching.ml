@@ -29,14 +29,19 @@ let run ctx =
     (fun ni n ->
       let rng = Context.rng ctx ~salt:(5000 + ni) in
       let params = Girg.Params.make ~dim:2 ~beta ~c ~n () in
-      let inst = Girg.Instance.generate ~rng params in
+      let inst =
+        Context.phase ctx "generate" (fun () -> Girg.Instance.generate ~rng params)
+      in
       let pairs = Workload.sample_pairs_giant ~rng ~graph:inst.graph ~count:pairs_per_size in
       List.iter
         (fun protocol ->
           let res =
-            Workload.run ~graph:inst.graph
-              ~objective_for:(fun ~target -> Greedy_routing.Objective.girg_phi inst ~target)
-              ~protocol ~with_stretch:true ~pairs ()
+            Context.phase ctx
+              (if protocol = Greedy_routing.Protocol.Greedy then "route" else "patching")
+              (fun () ->
+                Workload.run ~graph:inst.graph
+                  ~objective_for:(fun ~target -> Greedy_routing.Objective.girg_phi inst ~target)
+                  ~protocol ~with_stretch:true ~pairs ())
           in
           let is_greedy = protocol = Greedy_routing.Protocol.Greedy in
           let median xs =

@@ -35,24 +35,29 @@ let run ctx =
           (fun ni n ->
             let rng = Context.rng ctx ~salt:(1000 + (100 * ci) + ni) in
             let params = Girg.Params.make ~dim:2 ~beta ~alpha ~c:0.25 ~n () in
-            let inst = Girg.Instance.generate ~rng params in
+            let inst =
+              Context.phase ctx "generate" (fun () -> Girg.Instance.generate ~rng params)
+            in
             let pairs =
               Workload.sample_pairs_any ~rng
                 ~n:(Sparse_graph.Graph.n inst.graph)
                 ~count:pairs_per_size
             in
             let res =
-              Workload.run ~graph:inst.graph
-                ~objective_for:(fun ~target -> Greedy_routing.Objective.girg_phi inst ~target)
-                ~protocol:Greedy_routing.Protocol.Greedy ~pairs ()
+              Context.phase ctx "route" (fun () ->
+                  Workload.run ~graph:inst.graph
+                    ~objective_for:(fun ~target ->
+                      Greedy_routing.Objective.girg_phi inst ~target)
+                    ~protocol:Greedy_routing.Protocol.Greedy ~pairs ())
             in
             Workload.success_rate res)
           sizes
       in
-      Stats.Table.add_row table
-        ([ Printf.sprintf "%.1f" beta; Girg.Params.alpha_to_string alpha ]
-        @ List.map (fun r -> Printf.sprintf "%.3f" r) rates
-        @ [ "Omega(1), flat in n" ]))
+      Context.phase ctx "aggregate" (fun () ->
+          Stats.Table.add_row table
+            ([ Printf.sprintf "%.1f" beta; Girg.Params.alpha_to_string alpha ]
+            @ List.map (fun r -> Printf.sprintf "%.3f" r) rates
+            @ [ "Omega(1), flat in n" ])))
     configs;
   Stats.Table.note table
     "s-t pairs are uniform over ALL vertices (isolated targets allowed), so \

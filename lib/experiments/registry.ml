@@ -90,11 +90,14 @@ let find id =
   let id = String.lowercase_ascii id in
   List.find_opt (fun e -> String.lowercase_ascii e.id = id) all
 
+let run_traced e ctx = Obs.Span.time ~name:("exp." ^ e.id) (fun () -> e.run ctx)
+
+let render_header e =
+  Printf.sprintf "---- %s: %s ----\nclaim: %s\n\n" e.id e.title e.claim
+
 let run_and_render e ctx =
   let buf = Buffer.create 1024 in
-  Buffer.add_string buf (Printf.sprintf "---- %s: %s ----\n" e.id e.title);
-  Buffer.add_string buf ("claim: " ^ e.claim ^ "\n\n");
-  List.iter
-    (fun table -> Buffer.add_string buf (Stats.Table.render table ^ "\n"))
-    (e.run ctx);
+  Buffer.add_string buf (render_header e);
+  let tables, _span = run_traced e ctx in
+  List.iter (fun table -> Buffer.add_string buf (Stats.Table.render table ^ "\n")) tables;
   Buffer.contents buf

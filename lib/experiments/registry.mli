@@ -14,5 +14,14 @@ val all : t list
 val find : string -> t option
 (** Case-insensitive lookup by id. *)
 
+val run_traced : t -> Context.t -> Stats.Table.t list * Obs.Span.t option
+(** Run one experiment inside an [Obs.Span] named ["exp." ^ id] and
+    return its tables plus the completed span tree ([None] when
+    observability is disabled via [SMALLWORLD_OBS=0]). *)
+
+val render_header : t -> string
+(** The "---- Ei: title ----" banner plus claim paragraph. *)
+
 val run_and_render : t -> Context.t -> string
-(** Run one experiment and render its claim plus all tables. *)
+(** Run one experiment (traced, via {!run_traced}) and render its claim
+    plus all tables. *)

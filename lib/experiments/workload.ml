@@ -44,6 +44,7 @@ let sample_pairs_heavy ~rng ~weights ~min_weight ~count =
   pairs_from_pool ~rng ~pool ~count
 
 let run ~graph ~objective_for ~protocol ?max_steps ?(with_stretch = false) ~pairs () =
+  Obs.Span.with_ ~name:"exp.route" (fun () ->
   let delivered = ref 0 and dead_end = ref 0 and exhausted = ref 0 and cutoff = ref 0 in
   let steps = ref [] and visited = ref [] and stretches = ref [] in
   Array.iter
@@ -76,4 +77,4 @@ let run ~graph ~objective_for ~protocol ?max_steps ?(with_stretch = false) ~pair
     steps = Array.of_list !steps;
     visited = Array.of_list !visited;
     stretches = Array.of_list !stretches;
-  }
+  })

@@ -9,6 +9,13 @@ type t = {
 
 let threshold_n = 600
 
+let c_instances = Obs.Metrics.counter "girg.instances"
+let c_vertices = Obs.Metrics.counter "girg.vertices"
+let c_edges = Obs.Metrics.counter "girg.edges_accepted"
+let c_type1 = Obs.Metrics.counter "girg.cell.type1_pairs"
+let c_type2 = Obs.Metrics.counter "girg.cell.type2_trials"
+let c_cells = Obs.Metrics.counter "girg.cell.cells_visited"
+
 let sample_weights ~rng ~params ~count =
   Array.init count (fun _ ->
       Prng.Dist.pareto rng ~x_min:params.Params.w_min ~exponent:params.Params.beta)
@@ -27,27 +34,48 @@ let generate_with ?(sampler = Auto) ~rng ~params ~weights ~positions () =
   if Array.length positions <> count then invalid_arg "Instance.generate_with: length mismatch";
   let kernel = Kernel.girg params in
   let edges =
-    let use_cell =
-      match sampler with
-      | Use_cell -> true
-      | Use_naive -> false
-      | Auto -> count > threshold_n
-    in
-    if use_cell then Cell.sample_edges ~rng ~kernel ~weights ~positions
-    else Naive.sample_edges ~rng ~kernel ~weights ~positions
+    Obs.Span.with_ ~name:"girg.sample_edges" (fun () ->
+        let use_cell =
+          match sampler with
+          | Use_cell -> true
+          | Use_naive -> false
+          | Auto -> count > threshold_n
+        in
+        if use_cell then begin
+          let edges, stats = Cell.sample_edges_stats ~rng ~kernel ~weights ~positions in
+          Obs.Metrics.add c_type1 stats.Cell.type1_pairs;
+          Obs.Metrics.add c_type2 stats.Cell.type2_trials;
+          Obs.Metrics.add c_cells stats.Cell.cells_visited;
+          edges
+        end
+        else Naive.sample_edges ~rng ~kernel ~weights ~positions)
   in
-  { params; weights; positions; graph = Sparse_graph.Graph.of_edges ~n:count edges }
+  Obs.Metrics.incr c_instances;
+  Obs.Metrics.add c_vertices count;
+  Obs.Metrics.add c_edges (Array.length edges);
+  let graph =
+    Obs.Span.with_ ~name:"girg.build_graph" (fun () ->
+        Sparse_graph.Graph.of_edges ~n:count edges)
+  in
+  { params; weights; positions; graph }
 
 let generate ?(sampler = Auto) ~rng params =
-  let params = Params.validate_exn params in
-  let rng_count = Prng.Rng.split rng in
-  let rng_weights = Prng.Rng.split rng in
-  let rng_positions = Prng.Rng.split rng in
-  let rng_edges = Prng.Rng.split rng in
-  let count = vertex_count ~rng:rng_count ~params in
-  let weights = sample_weights ~rng:rng_weights ~params ~count in
-  let positions = sample_positions ~rng:rng_positions ~params ~count in
-  generate_with ~sampler ~rng:rng_edges ~params ~weights ~positions ()
+  Obs.Span.with_ ~name:"girg.generate" (fun () ->
+      let params = Params.validate_exn params in
+      let rng_count = Prng.Rng.split rng in
+      let rng_weights = Prng.Rng.split rng in
+      let rng_positions = Prng.Rng.split rng in
+      let rng_edges = Prng.Rng.split rng in
+      let count = vertex_count ~rng:rng_count ~params in
+      let weights =
+        Obs.Span.with_ ~name:"girg.sample_weights" (fun () ->
+            sample_weights ~rng:rng_weights ~params ~count)
+      in
+      let positions =
+        Obs.Span.with_ ~name:"girg.sample_positions" (fun () ->
+            sample_positions ~rng:rng_positions ~params ~count)
+      in
+      generate_with ~sampler ~rng:rng_edges ~params ~weights ~positions ())
 
 let generate_pinned ?(sampler = Auto) ~rng ~params ~pinned () =
   let params = Params.validate_exn params in

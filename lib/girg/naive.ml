@@ -1,6 +1,9 @@
+let c_candidate_pairs = Obs.Metrics.counter "girg.naive.candidate_pairs"
+
 let sample_edges ~rng ~kernel ~weights ~positions =
   let n = Array.length weights in
   if Array.length positions <> n then invalid_arg "Naive.sample_edges: length mismatch";
+  Obs.Metrics.add c_candidate_pairs (n * (n - 1) / 2);
   let buf = Edge_buf.create () in
   let prob = kernel.Kernel.prob in
   let dist_fn = Geometry.Torus.dist_fn kernel.Kernel.norm in

@@ -5,7 +5,7 @@ type 'msg api = {
   halt : unit -> unit;
 }
 
-type 'msg envelope = { src : int; dst : int; msg : 'msg }
+type 'msg envelope = { src : int; dst : int; sent : float; msg : 'msg }
 
 type 'msg t = {
   n : int;
@@ -16,6 +16,14 @@ type 'msg t = {
   mutable halted : bool;
 }
 
+let c_runs = Obs.Metrics.counter "netsim.runs"
+let c_deliveries = Obs.Metrics.counter "netsim.deliveries"
+let c_sends = Obs.Metrics.counter "netsim.sends"
+let c_truncated = Obs.Metrics.counter "netsim.truncated_runs"
+let g_queue_hwm = Obs.Metrics.gauge "netsim.queue_depth_hwm"
+let h_msg_latency = Obs.Metrics.histogram "netsim.msg_latency"
+let h_run_deliveries = Obs.Metrics.histogram "netsim.run_deliveries"
+
 let create ~n ?(latency = fun ~src:_ ~dst:_ -> 1.0) ~handler () =
   if n < 0 then invalid_arg "Sim.create: negative n";
   { n; latency; handler; queue = Event_queue.create (); sends = 0; halted = false }
@@ -25,11 +33,18 @@ let check_node t v ctx =
 
 let inject t ?(time = 0.0) ~dst msg =
   check_node t dst "Sim.inject";
-  Event_queue.push t.queue ~time { src = dst; dst; msg }
+  Event_queue.push t.queue ~time { src = dst; dst; sent = time; msg }
 
-type stats = { deliveries : int; sends : int; final_time : float; halted : bool }
+type stats = {
+  deliveries : int;
+  sends : int;
+  final_time : float;
+  halted : bool;
+  truncated : bool;
+}
 
 let run ?(max_deliveries = 10_000_000) (t : 'msg t) =
+  Obs.Metrics.incr c_runs;
   let deliveries = ref 0 in
   let final_time = ref 0.0 in
   let continue = ref true in
@@ -38,6 +53,8 @@ let run ?(max_deliveries = 10_000_000) (t : 'msg t) =
     | None -> continue := false
     | Some (time, env) ->
         incr deliveries;
+        Obs.Metrics.incr c_deliveries;
+        Obs.Metrics.observe h_msg_latency (time -. env.sent);
         final_time := time;
         let api =
           {
@@ -47,12 +64,28 @@ let run ?(max_deliveries = 10_000_000) (t : 'msg t) =
               (fun ~dst msg ->
                 check_node t dst "Sim.send";
                 t.sends <- t.sends + 1;
+                Obs.Metrics.incr c_sends;
                 Event_queue.push t.queue
                   ~time:(time +. t.latency ~src:env.dst ~dst)
-                  { src = env.dst; dst; msg });
+                  { src = env.dst; dst; sent = time; msg });
             halt = (fun () -> t.halted <- true);
           }
         in
-        t.handler api ~src:env.src env.msg
+        t.handler api ~src:env.src env.msg;
+        Obs.Metrics.set_max g_queue_hwm (float_of_int (Event_queue.size t.queue))
   done;
-  { deliveries = !deliveries; sends = t.sends; final_time = !final_time; halted = t.halted }
+  (* Reaching the delivery cap with work still queued is not the same thing
+     as the queue draining; report it distinctly (and count it). *)
+  let truncated =
+    (not t.halted) && !deliveries >= max_deliveries
+    && not (Event_queue.is_empty t.queue)
+  in
+  if truncated then Obs.Metrics.incr c_truncated;
+  Obs.Metrics.observe h_run_deliveries (float_of_int !deliveries);
+  {
+    deliveries = !deliveries;
+    sends = t.sends;
+    final_time = !final_time;
+    halted = t.halted;
+    truncated;
+  }

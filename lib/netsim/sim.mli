@@ -35,8 +35,13 @@ type stats = {
   sends : int;  (** messages sent by handlers *)
   final_time : float;  (** delivery time of the last processed event *)
   halted : bool;  (** whether a handler called [halt] *)
+  truncated : bool;
+      (** the run stopped at [max_deliveries] with events still queued —
+          distinct from a normal queue drain *)
 }
 
 val run : ?max_deliveries:int -> 'msg t -> stats
 (** Process events until the queue drains, a handler halts, or
-    [max_deliveries] (default 10^7) is reached. *)
+    [max_deliveries] (default 10^7) is reached.  The simulator feeds the
+    [netsim.*] metrics (deliveries, sends, per-message latency, queue
+    high-water mark, truncated runs). *)

@@ -1,0 +1,166 @@
+(* Exporters: Prometheus-style text dump of a metrics registry, and the
+   JSONL run manifest (one self-contained JSON object per line; schema
+   documented in README.md "Observability").  The JSON emitter is local —
+   no third-party dependency — and always single-line, so a manifest file
+   is valid JSONL by construction. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+let add_escaped buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let rec add_json buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+      if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.9g" f)
+      else Buffer.add_string buf "null"
+  | Str s ->
+      Buffer.add_char buf '"';
+      add_escaped buf s;
+      Buffer.add_char buf '"'
+  | Arr xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          add_json buf x)
+        xs;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '"';
+          add_escaped buf k;
+          Buffer.add_string buf "\":";
+          add_json buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let json_to_string j =
+  let buf = Buffer.create 256 in
+  add_json buf j;
+  Buffer.contents buf
+
+let rec span_to_json (s : Span.t) =
+  Obj
+    [
+      ("name", Str s.name);
+      ("count", Int s.count);
+      ("wall_s", Float s.wall_s);
+      ("self_s", Float (Span.self_s s));
+      ("alloc_bytes", Float s.alloc_bytes);
+      ("children", Arr (List.map span_to_json s.children));
+    ]
+
+let value_to_json = function
+  | Metrics.Counter_v v -> Int v
+  | Metrics.Gauge_v v -> Float v
+  | Metrics.Histogram_v h ->
+      Obj
+        [
+          ("count", Int h.count);
+          ("sum", Float h.sum);
+          ("min", if h.count = 0 then Null else Float h.min);
+          ("max", if h.count = 0 then Null else Float h.max);
+          ("buckets", Arr (List.map (fun (ub, c) -> Arr [ Float ub; Int c ]) h.buckets));
+        ]
+
+let snapshot_to_json snap = Obj (List.map (fun (name, v) -> (name, value_to_json v)) snap)
+
+(* Best-effort revision: env override, then .git/HEAD relative to cwd. *)
+let git_rev () =
+  match Sys.getenv_opt "SMALLWORLD_GIT_REV" with
+  | Some rev -> rev
+  | None -> (
+      let read_line_of path =
+        try In_channel.with_open_text path (fun ic -> In_channel.input_line ic)
+        with Sys_error _ -> None
+      in
+      match read_line_of ".git/HEAD" with
+      | None -> "unknown"
+      | Some head -> (
+          match
+            if String.length head > 5 && String.sub head 0 5 = "ref: " then
+              read_line_of (Filename.concat ".git" (String.sub head 5 (String.length head - 5)))
+            else Some head
+          with
+          | Some rev when String.trim rev <> "" -> String.trim rev
+          | Some _ | None -> "unknown"))
+
+let schema_version = "smallworld.obs.v1"
+
+let manifest_line ?(extra = []) ~experiment ~seed ~scale ~registry ~span () =
+  json_to_string
+    (Obj
+       ([
+          ("schema", Str schema_version);
+          ("experiment", Str experiment);
+          ("seed", Int seed);
+          ("scale", Str scale);
+          ("git_rev", Str (git_rev ()));
+          ( "wall_s",
+            match span with Some (s : Span.t) -> Float s.wall_s | None -> Null );
+          ("span", match span with Some s -> span_to_json s | None -> Null);
+          ("metrics", snapshot_to_json (Metrics.snapshot registry));
+        ]
+       @ extra))
+
+(* Prometheus text format: dots and other separators become underscores,
+   everything is prefixed with smallworld_.  Histograms are emitted with
+   cumulative le buckets as the convention requires. *)
+let prometheus_name name =
+  let buf = Buffer.create (String.length name + 11) in
+  Buffer.add_string buf "smallworld_";
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> Buffer.add_char buf c
+      | _ -> Buffer.add_char buf '_')
+    name;
+  Buffer.contents buf
+
+let prometheus registry =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (name, v) ->
+      let pname = prometheus_name name in
+      match v with
+      | Metrics.Counter_v n ->
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n%s %d\n" pname pname n)
+      | Metrics.Gauge_v x ->
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n%s %g\n" pname pname x)
+      | Metrics.Histogram_v h ->
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" pname);
+          let cum = ref 0 in
+          List.iter
+            (fun (ub, c) ->
+              cum := !cum + c;
+              Buffer.add_string buf
+                (Printf.sprintf "%s_bucket{le=\"%g\"} %d\n" pname ub !cum))
+            h.buckets;
+          Buffer.add_string buf (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" pname h.count);
+          Buffer.add_string buf (Printf.sprintf "%s_sum %g\n" pname h.sum);
+          Buffer.add_string buf (Printf.sprintf "%s_count %d\n" pname h.count))
+    (Metrics.snapshot registry);
+  Buffer.contents buf

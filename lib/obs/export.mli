@@ -1,0 +1,43 @@
+(** Exporters: Prometheus-style text dump and the JSONL run manifest. *)
+
+(** Minimal JSON document, emitted compactly on a single line.
+    Non-finite floats serialise as [null]. *)
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+val json_to_string : json -> string
+
+val span_to_json : Span.t -> json
+val value_to_json : Metrics.value -> json
+val snapshot_to_json : (string * Metrics.value) list -> json
+
+val git_rev : unit -> string
+(** [SMALLWORLD_GIT_REV] if set, else a best-effort read of [.git/HEAD]
+    relative to the working directory; ["unknown"] on failure. *)
+
+val schema_version : string
+(** Currently ["smallworld.obs.v1"]. *)
+
+val manifest_line :
+  ?extra:(string * json) list ->
+  experiment:string ->
+  seed:int ->
+  scale:string ->
+  registry:Metrics.registry ->
+  span:Span.t option ->
+  unit ->
+  string
+(** One JSONL record (no trailing newline): schema version, experiment
+    id, seed, scale, git revision, wall time, full span tree and a
+    metrics snapshot.  [extra] fields are appended verbatim. *)
+
+val prometheus : Metrics.registry -> string
+(** Prometheus text exposition of a registry snapshot: names are
+    prefixed [smallworld_] with separators mapped to underscores;
+    histograms use cumulative [le] buckets. *)

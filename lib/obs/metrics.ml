@@ -1,0 +1,188 @@
+(* Named metric registry.
+
+   Hot-path cost model: a metric handle is either a live cell (one mutable
+   record field update per increment) or [*_noop]; the choice is made once,
+   at registration time, from the registry's liveness.  With
+   SMALLWORLD_OBS=0 every handle obtained from the default registry is a
+   no-op stub, so instrumented code pays only an immediate branch on an
+   immutable constructor — nothing is recorded and snapshots come back
+   zeroed.  Names and kinds are registered even when dead, so tooling
+   (e.g. `experiments_cli list-metrics`) can enumerate the schema in any
+   mode. *)
+
+type kind = Counter | Gauge | Histogram
+
+let kind_to_string = function
+  | Counter -> "counter"
+  | Gauge -> "gauge"
+  | Histogram -> "histogram"
+
+(* Log2 buckets: index 0 holds v <= 0, index i (1..num_buckets-1) holds
+   v in (2^(e-1), 2^e] with e = i - 1 + min_exp. *)
+let min_exp = -64
+let max_exp = 63
+let num_buckets = max_exp - min_exp + 2
+
+type ccell = { mutable c_value : int }
+type gcell = { mutable g_value : float }
+
+type hcell = {
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+  h_buckets : int array;
+}
+
+type counter = Counter_noop | Counter_live of ccell
+type gauge = Gauge_noop | Gauge_live of gcell
+type histogram = Histogram_noop | Histogram_live of hcell
+
+type cell = Cell_counter of ccell | Cell_gauge of gcell | Cell_hist of hcell
+
+type registry = {
+  live : bool;
+  tbl : (string, kind * cell option) Hashtbl.t;
+}
+
+let enabled =
+  match Sys.getenv_opt "SMALLWORLD_OBS" with
+  | Some ("0" | "false" | "off" | "no") -> false
+  | Some _ | None -> true
+
+let create ?(live = true) () = { live; tbl = Hashtbl.create 64 }
+let default = create ~live:enabled ()
+let is_live r = r.live
+
+let register r name kind make_cell =
+  match Hashtbl.find_opt r.tbl name with
+  | Some (k, cell) ->
+      if k <> kind then
+        invalid_arg
+          (Printf.sprintf "Obs.Metrics: %S already registered as a %s" name (kind_to_string k));
+      cell
+  | None ->
+      let cell = if r.live then Some (make_cell ()) else None in
+      Hashtbl.add r.tbl name (kind, cell);
+      cell
+
+let counter ?(registry = default) name =
+  match register registry name Counter (fun () -> Cell_counter { c_value = 0 }) with
+  | Some (Cell_counter c) -> Counter_live c
+  | Some _ -> assert false
+  | None -> Counter_noop
+
+let gauge ?(registry = default) name =
+  match register registry name Gauge (fun () -> Cell_gauge { g_value = 0.0 }) with
+  | Some (Cell_gauge g) -> Gauge_live g
+  | Some _ -> assert false
+  | None -> Gauge_noop
+
+let hist_cell () =
+  { h_count = 0; h_sum = 0.0; h_min = infinity; h_max = neg_infinity;
+    h_buckets = Array.make num_buckets 0 }
+
+let histogram ?(registry = default) name =
+  match register registry name Histogram (fun () -> Cell_hist (hist_cell ())) with
+  | Some (Cell_hist h) -> Histogram_live h
+  | Some _ -> assert false
+  | None -> Histogram_noop
+
+let incr = function Counter_noop -> () | Counter_live c -> c.c_value <- c.c_value + 1
+let add t n = match t with Counter_noop -> () | Counter_live c -> c.c_value <- c.c_value + n
+let counter_value = function Counter_noop -> 0 | Counter_live c -> c.c_value
+
+let set t v = match t with Gauge_noop -> () | Gauge_live g -> g.g_value <- v
+
+let set_max t v =
+  match t with Gauge_noop -> () | Gauge_live g -> if v > g.g_value then g.g_value <- v
+
+let gauge_value = function Gauge_noop -> 0.0 | Gauge_live g -> g.g_value
+
+(* Smallest e with v <= 2^e, exact via frexp (v = m * 2^e', m in [0.5, 1)). *)
+let bucket_index v =
+  if v <= 0.0 then 0
+  else begin
+    let m, e = Float.frexp v in
+    let e = if m = 0.5 then e - 1 else e in
+    if e < min_exp then 1 else if e > max_exp then num_buckets - 1 else e - min_exp + 1
+  end
+
+let bucket_upper_bound i = if i = 0 then 0.0 else Float.ldexp 1.0 (i - 1 + min_exp)
+
+let observe t v =
+  match t with
+  | Histogram_noop -> ()
+  | Histogram_live h ->
+      h.h_count <- h.h_count + 1;
+      h.h_sum <- h.h_sum +. v;
+      if v < h.h_min then h.h_min <- v;
+      if v > h.h_max then h.h_max <- v;
+      let i = bucket_index v in
+      h.h_buckets.(i) <- h.h_buckets.(i) + 1
+
+let hist_count = function Histogram_noop -> 0 | Histogram_live h -> h.h_count
+let hist_sum = function Histogram_noop -> 0.0 | Histogram_live h -> h.h_sum
+
+type hist_snapshot = {
+  count : int;
+  sum : float;
+  min : float;  (** [infinity] when empty *)
+  max : float;  (** [neg_infinity] when empty *)
+  buckets : (float * int) list;  (** (inclusive upper bound, count), non-empty buckets only *)
+}
+
+type value = Counter_v of int | Gauge_v of float | Histogram_v of hist_snapshot
+
+let zero_hist_snapshot =
+  { count = 0; sum = 0.0; min = infinity; max = neg_infinity; buckets = [] }
+
+let snapshot_cell = function
+  | Some (Cell_counter c) -> Counter_v c.c_value
+  | Some (Cell_gauge g) -> Gauge_v g.g_value
+  | Some (Cell_hist h) ->
+      let buckets = ref [] in
+      for i = num_buckets - 1 downto 0 do
+        if h.h_buckets.(i) > 0 then
+          buckets := (bucket_upper_bound i, h.h_buckets.(i)) :: !buckets
+      done;
+      Histogram_v
+        { count = h.h_count; sum = h.h_sum; min = h.h_min; max = h.h_max; buckets = !buckets }
+  | None -> assert false
+
+let zero_value = function
+  | Counter -> Counter_v 0
+  | Gauge -> Gauge_v 0.0
+  | Histogram -> Histogram_v zero_hist_snapshot
+
+let sorted_entries r =
+  Hashtbl.fold (fun name entry acc -> (name, entry) :: acc) r.tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let snapshot r =
+  List.map
+    (fun (name, (kind, cell)) ->
+      (name, if cell = None then zero_value kind else snapshot_cell cell))
+    (sorted_entries r)
+
+let list_metrics r = List.map (fun (name, (kind, _)) -> (name, kind)) (sorted_entries r)
+
+let find_value r name =
+  match Hashtbl.find_opt r.tbl name with
+  | None -> None
+  | Some (kind, cell) -> Some (if cell = None then zero_value kind else snapshot_cell cell)
+
+let reset r =
+  Hashtbl.iter
+    (fun _ (_, cell) ->
+      match cell with
+      | None -> ()
+      | Some (Cell_counter c) -> c.c_value <- 0
+      | Some (Cell_gauge g) -> g.g_value <- 0.0
+      | Some (Cell_hist h) ->
+          h.h_count <- 0;
+          h.h_sum <- 0.0;
+          h.h_min <- infinity;
+          h.h_max <- neg_infinity;
+          Array.fill h.h_buckets 0 num_buckets 0)
+    r.tbl

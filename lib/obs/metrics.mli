@@ -1,0 +1,88 @@
+(** Named counters, gauges and log2-bucketed histograms.
+
+    Handles are bound to a {!registry} at registration time.  On a dead
+    registry (explicit [create ~live:false], or the {!default} registry
+    when the process runs with [SMALLWORLD_OBS=0]) every handle is a
+    no-op stub: updates cost a single branch and snapshots come back
+    zeroed, so instrumentation can stay in hot paths unconditionally.
+    Names and kinds are recorded even when dead, keeping the metric
+    schema enumerable in any mode.
+
+    Metric names are stable, dot-namespaced identifiers ([girg.*],
+    [route.*], [netsim.*], [exp.*]); see README.md "Observability". *)
+
+type kind = Counter | Gauge | Histogram
+
+val kind_to_string : kind -> string
+
+type registry
+
+val enabled : bool
+(** False iff the environment carries [SMALLWORLD_OBS] set to [0],
+    [false], [off] or [no].  Controls the default registry and spans. *)
+
+val create : ?live:bool -> unit -> registry
+(** An explicit registry, live unless [~live:false]. *)
+
+val default : registry
+(** The process-wide registry; live iff {!enabled}. *)
+
+val is_live : registry -> bool
+
+(** {1 Handles}
+
+    Registering the same name twice returns the same underlying cell.
+    @raise Invalid_argument when a name is re-registered with a
+    different kind. *)
+
+type counter
+type gauge
+type histogram
+
+val counter : ?registry:registry -> string -> counter
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+
+val gauge : ?registry:registry -> string -> gauge
+val set : gauge -> float -> unit
+
+val set_max : gauge -> float -> unit
+(** High-water mark: keeps the maximum of all values set so far. *)
+
+val gauge_value : gauge -> float
+
+val histogram : ?registry:registry -> string -> histogram
+
+val observe : histogram -> float -> unit
+(** O(1): values land in log2 buckets [(2^(e-1), 2^e]] (plus a bucket
+    for values [<= 0]), with exact sum/min/max kept alongside. *)
+
+val hist_count : histogram -> int
+val hist_sum : histogram -> float
+
+(** {1 Snapshots} *)
+
+type hist_snapshot = {
+  count : int;
+  sum : float;
+  min : float;  (** [infinity] when empty *)
+  max : float;  (** [neg_infinity] when empty *)
+  buckets : (float * int) list;
+      (** (inclusive upper bound, count) for each non-empty bucket,
+          in increasing bound order *)
+}
+
+type value = Counter_v of int | Gauge_v of float | Histogram_v of hist_snapshot
+
+val snapshot : registry -> (string * value) list
+(** Every registered metric, sorted by name; zero values on a dead
+    registry. *)
+
+val list_metrics : registry -> (string * kind) list
+(** Names and kinds, sorted by name — works in any mode. *)
+
+val find_value : registry -> string -> value option
+
+val reset : registry -> unit
+(** Zero all cells (names stay registered). *)

@@ -1,0 +1,87 @@
+(* Nestable timed scopes forming a rolled-up call tree.
+
+   Completed spans merge into their parent's children by name (wall time,
+   allocation and invocation counts accumulate; grandchildren merge
+   recursively), so loops produce one aggregated node per distinct name
+   rather than one node per iteration — the tree is a profile, not a log.
+   Spans finishing with no parent on the stack become trace roots
+   (collected until [clear_roots]).  The whole machinery is disabled
+   together with metrics: with SMALLWORLD_OBS=0, [with_] is just an
+   application of its argument. *)
+
+type t = {
+  name : string;
+  mutable count : int;
+  mutable wall_s : float;
+  mutable alloc_bytes : float;
+  mutable children : t list;  (* first-seen order *)
+}
+
+let enabled = Metrics.enabled
+
+type frame = { span : t; t0 : float; a0 : float }
+
+let stack : frame list ref = ref []
+let finished_roots : t list ref = ref []
+
+let rec absorb dst src =
+  dst.count <- dst.count + src.count;
+  dst.wall_s <- dst.wall_s +. src.wall_s;
+  dst.alloc_bytes <- dst.alloc_bytes +. src.alloc_bytes;
+  List.iter (fun c -> dst.children <- fst (merge_into dst.children c)) src.children
+
+(* Merge [span] into [siblings]; returns the new list and the node that
+   now carries the data (the existing sibling of the same name, if any). *)
+and merge_into siblings span =
+  match List.find_opt (fun c -> c.name = span.name) siblings with
+  | Some dst ->
+      absorb dst span;
+      (siblings, dst)
+  | None -> (siblings @ [ span ], span)
+
+let finish fr =
+  fr.span.wall_s <- Unix.gettimeofday () -. fr.t0;
+  fr.span.alloc_bytes <- Gc.allocated_bytes () -. fr.a0;
+  match !stack with
+  | parent :: _ ->
+      let siblings, dst = merge_into parent.span.children fr.span in
+      parent.span.children <- siblings;
+      dst
+  | [] ->
+      let roots, dst = merge_into !finished_roots fr.span in
+      finished_roots := roots;
+      dst
+
+let time ~name f =
+  if not enabled then (f (), None)
+  else begin
+    let fr =
+      {
+        span = { name; count = 1; wall_s = 0.0; alloc_bytes = 0.0; children = [] };
+        t0 = Unix.gettimeofday ();
+        a0 = Gc.allocated_bytes ();
+      }
+    in
+    stack := fr :: !stack;
+    let dst = ref fr.span in
+    let result =
+      Fun.protect
+        ~finally:(fun () ->
+          (match !stack with [] -> () | _ :: rest -> stack := rest);
+          dst := finish fr)
+        f
+    in
+    (result, Some !dst)
+  end
+
+let with_ ~name f = fst (time ~name f)
+
+let roots () = !finished_roots
+
+let clear_roots () = finished_roots := []
+
+let self_s t =
+  let child_total = List.fold_left (fun acc c -> acc +. c.wall_s) 0.0 t.children in
+  Float.max 0.0 (t.wall_s -. child_total)
+
+let rec depth t = 1 + List.fold_left (fun acc c -> max acc (depth c)) 0 t.children

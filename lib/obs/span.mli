@@ -1,0 +1,39 @@
+(** Nestable timed scopes producing a rolled-up tree per trace root.
+
+    Each completed span records wall-clock seconds and bytes allocated
+    (via [Gc.allocated_bytes], inclusive of children).  Sibling spans
+    with the same name merge — counts, times and subtrees accumulate —
+    so a span inside a loop shows up once with [count] = iterations.
+    Spans closed with an empty stack become trace roots, retrievable
+    through {!roots} / {!Trace.roots}. *)
+
+type t = {
+  name : string;
+  mutable count : int;  (** merged invocations *)
+  mutable wall_s : float;  (** inclusive wall time, summed over invocations *)
+  mutable alloc_bytes : float;  (** inclusive GC-allocated bytes *)
+  mutable children : t list;  (** first-seen order *)
+}
+
+val enabled : bool
+(** Same kill switch as {!Metrics.enabled}: with [SMALLWORLD_OBS=0]
+    spans neither measure nor collect. *)
+
+val with_ : name:string -> (unit -> 'a) -> 'a
+(** Run [f] inside a span named [name].  Exception-safe; when disabled
+    this is exactly [f ()]. *)
+
+val time : name:string -> (unit -> 'a) -> 'a * t option
+(** Like {!with_} but also returns the node the span merged into
+    ([None] when disabled). *)
+
+val roots : unit -> t list
+(** Completed top-level spans, oldest first. *)
+
+val clear_roots : unit -> unit
+
+val self_s : t -> float
+(** Wall time not attributed to children (clamped at 0). *)
+
+val depth : t -> int
+(** Nesting depth of the tree rooted here (a leaf has depth 1). *)

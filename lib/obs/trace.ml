@@ -1,0 +1,24 @@
+let roots = Span.roots
+let clear = Span.clear_roots
+
+let find name = List.find_opt (fun (s : Span.t) -> s.name = name) (roots ())
+
+let mb bytes = bytes /. 1048576.0
+
+let render ?(max_depth = max_int) (root : Span.t) =
+  let buf = Buffer.create 512 in
+  let rec go indent depth (s : Span.t) =
+    if depth <= max_depth then begin
+      let label = indent ^ s.name in
+      Buffer.add_string buf
+        (Printf.sprintf "%-44s %9.3fs %7.3fs self %6dx %9.1fMB\n" label s.wall_s
+           (Span.self_s s) s.count (mb s.alloc_bytes));
+      List.iter (go (indent ^ "  ") (depth + 1)) s.children
+    end
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "%-44s %10s %12s %7s %11s\n" "span" "wall" "self" "count" "alloc");
+  go "" 1 root;
+  Buffer.contents buf
+
+let render_all ?max_depth () = String.concat "" (List.map (render ?max_depth) (roots ()))

@@ -1,0 +1,17 @@
+(** Access to the completed span trees of the current process ("the
+    trace") plus a human-readable renderer for them. *)
+
+val roots : unit -> Span.t list
+(** Completed top-level spans, oldest first. *)
+
+val clear : unit -> unit
+(** Drop all collected roots (e.g. between experiments). *)
+
+val find : string -> Span.t option
+(** Root span by exact name. *)
+
+val render : ?max_depth:int -> Span.t -> string
+(** ASCII table of one span tree: wall / self time, invocation count and
+    allocated MB per node, indented by depth. *)
+
+val render_all : ?max_depth:int -> unit -> string

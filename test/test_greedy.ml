@@ -120,6 +120,36 @@ let test_outcome_to_string () =
   Alcotest.(check string) "exhausted" "exhausted" (Outcome.status_to_string Outcome.Exhausted);
   Alcotest.(check string) "cutoff" "cutoff" (Outcome.status_to_string Outcome.Cutoff)
 
+(* Reads a counter from the default registry; 0 when observability is off. *)
+let default_counter name =
+  match Obs.Metrics.find_value Obs.Metrics.default name with
+  | Some (Obs.Metrics.Counter_v v) -> v
+  | _ -> 0
+
+let test_routing_increments_counters () =
+  if not Obs.Metrics.enabled then ()
+  else begin
+    let g = Sparse_graph.Graph.of_edge_list ~n:4 [ (0, 1); (1, 2); (2, 3) ] in
+    let obj = line_graph_objective ~target:3 [| 0.1; 0.2; 0.3; infinity |] in
+    let routes0 = default_counter "route.greedy.routes" in
+    let evals0 = default_counter "route.greedy.objective_evals" in
+    let steps0 = default_counter "route.greedy.steps" in
+    let dead0 = default_counter "route.greedy.dead_ends" in
+    ignore (Greedy.route ~graph:g ~objective:obj ~source:0 ());
+    Alcotest.(check int) "one route" 1 (default_counter "route.greedy.routes" - routes0);
+    (* 3 hops: degree 1 + 2 + 2 neighbour scores examined along 0-1-2-3. *)
+    Alcotest.(check int) "objective evals" 5
+      (default_counter "route.greedy.objective_evals" - evals0);
+    Alcotest.(check int) "steps accumulated" 3
+      (default_counter "route.greedy.steps" - steps0);
+    Alcotest.(check int) "no dead end" 0 (default_counter "route.greedy.dead_ends" - dead0);
+    (* A dropped message increments the dead-end counter. *)
+    let bad = line_graph_objective ~target:3 [| 0.5; 0.2; 0.3; infinity |] in
+    ignore (Greedy.route ~graph:g ~objective:bad ~source:0 ());
+    Alcotest.(check int) "dead end counted" 1
+      (default_counter "route.greedy.dead_ends" - dead0)
+  end
+
 let test_path_if_delivered () =
   let g = Sparse_graph.Graph.of_edge_list ~n:2 [ (0, 1) ] in
   let ok = Greedy.route ~graph:g ~objective:(line_graph_objective ~target:1 [| 0.1; infinity |]) ~source:0 () in
@@ -142,5 +172,6 @@ let suite =
     Alcotest.test_case "max_steps cutoff" `Quick test_max_steps_cutoff;
     Alcotest.test_case "target adjacency wins" `Quick test_delivery_when_target_adjacent;
     Alcotest.test_case "outcome to_string" `Quick test_outcome_to_string;
+    Alcotest.test_case "routing increments counters" `Quick test_routing_increments_counters;
     Alcotest.test_case "path_if_delivered" `Quick test_path_if_delivered;
   ]

@@ -30,6 +30,7 @@ let () =
       ("core.layers", Test_layers.suite);
       ("core.faulty", Test_faulty.suite);
       ("persistence.io", Test_io.suite);
+      ("obs", Test_obs.suite);
       ("netsim", Test_netsim.suite);
       ("experiments.workload", Test_workload.suite);
       ("experiments.registry", Test_registry.suite);

@@ -57,6 +57,7 @@ let test_sim_ping_pong () =
   Alcotest.(check int) "deliveries" 6 stats.Netsim.Sim.deliveries;
   Alcotest.(check int) "sends" 5 stats.Netsim.Sim.sends;
   Alcotest.(check bool) "halted" true stats.Netsim.Sim.halted;
+  Alcotest.(check bool) "not truncated" false stats.Netsim.Sim.truncated;
   Alcotest.(check (float 1e-9)) "unit latency accumulates" 5.0 stats.Netsim.Sim.final_time;
   let selves = List.rev_map (fun (s, _, _) -> s) !log in
   Alcotest.(check (list int)) "alternating nodes" [ 0; 1; 0; 1; 0; 1 ] selves
@@ -76,7 +77,8 @@ let test_sim_max_deliveries () =
   Netsim.Sim.inject sim ~dst:0 ();
   let stats = Netsim.Sim.run ~max_deliveries:100 sim in
   Alcotest.(check int) "capped" 100 stats.Netsim.Sim.deliveries;
-  Alcotest.(check bool) "not halted" false stats.Netsim.Sim.halted
+  Alcotest.(check bool) "not halted" false stats.Netsim.Sim.halted;
+  Alcotest.(check bool) "reported as truncated" true stats.Netsim.Sim.truncated
 
 let test_local_view_matches_graph () =
   let inst = Test_greedy.girg_instance ~seed:2110 ~n:800 ~c:0.2 () in

@@ -1,0 +1,268 @@
+(* Obs library: metric arithmetic, span nesting/rollup invariants,
+   snapshot determinism, no-op mode, and exporter output shape. *)
+
+module M = Obs.Metrics
+module S = Obs.Span
+
+(* ------------------------------------------------------------------ *)
+(* Metrics *)
+
+let test_counter_arithmetic () =
+  let r = M.create () in
+  let c = M.counter ~registry:r "t.counter" in
+  Alcotest.(check int) "starts at 0" 0 (M.counter_value c);
+  M.incr c;
+  M.add c 41;
+  Alcotest.(check int) "incr + add" 42 (M.counter_value c);
+  match M.find_value r "t.counter" with
+  | Some (M.Counter_v 42) -> ()
+  | _ -> Alcotest.fail "registry does not reflect counter value"
+
+let test_counter_dedup () =
+  let r = M.create () in
+  let a = M.counter ~registry:r "t.shared" in
+  let b = M.counter ~registry:r "t.shared" in
+  M.incr a;
+  M.incr b;
+  Alcotest.(check int) "same cell" 2 (M.counter_value a)
+
+let test_kind_mismatch_rejected () =
+  let r = M.create () in
+  ignore (M.counter ~registry:r "t.kinded");
+  Alcotest.check_raises "gauge over counter"
+    (Invalid_argument "Obs.Metrics: \"t.kinded\" already registered as a counter")
+    (fun () -> ignore (M.gauge ~registry:r "t.kinded"))
+
+let test_gauge () =
+  let r = M.create () in
+  let g = M.gauge ~registry:r "t.gauge" in
+  M.set g 3.0;
+  M.set_max g 2.0;
+  Alcotest.(check (float 0.0)) "set_max keeps max" 3.0 (M.gauge_value g);
+  M.set_max g 5.0;
+  Alcotest.(check (float 0.0)) "set_max raises" 5.0 (M.gauge_value g)
+
+let test_histogram_arithmetic () =
+  let r = M.create () in
+  let h = M.histogram ~registry:r "t.hist" in
+  let values = [ 0.0; 0.5; 1.0; 2.0; 3.0; 100.0 ] in
+  List.iter (M.observe h) values;
+  Alcotest.(check int) "count" 6 (M.hist_count h);
+  Alcotest.(check (float 1e-9)) "sum" 106.5 (M.hist_sum h);
+  match M.find_value r "t.hist" with
+  | Some (M.Histogram_v snap) ->
+      Alcotest.(check (float 0.0)) "min" 0.0 snap.M.min;
+      Alcotest.(check (float 0.0)) "max" 100.0 snap.M.max;
+      Alcotest.(check int) "bucket mass = count" 6
+        (List.fold_left (fun acc (_, c) -> acc + c) 0 snap.M.buckets);
+      (* Exact powers of two land on their own bound; 3.0 rounds up to 4. *)
+      let bounds = List.map fst snap.M.buckets in
+      List.iter
+        (fun ub -> if not (List.mem ub [ 0.0; 0.5; 1.0; 2.0; 4.0; 128.0 ]) then
+            Alcotest.failf "unexpected bucket bound %g" ub)
+        bounds;
+      (* Bounds are increasing and each value fits under some bound. *)
+      let rec increasing = function
+        | a :: (b :: _ as rest) -> a < b && increasing rest
+        | _ -> true
+      in
+      Alcotest.(check bool) "bounds increasing" true (increasing bounds)
+  | _ -> Alcotest.fail "histogram snapshot missing"
+
+let test_snapshot_deterministic () =
+  let r = M.create () in
+  ignore (M.counter ~registry:r "t.z");
+  ignore (M.counter ~registry:r "t.a");
+  let g = M.gauge ~registry:r "t.m" in
+  M.set g 1.5;
+  let s1 = M.snapshot r and s2 = M.snapshot r in
+  Alcotest.(check bool) "two snapshots equal" true (s1 = s2);
+  Alcotest.(check (list string)) "sorted by name" [ "t.a"; "t.m"; "t.z" ]
+    (List.map fst s1)
+
+let test_reset () =
+  let r = M.create () in
+  let c = M.counter ~registry:r "t.reset" in
+  M.add c 7;
+  M.reset r;
+  Alcotest.(check int) "zeroed" 0 (M.counter_value c);
+  Alcotest.(check bool) "still listed" true
+    (List.mem_assoc "t.reset" (M.list_metrics r))
+
+let test_noop_mode () =
+  let r = M.create ~live:false () in
+  Alcotest.(check bool) "dead" false (M.is_live r);
+  let c = M.counter ~registry:r "t.dead.counter" in
+  let g = M.gauge ~registry:r "t.dead.gauge" in
+  let h = M.histogram ~registry:r "t.dead.hist" in
+  M.incr c;
+  M.add c 10;
+  M.set g 9.0;
+  M.observe h 3.0;
+  Alcotest.(check int) "counter stays 0" 0 (M.counter_value c);
+  Alcotest.(check (float 0.0)) "gauge stays 0" 0.0 (M.gauge_value g);
+  Alcotest.(check int) "hist stays 0" 0 (M.hist_count h);
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | M.Counter_v 0 | M.Gauge_v 0.0 -> ()
+      | M.Histogram_v s when s.M.count = 0 && s.M.buckets = [] -> ()
+      | _ -> Alcotest.failf "non-zero snapshot for %s in no-op mode" name)
+    (M.snapshot r);
+  (* Names and kinds remain discoverable. *)
+  Alcotest.(check int) "3 metrics listed" 3 (List.length (M.list_metrics r))
+
+(* ------------------------------------------------------------------ *)
+(* Spans *)
+
+let spin_allocate () =
+  (* Burn a little time and allocate measurably. *)
+  let acc = ref [] in
+  for i = 0 to 5_000 do
+    acc := [| float_of_int i |] :: !acc
+  done;
+  ignore (Sys.opaque_identity !acc)
+
+let with_fresh_trace f =
+  (* Tests share the process-global trace; isolate and restore nothing —
+     each test clears before use. *)
+  Obs.Trace.clear ();
+  f ()
+
+let test_span_nesting_and_rollup () =
+  if not S.enabled then ()
+  else
+    with_fresh_trace (fun () ->
+        let (), sp =
+          S.time ~name:"t.root" (fun () ->
+              S.with_ ~name:"t.child" (fun () -> spin_allocate ());
+              S.with_ ~name:"t.child" (fun () ->
+                  S.with_ ~name:"t.leaf" (fun () -> spin_allocate ()));
+              S.with_ ~name:"t.other" (fun () -> ()))
+        in
+        match sp with
+        | None -> Alcotest.fail "expected a span when enabled"
+        | Some sp ->
+            Alcotest.(check string) "root name" "t.root" sp.S.name;
+            Alcotest.(check int) "root count" 1 sp.S.count;
+            Alcotest.(check (list string)) "children rolled up in order"
+              [ "t.child"; "t.other" ]
+              (List.map (fun (c : S.t) -> c.S.name) sp.S.children);
+            let child = List.hd sp.S.children in
+            Alcotest.(check int) "sibling merge count" 2 child.S.count;
+            Alcotest.(check (list string)) "grandchild kept" [ "t.leaf" ]
+              (List.map (fun (c : S.t) -> c.S.name) child.S.children);
+            Alcotest.(check int) "depth" 3 (S.depth sp);
+            (* Rollup invariant: children cannot exceed the parent. *)
+            let child_total =
+              List.fold_left (fun acc (c : S.t) -> acc +. c.S.wall_s) 0.0 sp.S.children
+            in
+            Alcotest.(check bool) "child wall <= parent wall" true
+              (child_total <= sp.S.wall_s +. 1e-6);
+            Alcotest.(check bool) "self time non-negative" true (S.self_s sp >= 0.0);
+            Alcotest.(check bool) "allocation recorded" true (child.S.alloc_bytes > 0.0);
+            Alcotest.(check bool) "root collected" true
+              (List.memq sp (Obs.Trace.roots ())))
+
+let test_span_root_merge () =
+  if not S.enabled then ()
+  else
+    with_fresh_trace (fun () ->
+        let (), s1 = S.time ~name:"t.repeat" (fun () -> ()) in
+        let (), s2 = S.time ~name:"t.repeat" (fun () -> ()) in
+        match (s1, s2) with
+        | Some a, Some b ->
+            Alcotest.(check bool) "merged into one root" true (a == b);
+            Alcotest.(check int) "count 2" 2 a.S.count;
+            Alcotest.(check int) "one root" 1 (List.length (Obs.Trace.roots ()))
+        | _ -> Alcotest.fail "expected spans when enabled")
+
+let test_span_exception_safe () =
+  if not S.enabled then ()
+  else
+    with_fresh_trace (fun () ->
+        (try S.with_ ~name:"t.raises" (fun () -> failwith "boom")
+         with Failure _ -> ());
+        (* The stack must be clean: a new root is a root, not a child. *)
+        let (), sp = S.time ~name:"t.after" (fun () -> ()) in
+        match sp with
+        | Some s ->
+            Alcotest.(check string) "new root unaffected" "t.after" s.S.name;
+            Alcotest.(check bool) "failed span still collected" true
+              (Obs.Trace.find "t.raises" <> None)
+        | None -> Alcotest.fail "expected a span")
+
+(* ------------------------------------------------------------------ *)
+(* Exporters *)
+
+let test_manifest_line_shape () =
+  let r = M.create () in
+  let c = M.counter ~registry:r "girg.test_metric" in
+  M.add c 5;
+  let span =
+    if S.enabled then snd (S.time ~name:"exp.TEST" (fun () -> ())) else None
+  in
+  let line =
+    Obs.Export.manifest_line ~experiment:"E1" ~seed:42 ~scale:"quick" ~registry:r ~span ()
+  in
+  Alcotest.(check bool) "single line" false (String.contains line '\n');
+  let contains sub =
+    let n = String.length sub and m = String.length line in
+    let rec go i = i + n <= m && (String.sub line i n = sub || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun sub ->
+      if not (contains sub) then Alcotest.failf "manifest missing %s" sub)
+    [
+      "\"schema\":\"smallworld.obs.v1\"";
+      "\"experiment\":\"E1\"";
+      "\"seed\":42";
+      "\"scale\":\"quick\"";
+      "\"girg.test_metric\":5";
+      "\"git_rev\":";
+    ]
+
+let test_json_escaping () =
+  Alcotest.(check string) "escapes" "{\"k\":\"a\\\"b\\\\c\\nd\"}"
+    (Obs.Export.json_to_string (Obs.Export.Obj [ ("k", Obs.Export.Str "a\"b\\c\nd") ]));
+  Alcotest.(check string) "nan is null" "null"
+    (Obs.Export.json_to_string (Obs.Export.Float Float.nan))
+
+let test_prometheus_dump () =
+  let r = M.create () in
+  let c = M.counter ~registry:r "route.test.counter" in
+  M.add c 3;
+  let h = M.histogram ~registry:r "route.test.hist" in
+  M.observe h 1.0;
+  M.observe h 2.0;
+  let text = Obs.Export.prometheus r in
+  let expect =
+    "# TYPE smallworld_route_test_counter counter\n\
+     smallworld_route_test_counter 3\n\
+     # TYPE smallworld_route_test_hist histogram\n\
+     smallworld_route_test_hist_bucket{le=\"1\"} 1\n\
+     smallworld_route_test_hist_bucket{le=\"2\"} 2\n\
+     smallworld_route_test_hist_bucket{le=\"+Inf\"} 2\n\
+     smallworld_route_test_hist_sum 3\n\
+     smallworld_route_test_hist_count 2\n"
+  in
+  Alcotest.(check string) "prometheus text" expect text
+
+let suite =
+  [
+    Alcotest.test_case "counter arithmetic" `Quick test_counter_arithmetic;
+    Alcotest.test_case "counter dedup" `Quick test_counter_dedup;
+    Alcotest.test_case "kind mismatch rejected" `Quick test_kind_mismatch_rejected;
+    Alcotest.test_case "gauge set / set_max" `Quick test_gauge;
+    Alcotest.test_case "histogram arithmetic" `Quick test_histogram_arithmetic;
+    Alcotest.test_case "snapshot deterministic" `Quick test_snapshot_deterministic;
+    Alcotest.test_case "reset" `Quick test_reset;
+    Alcotest.test_case "no-op mode zeroed" `Quick test_noop_mode;
+    Alcotest.test_case "span nesting and rollup" `Quick test_span_nesting_and_rollup;
+    Alcotest.test_case "span root merge" `Quick test_span_root_merge;
+    Alcotest.test_case "span exception safety" `Quick test_span_exception_safe;
+    Alcotest.test_case "manifest line shape" `Quick test_manifest_line_shape;
+    Alcotest.test_case "json escaping" `Quick test_json_escaping;
+    Alcotest.test_case "prometheus dump" `Quick test_prometheus_dump;
+  ]

@@ -277,9 +277,35 @@ let test_steps_polynomially_bounded () =
     end
   done
 
+let test_patching_increments_counters () =
+  if not Obs.Metrics.enabled then ()
+  else begin
+    (* Path 1-0-2 with the best-scoring neighbour (1) a dead end: Phi-DFS
+       must start an inner DFS (a patch) and backtrack out of 1. *)
+    let graph = Sparse_graph.Graph.of_edge_list ~n:4 [ (0, 1); (0, 2); (2, 3) ] in
+    let objective =
+      Objective.of_fun ~name:"trap" ~target:3 (fun v -> [| 0.1; 0.8; 0.3; infinity |].(v))
+    in
+    let routes0 = Test_greedy.default_counter "route.patch_dfs.routes" in
+    let patches0 = Test_greedy.default_counter "route.patch_dfs.patches" in
+    let backtracks0 = Test_greedy.default_counter "route.patch_dfs.backtracks" in
+    let visited0 = Test_greedy.default_counter "route.patch_dfs.visited" in
+    let r = Protocol.run Protocol.Patch_dfs ~graph ~objective ~source:0 () in
+    Alcotest.(check bool) "delivered" true (Outcome.delivered r);
+    Alcotest.(check int) "one route" 1
+      (Test_greedy.default_counter "route.patch_dfs.routes" - routes0);
+    Alcotest.(check bool) "patch started" true
+      (Test_greedy.default_counter "route.patch_dfs.patches" - patches0 >= 1);
+    Alcotest.(check bool) "backtracked" true
+      (Test_greedy.default_counter "route.patch_dfs.backtracks" - backtracks0 >= 1);
+    Alcotest.(check int) "visited accumulated" r.Outcome.visited
+      (Test_greedy.default_counter "route.patch_dfs.visited" - visited0)
+  end
+
 let suite =
   [
     Alcotest.test_case "success iff connected (random graphs)" `Quick test_exhaustive_random_graphs;
+    Alcotest.test_case "counters incremented" `Quick test_patching_increments_counters;
     Alcotest.test_case "(P1) first-visit greedy rule" `Quick test_p1_first_visit_greedy;
     Alcotest.test_case "exhausted = component explored" `Quick test_exhausted_means_component_explored;
     Alcotest.test_case "loglog growth (coarse)" `Slow test_steps_grow_with_sparsity_not_n;
