@@ -1,18 +1,26 @@
 (* Benchmark / reproduction harness.
 
-   Phase 1 regenerates every experiment table of the paper reproduction
-   (E1-E17, cf. DESIGN.md section 3 and EXPERIMENTS.md) at Standard scale;
-   set SMALLWORLD_BENCH_QUICK=1 for a fast smoke run.  Each experiment is
-   timed with Obs.Span (its phase tree is printed under the tables), and
-   with `--obs-out FILE` a JSONL run manifest — span tree plus metric
-   snapshot per experiment — is written alongside, so successive bench
-   runs are diffable at phase granularity.
-
-   Phase 2 runs Bechamel micro-benchmarks: one Test.make per experiment
-   kernel (a miniature version of its workload) plus the core operations
+   Default mode — Phase 1 regenerates every experiment table of the paper
+   reproduction (E1-E17, cf. DESIGN.md section 3 and EXPERIMENTS.md) at
+   Standard scale; set SMALLWORLD_BENCH_QUICK=1 for a fast smoke run.
+   Each experiment is timed with Obs.Span (its phase tree is printed
+   under the tables), and with `--obs-out FILE` a JSONL run manifest —
+   span tree plus metric snapshot per experiment — is written alongside,
+   so successive bench runs are diffable at phase granularity.  Phase 2
+   runs Bechamel micro-benchmarks: one Test.make per experiment kernel
+   (a miniature version of its workload) plus the core operations
    (generators, routing protocols, BFS).
 
-     dune exec bench/main.exe -- [--obs-out FILE]                          *)
+   Record/diff modes — continuous-benchmark telemetry over the
+   smallworld.bench.v1 schema (Obs.Bench): `record` runs each experiment
+   k times and writes BENCH_<label>.json (median/min wall time, allocated
+   bytes, counter snapshots, git revision); `diff` compares two such
+   files and exits non-zero on a noise-adjusted median regression.
+
+     dune exec bench/main.exe -- [--obs-out FILE]
+     dune exec bench/main.exe -- record [--runs K] [--label L] [--seed N]
+                                        [--out FILE]
+     dune exec bench/main.exe -- diff BASELINE CURRENT [--threshold PCT]  *)
 
 open Bechamel
 open Toolkit
@@ -40,10 +48,12 @@ let run_experiment_tables () =
   let manifest_oc = Option.map open_out obs_out in
   List.iter
     (fun e ->
-      (* Fresh counters and trace per experiment so the manifest line (and
-         the printed tree) attribute to this experiment alone. *)
+      (* Fresh counters, trace and event buffer per experiment so the
+         manifest line (and the printed tree) attribute to this
+         experiment alone. *)
       Obs.Metrics.reset Obs.Metrics.default;
       Obs.Trace.clear ();
+      Obs.Events.clear ();
       let tables, span = Experiments.Registry.run_traced e ctx in
       print_string (Experiments.Registry.render_header e);
       List.iter (fun t -> print_string (Stats.Table.render t); print_newline ()) tables;
@@ -220,6 +230,98 @@ let run_benchmarks () =
         (fun (name, ns) -> Printf.printf "  %-42s %15.0f %12.3f\n" name ns (ns /. 1e6))
         rows
 
+(* ------------------------------------------------------------------ *)
+(* record / diff: continuous-benchmark telemetry (smallworld.bench.v1) *)
+
+let opt_value args key ~default =
+  let rec scan = function
+    | k :: v :: _ when k = key -> v
+    | _ :: rest -> scan rest
+    | [] -> default
+  in
+  scan args
+
+let record args =
+  let runs = max 1 (int_of_string (opt_value args "--runs" ~default:"3")) in
+  let label = opt_value args "--label" ~default:"current" in
+  let rseed = int_of_string (opt_value args "--seed" ~default:(string_of_int seed)) in
+  let out = opt_value args "--out" ~default:("BENCH_" ^ label ^ ".json") in
+  let ctx = Experiments.Context.make ~seed:rseed ~scale () in
+  let entries =
+    List.map
+      (fun e ->
+        let id = e.Experiments.Registry.id in
+        let walls = ref [] in
+        let alloc = ref 0.0 in
+        for _ = 1 to runs do
+          (* Fresh counters per run so the snapshot describes one run; the
+             wall clock is read directly, so recording also works under
+             SMALLWORLD_OBS=0 (counters then come back zeroed). *)
+          Obs.Metrics.reset Obs.Metrics.default;
+          Obs.Trace.clear ();
+          Obs.Events.clear ();
+          let a0 = Gc.allocated_bytes () in
+          let t0 = Unix.gettimeofday () in
+          ignore (e.Experiments.Registry.run ctx);
+          walls := (Unix.gettimeofday () -. t0) :: !walls;
+          alloc := Gc.allocated_bytes () -. a0
+        done;
+        let entry =
+          Obs.Bench.make_entry ~id ~wall_s:!walls ~alloc_bytes:!alloc
+            ~counters:(Obs.Bench.counters_of_registry Obs.Metrics.default)
+        in
+        Printf.printf "  %-4s median %7.3fs  min %7.3fs  (%d runs)\n%!" id entry.Obs.Bench.median_s
+          entry.Obs.Bench.min_s runs;
+        entry)
+      Experiments.Registry.all
+  in
+  let report =
+    {
+      Obs.Bench.label;
+      git_rev = Obs.Export.git_rev ();
+      scale = Experiments.Context.scale_name ctx;
+      seed = rseed;
+      entries;
+    }
+  in
+  Out_channel.with_open_text out (fun oc ->
+      output_string oc (Obs.Bench.to_string report);
+      output_char oc '\n');
+  Printf.printf "bench report (%s) written to %s\n" Obs.Bench.schema_version out
+
+let load_report path =
+  match Obs.Bench.of_string (In_channel.with_open_text path In_channel.input_all) with
+  | Ok r -> r
+  | Error e ->
+      Printf.eprintf "cannot read %s: %s\n" path e;
+      exit 2
+
+let diff args =
+  let threshold_pct = float_of_string (opt_value args "--threshold" ~default:"25") in
+  let positional = List.filter (fun a -> String.length a = 0 || a.[0] <> '-') args in
+  match positional with
+  | [ base_path; cur_path ] ->
+      let baseline = load_report base_path and current = load_report cur_path in
+      let comparisons = Obs.Bench.diff ~threshold_pct ~baseline ~current () in
+      Printf.printf "baseline %s (%s, %s)  vs  current %s (%s, %s)\n"
+        baseline.Obs.Bench.label baseline.Obs.Bench.git_rev baseline.Obs.Bench.scale
+        current.Obs.Bench.label current.Obs.Bench.git_rev current.Obs.Bench.scale;
+      if baseline.Obs.Bench.scale <> current.Obs.Bench.scale then
+        print_endline "warning: reports were recorded at different scales";
+      print_string (Obs.Bench.render_diff comparisons);
+      if Obs.Bench.regressed comparisons then begin
+        Printf.printf "FAIL: median regression beyond %.0f%% (or missing experiment)\n" threshold_pct;
+        exit 1
+      end
+      else print_endline "OK: no regression beyond threshold"
+  | _ ->
+      prerr_endline "usage: bench diff BASELINE CURRENT [--threshold PCT]";
+      exit 2
+
 let () =
-  run_experiment_tables ();
-  run_benchmarks ()
+  match Array.to_list Sys.argv with
+  | _ :: "record" :: rest -> record rest
+  | _ :: "diff" :: rest -> diff rest
+  | _ ->
+      run_experiment_tables ();
+      run_benchmarks ()

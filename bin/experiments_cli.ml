@@ -77,6 +77,7 @@ let run_cmd =
           (fun e ->
             Obs.Metrics.reset Obs.Metrics.default;
             Obs.Trace.clear ();
+            Obs.Events.clear ();
             let t0 = Sys.time () in
             let tables, span = Experiments.Registry.run_traced e ctx in
             print_string (Experiments.Registry.render_header e);

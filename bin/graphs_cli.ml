@@ -18,6 +18,24 @@ let load_instance path =
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
 
+(* --obs-out parity with experiments_cli and bench: one JSONL manifest
+   line (metrics snapshot + span tree) for the command that just ran. *)
+let obs_out_arg =
+  Arg.(value & opt (some string) None & info [ "obs-out" ] ~docv:"FILE"
+         ~doc:"Write a JSONL run manifest (span tree + metric snapshot) to $(docv).")
+
+let with_manifest ~command ~seed obs_out f =
+  let result, span = Obs.Span.time ~name:("cli." ^ command) f in
+  (match (result, obs_out) with
+  | Ok (), Some path ->
+      Out_channel.with_open_text path (fun oc ->
+          output_string oc
+            (Obs.Export.manifest_line ~experiment:("cli." ^ command) ~seed ~scale:"cli"
+               ~registry:Obs.Metrics.default ~span ());
+          output_char oc '\n')
+  | _ -> ());
+  result
+
 let out_arg =
   Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
          ~doc:"Output instance file.")
@@ -35,7 +53,8 @@ let gen_girg_cmd =
   let fixed =
     Arg.(value & flag & info [ "fixed-count" ] ~doc:"Exactly n vertices instead of Poisson(n).")
   in
-  let run n dim beta w_min alpha c fixed seed output =
+  let run n dim beta w_min alpha c fixed seed output obs_out =
+    with_manifest ~command:"gen.girg" ~seed obs_out @@ fun () ->
     let alpha =
       match alpha with
       | "inf" | "infinity" -> Ok Girg.Params.Infinite
@@ -67,7 +86,10 @@ let gen_girg_cmd =
       end
   in
   Cmd.v (Cmd.info "girg" ~doc)
-    Term.(term_result (const run $ n $ dim $ beta $ w_min $ alpha $ c $ fixed $ seed_arg $ out_arg))
+    Term.(
+      term_result
+        (const run $ n $ dim $ beta $ w_min $ alpha $ c $ fixed $ seed_arg $ out_arg
+       $ obs_out_arg))
 
 let gen_hrg_cmd =
   let doc = "Sample a hyperbolic random graph (stored as its equivalent 1-d GIRG)." in
@@ -77,7 +99,8 @@ let gen_hrg_cmd =
   in
   let radius_c = Arg.(value & opt float 0.0 & info [ "radius-c" ] ~doc:"Constant C in R = 2 ln n + C.") in
   let temperature = Arg.(value & opt float 0.0 & info [ "temperature" ] ~doc:"T in [0, 1).") in
-  let run n alpha_h radius_c temperature seed output =
+  let run n alpha_h radius_c temperature seed output obs_out =
+    with_manifest ~command:"gen.hrg" ~seed obs_out @@ fun () ->
     match Hyperbolic.Hrg.make ~alpha_h ~radius_c ~temperature ~n () with
     | exception Invalid_argument e -> Error (`Msg e)
     | p ->
@@ -111,7 +134,9 @@ let gen_hrg_cmd =
         Ok ()
   in
   Cmd.v (Cmd.info "hrg" ~doc)
-    Term.(term_result (const run $ n $ alpha_h $ radius_c $ temperature $ seed_arg $ out_arg))
+    Term.(
+      term_result
+        (const run $ n $ alpha_h $ radius_c $ temperature $ seed_arg $ out_arg $ obs_out_arg))
 
 let gen_cmd = Cmd.group (Cmd.info "gen" ~doc:"Sample and save random graph instances.") [ gen_girg_cmd; gen_hrg_cmd ]
 
@@ -137,7 +162,13 @@ let route_cmd =
     Arg.(value & opt protocol_conv Greedy_routing.Protocol.Greedy
            & info [ "protocol" ] ~docv:"P" ~doc:"greedy | phi-dfs | history | gravity-pressure.")
   in
-  let run path source target protocol =
+  let events_out =
+    Arg.(value & opt (some string) None & info [ "events-out" ] ~docv:"FILE"
+           ~doc:"Write the route's flight-recorder events (smallworld.events.v1 \
+                 JSONL) to $(docv) for offline hop-by-hop replay.")
+  in
+  let run path source target protocol obs_out events_out =
+    with_manifest ~command:"route" ~seed:0 obs_out @@ fun () ->
     match load_instance path with
     | Error e -> Error e
     | Ok inst ->
@@ -146,9 +177,17 @@ let route_cmd =
           Error (`Msg (Printf.sprintf "vertices must lie in [0, %d)" n))
         else begin
           let objective = Greedy_routing.Objective.girg_phi inst ~target in
+          if events_out <> None then Obs.Events.clear ();
           let outcome =
             Greedy_routing.Protocol.run protocol ~graph:inst.graph ~objective ~source ()
           in
+          Option.iter
+            (fun file ->
+              Out_channel.with_open_text file (fun oc ->
+                  Obs.Export.write_events oc (Obs.Events.events ()));
+              if not (Obs.Events.recording ()) then
+                print_endline "note: flight recorder is off (SMALLWORLD_OBS/_EVENTS); events file is empty")
+            events_out;
           Printf.printf "%s: %s\n"
             (Greedy_routing.Protocol.name protocol)
             (Greedy_routing.Outcome.to_string outcome);
@@ -166,7 +205,7 @@ let route_cmd =
         end
   in
   Cmd.v (Cmd.info "route" ~doc)
-    Term.(term_result (const run $ file_arg $ source $ target $ protocol))
+    Term.(term_result (const run $ file_arg $ source $ target $ protocol $ obs_out_arg $ events_out))
 
 let embed_cmd =
   let doc =
@@ -181,7 +220,8 @@ let embed_cmd =
     Arg.(value & opt int 0 & info [ "refinement-sweeps" ] ~docv:"K"
            ~doc:"Windowed likelihood refinement sweeps after the tree layout.")
   in
-  let run path out sweeps seed =
+  let run path out sweeps seed obs_out =
+    with_manifest ~command:"embed" ~seed obs_out @@ fun () ->
     match load_instance path with
     | Error e -> Error e
     | Ok inst ->
@@ -212,7 +252,7 @@ let embed_cmd =
         Ok ()
   in
   Cmd.v (Cmd.info "embed" ~doc)
-    Term.(term_result (const run $ file_arg $ out $ sweeps $ seed_arg))
+    Term.(term_result (const run $ file_arg $ out $ sweeps $ seed_arg $ obs_out_arg))
 
 let import_cmd =
   let doc =
@@ -224,7 +264,8 @@ let import_cmd =
     Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
            ~doc:"Output instance file.")
   in
-  let run path out seed =
+  let run path out seed obs_out =
+    with_manifest ~command:"import" ~seed obs_out @@ fun () ->
     match Sparse_graph.Io.load ~path with
     | Error e -> Error (`Msg (Printf.sprintf "cannot load %s: %s" path e))
     | Ok graph ->
@@ -248,11 +289,13 @@ let import_cmd =
           (Sparse_graph.Graph.m graph) out;
         Ok ()
   in
-  Cmd.v (Cmd.info "import" ~doc) Term.(term_result (const run $ file_arg $ out $ seed_arg))
+  Cmd.v (Cmd.info "import" ~doc)
+    Term.(term_result (const run $ file_arg $ out $ seed_arg $ obs_out_arg))
 
 let stats_cmd =
   let doc = "Print structural statistics of a saved instance." in
-  let run path =
+  let run path obs_out =
+    with_manifest ~command:"stats" ~seed:0 obs_out @@ fun () ->
     match load_instance path with
     | Error e -> Error e
     | Ok inst ->
@@ -278,7 +321,7 @@ let stats_cmd =
           (Sparse_graph.Gstats.global_clustering_sample g ~rng ~samples:500);
         Ok ()
   in
-  Cmd.v (Cmd.info "stats" ~doc) Term.(term_result (const run $ file_arg))
+  Cmd.v (Cmd.info "stats" ~doc) Term.(term_result (const run $ file_arg $ obs_out_arg))
 
 let main =
   let doc = "Generate, inspect and route on saved random-graph instances." in

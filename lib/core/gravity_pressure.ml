@@ -9,6 +9,8 @@ let c_visited = Obs.Metrics.counter "route.gravity.visited"
 let route ~graph ~objective ~source ?max_steps () =
   let open Objective in
   Obs.Metrics.incr c_routes;
+  let recording = Obs.Events.recording () in
+  let rid = if recording then Obs.Events.next_route_id () else 0 in
   let n = Sparse_graph.Graph.n graph in
   let max_steps = Option.value max_steps ~default:((50 * n) + 1000) in
   let phi = objective.score in
@@ -27,6 +29,13 @@ let route ~graph ~objective ~source ?max_steps () =
     end
   in
   record source;
+  if recording then
+    Obs.Events.emit
+      (Obs.Events.Route_hop { route = rid; hop = 0; vertex = source; objective = phi source });
+  let hop_event u =
+    if recording then
+      Obs.Events.emit (Obs.Events.Route_hop { route = rid; hop = !steps; vertex = u; objective = phi u })
+  in
   let best_neighbor v =
     let best = ref (-1) and best_score = ref neg_infinity in
     Sparse_graph.Graph.iter_neighbors graph v (fun u ->
@@ -59,7 +68,10 @@ let route ~graph ~objective ~source ?max_steps () =
     else if !steps >= max_steps then result := Some Outcome.Cutoff
     else begin
       (match !mode with
-      | Pressure stuck when phi v > stuck -> mode := Gravity
+      | Pressure stuck when phi v > stuck ->
+          mode := Gravity;
+          if recording then
+            Obs.Events.emit (Obs.Events.Phase_switch { route = rid; vertex = v; phase = "gravity" })
       | Pressure _ | Gravity -> ());
       match !mode with
       | Gravity ->
@@ -67,6 +79,7 @@ let route ~graph ~objective ~source ?max_steps () =
           if u >= 0 && s > phi v then begin
             incr steps;
             record u;
+            hop_event u;
             cur := u
           end
           else if u < 0 then result := Some Outcome.Dead_end (* isolated vertex *)
@@ -74,10 +87,13 @@ let route ~graph ~objective ~source ?max_steps () =
             (* Stuck: remember the local optimum and take a pressure hop. *)
             Obs.Metrics.incr c_stuck;
             mode := Pressure (phi v);
+            if recording then
+              Obs.Events.emit (Obs.Events.Phase_switch { route = rid; vertex = v; phase = "pressure" });
             let u = pressure_neighbor v in
             incr steps;
             Obs.Metrics.incr c_pressure_steps;
             record u;
+            hop_event u;
             cur := u
           end
       | Pressure _ ->
@@ -85,6 +101,7 @@ let route ~graph ~objective ~source ?max_steps () =
           incr steps;
           Obs.Metrics.incr c_pressure_steps;
           record u;
+          hop_event u;
           cur := u
     end
   done;

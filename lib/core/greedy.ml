@@ -8,8 +8,13 @@ let c_dead_ends = Obs.Metrics.counter "route.greedy.dead_ends"
 let route ~graph ~objective ~source ?max_steps () =
   let open Objective in
   Obs.Metrics.incr c_routes;
+  let recording = Obs.Events.recording () in
+  let rid = if recording then Obs.Events.next_route_id () else 0 in
   let max_steps = Option.value max_steps ~default:(Sparse_graph.Graph.n graph + 1) in
   let target = objective.target in
+  if recording then
+    Obs.Events.emit
+      (Obs.Events.Route_hop { route = rid; hop = 0; vertex = source; objective = objective.score source });
   let rec go v score_v steps walk =
     if v = target then
       { Outcome.status = Delivered; steps; visited = steps + 1; walk = List.rev walk }
@@ -26,9 +31,16 @@ let route ~graph ~objective ~source ?max_steps () =
             best := u;
             best_score := s
           end);
-      if !best >= 0 && !best_score > score_v then
+      if !best >= 0 && !best_score > score_v then begin
+        if recording then
+          Obs.Events.emit
+            (Obs.Events.Route_hop { route = rid; hop = steps + 1; vertex = !best; objective = !best_score });
         go !best !best_score (steps + 1) (!best :: walk)
-      else { Outcome.status = Dead_end; steps; visited = steps + 1; walk = List.rev walk }
+      end
+      else begin
+        if recording then Obs.Events.emit (Obs.Events.Dead_end { route = rid; vertex = v });
+        { Outcome.status = Dead_end; steps; visited = steps + 1; walk = List.rev walk }
+      end
     end
   in
   let outcome = go source (objective.score source) 0 [ source ] in

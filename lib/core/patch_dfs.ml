@@ -18,6 +18,8 @@ let c_visited = Obs.Metrics.counter "route.patch_dfs.visited"
 let route ~graph ~objective ~source ?max_steps () =
   let open Objective in
   Obs.Metrics.incr c_routes;
+  let recording = Obs.Events.recording () in
+  let rid = if recording then Obs.Events.next_route_id () else 0 in
   let n = Sparse_graph.Graph.n graph in
   let max_steps = Option.value max_steps ~default:((200 * n) + 10_000) in
   let phi = objective.score in
@@ -42,12 +44,17 @@ let route ~graph ~objective ~source ?max_steps () =
     end
   in
   record source;
+  if recording then
+    Obs.Events.emit
+      (Obs.Events.Route_hop { route = rid; hop = 0; vertex = source; objective = phi source });
   let move v =
     if v <> !cur then begin
       incr steps;
       m_last := !cur;
       cur := v;
-      record v
+      record v;
+      if recording then
+        Obs.Events.emit (Obs.Events.Route_hop { route = rid; hop = !steps; vertex = v; objective = phi v })
     end
   in
   (* Best neighbour of [v] overall (ties towards smaller id). *)
@@ -99,6 +106,8 @@ let route ~graph ~objective ~source ?max_steps () =
               best_seen := pv;
               if exists_geq v pv then begin
                 Obs.Metrics.incr c_patches;
+                if recording then
+                  Obs.Events.emit (Obs.Events.Patch_enter { route = rid; vertex = v; phi = pv });
                 v_started.(v) <- true;
                 v_prev_phi.(v) <- !m_phi;
                 m_phi := pv
@@ -126,6 +135,9 @@ let route ~graph ~objective ~source ?max_steps () =
                    and regions hanging below high-objective neighbours are
                    reachable only by descending through them once more. *)
                 v_started.(v) <- false;
+                if recording then
+                  Obs.Events.emit
+                    (Obs.Events.Patch_exit { route = rid; vertex = v; phi = v_prev_phi.(v) });
                 m_phi := v_prev_phi.(v);
                 v_phi.(v) <- v_prev_phi.(v);
                 match best_neighbor v with

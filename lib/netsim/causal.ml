@@ -1,0 +1,101 @@
+(* Causal-tree reconstruction from the flight recorder.
+
+   Sim stamps every envelope with (trace, msg, parent) lineage and emits
+   Msg_send / Msg_recv events; this module folds those events back into
+   the message tree of one simulation, entirely offline — the protocol
+   handlers never see any of it.  For the token-passing routing
+   protocols (one send per delivery) the tree degenerates to a chain
+   whose preorder of delivered destinations is exactly the route walk,
+   which is what the equivalence test against the sequential
+   [Outcome.walk] checks. *)
+
+type node = {
+  msg_id : int;
+  parent_id : int;  (* -1 for injected roots *)
+  src : int;
+  dst : int;
+  kind : string;
+  sent_seq : int;
+  sent_time : float;  (* simulation time of the send *)
+  recv_seq : int option;  (* None when never delivered *)
+  recv_time : float option;
+  children : node list;  (* in send order *)
+}
+
+let trace_ids events =
+  List.sort_uniq compare
+    (List.filter_map
+       (fun (e : Obs.Events.event) ->
+         match e.payload with
+         | Obs.Events.Msg_send { trace; _ } | Obs.Events.Msg_recv { trace; _ } -> Some trace
+         | _ -> None)
+       events)
+
+let of_trace ~trace_id events =
+  (* First pass: one mutable slot per Msg_send, keyed by msg id; a recv
+     without a send means the send was overwritten in the ring — drop it
+     (the tree is reconstructed from whatever survived). *)
+  let tbl = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun (e : Obs.Events.event) ->
+      match e.payload with
+      | Obs.Events.Msg_send { trace; msg; parent; src; dst; kind; sim_time } when trace = trace_id ->
+          if not (Hashtbl.mem tbl msg) then begin
+            Hashtbl.add tbl msg
+              {
+                msg_id = msg;
+                parent_id = parent;
+                src;
+                dst;
+                kind;
+                sent_seq = e.seq;
+                sent_time = sim_time;
+                recv_seq = None;
+                recv_time = None;
+                children = [];
+              };
+            order := msg :: !order
+          end
+      | Obs.Events.Msg_recv { trace; msg; sim_time; _ } when trace = trace_id -> (
+          match Hashtbl.find_opt tbl msg with
+          | Some n -> Hashtbl.replace tbl msg { n with recv_seq = Some e.seq; recv_time = Some sim_time }
+          | None -> ())
+      | _ -> ())
+    events;
+  (* Second pass, children before parents (descending send order), so
+     each node is finalised when its parent absorbs it. *)
+  let roots = ref [] in
+  List.iter
+    (fun msg ->
+      let n = Hashtbl.find tbl msg in
+      match Hashtbl.find_opt tbl n.parent_id with
+      | Some p when n.parent_id >= 0 -> Hashtbl.replace tbl n.parent_id { p with children = n :: p.children }
+      | Some _ | None -> roots := n :: !roots)
+    !order;
+  List.sort (fun a b -> compare a.sent_seq b.sent_seq) !roots
+
+let rec fold f acc node = List.fold_left (fold f) (f acc node) node.children
+
+let size root = fold (fun acc _ -> acc + 1) 0 root
+
+let rec depth node = 1 + List.fold_left (fun acc c -> max acc (depth c)) 0 node.children
+
+let delivery_walk roots =
+  (* Preorder over delivered messages.  Token-passing gives a chain, so
+     this is the walk; on a genuine tree it is the causal order with
+     siblings in send order. *)
+  let rec go acc n =
+    let acc = match n.recv_seq with Some _ -> n.dst :: acc | None -> acc in
+    List.fold_left go acc n.children
+  in
+  List.rev (List.fold_left go [] roots)
+
+let is_chain roots =
+  match roots with
+  | [ root ] ->
+      let rec go n =
+        match n.children with [] -> true | [ c ] -> go c | _ :: _ :: _ -> false
+      in
+      go root
+  | _ -> false

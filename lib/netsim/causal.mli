@@ -1,0 +1,47 @@
+(** Offline causal-tree reconstruction of a simulation run from the
+    flight recorder's [Msg_send]/[Msg_recv] events.
+
+    {!Sim} stamps every envelope with [(trace_id, msg_id, parent_id)]
+    lineage; replaying the event log rebuilds who-caused-what without
+    any cooperation from the protocol handlers.  For the token-passing
+    routing protocols (greedy, Φ-DFS) the tree is a chain and
+    {!delivery_walk} reproduces the route's [Outcome.walk] exactly —
+    the equivalence is test-enforced. *)
+
+type node = {
+  msg_id : int;
+  parent_id : int;  (** [-1] for injected roots *)
+  src : int;
+  dst : int;
+  kind : string;  (** the simulation's [msg_label] *)
+  sent_seq : int;  (** flight-recorder sequence number of the send *)
+  sent_time : float;  (** simulation time of the send *)
+  recv_seq : int option;  (** [None] when the delivery never happened
+                              (truncated run) or was overwritten *)
+  recv_time : float option;
+  children : node list;  (** messages sent by this message's handler,
+                             in send order *)
+}
+
+val trace_ids : Obs.Events.event list -> int list
+(** Distinct simulation traces present in an event log, ascending. *)
+
+val of_trace : trace_id:int -> Obs.Events.event list -> node list
+(** Reconstruct the message forest of one trace (roots in send order —
+    one root per {!Sim.inject}).  Sends whose event was overwritten in
+    the ring are absent; their subtrees surface as extra roots. *)
+
+val delivery_walk : node list -> int list
+(** Destination vertices of delivered messages in causal preorder.  For
+    a token-passing protocol this is the route walk, including the
+    source (the injected root delivers to it). *)
+
+val is_chain : node list -> bool
+(** True iff the forest is a single root with at most one child per
+    node — the shape token-passing protocols must produce. *)
+
+val fold : ('a -> node -> 'a) -> 'a -> node -> 'a
+(** Preorder fold over a tree. *)
+
+val size : node -> int
+val depth : node -> int

@@ -117,7 +117,11 @@ let run ~inst ~source ~target ?latency ?(max_deliveries = 10_000_000) () =
     | Explore f -> explore ~came_from:src f
     | Backtrack f -> backtrack ~came_from:src f
   in
-  let sim = Sim.create ~n ?latency ~handler () in
+  let sim =
+    Sim.create ~n ?latency
+      ~msg_label:(function Explore _ -> "explore" | Backtrack _ -> "backtrack")
+      ~handler ()
+  in
   (* ROUTING initialisation (line 5 of the pseudocode). *)
   let target_addr = views.(target).Local_view.self in
   v_phi.(source) <- Local_view.phi views.(source) views.(source).Local_view.self ~target:target_addr;

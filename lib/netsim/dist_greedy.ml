@@ -24,7 +24,7 @@ let run ~inst ~source ~target ?latency () =
           api.Sim.halt ()
     end
   in
-  let sim = Sim.create ~n ?latency ~handler () in
+  let sim = Sim.create ~n ?latency ~msg_label:(fun _ -> "packet") ~handler () in
   Sim.inject sim ~dst:source { target = views.(target).Local_view.self };
   let stats = Sim.run sim in
   let walk = List.rev !walk in

@@ -5,13 +5,28 @@ type 'msg api = {
   halt : unit -> unit;
 }
 
-type 'msg envelope = { src : int; dst : int; sent : float; msg : 'msg }
+(* Every envelope carries its causal lineage: a per-simulation trace id,
+   a unique message id, and the id of the message whose handler sent it
+   (-1 for injected roots).  The lineage costs three ints per envelope
+   and is maintained unconditionally; only the event emission is gated
+   on the flight recorder. *)
+type 'msg envelope = {
+  src : int;
+  dst : int;
+  sent : float;
+  msg : 'msg;
+  msg_id : int;
+  parent_id : int;
+}
 
 type 'msg t = {
   n : int;
   latency : src:int -> dst:int -> float;
   handler : 'msg api -> src:int -> 'msg -> unit;
   queue : 'msg envelope Event_queue.t;
+  trace_id : int;
+  msg_label : 'msg -> string;
+  mutable next_msg_id : int;
   mutable sends : int;
   mutable halted : bool;
 }
@@ -24,16 +39,57 @@ let g_queue_hwm = Obs.Metrics.gauge "netsim.queue_depth_hwm"
 let h_msg_latency = Obs.Metrics.histogram "netsim.msg_latency"
 let h_run_deliveries = Obs.Metrics.histogram "netsim.run_deliveries"
 
-let create ~n ?(latency = fun ~src:_ ~dst:_ -> 1.0) ~handler () =
+let next_trace = ref 0
+
+let create ~n ?(latency = fun ~src:_ ~dst:_ -> 1.0) ?(msg_label = fun _ -> "msg") ~handler () =
   if n < 0 then invalid_arg "Sim.create: negative n";
-  { n; latency; handler; queue = Event_queue.create (); sends = 0; halted = false }
+  incr next_trace;
+  {
+    n;
+    latency;
+    handler;
+    queue = Event_queue.create ();
+    trace_id = !next_trace;
+    msg_label;
+    next_msg_id = 0;
+    sends = 0;
+    halted = false;
+  }
+
+let trace_id t = t.trace_id
+
+let fresh_msg_id t =
+  let id = t.next_msg_id in
+  t.next_msg_id <- id + 1;
+  id
 
 let check_node t v ctx =
   if v < 0 || v >= t.n then invalid_arg (ctx ^ ": node id out of range")
 
+let emit_msg_event t make (env : 'msg envelope) ~sim_time =
+  Obs.Events.emit
+    (make ~trace:t.trace_id ~msg:env.msg_id ~parent:env.parent_id ~src:env.src ~dst:env.dst
+       ~kind:(t.msg_label env.msg) ~sim_time)
+
+let send_event t env ~sim_time =
+  if Obs.Events.recording () then
+    emit_msg_event t
+      (fun ~trace ~msg ~parent ~src ~dst ~kind ~sim_time ->
+        Obs.Events.Msg_send { trace; msg; parent; src; dst; kind; sim_time })
+      env ~sim_time
+
+let recv_event t env ~sim_time =
+  if Obs.Events.recording () then
+    emit_msg_event t
+      (fun ~trace ~msg ~parent ~src ~dst ~kind ~sim_time ->
+        Obs.Events.Msg_recv { trace; msg; parent; src; dst; kind; sim_time })
+      env ~sim_time
+
 let inject t ?(time = 0.0) ~dst msg =
   check_node t dst "Sim.inject";
-  Event_queue.push t.queue ~time { src = dst; dst; sent = time; msg }
+  let env = { src = dst; dst; sent = time; msg; msg_id = fresh_msg_id t; parent_id = -1 } in
+  send_event t env ~sim_time:time;
+  Event_queue.push t.queue ~time env
 
 type stats = {
   deliveries : int;
@@ -55,6 +111,7 @@ let run ?(max_deliveries = 10_000_000) (t : 'msg t) =
         incr deliveries;
         Obs.Metrics.incr c_deliveries;
         Obs.Metrics.observe h_msg_latency (time -. env.sent);
+        recv_event t env ~sim_time:time;
         final_time := time;
         let api =
           {
@@ -65,9 +122,12 @@ let run ?(max_deliveries = 10_000_000) (t : 'msg t) =
                 check_node t dst "Sim.send";
                 t.sends <- t.sends + 1;
                 Obs.Metrics.incr c_sends;
-                Event_queue.push t.queue
-                  ~time:(time +. t.latency ~src:env.dst ~dst)
-                  { src = env.dst; dst; sent = time; msg });
+                let out =
+                  { src = env.dst; dst; sent = time; msg; msg_id = fresh_msg_id t;
+                    parent_id = env.msg_id }
+                in
+                send_event t out ~sim_time:time;
+                Event_queue.push t.queue ~time:(time +. t.latency ~src:env.dst ~dst) out);
             halt = (fun () -> t.halted <- true);
           }
         in

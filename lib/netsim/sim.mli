@@ -20,11 +20,20 @@ type 'msg t
 val create :
   n:int ->
   ?latency:(src:int -> dst:int -> float) ->
+  ?msg_label:('msg -> string) ->
   handler:('msg api -> src:int -> 'msg -> unit) ->
   unit ->
   'msg t
-(** [latency] defaults to a constant 1.0 per link.
+(** [latency] defaults to a constant 1.0 per link.  [msg_label] (default
+    [fun _ -> "msg"]) names message kinds in flight-recorder events.
     @raise Invalid_argument if [n < 0]. *)
+
+val trace_id : 'msg t -> int
+(** The causal-trace id of this simulation instance.  Every message
+    carries [(trace_id, msg_id, parent_id)] lineage; when the flight
+    recorder is on, sends and deliveries appear as
+    {!Obs.Events.Msg_send} / {!Obs.Events.Msg_recv} events carrying it,
+    from which {!Causal} rebuilds the message tree. *)
 
 val inject : 'msg t -> ?time:float -> dst:int -> 'msg -> unit
 (** Enqueue an initial message, delivered at [time] (default 0.0) with

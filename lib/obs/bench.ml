@@ -1,0 +1,193 @@
+(* Continuous-benchmarking records: the smallworld.bench.v1 schema and
+   its noise-aware comparator.  A report is one flat JSON object per
+   bench run (per-experiment median/min wall time, allocated bytes and
+   counter snapshots, stamped with the git revision), written as
+   BENCH_<label>.json; `bench diff BASELINE CURRENT` reads two of them
+   back and fails only on a median regression that clears both a
+   relative threshold and an absolute noise floor. *)
+
+type entry = {
+  id : string;
+  runs : int;
+  median_s : float;
+  min_s : float;
+  alloc_bytes : float;
+  counters : (string * int) list;
+}
+
+type report = {
+  label : string;
+  git_rev : string;
+  scale : string;
+  seed : int;
+  entries : entry list;
+}
+
+let schema_version = "smallworld.bench.v1"
+
+let median values =
+  match List.sort compare values with
+  | [] -> nan
+  | sorted ->
+      let n = List.length sorted in
+      if n mod 2 = 1 then List.nth sorted (n / 2)
+      else (List.nth sorted ((n / 2) - 1) +. List.nth sorted (n / 2)) /. 2.0
+
+let make_entry ~id ~wall_s ~alloc_bytes ~counters =
+  if wall_s = [] then invalid_arg "Obs.Bench.make_entry: no samples";
+  {
+    id;
+    runs = List.length wall_s;
+    median_s = median wall_s;
+    min_s = List.fold_left Float.min infinity wall_s;
+    alloc_bytes;
+    counters;
+  }
+
+let counters_of_registry registry =
+  List.filter_map
+    (fun (name, v) -> match v with Metrics.Counter_v c -> Some (name, c) | _ -> None)
+    (Metrics.snapshot registry)
+
+(* ------------------------------------------------------------------ *)
+(* Serialisation *)
+
+let entry_to_json e =
+  Export.Obj
+    [
+      ("id", Export.Str e.id);
+      ("runs", Export.Int e.runs);
+      ("median_s", Export.Float e.median_s);
+      ("min_s", Export.Float e.min_s);
+      ("alloc_bytes", Export.Float e.alloc_bytes);
+      ("counters", Export.Obj (List.map (fun (k, v) -> (k, Export.Int v)) e.counters));
+    ]
+
+let to_json r =
+  Export.Obj
+    [
+      ("schema", Export.Str schema_version);
+      ("label", Export.Str r.label);
+      ("git_rev", Export.Str r.git_rev);
+      ("scale", Export.Str r.scale);
+      ("seed", Export.Int r.seed);
+      ("experiments", Export.Arr (List.map entry_to_json r.entries));
+    ]
+
+let to_string r = Export.json_to_string (to_json r)
+
+let ( let* ) r f = Result.bind r f
+
+let field name j =
+  match Export.member name j with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let as_str = function Export.Str s -> Ok s | _ -> Error "expected a string"
+let as_int = function Export.Int i -> Ok i | _ -> Error "expected an integer"
+
+let as_float = function
+  | Export.Float f -> Ok f
+  | Export.Int i -> Ok (float_of_int i)
+  | Export.Null -> Ok nan
+  | _ -> Error "expected a number"
+
+let rec collect f = function
+  | [] -> Ok []
+  | x :: rest ->
+      let* y = f x in
+      let* ys = collect f rest in
+      Ok (y :: ys)
+
+let entry_of_json j =
+  let* id = Result.bind (field "id" j) as_str in
+  let* runs = Result.bind (field "runs" j) as_int in
+  let* median_s = Result.bind (field "median_s" j) as_float in
+  let* min_s = Result.bind (field "min_s" j) as_float in
+  let* alloc_bytes = Result.bind (field "alloc_bytes" j) as_float in
+  let* counters =
+    match field "counters" j with
+    | Ok (Export.Obj fields) ->
+        collect (fun (k, v) -> Result.map (fun i -> (k, i)) (as_int v)) fields
+    | Ok _ -> Error "counters: expected an object"
+    | Error _ -> Ok []
+  in
+  Ok { id; runs; median_s; min_s; alloc_bytes; counters }
+
+let of_json j =
+  let* schema = Result.bind (field "schema" j) as_str in
+  if schema <> schema_version then Error (Printf.sprintf "unsupported schema %S" schema)
+  else
+    let* label = Result.bind (field "label" j) as_str in
+    let* git_rev = Result.bind (field "git_rev" j) as_str in
+    let* scale = Result.bind (field "scale" j) as_str in
+    let* seed = Result.bind (field "seed" j) as_int in
+    let* entries =
+      match field "experiments" j with
+      | Ok (Export.Arr items) -> collect entry_of_json items
+      | Ok _ -> Error "experiments: expected an array"
+      | Error e -> Error e
+    in
+    Ok { label; git_rev; scale; seed; entries }
+
+let of_string s = Result.bind (Export.json_of_string s) of_json
+
+(* ------------------------------------------------------------------ *)
+(* Comparison *)
+
+type verdict = Ok_within_noise | Regressed | Improved | Missing
+
+type comparison = {
+  c_id : string;
+  base_median_s : float;
+  cur_median_s : float;  (** [nan] when missing from the current report *)
+  ratio : float;
+  verdict : verdict;
+}
+
+let default_threshold_pct = 25.0
+
+(* Timings below the floor are dominated by scheduler/GC noise at any
+   threshold; ignore them rather than flapping CI. *)
+let default_min_delta_s = 0.005
+
+let diff ?(threshold_pct = default_threshold_pct) ?(min_delta_s = default_min_delta_s)
+    ~baseline ~current () =
+  List.map
+    (fun (b : entry) ->
+      match List.find_opt (fun (c : entry) -> c.id = b.id) current.entries with
+      | None ->
+          { c_id = b.id; base_median_s = b.median_s; cur_median_s = nan; ratio = nan; verdict = Missing }
+      | Some c ->
+          let ratio = if b.median_s > 0.0 then c.median_s /. b.median_s else nan in
+          let delta = c.median_s -. b.median_s in
+          let verdict =
+            if delta > min_delta_s && ratio > 1.0 +. (threshold_pct /. 100.0) then Regressed
+            else if -.delta > min_delta_s && ratio < 1.0 -. (threshold_pct /. 100.0) then Improved
+            else Ok_within_noise
+          in
+          { c_id = b.id; base_median_s = b.median_s; cur_median_s = c.median_s; ratio; verdict })
+    baseline.entries
+
+let regressed comparisons =
+  List.exists (fun c -> c.verdict = Regressed || c.verdict = Missing) comparisons
+
+let verdict_to_string = function
+  | Ok_within_noise -> "ok"
+  | Regressed -> "REGRESSED"
+  | Improved -> "improved"
+  | Missing -> "MISSING"
+
+let render_diff comparisons =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "  %-6s %12s %12s %8s  %s\n" "exp" "base median" "cur median" "ratio" "verdict");
+  List.iter
+    (fun c ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-6s %11.3fs %11.3fs %8s  %s\n" c.c_id c.base_median_s
+           c.cur_median_s
+           (if Float.is_nan c.ratio then "-" else Printf.sprintf "%.2fx" c.ratio)
+           (verdict_to_string c.verdict)))
+    comparisons;
+  Buffer.contents buf

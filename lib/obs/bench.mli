@@ -1,0 +1,81 @@
+(** Continuous-benchmarking records: the [smallworld.bench.v1] schema
+    ([BENCH_<label>.json]) and its noise-aware comparator.
+
+    A {!report} captures one `bench record` run — per-experiment median
+    and minimum wall time over k repetitions, allocated bytes, counter
+    snapshots — stamped with {!Export.git_rev} so a committed baseline
+    pins the revision it measured.  {!diff} compares two reports and
+    flags only regressions that clear both a relative threshold and an
+    absolute noise floor, so CI can gate on wall time without flapping. *)
+
+type entry = {
+  id : string;  (** experiment id, e.g. ["E1"] *)
+  runs : int;
+  median_s : float;
+  min_s : float;
+  alloc_bytes : float;  (** major+minor allocation of the last run *)
+  counters : (string * int) list;  (** counter snapshot of the last run *)
+}
+
+type report = {
+  label : string;
+  git_rev : string;
+  scale : string;
+  seed : int;
+  entries : entry list;
+}
+
+val schema_version : string
+(** Currently ["smallworld.bench.v1"]. *)
+
+val median : float list -> float
+(** [nan] on an empty list; mean of the middle pair on even lengths. *)
+
+val make_entry :
+  id:string -> wall_s:float list -> alloc_bytes:float -> counters:(string * int) list -> entry
+(** @raise Invalid_argument when [wall_s] is empty. *)
+
+val counters_of_registry : Metrics.registry -> (string * int) list
+(** Counter-kind metrics only, sorted by name. *)
+
+val to_json : report -> Export.json
+val to_string : report -> string
+
+val of_json : Export.json -> (report, string) result
+val of_string : string -> (report, string) result
+
+(** {1 Comparison} *)
+
+type verdict = Ok_within_noise | Regressed | Improved | Missing
+
+type comparison = {
+  c_id : string;
+  base_median_s : float;
+  cur_median_s : float;  (** [nan] when the experiment is {!Missing} *)
+  ratio : float;
+  verdict : verdict;
+}
+
+val default_threshold_pct : float
+(** 25%. *)
+
+val default_min_delta_s : float
+(** 5ms: median deltas below this are noise regardless of ratio. *)
+
+val diff :
+  ?threshold_pct:float ->
+  ?min_delta_s:float ->
+  baseline:report ->
+  current:report ->
+  unit ->
+  comparison list
+(** One comparison per baseline entry.  [Regressed]/[Improved] require
+    the median delta to exceed [min_delta_s] {e and} the ratio to leave
+    the [1 ± threshold_pct/100] band; experiments absent from [current]
+    come back [Missing]. *)
+
+val regressed : comparison list -> bool
+(** True if any comparison is [Regressed] or [Missing] — the CI gate. *)
+
+val verdict_to_string : verdict -> string
+val render_diff : comparison list -> string

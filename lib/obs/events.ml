@@ -1,0 +1,112 @@
+(* Flight recorder: a bounded ring buffer of typed, timestamped events.
+
+   Metrics (metrics.ml) answer "how much happened"; this module answers
+   "what happened, in what order".  Every event carries a monotone
+   sequence number and a wall-clock timestamp; the buffer keeps the most
+   recent [capacity ()] events and silently overwrites older ones, so a
+   crashed or truncated route can always be replayed from its tail
+   without unbounded memory.
+
+   Cost model mirrors metrics.ml: with SMALLWORLD_OBS=0 the recorder is
+   permanently dead ([recording ()] is false and [emit] returns
+   immediately), so instrumented hot paths pay one load-and-branch.
+   When observability is on, recording can additionally be switched off
+   at runtime (SMALLWORLD_OBS_EVENTS=0 or [set_recording false]) while
+   metrics stay live.  Instrumentation sites are expected to guard both
+   the payload allocation and any extra computation behind
+   [recording ()]. *)
+
+type payload =
+  | Route_hop of { route : int; hop : int; vertex : int; objective : float }
+  | Dead_end of { route : int; vertex : int }
+  | Patch_enter of { route : int; vertex : int; phi : float }
+  | Patch_exit of { route : int; vertex : int; phi : float }
+  | Phase_switch of { route : int; vertex : int; phase : string }
+  | Msg_send of {
+      trace : int;
+      msg : int;
+      parent : int;
+      src : int;
+      dst : int;
+      kind : string;
+      sim_time : float;
+    }
+  | Msg_recv of {
+      trace : int;
+      msg : int;
+      parent : int;
+      src : int;
+      dst : int;
+      kind : string;
+      sim_time : float;
+    }
+
+type event = { seq : int; time : float; payload : payload }
+
+let enabled = Metrics.enabled
+
+let initial_capacity =
+  if not enabled then 0
+  else
+    match Option.bind (Sys.getenv_opt "SMALLWORLD_OBS_EVENTS_CAP") int_of_string_opt with
+    | Some n when n > 0 -> n
+    | Some _ | None -> 65_536
+
+let armed =
+  ref
+    (enabled
+    &&
+    match Sys.getenv_opt "SMALLWORLD_OBS_EVENTS" with
+    | Some ("0" | "false" | "off" | "no") -> false
+    | Some _ | None -> true)
+
+let dummy = { seq = -1; time = 0.0; payload = Dead_end { route = -1; vertex = -1 } }
+let buf = ref (Array.make (max 1 initial_capacity) dummy)
+let cap = ref (max 1 initial_capacity)
+
+(* Events emitted since the last [clear]; the buffer holds the last
+   [cap] of them and [seq] counts from 0 at the clear point. *)
+let total = ref 0
+
+let recording () = !armed
+let set_recording b = if enabled then armed := b
+let capacity () = !cap
+
+let set_capacity n =
+  if n <= 0 then invalid_arg "Obs.Events.set_capacity: capacity must be positive";
+  buf := Array.make n dummy;
+  cap := n;
+  total := 0
+
+let clear () = total := 0
+
+let emit payload =
+  if !armed then begin
+    let seq = !total in
+    !buf.(seq mod !cap) <- { seq; time = Unix.gettimeofday (); payload };
+    total := seq + 1
+  end
+
+let emitted () = !total
+let dropped () = max 0 (!total - !cap)
+
+let events () =
+  let n = !total and c = !cap in
+  let kept = min n c in
+  let first = n - kept in
+  List.init kept (fun i -> !buf.((first + i) mod c))
+
+let route_ctr = ref 0
+
+let next_route_id () =
+  incr route_ctr;
+  !route_ctr
+
+let payload_kind = function
+  | Route_hop _ -> "route_hop"
+  | Dead_end _ -> "dead_end"
+  | Patch_enter _ -> "patch_enter"
+  | Patch_exit _ -> "patch_exit"
+  | Phase_switch _ -> "phase_switch"
+  | Msg_send _ -> "msg_send"
+  | Msg_recv _ -> "msg_recv"

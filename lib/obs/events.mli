@@ -1,0 +1,92 @@
+(** Flight recorder: a bounded ring buffer of typed, timestamped events.
+
+    Where {!Metrics} aggregates ("how much"), the recorder keeps the
+    ordered tail of what actually happened — per-hop routing progress,
+    patch entries/exits, phase switches, and message send/receive
+    lineage from the network simulator — so a failed or truncated route
+    can be replayed offline (see the [smallworld.events.v1] exporter in
+    {!Export}).
+
+    The buffer holds the most recent {!capacity} events; older ones are
+    overwritten ({!dropped} counts the overwritten prefix).  Sequence
+    numbers are monotone from the last {!clear}.
+
+    Cost: with [SMALLWORLD_OBS=0] the recorder is permanently off and
+    {!emit} is a single load-and-branch.  When observability is on,
+    event capture alone can be disabled with [SMALLWORLD_OBS_EVENTS=0]
+    or {!set_recording}; the initial buffer size can be overridden with
+    [SMALLWORLD_OBS_EVENTS_CAP] (default 65536).  Instrumentation sites
+    must guard payload construction behind {!recording}. *)
+
+type payload =
+  | Route_hop of { route : int; hop : int; vertex : int; objective : float }
+      (** The message token arrived at [vertex] as hop [hop] (0 = the
+          source) of route [route], with the given objective value. *)
+  | Dead_end of { route : int; vertex : int }
+      (** Pure greedy found no improving neighbour and dropped. *)
+  | Patch_enter of { route : int; vertex : int; phi : float }
+      (** Φ-DFS started a new inner DFS (SET_NEW_PHI) at [vertex]. *)
+  | Patch_exit of { route : int; vertex : int; phi : float }
+      (** The inner DFS failed; Φ restored to [phi] (RESET_TO_OLD_PHI). *)
+  | Phase_switch of { route : int; vertex : int; phase : string }
+      (** Gravity–pressure switched mode ([phase] is ["gravity"] or
+          ["pressure"]). *)
+  | Msg_send of {
+      trace : int;  (** simulation instance *)
+      msg : int;  (** unique message id within the trace *)
+      parent : int;  (** the message being handled when this send
+                         happened; [-1] for injected roots *)
+      src : int;
+      dst : int;
+      kind : string;
+      sim_time : float;
+    }
+  | Msg_recv of {
+      trace : int;
+      msg : int;
+      parent : int;
+      src : int;
+      dst : int;
+      kind : string;
+      sim_time : float;
+    }
+
+type event = { seq : int; time : float; payload : payload }
+
+val enabled : bool
+(** Same kill switch as {!Metrics.enabled}. *)
+
+val recording : unit -> bool
+(** True iff events are currently being captured.  Guard event payload
+    construction (and any computation feeding it) behind this. *)
+
+val set_recording : bool -> unit
+(** Arm or pause capture at runtime.  Ignored when {!enabled} is false. *)
+
+val emit : payload -> unit
+(** Append an event (stamping sequence number and wall time); no-op
+    when not {!recording}. *)
+
+val events : unit -> event list
+(** The buffered events, oldest first.  At most {!capacity} entries. *)
+
+val emitted : unit -> int
+(** Events emitted since the last {!clear} (including overwritten ones). *)
+
+val dropped : unit -> int
+(** Events lost to ring overwrite since the last {!clear}. *)
+
+val capacity : unit -> int
+
+val set_capacity : int -> unit
+(** Resize the ring (clears it).  @raise Invalid_argument if [n <= 0]. *)
+
+val clear : unit -> unit
+(** Drop all buffered events and restart sequence numbers at 0. *)
+
+val next_route_id : unit -> int
+(** Fresh route id for correlating the events of one routing call;
+    callers gate this behind {!recording}. *)
+
+val payload_kind : payload -> string
+(** Stable snake_case tag, as used by the JSONL exporter. *)

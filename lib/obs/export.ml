@@ -31,7 +31,13 @@ let rec add_json buf = function
   | Bool b -> Buffer.add_string buf (if b then "true" else "false")
   | Int i -> Buffer.add_string buf (string_of_int i)
   | Float f ->
-      if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.9g" f)
+      (* Shortest of %.9g/%.17g that parses back to the same double, so
+         values (event timestamps in particular) round-trip exactly. *)
+      if Float.is_finite f then begin
+        let s = Printf.sprintf "%.9g" f in
+        let s = if float_of_string s = f then s else Printf.sprintf "%.17g" f in
+        Buffer.add_string buf s
+      end
       else Buffer.add_string buf "null"
   | Str s ->
       Buffer.add_char buf '"';
@@ -62,6 +68,158 @@ let json_to_string j =
   add_json buf j;
   Buffer.contents buf
 
+(* Recursive-descent parser for the same JSON subset the emitter
+   produces (used by `bench diff` to read BENCH_*.json files back). *)
+let json_of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let error fmt = Printf.ksprintf (fun m -> failwith m) fmt in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      advance ()
+    done
+  in
+  let expect c =
+    if !pos >= n || s.[!pos] <> c then error "expected %c at offset %d" c !pos;
+    advance ()
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      v
+    end
+    else error "bad literal at offset %d" !pos
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then error "unterminated string"
+      else
+        match s.[!pos] with
+        | '"' -> advance ()
+        | '\\' ->
+            advance ();
+            (if !pos >= n then error "unterminated escape"
+             else
+               match s.[!pos] with
+               | '"' -> Buffer.add_char buf '"'
+               | '\\' -> Buffer.add_char buf '\\'
+               | '/' -> Buffer.add_char buf '/'
+               | 'n' -> Buffer.add_char buf '\n'
+               | 'r' -> Buffer.add_char buf '\r'
+               | 't' -> Buffer.add_char buf '\t'
+               | 'b' -> Buffer.add_char buf '\b'
+               | 'f' -> Buffer.add_char buf '\012'
+               | 'u' ->
+                   if !pos + 4 >= n then error "truncated \\u escape";
+                   let code = int_of_string ("0x" ^ String.sub s (!pos + 1) 4) in
+                   pos := !pos + 4;
+                   (* The emitter only writes \u for control characters;
+                      anything outside one byte degrades to '?'. *)
+                   Buffer.add_char buf (if code < 0x100 then Char.chr code else '?')
+               | c -> error "bad escape \\%c" c);
+            advance ();
+            go ()
+        | c ->
+            Buffer.add_char buf c;
+            advance ();
+            go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && is_num_char s.[!pos] do
+      advance ()
+    done;
+    let tok = String.sub s start (!pos - start) in
+    if String.exists (function '.' | 'e' | 'E' -> true | _ -> false) tok then
+      match float_of_string_opt tok with
+      | Some f -> Float f
+      | None -> error "bad number %S" tok
+    else
+      match int_of_string_opt tok with
+      | Some i -> Int i
+      | None -> (
+          match float_of_string_opt tok with
+          | Some f -> Float f
+          | None -> error "bad number %S" tok)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> error "unexpected end of input"
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Arr []
+        end
+        else begin
+          let items = ref [ parse_value () ] in
+          skip_ws ();
+          while peek () = Some ',' do
+            advance ();
+            items := parse_value () :: !items;
+            skip_ws ()
+          done;
+          expect ']';
+          Arr (List.rev !items)
+        end
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let field () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            (k, parse_value ())
+          in
+          let fields = ref [ field () ] in
+          skip_ws ();
+          while peek () = Some ',' do
+            advance ();
+            fields := field () :: !fields;
+            skip_ws ()
+          done;
+          expect '}';
+          Obj (List.rev !fields)
+        end
+    | Some _ -> parse_number ()
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then error "trailing garbage at offset %d" !pos;
+    v
+  with
+  | v -> Ok v
+  | exception Failure m -> Error m
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
 let rec span_to_json (s : Span.t) =
   Obj
     [
@@ -88,7 +246,9 @@ let value_to_json = function
 
 let snapshot_to_json snap = Obj (List.map (fun (name, v) -> (name, value_to_json v)) snap)
 
-(* Best-effort revision: env override, then .git/HEAD relative to cwd. *)
+(* Best-effort revision: env override, then .git/HEAD relative to cwd.
+   Symbolic refs resolve through the loose ref file, falling back to
+   .git/packed-refs (after `git pack-refs` the loose file disappears). *)
 let git_rev () =
   match Sys.getenv_opt "SMALLWORLD_GIT_REV" with
   | Some rev -> rev
@@ -97,12 +257,34 @@ let git_rev () =
         try In_channel.with_open_text path (fun ic -> In_channel.input_line ic)
         with Sys_error _ -> None
       in
+      let packed_ref name =
+        let lines =
+          try In_channel.with_open_text ".git/packed-refs" In_channel.input_lines
+          with Sys_error _ -> []
+        in
+        List.find_map
+          (fun line ->
+            (* "<hash> <refname>"; '#' header and '^' peeled-tag lines skip. *)
+            match String.index_opt line ' ' with
+            | Some i
+              when String.length line > 0
+                   && line.[0] <> '#'
+                   && line.[0] <> '^'
+                   && String.sub line (i + 1) (String.length line - i - 1) = name ->
+                Some (String.sub line 0 i)
+            | Some _ | None -> None)
+          lines
+      in
       match read_line_of ".git/HEAD" with
       | None -> "unknown"
       | Some head -> (
           match
-            if String.length head > 5 && String.sub head 0 5 = "ref: " then
-              read_line_of (Filename.concat ".git" (String.sub head 5 (String.length head - 5)))
+            if String.length head > 5 && String.sub head 0 5 = "ref: " then begin
+              let name = String.trim (String.sub head 5 (String.length head - 5)) in
+              match read_line_of (Filename.concat ".git" name) with
+              | Some _ as rev -> rev
+              | None -> packed_ref name
+            end
             else Some head
           with
           | Some rev when String.trim rev <> "" -> String.trim rev
@@ -125,6 +307,49 @@ let manifest_line ?(extra = []) ~experiment ~seed ~scale ~registry ~span () =
           ("metrics", snapshot_to_json (Metrics.snapshot registry));
         ]
        @ extra))
+
+(* Flight-recorder export: one self-contained JSON object per event per
+   line (schema smallworld.events.v1), flat fields so downstream tools
+   can grep/jq a replay without schema knowledge. *)
+let events_schema_version = "smallworld.events.v1"
+
+let event_to_json (e : Events.event) =
+  let common = [ ("schema", Str events_schema_version); ("seq", Int e.seq); ("t", Float e.time) ] in
+  let typed = ("type", Str (Events.payload_kind e.payload)) in
+  let msg_fields ~trace ~msg ~parent ~src ~dst ~kind ~sim_time =
+    [
+      ("trace", Int trace);
+      ("msg", Int msg);
+      ("parent", if parent < 0 then Null else Int parent);
+      ("src", Int src);
+      ("dst", Int dst);
+      ("kind", Str kind);
+      ("sim_time", Float sim_time);
+    ]
+  in
+  let rest =
+    match e.payload with
+    | Events.Route_hop { route; hop; vertex; objective } ->
+        [ ("route", Int route); ("hop", Int hop); ("vertex", Int vertex); ("objective", Float objective) ]
+    | Events.Dead_end { route; vertex } -> [ ("route", Int route); ("vertex", Int vertex) ]
+    | Events.Patch_enter { route; vertex; phi } | Events.Patch_exit { route; vertex; phi } ->
+        [ ("route", Int route); ("vertex", Int vertex); ("phi", Float phi) ]
+    | Events.Phase_switch { route; vertex; phase } ->
+        [ ("route", Int route); ("vertex", Int vertex); ("phase", Str phase) ]
+    | Events.Msg_send { trace; msg; parent; src; dst; kind; sim_time }
+    | Events.Msg_recv { trace; msg; parent; src; dst; kind; sim_time } ->
+        msg_fields ~trace ~msg ~parent ~src ~dst ~kind ~sim_time
+  in
+  Obj ((common @ [ typed ]) @ rest)
+
+let event_line e = json_to_string (event_to_json e)
+
+let write_events oc events =
+  List.iter
+    (fun e ->
+      output_string oc (event_line e);
+      output_char oc '\n')
+    events
 
 (* Prometheus text format: dots and other separators become underscores,
    everything is prefixed with smallworld_.  Histograms are emitted with

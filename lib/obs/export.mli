@@ -13,6 +13,13 @@ type json =
 
 val json_to_string : json -> string
 
+val json_of_string : string -> (json, string) result
+(** Parse the JSON subset {!json_to_string} produces (no unicode beyond
+    one-byte [\u] escapes).  Used to read [BENCH_*.json] files back. *)
+
+val member : string -> json -> json option
+(** Field lookup on an [Obj]; [None] on anything else. *)
+
 val span_to_json : Span.t -> json
 val value_to_json : Metrics.value -> json
 val snapshot_to_json : (string * Metrics.value) list -> json
@@ -36,6 +43,18 @@ val manifest_line :
 (** One JSONL record (no trailing newline): schema version, experiment
     id, seed, scale, git revision, wall time, full span tree and a
     metrics snapshot.  [extra] fields are appended verbatim. *)
+
+val events_schema_version : string
+(** Currently ["smallworld.events.v1"]. *)
+
+val event_to_json : Events.event -> json
+(** Flat, self-contained object: [schema], [seq], [t] (wall time),
+    [type] (snake_case payload tag) and the payload's own fields. *)
+
+val event_line : Events.event -> string
+
+val write_events : out_channel -> Events.event list -> unit
+(** One {!event_line} per event, newline-terminated (valid JSONL). *)
 
 val prometheus : Metrics.registry -> string
 (** Prometheus text exposition of a registry snapshot: names are

@@ -31,6 +31,7 @@ let () =
       ("core.faulty", Test_faulty.suite);
       ("persistence.io", Test_io.suite);
       ("obs", Test_obs.suite);
+      ("obs.bench", Test_bench.suite);
       ("netsim", Test_netsim.suite);
       ("experiments.workload", Test_workload.suite);
       ("experiments.registry", Test_registry.suite);

@@ -178,6 +178,171 @@ let test_dist_greedy_latency_is_hop_sum () =
     (link_sum 0.0 outcome.Greedy_routing.Outcome.walk)
     stats.Netsim.Sim.final_time
 
+(* --- causal tracing ------------------------------------------------- *)
+
+(* Run [f] with the flight recorder armed and cleared; skip when the obs
+   layer is compiled out (SMALLWORLD_OBS=0). *)
+let with_recorder f =
+  if not Obs.Events.enabled then ()
+  else begin
+    let was = Obs.Events.recording () in
+    Obs.Events.set_recording true;
+    Obs.Events.clear ();
+    Fun.protect ~finally:(fun () -> Obs.Events.set_recording was) f
+  end
+
+let sole_trace events =
+  match Netsim.Causal.trace_ids events with
+  | [ tid ] -> tid
+  | ids -> Alcotest.failf "expected one trace, got %d" (List.length ids)
+
+let test_causal_ping_pong_chain () =
+  with_recorder (fun () ->
+      let handler (api : int Netsim.Sim.api) ~src:_ k =
+        if k >= 5 then api.Netsim.Sim.halt ()
+        else api.Netsim.Sim.send ~dst:(1 - api.Netsim.Sim.self) (k + 1)
+      in
+      let sim = Netsim.Sim.create ~n:2 ~msg_label:(fun _ -> "ping") ~handler () in
+      Netsim.Sim.inject sim ~dst:0 0;
+      ignore (Netsim.Sim.run sim);
+      let events = Obs.Events.events () in
+      let tid = sole_trace events in
+      Alcotest.(check int) "sim trace id" (Netsim.Sim.trace_id sim) tid;
+      let forest = Netsim.Causal.of_trace ~trace_id:tid events in
+      Alcotest.(check bool) "token passing is a chain" true (Netsim.Causal.is_chain forest);
+      Alcotest.(check (list int)) "delivery walk" [ 0; 1; 0; 1; 0; 1 ]
+        (Netsim.Causal.delivery_walk forest);
+      match forest with
+      | [ root ] ->
+          Alcotest.(check int) "root is injected" (-1) root.Netsim.Causal.parent_id;
+          Alcotest.(check string) "kind from msg_label" "ping" root.Netsim.Causal.kind;
+          Alcotest.(check int) "size counts all messages" 6 (Netsim.Causal.size root);
+          Alcotest.(check int) "chain depth" 6 (Netsim.Causal.depth root)
+      | _ -> Alcotest.fail "expected a single root")
+
+let test_causal_fanout_tree () =
+  with_recorder (fun () ->
+      (* Node 0 fans out to 1..3; each leaf acks back.  The tree has one
+         root with three children, each with one child. *)
+      let handler (api : string Netsim.Sim.api) ~src:_ = function
+        | "start" ->
+            for dst = 1 to 3 do
+              api.Netsim.Sim.send ~dst "work"
+            done
+        | "work" -> api.Netsim.Sim.send ~dst:0 "ack"
+        | _ -> ()
+      in
+      let sim = Netsim.Sim.create ~n:4 ~msg_label:Fun.id ~handler () in
+      Netsim.Sim.inject sim ~dst:0 "start";
+      ignore (Netsim.Sim.run sim);
+      let forest = Netsim.Causal.of_trace ~trace_id:(Netsim.Sim.trace_id sim) (Obs.Events.events ()) in
+      Alcotest.(check bool) "fan-out is not a chain" false (Netsim.Causal.is_chain forest);
+      match forest with
+      | [ root ] ->
+          Alcotest.(check int) "three children" 3 (List.length root.Netsim.Causal.children);
+          Alcotest.(check int) "seven messages" 7 (Netsim.Causal.size root);
+          Alcotest.(check int) "depth start->work->ack" 3 (Netsim.Causal.depth root);
+          List.iter
+            (fun (c : Netsim.Causal.node) ->
+              Alcotest.(check string) "middle layer" "work" c.Netsim.Causal.kind;
+              Alcotest.(check int) "parent is root" root.Netsim.Causal.msg_id
+                c.Netsim.Causal.parent_id;
+              Alcotest.(check bool) "delivered" true (c.Netsim.Causal.recv_seq <> None))
+            root.Netsim.Causal.children
+      | _ -> Alcotest.fail "expected a single root")
+
+let test_causal_undelivered_leaf () =
+  with_recorder (fun () ->
+      (* Every delivery sends one more message; capping deliveries leaves
+         the last send in flight: present in the tree, but never received. *)
+      let handler (api : unit Netsim.Sim.api) ~src:_ () = api.Netsim.Sim.send ~dst:0 () in
+      let sim = Netsim.Sim.create ~n:1 ~handler () in
+      Netsim.Sim.inject sim ~dst:0 ();
+      let stats = Netsim.Sim.run ~max_deliveries:4 sim in
+      Alcotest.(check bool) "truncated" true stats.Netsim.Sim.truncated;
+      let forest = Netsim.Causal.of_trace ~trace_id:(Netsim.Sim.trace_id sim) (Obs.Events.events ()) in
+      match forest with
+      | [ root ] ->
+          Alcotest.(check int) "5 sends recorded" 5 (Netsim.Causal.size root);
+          let undelivered =
+            Netsim.Causal.fold
+              (fun acc n -> if n.Netsim.Causal.recv_seq = None then acc + 1 else acc)
+              0 root
+          in
+          Alcotest.(check int) "exactly the in-flight one" 1 undelivered;
+          Alcotest.(check (list int)) "walk stops at the truncation" [ 0; 0; 0; 0 ]
+            (Netsim.Causal.delivery_walk forest)
+      | _ -> Alcotest.fail "expected a single root")
+
+let test_causal_traces_are_separated () =
+  with_recorder (fun () ->
+      (* Two interleaved-in-the-log simulations keep distinct trace ids. *)
+      let mk () =
+        let handler (api : int Netsim.Sim.api) ~src:_ k =
+          if k < 2 then api.Netsim.Sim.send ~dst:0 (k + 1)
+        in
+        Netsim.Sim.create ~n:1 ~handler ()
+      in
+      let a = mk () and b = mk () in
+      Netsim.Sim.inject a ~dst:0 0;
+      Netsim.Sim.inject b ~dst:0 0;
+      ignore (Netsim.Sim.run a);
+      ignore (Netsim.Sim.run b);
+      let events = Obs.Events.events () in
+      let ids = Netsim.Causal.trace_ids events in
+      Alcotest.(check (list int)) "both traces present"
+        (List.sort compare [ Netsim.Sim.trace_id a; Netsim.Sim.trace_id b ])
+        ids;
+      List.iter
+        (fun tid ->
+          let forest = Netsim.Causal.of_trace ~trace_id:tid events in
+          Alcotest.(check bool) "each trace is its own chain" true
+            (Netsim.Causal.is_chain forest);
+          Alcotest.(check (list int)) "three deliveries each" [ 0; 0; 0 ]
+            (Netsim.Causal.delivery_walk forest))
+        ids)
+
+let test_causal_greedy_walk_matches_sequential () =
+  with_recorder (fun () ->
+      let inst = Test_greedy.girg_instance ~seed:2115 ~n:2000 ~c:0.2 () in
+      let rng = Prng.Rng.create ~seed:8 in
+      for _ = 1 to 20 do
+        let s, t = Prng.Dist.sample_distinct_pair rng ~n:(Sparse_graph.Graph.n inst.graph) in
+        Obs.Events.clear ();
+        let distributed, _ = Netsim.Dist_greedy.run ~inst ~source:s ~target:t () in
+        let events = Obs.Events.events () in
+        let forest = Netsim.Causal.of_trace ~trace_id:(sole_trace events) events in
+        Alcotest.(check bool) "greedy trace is a chain" true (Netsim.Causal.is_chain forest);
+        (* The causal tree rebuilt from the log IS the sequential walk. *)
+        let objective = Greedy_routing.Objective.girg_phi inst ~target:t in
+        let central = Greedy_routing.Greedy.route ~graph:inst.graph ~objective ~source:s () in
+        Alcotest.(check (list int)) "causal walk = sequential walk"
+          central.Greedy_routing.Outcome.walk
+          (Netsim.Causal.delivery_walk forest);
+        Alcotest.(check (list int)) "causal walk = distributed walk"
+          distributed.Greedy_routing.Outcome.walk
+          (Netsim.Causal.delivery_walk forest)
+      done)
+
+let test_causal_dfs_walk_matches_sequential () =
+  with_recorder (fun () ->
+      (* Sparse enough that Φ-DFS actually backtracks. *)
+      let inst = Test_greedy.girg_instance ~seed:2116 ~n:2000 ~c:0.07 () in
+      let rng = Prng.Rng.create ~seed:9 in
+      for _ = 1 to 15 do
+        let s, t = Prng.Dist.sample_distinct_pair rng ~n:(Sparse_graph.Graph.n inst.graph) in
+        Obs.Events.clear ();
+        ignore (Netsim.Dist_dfs.run ~inst ~source:s ~target:t ());
+        let events = Obs.Events.events () in
+        let forest = Netsim.Causal.of_trace ~trace_id:(sole_trace events) events in
+        Alcotest.(check bool) "dfs trace is a chain" true (Netsim.Causal.is_chain forest);
+        let objective = Greedy_routing.Objective.girg_phi inst ~target:t in
+        let central = Greedy_routing.Patch_dfs.route ~graph:inst.graph ~objective ~source:s () in
+        Alcotest.(check (list int)) "causal walk = sequential Φ-DFS walk"
+          central.Greedy_routing.Outcome.walk
+          (Netsim.Causal.delivery_walk forest)
+      done)
+
 let suite =
   [
     Alcotest.test_case "event queue order" `Quick test_event_queue_order;
@@ -194,4 +359,12 @@ let suite =
     Alcotest.test_case "phi-dfs equivalence on random graphs" `Quick
       test_dist_dfs_equivalence_random_graphs;
     Alcotest.test_case "latency accumulates over hops" `Quick test_dist_greedy_latency_is_hop_sum;
+    Alcotest.test_case "causal: ping-pong chain" `Quick test_causal_ping_pong_chain;
+    Alcotest.test_case "causal: fan-out tree" `Quick test_causal_fanout_tree;
+    Alcotest.test_case "causal: undelivered leaf" `Quick test_causal_undelivered_leaf;
+    Alcotest.test_case "causal: traces separated" `Quick test_causal_traces_are_separated;
+    Alcotest.test_case "causal greedy walk = sequential" `Quick
+      test_causal_greedy_walk_matches_sequential;
+    Alcotest.test_case "causal Φ-DFS walk = sequential" `Quick
+      test_causal_dfs_walk_matches_sequential;
   ]

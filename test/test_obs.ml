@@ -193,6 +193,120 @@ let test_span_exception_safe () =
         | None -> Alcotest.fail "expected a span")
 
 (* ------------------------------------------------------------------ *)
+(* Flight recorder *)
+
+module E = Obs.Events
+
+(* The recorder is process-global; every test clears it first and
+   restores armed/capacity state on exit. *)
+let with_recorder f =
+  if not E.enabled then ()
+  else begin
+    let cap = E.capacity () in
+    Fun.protect
+      ~finally:(fun () ->
+        E.set_recording true;
+        E.set_capacity cap)
+      (fun () ->
+        E.set_recording true;
+        E.clear ();
+        f ())
+  end
+
+let hop ~route ~hop ~vertex = E.Route_hop { route; hop; vertex; objective = 1.0 }
+
+let test_events_seq_monotone () =
+  with_recorder (fun () ->
+      for i = 0 to 9 do
+        E.emit (hop ~route:1 ~hop:i ~vertex:i)
+      done;
+      let evs = E.events () in
+      Alcotest.(check int) "all kept" 10 (List.length evs);
+      Alcotest.(check (list int)) "seq 0..9" (List.init 10 Fun.id)
+        (List.map (fun (e : E.event) -> e.E.seq) evs);
+      Alcotest.(check int) "emitted" 10 (E.emitted ());
+      Alcotest.(check int) "nothing dropped" 0 (E.dropped ());
+      let times = List.map (fun (e : E.event) -> e.E.time) evs in
+      Alcotest.(check bool) "times non-decreasing" true
+        (List.for_all2 (fun a b -> a <= b) times (List.tl times @ [ infinity ])))
+
+let test_events_ring_overwrite () =
+  with_recorder (fun () ->
+      E.set_capacity 4;
+      for i = 0 to 9 do
+        E.emit (hop ~route:1 ~hop:i ~vertex:i)
+      done;
+      let evs = E.events () in
+      Alcotest.(check int) "bounded by capacity" 4 (List.length evs);
+      Alcotest.(check int) "dropped = overflow" 6 (E.dropped ());
+      (* The tail survives, oldest first. *)
+      Alcotest.(check (list int)) "last 4 seqs" [ 6; 7; 8; 9 ]
+        (List.map (fun (e : E.event) -> e.E.seq) evs);
+      E.clear ();
+      Alcotest.(check int) "clear empties" 0 (List.length (E.events ())))
+
+let test_events_pause () =
+  with_recorder (fun () ->
+      E.emit (hop ~route:1 ~hop:0 ~vertex:0);
+      E.set_recording false;
+      Alcotest.(check bool) "paused" false (E.recording ());
+      E.emit (hop ~route:1 ~hop:1 ~vertex:1);
+      E.set_recording true;
+      E.emit (hop ~route:1 ~hop:2 ~vertex:2);
+      Alcotest.(check int) "paused emit dropped" 2 (List.length (E.events ())))
+
+let test_event_line_shape () =
+  with_recorder (fun () ->
+      E.emit
+        (E.Msg_send
+           { trace = 3; msg = 7; parent = -1; src = 0; dst = 5; kind = "explore"; sim_time = 2.5 });
+      match E.events () with
+      | [ e ] ->
+          let line = Obs.Export.event_line e in
+          Alcotest.(check bool) "single line" false (String.contains line '\n');
+          let contains sub =
+            let n = String.length sub and m = String.length line in
+            let rec go i = i + n <= m && (String.sub line i n = sub || go (i + 1)) in
+            go 0
+          in
+          List.iter
+            (fun sub -> if not (contains sub) then Alcotest.failf "event line missing %s" sub)
+            [
+              "\"schema\":\"smallworld.events.v1\"";
+              "\"seq\":0";
+              "\"type\":\"msg_send\"";
+              "\"trace\":3";
+              "\"msg\":7";
+              "\"parent\":null";
+              "\"dst\":5";
+              "\"kind\":\"explore\"";
+              "\"sim_time\":2.5";
+            ]
+      | evs -> Alcotest.failf "expected 1 event, got %d" (List.length evs))
+
+let test_routing_emits_hop_events () =
+  with_recorder (fun () ->
+      let inst = Test_greedy.girg_instance ~seed:901 ~n:1500 ~c:0.2 () in
+      let rng = Prng.Rng.create ~seed:9 in
+      let s, t = Prng.Dist.sample_distinct_pair rng ~n:(Sparse_graph.Graph.n inst.graph) in
+      let objective = Greedy_routing.Objective.girg_phi inst ~target:t in
+      let outcome = Greedy_routing.Greedy.route ~graph:inst.graph ~objective ~source:s () in
+      let hops =
+        List.filter_map
+          (fun (e : E.event) ->
+            match e.E.payload with E.Route_hop { vertex; _ } -> Some vertex | _ -> None)
+          (E.events ())
+      in
+      Alcotest.(check (list int)) "hop events replay the walk" outcome.Greedy_routing.Outcome.walk
+        hops;
+      if outcome.Greedy_routing.Outcome.status = Greedy_routing.Outcome.Dead_end then
+        Alcotest.(check bool) "dead end recorded" true
+          (List.exists
+             (fun (e : E.event) ->
+               match e.E.payload with E.Dead_end _ -> true | _ -> false)
+             (E.events ())))
+
+(* ------------------------------------------------------------------ *)
 (* Exporters *)
 
 let test_manifest_line_shape () =
@@ -249,6 +363,114 @@ let test_prometheus_dump () =
   in
   Alcotest.(check string) "prometheus text" expect text
 
+let test_prometheus_name_sanitisation () =
+  let r = M.create () in
+  let c = M.counter ~registry:r "route.test-metric:x/1" in
+  M.incr c;
+  let text = Obs.Export.prometheus r in
+  Alcotest.(check string) "separators become underscores"
+    "# TYPE smallworld_route_test_metric_x_1 counter\nsmallworld_route_test_metric_x_1 1\n" text
+
+let test_prometheus_le_buckets_cumulative () =
+  let r = M.create () in
+  let h = M.histogram ~registry:r "t.lat" in
+  List.iter (M.observe h) [ -1.0; 0.0; 0.5; 1.0; 2.0; 100.0; 100.0 ];
+  let text = Obs.Export.prometheus r in
+  let lines = String.split_on_char '\n' (String.trim text) in
+  let bucket_counts =
+    List.filter_map
+      (fun line ->
+        match String.index_opt line '}' with
+        | Some i when String.length line > 7 && String.sub line 0 7 = "smallwo" ->
+            let rest = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
+            if String.length line > i && String.contains line '{' then int_of_string_opt rest
+            else None
+        | _ -> None)
+      lines
+  in
+  (* Cumulative le convention: counts are non-decreasing and the +Inf
+     bucket equals the total count. *)
+  Alcotest.(check bool) "at least the <=0, some finite, and +Inf buckets" true
+    (List.length bucket_counts >= 3);
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a <= b && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "cumulative counts monotone" true (monotone bucket_counts);
+  Alcotest.(check int) "+Inf bucket = count" 7 (List.nth bucket_counts (List.length bucket_counts - 1));
+  (* The two non-positive observations land in the le="0" bucket. *)
+  Alcotest.(check bool) "le=\"0\" bucket present with both non-positives" true
+    (List.exists
+       (fun line ->
+         String.length line > 0
+         && String.sub line 0 (min (String.length line) 60)
+            = "smallworld_t_lat_bucket{le=\"0\"} 2")
+       lines)
+
+let test_git_rev_fallbacks () =
+  (* git_rev reads .git/ relative to the cwd; build a fake one. *)
+  let tmp = Filename.temp_file "smallworld_gitrev" "" in
+  Sys.remove tmp;
+  Sys.mkdir tmp 0o755;
+  Sys.mkdir (Filename.concat tmp ".git") 0o755;
+  let write path contents =
+    Out_channel.with_open_text (Filename.concat tmp path) (fun oc -> output_string oc contents)
+  in
+  let cwd = Sys.getcwd () in
+  Fun.protect
+    ~finally:(fun () -> Sys.chdir cwd)
+    (fun () ->
+      Sys.chdir tmp;
+      write ".git/HEAD" "ref: refs/heads/main\n";
+      (* No loose ref, no packed-refs: unknown. *)
+      Alcotest.(check string) "no ref anywhere" "unknown" (Obs.Export.git_rev ());
+      (* Packed-refs fallback (the loose file is gone after git pack-refs). *)
+      write ".git/packed-refs"
+        "# pack-refs with: peeled fully-peeled sorted \n\
+         1111111111111111111111111111111111111111 refs/heads/other\n\
+         2222222222222222222222222222222222222222 refs/heads/main\n\
+         ^3333333333333333333333333333333333333333\n";
+      Alcotest.(check string) "packed ref found" "2222222222222222222222222222222222222222"
+        (Obs.Export.git_rev ());
+      (* A loose ref wins over packed-refs. *)
+      Sys.mkdir ".git/refs" 0o755;
+      Sys.mkdir ".git/refs/heads" 0o755;
+      write ".git/refs/heads/main" "4444444444444444444444444444444444444444\n";
+      Alcotest.(check string) "loose ref wins" "4444444444444444444444444444444444444444"
+        (Obs.Export.git_rev ());
+      (* Detached HEAD is returned as-is. *)
+      write ".git/HEAD" "5555555555555555555555555555555555555555\n";
+      Alcotest.(check string) "detached head" "5555555555555555555555555555555555555555"
+        (Obs.Export.git_rev ()))
+
+let test_json_parse_roundtrip () =
+  let open Obs.Export in
+  let doc =
+    Obj
+      [
+        ("s", Str "a\"b\\c\nd");
+        ("i", Int (-42));
+        ("f", Float 1.5);
+        ("b", Bool true);
+        ("z", Null);
+        ("arr", Arr [ Int 1; Arr []; Obj [] ]);
+        ("nested", Obj [ ("k", Arr [ Float 0.25; Bool false ]) ]);
+      ]
+  in
+  (match json_of_string (json_to_string doc) with
+  | Ok parsed -> Alcotest.(check bool) "roundtrip equal" true (parsed = doc)
+  | Error e -> Alcotest.failf "parse failed: %s" e);
+  (match json_of_string "  { \"a\" : [ 1 , 2.0e1 , \"x\" ] } " with
+  | Ok (Obj [ ("a", Arr [ Int 1; Float 20.0; Str "x" ]) ]) -> ()
+  | Ok _ -> Alcotest.fail "unexpected parse"
+  | Error e -> Alcotest.failf "parse failed: %s" e);
+  List.iter
+    (fun bad ->
+      match json_of_string bad with
+      | Ok _ -> Alcotest.failf "accepted invalid JSON %S" bad
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "1 2"; "\"unterminated" ]
+
 let suite =
   [
     Alcotest.test_case "counter arithmetic" `Quick test_counter_arithmetic;
@@ -265,4 +487,13 @@ let suite =
     Alcotest.test_case "manifest line shape" `Quick test_manifest_line_shape;
     Alcotest.test_case "json escaping" `Quick test_json_escaping;
     Alcotest.test_case "prometheus dump" `Quick test_prometheus_dump;
+    Alcotest.test_case "events seq monotone" `Quick test_events_seq_monotone;
+    Alcotest.test_case "events ring overwrite" `Quick test_events_ring_overwrite;
+    Alcotest.test_case "events pause/resume" `Quick test_events_pause;
+    Alcotest.test_case "event JSONL line shape" `Quick test_event_line_shape;
+    Alcotest.test_case "routing emits hop events" `Quick test_routing_emits_hop_events;
+    Alcotest.test_case "prometheus name sanitisation" `Quick test_prometheus_name_sanitisation;
+    Alcotest.test_case "prometheus cumulative le buckets" `Quick test_prometheus_le_buckets_cumulative;
+    Alcotest.test_case "git_rev packed-refs fallback" `Quick test_git_rev_fallbacks;
+    Alcotest.test_case "json parser roundtrip" `Quick test_json_parse_roundtrip;
   ]

@@ -48,6 +48,55 @@ let test_empty_walk () =
   let inst = make_instance () in
   Alcotest.(check int) "empty" 0 (List.length (Trajectory.of_walk ~inst ~target:3 ~walk:[]))
 
+let test_matches_flight_recorder () =
+  (* The flight recorder's Route_hop events and Trajectory.of_walk are two
+     independent views of the same route; they must agree hop for hop. *)
+  if not Obs.Events.enabled then ()
+  else begin
+    let was = Obs.Events.recording () in
+    Obs.Events.set_recording true;
+    Obs.Events.clear ();
+    Fun.protect ~finally:(fun () -> Obs.Events.set_recording was) @@ fun () ->
+    let inst = Test_greedy.girg_instance ~seed:903 ~n:2000 ~c:0.2 () in
+    let rng = Prng.Rng.create ~seed:10 in
+    let checked = ref 0 in
+    while !checked < 10 do
+      let s, t = Prng.Dist.sample_distinct_pair rng ~n:(Sparse_graph.Graph.n inst.graph) in
+      Obs.Events.clear ();
+      let objective = Objective.girg_phi inst ~target:t in
+      let outcome = Greedy.route ~graph:inst.graph ~objective ~source:s () in
+      if outcome.Outcome.status = Outcome.Delivered then begin
+        incr checked;
+        let hops =
+          List.filter_map
+            (fun (e : Obs.Events.event) ->
+              match e.Obs.Events.payload with
+              | Obs.Events.Route_hop { hop; vertex; objective; _ } ->
+                  Some (hop, vertex, objective)
+              | _ -> None)
+            (Obs.Events.events ())
+        in
+        let event_walk = List.map (fun (_, v, _) -> v) hops in
+        let points = Trajectory.of_walk ~inst ~target:t ~walk:event_walk in
+        let direct = Trajectory.of_walk ~inst ~target:t ~walk:outcome.Outcome.walk in
+        Alcotest.(check int) "one event per hop" (List.length outcome.Outcome.walk)
+          (List.length hops);
+        Alcotest.(check (list int)) "same vertex sequence" outcome.Outcome.walk event_walk;
+        Alcotest.(check int) "same peak-weight phase boundary"
+          (Trajectory.peak_weight_hop direct)
+          (Trajectory.peak_weight_hop points);
+        (* Hop indices in events are 0..k in order, matching point.hop, and
+           the recorded objective equals the trajectory's annotation. *)
+        List.iter2
+          (fun (hop, _, obj) (p : Trajectory.point) ->
+            Alcotest.(check int) "hop index" p.Trajectory.hop hop;
+            if Float.is_finite p.Trajectory.objective then
+              Alcotest.(check (float 1e-9)) "objective" p.Trajectory.objective obj)
+          hops points
+      end
+    done
+  end
+
 let suite =
   [
     Alcotest.test_case "of_walk annotates" `Quick test_of_walk_annotates;
@@ -55,4 +104,5 @@ let suite =
     Alcotest.test_case "exponent noise filter" `Quick test_exponents_filter_small_weights;
     Alcotest.test_case "exponents on climbing path" `Quick test_exponents_on_climbing_path;
     Alcotest.test_case "empty walk" `Quick test_empty_walk;
+    Alcotest.test_case "agrees with flight recorder" `Quick test_matches_flight_recorder;
   ]
