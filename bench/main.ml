@@ -17,10 +17,14 @@
    bytes, counter snapshots, git revision); `diff` compares two such
    files and exits non-zero on a noise-adjusted median regression.
 
-     dune exec bench/main.exe -- [--obs-out FILE]
+     dune exec bench/main.exe -- [--obs-out FILE] [--jobs N]
      dune exec bench/main.exe -- record [--runs K] [--label L] [--seed N]
-                                        [--out FILE]
-     dune exec bench/main.exe -- diff BASELINE CURRENT [--threshold PCT]  *)
+                                        [--out FILE] [--jobs N]
+     dune exec bench/main.exe -- diff BASELINE CURRENT [--threshold PCT]
+
+   --jobs N (0 = all cores) sizes the shared Parallel pool; otherwise
+   SMALLWORLD_JOBS applies.  Reports remember the job count and `diff`
+   refuses to compare reports recorded at different counts.  *)
 
 open Bechamel
 open Toolkit
@@ -35,6 +39,21 @@ let obs_out =
     | "--obs-out" :: path :: _ -> Some path
     | _ :: rest -> scan rest
     | [] -> None
+  in
+  scan (Array.to_list Sys.argv)
+
+(* Resolve --jobs (0 = all cores) before anything touches the shared
+   pool; without the flag the pool falls back to SMALLWORLD_JOBS. *)
+let () =
+  let rec scan = function
+    | "--jobs" :: v :: _ -> (
+        match int_of_string_opt v with
+        | Some j when j >= 0 -> Parallel.Global.set_jobs j
+        | Some _ | None ->
+            prerr_endline "bench: --jobs expects a non-negative integer";
+            exit 2)
+    | _ :: rest -> scan rest
+    | [] -> ()
   in
   scan (Array.to_list Sys.argv)
 
@@ -281,6 +300,7 @@ let record args =
       git_rev = Obs.Export.git_rev ();
       scale = Experiments.Context.scale_name ctx;
       seed = rseed;
+      jobs = Parallel.Global.jobs ();
       entries;
     }
   in
@@ -302,6 +322,15 @@ let diff args =
   match positional with
   | [ base_path; cur_path ] ->
       let baseline = load_report base_path and current = load_report cur_path in
+      if baseline.Obs.Bench.jobs <> current.Obs.Bench.jobs then begin
+        (* Wall times scale with the job count and alloc_bytes is
+           per-domain in OCaml 5, so a cross-jobs diff would gate CI on
+           an apples-to-oranges comparison. *)
+        Printf.eprintf
+          "cannot compare: baseline recorded with --jobs %d, current with --jobs %d\n"
+          baseline.Obs.Bench.jobs current.Obs.Bench.jobs;
+        exit 2
+      end;
       let comparisons = Obs.Bench.diff ~threshold_pct ~baseline ~current () in
       Printf.printf "baseline %s (%s, %s)  vs  current %s (%s, %s)\n"
         baseline.Obs.Bench.label baseline.Obs.Bench.git_rev baseline.Obs.Bench.scale

@@ -3,11 +3,22 @@
      experiments_cli list
      experiments_cli list-metrics
      experiments_cli run [-e E3] [-e E5] [--quick] [--seed N] [--csv DIR]
-                         [--obs-out FILE]                                   *)
+                         [--obs-out FILE] [--jobs N]                        *)
 
 open Cmdliner
 
 let scale_of_quick quick = if quick then Experiments.Context.Quick else Experiments.Context.Standard
+
+let jobs_arg =
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N"
+         ~doc:"Worker domains for generation and route batches (0 = all \
+               cores).  Overrides SMALLWORLD_JOBS; results are identical \
+               for any value.")
+
+let apply_jobs = function
+  | None -> Ok ()
+  | Some j when j >= 0 -> Ok (Parallel.Global.set_jobs j)
+  | Some _ -> Error (`Msg "--jobs expects a non-negative integer")
 
 let list_cmd =
   let doc = "List all experiments with the paper claim each one reproduces." in
@@ -53,7 +64,10 @@ let run_cmd =
            ~doc:"Write a JSONL run manifest (span tree + metric snapshot per \
                  experiment) to $(docv).")
   in
-  let run ids quick seed csv_dir obs_out =
+  let run ids quick seed csv_dir obs_out jobs =
+    match apply_jobs jobs with
+    | Error e -> Error e
+    | Ok () ->
     let ctx = Experiments.Context.make ~seed ~scale:(scale_of_quick quick) () in
     let selected =
       match ids with
@@ -113,7 +127,7 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc)
-    Term.(term_result (const run $ ids $ quick $ seed $ csv_dir $ obs_out))
+    Term.(term_result (const run $ ids $ quick $ seed $ csv_dir $ obs_out $ jobs_arg))
 
 let main =
   let doc = "Reproduction suite for 'Greedy Routing and the Algorithmic Small-World Phenomenon'" in

@@ -1,7 +1,7 @@
 (* Graph tooling around the generators:
 
-     graphs_cli gen girg -o net.girg -n 50000 --beta 2.5 ...
-     graphs_cli gen hrg  -o net.girg -n 50000 --alpha-h 0.55 ...
+     graphs_cli gen girg -o net.girg -n 50000 --beta 2.5 [--jobs N] ...
+     graphs_cli gen hrg  -o net.girg -n 50000 --alpha-h 0.55 [--jobs N] ...
      graphs_cli route net.girg -s 4 -t 93 [--protocol phi-dfs]
      graphs_cli stats net.girg
 
@@ -17,6 +17,16 @@ let load_instance path =
 
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
+
+let jobs_arg =
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N"
+         ~doc:"Worker domains for edge sampling (0 = all cores).  Overrides \
+               SMALLWORLD_JOBS; the sampled graph is identical for any value.")
+
+let apply_jobs = function
+  | None -> Ok ()
+  | Some j when j >= 0 -> Ok (Parallel.Global.set_jobs j)
+  | Some _ -> Error (`Msg "--jobs expects a non-negative integer")
 
 (* --obs-out parity with experiments_cli and bench: one JSONL manifest
    line (metrics snapshot + span tree) for the command that just ran. *)
@@ -53,8 +63,11 @@ let gen_girg_cmd =
   let fixed =
     Arg.(value & flag & info [ "fixed-count" ] ~doc:"Exactly n vertices instead of Poisson(n).")
   in
-  let run n dim beta w_min alpha c fixed seed output obs_out =
+  let run n dim beta w_min alpha c fixed seed output obs_out jobs =
     with_manifest ~command:"gen.girg" ~seed obs_out @@ fun () ->
+    match apply_jobs jobs with
+    | Error e -> Error e
+    | Ok () ->
     let alpha =
       match alpha with
       | "inf" | "infinity" -> Ok Girg.Params.Infinite
@@ -89,7 +102,7 @@ let gen_girg_cmd =
     Term.(
       term_result
         (const run $ n $ dim $ beta $ w_min $ alpha $ c $ fixed $ seed_arg $ out_arg
-       $ obs_out_arg))
+       $ obs_out_arg $ jobs_arg))
 
 let gen_hrg_cmd =
   let doc = "Sample a hyperbolic random graph (stored as its equivalent 1-d GIRG)." in
@@ -99,8 +112,11 @@ let gen_hrg_cmd =
   in
   let radius_c = Arg.(value & opt float 0.0 & info [ "radius-c" ] ~doc:"Constant C in R = 2 ln n + C.") in
   let temperature = Arg.(value & opt float 0.0 & info [ "temperature" ] ~doc:"T in [0, 1).") in
-  let run n alpha_h radius_c temperature seed output obs_out =
+  let run n alpha_h radius_c temperature seed output obs_out jobs =
     with_manifest ~command:"gen.hrg" ~seed obs_out @@ fun () ->
+    match apply_jobs jobs with
+    | Error e -> Error e
+    | Ok () ->
     match Hyperbolic.Hrg.make ~alpha_h ~radius_c ~temperature ~n () with
     | exception Invalid_argument e -> Error (`Msg e)
     | p ->
@@ -136,7 +152,8 @@ let gen_hrg_cmd =
   Cmd.v (Cmd.info "hrg" ~doc)
     Term.(
       term_result
-        (const run $ n $ alpha_h $ radius_c $ temperature $ seed_arg $ out_arg $ obs_out_arg))
+        (const run $ n $ alpha_h $ radius_c $ temperature $ seed_arg $ out_arg $ obs_out_arg
+       $ jobs_arg))
 
 let gen_cmd = Cmd.group (Cmd.info "gen" ~doc:"Sample and save random graph instances.") [ gen_girg_cmd; gen_hrg_cmd ]
 

@@ -43,31 +43,47 @@ let sample_pairs_heavy ~rng ~weights ~min_weight ~count =
     invalid_arg "Workload.sample_pairs_heavy: fewer than two heavy vertices";
   pairs_from_pool ~rng ~pool ~count
 
-let run ~graph ~objective_for ~protocol ?max_steps ?(with_stretch = false) ~pairs () =
+(* Routes are mutually independent and RNG-free (greedy ties break
+   deterministically), so a batch fans out over the pool one task per
+   pair.  Each task records a compact slot; aggregation then replays the
+   slots sequentially in pair order with exactly the legacy loop's
+   prepend logic, so [results] — counts and the order of every array —
+   is bit-identical for any job count.  A stretch of [nan] encodes "not
+   computed / BFS found no usable distance". *)
+let run ?pool ~graph ~objective_for ~protocol ?max_steps ?(with_stretch = false) ~pairs () =
   Obs.Span.with_ ~name:"exp.route" (fun () ->
+  let pool = match pool with Some p -> p | None -> Parallel.Global.get () in
+  let route i =
+    let source, target = pairs.(i) in
+    let objective = objective_for ~target in
+    let outcome =
+      Greedy_routing.Protocol.run protocol ~graph ~objective ~source ?max_steps ()
+    in
+    let stretch =
+      match outcome.Greedy_routing.Outcome.status with
+      | Greedy_routing.Outcome.Delivered when with_stretch -> (
+          match Sparse_graph.Bfs.distance graph ~source ~target with
+          | Some d when d > 0 -> float_of_int outcome.steps /. float_of_int d
+          | Some _ | None -> nan)
+      | _ -> nan
+    in
+    (outcome.Greedy_routing.Outcome.status, outcome.steps, outcome.visited, stretch)
+  in
+  let slots = Parallel.Pool.map pool ~n:(Array.length pairs) route in
   let delivered = ref 0 and dead_end = ref 0 and exhausted = ref 0 and cutoff = ref 0 in
   let steps = ref [] and visited = ref [] and stretches = ref [] in
   Array.iter
-    (fun (source, target) ->
-      let objective = objective_for ~target in
-      let outcome =
-        Greedy_routing.Protocol.run protocol ~graph ~objective ~source ?max_steps ()
-      in
-      match outcome.Greedy_routing.Outcome.status with
+    (fun (status, route_steps, route_visited, stretch) ->
+      match status with
       | Greedy_routing.Outcome.Delivered ->
           incr delivered;
-          steps := float_of_int outcome.steps :: !steps;
-          visited := float_of_int outcome.visited :: !visited;
-          if with_stretch then begin
-            match Sparse_graph.Bfs.distance graph ~source ~target with
-            | Some d when d > 0 ->
-                stretches := (float_of_int outcome.steps /. float_of_int d) :: !stretches
-            | Some _ | None -> ()
-          end
+          steps := float_of_int route_steps :: !steps;
+          visited := float_of_int route_visited :: !visited;
+          if not (Float.is_nan stretch) then stretches := stretch :: !stretches
       | Dead_end -> incr dead_end
       | Exhausted -> incr exhausted
       | Cutoff -> incr cutoff)
-    pairs;
+    slots;
   {
     attempted = Array.length pairs;
     delivered = !delivered;

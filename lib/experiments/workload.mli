@@ -41,6 +41,7 @@ val sample_pairs_heavy :
     @raise Invalid_argument if fewer than two such vertices exist. *)
 
 val run :
+  ?pool:Parallel.Pool.t ->
   graph:Sparse_graph.Graph.t ->
   objective_for:(target:int -> Greedy_routing.Objective.t) ->
   protocol:Greedy_routing.Protocol.t ->
@@ -50,4 +51,12 @@ val run :
   unit ->
   results
 (** Route each pair, optionally computing the stretch (greedy path length /
-    BFS distance) of delivered runs. *)
+    BFS distance) of delivered runs.
+
+    Routes fan out over [pool] (the shared {!Parallel.Global} pool when
+    omitted), one task per pair; [objective_for] must therefore be safe
+    to call from several domains at once (every bundled objective is —
+    they only read the graph and position arrays).  Aggregation happens
+    sequentially in pair order, so the returned {!results} — including
+    the order of [steps]/[visited]/[stretches] — is bit-identical for
+    any job count. *)

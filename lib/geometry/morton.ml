@@ -15,15 +15,23 @@ let encode ~dim ~level coords =
   done;
   !code
 
-let decode ~dim ~level code =
-  check ~dim ~level;
-  let coords = Array.make dim 0 in
+(* Allocation-free decode for hot loops: writes the cell coordinates of
+   [code] into the caller's scratch buffer (length >= dim). *)
+let decode_into ~dim ~level code ~into:coords =
+  for i = 0 to dim - 1 do
+    coords.(i) <- 0
+  done;
   for b = 0 to level - 1 do
     for i = 0 to dim - 1 do
       let bit = (code lsr ((b * dim) + i)) land 1 in
       coords.(i) <- coords.(i) lor (bit lsl b)
     done
-  done;
+  done
+
+let decode ~dim ~level code =
+  check ~dim ~level;
+  let coords = Array.make dim 0 in
+  decode_into ~dim ~level code ~into:coords;
   coords
 
 let cell_coords_of_point ~dim ~level p =

@@ -16,6 +16,11 @@ val encode : dim:int -> level:int -> int array -> int
 val decode : dim:int -> level:int -> int -> int array
 (** Inverse of {!encode}. *)
 
+val decode_into : dim:int -> level:int -> int -> into:int array -> unit
+(** Allocation-free {!decode}: overwrites the first [dim] entries of
+    [into] with the coordinates of the cell.  No bounds or level
+    validation — intended for hot loops that have already checked. *)
+
 val cell_coords_of_point : dim:int -> level:int -> Torus.point -> int array
 (** Integer cell coordinates of the cell containing the point. *)
 

@@ -13,8 +13,8 @@ type buckets = {
 let buckets_create num_layers =
   {
     touched = [];
-    counts = Array.make num_layers 0;
-    data = Array.make num_layers [||];
+    counts = Array.make (max 1 num_layers) 0;
+    data = Array.make (max 1 num_layers) [||];
   }
 
 let buckets_reset b =
@@ -42,34 +42,92 @@ let buckets_fill b grid ~level ~code ~layer_of =
   Grid.iter_cell grid ~level ~code (fun v -> buckets_push b layer_of.(v) v)
 
 (* Toroidal adjacency of two cells at a level: every coordinate index differs
-   by at most 1 (mod cells-per-side). *)
-let cells_adjacent ~dim ~level a b =
+   by at most 1 (mod cells-per-side).  The caller provides two scratch
+   buffers (length >= dim) so the check allocates nothing — it runs once
+   per enumerated cell pair. *)
+let cells_adjacent ~dim ~level ~scratch_a ~scratch_b a b =
   if level = 0 then true
   else begin
     let cps = 1 lsl level in
-    let ca = Morton.decode ~dim ~level a and cb = Morton.decode ~dim ~level b in
+    Morton.decode_into ~dim ~level a ~into:scratch_a;
+    Morton.decode_into ~dim ~level b ~into:scratch_b;
     let ok = ref true in
     for i = 0 to dim - 1 do
-      let d = abs (ca.(i) - cb.(i)) in
+      let d = abs (scratch_a.(i) - scratch_b.(i)) in
       let d = min d (cps - d) in
       if d > 1 then ok := false
     done;
     !ok
   end
 
-let sample_edges_stats ~rng ~kernel ~weights ~positions =
+(* ------------------------------------------------------------------ *)
+(* Task stream.
+
+   The sampler is split into a deterministic enumeration phase and a
+   sampling phase.  Enumeration walks the cell-pair recursion WITHOUT
+   consuming randomness and records a flat stream of independent tasks;
+   sampling processes the tasks (in parallel when a pool with jobs > 1
+   is given), each under an RNG substream derived via SplitMix64 from
+   (base seed, task key), and concatenates per-chunk edge buffers in
+   task order.  Both phases are functions of the inputs alone, so the
+   emitted edge array is bit-identical for every job count.
+
+   A task is four ints in [tasks]:
+     kind  — 0 = type I cell pair, 1 = type II cell pair, 2 = capped vertex
+     level — grid level of the pair (0 for capped tasks)
+     a, b  — Morton codes of the two cells (for capped: a = vertex id, b = 0)
+*)
+
+let k_type1 = 0
+let k_type2 = 1
+let k_capped = 2
+
+type task_buf = { mutable t_data : int array; mutable t_len : int }
+
+let task_buf_create () = { t_data = Array.make 256 0; t_len = 0 }
+
+let task_push tb ~kind ~level ~a ~b =
+  if tb.t_len + 4 > Array.length tb.t_data then begin
+    let bigger = Array.make (2 * Array.length tb.t_data) 0 in
+    Array.blit tb.t_data 0 bigger 0 tb.t_len;
+    tb.t_data <- bigger
+  end;
+  let d = tb.t_data and i = tb.t_len in
+  d.(i) <- kind;
+  d.(i + 1) <- level;
+  d.(i + 2) <- a;
+  d.(i + 3) <- b;
+  tb.t_len <- tb.t_len + 4
+
+let task_count tb = tb.t_len / 4
+
+(* Substream for one task: hash the task key into a seed with chained
+   SplitMix64 finalizer steps.  The key involves only (base, kind, level,
+   cell codes), never the task's position in the schedule. *)
+let task_rng ~base ~kind ~level ~a ~b =
+  let s = Prng.Rng.mix64 (Int64.add base (Int64.of_int a)) in
+  let s = Prng.Rng.mix64 (Int64.add s (Int64.of_int b)) in
+  let s = Prng.Rng.mix64 (Int64.add s (Int64.of_int ((level lsl 2) lor kind))) in
+  Prng.Rng.of_seed64 s
+
+let sample_edges_stats ?pool ~rng ~kernel ~weights ~positions () =
   let n = Array.length weights in
   if Array.length positions <> n then invalid_arg "Cell.sample_edges: length mismatch";
+  let pool = match pool with Some p -> p | None -> Parallel.Global.get () in
   let dim = kernel.Kernel.dim in
-  let out = Edge_buf.create () in
   let type1_pairs = ref 0 and type2_trials = ref 0 and cells_visited = ref 0 in
+  let out = Edge_buf.create () in
   if n > 0 then begin
+    (* One draw stamps the whole sampling pass; every task substream is
+       derived from it, so the caller's generator advances identically
+       for any job count. *)
+    let base = Prng.Rng.bits64 rng in
     let dist_fn = Torus.dist_fn kernel.Kernel.norm in
     let prob ~u ~v =
       let dist = dist_fn positions.(u) positions.(v) in
       kernel.Kernel.prob ~wu:weights.(u) ~wv:weights.(v) ~dist
     in
-    let flip p = p > 0.0 && (p >= 1.0 || Prng.Rng.unit_float rng < p) in
+    let flip rng p = p > 0.0 && (p >= 1.0 || Prng.Rng.unit_float rng < p) in
     (* Split off capped vertices (kernels whose envelope needs a weight cap). *)
     let capped = ref [] and regular = ref [] in
     for v = n - 1 downto 0 do
@@ -79,140 +137,63 @@ let sample_edges_stats ~rng ~kernel ~weights ~positions =
     let capped = Array.of_list !capped and regular = Array.of_list !regular in
     let is_capped = Array.make n false in
     Array.iter (fun v -> is_capped.(v) <- true) capped;
-    (* Capped vertices: exhaustive against everyone (capped pairs once). *)
-    Array.iter
-      (fun u ->
-        for v = 0 to n - 1 do
-          if v <> u && ((not is_capped.(v)) || v > u) then begin
-            incr type1_pairs;
-            if flip (prob ~u ~v) then Edge_buf.push out u v
-          end
-        done)
-      capped;
     let nr = Array.length regular in
+    (* Weight layers relative to the smallest regular weight (degenerate
+       placeholders when there are no regular vertices — no grid task will
+       be enumerated then). *)
+    let w_base =
+      if nr = 0 then 1.0
+      else Array.fold_left (fun acc v -> Float.min acc weights.(v)) infinity regular
+    in
+    let layer_of_weight w =
+      let l = int_of_float (Float.log2 (w /. w_base)) in
+      if l < 0 then 0 else l
+    in
+    let num_layers =
+      if nr = 0 then 0
+      else 1 + Array.fold_left (fun acc v -> max acc (layer_of_weight weights.(v))) 0 regular
+    in
+    let layer_of = Array.make (max 1 n) 0 in
+    Array.iter (fun v -> layer_of.(v) <- layer_of_weight weights.(v)) regular;
+    let w_ub = Array.init num_layers (fun l -> w_base *. Float.of_int (1 lsl (l + 1))) in
+    (* Grid depth: about one vertex per deepest cell. *)
+    let depth =
+      let by_count = int_of_float (Float.log2 (float_of_int (max 2 nr)) /. float_of_int dim) in
+      max 1 (min by_count (Morton.max_level ~dim))
+    in
+    let level_of_pair i j =
+      let vol = kernel.Kernel.saturation_volume ~wu_ub:w_ub.(i) ~wv_ub:w_ub.(j) in
+      if vol >= 1.0 then 0
+      else begin
+        let l = int_of_float (floor (-.Float.log2 vol /. float_of_int dim)) in
+        max 0 (min l depth)
+      end
+    in
+    let level_matrix =
+      Array.init num_layers (fun i -> Array.init num_layers (fun j -> level_of_pair i j))
+    in
+    let pairs_at_level = Array.make (depth + 1) [] in
+    for i = 0 to num_layers - 1 do
+      for j = i to num_layers - 1 do
+        let l = level_matrix.(i).(j) in
+        pairs_at_level.(l) <- (i, j) :: pairs_at_level.(l)
+      done
+    done;
+    let max_pair_level =
+      let best = ref 0 in
+      Array.iteri (fun l pairs -> if pairs <> [] then best := max !best l) pairs_at_level;
+      !best
+    in
+    let grid = Grid.build ~dim ~max_level:depth ~points:positions ~ids:regular in
+    (* ---------------- enumeration (no randomness) ---------------- *)
+    let tasks = task_buf_create () in
+    Array.iter (fun u -> task_push tasks ~kind:k_capped ~level:0 ~a:u ~b:0) capped;
     if nr > 0 then begin
-      (* Weight layers relative to the smallest regular weight. *)
-      let w_base = Array.fold_left (fun acc v -> Float.min acc weights.(v)) infinity regular in
-      let layer_of_weight w =
-        let l = int_of_float (Float.log2 (w /. w_base)) in
-        if l < 0 then 0 else l
-      in
-      let num_layers = 1 + Array.fold_left (fun acc v -> max acc (layer_of_weight weights.(v))) 0 regular in
-      let layer_of = Array.make n 0 in
-      Array.iter (fun v -> layer_of.(v) <- layer_of_weight weights.(v)) regular;
-      let w_ub = Array.init num_layers (fun l -> w_base *. Float.of_int (1 lsl (l + 1))) in
-      (* Grid depth: about one vertex per deepest cell. *)
-      let depth =
-        let by_count = int_of_float (Float.log2 (float_of_int (max 2 nr)) /. float_of_int dim) in
-        max 1 (min by_count (Morton.max_level ~dim))
-      in
-      let level_of_pair i j =
-        let vol = kernel.Kernel.saturation_volume ~wu_ub:w_ub.(i) ~wv_ub:w_ub.(j) in
-        if vol >= 1.0 then 0
-        else begin
-          let l = int_of_float (floor (-.Float.log2 vol /. float_of_int dim)) in
-          max 0 (min l depth)
-        end
-      in
-      let level_matrix =
-        Array.init num_layers (fun i -> Array.init num_layers (fun j -> level_of_pair i j))
-      in
-      let pairs_at_level = Array.make (depth + 1) [] in
-      for i = 0 to num_layers - 1 do
-        for j = i to num_layers - 1 do
-          let l = level_matrix.(i).(j) in
-          pairs_at_level.(l) <- (i, j) :: pairs_at_level.(l)
-        done
-      done;
-      let max_pair_level =
-        let best = ref 0 in
-        Array.iteri (fun l pairs -> if pairs <> [] then best := max !best l) pairs_at_level;
-        !best
-      in
-      let grid = Grid.build ~dim ~max_level:depth ~points:positions ~ids:regular in
-      let sa = buckets_create num_layers and sb = buckets_create num_layers in
-      (* Exhaustive test between bucket slices (type I). *)
-      let test_all data_a cnt_a data_b cnt_b =
-        for ia = 0 to cnt_a - 1 do
-          let u = data_a.(ia) in
-          for ib = 0 to cnt_b - 1 do
-            let v = data_b.(ib) in
-            incr type1_pairs;
-            if flip (prob ~u ~v) then Edge_buf.push out u v
-          done
-        done
-      in
-      let test_triangular data cnt =
-        for ia = 0 to cnt - 1 do
-          let u = data.(ia) in
-          for ib = ia + 1 to cnt - 1 do
-            let v = data.(ib) in
-            incr type1_pairs;
-            if flip (prob ~u ~v) then Edge_buf.push out u v
-          done
-        done
-      in
-      let type1 ~same_cell ba bb i j =
-        if i = j then begin
-          if same_cell then test_triangular ba.data.(i) ba.counts.(i)
-          else test_all ba.data.(i) ba.counts.(i) bb.data.(j) bb.counts.(j)
-        end
-        else begin
-          test_all ba.data.(i) ba.counts.(i) bb.data.(j) bb.counts.(j);
-          if not same_cell then test_all ba.data.(j) ba.counts.(j) bb.data.(i) bb.counts.(i)
-        end
-      in
-      (* Geometric skip-sampling between two bucket slices (type II). *)
-      let skip_sample data_a cnt_a data_b cnt_b ~p_ub =
-        if cnt_a > 0 && cnt_b > 0 && p_ub > 0.0 then begin
-          let total = cnt_a * cnt_b in
-          let k = ref (Prng.Dist.geometric rng ~p:p_ub) in
-          while !k < total do
-            incr type2_trials;
-            let u = data_a.(!k / cnt_b) and v = data_b.(!k mod cnt_b) in
-            let p = prob ~u ~v in
-            if p > 0.0 && (p >= p_ub || Prng.Rng.unit_float rng < p /. p_ub) then
-              Edge_buf.push out u v;
-            let skip = Prng.Dist.geometric rng ~p:p_ub in
-            k := if skip > total then total else !k + 1 + skip
-          done
-        end
-      in
-      let type2 a b level =
-        buckets_fill sa grid ~level ~code:a ~layer_of;
-        buckets_fill sb grid ~level ~code:b ~layer_of;
-        if sa.touched <> [] && sb.touched <> [] then begin
-          let min_dist = Morton.cell_min_dist ~dim ~level a b in
-          List.iter
-            (fun i ->
-              List.iter
-                (fun j ->
-                  if level_matrix.(i).(j) >= level then begin
-                    let p_ub =
-                      kernel.Kernel.upper ~wu_ub:w_ub.(i) ~wv_ub:w_ub.(j) ~min_dist
-                    in
-                    skip_sample sa.data.(i) sa.counts.(i) sb.data.(j) sb.counts.(j) ~p_ub
-                  end)
-                sb.touched)
-            sa.touched
-        end
-      in
+      let scratch_a = Array.make dim 0 and scratch_b = Array.make dim 0 in
       let nonempty code level = Grid.count_cell grid ~level ~code > 0 in
       let rec visit a b level =
         incr cells_visited;
-        (match pairs_at_level.(level) with
-        | [] -> ()
-        | pairs ->
-            let same_cell = a = b in
-            buckets_fill sa grid ~level ~code:a ~layer_of;
-            let bb =
-              if same_cell then sa
-              else begin
-                buckets_fill sb grid ~level ~code:b ~layer_of;
-                sb
-              end
-            in
-            List.iter (fun (i, j) -> type1 ~same_cell sa bb i j) pairs);
+        if pairs_at_level.(level) <> [] then task_push tasks ~kind:k_type1 ~level ~a ~b;
         if level < max_pair_level then begin
           let child_level = level + 1 in
           let kids = 1 lsl dim in
@@ -223,8 +204,9 @@ let sample_edges_stats ~rng ~kernel ~weights ~positions =
               for yb = yb_start to kids - 1 do
                 let y = (b lsl dim) lor yb in
                 if (x < y || x = y) && nonempty y child_level then begin
-                  if cells_adjacent ~dim ~level:child_level x y then visit x y child_level
-                  else type2 x y child_level
+                  if cells_adjacent ~dim ~level:child_level ~scratch_a ~scratch_b x y then
+                    visit x y child_level
+                  else task_push tasks ~kind:k_type2 ~level:child_level ~a:x ~b:y
                 end
               done
             end
@@ -232,10 +214,122 @@ let sample_edges_stats ~rng ~kernel ~weights ~positions =
         end
       in
       visit 0 0 0
+    end;
+    (* ---------------- sampling (parallel over task chunks) ---------------- *)
+    let nt = task_count tasks in
+    if nt > 0 then begin
+      let nchunks = min nt (max 1 (Parallel.Pool.jobs pool * 8)) in
+      let process_chunk c =
+        let lo = c * nt / nchunks and hi = (c + 1) * nt / nchunks in
+        let out = Edge_buf.create ~capacity:256 () in
+        let t1 = ref 0 and t2 = ref 0 in
+        let sa = buckets_create num_layers and sb = buckets_create num_layers in
+        (* Exhaustive test between bucket slices (type I). *)
+        let test_all rng data_a cnt_a data_b cnt_b =
+          for ia = 0 to cnt_a - 1 do
+            let u = data_a.(ia) in
+            for ib = 0 to cnt_b - 1 do
+              let v = data_b.(ib) in
+              incr t1;
+              if flip rng (prob ~u ~v) then Edge_buf.push out u v
+            done
+          done
+        in
+        let test_triangular rng data cnt =
+          for ia = 0 to cnt - 1 do
+            let u = data.(ia) in
+            for ib = ia + 1 to cnt - 1 do
+              let v = data.(ib) in
+              incr t1;
+              if flip rng (prob ~u ~v) then Edge_buf.push out u v
+            done
+          done
+        in
+        let type1 rng ~same_cell ba bb i j =
+          if i = j then begin
+            if same_cell then test_triangular rng ba.data.(i) ba.counts.(i)
+            else test_all rng ba.data.(i) ba.counts.(i) bb.data.(j) bb.counts.(j)
+          end
+          else begin
+            test_all rng ba.data.(i) ba.counts.(i) bb.data.(j) bb.counts.(j);
+            if not same_cell then test_all rng ba.data.(j) ba.counts.(j) bb.data.(i) bb.counts.(i)
+          end
+        in
+        (* Geometric skip-sampling between two bucket slices (type II). *)
+        let skip_sample rng data_a cnt_a data_b cnt_b ~p_ub =
+          if cnt_a > 0 && cnt_b > 0 && p_ub > 0.0 then begin
+            let total = cnt_a * cnt_b in
+            let k = ref (Prng.Dist.geometric rng ~p:p_ub) in
+            while !k < total do
+              incr t2;
+              let u = data_a.(!k / cnt_b) and v = data_b.(!k mod cnt_b) in
+              let p = prob ~u ~v in
+              if p > 0.0 && (p >= p_ub || Prng.Rng.unit_float rng < p /. p_ub) then
+                Edge_buf.push out u v;
+              let skip = Prng.Dist.geometric rng ~p:p_ub in
+              k := if skip > total then total else !k + 1 + skip
+            done
+          end
+        in
+        for t = lo to hi - 1 do
+          let d = tasks.t_data and i = 4 * t in
+          let kind = d.(i) and level = d.(i + 1) and a = d.(i + 2) and b = d.(i + 3) in
+          let rng = task_rng ~base ~kind ~level ~a ~b in
+          if kind = k_capped then begin
+            let u = a in
+            for v = 0 to n - 1 do
+              if v <> u && ((not is_capped.(v)) || v > u) then begin
+                incr t1;
+                if flip rng (prob ~u ~v) then Edge_buf.push out u v
+              end
+            done
+          end
+          else if kind = k_type1 then begin
+            let same_cell = a = b in
+            buckets_fill sa grid ~level ~code:a ~layer_of;
+            let bb =
+              if same_cell then sa
+              else begin
+                buckets_fill sb grid ~level ~code:b ~layer_of;
+                sb
+              end
+            in
+            List.iter (fun (i, j) -> type1 rng ~same_cell sa bb i j) pairs_at_level.(level)
+          end
+          else begin
+            buckets_fill sa grid ~level ~code:a ~layer_of;
+            buckets_fill sb grid ~level ~code:b ~layer_of;
+            if sa.touched <> [] && sb.touched <> [] then begin
+              let min_dist = Morton.cell_min_dist ~dim ~level a b in
+              List.iter
+                (fun i ->
+                  List.iter
+                    (fun j ->
+                      if level_matrix.(i).(j) >= level then begin
+                        let p_ub =
+                          kernel.Kernel.upper ~wu_ub:w_ub.(i) ~wv_ub:w_ub.(j) ~min_dist
+                        in
+                        skip_sample rng sa.data.(i) sa.counts.(i) sb.data.(j) sb.counts.(j)
+                          ~p_ub
+                      end)
+                    sb.touched)
+                sa.touched
+            end
+          end
+        done;
+        (out, !t1, !t2)
+      in
+      let chunks = Parallel.Pool.map pool ~n:nchunks process_chunk in
+      Array.iter
+        (fun (chunk_out, t1, t2) ->
+          Edge_buf.append out chunk_out;
+          type1_pairs := !type1_pairs + t1;
+          type2_trials := !type2_trials + t2)
+        chunks
     end
   end;
   ( Edge_buf.to_array out,
     { type1_pairs = !type1_pairs; type2_trials = !type2_trials; cells_visited = !cells_visited } )
 
-let sample_edges ~rng ~kernel ~weights ~positions =
-  fst (sample_edges_stats ~rng ~kernel ~weights ~positions)
+let sample_edges ?pool ~rng ~kernel ~weights ~positions () =
+  fst (sample_edges_stats ?pool ~rng ~kernel ~weights ~positions ())

@@ -21,6 +21,16 @@
     hyperbolic kernels) are excluded from the grid and tested exhaustively
     against every other vertex.
 
+    {b Parallelism and determinism.}  The recursion is first walked without
+    consuming randomness, recording a flat stream of independent cell-pair
+    tasks; tasks are then sampled on the given pool (the shared
+    {!Parallel.Global} pool when [?pool] is omitted), each under its own
+    RNG substream derived by SplitMix64 from (one draw of [rng], cell
+    codes, level, task kind).  Per-chunk edge buffers are concatenated in
+    task order, so for a fixed seed the emitted edge array — not just the
+    edge set — is bit-identical for every job count, and the caller's
+    [rng] advances by exactly one draw regardless.
+
     The output is distributed exactly as the naive sampler's (each unordered
     pair is connected independently with its kernel probability), at expected
     cost roughly O(n + m) up to logarithmic factors. *)
@@ -32,15 +42,19 @@ type stats = {
 }
 
 val sample_edges :
+  ?pool:Parallel.Pool.t ->
   rng:Prng.Rng.t ->
   kernel:Kernel.t ->
   weights:float array ->
   positions:Geometry.Torus.point array ->
+  unit ->
   (int * int) array
 
 val sample_edges_stats :
+  ?pool:Parallel.Pool.t ->
   rng:Prng.Rng.t ->
   kernel:Kernel.t ->
   weights:float array ->
   positions:Geometry.Torus.point array ->
+  unit ->
   (int * int) array * stats

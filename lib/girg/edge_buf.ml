@@ -14,4 +14,21 @@ let push t u v =
 
 let length t = t.len / 2
 
+(* Bulk move for merging per-chunk buffers in canonical order. *)
+let append dst src =
+  if src.len > 0 then begin
+    let need = dst.len + src.len in
+    if need > Array.length dst.data then begin
+      let cap = ref (max 2 (Array.length dst.data)) in
+      while !cap < need do
+        cap := 2 * !cap
+      done;
+      let bigger = Array.make !cap 0 in
+      Array.blit dst.data 0 bigger 0 dst.len;
+      dst.data <- bigger
+    end;
+    Array.blit src.data 0 dst.data dst.len src.len;
+    dst.len <- need
+  end
+
 let to_array t = Array.init (length t) (fun i -> (t.data.(2 * i), t.data.((2 * i) + 1)))

@@ -9,5 +9,9 @@ val push : t -> int -> int -> unit
 val length : t -> int
 (** Number of edges pushed. *)
 
+val append : t -> t -> unit
+(** [append dst src] pushes every edge of [src] onto [dst], in [src]'s
+    push order.  [src] is unchanged. *)
+
 val to_array : t -> (int * int) array
 (** Fresh array of the pushed edges, in push order. *)

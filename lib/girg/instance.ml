@@ -28,7 +28,7 @@ let vertex_count ~rng ~params =
     Prng.Dist.poisson rng ~mean:(float_of_int params.Params.n)
   else params.Params.n
 
-let generate_with ?(sampler = Auto) ~rng ~params ~weights ~positions () =
+let generate_with ?(sampler = Auto) ?pool ~rng ~params ~weights ~positions () =
   let params = Params.validate_exn params in
   let count = Array.length weights in
   if Array.length positions <> count then invalid_arg "Instance.generate_with: length mismatch";
@@ -42,7 +42,7 @@ let generate_with ?(sampler = Auto) ~rng ~params ~weights ~positions () =
           | Auto -> count > threshold_n
         in
         if use_cell then begin
-          let edges, stats = Cell.sample_edges_stats ~rng ~kernel ~weights ~positions in
+          let edges, stats = Cell.sample_edges_stats ?pool ~rng ~kernel ~weights ~positions () in
           Obs.Metrics.add c_type1 stats.Cell.type1_pairs;
           Obs.Metrics.add c_type2 stats.Cell.type2_trials;
           Obs.Metrics.add c_cells stats.Cell.cells_visited;
@@ -59,7 +59,7 @@ let generate_with ?(sampler = Auto) ~rng ~params ~weights ~positions () =
   in
   { params; weights; positions; graph }
 
-let generate ?(sampler = Auto) ~rng params =
+let generate ?(sampler = Auto) ?pool ~rng params =
   Obs.Span.with_ ~name:"girg.generate" (fun () ->
       let params = Params.validate_exn params in
       let rng_count = Prng.Rng.split rng in
@@ -75,9 +75,9 @@ let generate ?(sampler = Auto) ~rng params =
         Obs.Span.with_ ~name:"girg.sample_positions" (fun () ->
             sample_positions ~rng:rng_positions ~params ~count)
       in
-      generate_with ~sampler ~rng:rng_edges ~params ~weights ~positions ())
+      generate_with ~sampler ?pool ~rng:rng_edges ~params ~weights ~positions ())
 
-let generate_pinned ?(sampler = Auto) ~rng ~params ~pinned () =
+let generate_pinned ?(sampler = Auto) ?pool ~rng ~params ~pinned () =
   let params = Params.validate_exn params in
   List.iter
     (fun ((w : float), x) ->
@@ -99,7 +99,7 @@ let generate_pinned ?(sampler = Auto) ~rng ~params ~pinned () =
       weights.(i) <- w;
       positions.(i) <- Array.copy x)
     pinned;
-  generate_with ~sampler ~rng:rng_edges ~params ~weights ~positions ()
+  generate_with ~sampler ?pool ~rng:rng_edges ~params ~weights ~positions ()
 
 let connection_prob t u v =
   let dist = Geometry.Torus.dist_fn t.params.Params.norm t.positions.(u) t.positions.(v) in

@@ -30,13 +30,16 @@ val sample_positions :
 val vertex_count : rng:Prng.Rng.t -> params:Params.t -> int
 (** Poisson(n) when [params.poisson_count], else exactly [n]. *)
 
-val generate : ?sampler:sampler -> rng:Prng.Rng.t -> Params.t -> t
+val generate : ?sampler:sampler -> ?pool:Parallel.Pool.t -> rng:Prng.Rng.t -> Params.t -> t
 (** Sample a complete instance: vertex count, weights, positions, edges.
     The rng is split into independent substreams per stage, so e.g. the
-    weights of instance [k] do not depend on which sampler was used. *)
+    weights of instance [k] do not depend on which sampler was used.
+    Edge sampling runs on [pool] (default: the shared {!Parallel.Global}
+    pool) and is bit-reproducible for any job count — see {!Cell}. *)
 
 val generate_with :
   ?sampler:sampler ->
+  ?pool:Parallel.Pool.t ->
   rng:Prng.Rng.t ->
   params:Params.t ->
   weights:float array ->
@@ -48,6 +51,7 @@ val generate_with :
 
 val generate_pinned :
   ?sampler:sampler ->
+  ?pool:Parallel.Pool.t ->
   rng:Prng.Rng.t ->
   params:Params.t ->
   pinned:(float * Geometry.Torus.point) list ->

@@ -113,7 +113,7 @@ let generate ?(sampler = Auto) ~rng p =
   in
   let edges =
     if use_cell then
-      Girg.Cell.sample_edges ~rng:rng_edges ~kernel:(kernel p) ~weights ~positions
+      Girg.Cell.sample_edges ~rng:rng_edges ~kernel:(kernel p) ~weights ~positions ()
     else begin
       (* Native reference: all pairs with the hyperbolic distance directly. *)
       let buf = Girg.Edge_buf.create () in

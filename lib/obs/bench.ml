@@ -20,6 +20,7 @@ type report = {
   git_rev : string;
   scale : string;
   seed : int;
+  jobs : int;
   entries : entry list;
 }
 
@@ -71,6 +72,7 @@ let to_json r =
       ("git_rev", Export.Str r.git_rev);
       ("scale", Export.Str r.scale);
       ("seed", Export.Int r.seed);
+      ("jobs", Export.Int r.jobs);
       ("experiments", Export.Arr (List.map entry_to_json r.entries));
     ]
 
@@ -122,13 +124,18 @@ let of_json j =
     let* git_rev = Result.bind (field "git_rev" j) as_str in
     let* scale = Result.bind (field "scale" j) as_str in
     let* seed = Result.bind (field "seed" j) as_int in
+    (* [jobs] joined the schema with the multicore layer; reports
+       written before it are single-domain by construction. *)
+    let* jobs =
+      match field "jobs" j with Ok v -> as_int v | Error _ -> Ok 1
+    in
     let* entries =
       match field "experiments" j with
       | Ok (Export.Arr items) -> collect entry_of_json items
       | Ok _ -> Error "experiments: expected an array"
       | Error e -> Error e
     in
-    Ok { label; git_rev; scale; seed; entries }
+    Ok { label; git_rev; scale; seed; jobs; entries }
 
 let of_string s = Result.bind (Export.json_of_string s) of_json
 

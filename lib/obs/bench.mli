@@ -22,6 +22,11 @@ type report = {
   git_rev : string;
   scale : string;
   seed : int;
+  jobs : int;
+      (** resolved [Parallel] job count the run executed with; reports
+          predating the field parse as [1].  Wall times at different job
+          counts are not comparable (and [alloc_bytes] is per-domain in
+          OCaml 5), so `bench diff` refuses mismatched reports. *)
   entries : entry list;
 }
 

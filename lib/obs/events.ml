@@ -14,7 +14,19 @@
    at runtime (SMALLWORLD_OBS_EVENTS=0 or [set_recording false]) while
    metrics stay live.  Instrumentation sites are expected to guard both
    the payload allocation and any extra computation behind
-   [recording ()]. *)
+   [recording ()].
+
+   Domain safety: sequence numbers are allocated with one atomic
+   fetch-and-add, so every event gets a unique, gap-free [seq] even when
+   routes emit from several domains, and [emitted]/[dropped] stay exact.
+   Each slot write is a single pointer store (no tearing).  Two domains
+   can race on the *same* slot only when their seqs differ by a multiple
+   of the capacity — i.e. only once the ring has already wrapped and one
+   of the two events was going to be dropped anyway; whichever store
+   lands last wins the slot.  [events ()] therefore returns the recent
+   tail exactly in the single-domain case and modulo that benign wrap
+   race otherwise.  [set_capacity]/[clear] are not meant to run
+   concurrently with emitters. *)
 
 type payload =
   | Route_hop of { route : int; hop : int; vertex : int; objective : float }
@@ -66,7 +78,7 @@ let cap = ref (max 1 initial_capacity)
 
 (* Events emitted since the last [clear]; the buffer holds the last
    [cap] of them and [seq] counts from 0 at the clear point. *)
-let total = ref 0
+let total = Atomic.make 0
 
 let recording () = !armed
 let set_recording b = if enabled then armed := b
@@ -76,31 +88,30 @@ let set_capacity n =
   if n <= 0 then invalid_arg "Obs.Events.set_capacity: capacity must be positive";
   buf := Array.make n dummy;
   cap := n;
-  total := 0
+  Atomic.set total 0
 
-let clear () = total := 0
+let clear () = Atomic.set total 0
 
 let emit payload =
   if !armed then begin
-    let seq = !total in
-    !buf.(seq mod !cap) <- { seq; time = Unix.gettimeofday (); payload };
-    total := seq + 1
+    let seq = Atomic.fetch_and_add total 1 in
+    !buf.(seq mod !cap) <- { seq; time = Unix.gettimeofday (); payload }
   end
 
-let emitted () = !total
-let dropped () = max 0 (!total - !cap)
+let emitted () = Atomic.get total
+let dropped () = max 0 (Atomic.get total - !cap)
 
 let events () =
-  let n = !total and c = !cap in
+  let n = Atomic.get total and c = !cap in
   let kept = min n c in
   let first = n - kept in
   List.init kept (fun i -> !buf.((first + i) mod c))
 
-let route_ctr = ref 0
+(* Route ids must be unique across domains: routes fan out over a
+   Parallel pool and each tags its hop/dead-end events with its id. *)
+let route_ctr = Atomic.make 0
 
-let next_route_id () =
-  incr route_ctr;
-  !route_ctr
+let next_route_id () = Atomic.fetch_and_add route_ctr 1 + 1
 
 let payload_kind = function
   | Route_hop _ -> "route_hop"

@@ -1,14 +1,24 @@
 (* Named metric registry.
 
-   Hot-path cost model: a metric handle is either a live cell (one mutable
-   record field update per increment) or [*_noop]; the choice is made once,
-   at registration time, from the registry's liveness.  With
-   SMALLWORLD_OBS=0 every handle obtained from the default registry is a
-   no-op stub, so instrumented code pays only an immediate branch on an
-   immutable constructor — nothing is recorded and snapshots come back
-   zeroed.  Names and kinds are registered even when dead, so tooling
-   (e.g. `experiments_cli list-metrics`) can enumerate the schema in any
-   mode. *)
+   Hot-path cost model: a metric handle is either a live cell or
+   [*_noop]; the choice is made once, at registration time, from the
+   registry's liveness.  With SMALLWORLD_OBS=0 every handle obtained
+   from the default registry is a no-op stub, so instrumented code pays
+   only an immediate branch on an immutable constructor — nothing is
+   recorded and snapshots come back zeroed.  Names and kinds are
+   registered even when dead, so tooling (e.g. `experiments_cli
+   list-metrics`) can enumerate the schema in any mode.
+
+   Domain safety: instrumented hot paths (objective evaluations, edge
+   coins) run on multiple domains when a Parallel pool is active, so
+   live counters are [Atomic.t int] (one fetch-and-add per increment)
+   and gauges are [Atomic.t float] (plain store for [set], CAS loop for
+   [set_max]).  Histograms keep several correlated fields, so each live
+   cell carries its own mutex; they are observed from colder paths
+   (per-message latencies, per-run totals).  Snapshots are not atomic
+   across metrics — concurrent updates may land between reads — but
+   every individual value read is consistent, and the usual
+   quiesce-then-snapshot pattern (bench, manifests) is exact. *)
 
 type kind = Counter | Gauge | Histogram
 
@@ -23,10 +33,11 @@ let min_exp = -64
 let max_exp = 63
 let num_buckets = max_exp - min_exp + 2
 
-type ccell = { mutable c_value : int }
-type gcell = { mutable g_value : float }
+type ccell = int Atomic.t
+type gcell = float Atomic.t
 
 type hcell = {
+  h_lock : Mutex.t;
   mutable h_count : int;
   mutable h_sum : float;
   mutable h_min : float;
@@ -42,6 +53,7 @@ type cell = Cell_counter of ccell | Cell_gauge of gcell | Cell_hist of hcell
 
 type registry = {
   live : bool;
+  reg_lock : Mutex.t;
   tbl : (string, kind * cell option) Hashtbl.t;
 }
 
@@ -50,37 +62,44 @@ let enabled =
   | Some ("0" | "false" | "off" | "no") -> false
   | Some _ | None -> true
 
-let create ?(live = true) () = { live; tbl = Hashtbl.create 64 }
+let create ?(live = true) () = { live; reg_lock = Mutex.create (); tbl = Hashtbl.create 64 }
 let default = create ~live:enabled ()
 let is_live r = r.live
 
 let register r name kind make_cell =
-  match Hashtbl.find_opt r.tbl name with
-  | Some (k, cell) ->
-      if k <> kind then
-        invalid_arg
-          (Printf.sprintf "Obs.Metrics: %S already registered as a %s" name (kind_to_string k));
-      cell
-  | None ->
-      let cell = if r.live then Some (make_cell ()) else None in
-      Hashtbl.add r.tbl name (kind, cell);
-      cell
+  Mutex.lock r.reg_lock;
+  let cell =
+    match Hashtbl.find_opt r.tbl name with
+    | Some (k, cell) ->
+        if k <> kind then begin
+          Mutex.unlock r.reg_lock;
+          invalid_arg
+            (Printf.sprintf "Obs.Metrics: %S already registered as a %s" name (kind_to_string k))
+        end;
+        cell
+    | None ->
+        let cell = if r.live then Some (make_cell ()) else None in
+        Hashtbl.add r.tbl name (kind, cell);
+        cell
+  in
+  Mutex.unlock r.reg_lock;
+  cell
 
 let counter ?(registry = default) name =
-  match register registry name Counter (fun () -> Cell_counter { c_value = 0 }) with
+  match register registry name Counter (fun () -> Cell_counter (Atomic.make 0)) with
   | Some (Cell_counter c) -> Counter_live c
   | Some _ -> assert false
   | None -> Counter_noop
 
 let gauge ?(registry = default) name =
-  match register registry name Gauge (fun () -> Cell_gauge { g_value = 0.0 }) with
+  match register registry name Gauge (fun () -> Cell_gauge (Atomic.make 0.0)) with
   | Some (Cell_gauge g) -> Gauge_live g
   | Some _ -> assert false
   | None -> Gauge_noop
 
 let hist_cell () =
-  { h_count = 0; h_sum = 0.0; h_min = infinity; h_max = neg_infinity;
-    h_buckets = Array.make num_buckets 0 }
+  { h_lock = Mutex.create (); h_count = 0; h_sum = 0.0; h_min = infinity;
+    h_max = neg_infinity; h_buckets = Array.make num_buckets 0 }
 
 let histogram ?(registry = default) name =
   match register registry name Histogram (fun () -> Cell_hist (hist_cell ())) with
@@ -88,16 +107,23 @@ let histogram ?(registry = default) name =
   | Some _ -> assert false
   | None -> Histogram_noop
 
-let incr = function Counter_noop -> () | Counter_live c -> c.c_value <- c.c_value + 1
-let add t n = match t with Counter_noop -> () | Counter_live c -> c.c_value <- c.c_value + n
-let counter_value = function Counter_noop -> 0 | Counter_live c -> c.c_value
+let incr = function Counter_noop -> () | Counter_live c -> ignore (Atomic.fetch_and_add c 1)
+let add t n = match t with Counter_noop -> () | Counter_live c -> ignore (Atomic.fetch_and_add c n)
+let counter_value = function Counter_noop -> 0 | Counter_live c -> Atomic.get c
 
-let set t v = match t with Gauge_noop -> () | Gauge_live g -> g.g_value <- v
+let set t v = match t with Gauge_noop -> () | Gauge_live g -> Atomic.set g v
 
 let set_max t v =
-  match t with Gauge_noop -> () | Gauge_live g -> if v > g.g_value then g.g_value <- v
+  match t with
+  | Gauge_noop -> ()
+  | Gauge_live g ->
+      let rec update () =
+        let cur = Atomic.get g in
+        if v > cur && not (Atomic.compare_and_set g cur v) then update ()
+      in
+      update ()
 
-let gauge_value = function Gauge_noop -> 0.0 | Gauge_live g -> g.g_value
+let gauge_value = function Gauge_noop -> 0.0 | Gauge_live g -> Atomic.get g
 
 (* Smallest e with v <= 2^e, exact via frexp (v = m * 2^e', m in [0.5, 1)). *)
 let bucket_index v =
@@ -114,12 +140,14 @@ let observe t v =
   match t with
   | Histogram_noop -> ()
   | Histogram_live h ->
+      Mutex.lock h.h_lock;
       h.h_count <- h.h_count + 1;
       h.h_sum <- h.h_sum +. v;
       if v < h.h_min then h.h_min <- v;
       if v > h.h_max then h.h_max <- v;
       let i = bucket_index v in
-      h.h_buckets.(i) <- h.h_buckets.(i) + 1
+      h.h_buckets.(i) <- h.h_buckets.(i) + 1;
+      Mutex.unlock h.h_lock
 
 let hist_count = function Histogram_noop -> 0 | Histogram_live h -> h.h_count
 let hist_sum = function Histogram_noop -> 0.0 | Histogram_live h -> h.h_sum
@@ -138,16 +166,20 @@ let zero_hist_snapshot =
   { count = 0; sum = 0.0; min = infinity; max = neg_infinity; buckets = [] }
 
 let snapshot_cell = function
-  | Some (Cell_counter c) -> Counter_v c.c_value
-  | Some (Cell_gauge g) -> Gauge_v g.g_value
+  | Some (Cell_counter c) -> Counter_v (Atomic.get c)
+  | Some (Cell_gauge g) -> Gauge_v (Atomic.get g)
   | Some (Cell_hist h) ->
+      Mutex.lock h.h_lock;
       let buckets = ref [] in
       for i = num_buckets - 1 downto 0 do
         if h.h_buckets.(i) > 0 then
           buckets := (bucket_upper_bound i, h.h_buckets.(i)) :: !buckets
       done;
-      Histogram_v
+      let snap =
         { count = h.h_count; sum = h.h_sum; min = h.h_min; max = h.h_max; buckets = !buckets }
+      in
+      Mutex.unlock h.h_lock;
+      Histogram_v snap
   | None -> assert false
 
 let zero_value = function
@@ -156,8 +188,10 @@ let zero_value = function
   | Histogram -> Histogram_v zero_hist_snapshot
 
 let sorted_entries r =
-  Hashtbl.fold (fun name entry acc -> (name, entry) :: acc) r.tbl []
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  Mutex.lock r.reg_lock;
+  let entries = Hashtbl.fold (fun name entry acc -> (name, entry) :: acc) r.tbl [] in
+  Mutex.unlock r.reg_lock;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) entries
 
 let snapshot r =
   List.map
@@ -168,21 +202,26 @@ let snapshot r =
 let list_metrics r = List.map (fun (name, (kind, _)) -> (name, kind)) (sorted_entries r)
 
 let find_value r name =
-  match Hashtbl.find_opt r.tbl name with
+  Mutex.lock r.reg_lock;
+  let entry = Hashtbl.find_opt r.tbl name in
+  Mutex.unlock r.reg_lock;
+  match entry with
   | None -> None
   | Some (kind, cell) -> Some (if cell = None then zero_value kind else snapshot_cell cell)
 
 let reset r =
-  Hashtbl.iter
-    (fun _ (_, cell) ->
+  List.iter
+    (fun (_, (_, cell)) ->
       match cell with
       | None -> ()
-      | Some (Cell_counter c) -> c.c_value <- 0
-      | Some (Cell_gauge g) -> g.g_value <- 0.0
+      | Some (Cell_counter c) -> Atomic.set c 0
+      | Some (Cell_gauge g) -> Atomic.set g 0.0
       | Some (Cell_hist h) ->
+          Mutex.lock h.h_lock;
           h.h_count <- 0;
           h.h_sum <- 0.0;
           h.h_min <- infinity;
           h.h_max <- neg_infinity;
-          Array.fill h.h_buckets 0 num_buckets 0)
-    r.tbl
+          Array.fill h.h_buckets 0 num_buckets 0;
+          Mutex.unlock h.h_lock)
+    (sorted_entries r)

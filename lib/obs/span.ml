@@ -7,7 +7,16 @@
    Spans finishing with no parent on the stack become trace roots
    (collected until [clear_roots]).  The whole machinery is disabled
    together with metrics: with SMALLWORLD_OBS=0, [with_] is just an
-   application of its argument. *)
+   application of its argument.
+
+   Domain safety: the open-frame stack is domain-local (Domain.DLS), so
+   spans nest within the domain that opened them — a span opened inside
+   a Parallel pool task parents to whatever is open on that worker
+   domain, not to the submitter's enclosing span.  The finished-roots
+   list is mutex-guarded, so rootless spans from any domain land in
+   [roots ()] without racing.  Note [Gc.allocated_bytes] is per-domain
+   in OCaml 5, so a span's [alloc_bytes] covers only allocation done on
+   its own domain. *)
 
 type t = {
   name : string;
@@ -21,7 +30,8 @@ let enabled = Metrics.enabled
 
 type frame = { span : t; t0 : float; a0 : float }
 
-let stack : frame list ref = ref []
+let stack_key : frame list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
+let roots_lock = Mutex.create ()
 let finished_roots : t list ref = ref []
 
 let rec absorb dst src =
@@ -39,7 +49,7 @@ and merge_into siblings span =
       (siblings, dst)
   | None -> (siblings @ [ span ], span)
 
-let finish fr =
+let finish stack fr =
   fr.span.wall_s <- Unix.gettimeofday () -. fr.t0;
   fr.span.alloc_bytes <- Gc.allocated_bytes () -. fr.a0;
   match !stack with
@@ -48,13 +58,16 @@ let finish fr =
       parent.span.children <- siblings;
       dst
   | [] ->
+      Mutex.lock roots_lock;
       let roots, dst = merge_into !finished_roots fr.span in
       finished_roots := roots;
+      Mutex.unlock roots_lock;
       dst
 
 let time ~name f =
   if not enabled then (f (), None)
   else begin
+    let stack = Domain.DLS.get stack_key in
     let fr =
       {
         span = { name; count = 1; wall_s = 0.0; alloc_bytes = 0.0; children = [] };
@@ -68,7 +81,7 @@ let time ~name f =
       Fun.protect
         ~finally:(fun () ->
           (match !stack with [] -> () | _ :: rest -> stack := rest);
-          dst := finish fr)
+          dst := finish stack fr)
         f
     in
     (result, Some !dst)
@@ -76,9 +89,16 @@ let time ~name f =
 
 let with_ ~name f = fst (time ~name f)
 
-let roots () = !finished_roots
+let roots () =
+  Mutex.lock roots_lock;
+  let r = !finished_roots in
+  Mutex.unlock roots_lock;
+  r
 
-let clear_roots () = finished_roots := []
+let clear_roots () =
+  Mutex.lock roots_lock;
+  finished_roots := [];
+  Mutex.unlock roots_lock
 
 let self_s t =
   let child_total = List.fold_left (fun acc c -> acc +. c.wall_s) 0.0 t.children in

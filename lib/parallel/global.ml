@@ -1,0 +1,38 @@
+(* The process-wide shared pool.
+
+   Library code (GIRG sampling, route batches) takes an optional
+   [?pool] argument and falls back to this shared instance, so a single
+   [set_jobs] call — wired to the [--jobs] CLI flags — retargets every
+   hot path at once.  The pool is created lazily on first use with the
+   job count from SMALLWORLD_JOBS (default 1), and its workers are
+   joined through [at_exit]. *)
+
+let shared : Pool.t option ref = ref None
+
+let exit_hook_installed = ref false
+
+let install_exit_hook () =
+  if not !exit_hook_installed then begin
+    exit_hook_installed := true;
+    at_exit (fun () -> match !shared with Some p -> Pool.shutdown p | None -> ())
+  end
+
+let get () =
+  match !shared with
+  | Some p -> p
+  | None ->
+      let p = Pool.create () in
+      shared := Some p;
+      install_exit_hook ();
+      p
+
+let jobs () = Pool.jobs (get ())
+
+let set_jobs n =
+  let n = Pool.resolve_jobs ~jobs:n () in
+  (match !shared with
+  | Some p when Pool.jobs p = n -> ()
+  | existing ->
+      Option.iter Pool.shutdown existing;
+      shared := Some (Pool.create ~jobs:n ());
+      install_exit_hook ())

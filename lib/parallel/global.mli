@@ -1,0 +1,17 @@
+(** The process-wide shared {!Pool}.
+
+    Created lazily on first use with the job count resolved from the
+    [SMALLWORLD_JOBS] environment variable (default 1); CLI entry
+    points call {!set_jobs} after parsing [--jobs].  Worker domains are
+    joined at process exit. *)
+
+val get : unit -> Pool.t
+(** The shared pool (created on first call). *)
+
+val jobs : unit -> int
+(** Parallelism of the shared pool. *)
+
+val set_jobs : int -> unit
+(** Replace the shared pool with one of the given parallelism
+    ([0] = {!Pool.recommended}).  A no-op when the job count is
+    unchanged; otherwise the previous pool is shut down. *)

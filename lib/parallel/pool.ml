@@ -1,0 +1,211 @@
+(* A dependency-free work pool on stdlib Domain (OCaml 5).
+
+   The pool keeps [jobs - 1] persistent worker domains parked on a
+   condition variable; the submitting domain participates in every
+   batch, so [jobs = 1] never spawns a domain and never touches the
+   synchronisation path — it is exactly a [for] loop over the task
+   bodies.  A batch is an atomic task queue: workers claim indices with
+   [Atomic.fetch_and_add], which balances load dynamically without any
+   per-task locking.
+
+   Determinism contract: the pool schedules WHICH domain runs a task
+   nondeterministically, but callers that (a) give every task an
+   independent input (e.g. an RNG substream derived from the task
+   index/key alone) and (b) write results into per-task slots combined
+   in task order afterwards get output that is bit-identical for every
+   job count.  All combinators here ([map], [map_reduce],
+   [parallel_for] over disjoint state) are built on that pattern.
+
+   Reentrancy: a task body that calls back into any pool runs the inner
+   batch inline on its own domain (a per-domain flag, see [inside_key]);
+   this keeps nested parallelism deadlock-free.  [run] must not be
+   called concurrently from two different domains on the same pool. *)
+
+type batch = {
+  body : int -> unit;
+  n : int;
+  next : int Atomic.t; (* next unclaimed task index *)
+  completed : int Atomic.t; (* finished tasks (successful or failed) *)
+  failed : (exn * Printexc.raw_backtrace) option Atomic.t;
+}
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  work_ready : Condition.t;
+  batch_done : Condition.t;
+  mutable current : batch option;
+  mutable epoch : int; (* bumped once per published batch *)
+  mutable stopping : bool;
+  mutable workers : unit Domain.t array;
+}
+
+(* True on any domain currently executing pool tasks (and on workers
+   permanently): nested submissions from such a domain run inline. *)
+let inside_key = Domain.DLS.new_key (fun () -> false)
+
+let execute pool b =
+  let rec loop () =
+    let i = Atomic.fetch_and_add b.next 1 in
+    if i < b.n then begin
+      (try b.body i
+       with e ->
+         let bt = Printexc.get_raw_backtrace () in
+         ignore (Atomic.compare_and_set b.failed None (Some (e, bt))));
+      let finished = 1 + Atomic.fetch_and_add b.completed 1 in
+      if finished = b.n then begin
+        (* Wake the submitter; taking the mutex avoids a lost wakeup
+           between its completion check and its wait. *)
+        Mutex.lock pool.mutex;
+        Condition.broadcast pool.batch_done;
+        Mutex.unlock pool.mutex
+      end;
+      loop ()
+    end
+  in
+  loop ()
+
+let rec worker_loop pool epoch_seen =
+  Mutex.lock pool.mutex;
+  while pool.epoch = epoch_seen && not pool.stopping do
+    Condition.wait pool.work_ready pool.mutex
+  done;
+  let epoch = pool.epoch in
+  let batch = pool.current in
+  let stop = pool.stopping in
+  Mutex.unlock pool.mutex;
+  if not stop then begin
+    (match batch with Some b -> execute pool b | None -> ());
+    worker_loop pool epoch
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Job-count resolution *)
+
+let max_jobs = 512
+
+let recommended () = Domain.recommended_domain_count ()
+
+let env_jobs () =
+  match Sys.getenv_opt "SMALLWORLD_JOBS" with
+  | None | Some "" -> None
+  | Some s -> begin
+      match String.trim s with
+      | "auto" -> Some (recommended ())
+      | s -> begin
+          match int_of_string_opt s with
+          | Some 0 -> Some (recommended ())
+          | Some n when n >= 1 -> Some (min n max_jobs)
+          | Some _ | None -> None (* ignore garbage; stay sequential *)
+        end
+    end
+
+let resolve_jobs ?jobs () =
+  match jobs with
+  | Some 0 -> recommended ()
+  | Some n when n >= 1 -> min n max_jobs
+  | Some n -> invalid_arg (Printf.sprintf "Pool.resolve_jobs: bad job count %d" n)
+  | None -> ( match env_jobs () with Some n -> n | None -> 1)
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle *)
+
+let create ?jobs () =
+  let jobs = resolve_jobs ?jobs () in
+  let pool =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      work_ready = Condition.create ();
+      batch_done = Condition.create ();
+      current = None;
+      epoch = 0;
+      stopping = false;
+      workers = [||];
+    }
+  in
+  pool.workers <-
+    Array.init (jobs - 1) (fun _ ->
+        Domain.spawn (fun () ->
+            Domain.DLS.set inside_key true;
+            worker_loop pool 0));
+  pool
+
+let jobs t = t.jobs
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stopping <- true;
+  Condition.broadcast t.work_ready;
+  Mutex.unlock t.mutex;
+  Array.iter Domain.join t.workers;
+  t.workers <- [||]
+
+(* ------------------------------------------------------------------ *)
+(* Batch submission *)
+
+let run_inline ~n body =
+  for i = 0 to n - 1 do
+    body i
+  done
+
+let run t ~n body =
+  if n <= 0 then ()
+  else if t.jobs = 1 || n = 1 || Domain.DLS.get inside_key then run_inline ~n body
+  else begin
+    if t.stopping then invalid_arg "Pool.run: pool is shut down";
+    let b =
+      { body; n; next = Atomic.make 0; completed = Atomic.make 0; failed = Atomic.make None }
+    in
+    Mutex.lock t.mutex;
+    t.current <- Some b;
+    t.epoch <- t.epoch + 1;
+    Condition.broadcast t.work_ready;
+    Mutex.unlock t.mutex;
+    (* The submitting domain works through the same queue. *)
+    Domain.DLS.set inside_key true;
+    Fun.protect
+      ~finally:(fun () -> Domain.DLS.set inside_key false)
+      (fun () -> execute t b);
+    Mutex.lock t.mutex;
+    while Atomic.get b.completed < b.n do
+      Condition.wait t.batch_done t.mutex
+    done;
+    t.current <- None;
+    Mutex.unlock t.mutex;
+    match Atomic.get b.failed with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ()
+  end
+
+let parallel_for t ?chunk_size ~lo ~hi body =
+  let span = hi - lo in
+  if span > 0 then begin
+    let chunk =
+      match chunk_size with
+      | Some c when c >= 1 -> c
+      | Some c -> invalid_arg (Printf.sprintf "Pool.parallel_for: bad chunk_size %d" c)
+      | None -> max 1 (span / (t.jobs * 8))
+    in
+    let chunks = (span + chunk - 1) / chunk in
+    run t ~n:chunks (fun c ->
+        let first = lo + (c * chunk) in
+        let last = min hi (first + chunk) - 1 in
+        for i = first to last do
+          body i
+        done)
+  end
+
+let map t ~n f =
+  if n < 0 then invalid_arg "Pool.map: negative length";
+  if n = 0 then [||]
+  else begin
+    let results = Array.make n None in
+    run t ~n (fun i -> results.(i) <- Some (f i));
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let map_reduce t ~n ~map:f ~reduce ~init =
+  (* The reduction is a sequential left fold in task-index order, so it is
+     deterministic even for non-commutative [reduce]. *)
+  Array.fold_left reduce init (map t ~n f)

@@ -1,0 +1,61 @@
+(** Work pool on stdlib [Domain] (OCaml 5) — dependency-free.
+
+    A pool owns [jobs - 1] persistent worker domains parked on a
+    condition variable; the submitting domain always participates, so a
+    pool with [jobs = 1] spawns nothing and executes every combinator as
+    a plain sequential loop (the exact single-core code path).
+
+    Scheduling is dynamic (workers claim task indices from an atomic
+    counter), so which domain runs a task is nondeterministic — but all
+    combinators combine results in task-index order, which makes a
+    computation bit-reproducible whenever each task depends only on its
+    own index (e.g. derives its RNG substream from a per-task key).  See
+    DESIGN.md "Parallel execution".
+
+    A task body that re-enters the pool (any pool) runs the nested batch
+    inline on its own domain, so nesting cannot deadlock.  [run] itself
+    must not be called concurrently from two domains on one pool. *)
+
+type t
+
+val create : ?jobs:int -> unit -> t
+(** [create ~jobs ()] builds a pool with the given parallelism.
+    [jobs = 0] means {!recommended}; omitting [jobs] resolves the
+    [SMALLWORLD_JOBS] environment variable (defaulting to [1]) as
+    described at {!resolve_jobs}.
+    @raise Invalid_argument on negative [jobs]. *)
+
+val jobs : t -> int
+(** Resolved parallelism (>= 1). *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains.  Further batch submissions raise
+    [Invalid_argument]; calling [shutdown] twice is harmless. *)
+
+val run : t -> n:int -> (int -> unit) -> unit
+(** [run t ~n body] executes [body i] for every [i] in [0..n-1], one
+    task per index, and returns when all have finished.  If any body
+    raised, the first exception recorded is re-raised (remaining tasks
+    still run). *)
+
+val parallel_for : t -> ?chunk_size:int -> lo:int -> hi:int -> (int -> unit) -> unit
+(** [parallel_for t ~lo ~hi body] runs [body i] for [lo <= i < hi],
+    grouping indices into contiguous chunks ([chunk_size] defaults to
+    [max 1 ((hi-lo) / (8*jobs))]) to amortise task-claim overhead. *)
+
+val map : t -> n:int -> (int -> 'a) -> 'a array
+(** [map t ~n f] is [[| f 0; ...; f (n-1) |]], computed in parallel;
+    the result array is in index order regardless of scheduling. *)
+
+val map_reduce : t -> n:int -> map:(int -> 'a) -> reduce:('b -> 'a -> 'b) -> init:'b -> 'b
+(** [map_reduce t ~n ~map ~reduce ~init] computes every [map i] in
+    parallel, then folds [reduce] over the results sequentially in
+    index order — deterministic even for non-commutative [reduce]. *)
+
+val recommended : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val resolve_jobs : ?jobs:int -> unit -> int
+(** Resolution order: explicit [jobs] argument (0 = {!recommended}),
+    else the [SMALLWORLD_JOBS] environment variable ([auto] or [0] =
+    {!recommended}; unparseable values are ignored), else [1]. *)

@@ -7,13 +7,18 @@ type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s
 
 let golden_gamma = 0x9E3779B97F4A7C15L
 
-(* One SplitMix64 step: advance [state] by the golden gamma and mix. *)
-let splitmix64_next state =
-  state := Int64.add !state golden_gamma;
-  let z = !state in
+(* The SplitMix64 finalizer alone: a bijective mixing of the 64-bit
+   space.  Used to hash deterministic task keys (cell codes, route
+   indices) into seeds for independent substreams. *)
+let mix64 z =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* One SplitMix64 step: advance [state] by the golden gamma and mix. *)
+let splitmix64_next state =
+  state := Int64.add !state golden_gamma;
+  mix64 !state
 
 let of_seed64 seed64 =
   let st = ref seed64 in

@@ -21,6 +21,19 @@ val split : t -> t
     generator.  [rng] itself advances, so subsequent draws from [rng] and the
     child do not collide. *)
 
+val of_seed64 : int64 -> t
+(** [of_seed64 s] seeds a generator from all 64 bits of [s] through four
+    SplitMix64 steps.  [create ~seed] is [of_seed64 (Int64.of_int seed)]. *)
+
+val mix64 : int64 -> int64
+(** The SplitMix64 finalizer: a fixed bijective mixing of the 64-bit
+    space.  Chain it over the components of a deterministic key —
+    [mix64 (add (mix64 (add base a)) b)] — to derive collision-resistant
+    seeds for {!of_seed64} substreams whose identity depends only on the
+    key, not on how many other streams exist.  This is the derivation
+    the parallel samplers use to stay bit-reproducible for any job
+    count. *)
+
 val copy : t -> t
 (** [copy rng] duplicates the current state; the copy replays the same
     future stream as [rng]. *)

@@ -6,8 +6,8 @@ module B = Obs.Bench
 let entry ?(runs = 3) ?(counters = []) id median_s =
   { B.id; runs; median_s; min_s = median_s *. 0.9; alloc_bytes = 1e6; counters }
 
-let report ?(label = "test") entries =
-  { B.label; git_rev = "deadbeef"; scale = "quick"; seed = 42; entries }
+let report ?(label = "test") ?(jobs = 1) entries =
+  { B.label; git_rev = "deadbeef"; scale = "quick"; seed = 42; jobs; entries }
 
 let test_median () =
   Alcotest.(check bool) "empty is nan" true (Float.is_nan (B.median []));
@@ -40,9 +40,20 @@ let test_roundtrip () =
   | Ok r' -> Alcotest.(check bool) "roundtrip equal" true (r = r')
   | Error e -> Alcotest.failf "parse failed: %s" e);
   (* Schema is enforced. *)
-  match B.of_string "{\"schema\":\"smallworld.obs.v1\"}" with
+  (match B.of_string "{\"schema\":\"smallworld.obs.v1\"}" with
   | Ok _ -> Alcotest.fail "wrong schema accepted"
-  | Error _ -> ()
+  | Error _ -> ());
+  (* jobs round-trips, and reports predating the field parse as jobs=1. *)
+  (match B.of_string (B.to_string (report ~jobs:4 [ entry "E1" 0.5 ])) with
+  | Ok r' -> Alcotest.(check int) "jobs roundtrip" 4 r'.B.jobs
+  | Error e -> Alcotest.failf "parse failed: %s" e);
+  match
+    B.of_string
+      "{\"schema\":\"smallworld.bench.v1\",\"label\":\"old\",\"git_rev\":\"x\",\
+       \"scale\":\"quick\",\"seed\":42,\"experiments\":[]}"
+  with
+  | Ok r' -> Alcotest.(check int) "legacy jobs default" 1 r'.B.jobs
+  | Error e -> Alcotest.failf "legacy parse failed: %s" e
 
 let test_counters_of_registry () =
   let r = Obs.Metrics.create () in

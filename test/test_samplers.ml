@@ -19,7 +19,7 @@ let total_edges sampler ~params ~weights ~positions ~trials ~seed0 =
     let edges =
       match sampler with
       | `Naive -> Naive.sample_edges ~rng ~kernel ~weights ~positions
-      | `Cell -> Cell.sample_edges ~rng ~kernel ~weights ~positions
+      | `Cell -> Cell.sample_edges ~rng ~kernel ~weights ~positions ()
     in
     total := !total + Array.length edges
   done;
@@ -72,7 +72,7 @@ let test_agreement_threshold_exact () =
   let kernel = Kernel.girg params in
   let rng = Prng.Rng.create ~seed:1 in
   let naive = Naive.sample_edges ~rng ~kernel ~weights ~positions in
-  let cell = Cell.sample_edges ~rng:(Prng.Rng.create ~seed:2) ~kernel ~weights ~positions in
+  let cell = Cell.sample_edges ~rng:(Prng.Rng.create ~seed:2) ~kernel ~weights ~positions () in
   let norm edges =
     List.sort compare (Array.to_list (Array.map (fun (u, v) -> (min u v, max u v)) edges))
   in
@@ -93,7 +93,7 @@ let test_per_pair_distribution () =
       (fun (u, v) ->
         let u, v = (min u v, max u v) in
         counts.(u).(v) <- counts.(u).(v) + 1)
-      (Cell.sample_edges ~rng ~kernel ~weights ~positions)
+      (Cell.sample_edges ~rng ~kernel ~weights ~positions ())
   done;
   for u = 0 to count - 1 do
     for v = u + 1 to count - 1 do
@@ -208,7 +208,7 @@ let test_capped_vertices_path () =
   in
   let naive = Naive.sample_edges ~rng:(Prng.Rng.create ~seed:1) ~kernel:base ~weights ~positions in
   let cell =
-    Cell.sample_edges ~rng:(Prng.Rng.create ~seed:2) ~kernel:capped_kernel ~weights ~positions
+    Cell.sample_edges ~rng:(Prng.Rng.create ~seed:2) ~kernel:capped_kernel ~weights ~positions ()
   in
   Alcotest.(check (list (pair int int))) "capped path exact" (norm naive) (norm cell)
 
@@ -239,10 +239,10 @@ let test_empty_and_tiny () =
   let kernel = Kernel.girg (Params.make ~n:10 ()) in
   let rng = Prng.Rng.create ~seed:1 in
   Alcotest.(check int) "no vertices" 0
-    (Array.length (Cell.sample_edges ~rng ~kernel ~weights:[||] ~positions:[||]));
+    (Array.length (Cell.sample_edges ~rng ~kernel ~weights:[||] ~positions:[||] ()));
   Alcotest.(check int) "one vertex" 0
     (Array.length
-       (Cell.sample_edges ~rng ~kernel ~weights:[| 1.0 |] ~positions:[| [| 0.1; 0.2 |] |]))
+       (Cell.sample_edges ~rng ~kernel ~weights:[| 1.0 |] ~positions:[| [| 0.1; 0.2 |] |] ()))
 
 let test_cell_near_linear_scaling () =
   (* The whole point of the cell sampler: its work scales near-linearly.  A
@@ -253,7 +253,7 @@ let test_cell_near_linear_scaling () =
     let weights, positions = fixed_instance_inputs ~seed:55 ~count ~params in
     let _, stats =
       Cell.sample_edges_stats ~rng:(Prng.Rng.create ~seed:1)
-        ~kernel:(Kernel.girg params) ~weights ~positions
+        ~kernel:(Kernel.girg params) ~weights ~positions ()
     in
     stats.Cell.type1_pairs + stats.Cell.type2_trials
   in
@@ -267,7 +267,7 @@ let test_cell_stats_sane () =
   let weights, positions = fixed_instance_inputs ~seed:21 ~count ~params in
   let kernel = Kernel.girg params in
   let rng = Prng.Rng.create ~seed:3 in
-  let edges, stats = Cell.sample_edges_stats ~rng ~kernel ~weights ~positions in
+  let edges, stats = Cell.sample_edges_stats ~rng ~kernel ~weights ~positions () in
   Alcotest.(check bool) "visited cells" true (stats.Cell.cells_visited > 0);
   Alcotest.(check bool) "type1 bounded" true
     (stats.Cell.type1_pairs < count * count / 2);
