@@ -21,6 +21,7 @@
      dune exec bench/main.exe -- record [--runs K] [--label L] [--seed N]
                                         [--out FILE] [--jobs N]
      dune exec bench/main.exe -- diff BASELINE CURRENT [--threshold PCT]
+                                      [--alloc-threshold PCT] [--advisory-time]
 
    --jobs N (0 = all cores) sizes the shared Parallel pool; otherwise
    SMALLWORLD_JOBS applies.  Reports remember the job count and `diff`
@@ -318,6 +319,13 @@ let load_report path =
 
 let diff args =
   let threshold_pct = float_of_string (opt_value args "--threshold" ~default:"25") in
+  let alloc_threshold_pct =
+    float_of_string (opt_value args "--alloc-threshold" ~default:"100")
+  in
+  (* On shared CI runners wall time flaps with machine load while
+     allocation stays deterministic: --advisory-time reports timing
+     verdicts but only allocation regressions affect the exit code. *)
+  let advisory_time = List.mem "--advisory-time" args in
   let positional = List.filter (fun a -> String.length a = 0 || a.[0] <> '-') args in
   match positional with
   | [ base_path; cur_path ] ->
@@ -331,20 +339,35 @@ let diff args =
           baseline.Obs.Bench.jobs current.Obs.Bench.jobs;
         exit 2
       end;
-      let comparisons = Obs.Bench.diff ~threshold_pct ~baseline ~current () in
+      let comparisons =
+        Obs.Bench.diff ~threshold_pct ~alloc_threshold_pct ~baseline ~current ()
+      in
       Printf.printf "baseline %s (%s, %s)  vs  current %s (%s, %s)\n"
         baseline.Obs.Bench.label baseline.Obs.Bench.git_rev baseline.Obs.Bench.scale
         current.Obs.Bench.label current.Obs.Bench.git_rev current.Obs.Bench.scale;
       if baseline.Obs.Bench.scale <> current.Obs.Bench.scale then
         print_endline "warning: reports were recorded at different scales";
       print_string (Obs.Bench.render_diff comparisons);
-      if Obs.Bench.regressed comparisons then begin
+      let time_bad = Obs.Bench.time_regressed comparisons in
+      let alloc_bad = Obs.Bench.alloc_regressed comparisons in
+      if alloc_bad then begin
+        Printf.printf "FAIL: allocation regression beyond %.0f%% (or missing experiment)\n"
+          alloc_threshold_pct;
+        exit 1
+      end
+      else if time_bad && not advisory_time then begin
         Printf.printf "FAIL: median regression beyond %.0f%% (or missing experiment)\n" threshold_pct;
         exit 1
       end
+      else if time_bad then
+        Printf.printf
+          "WARN: median regression beyond %.0f%% (advisory: timing not gated on this runner)\n"
+          threshold_pct
       else print_endline "OK: no regression beyond threshold"
   | _ ->
-      prerr_endline "usage: bench diff BASELINE CURRENT [--threshold PCT]";
+      prerr_endline
+        "usage: bench diff BASELINE CURRENT [--threshold PCT] [--alloc-threshold PCT] \
+         [--advisory-time]";
       exit 2
 
 let () =

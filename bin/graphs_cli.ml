@@ -139,6 +139,7 @@ let gen_hrg_cmd =
             Girg.Instance.params = girg_params;
             weights = h.weights;
             positions = h.positions;
+            packed = Geometry.Torus.Packed.of_points ~dim:1 h.positions;
             graph = h.graph;
           }
         in
@@ -260,6 +261,7 @@ let embed_cmd =
             Girg.Instance.params = girg_params;
             weights = h.Hyperbolic.Hrg.weights;
             positions = h.Hyperbolic.Hrg.positions;
+            packed = Geometry.Torus.Packed.of_points ~dim:1 h.Hyperbolic.Hrg.positions;
             graph;
           };
         Printf.printf
@@ -300,6 +302,7 @@ let import_cmd =
             Girg.Instance.params = girg_params;
             weights = h.Hyperbolic.Hrg.weights;
             positions = h.Hyperbolic.Hrg.positions;
+            packed = Geometry.Torus.Packed.of_points ~dim:1 h.Hyperbolic.Hrg.positions;
             graph;
           };
         Printf.printf "imported %d vertices / %d edges and embedded them; wrote %s\n" n

@@ -4,6 +4,7 @@ let route ~graph ~objective ~source ~rng ~failure_prob ?max_steps () =
     invalid_arg "Faulty.route: failure_prob must lie in [0, 1)";
   let max_steps = Option.value max_steps ~default:(Sparse_graph.Graph.n graph + 1) in
   let target = objective.target in
+  let phi = Objective.scorer objective in
   let edge_up () = failure_prob = 0.0 || Prng.Rng.unit_float rng >= failure_prob in
   let rec go v score_v steps walk =
     if v = target then
@@ -15,7 +16,7 @@ let route ~graph ~objective ~source ~rng ~failure_prob ?max_steps () =
       let best = ref (-1) and best_score = ref neg_infinity in
       Sparse_graph.Graph.iter_neighbors graph v (fun u ->
           if edge_up () then begin
-            let s = objective.score u in
+            let s = phi u in
             if s > !best_score then begin
               best := u;
               best_score := s
@@ -26,4 +27,4 @@ let route ~graph ~objective ~source ~rng ~failure_prob ?max_steps () =
       else { Outcome.status = Dead_end; steps; visited = steps + 1; walk = List.rev walk }
     end
   in
-  go source (objective.score source) 0 [ source ]
+  go source (phi source) 0 [ source ]

@@ -13,7 +13,7 @@ let route ~graph ~objective ~source ?max_steps () =
   let rid = if recording then Obs.Events.next_route_id () else 0 in
   let n = Sparse_graph.Graph.n graph in
   let max_steps = Option.value max_steps ~default:((50 * n) + 1000) in
-  let phi = objective.score in
+  let phi = Objective.scorer objective in
   let target = objective.target in
   let visits = Array.make n 0 in
   let seen = Array.make n false in

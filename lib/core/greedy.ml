@@ -12,9 +12,10 @@ let route ~graph ~objective ~source ?max_steps () =
   let rid = if recording then Obs.Events.next_route_id () else 0 in
   let max_steps = Option.value max_steps ~default:(Sparse_graph.Graph.n graph + 1) in
   let target = objective.target in
+  let phi = Objective.scorer objective in
   if recording then
     Obs.Events.emit
-      (Obs.Events.Route_hop { route = rid; hop = 0; vertex = source; objective = objective.score source });
+      (Obs.Events.Route_hop { route = rid; hop = 0; vertex = source; objective = phi source });
   let rec go v score_v steps walk =
     if v = target then
       { Outcome.status = Delivered; steps; visited = steps + 1; walk = List.rev walk }
@@ -26,7 +27,7 @@ let route ~graph ~objective ~source ?max_steps () =
       let best = ref (-1) and best_score = ref neg_infinity in
       Sparse_graph.Graph.iter_neighbors graph v (fun u ->
           Obs.Metrics.incr c_evals;
-          let s = objective.score u in
+          let s = phi u in
           if s > !best_score then begin
             best := u;
             best_score := s
@@ -43,7 +44,7 @@ let route ~graph ~objective ~source ?max_steps () =
       end
     end
   in
-  let outcome = go source (objective.score source) 0 [ source ] in
+  let outcome = go source (phi source) 0 [ source ] in
   Obs.Metrics.add c_steps outcome.Outcome.steps;
   if outcome.Outcome.status = Outcome.Dead_end then Obs.Metrics.incr c_dead_ends;
   outcome

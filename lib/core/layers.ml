@@ -26,7 +26,7 @@ let make ~(inst : Girg.Instance.t) ~target ?(epsilon = 0.1) () =
     invalid_arg "Layers.make: epsilon too large for this beta (growth <= 1)";
   let objective = Objective.girg_phi inst ~target in
   {
-    score = objective.Objective.score;
+    score = Objective.scorer objective;
     weights = inst.weights;
     gamma;
     growth;

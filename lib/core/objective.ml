@@ -1,7 +1,14 @@
-type t = { name : string; target : int; score : int -> float }
+type t = {
+  name : string;
+  target : int;
+  score : int -> float;
+  dense : (int -> float) option;
+}
+
+let scorer t = match t.dense with Some f -> f | None -> t.score
 
 let of_fun ~name ~target f =
-  { name; target; score = (fun v -> if v = target then infinity else f v) }
+  { name; target; score = (fun v -> if v = target then infinity else f v); dense = None }
 
 let girg_phi (inst : Girg.Instance.t) ~target =
   let p = inst.params in
@@ -20,12 +27,60 @@ let girg_phi (inst : Girg.Instance.t) ~target =
     in
     inst.weights.(v) /. (denom *. dist_d)
   in
-  of_fun ~name:"phi" ~target score
+  (* Dense fast path: the (norm, dim)-specialised strided kernel reads the
+     instance's flat coordinate store; same floats, same operation order as
+     [score] above. *)
+  let weights = inst.weights in
+  let dist_to = Geometry.Torus.Packed.dist_to_fn inst.packed p.Girg.Params.norm in
+  let dense =
+    match dim with
+    | 1 ->
+        fun v ->
+          if v = target then infinity else weights.(v) /. (denom *. dist_to v xt)
+    | 2 ->
+        fun v ->
+          if v = target then infinity
+          else begin
+            let dist = dist_to v xt in
+            weights.(v) /. (denom *. (dist *. dist))
+          end
+    | 3 ->
+        fun v ->
+          if v = target then infinity
+          else begin
+            let dist = dist_to v xt in
+            weights.(v) /. (denom *. (dist *. dist *. dist))
+          end
+    | _ ->
+        let dimf = float_of_int dim in
+        fun v ->
+          if v = target then infinity
+          else begin
+            let dist = dist_to v xt in
+            weights.(v) /. (denom *. (dist ** dimf))
+          end
+  in
+  {
+    name = "phi";
+    target;
+    score = (fun v -> if v = target then infinity else score v);
+    dense = Some dense;
+  }
 
-let geometric ~positions ~target =
+let geometric ?packed ~positions ~target () =
   let xt = positions.(target) in
-  of_fun ~name:"geometric" ~target (fun v ->
-      1.0 /. Geometry.Torus.dist_linf positions.(v) xt)
+  let dense =
+    match packed with
+    | None -> None
+    | Some pk ->
+        let dist_to = Geometry.Torus.Packed.dist_to_fn pk Geometry.Torus.Linf in
+        Some (fun v -> if v = target then infinity else 1.0 /. dist_to v xt)
+  in
+  let base =
+    of_fun ~name:"geometric" ~target (fun v ->
+        1.0 /. Geometry.Torus.dist_linf positions.(v) xt)
+  in
+  { base with dense }
 
 let hyperbolic (h : Hyperbolic.Hrg.t) ~target =
   let p = h.params in
@@ -45,31 +100,130 @@ let hyperbolic (h : Hyperbolic.Hrg.t) ~target =
     in
     nf /. (wt *. w_min *. sqrt (Float.max 1.0 cosh_dh))
   in
-  of_fun ~name:"phi_H" ~target score
+  (* Dense fast path over the flat [r; angle] store.  [sinh ct.r] and
+     [wt *. w_min] are trailing/leading factors of left-associated products,
+     so hoisting them preserves every intermediate bit pattern. *)
+  let pc = h.packed_coords in
+  let ct_r = ct.Hyperbolic.Hrg.r in
+  let ct_angle = ct.Hyperbolic.Hrg.angle in
+  let sinh_ct = sinh ct_r in
+  let lead = wt *. w_min in
+  let dense v =
+    if v = target then infinity
+    else begin
+      let ar = pc.(2 * v) in
+      let aa = pc.((2 * v) + 1) in
+      let dangle =
+        let d = abs_float (aa -. ct_angle) in
+        if d > Float.pi then (2.0 *. Float.pi) -. d else d
+      in
+      let cosh_dh = cosh (ar -. ct_r) +. ((1.0 -. cos dangle) *. sinh ar *. sinh_ct) in
+      nf /. (lead *. sqrt (Float.max 1.0 cosh_dh))
+    end
+  in
+  {
+    name = "phi_H";
+    target;
+    score = (fun v -> if v = target then infinity else score v);
+    dense = Some dense;
+  }
 
 (* Deterministic per-vertex uniform in [0, 1): one SplitMix64-style mix of
    (seed, vertex).  Stable across calls, so an objective scores consistently
-   during a whole routing run. *)
+   during a whole routing run.
+
+   The 64-bit mix runs on (hi32, lo32) native-int halves — no boxed [Int64]
+   per evaluation.  Native [( * )] wraps mod 2^63, which keeps the low 32
+   bits of any product exact; the low word of a 32x32 multiply is assembled
+   from 16-bit limbs so no intermediate exceeds 63 bits.  Output is
+   bit-identical to the boxed [Int64] formulation (pinned by tests). *)
+
+let mask32 = 0xFFFFFFFF
+
 let hash_unit ~seed v =
-  let z = Int64.add (Int64.of_int seed) (Int64.mul (Int64.of_int (v + 1)) 0x9E3779B97F4A7C15L) in
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
-  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
-  let bits53 = Int64.to_int (Int64.shift_right_logical z 11) in
+  (* z = seed + (v + 1) * 0x9E3779B97F4A7C15 *)
+  let m = v + 1 in
+  let ah = (m asr 32) land mask32 in
+  let al = m land mask32 in
+  let a0 = al land 0xFFFF in
+  let a1 = al lsr 16 in
+  (* constant limbs of 0x9E3779B97F4A7C15 *)
+  let p00 = a0 * 0x7C15 in
+  let mid = (p00 lsr 16) + (a1 * 0x7C15) + (a0 * 0x7F4A) in
+  let lo = (p00 land 0xFFFF) lor ((mid land 0xFFFF) lsl 16) in
+  let hi =
+    ((mid lsr 16) + (a1 * 0x7F4A) + ((al * 0x9E3779B9) land mask32)
+    + ((ah * 0x7F4A7C15) land mask32))
+    land mask32
+  in
+  let sum = lo + (seed land mask32) in
+  let zl = sum land mask32 in
+  let zh = (hi + ((seed asr 32) land mask32) + (sum lsr 32)) land mask32 in
+  (* z ^= z >>> 30 *)
+  let zl = zl lxor ((zl lsr 30) lor ((zh lsl 2) land mask32)) in
+  let zh = zh lxor (zh lsr 30) in
+  (* z *= 0xBF58476D1CE4E5B9 *)
+  let a0 = zl land 0xFFFF in
+  let a1 = zl lsr 16 in
+  let p00 = a0 * 0xE5B9 in
+  let mid = (p00 lsr 16) + (a1 * 0xE5B9) + (a0 * 0x1CE4) in
+  let lo = (p00 land 0xFFFF) lor ((mid land 0xFFFF) lsl 16) in
+  let hi =
+    ((mid lsr 16) + (a1 * 0x1CE4) + ((zl * 0xBF58476D) land mask32)
+    + ((zh * 0x1CE4E5B9) land mask32))
+    land mask32
+  in
+  let zl = lo and zh = hi in
+  (* z ^= z >>> 27 *)
+  let zl = zl lxor ((zl lsr 27) lor ((zh lsl 5) land mask32)) in
+  let zh = zh lxor (zh lsr 27) in
+  (* z *= 0x94D049BB133111EB *)
+  let a0 = zl land 0xFFFF in
+  let a1 = zl lsr 16 in
+  let p00 = a0 * 0x11EB in
+  let mid = (p00 lsr 16) + (a1 * 0x11EB) + (a0 * 0x1331) in
+  let lo = (p00 land 0xFFFF) lor ((mid land 0xFFFF) lsl 16) in
+  let hi =
+    ((mid lsr 16) + (a1 * 0x1331) + ((zl * 0x94D049BB) land mask32)
+    + ((zh * 0x133111EB) land mask32))
+    land mask32
+  in
+  let zl = lo and zh = hi in
+  (* z ^= z >>> 31 *)
+  let zl = zl lxor ((zl lsr 31) lor ((zh lsl 1) land mask32)) in
+  let zh = zh lxor (zh lsr 31) in
+  (* top 53 bits, scaled to [0, 1) *)
+  let bits53 = (zh lsl 21) lor (zl lsr 11) in
   float_of_int bits53 /. 9007199254740992.0
 
 let noisy_factor ~seed ~spread base =
   if spread < 0.0 then invalid_arg "Objective.noisy_factor: negative spread";
+  let name = Printf.sprintf "%s~factor(%g)" base.name spread in
+  let target = base.target in
   let score v =
     let u = (2.0 *. hash_unit ~seed v) -. 1.0 in
     base.score v *. exp (u *. spread)
   in
-  of_fun ~name:(Printf.sprintf "%s~factor(%g)" base.name spread) ~target:base.target score
+  let bs = scorer base in
+  let dense v =
+    if v = target then infinity
+    else begin
+      let u = (2.0 *. hash_unit ~seed v) -. 1.0 in
+      bs v *. exp (u *. spread)
+    end
+  in
+  {
+    name;
+    target;
+    score = (fun v -> if v = target then infinity else score v);
+    dense = Some dense;
+  }
 
 let noisy_polynomial ~seed ~delta ~weights base =
   if delta < 0.0 then invalid_arg "Objective.noisy_polynomial: negative delta";
-  let score v =
-    let s = base.score v in
+  let name = Printf.sprintf "%s~poly(%g)" base.name delta in
+  let target = base.target in
+  let perturb s v =
     if s <= 0.0 then s
     else begin
       let m = Float.min weights.(v) (1.0 /. s) in
@@ -77,6 +231,46 @@ let noisy_polynomial ~seed ~delta ~weights base =
       s *. (Float.max 1.0 m ** (u *. delta))
     end
   in
-  of_fun
-    ~name:(Printf.sprintf "%s~poly(%g)" base.name delta)
-    ~target:base.target score
+  let score v = perturb (base.score v) v in
+  let bs = scorer base in
+  let dense v = if v = target then infinity else perturb (bs v) v in
+  {
+    name;
+    target;
+    score = (fun v -> if v = target then infinity else score v);
+    dense = Some dense;
+  }
+
+module Memo = struct
+  type scratch = {
+    mutable scores : float array;
+    mutable stamps : int array;
+    mutable gen : int;
+  }
+
+  let create () = { scores = [||]; stamps = [||]; gen = 0 }
+
+  let wrap scratch ~n t =
+    if n < 0 then invalid_arg "Objective.Memo.wrap: negative n";
+    if Array.length scratch.stamps < n then begin
+      scratch.scores <- Array.make n 0.0;
+      scratch.stamps <- Array.make n 0
+    end;
+    (* A fresh generation invalidates every cached entry without clearing:
+       a slot is valid only while its stamp equals the current generation. *)
+    scratch.gen <- scratch.gen + 1;
+    let gen = scratch.gen in
+    let scores = scratch.scores in
+    let stamps = scratch.stamps in
+    let base = scorer t in
+    let memo v =
+      if stamps.(v) = gen then scores.(v)
+      else begin
+        let s = base v in
+        scores.(v) <- s;
+        stamps.(v) <- gen;
+        s
+      end
+    in
+    { t with dense = Some memo }
+end

@@ -9,33 +9,56 @@ type t = {
   name : string;
   target : int;
   score : int -> float;
+  dense : (int -> float) option;
+      (** Optional preresolved fast path: same values as [score], bit for
+          bit, but evaluated against flat (structure-of-arrays) stores with
+          (norm, dim)-specialised kernels.  Hot loops call {!scorer} to pick
+          it up; [None] falls back to [score]. *)
 }
+
+val scorer : t -> int -> float
+(** [scorer t] is [t.dense] when present, else [t.score].  Routing inner
+    loops hoist this once per route. *)
 
 val girg_phi : Girg.Instance.t -> target:int -> t
 (** The paper's objective [phi(v) = w_v / (w_min n ||x_v - x_t||^d)]
     (Section 2.2) — maximising [phi] maximises the connection probability
-    to the target.  [score target = infinity]. *)
+    to the target.  [score target = infinity].  Carries a dense fast path
+    over the instance's packed coordinate store. *)
 
-val geometric : positions:Geometry.Torus.point array -> target:int -> t
+val geometric :
+  ?packed:Geometry.Torus.Packed.t ->
+  positions:Geometry.Torus.point array ->
+  target:int ->
+  unit ->
+  t
 (** Degree-agnostic geometric routing ([9, 10] in the paper): score
     [1 / ||x_v - x_t||].  Used by experiment E11 to show objective-based
-    greedy routing is more robust. *)
+    greedy routing is more robust.  Pass [?packed] (the same coordinates in
+    flat form) to enable the dense fast path. *)
 
 val hyperbolic : Hyperbolic.Hrg.t -> target:int -> t
 (** Geometric routing on hyperbolic random graphs: the objective [phi_H] of
     Section 11, [n / (w_t w_min sqrt(cosh d_H(v, t)))].  Maximising [phi_H]
-    minimises the hyperbolic distance to the target. *)
+    minimises the hyperbolic distance to the target.  Carries a dense fast
+    path over [packed_coords]. *)
 
 val of_fun : name:string -> target:int -> (int -> float) -> t
 (** Wrap an arbitrary scoring function; the target's score is forced to
     [infinity].  (Lattice-greedy on Kleinberg graphs uses this with the
-    negated Manhattan distance.) *)
+    negated Manhattan distance.)  No dense fast path. *)
+
+val hash_unit : seed:int -> int -> float
+(** [hash_unit ~seed v]: deterministic uniform in [[0, 1)] from one
+    SplitMix64 mix of [(seed, v)].  Implemented on native ints (no boxed
+    [Int64] per call); the output is pinned by regression tests. *)
 
 val noisy_factor : seed:int -> spread:float -> t -> t
 (** Theorem 3.5, bounded relaxation: multiply each vertex's score by a
     deterministic pseudo-random factor [exp u], [u] uniform in
     [[-spread, spread]] (a function of [seed] and the vertex id).  The
-    target's score stays [infinity]. *)
+    target's score stays [infinity].  Chains off the base objective's
+    {!scorer}, so a dense base keeps its fast path. *)
 
 val noisy_polynomial :
   seed:int -> delta:float -> weights:float array -> t -> t
@@ -44,3 +67,22 @@ val noisy_polynomial :
     [[-1, 1]] — the [min(w_v, phi(v)^-1)^(o(1))] perturbation class.  With
     [delta = o(1)] all theorems survive; constant [delta] degrades routing
     (Remark 10.1), which experiment E6 demonstrates. *)
+
+(** Per-route score memo: a vertex's score is computed at most once per
+    route even when several protocol phases revisit it.  Values are cached
+    by vertex id in flat arrays; a generation stamp invalidates the whole
+    cache in O(1) when the scratch is reused for the next route.  Sound
+    because every objective above is a pure function of the vertex id. *)
+module Memo : sig
+  type scratch
+  (** Reusable backing store (score + stamp arrays).  Not thread-safe: use
+      one scratch per domain. *)
+
+  val create : unit -> scratch
+
+  val wrap : scratch -> n:int -> t -> t
+  (** [wrap scratch ~n t]: [t] with its evaluation path memoised over
+      vertex ids [0 .. n-1].  Starts a fresh generation (previous cached
+      values become invisible).  Observability counters are unaffected —
+      routers count logical evaluations before calling the scorer. *)
+end

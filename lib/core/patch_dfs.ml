@@ -22,7 +22,7 @@ let route ~graph ~objective ~source ?max_steps () =
   let rid = if recording then Obs.Events.next_route_id () else 0 in
   let n = Sparse_graph.Graph.n graph in
   let max_steps = Option.value max_steps ~default:((200 * n) + 10_000) in
-  let phi = objective.score in
+  let phi = Objective.scorer objective in
   let target = objective.target in
   let v_phi = Array.make n nan in
   let v_parent = Array.make n (-1) in

@@ -2,7 +2,7 @@ let route ~graph ~objective ~source ?max_steps () =
   let open Objective in
   let n = Sparse_graph.Graph.n graph in
   let max_steps = Option.value max_steps ~default:((50 * n) + 1000) in
-  let phi = objective.score in
+  let phi = Objective.scorer objective in
   let target = objective.target in
   let seen = Array.make n false in
   let tree_parent = Array.make n (-1) in

@@ -8,6 +8,7 @@ type point = {
 
 let of_walk ~(inst : Girg.Instance.t) ~target ~walk =
   let objective = Objective.girg_phi inst ~target in
+  let phi = Objective.scorer objective in
   let xt = inst.positions.(target) in
   List.mapi
     (fun hop v ->
@@ -15,7 +16,7 @@ let of_walk ~(inst : Girg.Instance.t) ~target ~walk =
         hop;
         vertex = v;
         weight = inst.weights.(v);
-        objective = objective.Objective.score v;
+        objective = phi v;
         dist_to_target = Geometry.Torus.dist_linf inst.positions.(v) xt;
       })
     walk

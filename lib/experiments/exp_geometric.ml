@@ -26,7 +26,8 @@ let run ctx =
           ("phi (weight-aware)", fun ~target -> Greedy_routing.Objective.girg_phi inst ~target);
           ( "geometric (degree-agnostic)",
             fun ~target ->
-              Greedy_routing.Objective.geometric ~positions:inst.positions ~target );
+              Greedy_routing.Objective.geometric ~packed:inst.packed
+                ~positions:inst.positions ~target () );
         ]
       in
       List.iter

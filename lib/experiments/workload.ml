@@ -46,16 +46,28 @@ let sample_pairs_heavy ~rng ~weights ~min_weight ~count =
 (* Routes are mutually independent and RNG-free (greedy ties break
    deterministically), so a batch fans out over the pool one task per
    pair.  Each task records a compact slot; aggregation then replays the
-   slots sequentially in pair order with exactly the legacy loop's
-   prepend logic, so [results] — counts and the order of every array —
+   slots sequentially in pair order, preserving exactly the legacy loop's
+   prepend order, so [results] — counts and the order of every array —
    is bit-identical for any job count.  A stretch of [nan] encodes "not
    computed / BFS found no usable distance". *)
+
+(* One memo scratch per domain, reused across every route that domain
+   executes: protocols that revisit vertices (patching DFS, gravity
+   pressure) then pay one objective evaluation per distinct vertex per
+   route, and the backing arrays are allocated once per domain rather
+   than once per route. *)
+let memo_key = Domain.DLS.new_key (fun () -> Greedy_routing.Objective.Memo.create ())
+
 let run ?pool ~graph ~objective_for ~protocol ?max_steps ?(with_stretch = false) ~pairs () =
   Obs.Span.with_ ~name:"exp.route" (fun () ->
   let pool = match pool with Some p -> p | None -> Parallel.Global.get () in
+  let n = Sparse_graph.Graph.n graph in
   let route i =
     let source, target = pairs.(i) in
-    let objective = objective_for ~target in
+    let scratch = Domain.DLS.get memo_key in
+    let objective =
+      Greedy_routing.Objective.Memo.wrap scratch ~n (objective_for ~target)
+    in
     let outcome =
       Greedy_routing.Protocol.run protocol ~graph ~objective ~source ?max_steps ()
     in
@@ -70,19 +82,38 @@ let run ?pool ~graph ~objective_for ~protocol ?max_steps ?(with_stretch = false)
     (outcome.Greedy_routing.Outcome.status, outcome.steps, outcome.visited, stretch)
   in
   let slots = Parallel.Pool.map pool ~n:(Array.length pairs) route in
+  (* Counting pass, then preallocated arrays filled back-to-front: the
+     legacy prepend-then-[Array.of_list] loop produced the arrays in
+     reverse slot order, and that exact order is pinned by golden runs. *)
   let delivered = ref 0 and dead_end = ref 0 and exhausted = ref 0 and cutoff = ref 0 in
-  let steps = ref [] and visited = ref [] and stretches = ref [] in
+  let n_stretch = ref 0 in
   Array.iter
-    (fun (status, route_steps, route_visited, stretch) ->
+    (fun ((status : Greedy_routing.Outcome.status), _, _, stretch) ->
       match status with
       | Greedy_routing.Outcome.Delivered ->
           incr delivered;
-          steps := float_of_int route_steps :: !steps;
-          visited := float_of_int route_visited :: !visited;
-          if not (Float.is_nan stretch) then stretches := stretch :: !stretches
+          if not (Float.is_nan stretch) then incr n_stretch
       | Dead_end -> incr dead_end
       | Exhausted -> incr exhausted
       | Cutoff -> incr cutoff)
+    slots;
+  let steps = Array.make !delivered 0.0 in
+  let visited = Array.make !delivered 0.0 in
+  let stretches = Array.make !n_stretch 0.0 in
+  let si = ref (!delivered - 1) in
+  let ti = ref (!n_stretch - 1) in
+  Array.iter
+    (fun ((status : Greedy_routing.Outcome.status), route_steps, route_visited, stretch) ->
+      match status with
+      | Greedy_routing.Outcome.Delivered ->
+          steps.(!si) <- float_of_int route_steps;
+          visited.(!si) <- float_of_int route_visited;
+          decr si;
+          if not (Float.is_nan stretch) then begin
+            stretches.(!ti) <- stretch;
+            decr ti
+          end
+      | Dead_end | Exhausted | Cutoff -> ())
     slots;
   {
     attempted = Array.length pairs;
@@ -90,7 +121,7 @@ let run ?pool ~graph ~objective_for ~protocol ?max_steps ?(with_stretch = false)
     dead_end = !dead_end;
     exhausted = !exhausted;
     cutoff = !cutoff;
-    steps = Array.of_list !steps;
-    visited = Array.of_list !visited;
-    stretches = Array.of_list !stretches;
+    steps;
+    visited;
+    stretches;
   })

@@ -25,8 +25,11 @@ let dim t = t.dim
 let max_level t = t.max_level
 let size t = Array.length t.order
 
-(* First sorted position whose code is >= [key]. *)
-let lower_bound codes key =
+(* First sorted position whose code is >= [key].  The annotations matter:
+   without them the [<] below infers polymorphic and every probe of the
+   binary search pays a [compare_val] C call — measurably the hottest
+   instruction in the whole sampler. *)
+let lower_bound (codes : int array) (key : int) =
   let lo = ref 0 and hi = ref (Array.length codes) in
   while !lo < !hi do
     let mid = (!lo + !hi) / 2 in
@@ -34,8 +37,16 @@ let lower_bound codes key =
   done;
   !lo
 
+let check_level t level =
+  if level < 0 || level > t.max_level then invalid_arg "Grid.cell_range: bad level"
+
+(* [iter_cell]/[count_cell] run once per enumerated cell pair — hundreds
+   of thousands of times per sampling pass — so they inline the two
+   binary searches rather than going through [cell_range], whose result
+   tuple would be allocated just to be torn apart. *)
+
 let cell_range t ~level ~code =
-  if level < 0 || level > t.max_level then invalid_arg "Grid.cell_range: bad level";
+  check_level t level;
   let shift = t.dim * (t.max_level - level) in
   let lo_key = code lsl shift in
   let hi_key = (code + 1) lsl shift in
@@ -43,15 +54,41 @@ let cell_range t ~level ~code =
 
 let vertex_at t k = t.order.(k)
 
+(* Binary search restricted to [lo, hi) — used when the containing cell's
+   slice is already known, so the probe count is logarithmic in the cell
+   population instead of in the whole vertex set. *)
+let lower_bound_in (codes : int array) ~lo ~hi (key : int) =
+  let lo = ref lo and hi = ref hi in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if codes.(mid) < key then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let child_bounds t ~child_level ~code ~lo ~hi out =
+  check_level t child_level;
+  let kids = 1 lsl t.dim in
+  let shift = t.dim * (t.max_level - child_level) in
+  let base = code lsl t.dim in
+  out.(0) <- lo;
+  out.(kids) <- hi;
+  for k = 1 to kids - 1 do
+    out.(k) <- lower_bound_in t.codes ~lo ~hi ((base lor k) lsl shift)
+  done
+
 let iter_cell t ~level ~code f =
-  let lo, hi = cell_range t ~level ~code in
+  check_level t level;
+  let shift = t.dim * (t.max_level - level) in
+  let lo = lower_bound t.codes (code lsl shift) in
+  let hi = lower_bound t.codes ((code + 1) lsl shift) in
   for k = lo to hi - 1 do
     f t.order.(k)
   done
 
 let count_cell t ~level ~code =
-  let lo, hi = cell_range t ~level ~code in
-  hi - lo
+  check_level t level;
+  let shift = t.dim * (t.max_level - level) in
+  lower_bound t.codes ((code + 1) lsl shift) - lower_bound t.codes (code lsl shift)
 
 let nonempty_cells t ~level =
   let shift = t.dim * (t.max_level - level) in

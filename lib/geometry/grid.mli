@@ -32,5 +32,14 @@ val iter_cell : t -> level:int -> code:int -> (int -> unit) -> unit
 val count_cell : t -> level:int -> code:int -> int
 (** Number of indexed vertices in a cell. *)
 
+val child_bounds : t -> child_level:int -> code:int -> lo:int -> hi:int -> int array -> unit
+(** [child_bounds t ~child_level ~code ~lo ~hi out] writes into
+    [out.(0 .. 2^dim)] the slice boundaries of the [2^dim] children of cell
+    [code] (which lives at [child_level - 1] and spans sorted positions
+    [lo, hi)): child [k] occupies positions [out.(k), out.(k+1)).  Searching
+    only within the parent's slice makes a whole enumeration pass cheaper
+    than independent {!cell_range} calls per child.  [out] must have length
+    at least [2^dim + 1]. *)
+
 val nonempty_cells : t -> level:int -> int list
 (** Codes of the distinct nonempty cells at [level], ascending. *)

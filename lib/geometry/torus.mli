@@ -42,3 +42,40 @@ val ball_radius_of_volume : dim:int -> volume:float -> float
 
 val to_string : point -> string
 (** Human-readable rendering, e.g. ["(0.25, 0.75)"]. *)
+
+(** Structure-of-arrays position store: all coordinates in one contiguous
+    dim-strided [float array].  The [dist_*_fn] selectors resolve a
+    [(norm, dim)]-specialised kernel once, outside the hot loop; each kernel
+    performs the same floating-point operations in the same order as the
+    generic {!dist} loops, so distances (and everything derived from them)
+    are bit-identical to the array-of-points path. *)
+module Packed : sig
+  type t
+
+  val of_points : dim:int -> point array -> t
+  (** Pack an array of [dim]-dimensional points.
+      @raise Invalid_argument if a point has the wrong dimension. *)
+
+  val dim : t -> int
+  val length : t -> int
+  (** Number of stored points. *)
+
+  val data : t -> float array
+  (** The backing buffer, length [length * dim]; vertex [v]'s coordinates
+      occupy indices [v*dim .. v*dim + dim - 1].  Exposed for flat inner
+      loops; treat as read-only. *)
+
+  val get : t -> int -> point
+  (** Fresh copy of vertex [v]'s coordinates (cold paths only). *)
+
+  val coord : t -> int -> int -> float
+  (** [coord t v i] is coordinate [i] of vertex [v]. *)
+
+  val dist_to_fn : t -> norm -> int -> point -> float
+  (** [dist_to_fn t norm] resolves once to a kernel mapping [(v, q)] to the
+      toroidal distance between stored vertex [v] and query point [q].
+      Specialised (branch-free straight-line code) for [dim <= 3]. *)
+
+  val dist_between_fn : t -> norm -> int -> int -> float
+  (** Same, between two stored vertices — the edge samplers' inner loop. *)
+end

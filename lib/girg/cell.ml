@@ -37,9 +37,15 @@ let buckets_push b l v =
   arr.(cnt) <- v;
   b.counts.(l) <- cnt + 1
 
-let buckets_fill b grid ~level ~code ~layer_of =
+let buckets_fill b grid ~lo ~hi ~layer_of =
   buckets_reset b;
-  Grid.iter_cell grid ~level ~code (fun v -> buckets_push b layer_of.(v) v)
+  (* Direct loop over the cell's slice (precomputed during enumeration and
+     carried in the task): no per-fill closure, no binary search, and
+     [buckets_push] stays a known call. *)
+  for k = lo to hi - 1 do
+    let v = Grid.vertex_at grid k in
+    buckets_push b layer_of.(v) v
+  done
 
 (* Toroidal adjacency of two cells at a level: every coordinate index differs
    by at most 1 (mod cells-per-side).  The caller provides two scratch
@@ -72,10 +78,13 @@ let cells_adjacent ~dim ~level ~scratch_a ~scratch_b a b =
    task order.  Both phases are functions of the inputs alone, so the
    emitted edge array is bit-identical for every job count.
 
-   A task is four ints in [tasks]:
+   A task is eight ints in [tasks]:
      kind  — 0 = type I cell pair, 1 = type II cell pair, 2 = capped vertex
      level — grid level of the pair (0 for capped tasks)
      a, b  — Morton codes of the two cells (for capped: a = vertex id, b = 0)
+     alo, ahi, blo, bhi — the cells' sorted-order slices in the grid
+             (0 for capped tasks); carried so that sampling never repeats
+             the binary searches the enumeration already performed
 *)
 
 let k_type1 = 0
@@ -86,8 +95,8 @@ type task_buf = { mutable t_data : int array; mutable t_len : int }
 
 let task_buf_create () = { t_data = Array.make 256 0; t_len = 0 }
 
-let task_push tb ~kind ~level ~a ~b =
-  if tb.t_len + 4 > Array.length tb.t_data then begin
+let task_push tb ~kind ~level ~a ~b ~alo ~ahi ~blo ~bhi =
+  if tb.t_len + 8 > Array.length tb.t_data then begin
     let bigger = Array.make (2 * Array.length tb.t_data) 0 in
     Array.blit tb.t_data 0 bigger 0 tb.t_len;
     tb.t_data <- bigger
@@ -97,20 +106,21 @@ let task_push tb ~kind ~level ~a ~b =
   d.(i + 1) <- level;
   d.(i + 2) <- a;
   d.(i + 3) <- b;
-  tb.t_len <- tb.t_len + 4
+  d.(i + 4) <- alo;
+  d.(i + 5) <- ahi;
+  d.(i + 6) <- blo;
+  d.(i + 7) <- bhi;
+  tb.t_len <- tb.t_len + 8
 
-let task_count tb = tb.t_len / 4
+let task_count tb = tb.t_len / 8
 
 (* Substream for one task: hash the task key into a seed with chained
    SplitMix64 finalizer steps.  The key involves only (base, kind, level,
    cell codes), never the task's position in the schedule. *)
 let task_rng ~base ~kind ~level ~a ~b =
-  let s = Prng.Rng.mix64 (Int64.add base (Int64.of_int a)) in
-  let s = Prng.Rng.mix64 (Int64.add s (Int64.of_int b)) in
-  let s = Prng.Rng.mix64 (Int64.add s (Int64.of_int ((level lsl 2) lor kind))) in
-  Prng.Rng.of_seed64 s
+  Prng.Rng.of_mixed_triple ~base ~a ~b ~c:((level lsl 2) lor kind)
 
-let sample_edges_stats ?pool ~rng ~kernel ~weights ~positions () =
+let sample_edges_buf_stats ?pool ~rng ~kernel ~weights ~positions () =
   let n = Array.length weights in
   if Array.length positions <> n then invalid_arg "Cell.sample_edges: length mismatch";
   let pool = match pool with Some p -> p | None -> Parallel.Global.get () in
@@ -122,10 +132,18 @@ let sample_edges_stats ?pool ~rng ~kernel ~weights ~positions () =
        derived from it, so the caller's generator advances identically
        for any job count. *)
     let base = Prng.Rng.bits64 rng in
-    let dist_fn = Torus.dist_fn kernel.Kernel.norm in
-    let prob ~u ~v =
-      let dist = dist_fn positions.(u) positions.(v) in
-      kernel.Kernel.prob ~wu:weights.(u) ~wv:weights.(v) ~dist
+    (* SoA coordinates: the probe below is the innermost loop of the whole
+       generator, and the packed kernel reads one contiguous buffer instead
+       of chasing a per-vertex point pointer (values are bit-identical). *)
+    let packed = Torus.Packed.of_points ~dim positions in
+    (* Fused kernel when the model provides one (bit-identical values);
+       otherwise the generic closure composition. *)
+    let prob =
+      match kernel.Kernel.prob_packed with
+      | Some mk -> mk packed weights
+      | None ->
+          let dist_uv = Torus.Packed.dist_between_fn packed kernel.Kernel.norm in
+          fun u v -> kernel.Kernel.prob ~wu:weights.(u) ~wv:weights.(v) ~dist:(dist_uv u v)
     in
     let flip rng p = p > 0.0 && (p >= 1.0 || Prng.Rng.unit_float rng < p) in
     (* Split off capped vertices (kernels whose envelope needs a weight cap). *)
@@ -187,33 +205,55 @@ let sample_edges_stats ?pool ~rng ~kernel ~weights ~positions () =
     let grid = Grid.build ~dim ~max_level:depth ~points:positions ~ids:regular in
     (* ---------------- enumeration (no randomness) ---------------- *)
     let tasks = task_buf_create () in
-    Array.iter (fun u -> task_push tasks ~kind:k_capped ~level:0 ~a:u ~b:0) capped;
+    Array.iter
+      (fun u -> task_push tasks ~kind:k_capped ~level:0 ~a:u ~b:0 ~alo:0 ~ahi:0 ~blo:0 ~bhi:0)
+      capped;
     if nr > 0 then begin
       let scratch_a = Array.make dim 0 and scratch_b = Array.make dim 0 in
-      let nonempty code level = Grid.count_cell grid ~level ~code > 0 in
-      let rec visit a b level =
+      let kids = 1 lsl dim in
+      (* Child slice boundaries, one scratch row per recursion depth so a
+         parent's bounds survive the recursive calls made while reading
+         them. *)
+      let bounds_a = Array.init (max_pair_level + 1) (fun _ -> Array.make (kids + 1) 0) in
+      let bounds_b = Array.init (max_pair_level + 1) (fun _ -> Array.make (kids + 1) 0) in
+      let rec visit a b level ~alo ~ahi ~blo ~bhi =
         incr cells_visited;
-        if pairs_at_level.(level) <> [] then task_push tasks ~kind:k_type1 ~level ~a ~b;
+        if pairs_at_level.(level) <> [] then
+          task_push tasks ~kind:k_type1 ~level ~a ~b ~alo ~ahi ~blo ~bhi;
         if level < max_pair_level then begin
           let child_level = level + 1 in
-          let kids = 1 lsl dim in
+          let ba = bounds_a.(level) in
+          Grid.child_bounds grid ~child_level ~code:a ~lo:alo ~hi:ahi ba;
+          let bb =
+            if a = b then ba
+            else begin
+              let bb = bounds_b.(level) in
+              Grid.child_bounds grid ~child_level ~code:b ~lo:blo ~hi:bhi bb;
+              bb
+            end
+          in
           for xa = 0 to kids - 1 do
             let x = (a lsl dim) lor xa in
-            if nonempty x child_level then begin
+            let xlo = ba.(xa) and xhi = ba.(xa + 1) in
+            if xhi > xlo then begin
               let yb_start = if a = b then xa else 0 in
               for yb = yb_start to kids - 1 do
                 let y = (b lsl dim) lor yb in
-                if (x < y || x = y) && nonempty y child_level then begin
+                let ylo = bb.(yb) and yhi = bb.(yb + 1) in
+                if (x < y || x = y) && yhi > ylo then begin
                   if cells_adjacent ~dim ~level:child_level ~scratch_a ~scratch_b x y then
-                    visit x y child_level
-                  else task_push tasks ~kind:k_type2 ~level:child_level ~a:x ~b:y
+                    visit x y child_level ~alo:xlo ~ahi:xhi ~blo:ylo ~bhi:yhi
+                  else
+                    task_push tasks ~kind:k_type2 ~level:child_level ~a:x ~b:y ~alo:xlo
+                      ~ahi:xhi ~blo:ylo ~bhi:yhi
                 end
               done
             end
           done
         end
       in
-      visit 0 0 0
+      let sz = Grid.size grid in
+      visit 0 0 0 ~alo:0 ~ahi:sz ~blo:0 ~bhi:sz
     end;
     (* ---------------- sampling (parallel over task chunks) ---------------- *)
     let nt = task_count tasks in
@@ -231,7 +271,7 @@ let sample_edges_stats ?pool ~rng ~kernel ~weights ~positions () =
             for ib = 0 to cnt_b - 1 do
               let v = data_b.(ib) in
               incr t1;
-              if flip rng (prob ~u ~v) then Edge_buf.push out u v
+              if flip rng (prob u v) then Edge_buf.push out u v
             done
           done
         in
@@ -241,7 +281,7 @@ let sample_edges_stats ?pool ~rng ~kernel ~weights ~positions () =
             for ib = ia + 1 to cnt - 1 do
               let v = data.(ib) in
               incr t1;
-              if flip rng (prob ~u ~v) then Edge_buf.push out u v
+              if flip rng (prob u v) then Edge_buf.push out u v
             done
           done
         in
@@ -263,7 +303,7 @@ let sample_edges_stats ?pool ~rng ~kernel ~weights ~positions () =
             while !k < total do
               incr t2;
               let u = data_a.(!k / cnt_b) and v = data_b.(!k mod cnt_b) in
-              let p = prob ~u ~v in
+              let p = prob u v in
               if p > 0.0 && (p >= p_ub || Prng.Rng.unit_float rng < p /. p_ub) then
                 Edge_buf.push out u v;
               let skip = Prng.Dist.geometric rng ~p:p_ub in
@@ -272,33 +312,34 @@ let sample_edges_stats ?pool ~rng ~kernel ~weights ~positions () =
           end
         in
         for t = lo to hi - 1 do
-          let d = tasks.t_data and i = 4 * t in
+          let d = tasks.t_data and i = 8 * t in
           let kind = d.(i) and level = d.(i + 1) and a = d.(i + 2) and b = d.(i + 3) in
+          let alo = d.(i + 4) and ahi = d.(i + 5) and blo = d.(i + 6) and bhi = d.(i + 7) in
           let rng = task_rng ~base ~kind ~level ~a ~b in
           if kind = k_capped then begin
             let u = a in
             for v = 0 to n - 1 do
               if v <> u && ((not is_capped.(v)) || v > u) then begin
                 incr t1;
-                if flip rng (prob ~u ~v) then Edge_buf.push out u v
+                if flip rng (prob u v) then Edge_buf.push out u v
               end
             done
           end
           else if kind = k_type1 then begin
             let same_cell = a = b in
-            buckets_fill sa grid ~level ~code:a ~layer_of;
+            buckets_fill sa grid ~lo:alo ~hi:ahi ~layer_of;
             let bb =
               if same_cell then sa
               else begin
-                buckets_fill sb grid ~level ~code:b ~layer_of;
+                buckets_fill sb grid ~lo:blo ~hi:bhi ~layer_of;
                 sb
               end
             in
             List.iter (fun (i, j) -> type1 rng ~same_cell sa bb i j) pairs_at_level.(level)
           end
           else begin
-            buckets_fill sa grid ~level ~code:a ~layer_of;
-            buckets_fill sb grid ~level ~code:b ~layer_of;
+            buckets_fill sa grid ~lo:alo ~hi:ahi ~layer_of;
+            buckets_fill sb grid ~lo:blo ~hi:bhi ~layer_of;
             if sa.touched <> [] && sb.touched <> [] then begin
               let min_dist = Morton.cell_min_dist ~dim ~level a b in
               List.iter
@@ -328,8 +369,12 @@ let sample_edges_stats ?pool ~rng ~kernel ~weights ~positions () =
         chunks
     end
   end;
-  ( Edge_buf.to_array out,
+  ( out,
     { type1_pairs = !type1_pairs; type2_trials = !type2_trials; cells_visited = !cells_visited } )
+
+let sample_edges_stats ?pool ~rng ~kernel ~weights ~positions () =
+  let buf, stats = sample_edges_buf_stats ?pool ~rng ~kernel ~weights ~positions () in
+  (Edge_buf.to_array buf, stats)
 
 let sample_edges ?pool ~rng ~kernel ~weights ~positions () =
   fst (sample_edges_stats ?pool ~rng ~kernel ~weights ~positions ())

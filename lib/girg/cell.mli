@@ -41,6 +41,18 @@ type stats = {
   cells_visited : int;  (** neighbour cell pairs expanded by the recursion *)
 }
 
+val sample_edges_buf_stats :
+  ?pool:Parallel.Pool.t ->
+  rng:Prng.Rng.t ->
+  kernel:Kernel.t ->
+  weights:float array ->
+  positions:Geometry.Torus.point array ->
+  unit ->
+  Edge_buf.t * stats
+(** The primary entry point: the sampled edges stay in their flat interleaved
+    buffer, which {!Sparse_graph.Graph.of_flat_halves} consumes directly —
+    no boxed [(u, v) array] is materialised on the generation path. *)
+
 val sample_edges :
   ?pool:Parallel.Pool.t ->
   rng:Prng.Rng.t ->
@@ -49,6 +61,7 @@ val sample_edges :
   positions:Geometry.Torus.point array ->
   unit ->
   (int * int) array
+(** Tuple-array convenience wrapper over {!sample_edges_buf_stats}. *)
 
 val sample_edges_stats :
   ?pool:Parallel.Pool.t ->
@@ -58,3 +71,4 @@ val sample_edges_stats :
   positions:Geometry.Torus.point array ->
   unit ->
   (int * int) array * stats
+(** Tuple-array convenience wrapper over {!sample_edges_buf_stats}. *)

@@ -1,4 +1,4 @@
-let sample_edges ~rng ~weights =
+let sample_edges_buf ~rng ~weights =
   let n = Array.length weights in
   let buf = Edge_buf.create () in
   if n >= 2 then begin
@@ -25,13 +25,19 @@ let sample_edges ~rng ~weights =
       done
     done
   end;
-  Edge_buf.to_array buf
+  buf
+
+let sample_edges ~rng ~weights = Edge_buf.to_array (sample_edges_buf ~rng ~weights)
 
 type t = { weights : float array; graph : Sparse_graph.Graph.t }
 
 let generate ~rng ~weights =
-  let edges = sample_edges ~rng ~weights in
-  { weights; graph = Sparse_graph.Graph.of_edges ~n:(Array.length weights) edges }
+  let buf = sample_edges_buf ~rng ~weights in
+  let graph =
+    Sparse_graph.Graph.of_flat_halves ~n:(Array.length weights)
+      ~len:(Edge_buf.flat_len buf) (Edge_buf.flat buf)
+  in
+  { weights; graph }
 
 let generate_power_law ~rng ~n ~beta ~w_min =
   let weights =

@@ -32,3 +32,15 @@ let append dst src =
   end
 
 let to_array t = Array.init (length t) (fun i -> (t.data.(2 * i), t.data.((2 * i) + 1)))
+
+(* Flat view for the CSR fast path: no per-edge tuple materialisation. *)
+let flat t = t.data
+let flat_len t = t.len
+
+let iter t f =
+  let d = t.data in
+  let i = ref 0 in
+  while !i < t.len do
+    f d.(!i) d.(!i + 1);
+    i := !i + 2
+  done

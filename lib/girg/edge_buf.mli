@@ -14,4 +14,18 @@ val append : t -> t -> unit
     push order.  [src] is unchanged. *)
 
 val to_array : t -> (int * int) array
-(** Fresh array of the pushed edges, in push order. *)
+(** Fresh array of the pushed edges, in push order.  Cold paths only — hot
+    consumers should use {!flat}/{!flat_len} and avoid the per-edge tuple
+    boxes. *)
+
+val flat : t -> int array
+(** The backing buffer: endpoints interleaved as [u0; v0; u1; v1; ...].
+    Only the first {!flat_len} entries are meaningful; treat as read-only
+    (the buffer is reused and may be over-allocated). *)
+
+val flat_len : t -> int
+(** Number of valid ints in {!flat} (twice {!length}). *)
+
+val iter : t -> (int -> int -> unit) -> unit
+(** [iter t f] applies [f u v] to every pushed edge, in push order,
+    without materialising tuples. *)

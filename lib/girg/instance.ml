@@ -4,6 +4,7 @@ type t = {
   params : Params.t;
   weights : float array;
   positions : Geometry.Torus.point array;
+  packed : Geometry.Torus.Packed.t;
   graph : Sparse_graph.Graph.t;
 }
 
@@ -33,7 +34,7 @@ let generate_with ?(sampler = Auto) ?pool ~rng ~params ~weights ~positions () =
   let count = Array.length weights in
   if Array.length positions <> count then invalid_arg "Instance.generate_with: length mismatch";
   let kernel = Kernel.girg params in
-  let edges =
+  let buf =
     Obs.Span.with_ ~name:"girg.sample_edges" (fun () ->
         let use_cell =
           match sampler with
@@ -42,22 +43,24 @@ let generate_with ?(sampler = Auto) ?pool ~rng ~params ~weights ~positions () =
           | Auto -> count > threshold_n
         in
         if use_cell then begin
-          let edges, stats = Cell.sample_edges_stats ?pool ~rng ~kernel ~weights ~positions () in
+          let buf, stats = Cell.sample_edges_buf_stats ?pool ~rng ~kernel ~weights ~positions () in
           Obs.Metrics.add c_type1 stats.Cell.type1_pairs;
           Obs.Metrics.add c_type2 stats.Cell.type2_trials;
           Obs.Metrics.add c_cells stats.Cell.cells_visited;
-          edges
+          buf
         end
-        else Naive.sample_edges ~rng ~kernel ~weights ~positions)
+        else Naive.sample_edges_buf ~rng ~kernel ~weights ~positions)
   in
   Obs.Metrics.incr c_instances;
   Obs.Metrics.add c_vertices count;
-  Obs.Metrics.add c_edges (Array.length edges);
+  Obs.Metrics.add c_edges (Edge_buf.length buf);
   let graph =
     Obs.Span.with_ ~name:"girg.build_graph" (fun () ->
-        Sparse_graph.Graph.of_edges ~n:count edges)
+        Sparse_graph.Graph.of_flat_halves ~n:count ~len:(Edge_buf.flat_len buf)
+          (Edge_buf.flat buf))
   in
-  { params; weights; positions; graph }
+  let packed = Geometry.Torus.Packed.of_points ~dim:params.Params.dim positions in
+  { params; weights; positions; packed; graph }
 
 let generate ?(sampler = Auto) ?pool ~rng params =
   Obs.Span.with_ ~name:"girg.generate" (fun () ->

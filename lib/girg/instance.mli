@@ -13,6 +13,9 @@ type t = {
   params : Params.t;
   weights : float array;
   positions : Geometry.Torus.point array;
+  packed : Geometry.Torus.Packed.t;
+      (** Same coordinates as [positions], flat dim-strided — the routing
+          hot paths read this (see {!Geometry.Torus.Packed}). *)
   graph : Sparse_graph.Graph.t;
 }
 

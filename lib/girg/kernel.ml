@@ -3,6 +3,7 @@ type t = {
   dim : int;
   norm : Geometry.Torus.norm;
   prob : wu:float -> wv:float -> dist:float -> float;
+  prob_packed : (Geometry.Torus.Packed.t -> float array -> int -> int -> float) option;
   upper : wu_ub:float -> wv_ub:float -> min_dist:float -> float;
   saturation_volume : wu_ub:float -> wv_ub:float -> float;
   weight_cap : float;
@@ -37,6 +38,150 @@ let girg_prob_fun (p : Params.t) =
 
 let girg_prob p ~wu ~wv ~dist = girg_prob_fun p ~wu ~wv ~dist
 
+(* Fused trial kernel: distance, [dist^d] and connection probability in
+   one straight line of float arithmetic over the packed coordinate
+   store and the flat weight array.  The generic path crosses four
+   closure boundaries per candidate pair ([dist_between_fn], [prob],
+   [decay], and the sampler's own wrapper), each of which boxes its
+   float arguments and result; at tens of millions of trials per graph
+   that boxing dominates the sampler's allocation.  Every arm performs
+   the same operations in the same order as [girg_prob_fun] composed
+   with [Packed.dist_between_fn], so the returned floats are
+   bit-identical (property-tested). *)
+let girg_prob_packed_fun (p : Params.t) =
+  let denom = p.w_min *. float_of_int p.n in
+  let c = p.c in
+  (* Mirrors the decay specialisation of [girg_prob_fun]: 0 = threshold,
+     1 = square, 2 = cube, 3 = general power. *)
+  let decay_tag, alpha_val =
+    match p.alpha with
+    | Params.Infinite -> (0, 0.0)
+    | Params.Finite a when Float.equal a 2.0 -> (1, a)
+    | Params.Finite a when Float.equal a 3.0 -> (2, a)
+    | Params.Finite a -> (3, a)
+  in
+  fun packed weights ->
+    let data = Geometry.Torus.Packed.data packed in
+    let dim = Geometry.Torus.Packed.dim packed in
+    
+    match (p.norm, dim) with
+    | Geometry.Torus.Linf, 1 ->
+        fun u v ->
+          let dist = Geometry.Torus.coord_dist data.(u) data.(v) in
+          if dist <= 0.0 then 1.0
+          else begin
+            let q = c *. weights.(u) *. weights.(v) /. (denom *. dist) in
+            if q >= 1.0 then 1.0
+            else begin
+              match decay_tag with
+              | 0 -> 0.0
+              | 1 -> q *. q
+              | 2 -> q *. q *. q
+              | _ -> q ** alpha_val
+            end
+          end
+    | Geometry.Torus.Linf, 2 ->
+        fun u v ->
+          let bu = 2 * u and bv = 2 * v in
+          let d0 = Geometry.Torus.coord_dist data.(bu) data.(bv) in
+          let d1 = Geometry.Torus.coord_dist data.(bu + 1) data.(bv + 1) in
+          let dist = if d1 > d0 then d1 else d0 in
+          let dist_d = dist *. dist in
+          if dist_d <= 0.0 then 1.0
+          else begin
+            let q = c *. weights.(u) *. weights.(v) /. (denom *. dist_d) in
+            if q >= 1.0 then 1.0
+            else begin
+              match decay_tag with
+              | 0 -> 0.0
+              | 1 -> q *. q
+              | 2 -> q *. q *. q
+              | _ -> q ** alpha_val
+            end
+          end
+    | Geometry.Torus.Linf, 3 ->
+        fun u v ->
+          let bu = 3 * u and bv = 3 * v in
+          let d0 = Geometry.Torus.coord_dist data.(bu) data.(bv) in
+          let d1 = Geometry.Torus.coord_dist data.(bu + 1) data.(bv + 1) in
+          let d2 = Geometry.Torus.coord_dist data.(bu + 2) data.(bv + 2) in
+          let m = if d1 > d0 then d1 else d0 in
+          let dist = if d2 > m then d2 else m in
+          let dist_d = dist *. dist *. dist in
+          if dist_d <= 0.0 then 1.0
+          else begin
+            let q = c *. weights.(u) *. weights.(v) /. (denom *. dist_d) in
+            if q >= 1.0 then 1.0
+            else begin
+              match decay_tag with
+              | 0 -> 0.0
+              | 1 -> q *. q
+              | 2 -> q *. q *. q
+              | _ -> q ** alpha_val
+            end
+          end
+    | Geometry.Torus.L2, 2 ->
+        fun u v ->
+          let bu = 2 * u and bv = 2 * v in
+          let d0 = Geometry.Torus.coord_dist data.(bu) data.(bv) in
+          let d1 = Geometry.Torus.coord_dist data.(bu + 1) data.(bv + 1) in
+          let dist = sqrt ((d0 *. d0) +. (d1 *. d1)) in
+          let dist_d = dist *. dist in
+          if dist_d <= 0.0 then 1.0
+          else begin
+            let q = c *. weights.(u) *. weights.(v) /. (denom *. dist_d) in
+            if q >= 1.0 then 1.0
+            else begin
+              match decay_tag with
+              | 0 -> 0.0
+              | 1 -> q *. q
+              | 2 -> q *. q *. q
+              | _ -> q ** alpha_val
+            end
+          end
+    | Geometry.Torus.L1, 2 ->
+        fun u v ->
+          let bu = 2 * u and bv = 2 * v in
+          let dist = Geometry.Torus.coord_dist data.(bu) data.(bv) +. Geometry.Torus.coord_dist data.(bu + 1) data.(bv + 1) in
+          let dist_d = dist *. dist in
+          if dist_d <= 0.0 then 1.0
+          else begin
+            let q = c *. weights.(u) *. weights.(v) /. (denom *. dist_d) in
+            if q >= 1.0 then 1.0
+            else begin
+              match decay_tag with
+              | 0 -> 0.0
+              | 1 -> q *. q
+              | 2 -> q *. q *. q
+              | _ -> q ** alpha_val
+            end
+          end
+    | _ ->
+        (* Exotic (norm, dim) combinations fall back to the packed
+           distance kernel; the probability epilogue is still inline. *)
+        let dist_uv = Geometry.Torus.Packed.dist_between_fn packed p.norm in
+        fun u v ->
+          let dist = dist_uv u v in
+          let dist_d =
+            match dim with
+            | 1 -> dist
+            | 2 -> dist *. dist
+            | 3 -> dist *. dist *. dist
+            | _ -> dist ** float_of_int dim
+          in
+          if dist_d <= 0.0 then 1.0
+          else begin
+            let q = c *. weights.(u) *. weights.(v) /. (denom *. dist_d) in
+            if q >= 1.0 then 1.0
+            else begin
+              match decay_tag with
+              | 0 -> 0.0
+              | 1 -> q *. q
+              | 2 -> q *. q *. q
+              | _ -> q ** alpha_val
+            end
+          end
+
 let girg (p : Params.t) =
   let p = Params.validate_exn p in
   let prob = girg_prob_fun p in
@@ -51,6 +196,7 @@ let girg (p : Params.t) =
     dim = p.dim;
     norm = p.norm;
     prob;
+    prob_packed = Some (girg_prob_packed_fun p);
     upper;
     saturation_volume;
     weight_cap = infinity;

@@ -27,6 +27,15 @@ type t = {
           compute pair distances with it.  L∞ cell-separation lower bounds
           remain valid for every supported norm (L∞ <= L2 <= L1). *)
   prob : wu:float -> wv:float -> dist:float -> float;
+  prob_packed : (Geometry.Torus.Packed.t -> float array -> int -> int -> float) option;
+      (** When present, [mk packed weights] resolves to a fused trial
+          kernel [f u v] equal bit-for-bit to
+          [prob ~wu:weights.(u) ~wv:weights.(v)
+                ~dist:(Packed.dist_between_fn packed norm u v)]
+          but computed in one straight line of float arithmetic — no
+          closure crossings, so a candidate-pair evaluation allocates
+          only its boxed result.  Samplers should prefer it and fall
+          back to [prob] when [None]. *)
   upper : wu_ub:float -> wv_ub:float -> min_dist:float -> float;
   saturation_volume : wu_ub:float -> wv_ub:float -> float;
   weight_cap : float;  (** [infinity] when no cap is needed *)

@@ -1,17 +1,28 @@
 let c_candidate_pairs = Obs.Metrics.counter "girg.naive.candidate_pairs"
 
-let sample_edges ~rng ~kernel ~weights ~positions =
+let sample_edges_buf ~rng ~kernel ~weights ~positions =
   let n = Array.length weights in
   if Array.length positions <> n then invalid_arg "Naive.sample_edges: length mismatch";
   Obs.Metrics.add c_candidate_pairs (n * (n - 1) / 2);
   let buf = Edge_buf.create () in
-  let prob = kernel.Kernel.prob in
-  let dist_fn = Geometry.Torus.dist_fn kernel.Kernel.norm in
+  (* SoA probe: same floats as the array-of-points path, one contiguous
+     buffer instead of a pointer chase per pair; fused kernel when the
+     model provides one (bit-identical values). *)
+  let packed = Geometry.Torus.Packed.of_points ~dim:kernel.Kernel.dim positions in
+  let prob_uv =
+    match kernel.Kernel.prob_packed with
+    | Some mk -> mk packed weights
+    | None ->
+        let dist_uv = Geometry.Torus.Packed.dist_between_fn packed kernel.Kernel.norm in
+        fun u v -> kernel.Kernel.prob ~wu:weights.(u) ~wv:weights.(v) ~dist:(dist_uv u v)
+  in
   for u = 0 to n - 1 do
     for v = u + 1 to n - 1 do
-      let dist = dist_fn positions.(u) positions.(v) in
-      let p = prob ~wu:weights.(u) ~wv:weights.(v) ~dist in
+      let p = prob_uv u v in
       if p > 0.0 && (p >= 1.0 || Prng.Rng.unit_float rng < p) then Edge_buf.push buf u v
     done
   done;
-  Edge_buf.to_array buf
+  buf
+
+let sample_edges ~rng ~kernel ~weights ~positions =
+  Edge_buf.to_array (sample_edges_buf ~rng ~kernel ~weights ~positions)

@@ -3,11 +3,20 @@
     This is the executable specification of the model — slow but obviously
     correct.  The cell sampler is property-tested against it. *)
 
+val sample_edges_buf :
+  rng:Prng.Rng.t ->
+  kernel:Kernel.t ->
+  weights:float array ->
+  positions:Geometry.Torus.point array ->
+  Edge_buf.t
+(** Independent Bernoulli trial per unordered pair, probability given by the
+    kernel at the pair's L∞ torus distance.  Edges stay in the flat buffer
+    for {!Sparse_graph.Graph.of_flat_halves}. *)
+
 val sample_edges :
   rng:Prng.Rng.t ->
   kernel:Kernel.t ->
   weights:float array ->
   positions:Geometry.Torus.point array ->
   (int * int) array
-(** Independent Bernoulli trial per unordered pair, probability given by the
-    kernel at the pair's L∞ torus distance. *)
+(** Tuple-array convenience wrapper over {!sample_edges_buf}. *)

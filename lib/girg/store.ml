@@ -113,7 +113,7 @@ let load ~path =
                     | [ "edges"; m_str ] -> begin
                         match int_of_string_opt m_str with
                         | Some m -> begin
-                            let edges = ref [] in
+                            let buf = Edge_buf.create ~capacity:(max 1 m) () in
                             let ok = ref true in
                             (try
                                for _ = 1 to m do
@@ -129,7 +129,7 @@ let load ~path =
                                          with
                                          | Some u, Some v
                                            when u >= 0 && u < count && v >= 0 && v < count ->
-                                             edges := (u, v) :: !edges
+                                             Edge_buf.push buf u v
                                          | _ -> raise Exit
                                        end
                                      | _ -> raise Exit
@@ -143,7 +143,12 @@ let load ~path =
                                   Instance.params;
                                   weights;
                                   positions;
-                                  graph = Sparse_graph.Graph.of_edge_list ~n:count !edges;
+                                  packed =
+                                    Geometry.Torus.Packed.of_points
+                                      ~dim:params.Params.dim positions;
+                                  graph =
+                                    Sparse_graph.Graph.of_flat_halves ~n:count
+                                      ~len:(Edge_buf.flat_len buf) (Edge_buf.flat buf);
                                 }
                           end
                         | None -> fail "bad edge count %s" m_str

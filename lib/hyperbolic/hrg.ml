@@ -87,6 +87,7 @@ let kernel p =
     dim = 1;
     norm = Geometry.Torus.Linf;
     prob;
+    prob_packed = None;
     upper;
     saturation_volume;
     weight_cap = nf *. exp (-0.5);
@@ -95,10 +96,20 @@ let kernel p =
 type t = {
   params : params;
   coords : polar array;
+  packed_coords : float array;
   weights : float array;
   positions : Geometry.Torus.point array;
   graph : Sparse_graph.Graph.t;
 }
+
+let pack_coords coords =
+  let n = Array.length coords in
+  let packed = Array.make (max 1 (2 * n)) 0.0 in
+  for v = 0 to n - 1 do
+    packed.(2 * v) <- coords.(v).r;
+    packed.((2 * v) + 1) <- coords.(v).angle
+  done;
+  packed
 
 type sampler = Auto | Use_naive | Use_cell
 
@@ -111,9 +122,11 @@ let generate ?(sampler = Auto) ~rng p =
   let use_cell =
     match sampler with Use_cell -> true | Use_naive -> false | Auto -> p.n > 600
   in
-  let edges =
+  let buf =
     if use_cell then
-      Girg.Cell.sample_edges ~rng:rng_edges ~kernel:(kernel p) ~weights ~positions ()
+      fst
+        (Girg.Cell.sample_edges_buf_stats ~rng:rng_edges ~kernel:(kernel p) ~weights
+           ~positions ())
     else begin
       (* Native reference: all pairs with the hyperbolic distance directly. *)
       let buf = Girg.Edge_buf.create () in
@@ -124,7 +137,11 @@ let generate ?(sampler = Auto) ~rng p =
             Girg.Edge_buf.push buf u v
         done
       done;
-      Girg.Edge_buf.to_array buf
+      buf
     end
   in
-  { params = p; coords; weights; positions; graph = Sparse_graph.Graph.of_edges ~n:p.n edges }
+  let graph =
+    Sparse_graph.Graph.of_flat_halves ~n:p.n ~len:(Girg.Edge_buf.flat_len buf)
+      (Girg.Edge_buf.flat buf)
+  in
+  { params = p; coords; packed_coords = pack_coords coords; weights; positions; graph }

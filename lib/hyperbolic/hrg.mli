@@ -64,10 +64,16 @@ val kernel : params -> Girg.Kernel.t
 type t = {
   params : params;
   coords : polar array;
+  packed_coords : float array;
+      (** Same points as [coords], interleaved [[r0; angle0; r1; angle1; ...]]
+          — the flat layout the routing hot paths read. *)
   weights : float array;  (** GIRG-equivalent weights *)
   positions : Geometry.Torus.point array;  (** GIRG-equivalent positions *)
   graph : Sparse_graph.Graph.t;
 }
+
+val pack_coords : polar array -> float array
+(** Interleave a polar array into the [packed_coords] layout. *)
 
 type sampler = Auto | Use_naive | Use_cell
 

@@ -150,6 +150,10 @@ type comparison = {
   cur_median_s : float;  (** [nan] when missing from the current report *)
   ratio : float;
   verdict : verdict;
+  base_alloc_bytes : float;
+  cur_alloc_bytes : float;
+  alloc_ratio : float;
+  alloc_verdict : verdict;
 }
 
 let default_threshold_pct = 25.0
@@ -158,13 +162,32 @@ let default_threshold_pct = 25.0
    threshold; ignore them rather than flapping CI. *)
 let default_min_delta_s = 0.005
 
+(* Allocation is deterministic at a fixed seed and job count, so the gate
+   can be far looser than the timing one and still mean something: 100%
+   (a doubling) flags a structural change — a hot path that started
+   boxing — not jitter.  The byte floor ignores experiments too small
+   for a ratio to matter. *)
+let default_alloc_threshold_pct = 100.0
+let default_min_delta_bytes = 1_000_000.0
+
 let diff ?(threshold_pct = default_threshold_pct) ?(min_delta_s = default_min_delta_s)
-    ~baseline ~current () =
+    ?(alloc_threshold_pct = default_alloc_threshold_pct)
+    ?(min_delta_bytes = default_min_delta_bytes) ~baseline ~current () =
   List.map
     (fun (b : entry) ->
       match List.find_opt (fun (c : entry) -> c.id = b.id) current.entries with
       | None ->
-          { c_id = b.id; base_median_s = b.median_s; cur_median_s = nan; ratio = nan; verdict = Missing }
+          {
+            c_id = b.id;
+            base_median_s = b.median_s;
+            cur_median_s = nan;
+            ratio = nan;
+            verdict = Missing;
+            base_alloc_bytes = b.alloc_bytes;
+            cur_alloc_bytes = nan;
+            alloc_ratio = nan;
+            alloc_verdict = Missing;
+          }
       | Some c ->
           let ratio = if b.median_s > 0.0 then c.median_s /. b.median_s else nan in
           let delta = c.median_s -. b.median_s in
@@ -173,11 +196,37 @@ let diff ?(threshold_pct = default_threshold_pct) ?(min_delta_s = default_min_de
             else if -.delta > min_delta_s && ratio < 1.0 -. (threshold_pct /. 100.0) then Improved
             else Ok_within_noise
           in
-          { c_id = b.id; base_median_s = b.median_s; cur_median_s = c.median_s; ratio; verdict })
+          let alloc_ratio =
+            if b.alloc_bytes > 0.0 then c.alloc_bytes /. b.alloc_bytes else nan
+          in
+          let alloc_delta = c.alloc_bytes -. b.alloc_bytes in
+          let growth = 1.0 +. (alloc_threshold_pct /. 100.0) in
+          let alloc_verdict =
+            if alloc_delta > min_delta_bytes && alloc_ratio > growth then Regressed
+            else if -.alloc_delta > min_delta_bytes && alloc_ratio < 1.0 /. growth then
+              Improved
+            else Ok_within_noise
+          in
+          {
+            c_id = b.id;
+            base_median_s = b.median_s;
+            cur_median_s = c.median_s;
+            ratio;
+            verdict;
+            base_alloc_bytes = b.alloc_bytes;
+            cur_alloc_bytes = c.alloc_bytes;
+            alloc_ratio;
+            alloc_verdict;
+          })
     baseline.entries
 
-let regressed comparisons =
+let time_regressed comparisons =
   List.exists (fun c -> c.verdict = Regressed || c.verdict = Missing) comparisons
+
+let alloc_regressed comparisons =
+  List.exists (fun c -> c.alloc_verdict = Regressed || c.alloc_verdict = Missing) comparisons
+
+let regressed comparisons = time_regressed comparisons || alloc_regressed comparisons
 
 let verdict_to_string = function
   | Ok_within_noise -> "ok"
@@ -185,16 +234,22 @@ let verdict_to_string = function
   | Improved -> "improved"
   | Missing -> "MISSING"
 
+let mib bytes =
+  if Float.is_nan bytes then "-" else Printf.sprintf "%.1fMB" (bytes /. 1_048_576.0)
+
 let render_diff comparisons =
   let buf = Buffer.create 512 in
   Buffer.add_string buf
-    (Printf.sprintf "  %-6s %12s %12s %8s  %s\n" "exp" "base median" "cur median" "ratio" "verdict");
+    (Printf.sprintf "  %-6s %12s %12s %8s %-10s %10s %10s %8s %s\n" "exp" "base median"
+       "cur median" "ratio" "verdict" "base alloc" "cur alloc" "aratio" "alloc verdict");
   List.iter
     (fun c ->
       Buffer.add_string buf
-        (Printf.sprintf "  %-6s %11.3fs %11.3fs %8s  %s\n" c.c_id c.base_median_s
-           c.cur_median_s
+        (Printf.sprintf "  %-6s %11.3fs %11.3fs %8s %-10s %10s %10s %8s %s\n" c.c_id
+           c.base_median_s c.cur_median_s
            (if Float.is_nan c.ratio then "-" else Printf.sprintf "%.2fx" c.ratio)
-           (verdict_to_string c.verdict)))
+           (verdict_to_string c.verdict) (mib c.base_alloc_bytes) (mib c.cur_alloc_bytes)
+           (if Float.is_nan c.alloc_ratio then "-" else Printf.sprintf "%.2fx" c.alloc_ratio)
+           (verdict_to_string c.alloc_verdict)))
     comparisons;
   Buffer.contents buf

@@ -58,7 +58,13 @@ type comparison = {
   base_median_s : float;
   cur_median_s : float;  (** [nan] when the experiment is {!Missing} *)
   ratio : float;
-  verdict : verdict;
+  verdict : verdict;  (** wall-time verdict *)
+  base_alloc_bytes : float;
+  cur_alloc_bytes : float;
+  alloc_ratio : float;
+  alloc_verdict : verdict;
+      (** allocation verdict; allocation is deterministic at fixed seed and
+          job count, so this gate is trustworthy even on noisy CI boxes *)
 }
 
 val default_threshold_pct : float
@@ -67,20 +73,38 @@ val default_threshold_pct : float
 val default_min_delta_s : float
 (** 5ms: median deltas below this are noise regardless of ratio. *)
 
+val default_alloc_threshold_pct : float
+(** 100%: an experiment allocating over twice its baseline bytes fails —
+    a structural change (a hot path started boxing), not timer jitter. *)
+
+val default_min_delta_bytes : float
+(** 1MB: allocation deltas below this are ignored regardless of ratio. *)
+
 val diff :
   ?threshold_pct:float ->
   ?min_delta_s:float ->
+  ?alloc_threshold_pct:float ->
+  ?min_delta_bytes:float ->
   baseline:report ->
   current:report ->
   unit ->
   comparison list
 (** One comparison per baseline entry.  [Regressed]/[Improved] require
     the median delta to exceed [min_delta_s] {e and} the ratio to leave
-    the [1 ± threshold_pct/100] band; experiments absent from [current]
-    come back [Missing]. *)
+    the [1 ± threshold_pct/100] band; the allocation verdict analogously
+    uses [min_delta_bytes] and the multiplicative
+    [1 + alloc_threshold_pct/100] band ([Improved] below its reciprocal).
+    Experiments absent from [current] come back [Missing] on both axes. *)
 
 val regressed : comparison list -> bool
-(** True if any comparison is [Regressed] or [Missing] — the CI gate. *)
+(** {!time_regressed} or {!alloc_regressed} — the full CI gate. *)
+
+val time_regressed : comparison list -> bool
+(** True if any wall-time verdict is [Regressed] or [Missing]. *)
+
+val alloc_regressed : comparison list -> bool
+(** True if any allocation verdict is [Regressed] or [Missing].  CI legs
+    on noisy shared runners can gate on this alone (advisory time). *)
 
 val verdict_to_string : verdict -> string
 val render_diff : comparison list -> string

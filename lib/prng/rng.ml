@@ -1,15 +1,47 @@
 (* xoshiro256** with SplitMix64 seeding.  References:
    Blackman & Vigna, "Scrambled linear pseudorandom number generators" (2018);
    Steele, Lea & Flood, "Fast splittable pseudorandom number generators"
-   (OOPSLA 2014). *)
+   (OOPSLA 2014).
 
-type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+   The state is four 64-bit words, but storing them as [int64] record
+   fields makes every draw allocate: each [Int64] operation boxes its
+   result, and even a field assignment must box the value it stores —
+   about fifteen allocations per [bits64] call on the classic native
+   compiler.  The generator is the innermost loop of every sampler in
+   the repository, so each word is instead kept as two immediate native
+   ints holding its unsigned 32-bit halves, and the xoshiro step is
+   written longhand on the halves: xors are per-half, the shifts and
+   rotations cross words explicitly, and the two small-constant
+   multiplies (by 5 and 9) propagate one carry.  All intermediates fit
+   comfortably below 2^62, so native int arithmetic computes them
+   exactly and a draw allocates nothing.  The streams are bit-identical
+   to the boxed implementation (the test suite checks this against an
+   embedded [Int64] reference). *)
 
+type t = {
+  mutable s0h : int;
+  mutable s0l : int;
+  mutable s1h : int;
+  mutable s1l : int;
+  mutable s2h : int;
+  mutable s2l : int;
+  mutable s3h : int;
+  mutable s3l : int;
+  (* Halves of the last output word, filled by [step].  Results are
+     returned through these int fields rather than a tuple so the hot
+     consumers ([bits62], [unit_float], ...) stay allocation-free. *)
+  mutable oh : int;
+  mutable ol : int;
+}
+
+let mask32 = 0xFFFFFFFF
 let golden_gamma = 0x9E3779B97F4A7C15L
 
 (* The SplitMix64 finalizer alone: a bijective mixing of the 64-bit
    space.  Used to hash deterministic task keys (cell codes, route
-   indices) into seeds for independent substreams. *)
+   indices) into seeds for independent substreams.  Seeding is cold —
+   once per substream, not per draw — so the boxed [Int64] form is kept
+   for clarity. *)
 let mix64 z =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
@@ -20,35 +52,180 @@ let splitmix64_next state =
   state := Int64.add !state golden_gamma;
   mix64 !state
 
+let hi32 x = Int64.to_int (Int64.shift_right_logical x 32)
+let lo32 x = Int64.to_int (Int64.logand x 0xFFFFFFFFL)
+
 let of_seed64 seed64 =
   let st = ref seed64 in
   let s0 = splitmix64_next st in
   let s1 = splitmix64_next st in
   let s2 = splitmix64_next st in
   let s3 = splitmix64_next st in
-  { s0; s1; s2; s3 }
+  {
+    s0h = hi32 s0;
+    s0l = lo32 s0;
+    s1h = hi32 s1;
+    s1l = lo32 s1;
+    s2h = hi32 s2;
+    s2l = lo32 s2;
+    s3h = hi32 s3;
+    s3l = lo32 s3;
+    oh = 0;
+    ol = 0;
+  }
 
 let create ~seed = of_seed64 (Int64.of_int seed)
 
-let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+let copy t =
+  {
+    s0h = t.s0h;
+    s0l = t.s0l;
+    s1h = t.s1h;
+    s1l = t.s1l;
+    s2h = t.s2h;
+    s2l = t.s2l;
+    s3h = t.s3h;
+    s3l = t.s3l;
+    oh = t.oh;
+    ol = t.ol;
+  }
 
-let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+(* One xoshiro256** step on the half-word state:
+     result = rotl(s1 * 5, 7) * 9
+     tmp    = s1 << 17
+     s2 ^= s0;  s3 ^= s1;  s1 ^= s2;  s0 ^= s3;  s2 ^= tmp;  s3 = rotl(s3, 45)
+   The output halves land in [t.oh]/[t.ol].  Multiplying a 32-bit half
+   by 5 or 9 stays below 2^36, so the products are exact and the carry
+   is just the bits above 32. *)
+let step t =
+  let s1h = t.s1h and s1l = t.s1l in
+  (* result = rotl64 (s1 * 5) 7 * 9 *)
+  let p = s1l * 5 in
+  let mh = ((s1h * 5) + (p lsr 32)) land mask32 and ml = p land mask32 in
+  let rh = ((mh lsl 7) lor (ml lsr 25)) land mask32
+  and rl = ((ml lsl 7) lor (mh lsr 25)) land mask32 in
+  let q = rl * 9 in
+  t.oh <- ((rh * 9) + (q lsr 32)) land mask32;
+  t.ol <- q land mask32;
+  (* tmp = s1 lsl 17 *)
+  let th = ((s1h lsl 17) lor (s1l lsr 15)) land mask32 and tl = (s1l lsl 17) land mask32 in
+  let s2h = t.s2h lxor t.s0h and s2l = t.s2l lxor t.s0l in
+  let s3h = t.s3h lxor s1h and s3l = t.s3l lxor s1l in
+  let s1h' = s1h lxor s2h and s1l' = s1l lxor s2l in
+  let s0h = t.s0h lxor s3h and s0l = t.s0l lxor s3l in
+  let s2h = s2h lxor th and s2l = s2l lxor tl in
+  (* rotl64 x 45 = rotl64 (swap halves of x) 13 *)
+  let xh = s3l and xl = s3h in
+  let s3h = ((xh lsl 13) lor (xl lsr 19)) land mask32
+  and s3l = ((xl lsl 13) lor (xh lsr 19)) land mask32 in
+  t.s0h <- s0h;
+  t.s0l <- s0l;
+  t.s1h <- s1h';
+  t.s1l <- s1l';
+  t.s2h <- s2h;
+  t.s2l <- s2l;
+  t.s3h <- s3h;
+  t.s3l <- s3l
+
+(* [of_seed64 (mix64 (add (mix64 (add (mix64 (add base a)) b)) c))] on
+   unboxed halves.  This is the substream derivation the parallel
+   samplers run once per task — tens of thousands of times per
+   generated graph — so the boxed [Int64] spelling (seven finalizer
+   applications, each a dozen allocations) was a measurable slice of a
+   sampling pass.  The 64-bit adds carry across the halves; the
+   finalizer's constant multiplies are assembled from 16-bit limbs
+   exactly as in the boxed code (only the low 32 bits of each partial
+   product are needed, and native ints compute those exactly).  The
+   int refs below hold immediates, so the whole derivation allocates
+   nothing beyond the returned state record. *)
+let of_mixed_triple ~base ~a ~b ~c =
+  let zh = ref (hi32 base) and zl = ref (lo32 base) in
+  (* z <- z + Int64.of_int k *)
+  let add k =
+    let s = !zl + (k land mask32) in
+    zl := s land mask32;
+    zh := (!zh + ((k asr 32) land mask32) + (s lsr 32)) land mask32
+  in
+  (* z <- z + golden_gamma (0x9E3779B9_7F4A7C15) *)
+  let add_gamma () =
+    let s = !zl + 0x7F4A7C15 in
+    zl := s land mask32;
+    zh := (!zh + 0x9E3779B9 + (s lsr 32)) land mask32
+  in
+  (* z <- mix64 z *)
+  let mix () =
+    (* z ^= z >>> 30 *)
+    let l = !zl lxor ((!zl lsr 30) lor ((!zh lsl 2) land mask32)) in
+    let h = !zh lxor (!zh lsr 30) in
+    (* z *= 0xBF58476D1CE4E5B9 *)
+    let a0 = l land 0xFFFF in
+    let a1 = l lsr 16 in
+    let p00 = a0 * 0xE5B9 in
+    let mid = (p00 lsr 16) + (a1 * 0xE5B9) + (a0 * 0x1CE4) in
+    let lo = (p00 land 0xFFFF) lor ((mid land 0xFFFF) lsl 16) in
+    let hi =
+      ((mid lsr 16) + (a1 * 0x1CE4) + ((l * 0xBF58476D) land mask32)
+      + ((h * 0x1CE4E5B9) land mask32))
+      land mask32
+    in
+    (* z ^= z >>> 27 *)
+    let l = lo lxor ((lo lsr 27) lor ((hi lsl 5) land mask32)) in
+    let h = hi lxor (hi lsr 27) in
+    (* z *= 0x94D049BB133111EB *)
+    let a0 = l land 0xFFFF in
+    let a1 = l lsr 16 in
+    let p00 = a0 * 0x11EB in
+    let mid = (p00 lsr 16) + (a1 * 0x11EB) + (a0 * 0x1331) in
+    let lo = (p00 land 0xFFFF) lor ((mid land 0xFFFF) lsl 16) in
+    let hi =
+      ((mid lsr 16) + (a1 * 0x1331) + ((l * 0x94D049BB) land mask32)
+      + ((h * 0x133111EB) land mask32))
+      land mask32
+    in
+    (* z ^= z >>> 31 *)
+    zl := lo lxor ((lo lsr 31) lor ((hi lsl 1) land mask32));
+    zh := hi lxor (hi lsr 31)
+  in
+  add a;
+  mix ();
+  add b;
+  mix ();
+  add c;
+  mix ();
+  (* of_seed64: four SplitMix64 steps — the state advances only by the
+     gamma; each output is the finalizer of the advanced state. *)
+  add_gamma ();
+  let st1h = !zh and st1l = !zl in
+  mix ();
+  let s0h = !zh and s0l = !zl in
+  zh := st1h;
+  zl := st1l;
+  add_gamma ();
+  let st2h = !zh and st2l = !zl in
+  mix ();
+  let s1h = !zh and s1l = !zl in
+  zh := st2h;
+  zl := st2l;
+  add_gamma ();
+  let st3h = !zh and st3l = !zl in
+  mix ();
+  let s2h = !zh and s2l = !zl in
+  zh := st3h;
+  zl := st3l;
+  add_gamma ();
+  mix ();
+  { s0h; s0l; s1h; s1l; s2h; s2l; s3h = !zh; s3l = !zl; oh = 0; ol = 0 }
 
 let bits64 t =
-  let result = Int64.mul (rotl (Int64.mul t.s1 5L) 7) 9L in
-  let tmp = Int64.shift_left t.s1 17 in
-  t.s2 <- Int64.logxor t.s2 t.s0;
-  t.s3 <- Int64.logxor t.s3 t.s1;
-  t.s1 <- Int64.logxor t.s1 t.s2;
-  t.s0 <- Int64.logxor t.s0 t.s3;
-  t.s2 <- Int64.logxor t.s2 tmp;
-  t.s3 <- rotl t.s3 45;
-  result
+  step t;
+  Int64.logor (Int64.shift_left (Int64.of_int t.oh) 32) (Int64.of_int t.ol)
 
 let split t = of_seed64 (bits64 t)
 
 (* Top 62 bits as a non-negative OCaml int. *)
-let bits62 t = Int64.to_int (Int64.shift_right_logical (bits64 t) 2)
+let bits62 t =
+  step t;
+  (t.oh lsl 30) lor (t.ol lsr 2)
 
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
@@ -67,11 +244,12 @@ let int t bound =
 let two_pow_53 = 9007199254740992.0 (* 2^53 *)
 
 let unit_float t =
-  let bits53 = Int64.to_int (Int64.shift_right_logical (bits64 t) 11) in
-  float_of_int bits53 /. two_pow_53
+  step t;
+  float_of_int ((t.oh lsl 21) lor (t.ol lsr 11)) /. two_pow_53
 
 let unit_float_pos t = 1.0 -. unit_float t
-
 let float t bound = bound *. unit_float t
 
-let bool t = Int64.compare (bits64 t) 0L < 0
+let bool t =
+  step t;
+  t.oh land 0x80000000 <> 0

@@ -34,12 +34,26 @@ val mix64 : int64 -> int64
     the parallel samplers use to stay bit-reproducible for any job
     count. *)
 
+val of_mixed_triple : base:int64 -> a:int -> b:int -> c:int -> t
+(** [of_mixed_triple ~base ~a ~b ~c] is
+    [of_seed64 (mix64 (Int64.add (mix64 (Int64.add (mix64 (Int64.add base
+    (Int64.of_int a))) (Int64.of_int b))) (Int64.of_int c)))] — the
+    three-component task-key derivation of the parallel samplers —
+    computed on native ints so the only allocation is the returned
+    generator state. *)
+
 val copy : t -> t
 (** [copy rng] duplicates the current state; the copy replays the same
     future stream as [rng]. *)
 
 val bits64 : t -> int64
-(** [bits64 rng] returns 64 uniformly random bits. *)
+(** [bits64 rng] returns 64 uniformly random bits.  The result is a
+    boxed [int64]; hot loops should prefer {!bits62}, {!int} or
+    {!unit_float}, which draw without allocating. *)
+
+val bits62 : t -> int
+(** [bits62 rng] is the top 62 bits of the next word as a non-negative
+    native int — one allocation-free draw. *)
 
 val int : t -> int -> int
 (** [int rng bound] is uniform on [0, bound).  @raise Invalid_argument if

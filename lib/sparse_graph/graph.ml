@@ -25,38 +25,46 @@ let sort_slice arr lo hi =
     arr.(!j + 1) <- x
   done
 
-let of_edges ~n edges =
+(* Counting-sort CSR construction over an interleaved half-edge array
+   [u0; v0; u1; v1; ...] — the native output format of the edge samplers'
+   [Edge_buf], so generation feeds the graph build without materialising a
+   boxed [(u, v) array].  Bucket raw half-edges per vertex, sort each short
+   adjacency slice, then compact away self-loops/duplicates. *)
+let of_flat_halves ~n ~len flat =
   if n < 0 then invalid_arg "Graph.of_edges: negative n";
-  Array.iter
-    (fun (u, v) ->
-      if u < 0 || u >= n || v < 0 || v >= n then
-        invalid_arg "Graph.of_edges: endpoint out of range")
-    edges;
-  (* Counting-sort CSR construction: bucket raw half-edges per vertex, sort
-     each short adjacency slice, then compact away self-loops/duplicates. *)
+  if len < 0 || len > Array.length flat then invalid_arg "Graph.of_flat_halves: bad length";
+  if len land 1 <> 0 then invalid_arg "Graph.of_flat_halves: odd length";
+  for k = 0 to len - 1 do
+    let x = flat.(k) in
+    if x < 0 || x >= n then invalid_arg "Graph.of_edges: endpoint out of range"
+  done;
   let raw_degree = Array.make (n + 1) 0 in
-  Array.iter
-    (fun (u, v) ->
-      if u <> v then begin
-        raw_degree.(u) <- raw_degree.(u) + 1;
-        raw_degree.(v) <- raw_degree.(v) + 1
-      end)
-    edges;
+  let k = ref 0 in
+  while !k < len do
+    let u = flat.(!k) and v = flat.(!k + 1) in
+    if u <> v then begin
+      raw_degree.(u) <- raw_degree.(u) + 1;
+      raw_degree.(v) <- raw_degree.(v) + 1
+    end;
+    k := !k + 2
+  done;
   let raw_offsets = Array.make (n + 1) 0 in
   for v = 0 to n - 1 do
     raw_offsets.(v + 1) <- raw_offsets.(v) + raw_degree.(v)
   done;
   let raw_targets = Array.make raw_offsets.(n) 0 in
   let cursor = Array.copy raw_offsets in
-  Array.iter
-    (fun (u, v) ->
-      if u <> v then begin
-        raw_targets.(cursor.(u)) <- v;
-        cursor.(u) <- cursor.(u) + 1;
-        raw_targets.(cursor.(v)) <- u;
-        cursor.(v) <- cursor.(v) + 1
-      end)
-    edges;
+  k := 0;
+  while !k < len do
+    let u = flat.(!k) and v = flat.(!k + 1) in
+    if u <> v then begin
+      raw_targets.(cursor.(u)) <- v;
+      cursor.(u) <- cursor.(u) + 1;
+      raw_targets.(cursor.(v)) <- u;
+      cursor.(v) <- cursor.(v) + 1
+    end;
+    k := !k + 2
+  done;
   let offsets = Array.make (n + 1) 0 in
   let targets = Array.make raw_offsets.(n) 0 in
   let write = ref 0 in
@@ -75,6 +83,16 @@ let of_edges ~n edges =
   offsets.(n) <- !write;
   let targets = if !write = Array.length targets then targets else Array.sub targets 0 !write in
   { n; m = !write / 2; offsets; targets }
+
+let of_edges ~n edges =
+  let len = 2 * Array.length edges in
+  let flat = Array.make (max 1 len) 0 in
+  Array.iteri
+    (fun i (u, v) ->
+      flat.(2 * i) <- u;
+      flat.((2 * i) + 1) <- v)
+    edges;
+  of_flat_halves ~n ~len flat
 
 let of_edge_list ~n edges = of_edges ~n (Array.of_list edges)
 

@@ -9,7 +9,16 @@ type t
 val of_edges : n:int -> (int * int) array -> t
 (** [of_edges ~n edges] builds the graph on [n] vertices.  Self-loops and
     duplicate edges are dropped.  @raise Invalid_argument on out-of-range
-    endpoints. *)
+    endpoints.  (Thin wrapper over {!of_flat_halves}.) *)
+
+val of_flat_halves : n:int -> len:int -> int array -> t
+(** [of_flat_halves ~n ~len flat] builds the graph from interleaved edge
+    endpoints [flat.(0..len-1) = u0; v0; u1; v1; ...] — the native layout of
+    the generators' edge buffers, so no boxed [(u, v)] tuples are
+    materialised.  Entries beyond [len] are ignored.  Semantics (self-loop /
+    duplicate dropping, validation, resulting CSR) are identical to
+    {!of_edges}.  @raise Invalid_argument if [len] is odd, exceeds the
+    array, or an endpoint is out of range. *)
 
 val of_edge_list : n:int -> (int * int) list -> t
 (** List variant of {!of_edges}. *)

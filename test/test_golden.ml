@@ -1,0 +1,160 @@
+(* Golden-run bit-identity: selected experiment tables and per-hop route
+   events at a fixed seed must stay byte-identical across performance
+   reworks of the scoring/routing/edge pipeline.  The committed fixtures
+   under [golden/] were generated before the flat-hot-paths rework
+   (SoA geometry + dense objective scorers + flat CSR construction), so
+   any drift in emitted numbers — formulas, operation order, tie-breaks —
+   fails here first.
+
+   Regenerate (only when an intentional output change lands) with:
+     SMALLWORLD_GOLDEN_REGEN=/abs/path/to/test/golden \
+       dune exec test/test_main.exe -- test golden *)
+
+let regen_dir = Sys.getenv_opt "SMALLWORLD_GOLDEN_REGEN"
+
+let fixture_path name =
+  match regen_dir with Some d -> Filename.concat d name | None -> Filename.concat "golden" name
+
+let read_fixture name =
+  let path = fixture_path name in
+  if Sys.file_exists path then Some (In_channel.with_open_bin path In_channel.input_all)
+  else None
+
+let check_or_regen ~name actual =
+  match regen_dir with
+  | Some _ ->
+      Out_channel.with_open_bin (fixture_path name) (fun oc -> output_string oc actual);
+      Printf.printf "regenerated %s (%d bytes)\n" name (String.length actual)
+  | None -> begin
+      match read_fixture name with
+      | None -> Alcotest.failf "missing golden fixture %s (run with SMALLWORLD_GOLDEN_REGEN)" name
+      | Some expected ->
+          if String.equal expected actual then ()
+          else begin
+            (* Byte-identity failed: show the first differing line to make
+               the drift debuggable without a binary diff. *)
+            let lines_e = String.split_on_char '\n' expected in
+            let lines_a = String.split_on_char '\n' actual in
+            let rec first_diff i = function
+              | e :: es, a :: as_ ->
+                  if String.equal e a then first_diff (i + 1) (es, as_) else Some (i, e, a)
+              | e :: _, [] -> Some (i, e, "<missing>")
+              | [], a :: _ -> Some (i, "<missing>", a)
+              | [], [] -> None
+            in
+            match first_diff 1 (lines_e, lines_a) with
+            | Some (i, e, a) ->
+                Alcotest.failf "golden %s: first drift at line %d\n  expected: %s\n  actual:   %s"
+                  name i e a
+            | None -> Alcotest.failf "golden %s: outputs differ" name
+          end
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Experiment tables *)
+
+let golden_experiments = [ "E4"; "E5"; "E6"; "E7"; "E8"; "E11"; "E15" ]
+
+let table_test id () =
+  match Experiments.Registry.find id with
+  | None -> Alcotest.failf "unknown experiment %s" id
+  | Some e ->
+      let ctx = Experiments.Context.make ~seed:42 ~scale:Experiments.Context.Quick () in
+      let rendered = Experiments.Registry.run_and_render e ctx in
+      check_or_regen ~name:(Printf.sprintf "tables_%s.txt" id) rendered
+
+(* ------------------------------------------------------------------ *)
+(* Route events: per-hop objective values along full routes, printed with
+   %h so every bit of every emitted score is pinned. *)
+
+let route_events_test () =
+  if not Obs.Events.enabled then ()
+  else begin
+    let params = Girg.Params.make ~dim:2 ~beta:2.5 ~c:0.3 ~n:900 () in
+    let inst = Girg.Instance.generate ~rng:(Prng.Rng.create ~seed:7) params in
+    let n = Sparse_graph.Graph.n inst.Girg.Instance.graph in
+    let rng = Prng.Rng.create ~seed:8 in
+    let buf = Buffer.create 4096 in
+    let was_recording = Obs.Events.recording () in
+    Obs.Events.set_recording true;
+    List.iter
+      (fun protocol ->
+        for _ = 1 to 8 do
+          let s, t = Prng.Dist.sample_distinct_pair rng ~n in
+          Obs.Events.clear ();
+          let objective = Greedy_routing.Objective.girg_phi inst ~target:t in
+          let outcome =
+            Greedy_routing.Protocol.run protocol ~graph:inst.Girg.Instance.graph ~objective
+              ~source:s ()
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "%s s=%d t=%d status=%s steps=%d visited=%d\n"
+               (Greedy_routing.Protocol.name protocol)
+               s t
+               (Greedy_routing.Outcome.status_to_string outcome.Greedy_routing.Outcome.status)
+               outcome.steps outcome.visited);
+          List.iter
+            (fun (ev : Obs.Events.event) ->
+              (* Route ids are process-global; the payload fields below are
+                 what must stay bit-identical. *)
+              match ev.Obs.Events.payload with
+              | Obs.Events.Route_hop { hop; vertex; objective; _ } ->
+                  Buffer.add_string buf (Printf.sprintf "  hop %d v=%d phi=%h\n" hop vertex objective)
+              | Obs.Events.Dead_end { vertex; _ } ->
+                  Buffer.add_string buf (Printf.sprintf "  dead_end v=%d\n" vertex)
+              | Obs.Events.Patch_enter { vertex; phi; _ } ->
+                  Buffer.add_string buf (Printf.sprintf "  patch_enter v=%d phi=%h\n" vertex phi)
+              | Obs.Events.Patch_exit { vertex; phi; _ } ->
+                  Buffer.add_string buf (Printf.sprintf "  patch_exit v=%d phi=%h\n" vertex phi)
+              | Obs.Events.Phase_switch { vertex; phase; _ } ->
+                  Buffer.add_string buf (Printf.sprintf "  phase v=%d %s\n" vertex phase)
+              | _ -> ())
+            (Obs.Events.events ())
+        done)
+      [ Greedy_routing.Protocol.Greedy; Greedy_routing.Protocol.Patch_dfs;
+        Greedy_routing.Protocol.Gravity_pressure ];
+    Obs.Events.clear ();
+    Obs.Events.set_recording was_recording;
+    check_or_regen ~name:"events_routes.txt" (Buffer.contents buf)
+  end
+
+(* Routing results records over a workload batch: counts plus every
+   per-route float, printed with %h. *)
+let workload_results_test () =
+  let params = Girg.Params.make ~dim:2 ~beta:2.6 ~c:0.2 ~n:1200 () in
+  let inst = Girg.Instance.generate ~rng:(Prng.Rng.create ~seed:21) params in
+  let graph = inst.Girg.Instance.graph in
+  let rng = Prng.Rng.create ~seed:22 in
+  let pairs = Experiments.Workload.sample_pairs_giant ~rng ~graph ~count:60 in
+  let buf = Buffer.create 2048 in
+  List.iter
+    (fun protocol ->
+      let res =
+        Experiments.Workload.run ~graph
+          ~objective_for:(fun ~target -> Greedy_routing.Objective.girg_phi inst ~target)
+          ~protocol ~with_stretch:true ~pairs ()
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%s attempted=%d delivered=%d dead_end=%d exhausted=%d cutoff=%d\n"
+           (Greedy_routing.Protocol.name protocol)
+           res.Experiments.Workload.attempted res.delivered res.dead_end res.exhausted res.cutoff);
+      let dump label arr =
+        Buffer.add_string buf (Printf.sprintf "  %s:" label);
+        Array.iter (fun x -> Buffer.add_string buf (Printf.sprintf " %h" x)) arr;
+        Buffer.add_char buf '\n'
+      in
+      dump "steps" res.steps;
+      dump "visited" res.visited;
+      dump "stretches" res.stretches)
+    [ Greedy_routing.Protocol.Greedy; Greedy_routing.Protocol.Patch_dfs;
+      Greedy_routing.Protocol.Patch_history; Greedy_routing.Protocol.Gravity_pressure ];
+  check_or_regen ~name:"workload_results.txt" (Buffer.contents buf)
+
+let suite =
+  List.map
+    (fun id -> Alcotest.test_case (Printf.sprintf "tables %s byte-identical" id) `Slow (table_test id))
+    golden_experiments
+  @ [
+      Alcotest.test_case "route events byte-identical" `Slow route_events_test;
+      Alcotest.test_case "workload results byte-identical" `Slow workload_results_test;
+    ]

@@ -119,6 +119,55 @@ let test_large_hub_sorting () =
     if nbrs.(k - 1) >= nbrs.(k) then Alcotest.fail "hub slice unsorted"
   done
 
+(* --- of_flat_halves: identical CSR to of_edges ---------------------------- *)
+
+let graphs_equal a b =
+  Graph.n a = Graph.n b && Graph.m a = Graph.m b
+  && begin
+       let ok = ref true in
+       for v = 0 to Graph.n a - 1 do
+         if Graph.neighbors a v <> Graph.neighbors b v then ok := false
+       done;
+       !ok
+     end
+
+let flat_halves_vs_of_edges_prop =
+  (* Random multisets including self-loops and duplicates: both constructors
+     must drop them identically and produce the same CSR. *)
+  QCheck.Test.make ~count:300 ~name:"of_flat_halves = of_edges"
+    QCheck.(pair (int_range 1 12) (small_list (pair (int_range 0 11) (int_range 0 11))))
+    (fun (n, edge_list) ->
+      let edges =
+        Array.of_list (List.filter (fun (u, v) -> u < n && v < n) edge_list)
+      in
+      let flat = Array.make (max 1 (2 * Array.length edges)) 0 in
+      Array.iteri
+        (fun i (u, v) ->
+          flat.(2 * i) <- u;
+          flat.((2 * i) + 1) <- v)
+        edges;
+      let a = Graph.of_edges ~n edges in
+      let b = Graph.of_flat_halves ~n ~len:(2 * Array.length edges) flat in
+      graphs_equal a b)
+
+let test_flat_halves_validation () =
+  Alcotest.check_raises "odd length"
+    (Invalid_argument "Graph.of_flat_halves: odd length") (fun () ->
+      ignore (Graph.of_flat_halves ~n:3 ~len:3 [| 0; 1; 2; 0 |]));
+  Alcotest.check_raises "bad length"
+    (Invalid_argument "Graph.of_flat_halves: bad length") (fun () ->
+      ignore (Graph.of_flat_halves ~n:3 ~len:6 [| 0; 1 |]));
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Graph.of_edges: endpoint out of range") (fun () ->
+      ignore (Graph.of_flat_halves ~n:2 ~len:2 [| 0; 2 |]))
+
+let test_flat_halves_ignores_tail () =
+  (* Entries beyond [len] must not leak into the graph. *)
+  let g = Graph.of_flat_halves ~n:4 ~len:2 [| 0; 1; 2; 3; 1; 2 |] in
+  Alcotest.(check int) "m" 1 (Graph.m g);
+  Alcotest.(check bool) "edge kept" true (Graph.has_edge g 0 1);
+  Alcotest.(check bool) "tail dropped" false (Graph.has_edge g 2 3)
+
 let suite =
   [
     Alcotest.test_case "empty graph" `Quick test_empty;
@@ -134,4 +183,7 @@ let suite =
     QCheck_alcotest.to_alcotest csr_vs_matrix_prop;
     QCheck_alcotest.to_alcotest neighbors_sorted_prop;
     Alcotest.test_case "large hub sorting" `Quick test_large_hub_sorting;
+    QCheck_alcotest.to_alcotest flat_halves_vs_of_edges_prop;
+    Alcotest.test_case "flat halves validation" `Quick test_flat_halves_validation;
+    Alcotest.test_case "flat halves ignores tail" `Quick test_flat_halves_ignores_tail;
   ]

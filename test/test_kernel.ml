@@ -78,6 +78,47 @@ let envelope_prop =
       k.Kernel.prob ~wu ~wv ~dist
       <= k.Kernel.upper ~wu_ub:(wu *. fu) ~wv_ub:(wv *. fv) ~min_dist +. 1e-12)
 
+let test_prob_packed_matches_generic () =
+  (* The fused trial kernel must equal the generic composition bit-for-bit
+     ([=], not approx), across every specialised (norm, dim) arm and the
+     generic fallback, for every alpha regime. *)
+  let rng = Prng.Rng.create ~seed:77 in
+  List.iter
+    (fun norm ->
+      List.iter
+        (fun dim ->
+          List.iter
+            (fun alpha ->
+              let p = Params.make ~dim ~beta:2.5 ~alpha ~c:0.5 ~norm ~n:64 () in
+              let k = Kernel.girg p in
+              let n = 24 in
+              let weights =
+                Array.init n (fun _ -> Prng.Dist.pareto rng ~x_min:1.0 ~exponent:2.5)
+              in
+              let positions =
+                Array.init n (fun i ->
+                    if i < 2 then Array.make dim 0.0 (* dist 0 and saturated pairs *)
+                    else Geometry.Torus.random_point rng ~dim)
+              in
+              let packed = Geometry.Torus.Packed.of_points ~dim positions in
+              let fused =
+                match k.Kernel.prob_packed with
+                | Some mk -> mk packed weights
+                | None -> Alcotest.fail "girg kernel must provide prob_packed"
+              in
+              for u = 0 to n - 1 do
+                for v = 0 to n - 1 do
+                  let dist = Geometry.Torus.Packed.dist_between_fn packed norm u v in
+                  let expected = k.Kernel.prob ~wu:weights.(u) ~wv:weights.(v) ~dist in
+                  if not (fused u v = expected) then
+                    Alcotest.failf "fused kernel diverges (norm dim=%d u=%d v=%d): %h <> %h"
+                      dim u v (fused u v) expected
+                done
+              done)
+            [ Params.Infinite; Params.Finite 2.0; Params.Finite 3.0; Params.Finite 1.2 ])
+        [ 1; 2; 3; 4 ])
+    [ Geometry.Torus.Linf; Geometry.Torus.L2; Geometry.Torus.L1 ]
+
 let test_kernel_record_fields () =
   let k = Kernel.girg (params ()) in
   Alcotest.(check int) "dim" 2 k.Kernel.dim;
@@ -95,5 +136,7 @@ let suite =
     Alcotest.test_case "specialised alpha fast paths" `Quick test_specialised_alphas_match_generic;
     QCheck_alcotest.to_alcotest monotonicity_prop;
     QCheck_alcotest.to_alcotest envelope_prop;
+    Alcotest.test_case "fused prob_packed bit-identical" `Quick
+      test_prob_packed_matches_generic;
     Alcotest.test_case "kernel record fields" `Quick test_kernel_record_fields;
   ]

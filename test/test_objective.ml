@@ -29,7 +29,7 @@ let test_phi_maximised_at_target () =
 
 let test_geometric_objective () =
   let positions = [| [| 0.0; 0.0 |]; [| 0.4; 0.4 |]; [| 0.5; 0.5 |] |] in
-  let obj = Objective.geometric ~positions ~target:2 in
+  let obj = Objective.geometric ~positions ~target:2 () in
   Alcotest.(check bool) "closer scores higher" true
     (obj.Objective.score 1 > obj.Objective.score 0);
   Alcotest.(check bool) "target inf" true (obj.Objective.score 2 = infinity)
@@ -108,6 +108,140 @@ let test_noisy_rejects_negative () =
     (Invalid_argument "Objective.noisy_factor: negative spread") (fun () ->
       ignore (Objective.noisy_factor ~seed:1 ~spread:(-1.0) base))
 
+(* --- hash_unit: pinned outputs + boxed Int64 reference ------------------ *)
+
+(* The shipped implementation mixes on native-int halves; this is the boxed
+   Int64 formulation it replaced, kept as an executable specification. *)
+let hash_unit_int64 ~seed v =
+  let z = Int64.add (Int64.of_int seed) (Int64.mul (Int64.of_int (v + 1)) 0x9E3779B97F4A7C15L) in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  let bits53 = Int64.to_int (Int64.shift_right_logical z 11) in
+  float_of_int bits53 /. 9007199254740992.0
+
+let test_hash_unit_pinned () =
+  (* Values produced by the original Int64 implementation: any drift here is
+     a silent change to every noisy-objective experiment. *)
+  List.iter
+    (fun (seed, v, expected) ->
+      Alcotest.(check string)
+        (Printf.sprintf "hash_unit ~seed:%d %d" seed v)
+        expected
+        (Printf.sprintf "%h" (Objective.hash_unit ~seed v)))
+    [
+      (0, 0, "0x1.c4415072f63b9p-1");
+      (0, 1, "0x1.b9e279aa86e58p-2");
+      (42, 7, "0x1.99ec6bdd3d3c5p-1");
+      (42, 123456, "0x1.d6952525d5c63p-1");
+      (-5, 3, "0x1.b1de70de4fe21p-1");
+      (1000003, 999999, "0x1.06593fd05705p-1");
+      (4611686018427387903, 2, "0x1.ee247b72d7622p-1");
+      (-4611686018427387904, 11, "0x1.df250b5c5f24p-5");
+      (123, 0, "0x1.69b937a8c5bc8p-1");
+      (7, 1000000000, "0x1.69b0aeffc8abp-2");
+    ]
+
+let test_hash_unit_matches_int64 () =
+  let rng = Prng.Rng.create ~seed:99 in
+  for _ = 1 to 5000 do
+    let seed = Prng.Rng.int rng 2_000_003 - 1_000_001 in
+    let v = Prng.Rng.int rng 10_000_000 in
+    let a = Objective.hash_unit ~seed v in
+    let b = hash_unit_int64 ~seed v in
+    if a <> b then
+      Alcotest.failf "hash_unit mismatch at seed=%d v=%d: %h <> %h" seed v a b
+  done;
+  (* Extremes of the native-int range. *)
+  List.iter
+    (fun (seed, v) ->
+      let a = Objective.hash_unit ~seed v in
+      let b = hash_unit_int64 ~seed v in
+      if a <> b then Alcotest.failf "hash_unit mismatch at seed=%d v=%d" seed v)
+    [ (max_int, 0); (min_int, 0); (max_int, max_int - 1); (min_int, 17); (0, max_int - 1) ]
+
+(* --- dense fast paths: bit-identical to the closure paths ---------------- *)
+
+let check_dense_identical ~name ~n obj =
+  let dense = Objective.scorer obj in
+  for v = 0 to n - 1 do
+    let a = obj.Objective.score v in
+    let b = dense v in
+    if a <> b then Alcotest.failf "%s: dense <> score at v=%d: %h <> %h" name v a b
+  done
+
+let test_dense_girg_phi_identical () =
+  List.iter
+    (fun (norm, dim) ->
+      let params =
+        Girg.Params.make ~dim ~beta:2.5 ~c:0.4 ~norm ~n:300 ~poisson_count:false ()
+      in
+      let inst = Girg.Instance.generate ~rng:(Prng.Rng.create ~seed:11) params in
+      let n = Array.length inst.weights in
+      let name =
+        Printf.sprintf "phi %s dim=%d" (Girg.Params.norm_to_string norm) dim
+      in
+      check_dense_identical ~name ~n (Objective.girg_phi inst ~target:(n / 3)))
+    [
+      (Geometry.Torus.Linf, 1);
+      (Geometry.Torus.Linf, 2);
+      (Geometry.Torus.Linf, 3);
+      (Geometry.Torus.Linf, 4);
+      (Geometry.Torus.L2, 1);
+      (Geometry.Torus.L2, 2);
+      (Geometry.Torus.L2, 3);
+      (Geometry.Torus.L1, 2);
+      (Geometry.Torus.L1, 4);
+    ]
+
+let test_dense_geometric_identical () =
+  let rng = Prng.Rng.create ~seed:12 in
+  let positions = Array.init 200 (fun _ -> Geometry.Torus.random_point rng ~dim:2) in
+  let packed = Geometry.Torus.Packed.of_points ~dim:2 positions in
+  check_dense_identical ~name:"geometric" ~n:200
+    (Objective.geometric ~packed ~positions ~target:55 ())
+
+let test_dense_hyperbolic_identical () =
+  let p = Hyperbolic.Hrg.make ~n:300 () in
+  let h = Hyperbolic.Hrg.generate ~rng:(Prng.Rng.create ~seed:13) p in
+  check_dense_identical ~name:"phi_H" ~n:300 (Objective.hyperbolic h ~target:42)
+
+let test_dense_noisy_identical () =
+  let params = Girg.Params.make ~dim:2 ~beta:2.5 ~c:0.4 ~n:300 ~poisson_count:false () in
+  let inst = Girg.Instance.generate ~rng:(Prng.Rng.create ~seed:14) params in
+  let n = Array.length inst.weights in
+  let base = Objective.girg_phi inst ~target:(n / 2) in
+  check_dense_identical ~name:"noisy_factor" ~n
+    (Objective.noisy_factor ~seed:5 ~spread:1.5 base);
+  check_dense_identical ~name:"noisy_polynomial" ~n
+    (Objective.noisy_polynomial ~seed:5 ~delta:0.7 ~weights:inst.weights base)
+
+(* --- Memo ---------------------------------------------------------------- *)
+
+let test_memo_identity_and_counting () =
+  let calls = ref 0 in
+  let obj =
+    Objective.of_fun ~name:"counted" ~target:9 (fun v ->
+        incr calls;
+        float_of_int (v * v))
+  in
+  let scratch = Objective.Memo.create () in
+  let wrapped = Objective.Memo.wrap scratch ~n:10 obj in
+  let phi = Objective.scorer wrapped in
+  for v = 0 to 9 do
+    Alcotest.(check (float 0.0))
+      (Printf.sprintf "memo value %d" v)
+      (obj.Objective.score v) (phi v)
+  done;
+  let after_first = !calls in
+  for v = 0 to 9 do ignore (phi v) done;
+  Alcotest.(check int) "second sweep fully cached" after_first !calls;
+  (* A re-wrap starts a fresh generation: values recompute. *)
+  let wrapped2 = Objective.Memo.wrap scratch ~n:10 obj in
+  let phi2 = Objective.scorer wrapped2 in
+  ignore (phi2 0);
+  Alcotest.(check bool) "new generation recomputes" true (!calls > after_first)
+
 let suite =
   [
     Alcotest.test_case "girg phi values" `Quick test_girg_phi_values;
@@ -120,4 +254,11 @@ let suite =
     Alcotest.test_case "zero spread identity" `Quick test_noisy_zero_spread_identity;
     Alcotest.test_case "polynomial noise bounds" `Quick test_noisy_polynomial_bounds;
     Alcotest.test_case "rejects negative spread" `Quick test_noisy_rejects_negative;
+    Alcotest.test_case "hash_unit pinned values" `Quick test_hash_unit_pinned;
+    Alcotest.test_case "hash_unit = Int64 reference" `Quick test_hash_unit_matches_int64;
+    Alcotest.test_case "dense girg_phi bit-identical" `Quick test_dense_girg_phi_identical;
+    Alcotest.test_case "dense geometric bit-identical" `Quick test_dense_geometric_identical;
+    Alcotest.test_case "dense hyperbolic bit-identical" `Quick test_dense_hyperbolic_identical;
+    Alcotest.test_case "dense noisy chain bit-identical" `Quick test_dense_noisy_identical;
+    Alcotest.test_case "memo identity and counting" `Quick test_memo_identity_and_counting;
   ]

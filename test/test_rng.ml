@@ -105,6 +105,141 @@ let test_float_scales () =
     if not (x >= 0.0 && x < 42.0) then Alcotest.fail "float out of [0,42)"
   done
 
+(* --- bit-identity against a boxed Int64 reference ------------------------- *)
+
+(* Verbatim xoshiro256** + SplitMix64 on boxed Int64, the representation
+   [Rng] used before moving to unboxed half-words.  The production
+   generator must replay these streams bit for bit. *)
+module Ref64 = struct
+  type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+  let mix64 z =
+    let z =
+      Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L
+    in
+    let z =
+      Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL
+    in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+
+  let splitmix64_next state =
+    state := Int64.add !state 0x9E3779B97F4A7C15L;
+    mix64 !state
+
+  let of_seed64 seed64 =
+    let st = ref seed64 in
+    let s0 = splitmix64_next st in
+    let s1 = splitmix64_next st in
+    let s2 = splitmix64_next st in
+    let s3 = splitmix64_next st in
+    { s0; s1; s2; s3 }
+
+  let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+  let bits64 t =
+    let result = Int64.mul (rotl (Int64.mul t.s1 5L) 7) 9L in
+    let tmp = Int64.shift_left t.s1 17 in
+    t.s2 <- Int64.logxor t.s2 t.s0;
+    t.s3 <- Int64.logxor t.s3 t.s1;
+    t.s1 <- Int64.logxor t.s1 t.s2;
+    t.s0 <- Int64.logxor t.s0 t.s3;
+    t.s2 <- Int64.logxor t.s2 tmp;
+    t.s3 <- rotl t.s3 45;
+    result
+
+  let bits62 t = Int64.to_int (Int64.shift_right_logical (bits64 t) 2)
+
+  let unit_float t =
+    let bits53 = Int64.to_int (Int64.shift_right_logical (bits64 t) 11) in
+    float_of_int bits53 /. 9007199254740992.0
+
+  let bool t = Int64.compare (bits64 t) 0L < 0
+end
+
+let test_matches_int64_reference () =
+  let seeds =
+    [ 0L; 1L; -1L; 42L; 0x9E3779B97F4A7C15L; Int64.max_int; Int64.min_int; -123456789L ]
+  in
+  List.iter
+    (fun seed ->
+      let rng = Rng.of_seed64 seed and reference = Ref64.of_seed64 seed in
+      for i = 1 to 2_000 do
+        match i mod 4 with
+        | 0 ->
+            Alcotest.(check int64)
+              (Printf.sprintf "bits64 seed=%Ld draw=%d" seed i)
+              (Ref64.bits64 reference) (Rng.bits64 rng)
+        | 1 ->
+            let expect = Ref64.unit_float reference and got = Rng.unit_float rng in
+            if got <> expect then
+              Alcotest.failf "unit_float seed=%Ld draw=%d: %h <> %h" seed i got expect
+        | 2 ->
+            Alcotest.(check int)
+              (Printf.sprintf "bits62 seed=%Ld draw=%d" seed i)
+              (Ref64.bits62 reference) (Rng.bits62 rng)
+        | _ ->
+            Alcotest.(check bool)
+              (Printf.sprintf "bool seed=%Ld draw=%d" seed i)
+              (Ref64.bool reference) (Rng.bool rng)
+      done)
+    seeds
+
+let test_split_matches_int64_reference () =
+  (* [split] seeds a child from the parent's next word; the child stream
+     must equal a reference generator seeded the same way. *)
+  let rng = Rng.of_seed64 987654321L and reference = Ref64.of_seed64 987654321L in
+  let child = Rng.split rng in
+  let ref_child = Ref64.of_seed64 (Ref64.bits64 reference) in
+  for _ = 1 to 200 do
+    Alcotest.(check int64) "child stream" (Ref64.bits64 ref_child) (Rng.bits64 child)
+  done;
+  for _ = 1 to 200 do
+    Alcotest.(check int64) "parent advanced" (Ref64.bits64 reference) (Rng.bits64 rng)
+  done
+
+let test_of_mixed_triple_matches_boxed () =
+  (* The unboxed task-key derivation must equal the boxed spelling it
+     replaces, including for negative key components. *)
+  let keys =
+    [
+      (0L, 0, 0, 0);
+      (42L, 1, 2, 3);
+      (-9876543210L, 123456, 654321, 7);
+      (0x9E3779B97F4A7C15L, max_int, min_int, -1);
+      (Int64.min_int, 0x3FFFFFFF, -0x40000000, 2);
+    ]
+  in
+  List.iter
+    (fun (base, a, b, c) ->
+      let boxed =
+        let s = Rng.mix64 (Int64.add base (Int64.of_int a)) in
+        let s = Rng.mix64 (Int64.add s (Int64.of_int b)) in
+        let s = Rng.mix64 (Int64.add s (Int64.of_int c)) in
+        Rng.of_seed64 s
+      in
+      let unboxed = Rng.of_mixed_triple ~base ~a ~b ~c in
+      for i = 1 to 100 do
+        Alcotest.(check int64)
+          (Printf.sprintf "triple base=%Ld a=%d b=%d c=%d draw=%d" base a b c i)
+          (Rng.bits64 boxed) (Rng.bits64 unboxed)
+      done)
+    keys
+
+let test_draws_do_not_allocate () =
+  (* The whole point of the half-word state: drawing raw bits or bounded
+     ints must not allocate at all (unit_float boxes only its result). *)
+  let rng = Rng.create ~seed:99 in
+  ignore (Rng.bits62 rng);
+  let before = Gc.minor_words () in
+  let acc = ref 0 in
+  for _ = 1 to 10_000 do
+    acc := !acc lxor Rng.bits62 rng
+  done;
+  let after = Gc.minor_words () in
+  ignore !acc;
+  if after -. before > 64.0 then
+    Alcotest.failf "bits62 allocated %.0f words over 10k draws" (after -. before)
+
 let suite =
   [
     Alcotest.test_case "determinism" `Quick test_determinism;
@@ -120,4 +255,10 @@ let suite =
     Alcotest.test_case "unit_float mean" `Quick test_unit_float_mean;
     Alcotest.test_case "bool balance" `Quick test_bool_balance;
     Alcotest.test_case "float scale" `Quick test_float_scales;
+    Alcotest.test_case "matches Int64 reference" `Quick test_matches_int64_reference;
+    Alcotest.test_case "split matches Int64 reference" `Quick
+      test_split_matches_int64_reference;
+    Alcotest.test_case "of_mixed_triple matches boxed chain" `Quick
+      test_of_mixed_triple_matches_boxed;
+    Alcotest.test_case "draws do not allocate" `Quick test_draws_do_not_allocate;
   ]

@@ -96,6 +96,47 @@ let test_ball_roundtrip () =
       Alcotest.(check (float 1e-9)) "volume roundtrip" v (Torus.ball_volume ~dim:2 ~radius:r))
     [ 0.01; 0.25; 0.5; 1.0 ]
 
+(* --- Packed: strided kernels bit-identical to the generic paths --------- *)
+
+let test_packed_accessors () =
+  let points = [| [| 0.1; 0.2 |]; [| 0.3; 0.4 |]; [| 0.5; 0.6 |] |] in
+  let pk = Torus.Packed.of_points ~dim:2 points in
+  Alcotest.(check int) "dim" 2 (Torus.Packed.dim pk);
+  Alcotest.(check int) "length" 3 (Torus.Packed.length pk);
+  Alcotest.(check (float 0.0)) "coord" 0.4 (Torus.Packed.coord pk 1 1);
+  Alcotest.(check (array (float 0.0))) "get" [| 0.5; 0.6 |] (Torus.Packed.get pk 2)
+
+let test_packed_rejects_mismatch () =
+  Alcotest.check_raises "dimension mismatch"
+    (Invalid_argument "Torus.Packed.of_points: dimension mismatch") (fun () ->
+      ignore (Torus.Packed.of_points ~dim:2 [| [| 0.1 |] |]))
+
+(* Exact float equality on purpose: the packed kernels promise the same bit
+   patterns as the generic loops, not just close values. *)
+let packed_vs_generic_prop =
+  QCheck.Test.make ~count:300 ~name:"packed kernels bit-identical to generic"
+    QCheck.(
+      triple (int_range 1 6) (int_range 1 12) (int_range 0 1_000_000))
+    (fun (dim, n, salt) ->
+      let rng = Prng.Rng.create ~seed:(salt + (dim * 7919) + n) in
+      let points = Array.init n (fun _ -> Torus.random_point rng ~dim) in
+      let pk = Torus.Packed.of_points ~dim points in
+      List.for_all
+        (fun norm ->
+          let generic = Torus.dist_fn norm in
+          let dist_to = Torus.Packed.dist_to_fn pk norm in
+          let dist_between = Torus.Packed.dist_between_fn pk norm in
+          let q = Torus.random_point rng ~dim in
+          let ok = ref true in
+          for u = 0 to n - 1 do
+            if dist_to u q <> generic points.(u) q then ok := false;
+            for v = 0 to n - 1 do
+              if dist_between u v <> generic points.(u) points.(v) then ok := false
+            done
+          done;
+          !ok)
+        [ Torus.Linf; Torus.L2; Torus.L1 ])
+
 let suite =
   [
     Alcotest.test_case "coord_dist" `Quick test_coord_dist;
@@ -110,4 +151,7 @@ let suite =
     Alcotest.test_case "random point in box" `Quick test_random_point_in_box;
     Alcotest.test_case "ball volume" `Quick test_ball_volume;
     Alcotest.test_case "ball volume roundtrip" `Quick test_ball_roundtrip;
+    Alcotest.test_case "packed accessors" `Quick test_packed_accessors;
+    Alcotest.test_case "packed rejects mismatch" `Quick test_packed_rejects_mismatch;
+    QCheck_alcotest.to_alcotest packed_vs_generic_prop;
   ]
