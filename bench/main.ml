@@ -30,6 +30,17 @@
 open Bechamel
 open Toolkit
 
+(* All fatal exits go through the shared error taxonomy so bench and the
+   route server agree on codes: perf-regression -> 1, caller errors
+   (usage / io / incomparable) -> 2, matching what CI gates on. *)
+let die code fmt =
+  Printf.ksprintf
+    (fun msg ->
+      let e = Api.Error.make code "%s" msg in
+      prerr_endline (Api.Error.to_string e);
+      exit (Api.Error.exit_code e.Api.Error.code))
+    fmt
+
 let scale =
   match Sys.getenv_opt "SMALLWORLD_BENCH_QUICK" with
   | Some ("1" | "true" | "yes") -> Experiments.Context.Quick
@@ -50,9 +61,7 @@ let () =
     | "--jobs" :: v :: _ -> (
         match int_of_string_opt v with
         | Some j when j >= 0 -> Parallel.Global.set_jobs j
-        | Some _ | None ->
-            prerr_endline "bench: --jobs expects a non-negative integer";
-            exit 2)
+        | Some _ | None -> die Api.Error.Usage "--jobs expects a non-negative integer")
     | _ :: rest -> scan rest
     | [] -> ()
   in
@@ -311,11 +320,12 @@ let record args =
   Printf.printf "bench report (%s) written to %s\n" Obs.Bench.schema_version out
 
 let load_report path =
-  match Obs.Bench.of_string (In_channel.with_open_text path In_channel.input_all) with
-  | Ok r -> r
-  | Error e ->
-      Printf.eprintf "cannot read %s: %s\n" path e;
-      exit 2
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error e -> die Api.Error.Io "%s" e
+  | contents -> (
+      match Obs.Bench.of_string contents with
+      | Ok r -> r
+      | Error e -> die Api.Error.Io "cannot read %s: %s" path e)
 
 let diff args =
   let threshold_pct = float_of_string (opt_value args "--threshold" ~default:"25") in
@@ -330,15 +340,13 @@ let diff args =
   match positional with
   | [ base_path; cur_path ] ->
       let baseline = load_report base_path and current = load_report cur_path in
-      if baseline.Obs.Bench.jobs <> current.Obs.Bench.jobs then begin
+      if baseline.Obs.Bench.jobs <> current.Obs.Bench.jobs then
         (* Wall times scale with the job count and alloc_bytes is
            per-domain in OCaml 5, so a cross-jobs diff would gate CI on
            an apples-to-oranges comparison. *)
-        Printf.eprintf
-          "cannot compare: baseline recorded with --jobs %d, current with --jobs %d\n"
+        die Api.Error.Incomparable
+          "cannot compare: baseline recorded with --jobs %d, current with --jobs %d"
           baseline.Obs.Bench.jobs current.Obs.Bench.jobs;
-        exit 2
-      end;
       let comparisons =
         Obs.Bench.diff ~threshold_pct ~alloc_threshold_pct ~baseline ~current ()
       in
@@ -353,11 +361,11 @@ let diff args =
       if alloc_bad then begin
         Printf.printf "FAIL: allocation regression beyond %.0f%% (or missing experiment)\n"
           alloc_threshold_pct;
-        exit 1
+        exit (Api.Error.exit_code Api.Error.Regression)
       end
       else if time_bad && not advisory_time then begin
         Printf.printf "FAIL: median regression beyond %.0f%% (or missing experiment)\n" threshold_pct;
-        exit 1
+        exit (Api.Error.exit_code Api.Error.Regression)
       end
       else if time_bad then
         Printf.printf
@@ -365,10 +373,9 @@ let diff args =
           threshold_pct
       else print_endline "OK: no regression beyond threshold"
   | _ ->
-      prerr_endline
+      die Api.Error.Usage
         "usage: bench diff BASELINE CURRENT [--threshold PCT] [--alloc-threshold PCT] \
-         [--advisory-time]";
-      exit 2
+         [--advisory-time]"
 
 let () =
   match Array.to_list Sys.argv with

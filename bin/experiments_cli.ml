@@ -9,16 +9,10 @@ open Cmdliner
 
 let scale_of_quick quick = if quick then Experiments.Context.Quick else Experiments.Context.Standard
 
-let jobs_arg =
-  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N"
-         ~doc:"Worker domains for generation and route batches (0 = all \
-               cores).  Overrides SMALLWORLD_JOBS; results are identical \
-               for any value.")
-
-let apply_jobs = function
-  | None -> Ok ()
-  | Some j when j >= 0 -> Ok (Parallel.Global.set_jobs j)
-  | Some _ -> Error (`Msg "--jobs expects a non-negative integer")
+(* The jobs / seed / obs-out flags are the shared Api.Cli terms, so
+   this binary validates them exactly like graphs_cli and serve. *)
+let jobs_arg = Api.Cli.jobs
+let apply_jobs = Api.Cli.apply_jobs
 
 let list_cmd =
   let doc = "List all experiments with the paper claim each one reproduces." in
@@ -52,18 +46,12 @@ let run_cmd =
   let quick =
     Arg.(value & flag & info [ "quick" ] ~doc:"Small sizes (seconds instead of minutes).")
   in
-  let seed =
-    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Base random seed.")
-  in
+  let seed = Api.Cli.seed in
   let csv_dir =
     Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"DIR"
            ~doc:"Also write every table as a CSV file into $(docv).")
   in
-  let obs_out =
-    Arg.(value & opt (some string) None & info [ "obs-out" ] ~docv:"FILE"
-           ~doc:"Write a JSONL run manifest (span tree + metric snapshot per \
-                 experiment) to $(docv).")
-  in
+  let obs_out = Api.Cli.obs_out in
   let run ids quick seed csv_dir obs_out jobs =
     match apply_jobs jobs with
     | Error e -> Error e

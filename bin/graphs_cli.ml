@@ -1,350 +1,276 @@
-(* Graph tooling around the generators:
+(* Graph tooling around the generators, parsed through the v1 API:
 
      graphs_cli gen girg -o net.girg -n 50000 --beta 2.5 [--jobs N] ...
      graphs_cli gen hrg  -o net.girg -n 50000 --alpha-h 0.55 [--jobs N] ...
+     graphs_cli gen kleinberg -o net.girg --side 100 ...
      graphs_cli route net.girg -s 4 -t 93 [--protocol phi-dfs]
+     graphs_cli route-batch net.girg --count 8 [--pair-seed S] [--pool giant]
      graphs_cli stats net.girg
+     graphs_cli api-schema
+     graphs_cli embed / import ...
 
-   Instances are stored in the plain-text format of Girg.Store, so external
-   tools can consume them directly.                                          *)
+   Every subcommand above the line goes through Api.V1.of_args — the
+   same parser, defaults, and deprecation shims the daemon's clients
+   use; `api-schema` dumps the machine-readable surface.  Instances are
+   stored in the plain-text format of Girg.Store, so external tools can
+   consume them directly.                                               *)
 
-open Cmdliner
+let usage =
+  "usage: graphs_cli <op> [args]\n\
+   ops: gen <girg|hrg|kleinberg> -o FILE ...   sample and save an instance\n\
+  \     route FILE --source V --target V       route one message\n\
+  \     route-batch FILE --count N | --pairs S route many pairs\n\
+  \     stats FILE                             structural statistics\n\
+  \     load --name N --path FILE              check a file loads as an instance\n\
+  \     embed FILE -o FILE                     re-embed from connectivity\n\
+  \     import FILE -o FILE                    edge list -> routable instance\n\
+  \     api-schema                             dump the v1 request schema (JSON)\n\
+   Flags per op: graphs_cli api-schema | python3 -m json.tool\n"
+
+let fail err =
+  prerr_endline (Api.Error.to_string err);
+  exit (Api.Error.exit_code err.Api.Error.code)
+
+let fail_usage fmt = Printf.ksprintf (fun m -> fail (Api.Error.make Api.Error.Usage "%s" m)) fmt
+
+let ok_or_fail = function Ok v -> v | Error e -> fail e
 
 let load_instance path =
   match Girg.Store.load ~path with
-  | Ok inst -> Ok inst
-  | Error e -> Error (`Msg (Printf.sprintf "cannot load %s: %s" path e))
-
-let seed_arg =
-  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
-
-let jobs_arg =
-  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N"
-         ~doc:"Worker domains for edge sampling (0 = all cores).  Overrides \
-               SMALLWORLD_JOBS; the sampled graph is identical for any value.")
-
-let apply_jobs = function
-  | None -> Ok ()
-  | Some j when j >= 0 -> Ok (Parallel.Global.set_jobs j)
-  | Some _ -> Error (`Msg "--jobs expects a non-negative integer")
-
-(* --obs-out parity with experiments_cli and bench: one JSONL manifest
-   line (metrics snapshot + span tree) for the command that just ran. *)
-let obs_out_arg =
-  Arg.(value & opt (some string) None & info [ "obs-out" ] ~docv:"FILE"
-         ~doc:"Write a JSONL run manifest (span tree + metric snapshot) to $(docv).")
+  | Ok inst -> inst
+  | Error e -> fail (Api.Error.make Api.Error.Io "cannot load %s: %s" path e)
 
 let with_manifest ~command ~seed obs_out f =
-  let result, span = Obs.Span.time ~name:("cli." ^ command) f in
-  (match (result, obs_out) with
-  | Ok (), Some path ->
-      Out_channel.with_open_text path (fun oc ->
-          output_string oc
-            (Obs.Export.manifest_line ~experiment:("cli." ^ command) ~seed ~scale:"cli"
-               ~registry:Obs.Metrics.default ~span ());
-          output_char oc '\n')
-  | _ -> ());
-  result
+  ok_or_fail (Api.Cli.with_manifest ~command ~seed obs_out (fun () -> Ok (f ())))
 
-let out_arg =
-  Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
-         ~doc:"Output instance file.")
+let apply_jobs (exec : Api.V1.exec_opts) =
+  Option.iter Parallel.Global.set_jobs exec.jobs
 
-let gen_girg_cmd =
-  let doc = "Sample a geometric inhomogeneous random graph and save it." in
-  let n = Arg.(value & opt int 10_000 & info [ "n" ] ~doc:"Expected vertex count.") in
-  let dim = Arg.(value & opt int 2 & info [ "dim" ] ~doc:"Torus dimension.") in
-  let beta = Arg.(value & opt float 2.5 & info [ "beta" ] ~doc:"Power-law exponent in (2,3).") in
-  let w_min = Arg.(value & opt float 1.0 & info [ "w-min" ] ~doc:"Minimum weight.") in
-  let alpha =
-    Arg.(value & opt string "2.0" & info [ "alpha" ] ~doc:"Decay parameter (> 1) or 'inf'.")
-  in
-  let c = Arg.(value & opt float 0.25 & info [ "c" ] ~doc:"Edge probability constant.") in
-  let fixed =
-    Arg.(value & flag & info [ "fixed-count" ] ~doc:"Exactly n vertices instead of Poisson(n).")
-  in
-  let run n dim beta w_min alpha c fixed seed output obs_out jobs =
-    with_manifest ~command:"gen.girg" ~seed obs_out @@ fun () ->
-    match apply_jobs jobs with
-    | Error e -> Error e
-    | Ok () ->
-    let alpha =
-      match alpha with
-      | "inf" | "infinity" -> Ok Girg.Params.Infinite
-      | s -> begin
-          match float_of_string_opt s with
-          | Some a -> Ok (Girg.Params.Finite a)
-          | None -> Error (`Msg (Printf.sprintf "bad --alpha %S" s))
-        end
-    in
-    match alpha with
-    | Error e -> Error e
-    | Ok alpha -> begin
-        match
-          Girg.Params.validate
-            { Girg.Params.n; dim; beta; w_min; alpha; c; norm = Geometry.Torus.Linf;
-              poisson_count = not fixed }
-        with
-        | Error e -> Error (`Msg e)
-        | Ok params ->
-            let rng = Prng.Rng.create ~seed in
-            let inst = Girg.Instance.generate ~rng params in
-            Girg.Store.save ~path:output inst;
-            Printf.printf "wrote %s: %s -> %d vertices, %d edges (avg degree %.2f)\n" output
-              (Girg.Params.to_string params)
-              (Sparse_graph.Graph.n inst.graph)
-              (Sparse_graph.Graph.m inst.graph)
-              (Sparse_graph.Graph.avg_degree inst.graph);
-            Ok ()
-      end
-  in
-  Cmd.v (Cmd.info "girg" ~doc)
-    Term.(
-      term_result
-        (const run $ n $ dim $ beta $ w_min $ alpha $ c $ fixed $ seed_arg $ out_arg
-       $ obs_out_arg $ jobs_arg))
+(* ------------------------------------------------------------------ *)
+(* The V1 subcommands                                                  *)
 
-let gen_hrg_cmd =
-  let doc = "Sample a hyperbolic random graph (stored as its equivalent 1-d GIRG)." in
-  let n = Arg.(value & opt int 10_000 & info [ "n" ] ~doc:"Vertex count.") in
-  let alpha_h =
-    Arg.(value & opt float 0.75 & info [ "alpha-h" ] ~doc:"Radial dispersion in (1/2, 1).")
-  in
-  let radius_c = Arg.(value & opt float 0.0 & info [ "radius-c" ] ~doc:"Constant C in R = 2 ln n + C.") in
-  let temperature = Arg.(value & opt float 0.0 & info [ "temperature" ] ~doc:"T in [0, 1).") in
-  let run n alpha_h radius_c temperature seed output obs_out jobs =
-    with_manifest ~command:"gen.hrg" ~seed obs_out @@ fun () ->
-    match apply_jobs jobs with
-    | Error e -> Error e
-    | Ok () ->
-    match Hyperbolic.Hrg.make ~alpha_h ~radius_c ~temperature ~n () with
-    | exception Invalid_argument e -> Error (`Msg e)
-    | p ->
-        let rng = Prng.Rng.create ~seed in
-        let h = Hyperbolic.Hrg.generate ~rng p in
-        (* Persist through the GIRG equivalence of Section 11; note the
-           stored kernel parameters describe the equivalent GIRG, and phi on
-           that instance orders vertices like the hyperbolic objective. *)
-        let girg_params =
-          Girg.Params.make ~dim:1
-            ~beta:(Float.min 2.999 (Hyperbolic.Hrg.beta p))
-            ~w_min:(exp (-.radius_c /. 2.0))
-            ~alpha:
-              (if temperature = 0.0 then Girg.Params.Infinite
-               else Girg.Params.Finite (1.0 /. temperature))
-            ~poisson_count:false ~n ()
-        in
-        let inst =
-          {
-            Girg.Instance.params = girg_params;
-            weights = h.weights;
-            positions = h.positions;
-            packed = Geometry.Torus.Packed.of_points ~dim:1 h.positions;
-            graph = h.graph;
-          }
-        in
-        Girg.Store.save ~path:output inst;
-        Printf.printf "wrote %s: hrg(n=%d, beta=%.2f, C=%g, T=%g) -> %d edges (avg degree %.2f)\n"
-          output n (Hyperbolic.Hrg.beta p) radius_c temperature
-          (Sparse_graph.Graph.m h.graph)
-          (Sparse_graph.Graph.avg_degree h.graph);
-        Ok ()
-  in
-  Cmd.v (Cmd.info "hrg" ~doc)
-    Term.(
-      term_result
-        (const run $ n $ alpha_h $ radius_c $ temperature $ seed_arg $ out_arg $ obs_out_arg
-       $ jobs_arg))
+let required_output (exec : Api.V1.exec_opts) =
+  match exec.output with
+  | Some path -> path
+  | None -> fail_usage "an output file is required (-o FILE)"
 
-let gen_cmd = Cmd.group (Cmd.info "gen" ~doc:"Sample and save random graph instances.") [ gen_girg_cmd; gen_hrg_cmd ]
+let run_sample (exec : Api.V1.exec_opts) ~model ~seed =
+  let output = required_output exec in
+  let command =
+    match model with
+    | Api.V1.Girg _ -> "gen.girg"
+    | Api.V1.Hrg _ -> "gen.hrg"
+    | Api.V1.Kleinberg _ -> "gen.kleinberg"
+  in
+  with_manifest ~command ~seed exec.obs_out @@ fun () ->
+  let inst = Api.Render.instantiate ~model ~seed in
+  Girg.Store.save ~path:output inst;
+  match model with
+  | Api.V1.Girg params ->
+      Printf.printf "wrote %s: %s -> %d vertices, %d edges (avg degree %.2f)\n" output
+        (Girg.Params.to_string params)
+        (Sparse_graph.Graph.n inst.graph)
+        (Sparse_graph.Graph.m inst.graph)
+        (Sparse_graph.Graph.avg_degree inst.graph)
+  | Api.V1.Hrg p ->
+      Printf.printf "wrote %s: hrg(n=%d, beta=%.2f, C=%g, T=%g) -> %d edges (avg degree %.2f)\n"
+        output p.n (Hyperbolic.Hrg.beta p) p.radius_c p.temperature
+        (Sparse_graph.Graph.m inst.graph)
+        (Sparse_graph.Graph.avg_degree inst.graph)
+  | Api.V1.Kleinberg p ->
+      Printf.printf "wrote %s: kleinberg(side=%d, q=%d, r=%g) -> %d vertices, %d edges\n"
+        output p.side p.long_range p.exponent
+        (Sparse_graph.Graph.n inst.graph)
+        (Sparse_graph.Graph.m inst.graph)
 
-let file_arg =
-  Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Instance file.")
+let run_route (exec : Api.V1.exec_opts) ~path ~source ~target ~protocol ~max_steps =
+  with_manifest ~command:"route" ~seed:0 exec.obs_out @@ fun () ->
+  let inst = load_instance path in
+  if exec.events_out <> None then Obs.Events.clear ();
+  let reply =
+    ok_or_fail (Api.Render.route ~inst ~protocol ?max_steps ~source ~target ())
+  in
+  Option.iter
+    (fun file ->
+      Out_channel.with_open_text file (fun oc ->
+          Obs.Export.write_events oc (Obs.Events.events ()));
+      if not (Obs.Events.recording ()) then
+        print_endline
+          "note: flight recorder is off (SMALLWORLD_OBS/_EVENTS); events file is empty")
+    exec.events_out;
+  print_string reply.Api.V1.text
 
-let protocol_conv =
-  let parse s =
-    match String.lowercase_ascii s with
-    | "greedy" -> Ok Greedy_routing.Protocol.Greedy
-    | "phi-dfs" | "dfs" -> Ok Greedy_routing.Protocol.Patch_dfs
-    | "history" -> Ok Greedy_routing.Protocol.Patch_history
-    | "gravity-pressure" | "gp" -> Ok Greedy_routing.Protocol.Gravity_pressure
-    | other -> Error (`Msg (Printf.sprintf "unknown protocol %S" other))
+let run_route_batch (exec : Api.V1.exec_opts) ~path ~pairs ~protocol ~max_steps =
+  with_manifest ~command:"route-batch" ~seed:0 exec.obs_out @@ fun () ->
+  let inst = load_instance path in
+  let resolved = ok_or_fail (Api.Render.resolve_pairs ~inst pairs) in
+  let replies =
+    ok_or_fail (Api.Render.route_batch ~inst ~protocol ?max_steps ~pairs:resolved ())
   in
-  Arg.conv (parse, fun ppf p -> Format.pp_print_string ppf (Greedy_routing.Protocol.name p))
+  List.iter (fun r -> print_string r.Api.V1.text) replies
 
-let route_cmd =
-  let doc = "Route a message on a saved instance and print the walk." in
-  let source = Arg.(required & opt (some int) None & info [ "s"; "source" ] ~docv:"V" ~doc:"Source vertex.") in
-  let target = Arg.(required & opt (some int) None & info [ "t"; "target" ] ~docv:"V" ~doc:"Target vertex.") in
-  let protocol =
-    Arg.(value & opt protocol_conv Greedy_routing.Protocol.Greedy
-           & info [ "protocol" ] ~docv:"P" ~doc:"greedy | phi-dfs | history | gravity-pressure.")
-  in
-  let events_out =
-    Arg.(value & opt (some string) None & info [ "events-out" ] ~docv:"FILE"
-           ~doc:"Write the route's flight-recorder events (smallworld.events.v1 \
-                 JSONL) to $(docv) for offline hop-by-hop replay.")
-  in
-  let run path source target protocol obs_out events_out =
-    with_manifest ~command:"route" ~seed:0 obs_out @@ fun () ->
-    match load_instance path with
-    | Error e -> Error e
-    | Ok inst ->
-        let n = Sparse_graph.Graph.n inst.graph in
-        if source < 0 || source >= n || target < 0 || target >= n then
-          Error (`Msg (Printf.sprintf "vertices must lie in [0, %d)" n))
-        else begin
-          let objective = Greedy_routing.Objective.girg_phi inst ~target in
-          if events_out <> None then Obs.Events.clear ();
-          let outcome =
-            Greedy_routing.Protocol.run protocol ~graph:inst.graph ~objective ~source ()
-          in
-          Option.iter
-            (fun file ->
-              Out_channel.with_open_text file (fun oc ->
-                  Obs.Export.write_events oc (Obs.Events.events ()));
-              if not (Obs.Events.recording ()) then
-                print_endline "note: flight recorder is off (SMALLWORLD_OBS/_EVENTS); events file is empty")
-            events_out;
-          Printf.printf "%s: %s\n"
-            (Greedy_routing.Protocol.name protocol)
-            (Greedy_routing.Outcome.to_string outcome);
-          if List.length outcome.walk <= 50 then
-            Printf.printf "walk: %s\n"
-              (String.concat " -> " (List.map string_of_int outcome.walk))
-          else Printf.printf "walk: (%d hops, omitted)\n" outcome.steps;
-          (match Sparse_graph.Bfs.distance inst.graph ~source ~target with
-          | Some d when d > 0 && Greedy_routing.Outcome.delivered outcome ->
-              Printf.printf "shortest path: %d hops (stretch %.3f)\n" d
-                (float_of_int outcome.steps /. float_of_int d)
-          | Some d -> Printf.printf "shortest path: %d hops\n" d
-          | None -> print_endline "source and target are disconnected");
-          Ok ()
-        end
-  in
-  Cmd.v (Cmd.info "route" ~doc)
-    Term.(term_result (const run $ file_arg $ source $ target $ protocol $ obs_out_arg $ events_out))
+let run_stats (exec : Api.V1.exec_opts) ~path =
+  with_manifest ~command:"stats" ~seed:0 exec.obs_out @@ fun () ->
+  let inst = load_instance path in
+  let g = inst.Girg.Instance.graph in
+  let s = Api.Render.stats inst in
+  Printf.printf "params:     %s\n" s.Api.V1.params;
+  Printf.printf "vertices:   %d\n" s.vertices;
+  Printf.printf "edges:      %d\n" s.edges;
+  Printf.printf "avg degree: %.2f (max %d)\n" s.avg_degree s.max_degree;
+  Printf.printf "components: %d (giant: %d vertices, %.1f%%)\n" s.components s.giant
+    (100.0 *. float_of_int s.giant /. float_of_int (max 1 s.vertices));
+  let d_min = max 5 (2 * int_of_float s.avg_degree) in
+  (match Sparse_graph.Gstats.power_law_exponent_mle ~d_min g with
+  | Some b -> Printf.printf "degree exponent (MLE, tail >= %d): %.2f\n" d_min b
+  | None -> ());
+  let rng = Prng.Rng.create ~seed:1 in
+  Printf.printf "clustering (sampled): %.3f\n"
+    (Sparse_graph.Gstats.global_clustering_sample g ~rng ~samples:500)
 
-let embed_cmd =
-  let doc =
-    "Infer hyperbolic coordinates for a saved instance from its connectivity \
-     alone and save the re-embedded instance (the pipeline of Boguna et al.)."
+let run_load (exec : Api.V1.exec_opts) ~name ~path =
+  with_manifest ~command:"load" ~seed:0 exec.obs_out @@ fun () ->
+  let inst = load_instance path in
+  let info = Api.Render.instance_info ~name inst in
+  Printf.printf "loaded %s: %s -> %d vertices, %d edges\n" name info.Api.V1.params
+    info.vertices info.edges
+
+let run_v1 args =
+  let env, exec = ok_or_fail (Api.V1.of_args args) in
+  apply_jobs exec;
+  match env.Api.V1.request with
+  | Api.V1.Sample { name = _; model; seed } -> run_sample exec ~model ~seed
+  | Api.V1.Route { instance; source; target; protocol; max_steps } ->
+      run_route exec ~path:instance ~source ~target ~protocol ~max_steps
+  | Api.V1.Route_batch { instance; pairs; protocol; max_steps } ->
+      run_route_batch exec ~path:instance ~pairs ~protocol ~max_steps
+  | Api.V1.Stats { instance } -> run_stats exec ~path:instance
+  | Api.V1.Load { name; path } -> run_load exec ~name ~path
+  | Api.V1.Health | Api.V1.Drain ->
+      fail_usage "health and drain are daemon requests; run `serve` and send them over TCP"
+
+(* ------------------------------------------------------------------ *)
+(* embed / import: not part of the serving API (they produce files,
+   not replies), so they keep a local flag parser with the same
+   conventions.                                                        *)
+
+let scan_flags ~op ~known args =
+  let seen = Hashtbl.create 8 in
+  let positional = ref None in
+  let rec go = function
+    | [] -> ()
+    | tok :: rest when String.length tok > 1 && tok.[0] = '-' -> (
+        match List.assoc_opt tok known with
+        | None -> fail (Api.Error.make Api.Error.Bad_request "unknown flag %S for %s" tok op)
+        | Some canonical -> (
+            match rest with
+            | v :: rest ->
+                Hashtbl.replace seen canonical v;
+                go rest
+            | [] -> fail (Api.Error.make Api.Error.Bad_request "flag %s expects a value" tok)))
+    | tok :: rest ->
+        if !positional = None then positional := Some tok
+        else fail_usage "unexpected argument %S for %s" tok op;
+        go rest
   in
+  go args;
+  (seen, !positional)
+
+let int_flag ~op seen flag ~default =
+  match Hashtbl.find_opt seen flag with
+  | None -> default
+  | Some v -> (
+      match int_of_string_opt v with
+      | Some i -> i
+      | None -> fail (Api.Error.make Api.Error.Bad_request "flag %s of %s expects an integer" flag op))
+
+let embed_known =
+  [ ("-o", "--output"); ("--output", "--output");
+    ("--refinement-sweeps", "--refinement-sweeps"); ("--seed", "--seed");
+    ("--obs-out", "--obs-out") ]
+
+let run_embed args =
+  let seen, positional = scan_flags ~op:"embed" ~known:embed_known args in
+  let path = match positional with Some p -> p | None -> fail_usage "embed needs an instance file" in
   let out =
-    Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
-           ~doc:"Output file for the embedded instance.")
+    match Hashtbl.find_opt seen "--output" with
+    | Some o -> o
+    | None -> fail_usage "embed requires -o FILE"
   in
-  let sweeps =
-    Arg.(value & opt int 0 & info [ "refinement-sweeps" ] ~docv:"K"
-           ~doc:"Windowed likelihood refinement sweeps after the tree layout.")
+  let sweeps = int_flag ~op:"embed" seen "--refinement-sweeps" ~default:0 in
+  let seed = int_flag ~op:"embed" seen "--seed" ~default:42 in
+  with_manifest ~command:"embed" ~seed (Hashtbl.find_opt seen "--obs-out") @@ fun () ->
+  let inst = load_instance path in
+  let graph = inst.Girg.Instance.graph in
+  let rng = Prng.Rng.create ~seed in
+  let embedding = Hyperbolic.Embed.infer ~rng ~graph ~refinement_sweeps:sweeps () in
+  let h = Hyperbolic.Embed.to_hrg embedding ~graph in
+  let n = Sparse_graph.Graph.n graph in
+  let girg_params =
+    Girg.Params.make ~dim:1 ~beta:2.5
+      ~w_min:(Array.fold_left Float.min infinity h.Hyperbolic.Hrg.weights)
+      ~alpha:Girg.Params.Infinite ~poisson_count:false ~n ()
   in
-  let run path out sweeps seed obs_out =
-    with_manifest ~command:"embed" ~seed obs_out @@ fun () ->
-    match load_instance path with
-    | Error e -> Error e
-    | Ok inst ->
-        let graph = inst.Girg.Instance.graph in
-        let rng = Prng.Rng.create ~seed in
-        let embedding =
-          Hyperbolic.Embed.infer ~rng ~graph ~refinement_sweeps:sweeps ()
-        in
-        let h = Hyperbolic.Embed.to_hrg embedding ~graph in
-        let n = Sparse_graph.Graph.n graph in
-        let girg_params =
-          Girg.Params.make ~dim:1 ~beta:2.5
-            ~w_min:
-              (Array.fold_left Float.min infinity h.Hyperbolic.Hrg.weights)
-            ~alpha:Girg.Params.Infinite ~poisson_count:false ~n ()
-        in
-        Girg.Store.save ~path:out
-          {
-            Girg.Instance.params = girg_params;
-            weights = h.Hyperbolic.Hrg.weights;
-            positions = h.Hyperbolic.Hrg.positions;
-            packed = Geometry.Torus.Packed.of_points ~dim:1 h.Hyperbolic.Hrg.positions;
-            graph;
-          };
-        Printf.printf
-          "embedded %d vertices from connectivity alone; wrote %s\n\
-           (route on it with `graphs_cli route %s -s .. -t ..`)\n"
-          n out out;
-        Ok ()
-  in
-  Cmd.v (Cmd.info "embed" ~doc)
-    Term.(term_result (const run $ file_arg $ out $ sweeps $ seed_arg $ obs_out_arg))
+  Girg.Store.save ~path:out
+    {
+      Girg.Instance.params = girg_params;
+      weights = h.Hyperbolic.Hrg.weights;
+      positions = h.Hyperbolic.Hrg.positions;
+      packed = Geometry.Torus.Packed.of_points ~dim:1 h.Hyperbolic.Hrg.positions;
+      graph;
+    };
+  Printf.printf
+    "embedded %d vertices from connectivity alone; wrote %s\n\
+     (route on it with `graphs_cli route %s -s .. -t ..`)\n"
+    n out out
 
-let import_cmd =
-  let doc =
-    "Import a bare edge list (smallworld-graph format), infer hyperbolic \
-     coordinates from its connectivity, and save a routable instance -- \
-     greedy routing on arbitrary graphs, the full [11] pipeline."
-  in
+let import_known =
+  [ ("-o", "--output"); ("--output", "--output"); ("--seed", "--seed");
+    ("--obs-out", "--obs-out") ]
+
+let run_import args =
+  let seen, positional = scan_flags ~op:"import" ~known:import_known args in
+  let path = match positional with Some p -> p | None -> fail_usage "import needs an edge-list file" in
   let out =
-    Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
-           ~doc:"Output instance file.")
+    match Hashtbl.find_opt seen "--output" with
+    | Some o -> o
+    | None -> fail_usage "import requires -o FILE"
   in
-  let run path out seed obs_out =
-    with_manifest ~command:"import" ~seed obs_out @@ fun () ->
-    match Sparse_graph.Io.load ~path with
-    | Error e -> Error (`Msg (Printf.sprintf "cannot load %s: %s" path e))
-    | Ok graph ->
-        let rng = Prng.Rng.create ~seed in
-        let embedding = Hyperbolic.Embed.infer ~rng ~graph () in
-        let h = Hyperbolic.Embed.to_hrg embedding ~graph in
-        let n = Sparse_graph.Graph.n graph in
-        let girg_params =
-          Girg.Params.make ~dim:1 ~beta:2.5
-            ~w_min:(Array.fold_left Float.min infinity h.Hyperbolic.Hrg.weights)
-            ~alpha:Girg.Params.Infinite ~poisson_count:false ~n ()
-        in
-        Girg.Store.save ~path:out
-          {
-            Girg.Instance.params = girg_params;
-            weights = h.Hyperbolic.Hrg.weights;
-            positions = h.Hyperbolic.Hrg.positions;
-            packed = Geometry.Torus.Packed.of_points ~dim:1 h.Hyperbolic.Hrg.positions;
-            graph;
-          };
-        Printf.printf "imported %d vertices / %d edges and embedded them; wrote %s\n" n
-          (Sparse_graph.Graph.m graph) out;
-        Ok ()
-  in
-  Cmd.v (Cmd.info "import" ~doc)
-    Term.(term_result (const run $ file_arg $ out $ seed_arg $ obs_out_arg))
+  let seed = int_flag ~op:"import" seen "--seed" ~default:42 in
+  with_manifest ~command:"import" ~seed (Hashtbl.find_opt seen "--obs-out") @@ fun () ->
+  match Sparse_graph.Io.load ~path with
+  | Error e -> fail (Api.Error.make Api.Error.Io "cannot load %s: %s" path e)
+  | Ok graph ->
+      let rng = Prng.Rng.create ~seed in
+      let embedding = Hyperbolic.Embed.infer ~rng ~graph () in
+      let h = Hyperbolic.Embed.to_hrg embedding ~graph in
+      let n = Sparse_graph.Graph.n graph in
+      let girg_params =
+        Girg.Params.make ~dim:1 ~beta:2.5
+          ~w_min:(Array.fold_left Float.min infinity h.Hyperbolic.Hrg.weights)
+          ~alpha:Girg.Params.Infinite ~poisson_count:false ~n ()
+      in
+      Girg.Store.save ~path:out
+        {
+          Girg.Instance.params = girg_params;
+          weights = h.Hyperbolic.Hrg.weights;
+          positions = h.Hyperbolic.Hrg.positions;
+          packed = Geometry.Torus.Packed.of_points ~dim:1 h.Hyperbolic.Hrg.positions;
+          graph;
+        };
+      Printf.printf "imported %d vertices / %d edges and embedded them; wrote %s\n" n
+        (Sparse_graph.Graph.m graph) out
 
-let stats_cmd =
-  let doc = "Print structural statistics of a saved instance." in
-  let run path obs_out =
-    with_manifest ~command:"stats" ~seed:0 obs_out @@ fun () ->
-    match load_instance path with
-    | Error e -> Error e
-    | Ok inst ->
-        let g = inst.graph in
-        let comps = Sparse_graph.Components.compute g in
-        Printf.printf "params:     %s\n" (Girg.Params.to_string inst.params);
-        Printf.printf "vertices:   %d\n" (Sparse_graph.Graph.n g);
-        Printf.printf "edges:      %d\n" (Sparse_graph.Graph.m g);
-        Printf.printf "avg degree: %.2f (max %d)\n" (Sparse_graph.Graph.avg_degree g)
-          (Sparse_graph.Graph.max_degree g);
-        Printf.printf "components: %d (giant: %d vertices, %.1f%%)\n"
-          (Sparse_graph.Components.count comps)
-          (Sparse_graph.Components.giant_size comps)
-          (100.0
-          *. float_of_int (Sparse_graph.Components.giant_size comps)
-          /. float_of_int (max 1 (Sparse_graph.Graph.n g)));
-        let d_min = max 5 (2 * int_of_float (Sparse_graph.Graph.avg_degree g)) in
-        (match Sparse_graph.Gstats.power_law_exponent_mle ~d_min g with
-        | Some b -> Printf.printf "degree exponent (MLE, tail >= %d): %.2f\n" d_min b
-        | None -> ());
-        let rng = Prng.Rng.create ~seed:1 in
-        Printf.printf "clustering (sampled): %.3f\n"
-          (Sparse_graph.Gstats.global_clustering_sample g ~rng ~samples:500);
-        Ok ()
-  in
-  Cmd.v (Cmd.info "stats" ~doc) Term.(term_result (const run $ file_arg $ obs_out_arg))
+(* ------------------------------------------------------------------ *)
 
-let main =
-  let doc = "Generate, inspect and route on saved random-graph instances." in
-  Cmd.group (Cmd.info "smallworld-graphs" ~doc) [ gen_cmd; route_cmd; stats_cmd; embed_cmd; import_cmd ]
-
-let () = exit (Cmd.eval main)
+let () =
+  match List.tl (Array.to_list Sys.argv) with
+  | [] | [ "help" ] | [ "--help" ] | [ "-h" ] ->
+      print_string usage;
+      exit 0
+  | [ "api-schema" ] ->
+      print_endline (Obs.Export.json_to_string (Api.V1.schema_json ()));
+      exit 0
+  | "embed" :: rest -> run_embed rest
+  | "import" :: rest -> run_import rest
+  | args -> run_v1 args

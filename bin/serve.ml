@@ -1,0 +1,108 @@
+(* The routing daemon:
+
+     serve [--port P] [--workers N] [--queue-cap N] [--registry-cap N]
+           [--max-batch N] [--load NAME=FILE]... [--obs-out FILE] [-j N]
+
+   Newline-delimited JSON over TCP; the request schema is
+   `graphs_cli api-schema`.  SIGTERM / SIGINT (or a client `drain`
+   request) drain gracefully: in-flight requests finish, the obs
+   manifest is written, exit status 0.                                   *)
+
+open Cmdliner
+
+let host_arg =
+  Arg.(value & opt string Server.Daemon.default_config.host
+         & info [ "host" ] ~docv:"ADDR" ~doc:"Bind address.")
+
+let port_arg =
+  Arg.(value & opt int Server.Daemon.default_config.port
+         & info [ "port" ] ~docv:"P" ~doc:"TCP port (0 = ephemeral, printed on startup).")
+
+let workers_arg =
+  Arg.(value & opt int Server.Daemon.default_config.workers
+         & info [ "workers" ] ~docv:"N" ~doc:"Connection-serving domains.")
+
+let queue_cap_arg =
+  Arg.(value & opt int Server.Daemon.default_config.queue_cap
+         & info [ "queue-cap" ] ~docv:"N"
+         ~doc:"Pending-connection bound; beyond it connections get the \
+               'overloaded' error instead of queueing.")
+
+let registry_cap_arg =
+  Arg.(value & opt int Server.Daemon.default_config.registry_cap
+         & info [ "registry-cap" ] ~docv:"N" ~doc:"Instance registry LRU capacity.")
+
+let max_batch_arg =
+  Arg.(value & opt int Server.Daemon.default_config.max_batch
+         & info [ "max-batch" ] ~docv:"N"
+         ~doc:"Largest accepted route_batch; bigger requests get 'overloaded'.")
+
+let load_arg =
+  Arg.(value & opt_all string [] & info [ "load" ] ~docv:"NAME=FILE"
+         ~doc:"Preload a saved instance into the registry before serving; repeatable.")
+
+let preload ex spec =
+  match String.index_opt spec '=' with
+  | None -> Error (Api.Error.make Api.Error.Usage "--load expects NAME=FILE, got %S" spec)
+  | Some i ->
+      let name = String.sub spec 0 i in
+      let path = String.sub spec (i + 1) (String.length spec - i - 1) in
+      (match Server.Exec.handle ex (Api.V1.Load { name; path }) with
+      | Api.V1.Failed e -> Error e
+      | _ ->
+          Printf.printf "loaded %s from %s\n%!" name path;
+          Ok ())
+
+let run host port workers queue_cap registry_cap max_batch loads obs_out jobs =
+  match Api.Cli.apply_jobs jobs with
+  | Error e -> Error e
+  | Ok () -> (
+      let config =
+        {
+          Server.Daemon.host;
+          port;
+          workers;
+          queue_cap;
+          registry_cap;
+          max_batch;
+          obs_out;
+        }
+      in
+      let t = Server.Daemon.create config in
+      let rec load_all = function
+        | [] -> Ok ()
+        | spec :: rest -> (
+            match preload (Server.Daemon.exec t) spec with
+            | Ok () -> load_all rest
+            | Error e -> Error e)
+      in
+      match load_all loads with
+      | Error e ->
+          Server.Daemon.stop t;
+          Server.Daemon.serve t;
+          prerr_endline (Api.Error.to_string e);
+          exit (Api.Error.exit_code e.code)
+      | Ok () ->
+          let drain _ = Server.Daemon.stop t in
+          Sys.set_signal Sys.sigterm (Sys.Signal_handle drain);
+          Sys.set_signal Sys.sigint (Sys.Signal_handle drain);
+          Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+          Printf.printf "serving on %s:%d (%d workers, queue %d, registry %d)\n%!" host
+            (Server.Daemon.port t) workers queue_cap registry_cap;
+          Server.Daemon.serve t;
+          Printf.printf "drained: %d accepted, %d served, %d rejected, %d deadline-missed\n%!"
+            (Server.Exec.accepted (Server.Daemon.exec t))
+            (Server.Exec.served (Server.Daemon.exec t))
+            (Server.Exec.rejected (Server.Daemon.exec t))
+            (Server.Exec.deadline_missed (Server.Daemon.exec t));
+          Ok ())
+
+let main =
+  let doc = "Serve route/sample/stats queries over newline-delimited JSON (API v1)." in
+  Cmd.v (Cmd.info "smallworld-serve" ~doc)
+    Term.(
+      term_result
+        (const run $ host_arg $ port_arg $ workers_arg $ queue_cap_arg
+       $ registry_cap_arg $ max_batch_arg $ load_arg $ Api.Cli.obs_out $ Api.Cli.jobs))
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,26 @@
+(** Shared cmdliner terms for the executables that keep a cmdliner
+    front-end ([experiments_cli], [serve]).  One definition of the
+    seed / jobs / obs-out flags; the validation is {!V1}'s, so the
+    hand-rolled [graphs_cli] parser and the cmdliner binaries reject
+    the same inputs with the same messages. *)
+
+val seed : int Cmdliner.Term.t
+(** [--seed N], default 42. *)
+
+val jobs : int option Cmdliner.Term.t
+(** [-j N] / [--jobs N]: worker domains (0 = all cores). *)
+
+val apply_jobs : int option -> (unit, [> `Msg of string ]) result
+(** Validate (via {!V1.parse_jobs}) and apply to {!Parallel.Global}. *)
+
+val obs_out : string option Cmdliner.Term.t
+(** [--obs-out FILE]: JSONL run-manifest destination. *)
+
+val with_manifest :
+  command:string ->
+  seed:int ->
+  string option ->
+  (unit -> (unit, 'e) result) ->
+  (unit, 'e) result
+(** Run [f] under a [cli.<command>] span; on success, append one
+    manifest line (metrics snapshot + span tree) to the given path. *)

@@ -1,0 +1,64 @@
+type code =
+  | Bad_request
+  | Unknown_instance
+  | Overloaded
+  | Deadline
+  | Draining
+  | Io
+  | Usage
+  | Incomparable
+  | Regression
+  | Internal
+
+let all_codes =
+  [
+    Bad_request;
+    Unknown_instance;
+    Overloaded;
+    Deadline;
+    Draining;
+    Io;
+    Usage;
+    Incomparable;
+    Regression;
+    Internal;
+  ]
+
+let code_string = function
+  | Bad_request -> "bad-request"
+  | Unknown_instance -> "unknown-instance"
+  | Overloaded -> "overloaded"
+  | Deadline -> "deadline"
+  | Draining -> "draining"
+  | Io -> "io"
+  | Usage -> "usage"
+  | Incomparable -> "incomparable"
+  | Regression -> "perf-regression"
+  | Internal -> "internal"
+
+let code_of_string s = List.find_opt (fun c -> code_string c = s) all_codes
+
+let exit_code = function
+  | Regression -> 1
+  | Bad_request | Unknown_instance | Io | Usage | Incomparable -> 2
+  | Overloaded | Deadline | Draining -> 75
+  | Internal -> 70
+
+type t = { code : code; message : string }
+
+let make code fmt = Printf.ksprintf (fun message -> { code; message }) fmt
+
+let to_string t = Printf.sprintf "error [%s] %s" (code_string t.code) t.message
+
+let to_json t =
+  Obs.Export.Obj
+    [ ("code", Obs.Export.Str (code_string t.code)); ("message", Obs.Export.Str t.message) ]
+
+let of_json j =
+  match (Obs.Export.member "code" j, Obs.Export.member "message" j) with
+  | Some (Obs.Export.Str c), Some (Obs.Export.Str message) -> begin
+      match code_of_string c with
+      | Some code -> Ok { code; message }
+      | None -> Error (Printf.sprintf "unknown error code %S" c)
+    end
+  | _ -> Error "error object needs string fields \"code\" and \"message\""

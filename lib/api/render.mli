@@ -1,0 +1,68 @@
+(** Execution and rendering of route / stats requests against a loaded
+    instance — the one implementation behind both [graphs_cli] and the
+    daemon, so their outputs are byte-identical by construction.
+
+    [graphs_cli route] prints {!route_text}; the daemon returns it in
+    the [text] field of a {!V1.route_reply}.  Neither re-implements the
+    formatting. *)
+
+val route_text :
+  protocol:Greedy_routing.Protocol.t ->
+  outcome:Greedy_routing.Outcome.t ->
+  shortest:int option ->
+  string
+(** The exact bytes the route subcommand has always printed: protocol
+    and outcome line, walk line (full walk up to 50 vertices, else the
+    hop count), shortest-path line (with stretch when delivered over a
+    positive distance, or the disconnected notice).  Every line ends in
+    a newline. *)
+
+val route :
+  inst:Girg.Instance.t ->
+  protocol:Greedy_routing.Protocol.t ->
+  ?max_steps:int ->
+  source:int ->
+  target:int ->
+  unit ->
+  (V1.route_reply, Error.t) result
+(** Run one route (GIRG phi objective, BFS shortest path) and build the
+    reply.  Fails with [bad-request] when a vertex is out of range —
+    the same check, message included, the CLI applied. *)
+
+val route_batch :
+  ?pool:Parallel.Pool.t ->
+  inst:Girg.Instance.t ->
+  protocol:Greedy_routing.Protocol.t ->
+  ?max_steps:int ->
+  pairs:(int * int) array ->
+  unit ->
+  (V1.route_reply list, Error.t) result
+(** Route every pair, fanning out over [pool] (default: the shared
+    {!Parallel.Global} pool) with the same per-domain memoised
+    objective {!Experiments.Workload.run} uses.  Replies come back in
+    pair order and each is identical to what {!route} returns for that
+    pair alone — routing is deterministic and RNG-free, so the job
+    count never shows in the bytes. *)
+
+val resolve_pairs :
+  inst:Girg.Instance.t -> V1.pairs_spec -> ((int * int) array, Error.t) result
+(** Explicit pairs are bounds-checked; sampled pairs are drawn from a
+    fresh [Prng.Rng.create ~seed:pair_seed] substream with
+    [Experiments.Workload.sample_pairs_any]/[_giant] — the discipline
+    the batch experiments use, so a served batch and a local workload
+    see identical pairs. *)
+
+val instantiate : model:V1.model -> seed:int -> Girg.Instance.t
+(** Sample a model into a routable instance.  GIRGs sample directly;
+    HRGs go through the Section 11 GIRG equivalence (the same mapping
+    [graphs_cli gen hrg] has always stored); Kleinberg lattices embed
+    with unit weights and lattice positions on the 2-torus, so greedy
+    phi-routing on the embedding is lattice-greedy routing.  Generation
+    fans out over the shared {!Parallel.Global} pool — callers that may
+    run from several domains must serialise (the daemon holds its
+    compute lock). *)
+
+val instance_info : name:string -> Girg.Instance.t -> V1.instance_info
+
+val stats : Girg.Instance.t -> V1.stats_reply
+(** Structural statistics (components via one BFS sweep). *)

@@ -1,0 +1,1179 @@
+(* The single definition of route/sample/stats parameters: typed
+   requests, the JSON wire codec used by the daemon, and the
+   argument-list codec used by the CLIs.  Both codecs round-trip
+   exactly (pinned by test/test_api.ml), and the flag tables below
+   also generate the machine-readable schema dump, so parser, printer
+   and documentation cannot drift apart. *)
+
+module J = Obs.Export
+
+let version = 1
+
+type model =
+  | Girg of Girg.Params.t
+  | Hrg of Hyperbolic.Hrg.params
+  | Kleinberg of Kleinberg.Lattice.params
+
+type pair_pool = Any | Giant
+
+type pairs_spec =
+  | Pairs of (int * int) list
+  | Drawn of { count : int; pair_seed : int; pool : pair_pool }
+
+type request =
+  | Load of { name : string; path : string }
+  | Sample of { name : string; model : model; seed : int }
+  | Route of {
+      instance : string;
+      source : int;
+      target : int;
+      protocol : Greedy_routing.Protocol.t;
+      max_steps : int option;
+    }
+  | Route_batch of {
+      instance : string;
+      pairs : pairs_spec;
+      protocol : Greedy_routing.Protocol.t;
+      max_steps : int option;
+    }
+  | Stats of { instance : string }
+  | Health
+  | Drain
+
+type envelope = { id : int option; deadline_ms : int option; request : request }
+
+let envelope ?id ?deadline_ms request = { id; deadline_ms; request }
+
+type instance_info = { name : string; params : string; vertices : int; edges : int }
+
+type route_reply = {
+  source : int;
+  target : int;
+  status : Greedy_routing.Outcome.status;
+  steps : int;
+  visited : int;
+  shortest : int option;
+  text : string;
+}
+
+type stats_reply = {
+  params : string;
+  vertices : int;
+  edges : int;
+  avg_degree : float;
+  max_degree : int;
+  components : int;
+  giant : int;
+}
+
+type health_reply = {
+  draining : bool;
+  instances : string list;
+  counters : (string * int) list;
+}
+
+type response =
+  | Loaded of instance_info
+  | Sampled of instance_info
+  | Routed of route_reply
+  | Routed_batch of route_reply list
+  | Stats_reply of stats_reply
+  | Health_reply of health_reply
+  | Drain_ack
+  | Failed of Error.t
+
+type reply = { reply_id : int option; response : response }
+
+(* ------------------------------------------------------------------ *)
+(* Shared string conversions                                           *)
+
+let ( let* ) r f = match r with Ok v -> f v | Error e -> Error e
+
+let err_bad fmt =
+  Printf.ksprintf (fun message -> Error { Error.code = Error.Bad_request; message }) fmt
+
+let protocol_to_string = Greedy_routing.Protocol.name
+
+let protocol_of_string s =
+  match String.lowercase_ascii s with
+  | "greedy" -> Ok Greedy_routing.Protocol.Greedy
+  | "phi-dfs" | "dfs" -> Ok Greedy_routing.Protocol.Patch_dfs
+  | "history" -> Ok Greedy_routing.Protocol.Patch_history
+  | "gravity-pressure" | "gp" -> Ok Greedy_routing.Protocol.Gravity_pressure
+  | other ->
+      err_bad "unknown protocol %S (greedy | phi-dfs | history | gravity-pressure)" other
+
+let status_to_string = Greedy_routing.Outcome.status_to_string
+
+let status_of_string s =
+  List.find_opt
+    (fun st -> Greedy_routing.Outcome.status_to_string st = s)
+    [
+      Greedy_routing.Outcome.Delivered;
+      Greedy_routing.Outcome.Dead_end;
+      Greedy_routing.Outcome.Exhausted;
+      Greedy_routing.Outcome.Cutoff;
+    ]
+
+let alpha_of_string s =
+  match String.lowercase_ascii s with
+  | "inf" | "infinity" -> Ok Girg.Params.Infinite
+  | s -> (
+      match float_of_string_opt s with
+      | Some a -> Ok (Girg.Params.Finite a)
+      | None -> err_bad "bad --alpha %S (a float > 1, or 'inf')" s)
+
+let parse_jobs s =
+  match int_of_string_opt s with
+  | Some j when j >= 0 -> Ok j
+  | Some _ | None -> err_bad "--jobs expects a non-negative integer (0 = all cores)"
+
+(* Shortest decimal that parses back to the same double (the JSON
+   emitter uses the same trick), so argument lists round-trip floats. *)
+let float_arg f =
+  if Float.is_integer f && Float.abs f < 1e16 then Printf.sprintf "%.0f" f
+  else
+    let s = Printf.sprintf "%.9g" f in
+    if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let pool_to_string = function Any -> "any" | Giant -> "giant"
+
+let pool_of_string = function
+  | "any" -> Ok Any
+  | "giant" -> Ok Giant
+  | s -> err_bad "bad --pool %S (any | giant)" s
+
+(* ------------------------------------------------------------------ *)
+(* JSON wire codec                                                     *)
+
+let model_fields = function
+  | Girg p ->
+      [
+        ("model", J.Str "girg");
+        ("n", J.Int p.Girg.Params.n);
+        ("dim", J.Int p.dim);
+        ("beta", J.Float p.beta);
+        ("w_min", J.Float p.w_min);
+        ( "alpha",
+          match p.alpha with
+          | Girg.Params.Infinite -> J.Str "inf"
+          | Girg.Params.Finite a -> J.Float a );
+        ("c", J.Float p.c);
+        ("norm", J.Str (Girg.Params.norm_to_string p.norm));
+        ("poisson", J.Bool p.poisson_count);
+      ]
+  | Hrg p ->
+      [
+        ("model", J.Str "hrg");
+        ("n", J.Int p.Hyperbolic.Hrg.n);
+        ("alpha_h", J.Float p.alpha_h);
+        ("radius_c", J.Float p.radius_c);
+        ("temperature", J.Float p.temperature);
+      ]
+  | Kleinberg p ->
+      [
+        ("model", J.Str "kleinberg");
+        ("side", J.Int p.Kleinberg.Lattice.side);
+        ("long_range", J.Int p.long_range);
+        ("exponent", J.Float p.exponent);
+      ]
+
+let pairs_fields = function
+  | Pairs ps ->
+      [ ("pairs", J.Arr (List.map (fun (s, t) -> J.Arr [ J.Int s; J.Int t ]) ps)) ]
+  | Drawn { count; pair_seed; pool } ->
+      [
+        ("count", J.Int count);
+        ("pair_seed", J.Int pair_seed);
+        ("pair_pool", J.Str (pool_to_string pool));
+      ]
+
+let op_of_request = function
+  | Load _ -> "load"
+  | Sample _ -> "sample"
+  | Route _ -> "route"
+  | Route_batch _ -> "route_batch"
+  | Stats _ -> "stats"
+  | Health -> "health"
+  | Drain -> "drain"
+
+let request_fields = function
+  | Load { name; path } -> [ ("name", J.Str name); ("path", J.Str path) ]
+  | Sample { name; model; seed } ->
+      (("name", J.Str name) :: model_fields model) @ [ ("seed", J.Int seed) ]
+  | Route { instance; source; target; protocol; max_steps } ->
+      [
+        ("instance", J.Str instance);
+        ("source", J.Int source);
+        ("target", J.Int target);
+        ("protocol", J.Str (protocol_to_string protocol));
+      ]
+      @ (match max_steps with Some m -> [ ("max_steps", J.Int m) ] | None -> [])
+  | Route_batch { instance; pairs; protocol; max_steps } ->
+      (("instance", J.Str instance) :: pairs_fields pairs)
+      @ [ ("protocol", J.Str (protocol_to_string protocol)) ]
+      @ (match max_steps with Some m -> [ ("max_steps", J.Int m) ] | None -> [])
+  | Stats { instance } -> [ ("instance", J.Str instance) ]
+  | Health | Drain -> []
+
+let envelope_to_json e =
+  J.Obj
+    ([ ("v", J.Int version); ("op", J.Str (op_of_request e.request)) ]
+    @ (match e.id with Some i -> [ ("id", J.Int i) ] | None -> [])
+    @ (match e.deadline_ms with Some d -> [ ("deadline_ms", J.Int d) ] | None -> [])
+    @ request_fields e.request)
+
+(* Field accessors over a parsed JSON object. *)
+
+let jint = function J.Int i -> Some i | _ -> None
+
+let jfloat = function
+  | J.Float f -> Some f
+  | J.Int i -> Some (float_of_int i)
+  | _ -> None
+
+let jstr = function J.Str s -> Some s | _ -> None
+let jbool = function J.Bool b -> Some b | _ -> None
+
+let req_field ~what name conv j =
+  match J.member name j with
+  | Some v -> (
+      match conv v with
+      | Some x -> Ok x
+      | None -> err_bad "field %S of a %s request has the wrong type" name what)
+  | None -> err_bad "%s request is missing field %S" what name
+
+let opt_field ~what name conv j =
+  match J.member name j with
+  | None -> Ok None
+  | Some v -> (
+      match conv v with
+      | Some x -> Ok (Some x)
+      | None -> err_bad "field %S of a %s request has the wrong type" name what)
+
+let validate_girg ~what p =
+  match Girg.Params.validate p with
+  | Ok p -> Ok p
+  | Error m -> err_bad "invalid girg parameters in %s request: %s" what m
+
+let model_of_json ~what j =
+  let* kind = req_field ~what "model" jstr j in
+  match kind with
+  | "girg" ->
+      let dflt = Girg.Params.default in
+      let* n = req_field ~what "n" jint j in
+      let* dim = opt_field ~what "dim" jint j in
+      let* beta = opt_field ~what "beta" jfloat j in
+      let* w_min = opt_field ~what "w_min" jfloat j in
+      let* c = opt_field ~what "c" jfloat j in
+      let* alpha =
+        match J.member "alpha" j with
+        | None -> Ok dflt.Girg.Params.alpha
+        | Some (J.Str s) -> alpha_of_string s
+        | Some v -> (
+            match jfloat v with
+            | Some a -> Ok (Girg.Params.Finite a)
+            | None -> err_bad "field \"alpha\" of a %s request has the wrong type" what)
+      in
+      let* norm =
+        match J.member "norm" j with
+        | None -> Ok dflt.Girg.Params.norm
+        | Some (J.Str s) -> (
+            match Girg.Params.norm_of_string s with
+            | Some n -> Ok n
+            | None -> err_bad "bad norm %S (linf | l2 | l1)" s)
+        | Some _ -> err_bad "field \"norm\" of a %s request has the wrong type" what
+      in
+      let* poisson = opt_field ~what "poisson" jbool j in
+      let* p =
+        validate_girg ~what
+          {
+            Girg.Params.n;
+            dim = Option.value dim ~default:dflt.Girg.Params.dim;
+            beta = Option.value beta ~default:dflt.Girg.Params.beta;
+            w_min = Option.value w_min ~default:dflt.Girg.Params.w_min;
+            alpha;
+            c = Option.value c ~default:dflt.Girg.Params.c;
+            norm;
+            poisson_count = Option.value poisson ~default:true;
+          }
+      in
+      Ok (Girg p)
+  | "hrg" ->
+      let* n = req_field ~what "n" jint j in
+      let* alpha_h = opt_field ~what "alpha_h" jfloat j in
+      let* radius_c = opt_field ~what "radius_c" jfloat j in
+      let* temperature = opt_field ~what "temperature" jfloat j in
+      (match
+         Hyperbolic.Hrg.make ?alpha_h ?radius_c ?temperature ~n ()
+       with
+      | p -> Ok (Hrg p)
+      | exception Invalid_argument m -> err_bad "invalid hrg parameters: %s" m)
+  | "kleinberg" ->
+      let* side = req_field ~what "side" jint j in
+      let* long_range = opt_field ~what "long_range" jint j in
+      let* exponent = opt_field ~what "exponent" jfloat j in
+      (match Kleinberg.Lattice.make ?long_range ?exponent ~side () with
+      | p -> Ok (Kleinberg p)
+      | exception Invalid_argument m -> err_bad "invalid kleinberg parameters: %s" m)
+  | other -> err_bad "unknown model %S (girg | hrg | kleinberg)" other
+
+let pairs_of_json ~what j =
+  match J.member "pairs" j with
+  | Some (J.Arr items) ->
+      let rec go acc = function
+        | [] -> Ok (Pairs (List.rev acc))
+        | J.Arr [ s; t ] :: rest -> (
+            match (jint s, jint t) with
+            | Some s, Some t -> go ((s, t) :: acc) rest
+            | _ -> err_bad "\"pairs\" entries must be [source, target] int pairs")
+        | _ -> err_bad "\"pairs\" entries must be [source, target] int pairs"
+      in
+      go [] items
+  | Some _ -> err_bad "field \"pairs\" of a %s request must be an array" what
+  | None ->
+      let* count = req_field ~what "count" jint j in
+      let* pair_seed = opt_field ~what "pair_seed" jint j in
+      let* pool =
+        match J.member "pair_pool" j with
+        | None -> Ok Giant
+        | Some (J.Str s) -> pool_of_string s
+        | Some _ -> err_bad "field \"pair_pool\" of a %s request has the wrong type" what
+      in
+      Ok (Drawn { count; pair_seed = Option.value pair_seed ~default:0; pool })
+
+let protocol_of_json ~what j =
+  match J.member "protocol" j with
+  | None -> Ok Greedy_routing.Protocol.Greedy
+  | Some (J.Str s) -> protocol_of_string s
+  | Some _ -> err_bad "field \"protocol\" of a %s request has the wrong type" what
+
+let envelope_of_json j =
+  let* () =
+    match J.member "v" j with
+    | Some (J.Int v) when v = version -> Ok ()
+    | Some (J.Int v) -> err_bad "unsupported API version %d (this server speaks v%d)" v version
+    | Some _ -> err_bad "field \"v\" must be an integer"
+    | None -> err_bad "request is missing field \"v\" (API version, currently %d)" version
+  in
+  let* op = req_field ~what:"any" "op" jstr j in
+  let* id = opt_field ~what:op "id" jint j in
+  let* deadline_ms = opt_field ~what:op "deadline_ms" jint j in
+  let* request =
+    match op with
+    | "load" ->
+        let* name = req_field ~what:op "name" jstr j in
+        let* path = req_field ~what:op "path" jstr j in
+        Ok (Load { name; path })
+    | "sample" ->
+        let* name = req_field ~what:op "name" jstr j in
+        let* model = model_of_json ~what:op j in
+        let* seed = opt_field ~what:op "seed" jint j in
+        Ok (Sample { name; model; seed = Option.value seed ~default:42 })
+    | "route" ->
+        let* instance = req_field ~what:op "instance" jstr j in
+        let* source = req_field ~what:op "source" jint j in
+        let* target = req_field ~what:op "target" jint j in
+        let* protocol = protocol_of_json ~what:op j in
+        let* max_steps = opt_field ~what:op "max_steps" jint j in
+        Ok (Route { instance; source; target; protocol; max_steps })
+    | "route_batch" | "route-batch" ->
+        let* instance = req_field ~what:op "instance" jstr j in
+        let* pairs = pairs_of_json ~what:op j in
+        let* protocol = protocol_of_json ~what:op j in
+        let* max_steps = opt_field ~what:op "max_steps" jint j in
+        Ok (Route_batch { instance; pairs; protocol; max_steps })
+    | "stats" ->
+        let* instance = req_field ~what:op "instance" jstr j in
+        Ok (Stats { instance })
+    | "health" -> Ok Health
+    | "drain" -> Ok Drain
+    | other ->
+        err_bad
+          "unknown op %S (load | sample | route | route_batch | stats | health | drain)"
+          other
+  in
+  Ok { id; deadline_ms; request }
+
+let envelope_of_line line =
+  match J.json_of_string line with
+  | Error m -> err_bad "unparseable request line: %s" m
+  | Ok j -> envelope_of_json j
+
+let request_line e = J.json_to_string (envelope_to_json e)
+
+let route_reply_to_json (r : route_reply) =
+  J.Obj
+    [
+      ("source", J.Int r.source);
+      ("target", J.Int r.target);
+      ("status", J.Str (status_to_string r.status));
+      ("steps", J.Int r.steps);
+      ("visited", J.Int r.visited);
+      ("shortest", match r.shortest with Some d -> J.Int d | None -> J.Null);
+      ("text", J.Str r.text);
+    ]
+
+let instance_info_to_json (i : instance_info) =
+  J.Obj
+    [
+      ("name", J.Str i.name);
+      ("params", J.Str i.params);
+      ("vertices", J.Int i.vertices);
+      ("edges", J.Int i.edges);
+    ]
+
+let result_to_json = function
+  | Loaded i | Sampled i -> instance_info_to_json i
+  | Routed r -> route_reply_to_json r
+  | Routed_batch rs -> J.Obj [ ("routes", J.Arr (List.map route_reply_to_json rs)) ]
+  | Stats_reply s ->
+      J.Obj
+        [
+          ("params", J.Str s.params);
+          ("vertices", J.Int s.vertices);
+          ("edges", J.Int s.edges);
+          ("avg_degree", J.Float s.avg_degree);
+          ("max_degree", J.Int s.max_degree);
+          ("components", J.Int s.components);
+          ("giant", J.Int s.giant);
+        ]
+  | Health_reply h ->
+      J.Obj
+        [
+          ("draining", J.Bool h.draining);
+          ("instances", J.Arr (List.map (fun n -> J.Str n) h.instances));
+          ("counters", J.Obj (List.map (fun (k, v) -> (k, J.Int v)) h.counters));
+        ]
+  | Drain_ack -> J.Obj [ ("draining", J.Bool true) ]
+  | Failed _ -> J.Null
+
+let op_of_response = function
+  | Loaded _ -> "load"
+  | Sampled _ -> "sample"
+  | Routed _ -> "route"
+  | Routed_batch _ -> "route_batch"
+  | Stats_reply _ -> "stats"
+  | Health_reply _ -> "health"
+  | Drain_ack -> "drain"
+  | Failed _ -> "error"
+
+let reply_to_json r =
+  let id = match r.reply_id with Some i -> [ ("id", J.Int i) ] | None -> [] in
+  match r.response with
+  | Failed e ->
+      J.Obj ([ ("v", J.Int version) ] @ id @ [ ("ok", J.Bool false); ("error", Error.to_json e) ])
+  | resp ->
+      J.Obj
+        ([ ("v", J.Int version) ] @ id
+        @ [
+            ("ok", J.Bool true);
+            ("op", J.Str (op_of_response resp));
+            ("result", result_to_json resp);
+          ])
+
+let route_reply_of_json ~what j =
+  let* source = req_field ~what "source" jint j in
+  let* target = req_field ~what "target" jint j in
+  let* status_s = req_field ~what "status" jstr j in
+  let* status =
+    match status_of_string status_s with
+    | Some s -> Ok s
+    | None -> err_bad "unknown route status %S" status_s
+  in
+  let* steps = req_field ~what "steps" jint j in
+  let* visited = req_field ~what "visited" jint j in
+  let* shortest =
+    match J.member "shortest" j with
+    | Some J.Null | None -> Ok None
+    | Some v -> (
+        match jint v with
+        | Some d -> Ok (Some d)
+        | None -> err_bad "field \"shortest\" has the wrong type")
+  in
+  let* text = req_field ~what "text" jstr j in
+  Ok { source; target; status; steps; visited; shortest; text }
+
+let instance_info_of_json ~what j =
+  let* name = req_field ~what "name" jstr j in
+  let* params = req_field ~what "params" jstr j in
+  let* vertices = req_field ~what "vertices" jint j in
+  let* edges = req_field ~what "edges" jint j in
+  Ok ({ name; params; vertices; edges } : instance_info)
+
+let reply_of_json j =
+  let* id = opt_field ~what:"reply" "id" jint j in
+  let* ok = req_field ~what:"reply" "ok" jbool j in
+  if not ok then
+    match J.member "error" j with
+    | Some e -> (
+        match Error.of_json e with
+        | Ok e -> Ok { reply_id = id; response = Failed e }
+        | Error m -> err_bad "bad error object in reply: %s" m)
+    | None -> err_bad "failed reply is missing field \"error\""
+  else
+    let* op = req_field ~what:"reply" "op" jstr j in
+    let* result =
+      match J.member "result" j with
+      | Some r -> Ok r
+      | None -> err_bad "ok reply is missing field \"result\""
+    in
+    let what = "reply:" ^ op in
+    let* response =
+      match op with
+      | "load" ->
+          let* i = instance_info_of_json ~what result in
+          Ok (Loaded i)
+      | "sample" ->
+          let* i = instance_info_of_json ~what result in
+          Ok (Sampled i)
+      | "route" ->
+          let* r = route_reply_of_json ~what result in
+          Ok (Routed r)
+      | "route_batch" -> (
+          match J.member "routes" result with
+          | Some (J.Arr items) ->
+              let rec go acc = function
+                | [] -> Ok (Routed_batch (List.rev acc))
+                | r :: rest ->
+                    let* r = route_reply_of_json ~what r in
+                    go (r :: acc) rest
+              in
+              go [] items
+          | _ -> err_bad "route_batch reply is missing array field \"routes\"")
+      | "stats" ->
+          let* params = req_field ~what "params" jstr result in
+          let* vertices = req_field ~what "vertices" jint result in
+          let* edges = req_field ~what "edges" jint result in
+          let* avg_degree = req_field ~what "avg_degree" jfloat result in
+          let* max_degree = req_field ~what "max_degree" jint result in
+          let* components = req_field ~what "components" jint result in
+          let* giant = req_field ~what "giant" jint result in
+          Ok
+            (Stats_reply
+               { params; vertices; edges; avg_degree; max_degree; components; giant })
+      | "health" ->
+          let* draining = req_field ~what "draining" jbool result in
+          let* instances =
+            match J.member "instances" result with
+            | Some (J.Arr items) ->
+                let rec go acc = function
+                  | [] -> Ok (List.rev acc)
+                  | J.Str s :: rest -> go (s :: acc) rest
+                  | _ -> err_bad "health \"instances\" must be strings"
+                in
+                go [] items
+            | _ -> err_bad "health reply is missing array field \"instances\""
+          in
+          let* counters =
+            match J.member "counters" result with
+            | Some (J.Obj fields) ->
+                let rec go acc = function
+                  | [] -> Ok (List.rev acc)
+                  | (k, J.Int v) :: rest -> go ((k, v) :: acc) rest
+                  | (k, _) :: _ -> err_bad "health counter %S must be an int" k
+                in
+                go [] fields
+            | _ -> err_bad "health reply is missing object field \"counters\""
+          in
+          Ok (Health_reply { draining; instances; counters })
+      | "drain" -> Ok Drain_ack
+      | other -> err_bad "unknown reply op %S" other
+    in
+    Ok { reply_id = id; response }
+
+let reply_of_line line =
+  match J.json_of_string line with
+  | Error m -> err_bad "unparseable reply line: %s" m
+  | Ok j -> reply_of_json j
+
+let reply_line r = J.json_to_string (reply_to_json r)
+
+(* ------------------------------------------------------------------ *)
+(* Argument-list codec                                                 *)
+
+type exec_opts = {
+  output : string option;
+  obs_out : string option;
+  events_out : string option;
+  jobs : int option;
+}
+
+let no_exec = { output = None; obs_out = None; events_out = None; jobs = None }
+
+(* Flag tables.  [aliases] are the deprecation shims: pre-v1 spellings
+   that keep parsing but are never printed; the canonical flag is the
+   only spelling [to_args], the schema and error messages use. *)
+
+type fspec = {
+  flag : string;
+  als : string list;
+  ftyp : string;  (* int | float | string | flag | ... for the schema *)
+  freq : bool;
+  fdefault : string option;
+  fdoc : string;
+}
+
+let fld ?(als = []) ?(freq = false) ?fdefault ~ftyp ~fdoc flag =
+  { flag; als; ftyp; freq; fdefault; fdoc }
+
+let envelope_flags =
+  [
+    fld "--id" ~ftyp:"int" ~fdoc:"request id, echoed in the reply";
+    fld "--deadline-ms" ~ftyp:"int"
+      ~fdoc:"deadline in milliseconds from request receipt; expiry returns the \
+             'deadline' error";
+  ]
+
+let exec_flags =
+  [
+    fld "--output" ~als:[ "-o" ] ~ftyp:"string"
+      ~fdoc:"CLI only: file the sampled instance is written to";
+    fld "--obs-out" ~ftyp:"string" ~fdoc:"CLI only: write a JSONL run manifest";
+    fld "--events-out" ~ftyp:"string"
+      ~fdoc:"CLI only (route): write flight-recorder events (smallworld.events.v1)";
+    fld "--jobs" ~als:[ "-j" ] ~ftyp:"int"
+      ~fdoc:"worker domains (0 = all cores); overrides SMALLWORLD_JOBS";
+  ]
+
+let girg_flags =
+  [
+    fld "--n" ~als:[ "-n" ] ~ftyp:"int" ~fdefault:"10000" ~fdoc:"expected vertex count";
+    fld "--dim" ~ftyp:"int" ~fdefault:"2" ~fdoc:"torus dimension";
+    fld "--beta" ~ftyp:"float" ~fdefault:"2.5" ~fdoc:"power-law exponent in (2,3)";
+    fld "--w-min" ~ftyp:"float" ~fdefault:"1" ~fdoc:"minimum weight";
+    fld "--alpha" ~ftyp:"alpha" ~fdefault:"2" ~fdoc:"decay parameter (> 1) or 'inf'";
+    fld "--c" ~als:[ "-c" ] ~ftyp:"float" ~fdefault:"0.25" ~fdoc:"edge probability constant";
+    fld "--norm" ~ftyp:"norm" ~fdefault:"linf" ~fdoc:"torus norm: linf | l2 | l1";
+    fld "--fixed-count" ~ftyp:"flag" ~fdoc:"exactly n vertices instead of Poisson(n)";
+  ]
+
+let hrg_flags =
+  [
+    fld "--n" ~als:[ "-n" ] ~ftyp:"int" ~fdefault:"10000" ~fdoc:"vertex count";
+    fld "--alpha-h" ~ftyp:"float" ~fdefault:"0.75" ~fdoc:"radial dispersion in (1/2, 1)";
+    fld "--radius-c" ~ftyp:"float" ~fdefault:"0" ~fdoc:"constant C in R = 2 ln n + C";
+    fld "--temperature" ~ftyp:"float" ~fdefault:"0" ~fdoc:"T in [0, 1)";
+  ]
+
+let kleinberg_flags =
+  [
+    fld "--side" ~ftyp:"int" ~freq:true ~fdoc:"lattice side (side^2 vertices)";
+    fld "--long-range" ~ftyp:"int" ~fdefault:"1" ~fdoc:"long-range contacts per vertex";
+    fld "--exponent" ~ftyp:"float" ~fdefault:"2" ~fdoc:"decay exponent of the contact distribution";
+  ]
+
+let sample_common_flags =
+  [
+    fld "--name" ~ftyp:"string" ~fdoc:"registry name (CLI default: the --output path)";
+    fld "--seed" ~ftyp:"int" ~fdefault:"42" ~fdoc:"random seed";
+  ]
+
+let route_flags =
+  [
+    fld "--instance" ~ftyp:"string" ~freq:true
+      ~fdoc:"instance name (daemon) or file (CLI); also the positional argument";
+    fld "--source" ~als:[ "-s" ] ~ftyp:"int" ~freq:true ~fdoc:"source vertex";
+    fld "--target" ~als:[ "-t" ] ~ftyp:"int" ~freq:true ~fdoc:"target vertex";
+    fld "--protocol" ~ftyp:"protocol" ~fdefault:"greedy"
+      ~fdoc:"greedy | phi-dfs | history | gravity-pressure";
+    fld "--max-steps" ~ftyp:"int" ~fdoc:"step budget (default: unlimited)";
+  ]
+
+let batch_flags =
+  [
+    fld "--instance" ~ftyp:"string" ~freq:true
+      ~fdoc:"instance name (daemon) or file (CLI); also the positional argument";
+    fld "--pairs" ~ftyp:"pairs" ~fdoc:"explicit pairs, e.g. 1:2,3:4 (excludes --count)";
+    fld "--count" ~ftyp:"int" ~fdoc:"number of sampled pairs (excludes --pairs)";
+    fld "--pair-seed" ~ftyp:"int" ~fdefault:"0" ~fdoc:"seed of the pair-sampling substream";
+    fld "--pool" ~ftyp:"pool" ~fdefault:"giant" ~fdoc:"pair pool: giant | any";
+    fld "--protocol" ~ftyp:"protocol" ~fdefault:"greedy"
+      ~fdoc:"greedy | phi-dfs | history | gravity-pressure";
+    fld "--max-steps" ~ftyp:"int" ~fdoc:"step budget (default: unlimited)";
+  ]
+
+let load_flags =
+  [
+    fld "--name" ~ftyp:"string" ~freq:true ~fdoc:"registry name for the loaded instance";
+    fld "--path" ~ftyp:"string" ~freq:true
+      ~fdoc:"instance file (smallworld-girg format); also the positional argument";
+  ]
+
+let stats_flags =
+  [
+    fld "--instance" ~ftyp:"string" ~freq:true
+      ~fdoc:"instance name (daemon) or file (CLI); also the positional argument";
+  ]
+
+type ospec = {
+  op : string;
+  op_als : string list;
+  odoc : string;
+  oflags : fspec list;
+  positional : string option;  (* canonical flag a bare argument maps to *)
+}
+
+let ops =
+  [
+    {
+      op = "load";
+      op_als = [];
+      odoc = "load a saved instance into the registry";
+      oflags = load_flags;
+      positional = Some "--path";
+    };
+    {
+      op = "sample";
+      op_als = [ "gen" ];
+      odoc = "sample an instance (sample <girg|hrg|kleinberg> ...) and register it";
+      oflags = sample_common_flags;  (* model flags are listed per model in the schema *)
+      positional = None;
+    };
+    {
+      op = "route";
+      op_als = [];
+      odoc = "route one message and return the walk summary";
+      oflags = route_flags;
+      positional = Some "--instance";
+    };
+    {
+      op = "route-batch";
+      op_als = [ "route_batch" ];
+      odoc = "route a batch of pairs (explicit or sampled) in one request";
+      oflags = batch_flags;
+      positional = Some "--instance";
+    };
+    {
+      op = "stats";
+      op_als = [];
+      odoc = "structural statistics of an instance";
+      oflags = stats_flags;
+      positional = Some "--instance";
+    };
+    { op = "health"; op_als = []; odoc = "server liveness, counters, registry contents";
+      oflags = []; positional = None };
+    { op = "drain"; op_als = []; odoc = "stop accepting work, finish in-flight requests, exit";
+      oflags = []; positional = None };
+  ]
+
+let model_flag_table =
+  [ ("girg", girg_flags); ("hrg", hrg_flags); ("kleinberg", kleinberg_flags) ]
+
+(* Edit distance for the did-you-mean suggestion on unknown flags. *)
+let levenshtein a b =
+  let la = String.length a and lb = String.length b in
+  let prev = Array.init (lb + 1) Fun.id and cur = Array.make (lb + 1) 0 in
+  for i = 1 to la do
+    cur.(0) <- i;
+    for j = 1 to lb do
+      let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+      cur.(j) <- min (min (cur.(j - 1) + 1) (prev.(j) + 1)) (prev.(j - 1) + cost)
+    done;
+    Array.blit cur 0 prev 0 (lb + 1)
+  done;
+  prev.(lb)
+
+let suggest ~known flag =
+  let scored = List.map (fun f -> (levenshtein flag f.flag, f.flag)) known in
+  match List.sort compare scored with
+  | (d, best) :: _ when d <= max 2 (String.length flag / 3) ->
+      Printf.sprintf " (did you mean %S?)" best
+  | _ -> ""
+
+let lookup_flag ~op known tok =
+  match List.find_opt (fun f -> f.flag = tok || List.mem tok f.als) known with
+  | Some f -> Ok f
+  | None ->
+      err_bad "unknown flag %S for %s%s" tok op (suggest ~known tok)
+
+(* Scan tokens into (canonical flag -> raw value) plus positionals. *)
+let scan ~op ~known tokens =
+  let seen = Hashtbl.create 16 in
+  let positionals = ref [] in
+  let rec go = function
+    | [] -> Ok ()
+    | tok :: rest when String.length tok > 1 && tok.[0] = '-' ->
+        let* f = lookup_flag ~op known tok in
+        if f.ftyp = "flag" then begin
+          Hashtbl.replace seen f.flag "true";
+          go rest
+        end
+        else begin
+          match rest with
+          | v :: rest ->
+              Hashtbl.replace seen f.flag v;
+              go rest
+          | [] -> err_bad "flag %s expects a value" f.flag
+        end
+    | tok :: rest ->
+        positionals := tok :: !positionals;
+        go rest
+  in
+  let* () = go tokens in
+  Ok (seen, List.rev !positionals)
+
+let get seen flag = Hashtbl.find_opt seen flag
+
+let get_int ~op seen flag ~default =
+  match get seen flag with
+  | None -> Ok default
+  | Some v -> (
+      match int_of_string_opt v with
+      | Some i -> Ok i
+      | None -> err_bad "flag %s of %s expects an integer, got %S" flag op v)
+
+let req_int ~op seen flag =
+  match get seen flag with
+  | None -> err_bad "%s requires %s" op flag
+  | Some v -> (
+      match int_of_string_opt v with
+      | Some i -> Ok i
+      | None -> err_bad "flag %s of %s expects an integer, got %S" flag op v)
+
+let opt_int ~op seen flag =
+  match get seen flag with
+  | None -> Ok None
+  | Some v -> (
+      match int_of_string_opt v with
+      | Some i -> Ok (Some i)
+      | None -> err_bad "flag %s of %s expects an integer, got %S" flag op v)
+
+let get_float ~op seen flag ~default =
+  match get seen flag with
+  | None -> Ok default
+  | Some v -> (
+      match float_of_string_opt v with
+      | Some f -> Ok f
+      | None -> err_bad "flag %s of %s expects a float, got %S" flag op v)
+
+let parse_pairs ~op s =
+  let parts = String.split_on_char ',' s in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | part :: rest -> (
+        match String.index_opt part ':' with
+        | Some i -> (
+            let a = String.sub part 0 i
+            and b = String.sub part (i + 1) (String.length part - i - 1) in
+            match (int_of_string_opt a, int_of_string_opt b) with
+            | Some s, Some t -> go ((s, t) :: acc) rest
+            | _ -> err_bad "bad pair %S in --pairs of %s (want source:target)" part op)
+        | None -> err_bad "bad pair %S in --pairs of %s (want source:target)" part op)
+  in
+  go [] parts
+
+let exec_of_seen ~op seen =
+  let* jobs =
+    match get seen "--jobs" with
+    | None -> Ok None
+    | Some v ->
+        let* j = parse_jobs v in
+        Ok (Some j)
+  in
+  ignore op;
+  Ok
+    {
+      output = get seen "--output";
+      obs_out = get seen "--obs-out";
+      events_out = get seen "--events-out";
+      jobs;
+    }
+
+let protocol_of_seen ~op seen =
+  match get seen "--protocol" with
+  | None -> Ok Greedy_routing.Protocol.Greedy
+  | Some v ->
+      let _ = op in
+      protocol_of_string v
+
+let of_args args =
+  match args with
+  | [] -> err_bad "missing operation (load | sample | route | route-batch | stats | health | drain)"
+  | op_tok :: rest -> (
+      let known_ops = List.map (fun o -> { o with op_als = o.op :: o.op_als }) ops in
+      match List.find_opt (fun o -> List.mem op_tok o.op_als) known_ops with
+      | None ->
+          err_bad "unknown operation %S (load | sample | route | route-batch | stats | health | drain)"
+            op_tok
+      | Some o -> (
+          let op = o.op in
+          let base_known = o.oflags @ envelope_flags @ exec_flags in
+          let finish ~known ~model rest =
+            let* seen, positionals = scan ~op ~known rest in
+            let* () =
+              match (positionals, o.positional) with
+              | [], _ -> Ok ()
+              | [ p ], Some flag ->
+                  if Hashtbl.mem seen flag then
+                    err_bad "%s got both a positional argument and %s" op flag
+                  else begin
+                    Hashtbl.replace seen flag p;
+                    Ok ()
+                  end
+              | p :: _, _ -> err_bad "unexpected argument %S for %s" p op
+            in
+            let* exec = exec_of_seen ~op seen in
+            let* id = opt_int ~op seen "--id" in
+            let* deadline_ms = opt_int ~op seen "--deadline-ms" in
+            let* request =
+              match op with
+              | "load" -> (
+                  match (get seen "--name", get seen "--path") with
+                  | Some name, Some path -> Ok (Load { name; path })
+                  | None, _ -> err_bad "load requires --name"
+                  | _, None -> err_bad "load requires --path (or a positional file)"
+                  )
+              | "sample" -> (
+                  let* seed = get_int ~op seen "--seed" ~default:42 in
+                  let* name =
+                    match (get seen "--name", exec.output) with
+                    | Some n, _ -> Ok n
+                    | None, Some out -> Ok out
+                    | None, None ->
+                        err_bad "sample requires --name (or --output, whose path names the instance)"
+                  in
+                  match model with
+                  | Some "girg" ->
+                      let dflt = Girg.Params.default in
+                      let* n = get_int ~op seen "--n" ~default:10_000 in
+                      let* dim = get_int ~op seen "--dim" ~default:2 in
+                      let* beta = get_float ~op seen "--beta" ~default:2.5 in
+                      let* w_min = get_float ~op seen "--w-min" ~default:1.0 in
+                      let* alpha =
+                        match get seen "--alpha" with
+                        | None -> Ok (Girg.Params.Finite 2.0)
+                        | Some v -> alpha_of_string v
+                      in
+                      let* c = get_float ~op seen "--c" ~default:0.25 in
+                      let* norm =
+                        match get seen "--norm" with
+                        | None -> Ok dflt.Girg.Params.norm
+                        | Some v -> (
+                            match Girg.Params.norm_of_string v with
+                            | Some n -> Ok n
+                            | None -> err_bad "bad --norm %S (linf | l2 | l1)" v)
+                      in
+                      let poisson_count = not (Hashtbl.mem seen "--fixed-count") in
+                      let* p =
+                        validate_girg ~what:"sample"
+                          { Girg.Params.n; dim; beta; w_min; alpha; c; norm; poisson_count }
+                      in
+                      Ok (Sample { name; model = Girg p; seed })
+                  | Some "hrg" ->
+                      let* n = get_int ~op seen "--n" ~default:10_000 in
+                      let* alpha_h = get_float ~op seen "--alpha-h" ~default:0.75 in
+                      let* radius_c = get_float ~op seen "--radius-c" ~default:0.0 in
+                      let* temperature = get_float ~op seen "--temperature" ~default:0.0 in
+                      (match
+                         Hyperbolic.Hrg.make ~alpha_h ~radius_c ~temperature ~n ()
+                       with
+                      | p -> Ok (Sample { name; model = Hrg p; seed })
+                      | exception Invalid_argument m ->
+                          err_bad "invalid hrg parameters: %s" m)
+                  | Some "kleinberg" ->
+                      let* side = req_int ~op seen "--side" in
+                      let* long_range = get_int ~op seen "--long-range" ~default:1 in
+                      let* exponent = get_float ~op seen "--exponent" ~default:2.0 in
+                      (match Kleinberg.Lattice.make ~long_range ~exponent ~side () with
+                      | p -> Ok (Sample { name; model = Kleinberg p; seed })
+                      | exception Invalid_argument m ->
+                          err_bad "invalid kleinberg parameters: %s" m)
+                  | Some other -> err_bad "unknown model %S (girg | hrg | kleinberg)" other
+                  | None -> err_bad "sample needs a model: sample <girg|hrg|kleinberg> ...")
+              | "route" ->
+                  let* instance =
+                    match get seen "--instance" with
+                    | Some i -> Ok i
+                    | None -> err_bad "route requires --instance (or a positional file)"
+                  in
+                  let* source = req_int ~op seen "--source" in
+                  let* target = req_int ~op seen "--target" in
+                  let* protocol = protocol_of_seen ~op seen in
+                  let* max_steps = opt_int ~op seen "--max-steps" in
+                  Ok (Route { instance; source; target; protocol; max_steps })
+              | "route-batch" ->
+                  let* instance =
+                    match get seen "--instance" with
+                    | Some i -> Ok i
+                    | None -> err_bad "route-batch requires --instance (or a positional file)"
+                  in
+                  let* protocol = protocol_of_seen ~op seen in
+                  let* max_steps = opt_int ~op seen "--max-steps" in
+                  let* pairs =
+                    match (get seen "--pairs", get seen "--count") with
+                    | Some _, Some _ -> err_bad "route-batch takes --pairs or --count, not both"
+                    | Some ps, None ->
+                        let* ps = parse_pairs ~op ps in
+                        Ok (Pairs ps)
+                    | None, Some _ ->
+                        let* count = req_int ~op seen "--count" in
+                        let* pair_seed = get_int ~op seen "--pair-seed" ~default:0 in
+                        let* pool =
+                          match get seen "--pool" with
+                          | None -> Ok Giant
+                          | Some v -> pool_of_string v
+                        in
+                        Ok (Drawn { count; pair_seed; pool })
+                    | None, None -> err_bad "route-batch requires --pairs or --count"
+                  in
+                  Ok (Route_batch { instance; pairs; protocol; max_steps })
+              | "stats" ->
+                  let* instance =
+                    match get seen "--instance" with
+                    | Some i -> Ok i
+                    | None -> err_bad "stats requires --instance (or a positional file)"
+                  in
+                  Ok (Stats { instance })
+              | "health" -> Ok Health
+              | "drain" -> Ok Drain
+              | _ -> assert false
+            in
+            Ok ({ id; deadline_ms; request }, exec)
+          in
+          match op with
+          | "sample" -> (
+              match rest with
+              | model :: rest when String.length model > 0 && model.[0] <> '-' ->
+                  let mflags =
+                    match List.assoc_opt model model_flag_table with
+                    | Some fs -> fs
+                    | None -> []
+                  in
+                  finish ~known:(mflags @ sample_common_flags @ envelope_flags @ exec_flags)
+                    ~model:(Some model) rest
+              | _ -> err_bad "sample needs a model: sample <girg|hrg|kleinberg> ...")
+          | _ -> finish ~known:base_known ~model:None rest))
+
+let to_args ?(exec = no_exec) e =
+  let fl flag v = [ flag; v ] in
+  let opt_fl flag v = match v with Some v -> [ flag; v ] | None -> [] in
+  let tail =
+    opt_fl "--id" (Option.map string_of_int e.id)
+    @ opt_fl "--deadline-ms" (Option.map string_of_int e.deadline_ms)
+    @ opt_fl "--output" exec.output
+    @ opt_fl "--obs-out" exec.obs_out
+    @ opt_fl "--events-out" exec.events_out
+    @ opt_fl "--jobs" (Option.map string_of_int exec.jobs)
+  in
+  match e.request with
+  | Load { name; path } -> [ "load" ] @ fl "--name" name @ fl "--path" path @ tail
+  | Sample { name; model; seed } ->
+      let model_args =
+        match model with
+        | Girg p ->
+            [ "girg" ]
+            @ fl "--n" (string_of_int p.Girg.Params.n)
+            @ fl "--dim" (string_of_int p.dim)
+            @ fl "--beta" (float_arg p.beta)
+            @ fl "--w-min" (float_arg p.w_min)
+            @ fl "--alpha"
+                (match p.alpha with
+                | Girg.Params.Infinite -> "inf"
+                | Girg.Params.Finite a -> float_arg a)
+            @ fl "--c" (float_arg p.c)
+            @ fl "--norm" (Girg.Params.norm_to_string p.norm)
+            @ (if p.poisson_count then [] else [ "--fixed-count" ])
+        | Hrg p ->
+            [ "hrg" ]
+            @ fl "--n" (string_of_int p.Hyperbolic.Hrg.n)
+            @ fl "--alpha-h" (float_arg p.alpha_h)
+            @ fl "--radius-c" (float_arg p.radius_c)
+            @ fl "--temperature" (float_arg p.temperature)
+        | Kleinberg p ->
+            [ "kleinberg" ]
+            @ fl "--side" (string_of_int p.Kleinberg.Lattice.side)
+            @ fl "--long-range" (string_of_int p.long_range)
+            @ fl "--exponent" (float_arg p.exponent)
+      in
+      ("sample" :: model_args)
+      @ fl "--name" name
+      @ fl "--seed" (string_of_int seed)
+      @ tail
+  | Route { instance; source; target; protocol; max_steps } ->
+      [ "route" ]
+      @ fl "--instance" instance
+      @ fl "--source" (string_of_int source)
+      @ fl "--target" (string_of_int target)
+      @ fl "--protocol" (protocol_to_string protocol)
+      @ opt_fl "--max-steps" (Option.map string_of_int max_steps)
+      @ tail
+  | Route_batch { instance; pairs; protocol; max_steps } ->
+      let pair_args =
+        match pairs with
+        | Pairs ps ->
+            fl "--pairs"
+              (String.concat ","
+                 (List.map (fun (s, t) -> Printf.sprintf "%d:%d" s t) ps))
+        | Drawn { count; pair_seed; pool } ->
+            fl "--count" (string_of_int count)
+            @ fl "--pair-seed" (string_of_int pair_seed)
+            @ fl "--pool" (pool_to_string pool)
+      in
+      [ "route-batch" ]
+      @ fl "--instance" instance
+      @ pair_args
+      @ fl "--protocol" (protocol_to_string protocol)
+      @ opt_fl "--max-steps" (Option.map string_of_int max_steps)
+      @ tail
+  | Stats { instance } -> [ "stats" ] @ fl "--instance" instance @ tail
+  | Health -> "health" :: tail
+  | Drain -> "drain" :: tail
+
+(* ------------------------------------------------------------------ *)
+(* Schema dump                                                         *)
+
+let fspec_json f =
+  J.Obj
+    [
+      ("flag", J.Str f.flag);
+      ("aliases", J.Arr (List.map (fun a -> J.Str a) f.als));
+      ("type", J.Str f.ftyp);
+      ("required", J.Bool f.freq);
+      ("default", match f.fdefault with Some d -> J.Str d | None -> J.Null);
+      ("doc", J.Str f.fdoc);
+    ]
+
+let schema_json () =
+  let op_json o =
+    let extra =
+      if o.op = "sample" then
+        [
+          ( "models",
+            J.Arr
+              (List.map
+                 (fun (m, fs) ->
+                   J.Obj [ ("model", J.Str m); ("args", J.Arr (List.map fspec_json fs)) ])
+                 model_flag_table) );
+        ]
+      else []
+    in
+    J.Obj
+      ([
+         ("op", J.Str o.op);
+         ("aliases", J.Arr (List.map (fun a -> J.Str a) o.op_als));
+         ("doc", J.Str o.odoc);
+         ( "positional",
+           match o.positional with Some p -> J.Str p | None -> J.Null );
+         ("args", J.Arr (List.map fspec_json o.oflags));
+       ]
+      @ extra)
+  in
+  J.Obj
+    [
+      ("schema", J.Str "smallworld.api.v1");
+      ("version", J.Int version);
+      ("ops", J.Arr (List.map op_json ops));
+      ("envelope_args", J.Arr (List.map fspec_json envelope_flags));
+      ("exec_args", J.Arr (List.map fspec_json exec_flags));
+      ( "error_codes",
+        J.Arr
+          (List.map
+             (fun c ->
+               J.Obj
+                 [
+                   ("code", J.Str (Error.code_string c));
+                   ("exit", J.Int (Error.exit_code c));
+                 ])
+             Error.all_codes) );
+    ]

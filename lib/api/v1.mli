@@ -1,0 +1,189 @@
+(** Version 1 of the routing API.
+
+    This module is the single definition of every route / sample / stats
+    parameter in the system.  Three front-ends consume it:
+
+    - the route-serving daemon ({!Server.Daemon}) speaks the JSON wire
+      form ({!envelope_of_line} / {!reply_line}) over newline-delimited
+      TCP;
+    - [graphs_cli] parses its subcommands through {!of_args} (which
+      also carries the deprecation shims for pre-v1 flag spellings);
+    - [experiments_cli] reuses the shared validators via {!Cli}.
+
+    Requests round-trip exactly through both codecs:
+    [envelope_of_json (envelope_to_json e) = Ok e] and
+    [of_args (to_args e) = Ok e] — pinned by tests, so the wire format
+    cannot drift silently.  {!schema_json} dumps the whole surface
+    (ops, flags, aliases, types, defaults, error codes) for client
+    authors; [graphs_cli api-schema] prints it. *)
+
+val version : int
+(** [1].  Every wire object carries it as ["v"]. *)
+
+(** {1 Request types} *)
+
+type model =
+  | Girg of Girg.Params.t
+  | Hrg of Hyperbolic.Hrg.params
+  | Kleinberg of Kleinberg.Lattice.params
+      (** Kleinberg lattices are served through their GIRG embedding
+          (unit weights, lattice positions on the torus) so that one
+          instance type covers all three generators. *)
+
+type pair_pool =
+  | Any  (** uniform distinct pairs over all vertices *)
+  | Giant  (** pairs drawn inside the giant component *)
+
+type pairs_spec =
+  | Pairs of (int * int) list  (** explicit (source, target) list *)
+  | Drawn of { count : int; pair_seed : int; pool : pair_pool }
+      (** sampled with [Workload.sample_pairs_*] from a fresh
+          [Prng.Rng.create ~seed:pair_seed] — the same substream
+          discipline the batch experiments use, so a served batch and a
+          local [Workload] run see identical pairs *)
+
+type request =
+  | Load of { name : string; path : string }
+      (** read a saved instance ({!Girg.Store} format) into the registry *)
+  | Sample of { name : string; model : model; seed : int }
+      (** sample an instance on demand and register it *)
+  | Route of {
+      instance : string;
+      source : int;
+      target : int;
+      protocol : Greedy_routing.Protocol.t;
+      max_steps : int option;
+    }
+  | Route_batch of {
+      instance : string;
+      pairs : pairs_spec;
+      protocol : Greedy_routing.Protocol.t;
+      max_steps : int option;
+    }
+  | Stats of { instance : string }
+  | Health
+  | Drain
+
+type envelope = {
+  id : int option;  (** echoed verbatim in the reply *)
+  deadline_ms : int option;
+      (** request-scoped deadline, measured from the moment the server
+          reads the request; expiry yields the [deadline] error code *)
+  request : request;
+}
+
+val envelope : ?id:int -> ?deadline_ms:int -> request -> envelope
+
+(** {1 Response types} *)
+
+type instance_info = { name : string; params : string; vertices : int; edges : int }
+
+type route_reply = {
+  source : int;
+  target : int;
+  status : Greedy_routing.Outcome.status;
+  steps : int;
+  visited : int;
+  shortest : int option;  (** BFS distance; [None] when disconnected *)
+  text : string;
+      (** the exact bytes [graphs_cli route] prints for this route —
+          byte-identical by construction (both call {!Render.route_text}) *)
+}
+
+type stats_reply = {
+  params : string;
+  vertices : int;
+  edges : int;
+  avg_degree : float;
+  max_degree : int;
+  components : int;
+  giant : int;
+}
+
+type health_reply = {
+  draining : bool;
+  instances : string list;  (** registry contents, most recently used first *)
+  counters : (string * int) list;  (** server.* counter snapshot *)
+}
+
+type response =
+  | Loaded of instance_info
+  | Sampled of instance_info
+  | Routed of route_reply
+  | Routed_batch of route_reply list
+  | Stats_reply of stats_reply
+  | Health_reply of health_reply
+  | Drain_ack
+  | Failed of Error.t
+
+type reply = { reply_id : int option; response : response }
+
+(** {1 String conversions (shared by every front-end)} *)
+
+val protocol_to_string : Greedy_routing.Protocol.t -> string
+
+val protocol_of_string : string -> (Greedy_routing.Protocol.t, Error.t) result
+(** Canonical names plus the deprecated aliases ["dfs"] and ["gp"]. *)
+
+val status_to_string : Greedy_routing.Outcome.status -> string
+val status_of_string : string -> Greedy_routing.Outcome.status option
+
+val alpha_of_string : string -> (Girg.Params.alpha, Error.t) result
+(** ["inf"] / ["infinity"] or a float literal. *)
+
+val parse_jobs : string -> (int, Error.t) result
+(** Non-negative integer (0 = all cores); the one validation both CLI
+    [--jobs] flags and the env fallback share. *)
+
+val float_arg : float -> string
+(** Shortest decimal that parses back to the same double — argument
+    lists round-trip floats exactly, like the JSON emitter. *)
+
+(** {1 JSON wire codec} *)
+
+val envelope_to_json : envelope -> Obs.Export.json
+val envelope_of_json : Obs.Export.json -> (envelope, Error.t) result
+
+val envelope_of_line : string -> (envelope, Error.t) result
+(** Parse one request line as received by the daemon. *)
+
+val request_line : envelope -> string
+(** Single-line JSON (no trailing newline) — what a client sends. *)
+
+val reply_to_json : reply -> Obs.Export.json
+val reply_of_json : Obs.Export.json -> (reply, Error.t) result
+
+val reply_of_line : string -> (reply, Error.t) result
+
+val reply_line : reply -> string
+(** Single-line JSON (no trailing newline) — what the daemon sends. *)
+
+(** {1 Argument-list codec (the CLI front-end)} *)
+
+type exec_opts = {
+  output : string option;  (** [--output]/[-o]: where the CLI writes an instance *)
+  obs_out : string option;  (** [--obs-out]: JSONL run manifest *)
+  events_out : string option;  (** [--events-out]: flight-recorder JSONL *)
+  jobs : int option;  (** [--jobs]/[-j]: worker domains *)
+}
+
+val no_exec : exec_opts
+
+val of_args : string list -> (envelope * exec_opts, Error.t) result
+(** Parse an argument vector: the leading token selects the op
+    ([load], [sample] + model, [route], [route-batch], [stats],
+    [health], [drain]); the rest are flags from {!schema_json}.
+    Deprecated spellings ([-s], [-t], [-n], [-o], [-j], [-c]) keep
+    working through a shim table; an unknown flag fails with
+    [bad-request] and the message names the nearest canonical (new)
+    spelling.  A bare positional argument after [route], [route-batch]
+    or [stats] is shorthand for [--instance]. *)
+
+val to_args : ?exec:exec_opts -> envelope -> string list
+(** Canonical argument vector; [of_args (to_args e) = Ok (e, exec)]. *)
+
+val schema_json : unit -> Obs.Export.json
+(** The machine-readable v1 surface: schema name
+    ["smallworld.api.v1"], every op with its flags (canonical
+    spelling, deprecated aliases, type, required, default, doc), and
+    the error-code table with exit statuses. *)

@@ -58,16 +58,16 @@ let sample_pairs_heavy ~rng ~weights ~min_weight ~count =
    than once per route. *)
 let memo_key = Domain.DLS.new_key (fun () -> Greedy_routing.Objective.Memo.create ())
 
+let memoized ~n objective =
+  Greedy_routing.Objective.Memo.wrap (Domain.DLS.get memo_key) ~n objective
+
 let run ?pool ~graph ~objective_for ~protocol ?max_steps ?(with_stretch = false) ~pairs () =
   Obs.Span.with_ ~name:"exp.route" (fun () ->
   let pool = match pool with Some p -> p | None -> Parallel.Global.get () in
   let n = Sparse_graph.Graph.n graph in
   let route i =
     let source, target = pairs.(i) in
-    let scratch = Domain.DLS.get memo_key in
-    let objective =
-      Greedy_routing.Objective.Memo.wrap scratch ~n (objective_for ~target)
-    in
+    let objective = memoized ~n (objective_for ~target) in
     let outcome =
       Greedy_routing.Protocol.run protocol ~graph ~objective ~source ?max_steps ()
     in

@@ -40,6 +40,13 @@ val sample_pairs_heavy :
 (** Pairs among vertices of weight at least [min_weight] (Theorem 3.2 (ii)).
     @raise Invalid_argument if fewer than two such vertices exist. *)
 
+val memoized : n:int -> Greedy_routing.Objective.t -> Greedy_routing.Objective.t
+(** Wrap an objective in the calling domain's reusable memo scratch
+    (one per domain, shared across routes) — the discipline {!run}'s
+    tasks use.  The server's batch executor routes through the same
+    helper, so served batches and local workloads evaluate objectives
+    identically. *)
+
 val run :
   ?pool:Parallel.Pool.t ->
   graph:Sparse_graph.Graph.t ->

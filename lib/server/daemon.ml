@@ -1,0 +1,254 @@
+module V1 = Api.V1
+module Error = Api.Error
+
+type config = {
+  host : string;
+  port : int;
+  workers : int;
+  queue_cap : int;
+  registry_cap : int;
+  max_batch : int;
+  obs_out : string option;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 7441;
+    workers = 4;
+    queue_cap = 16;
+    registry_cap = 8;
+    max_batch = 4096;
+    obs_out = None;
+  }
+
+type t = {
+  config : config;
+  listen_fd : Unix.file_descr;
+  bound_port : int;
+  ex : Exec.t;
+  queue : Unix.file_descr Queue.t;
+  qmutex : Mutex.t;
+  qcond : Condition.t;
+  mutable worker_domains : unit Domain.t list;
+}
+
+(* How often blocked loops re-check the drain flag. *)
+let poll_interval = 0.2
+
+(* A request line larger than this is hostile; drop the connection
+   rather than buffer without bound. *)
+let max_line_bytes = 16 * 1024 * 1024
+
+let rec restart_on_intr f =
+  try f () with Unix.Unix_error (Unix.EINTR, _, _) -> restart_on_intr f
+
+let write_all fd s =
+  let len = String.length s in
+  let rec go off =
+    if off < len then
+      let n = restart_on_intr (fun () -> Unix.write_substring fd s off (len - off)) in
+      go (off + n)
+  in
+  go 0
+
+(* Best effort: the peer may already be gone; that must not take a
+   worker down. *)
+let try_write_reply fd reply =
+  match write_all fd (V1.reply_line reply ^ "\n") with
+  | () -> true
+  | exception Unix.Unix_error _ -> false
+
+let refuse fd err =
+  ignore (try_write_reply fd { V1.reply_id = None; response = V1.Failed err });
+  (try Unix.close fd with Unix.Unix_error _ -> ())
+
+let overloaded_error cap =
+  Error.make Error.Overloaded
+    "request queue full (%d pending connections); retry later" cap
+
+let draining_error =
+  Error.make Error.Draining "server is draining and no longer accepts work"
+
+(* Read one newline-terminated line, polling the drain flag while
+   blocked.  [None] on EOF, drain, oversized line, or socket error. *)
+let read_line_poll t fd buf =
+  let chunk = Bytes.create 8192 in
+  let take_line () =
+    let s = Buffer.contents buf in
+    match String.index_opt s '\n' with
+    | None -> None
+    | Some i ->
+        Buffer.clear buf;
+        Buffer.add_string buf (String.sub s (i + 1) (String.length s - i - 1));
+        Some (String.sub s 0 i)
+  in
+  let rec go () =
+    match take_line () with
+    | Some line -> Some line
+    | None ->
+        if Exec.draining t.ex then None
+        else if Buffer.length buf > max_line_bytes then None
+        else
+          let readable, _, _ =
+            restart_on_intr (fun () -> Unix.select [ fd ] [] [] poll_interval)
+          in
+          if readable = [] then go ()
+          else
+            match restart_on_intr (fun () -> Unix.read fd chunk 0 (Bytes.length chunk)) with
+            | 0 -> None
+            | n ->
+                Buffer.add_subbytes buf chunk 0 n;
+                go ()
+            | exception Unix.Unix_error _ -> None
+  in
+  go ()
+
+let wake_all t =
+  Mutex.lock t.qmutex;
+  Condition.broadcast t.qcond;
+  Mutex.unlock t.qmutex
+
+let serve_connection t fd =
+  let buf = Buffer.create 256 in
+  let rec loop () =
+    if Exec.draining t.ex then ()
+    else
+      match read_line_poll t fd buf with
+      | None -> ()
+      | Some line ->
+          Exec.note_accepted t.ex;
+          let keep_going =
+            match V1.envelope_of_line line with
+            | Error e -> try_write_reply fd { V1.reply_id = None; response = V1.Failed e }
+            | Ok env ->
+                let deadline =
+                  Option.map
+                    (fun ms -> Unix.gettimeofday () +. (float_of_int ms /. 1000.0))
+                    env.deadline_ms
+                in
+                let response = Exec.handle t.ex ?deadline env.request in
+                let ok = try_write_reply fd { V1.reply_id = env.id; response } in
+                (* A drain ack must wake parked workers so they can
+                   observe the flag and exit. *)
+                if response = V1.Drain_ack then wake_all t;
+                ok
+          in
+          if keep_going then loop ()
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    loop
+
+let worker_loop t =
+  let rec next () =
+    Mutex.lock t.qmutex;
+    while Queue.is_empty t.queue && not (Exec.draining t.ex) do
+      Condition.wait t.qcond t.qmutex
+    done;
+    if Exec.draining t.ex then begin
+      (* Connections still queued never got to send a request: refuse
+         them explicitly instead of dropping them on the floor. *)
+      let leftovers = Queue.fold (fun acc fd -> fd :: acc) [] t.queue in
+      Queue.clear t.queue;
+      Mutex.unlock t.qmutex;
+      List.iter
+        (fun fd ->
+          Exec.note_rejected t.ex;
+          refuse fd draining_error)
+        leftovers
+    end
+    else begin
+      let fd = Queue.pop t.queue in
+      Mutex.unlock t.qmutex;
+      serve_connection t fd;
+      next ()
+    end
+  in
+  next ()
+
+let create config =
+  if config.workers < 1 then invalid_arg "Daemon.create: workers must be >= 1";
+  if config.queue_cap < 1 then invalid_arg "Daemon.create: queue_cap must be >= 1";
+  let addr = Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port) in
+  let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+  (try Unix.bind listen_fd addr
+   with e ->
+     Unix.close listen_fd;
+     raise e);
+  Unix.listen listen_fd (config.queue_cap + config.workers);
+  let bound_port =
+    match Unix.getsockname listen_fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> config.port
+  in
+  let t =
+    {
+      config;
+      listen_fd;
+      bound_port;
+      ex = Exec.create ~registry_cap:config.registry_cap ~max_batch:config.max_batch ();
+      queue = Queue.create ();
+      qmutex = Mutex.create ();
+      qcond = Condition.create ();
+      worker_domains = [];
+    }
+  in
+  t.worker_domains <-
+    List.init config.workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let port t = t.bound_port
+let exec t = t.ex
+
+let stop t =
+  Exec.start_drain t.ex;
+  wake_all t
+
+let write_manifest t =
+  Option.iter
+    (fun path ->
+      let extra =
+        List.map (fun (k, v) -> (k, Obs.Export.Int v)) (Exec.counter_pairs t.ex)
+      in
+      Out_channel.with_open_text path (fun oc ->
+          output_string oc
+            (Obs.Export.manifest_line ~extra ~experiment:"serve" ~seed:0 ~scale:"serve"
+               ~registry:Obs.Metrics.default ~span:None ());
+          output_char oc '\n'))
+    t.config.obs_out
+
+let accept_loop t =
+  while not (Exec.draining t.ex) do
+    let readable, _, _ =
+      restart_on_intr (fun () -> Unix.select [ t.listen_fd ] [] [] poll_interval)
+    in
+    if readable <> [] && not (Exec.draining t.ex) then begin
+      match restart_on_intr (fun () -> Unix.accept t.listen_fd) with
+      | exception Unix.Unix_error _ -> ()
+      | fd, _ ->
+          Mutex.lock t.qmutex;
+          if Queue.length t.queue >= t.config.queue_cap then begin
+            Mutex.unlock t.qmutex;
+            (* Backpressure: answer right here on the accept path, so
+               an overload can never wedge the daemon. *)
+            Exec.note_rejected t.ex;
+            refuse fd (overloaded_error t.config.queue_cap)
+          end
+          else begin
+            Queue.push fd t.queue;
+            Condition.signal t.qcond;
+            Mutex.unlock t.qmutex
+          end
+    end
+  done
+
+let serve t =
+  Obs.Span.with_ ~name:"server.serve" (fun () ->
+      accept_loop t;
+      wake_all t;
+      List.iter Domain.join t.worker_domains;
+      t.worker_domains <- [];
+      (try Unix.close t.listen_fd with Unix.Unix_error _ -> ()));
+  write_manifest t

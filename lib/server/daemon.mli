@@ -1,0 +1,52 @@
+(** The route-serving TCP daemon: newline-delimited JSON over a
+    loopback (or any) TCP socket, stdlib [Unix] only.
+
+    Concurrency model: the domain that calls {!serve} runs the accept
+    loop; [workers] spawned domains each own one client connection at a
+    time, popped from a bounded queue.  When the queue is full the
+    accept loop answers with the [overloaded] taxonomy error and closes
+    — backpressure is explicit, nothing buffers without bound.  Worker
+    domains poll the drain flag (200 ms granularity) between requests
+    and while waiting for input, so a SIGTERM (or a [drain] request)
+    stops new work, lets every in-flight request finish and reply, and
+    then {!serve} returns — after appending the run manifest when
+    [obs_out] is set. *)
+
+type config = {
+  host : string;  (** bind address, default "127.0.0.1" *)
+  port : int;  (** 0 picks an ephemeral port (see {!port}) *)
+  workers : int;  (** connection-serving domains, >= 1 *)
+  queue_cap : int;  (** pending-connection queue bound, >= 1 *)
+  registry_cap : int;  (** LRU capacity of the instance registry *)
+  max_batch : int;  (** largest accepted [route_batch], else [overloaded] *)
+  obs_out : string option;  (** manifest destination, written at drain *)
+}
+
+val default_config : config
+(** host 127.0.0.1, port 7441, 4 workers, queue_cap 16,
+    registry_cap 8, max_batch 4096, no manifest. *)
+
+type t
+
+val create : config -> t
+(** Bind + listen and spawn the worker domains.  The listening socket
+    is live from here on (connections queue in the backlog until
+    {!serve} starts accepting).
+    @raise Unix.Unix_error when the address cannot be bound. *)
+
+val port : t -> int
+(** The actually bound port (useful with [port = 0]). *)
+
+val exec : t -> Exec.t
+(** The execution layer (registry, counters, drain flag) — lets an
+    embedding process preload instances before serving. *)
+
+val stop : t -> unit
+(** Begin draining: stop accepting, finish in-flight requests.
+    Safe from a signal handler or another domain.  {!serve} returns
+    once the drain completes. *)
+
+val serve : t -> unit
+(** Run the accept loop in the calling domain until drained (via
+    {!stop}, SIGTERM wired to it, or a client's [drain] request), then
+    join the workers, close the socket, and write the manifest. *)

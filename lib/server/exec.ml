@@ -1,0 +1,177 @@
+module V1 = Api.V1
+module Error = Api.Error
+
+type t = {
+  reg : Registry.t;
+  compute : Mutex.t;
+  max_batch : int;
+  drain_flag : bool Atomic.t;
+  c_accepted : int Atomic.t;
+  c_served : int Atomic.t;
+  c_rejected : int Atomic.t;
+  c_deadline : int Atomic.t;
+  (* Obs mirrors: no-ops under SMALLWORLD_OBS=0, live in manifests. *)
+  m_accepted : Obs.Metrics.counter;
+  m_served : Obs.Metrics.counter;
+  m_rejected : Obs.Metrics.counter;
+  m_deadline : Obs.Metrics.counter;
+}
+
+let create ?(registry_cap = 8) ?(max_batch = 4096) () =
+  {
+    reg = Registry.create ~cap:registry_cap;
+    compute = Mutex.create ();
+    max_batch;
+    drain_flag = Atomic.make false;
+    c_accepted = Atomic.make 0;
+    c_served = Atomic.make 0;
+    c_rejected = Atomic.make 0;
+    c_deadline = Atomic.make 0;
+    m_accepted = Obs.Metrics.counter "server.accepted";
+    m_served = Obs.Metrics.counter "server.served";
+    m_rejected = Obs.Metrics.counter "server.rejected";
+    m_deadline = Obs.Metrics.counter "server.deadline_missed";
+  }
+
+let registry t = t.reg
+let draining t = Atomic.get t.drain_flag
+let start_drain t = Atomic.set t.drain_flag true
+
+let accepted t = Atomic.get t.c_accepted
+let served t = Atomic.get t.c_served
+let rejected t = Atomic.get t.c_rejected
+let deadline_missed t = Atomic.get t.c_deadline
+
+let note_accepted t =
+  Atomic.incr t.c_accepted;
+  Obs.Metrics.incr t.m_accepted
+
+let note_rejected t =
+  Atomic.incr t.c_rejected;
+  Obs.Metrics.incr t.m_rejected
+
+let note_served t =
+  Atomic.incr t.c_served;
+  Obs.Metrics.incr t.m_served
+
+let note_deadline t =
+  Atomic.incr t.c_deadline;
+  Obs.Metrics.incr t.m_deadline
+
+let counter_pairs t =
+  [
+    ("server.accepted", accepted t);
+    ("server.served", served t);
+    ("server.rejected", rejected t);
+    ("server.deadline_missed", deadline_missed t);
+  ]
+
+let locked m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let with_instance t name f =
+  match Registry.acquire t.reg name with
+  | Error e -> V1.Failed e
+  | Ok handle ->
+      Fun.protect ~finally:(fun () -> Registry.release t.reg handle) (fun () -> f handle)
+
+(* [>=], not [>]: the deadline instant itself is expired, so a
+   [deadline_ms = 0] request deterministically misses even when both
+   clock reads land on the same microsecond tick. *)
+let expired ?deadline () =
+  match deadline with Some d -> Unix.gettimeofday () >= d | None -> false
+
+let deadline_error =
+  Error.make Error.Deadline "deadline expired before the request completed"
+
+let run t ?deadline request =
+  (* Checkpoint the deadline at request start and again right before
+     compute-heavy stages; between checkpoints work is not interrupted,
+     so replies stay deterministic. *)
+  if expired ?deadline () then begin
+    note_deadline t;
+    V1.Failed deadline_error
+  end
+  else
+    match request with
+    | V1.Load { name; path } -> (
+        match Girg.Store.load ~path with
+        | Error e ->
+            V1.Failed (Error.make Error.Io "cannot load %s: %s" path e)
+        | Ok inst -> (
+            match Registry.insert t.reg ~name inst with
+            | Error e -> V1.Failed e
+            | Ok info -> V1.Loaded info))
+    | V1.Sample { name; model; seed } -> (
+        let inst = locked t.compute (fun () -> Api.Render.instantiate ~model ~seed) in
+        match Registry.insert t.reg ~name inst with
+        | Error e -> V1.Failed e
+        | Ok info -> V1.Sampled info)
+    | V1.Route { instance; source; target; protocol; max_steps } ->
+        with_instance t instance (fun h ->
+            match
+              Api.Render.route ~inst:(Registry.instance h) ~protocol ?max_steps
+                ~source ~target ()
+            with
+            | Error e -> V1.Failed e
+            | Ok reply -> V1.Routed reply)
+    | V1.Route_batch { instance; pairs; protocol; max_steps } ->
+        with_instance t instance (fun h ->
+            let inst = Registry.instance h in
+            match Api.Render.resolve_pairs ~inst pairs with
+            | Error e -> V1.Failed e
+            | Ok resolved ->
+                if Array.length resolved > t.max_batch then
+                  V1.Failed
+                    (Error.make Error.Overloaded
+                       "batch of %d pairs exceeds the %d-pair limit; split the request"
+                       (Array.length resolved) t.max_batch)
+                else if expired ?deadline () then begin
+                  note_deadline t;
+                  V1.Failed deadline_error
+                end
+                else
+                  locked t.compute (fun () ->
+                      match
+                        Api.Render.route_batch ~inst ~protocol ?max_steps
+                          ~pairs:resolved ()
+                      with
+                      | Error e -> V1.Failed e
+                      | Ok replies -> V1.Routed_batch replies))
+    | V1.Stats { instance } ->
+        with_instance t instance (fun h ->
+            V1.Stats_reply (Api.Render.stats (Registry.instance h)))
+    | V1.Health ->
+        V1.Health_reply
+          {
+            V1.draining = draining t;
+            instances = Registry.names t.reg;
+            counters = counter_pairs t;
+          }
+    | V1.Drain ->
+        start_drain t;
+        V1.Drain_ack
+
+let op_name = function
+  | V1.Load _ -> "load"
+  | V1.Sample _ -> "sample"
+  | V1.Route _ -> "route"
+  | V1.Route_batch _ -> "route_batch"
+  | V1.Stats _ -> "stats"
+  | V1.Health -> "health"
+  | V1.Drain -> "drain"
+
+let handle t ?deadline request =
+  let response =
+    Obs.Span.with_ ~name:("server." ^ op_name request) (fun () ->
+        try run t ?deadline request
+        with exn ->
+          V1.Failed (Error.make Error.Internal "%s" (Printexc.to_string exn)))
+  in
+  (match response with
+  | V1.Failed { Error.code = Error.Overloaded | Error.Draining; _ } -> note_rejected t
+  | V1.Failed { Error.code = Error.Deadline; _ } -> ()  (* counted at the checkpoint *)
+  | V1.Failed _ -> ()
+  | _ -> note_served t);
+  response

@@ -1,0 +1,49 @@
+(** Request execution: one v1 request in, one v1 response out.
+
+    This layer owns everything below the wire: the registry, the
+    drain flag, the always-live request counters (plain atomics, so
+    [health] reports real numbers even under [SMALLWORLD_OBS=0]; the
+    obs layer mirrors them for manifests), and the compute lock that
+    serialises work entering the shared {!Parallel.Global} pool —
+    [Pool.run] must not be called concurrently from two domains, so
+    [sample] and [route_batch] take the lock while single routes and
+    lookups run lock-free in parallel. *)
+
+type t
+
+val create : ?registry_cap:int -> ?max_batch:int -> unit -> t
+(** Defaults: [registry_cap = 8], [max_batch = 4096]. *)
+
+val registry : t -> Registry.t
+
+val draining : t -> bool
+val start_drain : t -> unit
+
+(** {1 Counters} *)
+
+val accepted : t -> int
+val served : t -> int
+val rejected : t -> int
+val deadline_missed : t -> int
+
+val note_accepted : t -> unit
+(** Called by the transport when it reads a request line. *)
+
+val note_rejected : t -> unit
+(** Called by the transport when it refuses a connection (queue full /
+    draining) without reading a request. *)
+
+val counter_pairs : t -> (string * int) list
+(** The snapshot [health] replies carry, and the [extra] fields of the
+    drain manifest: [server.accepted], [server.served],
+    [server.rejected], [server.deadline_missed]. *)
+
+(** {1 Execution} *)
+
+val handle :
+  t -> ?deadline:float -> Api.V1.request -> Api.V1.response
+(** Execute one request under a [server.<op>] span.  [deadline] is an
+    absolute [Unix.gettimeofday] instant; an expired deadline yields
+    the [deadline] taxonomy error without touching the instance.
+    Exceptions become [internal] responses — the daemon never dies on a
+    request. *)

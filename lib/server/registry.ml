@@ -1,0 +1,93 @@
+type entry = {
+  e_name : string;
+  e_inst : Girg.Instance.t;
+  e_info : Api.V1.instance_info;
+  mutable refs : int;
+  mutable stamp : int;
+}
+
+type t = {
+  cap : int;
+  mutex : Mutex.t;
+  table : (string, entry) Hashtbl.t;
+  mutable clock : int;
+}
+
+type handle = entry
+
+let create ~cap =
+  if cap < 1 then invalid_arg "Registry.create: cap must be >= 1";
+  { cap; mutex = Mutex.create (); table = Hashtbl.create 16; clock = 0 }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let touch t e =
+  t.clock <- t.clock + 1;
+  e.stamp <- t.clock
+
+(* Called under the mutex.  Picks the unpinned entry with the oldest
+   stamp; [None] when everything is pinned. *)
+let eviction_victim t =
+  Hashtbl.fold
+    (fun _ e best ->
+      if e.refs > 0 then best
+      else
+        match best with
+        | Some b when b.stamp <= e.stamp -> best
+        | _ -> Some e)
+    t.table None
+
+let insert t ~name inst =
+  locked t @@ fun () ->
+  let evict_ok =
+    if Hashtbl.mem t.table name || Hashtbl.length t.table < t.cap then Ok ()
+    else
+      match eviction_victim t with
+      | Some victim ->
+          Hashtbl.remove t.table victim.e_name;
+          Ok ()
+      | None ->
+          Error
+            (Api.Error.make Api.Error.Overloaded
+               "registry full (%d instances, all pinned by in-flight queries)" t.cap)
+  in
+  match evict_ok with
+  | Error e -> Error e
+  | Ok () ->
+      let info = Api.Render.instance_info ~name inst in
+      let e = { e_name = name; e_inst = inst; e_info = info; refs = 0; stamp = 0 } in
+      touch t e;
+      (* Replace, not add: a shadowed old entry is dropped from the
+         table here but survives as long as some handle still pins it. *)
+      Hashtbl.replace t.table name e;
+      Ok info
+
+let acquire t name =
+  locked t @@ fun () ->
+  match Hashtbl.find_opt t.table name with
+  | None ->
+      Error
+        (Api.Error.make Api.Error.Unknown_instance
+           "no instance named %S is loaded (use load or sample first)" name)
+  | Some e ->
+      e.refs <- e.refs + 1;
+      touch t e;
+      Ok e
+
+let instance (e : handle) = e.e_inst
+let info (e : handle) = e.e_info
+
+let release t (e : handle) =
+  locked t @@ fun () ->
+  assert (e.refs > 0);
+  e.refs <- e.refs - 1
+
+let names t =
+  locked t @@ fun () ->
+  Hashtbl.fold (fun _ e acc -> e :: acc) t.table []
+  |> List.sort (fun a b -> compare b.stamp a.stamp)
+  |> List.map (fun e -> e.e_name)
+
+let size t = locked t @@ fun () -> Hashtbl.length t.table

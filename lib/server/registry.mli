@@ -1,0 +1,38 @@
+(** The daemon's instance registry: named instances, LRU-capped,
+    refcounted.
+
+    Invariants (see DESIGN.md "Serving"):
+    - an entry with [refs > 0] is pinned: eviction skips it, so an
+      in-flight query never loses its instance mid-route;
+    - eviction among unpinned entries is strictly by last-use stamp
+      (least recently acquired first);
+    - inserting over an existing name replaces it in the table, but the
+      old entry stays alive until its last holder releases it — lookups
+      see the new instance, in-flight queries keep the old one;
+    - when the table is full and every entry is pinned, insertion fails
+      with [overloaded] rather than growing without bound. *)
+
+type t
+
+type handle
+(** An acquired (pinned) instance.  Must be released exactly once. *)
+
+val create : cap:int -> t
+(** @raise Invalid_argument when [cap < 1]. *)
+
+val insert :
+  t -> name:string -> Girg.Instance.t -> (Api.V1.instance_info, Api.Error.t) result
+
+val acquire : t -> string -> (handle, Api.Error.t) result
+(** Pin the named instance ([unknown-instance] if absent) and mark it
+    most recently used. *)
+
+val instance : handle -> Girg.Instance.t
+val info : handle -> Api.V1.instance_info
+
+val release : t -> handle -> unit
+
+val names : t -> string list
+(** Registered names, most recently used first. *)
+
+val size : t -> int

@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""CI smoke for the route-serving daemon (API v1, stdlib only).
+
+Usage: serve_smoke.py PORT EXPECTED_ROUTE_FILE [nodrain]
+
+Connects to a running `serve` daemon on 127.0.0.1:PORT (started with
+`--load net=... --max-batch 8`) and drives a scripted request mix:
+
+- health: the preloaded instance is registered;
+- route: the reply's `text` field is byte-identical to what
+  `graphs_cli route` printed for the same pair (EXPECTED_ROUTE_FILE);
+- route_batch (sampled pairs): right count, deterministic across a
+  repeat request;
+- route_batch beyond --max-batch: refused with the `overloaded` code;
+- deadline_ms=0: refused with the `deadline` code;
+- unknown instance: refused with the `unknown-instance` code;
+- stats on the preloaded instance;
+- health again: the counter snapshot saw every request;
+- drain: acknowledged, connection closes (skipped when the third
+  argument is `nodrain`, so the harness can exercise SIGTERM instead).
+
+Exits non-zero (with a message) on the first deviation.
+"""
+
+import json
+import socket
+import sys
+import time
+
+
+def connect(port, attempts=50):
+    for _ in range(attempts):
+        try:
+            sock = socket.create_connection(("127.0.0.1", port), timeout=10)
+            return sock
+        except OSError:
+            time.sleep(0.2)
+    sys.exit(f"cannot connect to 127.0.0.1:{port}")
+
+
+class Client:
+    def __init__(self, sock):
+        self.file = sock.makefile("rw", encoding="utf-8", newline="\n")
+
+    def rpc(self, request):
+        request.setdefault("v", 1)
+        self.file.write(json.dumps(request) + "\n")
+        self.file.flush()
+        line = self.file.readline()
+        if not line:
+            sys.exit(f"connection closed answering {request!r}")
+        return json.loads(line)
+
+
+def expect_ok(reply, op):
+    if not reply.get("ok"):
+        sys.exit(f"{op}: expected success, got {reply!r}")
+    return reply["result"]
+
+
+def expect_error(reply, code, op):
+    if reply.get("ok"):
+        sys.exit(f"{op}: expected the {code!r} error, got {reply!r}")
+    got = reply.get("error", {}).get("code")
+    if got != code:
+        sys.exit(f"{op}: expected the {code!r} error, got {got!r}")
+
+
+def main():
+    port = int(sys.argv[1])
+    expected_route = open(sys.argv[2], encoding="utf-8").read()
+    client = Client(connect(port))
+
+    health = expect_ok(client.rpc({"op": "health"}), "health")
+    if "net" not in health["instances"]:
+        sys.exit(f"preloaded instance missing from registry: {health!r}")
+
+    route = expect_ok(
+        client.rpc(
+            {
+                "op": "route",
+                "instance": "net",
+                "source": 4,
+                "target": 93,
+                "protocol": "phi-dfs",
+                "id": 1,
+            }
+        ),
+        "route",
+    )
+    if route["text"] != expected_route:
+        sys.exit(
+            "served route text differs from graphs_cli output:\n"
+            f"served:   {route['text']!r}\nexpected: {expected_route!r}"
+        )
+
+    batch_req = {
+        "op": "route_batch",
+        "instance": "net",
+        "count": 4,
+        "pair_seed": 3,
+        "pair_pool": "giant",
+        "protocol": "greedy",
+    }
+    batch = expect_ok(client.rpc(batch_req), "route_batch")
+    if len(batch["routes"]) != 4:
+        sys.exit(f"route_batch: expected 4 replies, got {len(batch['routes'])}")
+    again = expect_ok(client.rpc(batch_req), "route_batch repeat")
+    if batch != again:
+        sys.exit("route_batch is not deterministic across identical requests")
+
+    oversized = [[i, i + 1] for i in range(0, 18, 2)]  # 9 pairs > --max-batch 8
+    expect_error(
+        client.rpc({"op": "route_batch", "instance": "net", "pairs": oversized}),
+        "overloaded",
+        "oversized batch",
+    )
+
+    expect_error(
+        client.rpc(
+            {
+                "op": "route",
+                "instance": "net",
+                "source": 4,
+                "target": 93,
+                "deadline_ms": 0,
+            }
+        ),
+        "deadline",
+        "deadline_ms=0",
+    )
+
+    expect_error(
+        client.rpc({"op": "stats", "instance": "ghost"}),
+        "unknown-instance",
+        "unknown instance",
+    )
+
+    stats = expect_ok(client.rpc({"op": "stats", "instance": "net"}), "stats")
+    if stats["vertices"] <= 0 or stats["edges"] <= 0:
+        sys.exit(f"implausible stats reply: {stats!r}")
+
+    health = expect_ok(client.rpc({"op": "health"}), "health")
+    counters = health["counters"]
+    # Only backpressure refusals (overloaded / draining) count as
+    # rejections; unknown-instance is an ordinary failed reply.
+    if counters.get("server.rejected", 0) < 1:
+        sys.exit(f"rejections not counted: {counters!r}")
+    if counters.get("server.deadline_missed", 0) < 1:
+        sys.exit(f"deadline miss not counted: {counters!r}")
+    if counters.get("server.served", 0) < 5:
+        sys.exit(f"served requests not counted: {counters!r}")
+
+    if len(sys.argv) < 4 or sys.argv[3] != "nodrain":
+        drained = expect_ok(client.rpc({"op": "drain"}), "drain")
+        if not drained.get("draining"):
+            sys.exit(f"drain not acknowledged: {drained!r}")
+
+    print("serve smoke: all checks passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,312 @@
+(* The v1 API contract: both codecs (JSON wire form and argument
+   vectors) round-trip every request and reply shape exactly, the
+   deprecation shims parse, unknown flags suggest the canonical
+   spelling, and the error taxonomy's code strings / exit codes are
+   pinned (CI and clients depend on them). *)
+
+module V1 = Api.V1
+module E = Api.Error
+
+let envelope_t : V1.envelope Alcotest.testable =
+  Alcotest.testable
+    (fun fmt e -> Format.pp_print_string fmt (V1.request_line e))
+    ( = )
+
+let reply_t : V1.reply Alcotest.testable =
+  Alcotest.testable
+    (fun fmt r -> Format.pp_print_string fmt (V1.reply_line r))
+    ( = )
+
+let ok ?(what = "result") = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: unexpected error: %s" what (E.to_string e)
+
+let err ?(what = "result") = function
+  | Ok _ -> Alcotest.failf "%s: expected an error" what
+  | Error (e : E.t) -> e
+
+(* One envelope per request shape, with enough non-default fields to
+   catch a codec that drops or reorders anything. *)
+let sample_envelopes =
+  let girg =
+    Girg.Params.make ~dim:3 ~beta:2.25 ~w_min:0.75 ~alpha:(Girg.Params.Finite 1.5)
+      ~c:0.3 ~poisson_count:false ~n:1234 ()
+  in
+  let girg_inf =
+    Girg.Params.make ~alpha:Girg.Params.Infinite ~c:1.0 ~n:500 ()
+  in
+  let hrg = Hyperbolic.Hrg.make ~alpha_h:0.8 ~radius_c:(-0.5) ~temperature:0.3 ~n:777 () in
+  let kle = Kleinberg.Lattice.make ~long_range:2 ~exponent:1.5 ~side:17 () in
+  [
+    V1.envelope (V1.Load { name = "net"; path = "/tmp/net.girg" });
+    V1.envelope ~id:7 (V1.Sample { name = "g"; model = V1.Girg girg; seed = 9 });
+    V1.envelope (V1.Sample { name = "gi"; model = V1.Girg girg_inf; seed = 42 });
+    V1.envelope (V1.Sample { name = "h"; model = V1.Hrg hrg; seed = 1 });
+    V1.envelope (V1.Sample { name = "k"; model = V1.Kleinberg kle; seed = 3 });
+    V1.envelope ~id:1 ~deadline_ms:250
+      (V1.Route
+         {
+           instance = "net";
+           source = 4;
+           target = 93;
+           protocol = Greedy_routing.Protocol.Patch_dfs;
+           max_steps = Some 1000;
+         });
+    V1.envelope
+      (V1.Route
+         {
+           instance = "net";
+           source = 0;
+           target = 1;
+           protocol = Greedy_routing.Protocol.Greedy;
+           max_steps = None;
+         });
+    V1.envelope
+      (V1.Route_batch
+         {
+           instance = "net";
+           pairs = V1.Pairs [ (1, 2); (3, 4); (5, 6) ];
+           protocol = Greedy_routing.Protocol.Patch_history;
+           max_steps = None;
+         });
+    V1.envelope ~deadline_ms:5000
+      (V1.Route_batch
+         {
+           instance = "net";
+           pairs = V1.Drawn { count = 64; pair_seed = 11; pool = V1.Giant };
+           protocol = Greedy_routing.Protocol.Gravity_pressure;
+           max_steps = Some 50_000;
+         });
+    V1.envelope
+      (V1.Route_batch
+         {
+           instance = "net";
+           pairs = V1.Drawn { count = 8; pair_seed = 0; pool = V1.Any };
+           protocol = Greedy_routing.Protocol.Greedy;
+           max_steps = None;
+         });
+    V1.envelope (V1.Stats { instance = "net" });
+    V1.envelope ~id:99 V1.Health;
+    V1.envelope V1.Drain;
+  ]
+
+let test_json_round_trip () =
+  List.iter
+    (fun e ->
+      let line = V1.request_line e in
+      let e' = ok ~what:line (V1.envelope_of_line line) in
+      Alcotest.check envelope_t line e e')
+    sample_envelopes
+
+let test_args_round_trip () =
+  let execs =
+    [
+      V1.no_exec;
+      {
+        V1.output = Some "/tmp/out.girg";
+        obs_out = Some "/tmp/manifest.jsonl";
+        events_out = Some "/tmp/events.jsonl";
+        jobs = Some 4;
+      };
+    ]
+  in
+  List.iter
+    (fun exec ->
+      List.iter
+        (fun e ->
+          (* [sample] falls back to --output for the name only when
+             --name is absent; to_args always emits --name, so the
+             round-trip is exact for every exec_opts. *)
+          let args = V1.to_args ~exec e in
+          let what = String.concat " " args in
+          let e', exec' = ok ~what (V1.of_args args) in
+          Alcotest.check envelope_t what e e';
+          Alcotest.(check bool) (what ^ " exec") true (exec = exec'))
+        sample_envelopes)
+    execs
+
+let sample_replies =
+  let info =
+    { V1.name = "net"; params = "girg(n=100)"; vertices = 100; edges = 321 }
+  in
+  let route =
+    {
+      V1.source = 4;
+      target = 93;
+      status = Greedy_routing.Outcome.Delivered;
+      steps = 7;
+      visited = 8;
+      shortest = Some 5;
+      text = "greedy: delivered\nwalk: 4 -> 93\nshortest path: 5\n";
+    }
+  in
+  let failed_route =
+    { route with status = Greedy_routing.Outcome.Dead_end; shortest = None; text = "x\n" }
+  in
+  [
+    { V1.reply_id = Some 7; response = V1.Loaded info };
+    { V1.reply_id = None; response = V1.Sampled info };
+    { V1.reply_id = Some 1; response = V1.Routed route };
+    { V1.reply_id = None; response = V1.Routed_batch [ route; failed_route ] };
+    { V1.reply_id = None; response = V1.Routed_batch [] };
+    {
+      V1.reply_id = None;
+      response =
+        V1.Stats_reply
+          {
+            V1.params = "girg(n=100)";
+            vertices = 100;
+            edges = 321;
+            avg_degree = 6.42;
+            max_degree = 17;
+            components = 3;
+            giant = 88;
+          };
+    };
+    {
+      V1.reply_id = Some 2;
+      response =
+        V1.Health_reply
+          {
+            V1.draining = false;
+            instances = [ "a"; "b" ];
+            counters = [ ("server.accepted", 10); ("server.served", 9) ];
+          };
+    };
+    { V1.reply_id = None; response = V1.Drain_ack };
+    {
+      V1.reply_id = Some 3;
+      response = V1.Failed (E.make E.Overloaded "queue full");
+    };
+    { V1.reply_id = None; response = V1.Failed (E.make E.Unknown_instance "no %S" "x") };
+  ]
+
+let test_reply_round_trip () =
+  List.iter
+    (fun r ->
+      let line = V1.reply_line r in
+      let r' = ok ~what:line (V1.reply_of_line line) in
+      Alcotest.check reply_t line r r')
+    sample_replies
+
+(* The pre-v1 CLI spellings must keep parsing to the same requests as
+   their canonical replacements. *)
+let test_deprecated_shims () =
+  let parse args = ok ~what:(String.concat " " args) (V1.of_args args) in
+  let canonical, _ =
+    parse
+      [ "sample"; "girg"; "--n"; "2000"; "--c"; "0.25"; "--name"; "net";
+        "--seed"; "7" ]
+  in
+  let shimmed, exec =
+    parse [ "gen"; "girg"; "-n"; "2000"; "-c"; "0.25"; "--name"; "net"; "--seed"; "7"; "-o"; "f.girg"; "-j"; "2" ]
+  in
+  Alcotest.check envelope_t "gen girg -n -c" canonical shimmed;
+  Alcotest.(check (option string)) "-o shim" (Some "f.girg") exec.V1.output;
+  Alcotest.(check (option int)) "-j shim" (Some 2) exec.V1.jobs;
+  let route_canonical, _ =
+    parse [ "route"; "net.girg"; "--source"; "4"; "--target"; "93"; "--protocol"; "phi-dfs" ]
+  in
+  let route_shimmed, _ =
+    parse [ "route"; "net.girg"; "-s"; "4"; "-t"; "93"; "--protocol"; "dfs" ]
+  in
+  Alcotest.check envelope_t "route -s -t + dfs alias" route_canonical route_shimmed;
+  (match route_canonical.V1.request with
+  | V1.Route { instance; source; target; protocol; _ } ->
+      Alcotest.(check string) "positional instance" "net.girg" instance;
+      Alcotest.(check int) "source" 4 source;
+      Alcotest.(check int) "target" 93 target;
+      Alcotest.(check bool) "protocol" true (protocol = Greedy_routing.Protocol.Patch_dfs)
+  | _ -> Alcotest.fail "expected a route request");
+  let batch, _ = parse [ "route_batch"; "net"; "--count"; "5"; "--pool"; "any" ] in
+  match batch.V1.request with
+  | V1.Route_batch { pairs = V1.Drawn { count = 5; pair_seed = 0; pool = V1.Any }; _ } -> ()
+  | _ -> Alcotest.fail "route_batch alias did not parse to sampled pairs"
+
+let test_unknown_flag_suggestion () =
+  let e = err (V1.of_args [ "route"; "net"; "--sorce"; "4"; "--target"; "9" ]) in
+  Alcotest.(check bool) "code" true (e.E.code = E.Bad_request);
+  let contains hay needle =
+    let lh = String.length hay and ln = String.length needle in
+    let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "names the bad flag" true (contains e.E.message "--sorce");
+  Alcotest.(check bool) "suggests --source" true (contains e.E.message "\"--source\"")
+
+let test_arg_errors () =
+  let code args =
+    (err ~what:(String.concat " " args) (V1.of_args args)).E.code
+  in
+  Alcotest.(check bool) "missing op" true (code [] = E.Bad_request);
+  Alcotest.(check bool) "unknown op" true (code [ "frobnicate" ] = E.Bad_request);
+  Alcotest.(check bool) "sample w/o model" true (code [ "sample" ] = E.Bad_request);
+  Alcotest.(check bool) "route w/o target" true (code [ "route"; "net"; "-s"; "1" ] = E.Bad_request);
+  Alcotest.(check bool) "bad int" true
+    (code [ "route"; "net"; "-s"; "one"; "-t"; "2" ] = E.Bad_request);
+  Alcotest.(check bool) "pairs+count" true
+    (code [ "route-batch"; "net"; "--pairs"; "1:2"; "--count"; "3" ] = E.Bad_request);
+  Alcotest.(check bool) "girg validation" true
+    (code [ "sample"; "girg"; "--beta"; "5"; "--name"; "x" ] = E.Bad_request)
+
+(* The code strings and exit statuses are the wire/CI contract. *)
+let test_error_taxonomy () =
+  let expect =
+    [
+      (E.Bad_request, "bad-request", 2);
+      (E.Unknown_instance, "unknown-instance", 2);
+      (E.Overloaded, "overloaded", 75);
+      (E.Deadline, "deadline", 75);
+      (E.Draining, "draining", 75);
+      (E.Io, "io", 2);
+      (E.Usage, "usage", 2);
+      (E.Incomparable, "incomparable", 2);
+      (E.Regression, "perf-regression", 1);
+      (E.Internal, "internal", 70);
+    ]
+  in
+  List.iter
+    (fun (c, s, x) ->
+      Alcotest.(check string) "code string" s (E.code_string c);
+      Alcotest.(check int) ("exit of " ^ s) x (E.exit_code c);
+      let e = E.make c "boom %d" 7 in
+      Alcotest.(check string) "render" (Printf.sprintf "error [%s] boom 7" s) (E.to_string e);
+      match E.of_json (E.to_json e) with
+      | Ok e' -> Alcotest.(check bool) "json round-trip" true (e = e')
+      | Error m -> Alcotest.failf "error json round-trip: %s" m)
+    expect
+
+let test_float_arg () =
+  let cases = [ 0.25; 2.5; 1.0; 0.1; 3.0; 1e-9; 123456.789; -0.75; Float.pi ] in
+  List.iter
+    (fun f ->
+      let s = V1.float_arg f in
+      Alcotest.(check (float 0.0)) ("float_arg " ^ s) f (float_of_string s))
+    cases
+
+let test_schema_dump () =
+  match V1.schema_json () with
+  | Obs.Export.Obj fields ->
+      Alcotest.(check bool) "schema name" true
+        (List.assoc_opt "schema" fields = Some (Obs.Export.Str "smallworld.api.v1"));
+      (match List.assoc_opt "ops" fields with
+      | Some (Obs.Export.Arr ops) ->
+          Alcotest.(check int) "seven ops" 7 (List.length ops)
+      | _ -> Alcotest.fail "schema has no ops array");
+      Alcotest.(check bool) "error codes listed" true
+        (List.mem_assoc "error_codes" fields)
+  | _ -> Alcotest.fail "schema_json is not an object"
+
+let suite =
+  [
+    Alcotest.test_case "json round-trip (every request shape)" `Quick test_json_round_trip;
+    Alcotest.test_case "args round-trip (every request shape)" `Quick test_args_round_trip;
+    Alcotest.test_case "reply round-trip (every response shape)" `Quick test_reply_round_trip;
+    Alcotest.test_case "deprecated flag shims" `Quick test_deprecated_shims;
+    Alcotest.test_case "unknown flag names the canonical spelling" `Quick
+      test_unknown_flag_suggestion;
+    Alcotest.test_case "argument errors are bad-request" `Quick test_arg_errors;
+    Alcotest.test_case "error taxonomy is pinned" `Quick test_error_taxonomy;
+    Alcotest.test_case "float args round-trip exactly" `Quick test_float_arg;
+    Alcotest.test_case "schema dump" `Quick test_schema_dump;
+  ]
