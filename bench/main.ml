@@ -340,6 +340,14 @@ let diff args =
   match positional with
   | [ base_path; cur_path ] ->
       let baseline = load_report base_path and current = load_report cur_path in
+      (* The header goes out before any comparability refusal, so an
+         exit-2 "cannot compare" names exactly what mismatched. *)
+      Printf.printf "schema %s\n" Obs.Bench.schema_version;
+      Printf.printf "baseline %s (%s, %s, jobs %d)  vs  current %s (%s, %s, jobs %d)\n"
+        baseline.Obs.Bench.label baseline.Obs.Bench.git_rev baseline.Obs.Bench.scale
+        baseline.Obs.Bench.jobs
+        current.Obs.Bench.label current.Obs.Bench.git_rev current.Obs.Bench.scale
+        current.Obs.Bench.jobs;
       if baseline.Obs.Bench.jobs <> current.Obs.Bench.jobs then
         (* Wall times scale with the job count and alloc_bytes is
            per-domain in OCaml 5, so a cross-jobs diff would gate CI on
@@ -350,9 +358,6 @@ let diff args =
       let comparisons =
         Obs.Bench.diff ~threshold_pct ~alloc_threshold_pct ~baseline ~current ()
       in
-      Printf.printf "baseline %s (%s, %s)  vs  current %s (%s, %s)\n"
-        baseline.Obs.Bench.label baseline.Obs.Bench.git_rev baseline.Obs.Bench.scale
-        current.Obs.Bench.label current.Obs.Bench.git_rev current.Obs.Bench.scale;
       if baseline.Obs.Bench.scale <> current.Obs.Bench.scale then
         print_endline "warning: reports were recorded at different scales";
       print_string (Obs.Bench.render_diff comparisons);

@@ -25,6 +25,7 @@ let usage =
   \     embed FILE -o FILE                     re-embed from connectivity\n\
   \     import FILE -o FILE                    edge list -> routable instance\n\
   \     api-schema                             dump the v1 request schema (JSON)\n\
+  \     serve-status --port P [--prometheus]   live telemetry of a running daemon\n\
    Flags per op: graphs_cli api-schema | python3 -m json.tool\n"
 
 let fail err =
@@ -146,6 +147,9 @@ let run_v1 args =
       run_route_batch exec ~path:instance ~pairs ~protocol ~max_steps
   | Api.V1.Stats { instance } -> run_stats exec ~path:instance
   | Api.V1.Load { name; path } -> run_load exec ~name ~path
+  | Api.V1.Server_stats ->
+      fail_usage
+        "stats-server queries a running daemon; use `graphs_cli serve-status --port P`"
   | Api.V1.Health | Api.V1.Drain ->
       fail_usage "health and drain are daemon requests; run `serve` and send them over TCP"
 
@@ -262,6 +266,103 @@ let run_import args =
         (Sparse_graph.Graph.m graph) out
 
 (* ------------------------------------------------------------------ *)
+(* serve-status: dial a running daemon (main or admin port), send one
+   stats-server request, and render the reply for humans.             *)
+
+let send_and_read_line fd out =
+  let len = String.length out in
+  let rec w off =
+    if off < len then w (off + Unix.write_substring fd out off (len - off))
+  in
+  w 0;
+  let buf = Buffer.create 1024 in
+  let chunk = Bytes.create 4096 in
+  let rec r () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> Buffer.contents buf
+    | n -> (
+        let s = Bytes.sub_string chunk 0 n in
+        match String.index_opt s '\n' with
+        | Some i ->
+            Buffer.add_string buf (String.sub s 0 i);
+            Buffer.contents buf
+        | None ->
+            Buffer.add_string buf s;
+            r ())
+  in
+  r ()
+
+let render_server_stats (s : Api.V1.server_stats_reply) =
+  Printf.printf "uptime:  %.1f s%s\n" s.Api.V1.uptime_s
+    (if s.Api.V1.s_draining then "  (draining)" else "");
+  Printf.printf "obs:     %s\n"
+    (if s.Api.V1.obs_live then "live"
+     else "off (SMALLWORLD_OBS=0) — stage histograms are empty");
+  print_endline "counters:";
+  List.iter (fun (k, v) -> Printf.printf "  %-26s %d\n" k v) s.Api.V1.s_counters;
+  print_endline "gauges:";
+  List.iter (fun (k, v) -> Printf.printf "  %-26s %g\n" k v) s.Api.V1.gauges;
+  let live = List.filter (fun st -> st.Api.V1.s_count > 0) s.Api.V1.stages in
+  if live <> [] then begin
+    print_endline "latency (seconds):";
+    Printf.printf "  %-22s %8s %11s %11s %11s %11s %11s\n" "stage" "count" "p50"
+      "p90" "p99" "p999" "max";
+    List.iter
+      (fun st ->
+        Printf.printf "  %-22s %8d %11.6f %11.6f %11.6f %11.6f %11.6f\n"
+          st.Api.V1.stage st.Api.V1.s_count st.Api.V1.p50 st.Api.V1.p90
+          st.Api.V1.p99 st.Api.V1.p999 st.Api.V1.s_max)
+      live
+  end
+
+let run_serve_status args =
+  let host = ref "127.0.0.1" and port = ref None and prometheus = ref false in
+  let rec go = function
+    | [] -> ()
+    | "--host" :: v :: rest ->
+        host := v;
+        go rest
+    | "--port" :: v :: rest ->
+        (match int_of_string_opt v with
+        | Some p -> port := Some p
+        | None -> fail_usage "--port expects an integer, got %S" v);
+        go rest
+    | "--prometheus" :: rest ->
+        prometheus := true;
+        go rest
+    | tok :: _ ->
+        fail_usage
+          "unknown argument %S for serve-status (flags: --host ADDR --port P [--prometheus])"
+          tok
+  in
+  go args;
+  let port =
+    match !port with
+    | Some p -> p
+    | None -> fail_usage "serve-status requires --port P (the daemon's main or admin port)"
+  in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string !host, port))
+   with Unix.Unix_error (e, _, _) ->
+     fail
+       (Api.Error.make Api.Error.Io "cannot connect to %s:%d: %s" !host port
+          (Unix.error_message e)));
+  let line =
+    send_and_read_line fd
+      (Api.V1.request_line (Api.V1.envelope Api.V1.Server_stats) ^ "\n")
+  in
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  if line = "" then
+    fail (Api.Error.make Api.Error.Io "daemon at %s:%d closed without replying" !host port);
+  match Api.V1.reply_of_line line with
+  | Error e -> fail e
+  | Ok { Api.V1.response = Api.V1.Failed e; _ } -> fail e
+  | Ok { Api.V1.response = Api.V1.Server_stats_reply s; _ } ->
+      if !prometheus then print_string s.Api.V1.prometheus
+      else render_server_stats s
+  | Ok _ -> fail (Api.Error.make Api.Error.Bad_request "unexpected reply kind from daemon")
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   match List.tl (Array.to_list Sys.argv) with
@@ -273,4 +374,5 @@ let () =
       exit 0
   | "embed" :: rest -> run_embed rest
   | "import" :: rest -> run_import rest
+  | "serve-status" :: rest -> run_serve_status rest
   | args -> run_v1 args

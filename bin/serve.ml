@@ -2,11 +2,16 @@
 
      serve [--port P] [--workers N] [--queue-cap N] [--registry-cap N]
            [--max-batch N] [--load NAME=FILE]... [--obs-out FILE] [-j N]
+           [--admin-port P] [--access-log FILE [--access-log-sample N]]
+           [--obs-interval SECS]
 
    Newline-delimited JSON over TCP; the request schema is
    `graphs_cli api-schema`.  SIGTERM / SIGINT (or a client `drain`
    request) drain gracefully: in-flight requests finish, the obs
-   manifest is written, exit status 0.                                   *)
+   manifest is written, exit status 0.  SIGHUP forces a manifest
+   rewrite + access-log flush without draining.  --admin-port opens a
+   telemetry listener (HTTP GET /metrics for Prometheus, /stats for
+   JSON; also the stats-server JSON op) that answers under full load.  *)
 
 open Cmdliner
 
@@ -37,6 +42,32 @@ let max_batch_arg =
          & info [ "max-batch" ] ~docv:"N"
          ~doc:"Largest accepted route_batch; bigger requests get 'overloaded'.")
 
+let admin_port_arg =
+  Arg.(value & opt (some int) None
+         & info [ "admin-port" ] ~docv:"P"
+         ~doc:"Open a telemetry listener on this port (0 = ephemeral, printed \
+               on startup): HTTP GET /metrics (Prometheus text) and /stats \
+               (stats-server JSON), plus the stats-server/health JSON ops. \
+               Served off the worker queue, so scrapes answer under full load.")
+
+let access_log_arg =
+  Arg.(value & opt (some string) None
+         & info [ "access-log" ] ~docv:"FILE"
+         ~doc:"Append one smallworld.access.v1 JSONL line per request \
+               (request id, op, instance, stage timings, outcome).")
+
+let access_sample_arg =
+  Arg.(value & opt int Server.Daemon.default_config.access_sample
+         & info [ "access-log-sample" ] ~docv:"N"
+         ~doc:"Log 1 request in N (deterministic, by request id); default 1.")
+
+let obs_interval_arg =
+  Arg.(value & opt float Server.Daemon.default_config.obs_interval
+         & info [ "obs-interval" ] ~docv:"SECS"
+         ~doc:"Rewrite the --obs-out manifest (and flush the access log) every \
+               SECS seconds, not only at drain; <= 0 disables the timer. \
+               SIGHUP forces a rewrite at any time.")
+
 let load_arg =
   Arg.(value & opt_all string [] & info [ "load" ] ~docv:"NAME=FILE"
          ~doc:"Preload a saved instance into the registry before serving; repeatable.")
@@ -53,7 +84,8 @@ let preload ex spec =
           Printf.printf "loaded %s from %s\n%!" name path;
           Ok ())
 
-let run host port workers queue_cap registry_cap max_batch loads obs_out jobs =
+let run host port workers queue_cap registry_cap max_batch admin_port access_log
+    access_sample obs_interval loads obs_out jobs =
   match Api.Cli.apply_jobs jobs with
   | Error e -> Error e
   | Ok () -> (
@@ -66,6 +98,10 @@ let run host port workers queue_cap registry_cap max_batch loads obs_out jobs =
           registry_cap;
           max_batch;
           obs_out;
+          obs_interval;
+          admin_port;
+          access_log;
+          access_sample;
         }
       in
       let t = Server.Daemon.create config in
@@ -86,9 +122,14 @@ let run host port workers queue_cap registry_cap max_batch loads obs_out jobs =
           let drain _ = Server.Daemon.stop t in
           Sys.set_signal Sys.sigterm (Sys.Signal_handle drain);
           Sys.set_signal Sys.sigint (Sys.Signal_handle drain);
+          Sys.set_signal Sys.sighup
+            (Sys.Signal_handle (fun _ -> Server.Daemon.request_manifest t));
           Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
           Printf.printf "serving on %s:%d (%d workers, queue %d, registry %d)\n%!" host
             (Server.Daemon.port t) workers queue_cap registry_cap;
+          Option.iter
+            (fun p -> Printf.printf "admin on %s:%d (/metrics, /stats)\n%!" host p)
+            (Server.Daemon.admin_port t);
           Server.Daemon.serve t;
           Printf.printf "drained: %d accepted, %d served, %d rejected, %d deadline-missed\n%!"
             (Server.Exec.accepted (Server.Daemon.exec t))
@@ -103,6 +144,8 @@ let main =
     Term.(
       term_result
         (const run $ host_arg $ port_arg $ workers_arg $ queue_cap_arg
-       $ registry_cap_arg $ max_batch_arg $ load_arg $ Api.Cli.obs_out $ Api.Cli.jobs))
+       $ registry_cap_arg $ max_batch_arg $ admin_port_arg $ access_log_arg
+       $ access_sample_arg $ obs_interval_arg $ load_arg $ Api.Cli.obs_out
+       $ Api.Cli.jobs))
 
 let () = exit (Cmd.eval main)

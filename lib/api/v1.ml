@@ -38,6 +38,7 @@ type request =
     }
   | Stats of { instance : string }
   | Health
+  | Server_stats
   | Drain
 
 type envelope = { id : int option; deadline_ms : int option; request : request }
@@ -72,6 +73,26 @@ type health_reply = {
   counters : (string * int) list;
 }
 
+type stage_latency = {
+  stage : string;
+  s_count : int;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  p999 : float;
+  s_max : float;
+}
+
+type server_stats_reply = {
+  uptime_s : float;
+  s_draining : bool;
+  obs_live : bool;
+  s_counters : (string * int) list;
+  gauges : (string * float) list;
+  stages : stage_latency list;
+  prometheus : string;
+}
+
 type response =
   | Loaded of instance_info
   | Sampled of instance_info
@@ -79,6 +100,7 @@ type response =
   | Routed_batch of route_reply list
   | Stats_reply of stats_reply
   | Health_reply of health_reply
+  | Server_stats_reply of server_stats_reply
   | Drain_ack
   | Failed of Error.t
 
@@ -195,7 +217,14 @@ let op_of_request = function
   | Route_batch _ -> "route_batch"
   | Stats _ -> "stats"
   | Health -> "health"
+  | Server_stats -> "stats-server"
   | Drain -> "drain"
+
+let instance_of_request = function
+  | Load { name; _ } | Sample { name; _ } -> Some name
+  | Route { instance; _ } | Route_batch { instance; _ } | Stats { instance } ->
+      Some instance
+  | Health | Server_stats | Drain -> None
 
 let request_fields = function
   | Load { name; path } -> [ ("name", J.Str name); ("path", J.Str path) ]
@@ -214,7 +243,7 @@ let request_fields = function
       @ [ ("protocol", J.Str (protocol_to_string protocol)) ]
       @ (match max_steps with Some m -> [ ("max_steps", J.Int m) ] | None -> [])
   | Stats { instance } -> [ ("instance", J.Str instance) ]
-  | Health | Drain -> []
+  | Health | Server_stats | Drain -> []
 
 let envelope_to_json e =
   J.Obj
@@ -387,10 +416,12 @@ let envelope_of_json j =
         let* instance = req_field ~what:op "instance" jstr j in
         Ok (Stats { instance })
     | "health" -> Ok Health
+    | "stats-server" | "server-stats" -> Ok Server_stats
     | "drain" -> Ok Drain
     | other ->
         err_bad
-          "unknown op %S (load | sample | route | route_batch | stats | health | drain)"
+          "unknown op %S (load | sample | route | route_batch | stats | health | \
+           stats-server | drain)"
           other
   in
   Ok { id; deadline_ms; request }
@@ -445,6 +476,29 @@ let result_to_json = function
           ("instances", J.Arr (List.map (fun n -> J.Str n) h.instances));
           ("counters", J.Obj (List.map (fun (k, v) -> (k, J.Int v)) h.counters));
         ]
+  | Server_stats_reply s ->
+      let stage_json st =
+        J.Obj
+          [
+            ("stage", J.Str st.stage);
+            ("count", J.Int st.s_count);
+            ("p50", J.Float st.p50);
+            ("p90", J.Float st.p90);
+            ("p99", J.Float st.p99);
+            ("p999", J.Float st.p999);
+            ("max", J.Float st.s_max);
+          ]
+      in
+      J.Obj
+        [
+          ("uptime_s", J.Float s.uptime_s);
+          ("draining", J.Bool s.s_draining);
+          ("obs_live", J.Bool s.obs_live);
+          ("counters", J.Obj (List.map (fun (k, v) -> (k, J.Int v)) s.s_counters));
+          ("gauges", J.Obj (List.map (fun (k, v) -> (k, J.Float v)) s.gauges));
+          ("stages", J.Arr (List.map stage_json s.stages));
+          ("prometheus", J.Str s.prometheus);
+        ]
   | Drain_ack -> J.Obj [ ("draining", J.Bool true) ]
   | Failed _ -> J.Null
 
@@ -455,6 +509,7 @@ let op_of_response = function
   | Routed_batch _ -> "route_batch"
   | Stats_reply _ -> "stats"
   | Health_reply _ -> "health"
+  | Server_stats_reply _ -> "stats-server"
   | Drain_ack -> "drain"
   | Failed _ -> "error"
 
@@ -577,6 +632,62 @@ let reply_of_json j =
             | _ -> err_bad "health reply is missing object field \"counters\""
           in
           Ok (Health_reply { draining; instances; counters })
+      | "stats-server" ->
+          let* uptime_s = req_field ~what "uptime_s" jfloat result in
+          let* s_draining = req_field ~what "draining" jbool result in
+          let* obs_live = req_field ~what "obs_live" jbool result in
+          let int_map name =
+            match J.member name result with
+            | Some (J.Obj fields) ->
+                let rec go acc = function
+                  | [] -> Ok (List.rev acc)
+                  | (k, J.Int v) :: rest -> go ((k, v) :: acc) rest
+                  | (k, _) :: _ -> err_bad "stats-server %s %S must be an int" name k
+                in
+                go [] fields
+            | _ -> err_bad "stats-server reply is missing object field %S" name
+          in
+          let float_map name =
+            match J.member name result with
+            | Some (J.Obj fields) ->
+                let rec go acc = function
+                  | [] -> Ok (List.rev acc)
+                  | (k, v) :: rest -> (
+                      match jfloat v with
+                      | Some f -> go ((k, f) :: acc) rest
+                      | None -> err_bad "stats-server %s %S must be a number" name k)
+                in
+                go [] fields
+            | _ -> err_bad "stats-server reply is missing object field %S" name
+          in
+          let* s_counters = int_map "counters" in
+          let* gauges = float_map "gauges" in
+          let stage_of_json j =
+            let* stage = req_field ~what "stage" jstr j in
+            let* s_count = req_field ~what "count" jint j in
+            let* p50 = req_field ~what "p50" jfloat j in
+            let* p90 = req_field ~what "p90" jfloat j in
+            let* p99 = req_field ~what "p99" jfloat j in
+            let* p999 = req_field ~what "p999" jfloat j in
+            let* s_max = req_field ~what "max" jfloat j in
+            Ok { stage; s_count; p50; p90; p99; p999; s_max }
+          in
+          let* stages =
+            match J.member "stages" result with
+            | Some (J.Arr items) ->
+                let rec go acc = function
+                  | [] -> Ok (List.rev acc)
+                  | st :: rest ->
+                      let* st = stage_of_json st in
+                      go (st :: acc) rest
+                in
+                go [] items
+            | _ -> err_bad "stats-server reply is missing array field \"stages\""
+          in
+          let* prometheus = req_field ~what "prometheus" jstr result in
+          Ok
+            (Server_stats_reply
+               { uptime_s; s_draining; obs_live; s_counters; gauges; stages; prometheus })
       | "drain" -> Ok Drain_ack
       | other -> err_bad "unknown reply op %S" other
     in
@@ -753,6 +864,10 @@ let ops =
     };
     { op = "health"; op_als = []; odoc = "server liveness, counters, registry contents";
       oflags = []; positional = None };
+    { op = "stats-server"; op_als = [ "server-stats" ];
+      odoc = "live telemetry snapshot: counters, gauges, per-stage latency quantiles, \
+              Prometheus text dump";
+      oflags = []; positional = None };
     { op = "drain"; op_als = []; odoc = "stop accepting work, finish in-flight requests, exit";
       oflags = []; positional = None };
   ]
@@ -889,12 +1004,17 @@ let protocol_of_seen ~op seen =
 
 let of_args args =
   match args with
-  | [] -> err_bad "missing operation (load | sample | route | route-batch | stats | health | drain)"
+  | [] ->
+      err_bad
+        "missing operation (load | sample | route | route-batch | stats | health | \
+         stats-server | drain)"
   | op_tok :: rest -> (
       let known_ops = List.map (fun o -> { o with op_als = o.op :: o.op_als }) ops in
       match List.find_opt (fun o -> List.mem op_tok o.op_als) known_ops with
       | None ->
-          err_bad "unknown operation %S (load | sample | route | route-batch | stats | health | drain)"
+          err_bad
+            "unknown operation %S (load | sample | route | route-batch | stats | health | \
+             stats-server | drain)"
             op_tok
       | Some o -> (
           let op = o.op in
@@ -1026,6 +1146,7 @@ let of_args args =
                   in
                   Ok (Stats { instance })
               | "health" -> Ok Health
+              | "stats-server" -> Ok Server_stats
               | "drain" -> Ok Drain
               | _ -> assert false
             in
@@ -1118,6 +1239,7 @@ let to_args ?(exec = no_exec) e =
       @ tail
   | Stats { instance } -> [ "stats" ] @ fl "--instance" instance @ tail
   | Health -> "health" :: tail
+  | Server_stats -> "stats-server" :: tail
   | Drain -> "drain" :: tail
 
 (* ------------------------------------------------------------------ *)

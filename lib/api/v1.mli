@@ -62,6 +62,12 @@ type request =
     }
   | Stats of { instance : string }
   | Health
+  | Server_stats
+      (** live serving telemetry ([stats-server] on the wire): counter
+          and gauge snapshot plus per-stage latency quantiles from the
+          {!Obs.Hist}-backed histograms, and a Prometheus text dump.
+          Served without the compute mutex, so it answers under full
+          load. *)
   | Drain
 
 type envelope = {
@@ -106,6 +112,33 @@ type health_reply = {
   counters : (string * int) list;  (** server.* counter snapshot *)
 }
 
+type stage_latency = {
+  stage : string;
+      (** [stage.queue_wait] / [stage.compute] / [stage.render] /
+          [stage.write], or [latency.<op>] for whole-request latency *)
+  s_count : int;
+  p50 : float;  (** seconds; quantiles are {!Obs.Hist} estimates *)
+  p90 : float;
+  p99 : float;
+  p999 : float;
+  s_max : float;  (** exact maximum observed, [0.] when empty *)
+}
+
+type server_stats_reply = {
+  uptime_s : float;
+  s_draining : bool;
+  obs_live : bool;
+      (** false under [SMALLWORLD_OBS=0]: counters and gauges stay
+          authoritative, but stage histograms and the Prometheus dump
+          are zeroed no-op stubs *)
+  s_counters : (string * int) list;  (** same snapshot as [health] *)
+  gauges : (string * float) list;
+      (** [server.queue_depth], [server.inflight],
+          [server.registry.size] / [.pinned] / [.cap] *)
+  stages : stage_latency list;
+  prometheus : string;  (** full Prometheus text dump of the registry *)
+}
+
 type response =
   | Loaded of instance_info
   | Sampled of instance_info
@@ -113,12 +146,20 @@ type response =
   | Routed_batch of route_reply list
   | Stats_reply of stats_reply
   | Health_reply of health_reply
+  | Server_stats_reply of server_stats_reply
   | Drain_ack
   | Failed of Error.t
 
 type reply = { reply_id : int option; response : response }
 
 (** {1 String conversions (shared by every front-end)} *)
+
+val op_of_request : request -> string
+(** The wire op name ([load], [route_batch], [stats-server], ...) —
+    what spans, access-log lines and latency metrics are keyed on. *)
+
+val instance_of_request : request -> string option
+(** The registry name a request touches, when it names one. *)
 
 val protocol_to_string : Greedy_routing.Protocol.t -> string
 

@@ -1,0 +1,109 @@
+(* HDR-style log-linear histogram.
+
+   The bucket boundaries are fixed, process-global constants: every
+   binade (2^(e-1), 2^e] for e in [e_lo, e_hi] is split into [sub]
+   equal-width linear subbuckets, giving a worst-case relative
+   quantile error of 1/sub = 12.5% (the estimate always falls inside
+   the bucket holding the true quantile, and a bucket spans at most
+   1/sub of its own lower edge).  Three extra buckets catch the rest
+   of the real line: index 0 holds v <= 0 (and NaN), index 1 holds
+   positive underflow below 2^(e_lo-1), and the last bucket holds
+   overflow above 2^e_hi with an infinite upper bound.
+
+   Because the boundaries are shared by construction, merging is a
+   bucketwise add — associative and commutative — which is what lets
+   per-domain histograms roll up into one without rebinning.
+
+   Counts are an [int Atomic.t] array: [record] is one binary search
+   over an immutable float array plus one fetch-and-add — lock-free
+   and allocation-free, safe from any domain. *)
+
+let sub = 8
+let e_lo = -30
+let e_hi = 24
+let bucket_count = 2 + ((e_hi - e_lo + 1) * sub) + 1
+
+let bounds =
+  let b = Array.make bucket_count infinity in
+  b.(0) <- 0.0;
+  b.(1) <- Float.ldexp 1.0 (e_lo - 1);
+  let i = ref 2 in
+  for e = e_lo to e_hi do
+    for k = 1 to sub do
+      b.(!i) <- Float.ldexp (1.0 +. (float_of_int k /. float_of_int sub)) (e - 1);
+      incr i
+    done
+  done;
+  b
+
+let bound i = bounds.(i)
+
+(* Smallest i with v <= bounds.(i); bounds are inclusive upper edges.
+   The [not (v > 0.0)] spelling routes NaN to bucket 0 as well. *)
+let index v =
+  if not (v > 0.0) then 0
+  else begin
+    let lo = ref 1 and hi = ref (bucket_count - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if v <= bounds.(mid) then hi := mid else lo := mid + 1
+    done;
+    !lo
+  end
+
+type t = int Atomic.t array
+
+let create () = Array.init bucket_count (fun _ -> Atomic.make 0)
+let record t v = ignore (Atomic.fetch_and_add t.(index v) 1)
+let read t i = Atomic.get t.(i)
+let count t = Array.fold_left (fun acc c -> acc + Atomic.get c) 0 t
+let is_empty t = count t = 0
+let reset t = Array.iter (fun c -> Atomic.set c 0) t
+
+let merge_into ~dst src =
+  Array.iteri
+    (fun i c ->
+      let n = Atomic.get c in
+      if n > 0 then ignore (Atomic.fetch_and_add dst.(i) n))
+    src
+
+let buckets t =
+  let acc = ref [] in
+  for i = bucket_count - 1 downto 0 do
+    let n = Atomic.get t.(i) in
+    if n > 0 then acc := (bounds.(i), n) :: !acc
+  done;
+  !acc
+
+(* Lower edge of the bucket whose inclusive upper bound is [ub]:
+   boundaries are fixed, so it is simply the previous global bound. *)
+let lower_of ub = if ub <= 0.0 then 0.0 else bounds.(index ub - 1)
+
+let quantile_of_buckets bks p =
+  let total = List.fold_left (fun acc (_, c) -> acc + c) 0 bks in
+  if total = 0 then 0.0
+  else begin
+    let p = Float.max 0.0 (Float.min 1.0 p) in
+    let target = p *. float_of_int total in
+    let rec go cum = function
+      | [] -> 0.0
+      | (ub, c) :: rest ->
+          let cum' = cum + c in
+          if c > 0 && float_of_int cum' >= target then
+            if ub <= 0.0 then 0.0
+            else begin
+              (* Interpolate linearly inside the bucket; the overflow
+                 bucket has no finite upper edge, so report its lower
+                 edge rather than inventing a value. *)
+              let lo = lower_of ub in
+              let hi = if ub = infinity then lo else ub in
+              let frac = (target -. float_of_int cum) /. float_of_int c in
+              let frac = Float.max 0.0 (Float.min 1.0 frac) in
+              lo +. ((hi -. lo) *. frac)
+            end
+          else go cum' rest
+    in
+    go 0 bks
+  end
+
+let quantile t p = quantile_of_buckets (buckets t) p

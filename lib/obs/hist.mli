@@ -1,0 +1,59 @@
+(** HDR-style log-linear histogram with fixed, process-global bucket
+    boundaries.
+
+    Every binade [(2^(e-1), 2^e]] for [e] in [[-30, 24]] (covering
+    roughly half a nanosecond to 194 days when values are seconds) is
+    split into 8 equal-width linear subbuckets; bucket 0 holds values
+    [<= 0] (and NaN), bucket 1 holds positive underflow, and the last
+    bucket holds overflow with an infinite upper bound.  Quantile
+    estimates interpolate inside the bucket that holds the true
+    quantile, so their relative error is bounded by the subbucket
+    width: at most 1/8 = 12.5% of the value, usually much less.
+
+    [record] is lock-free and allocation-free (a binary search over an
+    immutable bound array plus one [Atomic.fetch_and_add]), safe to
+    call from any domain.  Because the boundaries are fixed,
+    {!merge_into} is a bucketwise add — associative and commutative —
+    so per-domain histograms roll up exactly.
+
+    {!Metrics} histograms are backed by this scheme; use this module
+    directly when a raw, always-live histogram is needed outside the
+    metric registry. *)
+
+val bucket_count : int
+(** Total number of buckets, including the [<= 0], underflow and
+    overflow buckets. *)
+
+val bound : int -> float
+(** [bound i] is the inclusive upper edge of bucket [i]; [0.] for
+    bucket 0, [infinity] for the last. *)
+
+val index : float -> int
+(** The bucket a value lands in: the smallest [i] with
+    [v <= bound i] (bucket 0 for [v <= 0] and NaN). *)
+
+type t
+
+val create : unit -> t
+val record : t -> float -> unit
+val read : t -> int -> int
+val count : t -> int
+val is_empty : t -> bool
+val reset : t -> unit
+
+val merge_into : dst:t -> t -> unit
+(** Bucketwise add of [src] counts into [dst] ([src] is unchanged). *)
+
+val buckets : t -> (float * int) list
+(** [(inclusive upper bound, count)] for each non-empty bucket, in
+    increasing bound order — the same shape {!Metrics.hist_snapshot}
+    carries. *)
+
+val quantile : t -> float -> float
+(** [quantile t p] for [p] in [[0, 1]] (clamped), [0.] when empty.
+    Linear interpolation inside the target bucket; the overflow
+    bucket reports its lower edge. *)
+
+val quantile_of_buckets : (float * int) list -> float -> float
+(** {!quantile} over a {!buckets}-shaped snapshot list, for callers
+    that hold a {!Metrics.hist_snapshot} rather than a live [t]. *)

@@ -13,12 +13,14 @@
    coins) run on multiple domains when a Parallel pool is active, so
    live counters are [Atomic.t int] (one fetch-and-add per increment)
    and gauges are [Atomic.t float] (plain store for [set], CAS loop for
-   [set_max]).  Histograms keep several correlated fields, so each live
-   cell carries its own mutex; they are observed from colder paths
-   (per-message latencies, per-run totals).  Snapshots are not atomic
-   across metrics — concurrent updates may land between reads — but
-   every individual value read is consistent, and the usual
-   quiesce-then-snapshot pattern (bench, manifests) is exact. *)
+   [set_max]).  Histogram buckets live in an {!Hist.t} (log-linear
+   boundaries, atomic counts); the exact count/sum/min/max kept
+   alongside are guarded by a per-cell mutex, so [observe] serialises
+   on that mutex — histograms are observed from colder paths
+   (per-message latencies, per-stage server timings).  Snapshots are
+   not atomic across metrics — concurrent updates may land between
+   reads — but every individual value read is consistent, and the
+   usual quiesce-then-snapshot pattern (bench, manifests) is exact. *)
 
 type kind = Counter | Gauge | Histogram
 
@@ -26,12 +28,6 @@ let kind_to_string = function
   | Counter -> "counter"
   | Gauge -> "gauge"
   | Histogram -> "histogram"
-
-(* Log2 buckets: index 0 holds v <= 0, index i (1..num_buckets-1) holds
-   v in (2^(e-1), 2^e] with e = i - 1 + min_exp. *)
-let min_exp = -64
-let max_exp = 63
-let num_buckets = max_exp - min_exp + 2
 
 type ccell = int Atomic.t
 type gcell = float Atomic.t
@@ -42,7 +38,7 @@ type hcell = {
   mutable h_sum : float;
   mutable h_min : float;
   mutable h_max : float;
-  h_buckets : int array;
+  h_hist : Hist.t;
 }
 
 type counter = Counter_noop | Counter_live of ccell
@@ -99,7 +95,7 @@ let gauge ?(registry = default) name =
 
 let hist_cell () =
   { h_lock = Mutex.create (); h_count = 0; h_sum = 0.0; h_min = infinity;
-    h_max = neg_infinity; h_buckets = Array.make num_buckets 0 }
+    h_max = neg_infinity; h_hist = Hist.create () }
 
 let histogram ?(registry = default) name =
   match register registry name Histogram (fun () -> Cell_hist (hist_cell ())) with
@@ -125,17 +121,6 @@ let set_max t v =
 
 let gauge_value = function Gauge_noop -> 0.0 | Gauge_live g -> Atomic.get g
 
-(* Smallest e with v <= 2^e, exact via frexp (v = m * 2^e', m in [0.5, 1)). *)
-let bucket_index v =
-  if v <= 0.0 then 0
-  else begin
-    let m, e = Float.frexp v in
-    let e = if m = 0.5 then e - 1 else e in
-    if e < min_exp then 1 else if e > max_exp then num_buckets - 1 else e - min_exp + 1
-  end
-
-let bucket_upper_bound i = if i = 0 then 0.0 else Float.ldexp 1.0 (i - 1 + min_exp)
-
 let observe t v =
   match t with
   | Histogram_noop -> ()
@@ -145,8 +130,7 @@ let observe t v =
       h.h_sum <- h.h_sum +. v;
       if v < h.h_min then h.h_min <- v;
       if v > h.h_max then h.h_max <- v;
-      let i = bucket_index v in
-      h.h_buckets.(i) <- h.h_buckets.(i) + 1;
+      Hist.record h.h_hist v;
       Mutex.unlock h.h_lock
 
 let hist_count = function Histogram_noop -> 0 | Histogram_live h -> h.h_count
@@ -170,13 +154,9 @@ let snapshot_cell = function
   | Some (Cell_gauge g) -> Gauge_v (Atomic.get g)
   | Some (Cell_hist h) ->
       Mutex.lock h.h_lock;
-      let buckets = ref [] in
-      for i = num_buckets - 1 downto 0 do
-        if h.h_buckets.(i) > 0 then
-          buckets := (bucket_upper_bound i, h.h_buckets.(i)) :: !buckets
-      done;
       let snap =
-        { count = h.h_count; sum = h.h_sum; min = h.h_min; max = h.h_max; buckets = !buckets }
+        { count = h.h_count; sum = h.h_sum; min = h.h_min; max = h.h_max;
+          buckets = Hist.buckets h.h_hist }
       in
       Mutex.unlock h.h_lock;
       Histogram_v snap
@@ -222,6 +202,8 @@ let reset r =
           h.h_sum <- 0.0;
           h.h_min <- infinity;
           h.h_max <- neg_infinity;
-          Array.fill h.h_buckets 0 num_buckets 0;
+          Hist.reset h.h_hist;
           Mutex.unlock h.h_lock)
     (sorted_entries r)
+
+let hist_quantile (s : hist_snapshot) p = Hist.quantile_of_buckets s.buckets p

@@ -1,4 +1,5 @@
-(** Named counters, gauges and log2-bucketed histograms.
+(** Named counters, gauges and log-linear-bucketed histograms
+    (buckets from {!Hist}).
 
     Handles are bound to a {!registry} at registration time.  On a dead
     registry (explicit [create ~live:false], or the {!default} registry
@@ -55,8 +56,10 @@ val gauge_value : gauge -> float
 val histogram : ?registry:registry -> string -> histogram
 
 val observe : histogram -> float -> unit
-(** O(1): values land in log2 buckets [(2^(e-1), 2^e]] (plus a bucket
-    for values [<= 0]), with exact sum/min/max kept alongside. *)
+(** O(log buckets): values land in the fixed log-linear buckets of
+    {!Hist} (8 subbuckets per binade, plus a bucket for values
+    [<= 0]), with exact count/sum/min/max kept alongside under the
+    cell's mutex. *)
 
 val hist_count : histogram -> int
 val hist_sum : histogram -> float
@@ -86,3 +89,8 @@ val find_value : registry -> string -> value option
 
 val reset : registry -> unit
 (** Zero all cells (names stay registered). *)
+
+val hist_quantile : hist_snapshot -> float -> float
+(** Quantile estimate from a snapshot's buckets
+    ({!Hist.quantile_of_buckets}): [0.] when empty, relative error
+    bounded by the {!Hist} subbucket width (<= 12.5%). *)

@@ -9,6 +9,10 @@ type config = {
   registry_cap : int;
   max_batch : int;
   obs_out : string option;
+  obs_interval : float;
+  admin_port : int option;
+  access_log : string option;
+  access_sample : int;
 }
 
 let default_config =
@@ -20,17 +24,30 @@ let default_config =
     registry_cap = 8;
     max_batch = 4096;
     obs_out = None;
+    obs_interval = 60.0;
+    admin_port = None;
+    access_log = None;
+    access_sample = 1;
   }
 
 type t = {
   config : config;
   listen_fd : Unix.file_descr;
   bound_port : int;
+  admin : (Unix.file_descr * int) option;
   ex : Exec.t;
-  queue : Unix.file_descr Queue.t;
+  (* Connections carry their enqueue instant so the worker that pops
+     one can charge the wait to the queue_wait stage. *)
+  queue : (Unix.file_descr * float) Queue.t;
   qmutex : Mutex.t;
   qcond : Condition.t;
+  alog : Access_log.t option;
+  manifest_now : bool Atomic.t;
+  (* Stage clocks cost one gettimeofday each; skip them entirely when
+     neither obs nor the access log can consume the result. *)
+  timing : bool;
   mutable worker_domains : unit Domain.t list;
+  mutable aux_domains : unit Domain.t list;
 }
 
 (* How often blocked loops re-check the drain flag. *)
@@ -39,6 +56,11 @@ let poll_interval = 0.2
 (* A request line larger than this is hostile; drop the connection
    rather than buffer without bound. *)
 let max_line_bytes = 16 * 1024 * 1024
+
+(* How long an admin connection may sit idle before it is dropped —
+   the admin loop serves connections one at a time, so a silent client
+   must not wedge scrapes. *)
+let admin_idle_timeout = 10.0
 
 let rec restart_on_intr f =
   try f () with Unix.Unix_error (Unix.EINTR, _, _) -> restart_on_intr f
@@ -54,10 +76,12 @@ let write_all fd s =
 
 (* Best effort: the peer may already be gone; that must not take a
    worker down. *)
-let try_write_reply fd reply =
-  match write_all fd (V1.reply_line reply ^ "\n") with
+let try_write fd s =
+  match write_all fd s with
   | () -> true
   | exception Unix.Unix_error _ -> false
+
+let try_write_reply fd reply = try_write fd (V1.reply_line reply ^ "\n")
 
 let refuse fd err =
   ignore (try_write_reply fd { V1.reply_id = None; response = V1.Failed err });
@@ -71,8 +95,9 @@ let draining_error =
   Error.make Error.Draining "server is draining and no longer accepts work"
 
 (* Read one newline-terminated line, polling the drain flag while
-   blocked.  [None] on EOF, drain, oversized line, or socket error. *)
-let read_line_poll t fd buf =
+   blocked.  [None] on EOF, drain, oversized line, socket error, or an
+   exceeded [give_up] instant. *)
+let read_line_poll ?give_up t fd buf =
   let chunk = Bytes.create 8192 in
   let take_line () =
     let s = Buffer.contents buf in
@@ -83,12 +108,16 @@ let read_line_poll t fd buf =
         Buffer.add_string buf (String.sub s (i + 1) (String.length s - i - 1));
         Some (String.sub s 0 i)
   in
+  let expired () =
+    match give_up with Some d -> Unix.gettimeofday () >= d | None -> false
+  in
   let rec go () =
     match take_line () with
     | Some line -> Some line
     | None ->
         if Exec.draining t.ex then None
         else if Buffer.length buf > max_line_bytes then None
+        else if expired () then None
         else
           let readable, _, _ =
             restart_on_intr (fun () -> Unix.select [ fd ] [] [] poll_interval)
@@ -109,18 +138,33 @@ let wake_all t =
   Condition.broadcast t.qcond;
   Mutex.unlock t.qmutex
 
-let serve_connection t fd =
+let outcome_of = function
+  | V1.Failed e -> Error.code_string e.Error.code
+  | _ -> "ok"
+
+let serve_connection t ~queue_wait fd =
   let buf = Buffer.create 256 in
+  (* The first request on a connection is charged the time the
+     connection spent in the accept queue; follow-ups on the same
+     connection never queued. *)
+  let pending_wait = ref queue_wait in
   let rec loop () =
     if Exec.draining t.ex then ()
     else
       match read_line_poll t fd buf with
       | None -> ()
       | Some line ->
+          let req_id = Exec.next_request_id t.ex in
+          Exec.begin_request t.ex;
           Exec.note_accepted t.ex;
-          let keep_going =
+          let queue_s = !pending_wait in
+          pending_wait := 0.0;
+          let clock () = if t.timing then Unix.gettimeofday () else 0.0 in
+          let t_start = clock () in
+          let client_id, op, instance, reply =
             match V1.envelope_of_line line with
-            | Error e -> try_write_reply fd { V1.reply_id = None; response = V1.Failed e }
+            | Error e ->
+                (None, None, None, { V1.reply_id = None; response = V1.Failed e })
             | Ok env ->
                 let deadline =
                   Option.map
@@ -128,13 +172,43 @@ let serve_connection t fd =
                     env.deadline_ms
                 in
                 let response = Exec.handle t.ex ?deadline env.request in
-                let ok = try_write_reply fd { V1.reply_id = env.id; response } in
-                (* A drain ack must wake parked workers so they can
-                   observe the flag and exit. *)
-                if response = V1.Drain_ack then wake_all t;
-                ok
+                ( env.id,
+                  Some (V1.op_of_request env.request),
+                  V1.instance_of_request env.request,
+                  { V1.reply_id = env.id; response } )
           in
-          if keep_going then loop ()
+          let t_computed = clock () in
+          let out = V1.reply_line reply ^ "\n" in
+          let t_rendered = clock () in
+          let ok = try_write fd out in
+          let t_written = clock () in
+          let compute_s = t_computed -. t_start
+          and render_s = t_rendered -. t_computed
+          and write_s = t_written -. t_rendered in
+          if t.timing then
+            Exec.observe_stages t.ex ?op ~compute:compute_s ~render:render_s
+              ~write:write_s ();
+          Option.iter
+            (fun alog ->
+              Access_log.log alog
+                {
+                  Access_log.req_id;
+                  client_id;
+                  op = Option.value op ~default:"invalid";
+                  instance;
+                  outcome = outcome_of reply.V1.response;
+                  t_unix = t_start;
+                  queue_s;
+                  compute_s;
+                  render_s;
+                  write_s;
+                })
+            t.alog;
+          Exec.end_request t.ex;
+          (* A drain ack must wake parked workers so they can observe
+             the flag and exit. *)
+          if reply.V1.response = V1.Drain_ack then wake_all t;
+          if ok then loop ()
   in
   Fun.protect
     ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
@@ -149,7 +223,7 @@ let worker_loop t =
     if Exec.draining t.ex then begin
       (* Connections still queued never got to send a request: refuse
          them explicitly instead of dropping them on the floor. *)
-      let leftovers = Queue.fold (fun acc fd -> fd :: acc) [] t.queue in
+      let leftovers = Queue.fold (fun acc (fd, _) -> fd :: acc) [] t.queue in
       Queue.clear t.queue;
       Mutex.unlock t.qmutex;
       List.iter
@@ -159,52 +233,114 @@ let worker_loop t =
         leftovers
     end
     else begin
-      let fd = Queue.pop t.queue in
+      let fd, enqueued = Queue.pop t.queue in
+      Exec.note_queue_depth t.ex (Queue.length t.queue);
       Mutex.unlock t.qmutex;
-      serve_connection t fd;
+      let queue_wait =
+        if t.timing then Float.max 0.0 (Unix.gettimeofday () -. enqueued) else 0.0
+      in
+      if t.timing then Exec.note_queue_wait t.ex queue_wait;
+      serve_connection t ~queue_wait fd;
       next ()
     end
   in
   next ()
 
-let create config =
-  if config.workers < 1 then invalid_arg "Daemon.create: workers must be >= 1";
-  if config.queue_cap < 1 then invalid_arg "Daemon.create: queue_cap must be >= 1";
-  let addr = Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port) in
-  let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-  Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
-  (try Unix.bind listen_fd addr
-   with e ->
-     Unix.close listen_fd;
-     raise e);
-  Unix.listen listen_fd (config.queue_cap + config.workers);
-  let bound_port =
-    match Unix.getsockname listen_fd with
-    | Unix.ADDR_INET (_, p) -> p
-    | Unix.ADDR_UNIX _ -> config.port
-  in
-  let t =
-    {
-      config;
-      listen_fd;
-      bound_port;
-      ex = Exec.create ~registry_cap:config.registry_cap ~max_batch:config.max_batch ();
-      queue = Queue.create ();
-      qmutex = Mutex.create ();
-      qcond = Condition.create ();
-      worker_domains = [];
-    }
-  in
-  t.worker_domains <-
-    List.init config.workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
-  t
+(* ------------------------------------------------------------------ *)
+(* Admin plane: scrapes bypass the worker queue (and the compute
+   mutex), so telemetry answers while every worker is busy.  Requests
+   here are out-of-band — they do not move the server.* counters. *)
 
-let port t = t.bound_port
-let exec t = t.ex
+let http_response ~status ~content_type body =
+  Printf.sprintf
+    "HTTP/1.0 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+    status content_type (String.length body) body
 
-let stop t =
-  Exec.start_drain t.ex;
-  wake_all t
+let stats_reply t =
+  { V1.reply_id = None; response = V1.Server_stats_reply (Exec.server_stats t.ex) }
+
+let admin_restricted =
+  Error.make Error.Bad_request
+    "the admin port answers stats-server and health only; send compute requests \
+     to the main port"
+
+let serve_admin_connection t fd =
+  let buf = Buffer.create 256 in
+  let next_line () =
+    read_line_poll ~give_up:(Unix.gettimeofday () +. admin_idle_timeout) t fd buf
+  in
+  let handle_json line =
+    match V1.envelope_of_line line with
+    | Error e -> { V1.reply_id = None; response = V1.Failed e }
+    | Ok env -> (
+        match env.V1.request with
+        | V1.Server_stats -> { (stats_reply t) with V1.reply_id = env.id }
+        | V1.Health ->
+            {
+              V1.reply_id = env.id;
+              response =
+                V1.Health_reply
+                  {
+                    V1.draining = Exec.draining t.ex;
+                    instances = Registry.names (Exec.registry t.ex);
+                    counters = Exec.counter_pairs t.ex;
+                  };
+            }
+        | _ -> { V1.reply_id = env.id; response = V1.Failed admin_restricted })
+  in
+  let handle_http line =
+    let path =
+      match String.split_on_char ' ' line with _ :: p :: _ -> p | _ -> "/"
+    in
+    let body =
+      match path with
+      | "/metrics" ->
+          (* server_stats refreshes the gauge mirrors the dump carries. *)
+          let _ = Exec.server_stats t.ex in
+          Some
+            (http_response ~status:"200 OK"
+               ~content_type:"text/plain; version=0.0.4"
+               (Obs.Export.prometheus Obs.Metrics.default))
+      | "/" | "/stats" | "/stats-server" ->
+          Some
+            (http_response ~status:"200 OK" ~content_type:"application/json"
+               (V1.reply_line (stats_reply t) ^ "\n"))
+      | _ ->
+          Some
+            (http_response ~status:"404 Not Found" ~content_type:"text/plain"
+               "not found (try /metrics or /stats)\n")
+    in
+    Option.iter (fun s -> ignore (try_write fd s)) body
+  in
+  let run () =
+    match next_line () with
+    | None -> ()
+    | Some line when String.length line >= 4 && String.sub line 0 4 = "GET " ->
+        handle_http line
+    | Some line ->
+        let rec jloop line =
+          if try_write_reply fd (handle_json line) then
+            match next_line () with Some l -> jloop l | None -> ()
+        in
+        jloop line
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    run
+
+let admin_loop t admin_fd =
+  while not (Exec.draining t.ex) do
+    let readable, _, _ =
+      restart_on_intr (fun () -> Unix.select [ admin_fd ] [] [] poll_interval)
+    in
+    if readable <> [] && not (Exec.draining t.ex) then
+      match restart_on_intr (fun () -> Unix.accept admin_fd) with
+      | exception Unix.Unix_error _ -> ()
+      | fd, _ -> serve_admin_connection t fd
+  done;
+  try Unix.close admin_fd with Unix.Unix_error _ -> ()
+
+(* ------------------------------------------------------------------ *)
 
 let write_manifest t =
   Option.iter
@@ -218,6 +354,109 @@ let write_manifest t =
                ~registry:Obs.Metrics.default ~span:None ());
           output_char oc '\n'))
     t.config.obs_out
+
+let request_manifest t = Atomic.set t.manifest_now true
+
+(* Periodic telemetry flush: rewrite the manifest every
+   [obs_interval] seconds (and on {!request_manifest}, wired to
+   SIGHUP by bin/serve) and flush the access log, so a crashed or
+   SIGKILLed daemon still leaves telemetry behind. *)
+let housekeeping_loop t =
+  let last = ref (Unix.gettimeofday ()) in
+  while not (Exec.draining t.ex) do
+    (try Unix.sleepf poll_interval with Unix.Unix_error _ -> ());
+    let forced = Atomic.exchange t.manifest_now false in
+    let due =
+      t.config.obs_interval > 0.0
+      && Unix.gettimeofday () -. !last >= t.config.obs_interval
+    in
+    if forced || due then begin
+      write_manifest t;
+      Option.iter Access_log.flush t.alog;
+      last := Unix.gettimeofday ()
+    end
+  done
+
+let listen_on ~host ~port ~backlog =
+  let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  (try Unix.bind fd addr
+   with e ->
+     Unix.close fd;
+     raise e);
+  Unix.listen fd backlog;
+  let bound =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> port
+  in
+  (fd, bound)
+
+let create config =
+  if config.workers < 1 then invalid_arg "Daemon.create: workers must be >= 1";
+  if config.queue_cap < 1 then invalid_arg "Daemon.create: queue_cap must be >= 1";
+  if config.access_sample < 1 then
+    invalid_arg "Daemon.create: access_sample must be >= 1";
+  let listen_fd, bound_port =
+    listen_on ~host:config.host ~port:config.port
+      ~backlog:(config.queue_cap + config.workers)
+  in
+  let admin =
+    match config.admin_port with
+    | None -> None
+    | Some p -> (
+        match listen_on ~host:config.host ~port:p ~backlog:16 with
+        | fd_port -> Some fd_port
+        | exception e ->
+            (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+            raise e)
+  in
+  let alog =
+    Option.map
+      (fun path -> Access_log.create ~path ~sample:config.access_sample ())
+      config.access_log
+  in
+  let t =
+    {
+      config;
+      listen_fd;
+      bound_port;
+      admin;
+      ex = Exec.create ~registry_cap:config.registry_cap ~max_batch:config.max_batch ();
+      queue = Queue.create ();
+      qmutex = Mutex.create ();
+      qcond = Condition.create ();
+      alog;
+      manifest_now = Atomic.make false;
+      timing = Obs.Metrics.enabled || config.access_log <> None;
+      worker_domains = [];
+      aux_domains = [];
+    }
+  in
+  Exec.set_queue_depth_source t.ex (fun () ->
+      Mutex.lock t.qmutex;
+      let n = Queue.length t.queue in
+      Mutex.unlock t.qmutex;
+      n);
+  t.worker_domains <-
+    List.init config.workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  let aux = ref [] in
+  Option.iter
+    (fun (fd, _) -> aux := Domain.spawn (fun () -> admin_loop t fd) :: !aux)
+    admin;
+  if config.obs_out <> None || alog <> None then
+    aux := Domain.spawn (fun () -> housekeeping_loop t) :: !aux;
+  t.aux_domains <- !aux;
+  t
+
+let port t = t.bound_port
+let admin_port t = Option.map snd t.admin
+let exec t = t.ex
+
+let stop t =
+  Exec.start_drain t.ex;
+  wake_all t
 
 let accept_loop t =
   while not (Exec.draining t.ex) do
@@ -237,7 +476,8 @@ let accept_loop t =
             refuse fd (overloaded_error t.config.queue_cap)
           end
           else begin
-            Queue.push fd t.queue;
+            Queue.push (fd, Unix.gettimeofday ()) t.queue;
+            Exec.note_queue_depth t.ex (Queue.length t.queue);
             Condition.signal t.qcond;
             Mutex.unlock t.qmutex
           end
@@ -250,5 +490,8 @@ let serve t =
       wake_all t;
       List.iter Domain.join t.worker_domains;
       t.worker_domains <- [];
+      List.iter Domain.join t.aux_domains;
+      t.aux_domains <- [];
       (try Unix.close t.listen_fd with Unix.Unix_error _ -> ()));
-  write_manifest t
+  write_manifest t;
+  Option.iter Access_log.close t.alog

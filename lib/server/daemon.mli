@@ -10,7 +10,31 @@
     and while waiting for input, so a SIGTERM (or a [drain] request)
     stops new work, lets every in-flight request finish and reply, and
     then {!serve} returns — after appending the run manifest when
-    [obs_out] is set. *)
+    [obs_out] is set.
+
+    {2 Telemetry}
+
+    Every request gets a server-assigned id at read time and is traced
+    through four lifecycle stages — queue_wait (connection sat in the
+    accept queue), compute ({!Exec.handle}), render (reply
+    serialisation), write (socket send) — recorded into stage-labelled
+    {!Obs.Metrics} histograms and, when [access_log] is set, one
+    [smallworld.access.v1] JSONL line per request (see {!Access_log}).
+    Stage clocks are skipped entirely when obs is off and no access log
+    is configured.
+
+    When [admin_port] is set, a separate listener domain serves the
+    telemetry plane without touching the worker queue or the compute
+    mutex, so scrapes answer while every worker is busy: HTTP
+    [GET /metrics] returns the Prometheus text dump, [GET /stats] the
+    [stats-server] JSON reply; raw JSON lines are also accepted but
+    only for [stats-server] and [health] (admin requests do not move
+    the [server.*] counters).
+
+    A housekeeping domain (spawned when [obs_out] or [access_log] is
+    set) rewrites the manifest every [obs_interval] seconds and on
+    {!request_manifest} (wired to SIGHUP by [bin/serve]), and flushes
+    the access log, so a killed daemon still leaves telemetry. *)
 
 type config = {
   host : string;  (** bind address, default "127.0.0.1" *)
@@ -20,26 +44,44 @@ type config = {
   registry_cap : int;  (** LRU capacity of the instance registry *)
   max_batch : int;  (** largest accepted [route_batch], else [overloaded] *)
   obs_out : string option;  (** manifest destination, written at drain *)
+  obs_interval : float;  (** seconds between periodic manifest rewrites;
+                             [<= 0.] disables the periodic timer *)
+  admin_port : int option;  (** telemetry listener; 0 picks ephemeral *)
+  access_log : string option;  (** JSONL access-log path (appended) *)
+  access_sample : int;  (** log 1 request in [n] (by request id), >= 1 *)
 }
 
 val default_config : config
 (** host 127.0.0.1, port 7441, 4 workers, queue_cap 16,
-    registry_cap 8, max_batch 4096, no manifest. *)
+    registry_cap 8, max_batch 4096, no manifest, obs_interval 60 s,
+    no admin port, no access log, access_sample 1. *)
 
 type t
 
 val create : config -> t
-(** Bind + listen and spawn the worker domains.  The listening socket
-    is live from here on (connections queue in the backlog until
+(** Bind + listen (main and, when configured, admin sockets) and spawn
+    the worker, admin and housekeeping domains.  The listening sockets
+    are live from here on (connections queue in the backlog until
     {!serve} starts accepting).
-    @raise Unix.Unix_error when the address cannot be bound. *)
+    @raise Unix.Unix_error when an address cannot be bound.
+    @raise Invalid_argument on a non-positive [workers], [queue_cap] or
+    [access_sample]. *)
 
 val port : t -> int
 (** The actually bound port (useful with [port = 0]). *)
 
+val admin_port : t -> int option
+(** The actually bound admin port, when [admin_port] was configured. *)
+
 val exec : t -> Exec.t
 (** The execution layer (registry, counters, drain flag) — lets an
     embedding process preload instances before serving. *)
+
+val request_manifest : t -> unit
+(** Ask the housekeeping domain to rewrite the manifest (and flush the
+    access log) at its next tick (≤ 200 ms).  Async-signal-safe — the
+    SIGHUP handler in [bin/serve] calls this directly.  A no-op when
+    neither [obs_out] nor [access_log] is configured. *)
 
 val stop : t -> unit
 (** Begin draining: stop accepting, finish in-flight requests.
@@ -49,4 +91,5 @@ val stop : t -> unit
 val serve : t -> unit
 (** Run the accept loop in the calling domain until drained (via
     {!stop}, SIGTERM wired to it, or a client's [drain] request), then
-    join the workers, close the socket, and write the manifest. *)
+    join the worker/admin/housekeeping domains, close the sockets,
+    write the final manifest, and close the access log. *)

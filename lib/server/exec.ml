@@ -1,20 +1,44 @@
 module V1 = Api.V1
 module Error = Api.Error
 
+(* Stage and per-op latency histograms are registered by wire op name
+   with '-' mapped to '_' so the Prometheus rendering stays a valid
+   metric name. *)
+let all_ops =
+  [ "load"; "sample"; "route"; "route_batch"; "stats"; "health"; "stats-server"; "drain" ]
+
+let metric_op_suffix op = String.map (fun c -> if c = '-' then '_' else c) op
+
 type t = {
   reg : Registry.t;
   compute : Mutex.t;
   max_batch : int;
   drain_flag : bool Atomic.t;
+  t_start : float;
+  next_id : int Atomic.t;
   c_accepted : int Atomic.t;
   c_served : int Atomic.t;
   c_rejected : int Atomic.t;
   c_deadline : int Atomic.t;
+  c_inflight : int Atomic.t;
+  (* Authoritative queue depth comes from the transport (the daemon
+     owns the connection queue); defaults to 0 when embedded without
+     one.  Set once before serving starts. *)
+  mutable queue_depth_source : unit -> int;
   (* Obs mirrors: no-ops under SMALLWORLD_OBS=0, live in manifests. *)
   m_accepted : Obs.Metrics.counter;
   m_served : Obs.Metrics.counter;
   m_rejected : Obs.Metrics.counter;
   m_deadline : Obs.Metrics.counter;
+  m_inflight : Obs.Metrics.gauge;
+  m_queue_depth : Obs.Metrics.gauge;
+  m_reg_size : Obs.Metrics.gauge;
+  m_reg_pinned : Obs.Metrics.gauge;
+  h_queue_wait : Obs.Metrics.histogram;
+  h_compute : Obs.Metrics.histogram;
+  h_render : Obs.Metrics.histogram;
+  h_write : Obs.Metrics.histogram;
+  h_ops : (string * Obs.Metrics.histogram) list;
 }
 
 let create ?(registry_cap = 8) ?(max_batch = 4096) () =
@@ -23,14 +47,31 @@ let create ?(registry_cap = 8) ?(max_batch = 4096) () =
     compute = Mutex.create ();
     max_batch;
     drain_flag = Atomic.make false;
+    t_start = Unix.gettimeofday ();
+    next_id = Atomic.make 1;
     c_accepted = Atomic.make 0;
     c_served = Atomic.make 0;
     c_rejected = Atomic.make 0;
     c_deadline = Atomic.make 0;
+    c_inflight = Atomic.make 0;
+    queue_depth_source = (fun () -> 0);
     m_accepted = Obs.Metrics.counter "server.accepted";
     m_served = Obs.Metrics.counter "server.served";
     m_rejected = Obs.Metrics.counter "server.rejected";
     m_deadline = Obs.Metrics.counter "server.deadline_missed";
+    m_inflight = Obs.Metrics.gauge "server.inflight";
+    m_queue_depth = Obs.Metrics.gauge "server.queue_depth";
+    m_reg_size = Obs.Metrics.gauge "server.registry.size";
+    m_reg_pinned = Obs.Metrics.gauge "server.registry.pinned";
+    h_queue_wait = Obs.Metrics.histogram "server.stage.queue_wait";
+    h_compute = Obs.Metrics.histogram "server.stage.compute";
+    h_render = Obs.Metrics.histogram "server.stage.render";
+    h_write = Obs.Metrics.histogram "server.stage.write";
+    h_ops =
+      List.map
+        (fun op ->
+          (op, Obs.Metrics.histogram ("server.latency." ^ metric_op_suffix op)))
+        all_ops;
   }
 
 let registry t = t.reg
@@ -58,6 +99,32 @@ let note_deadline t =
   Atomic.incr t.c_deadline;
   Obs.Metrics.incr t.m_deadline
 
+let next_request_id t = Atomic.fetch_and_add t.next_id 1
+let inflight t = Atomic.get t.c_inflight
+
+let begin_request t =
+  let n = Atomic.fetch_and_add t.c_inflight 1 + 1 in
+  Obs.Metrics.set t.m_inflight (float_of_int n)
+
+let end_request t =
+  let n = Atomic.fetch_and_add t.c_inflight (-1) - 1 in
+  Obs.Metrics.set t.m_inflight (float_of_int n)
+
+let set_queue_depth_source t f = t.queue_depth_source <- f
+let note_queue_depth t n = Obs.Metrics.set t.m_queue_depth (float_of_int n)
+let note_queue_wait t dt = Obs.Metrics.observe t.h_queue_wait dt
+
+let observe_stages t ?op ~compute ~render ~write () =
+  Obs.Metrics.observe t.h_compute compute;
+  Obs.Metrics.observe t.h_render render;
+  Obs.Metrics.observe t.h_write write;
+  match op with
+  | None -> ()
+  | Some op -> (
+      match List.assoc_opt op t.h_ops with
+      | Some h -> Obs.Metrics.observe h (compute +. render +. write)
+      | None -> ())
+
 let counter_pairs t =
   [
     ("server.accepted", accepted t);
@@ -84,6 +151,63 @@ let expired ?deadline () =
 
 let deadline_error =
   Error.make Error.Deadline "deadline expired before the request completed"
+
+let stage_names =
+  [ "stage.queue_wait"; "stage.compute"; "stage.render"; "stage.write" ]
+  @ List.map (fun op -> "latency." ^ metric_op_suffix op) all_ops
+
+(* Assembled without the compute mutex, so a scrape answers even while
+   a long batch holds it.  Counters and gauges come from the
+   authoritative atomics (real numbers under SMALLWORLD_OBS=0 too);
+   stage quantiles come from the Obs.Hist-backed histograms, which are
+   zeroed no-op stubs when obs is off — [obs_live] tells the client
+   which regime it is reading. *)
+let server_stats t =
+  let queue_depth = t.queue_depth_source () in
+  let infl = inflight t in
+  let reg_size = Registry.size t.reg in
+  let reg_pinned = Registry.pinned t.reg in
+  (* Refresh the gauge mirrors so the Prometheus dump below carries
+     current values. *)
+  note_queue_depth t queue_depth;
+  Obs.Metrics.set t.m_inflight (float_of_int infl);
+  Obs.Metrics.set t.m_reg_size (float_of_int reg_size);
+  Obs.Metrics.set t.m_reg_pinned (float_of_int reg_pinned);
+  let stages =
+    List.filter_map
+      (fun stage ->
+        match Obs.Metrics.find_value Obs.Metrics.default ("server." ^ stage) with
+        | Some (Obs.Metrics.Histogram_v snap) ->
+            let q p = Obs.Metrics.hist_quantile snap p in
+            Some
+              {
+                V1.stage;
+                s_count = snap.Obs.Metrics.count;
+                p50 = q 0.5;
+                p90 = q 0.9;
+                p99 = q 0.99;
+                p999 = q 0.999;
+                s_max = (if snap.Obs.Metrics.count = 0 then 0.0 else snap.Obs.Metrics.max);
+              }
+        | _ -> None)
+      stage_names
+  in
+  {
+    V1.uptime_s = Unix.gettimeofday () -. t.t_start;
+    s_draining = draining t;
+    obs_live = Obs.Metrics.enabled;
+    s_counters = counter_pairs t;
+    gauges =
+      [
+        ("server.queue_depth", float_of_int queue_depth);
+        ("server.inflight", float_of_int infl);
+        ("server.registry.size", float_of_int reg_size);
+        ("server.registry.pinned", float_of_int reg_pinned);
+        ("server.registry.cap", float_of_int (Registry.cap t.reg));
+      ];
+    stages;
+    prometheus = Obs.Export.prometheus Obs.Metrics.default;
+  }
 
 let run t ?deadline request =
   (* Checkpoint the deadline at request start and again right before
@@ -149,22 +273,14 @@ let run t ?deadline request =
             instances = Registry.names t.reg;
             counters = counter_pairs t;
           }
+    | V1.Server_stats -> V1.Server_stats_reply (server_stats t)
     | V1.Drain ->
         start_drain t;
         V1.Drain_ack
 
-let op_name = function
-  | V1.Load _ -> "load"
-  | V1.Sample _ -> "sample"
-  | V1.Route _ -> "route"
-  | V1.Route_batch _ -> "route_batch"
-  | V1.Stats _ -> "stats"
-  | V1.Health -> "health"
-  | V1.Drain -> "drain"
-
 let handle t ?deadline request =
   let response =
-    Obs.Span.with_ ~name:("server." ^ op_name request) (fun () ->
+    Obs.Span.with_ ~name:("server." ^ V1.op_of_request request) (fun () ->
         try run t ?deadline request
         with exn ->
           V1.Failed (Error.make Error.Internal "%s" (Printexc.to_string exn)))

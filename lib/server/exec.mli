@@ -38,6 +38,46 @@ val counter_pairs : t -> (string * int) list
     drain manifest: [server.accepted], [server.served],
     [server.rejected], [server.deadline_missed]. *)
 
+(** {1 Request tracing}
+
+    Called by the transport around each request so the telemetry plane
+    sees per-request ids, in-flight depth and per-stage timings.  All
+    of it is cheap: ids and the in-flight count are plain atomics;
+    stage histograms are {!Obs.Metrics} handles, i.e. no-op stubs
+    under [SMALLWORLD_OBS=0]. *)
+
+val next_request_id : t -> int
+(** Monotone, starts at 1; assigned when the transport reads a
+    request line. *)
+
+val begin_request : t -> unit
+val end_request : t -> unit
+val inflight : t -> int
+
+val note_queue_wait : t -> float -> unit
+(** Seconds a connection spent in the accept queue before a worker
+    picked it up ([server.stage.queue_wait]). *)
+
+val observe_stages :
+  t -> ?op:string -> compute:float -> render:float -> write:float -> unit -> unit
+(** Record one request's stage timings (seconds) into
+    [server.stage.compute] / [.render] / [.write]; when [op] names a
+    known wire op, the total also lands in [server.latency.<op>]. *)
+
+val set_queue_depth_source : t -> (unit -> int) -> unit
+(** Install the transport's live queue-depth reader (called by
+    [stats-server]); defaults to a constant 0.  Set before serving
+    starts. *)
+
+val note_queue_depth : t -> int -> unit
+(** Mirror the current queue depth into the [server.queue_depth]
+    gauge. *)
+
+val server_stats : t -> Api.V1.server_stats_reply
+(** The [stats-server] snapshot: uptime, drain state, counters,
+    gauges, per-stage latency quantiles, and a Prometheus text dump.
+    Never takes the compute mutex, so it answers under full load. *)
+
 (** {1 Execution} *)
 
 val handle :

@@ -91,3 +91,9 @@ let names t =
   |> List.map (fun e -> e.e_name)
 
 let size t = locked t @@ fun () -> Hashtbl.length t.table
+
+let pinned t =
+  locked t @@ fun () ->
+  Hashtbl.fold (fun _ e acc -> if e.refs > 0 then acc + 1 else acc) t.table 0
+
+let cap t = t.cap

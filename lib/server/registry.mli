@@ -36,3 +36,8 @@ val names : t -> string list
 (** Registered names, most recently used first. *)
 
 val size : t -> int
+
+val pinned : t -> int
+(** Entries currently held by at least one in-flight query. *)
+
+val cap : t -> int

@@ -2,6 +2,8 @@
 """CI smoke for the route-serving daemon (API v1, stdlib only).
 
 Usage: serve_smoke.py PORT EXPECTED_ROUTE_FILE [nodrain]
+                      [--admin PORT] [--access-log FILE]
+       serve_smoke.py check-access-log FILE MIN_LINES
 
 Connects to a running `serve` daemon on 127.0.0.1:PORT (started with
 `--load net=... --max-batch 8`) and drives a scripted request mix:
@@ -15,9 +17,20 @@ Connects to a running `serve` daemon on 127.0.0.1:PORT (started with
 - deadline_ms=0: refused with the `deadline` code;
 - unknown instance: refused with the `unknown-instance` code;
 - stats on the preloaded instance;
+- stats-server mid-run: counters consistent with the driven mix,
+  gauges present, and (when the daemon runs with obs on) per-stage
+  latency quantiles with p50 <= p99 and non-zero counts;
+- with --admin: HTTP GET /metrics (Prometheus text, cumulative
+  `_bucket{le=` lines) and GET /stats on the admin port, plus the rule
+  that compute ops are refused there;
 - health again: the counter snapshot saw every request;
-- drain: acknowledged, connection closes (skipped when the third
-  argument is `nodrain`, so the harness can exercise SIGTERM instead).
+- drain: acknowledged, connection closes (skipped when `nodrain` is
+  given, so the harness can exercise SIGTERM instead);
+- with --access-log (and after drain): the JSONL access log holds one
+  schema-tagged line per request with ordered ids and stage timings.
+
+`check-access-log` is the standalone validation mode for the nodrain /
+SIGTERM path: run it after the daemon has exited.
 
 Exits non-zero (with a message) on the first deviation.
 """
@@ -66,9 +79,124 @@ def expect_error(reply, code, op):
         sys.exit(f"{op}: expected the {code!r} error, got {got!r}")
 
 
+def http_get(port, path):
+    """Minimal HTTP/1.0 GET against the daemon's admin listener."""
+    sock = socket.create_connection(("127.0.0.1", port), timeout=10)
+    sock.sendall(f"GET {path} HTTP/1.0\r\n\r\n".encode())
+    chunks = []
+    while True:
+        data = sock.recv(65536)
+        if not data:
+            break
+        chunks.append(data)
+    sock.close()
+    raw = b"".join(chunks).decode("utf-8", errors="replace")
+    head, _, body = raw.partition("\r\n\r\n")
+    status = head.split("\r\n", 1)[0]
+    return status, body
+
+
+def check_server_stats(stats, when):
+    """Shared assertions on a stats-server result dict."""
+    for key in ("uptime_s", "draining", "obs_live", "counters", "gauges", "stages"):
+        if key not in stats:
+            sys.exit(f"stats-server ({when}): missing field {key!r}: {stats!r}")
+    counters = stats["counters"]
+    if counters.get("server.accepted", 0) < counters.get("server.served", 0):
+        sys.exit(f"stats-server ({when}): served exceeds accepted: {counters!r}")
+    for gauge in (
+        "server.queue_depth",
+        "server.inflight",
+        "server.registry.size",
+        "server.registry.pinned",
+    ):
+        if gauge not in stats["gauges"]:
+            sys.exit(f"stats-server ({when}): missing gauge {gauge!r}")
+    # This very request is in flight while the snapshot is taken.
+    if stats["gauges"]["server.inflight"] < 1:
+        sys.exit(f"stats-server ({when}): inflight gauge lost this request")
+    if stats["gauges"]["server.registry.size"] < 1:
+        sys.exit(f"stats-server ({when}): preloaded instance not in registry gauge")
+    if stats["obs_live"]:
+        stages = {s["stage"]: s for s in stats["stages"]}
+        for name in ("stage.compute", "stage.render", "stage.write"):
+            if name not in stages:
+                sys.exit(f"stats-server ({when}): no {name} histogram")
+            st = stages[name]
+            if st["count"] < 1:
+                sys.exit(f"stats-server ({when}): {name} saw no requests: {st!r}")
+            if not (st["p50"] <= st["p90"] <= st["p99"] <= st["p999"]):
+                sys.exit(f"stats-server ({when}): unordered quantiles: {st!r}")
+        if stages.get("latency.route", {}).get("count", 0) < 1:
+            sys.exit(f"stats-server ({when}): route latency histogram is empty")
+        if "smallworld_server_accepted" not in stats.get("prometheus", ""):
+            sys.exit(f"stats-server ({when}): prometheus dump lacks the counters")
+    return counters
+
+
+def check_access_log(path, min_lines, attempts=50):
+    """The access log is flushed asynchronously: poll until it holds at
+    least min_lines valid smallworld.access.v1 records."""
+    entries = []
+    for _ in range(attempts):
+        try:
+            with open(path, encoding="utf-8") as f:
+                lines = [l for l in f.read().splitlines() if l.strip()]
+        except OSError:
+            lines = []
+        if len(lines) >= min_lines:
+            entries = lines
+            break
+        time.sleep(0.2)
+    if len(entries) < min_lines:
+        sys.exit(f"access log {path}: expected >= {min_lines} lines, got {len(entries)}")
+    prev_req = 0
+    for line in entries:
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as e:
+            sys.exit(f"access log line is not JSON ({e}): {line!r}")
+        if rec.get("schema") != "smallworld.access.v1":
+            sys.exit(f"access log line has wrong schema: {line!r}")
+        for key in ("req", "op", "outcome", "t", "queue_ms", "compute_ms",
+                    "render_ms", "write_ms", "total_ms"):
+            if key not in rec:
+                sys.exit(f"access log line missing {key!r}: {line!r}")
+        if rec["req"] <= prev_req:
+            sys.exit(f"access log request ids not increasing: {line!r}")
+        prev_req = rec["req"]
+        parts = rec["queue_ms"] + rec["compute_ms"] + rec["render_ms"] + rec["write_ms"]
+        if abs(parts - rec["total_ms"]) > 0.01:
+            sys.exit(f"access log stage timings do not sum to total_ms: {line!r}")
+    ops = {rec["op"] for rec in map(json.loads, entries)}
+    if "route" not in ops:
+        sys.exit(f"access log never saw a route request: ops = {sorted(ops)!r}")
+    print(f"access log ok: {len(entries)} records, ops {sorted(ops)}")
+
+
 def main():
-    port = int(sys.argv[1])
-    expected_route = open(sys.argv[2], encoding="utf-8").read()
+    args = sys.argv[1:]
+    if args and args[0] == "check-access-log":
+        check_access_log(args[1], int(args[2]))
+        return
+
+    admin_port = None
+    access_log = None
+    positional = []
+    i = 0
+    while i < len(args):
+        if args[i] == "--admin":
+            admin_port = int(args[i + 1])
+            i += 2
+        elif args[i] == "--access-log":
+            access_log = args[i + 1]
+            i += 2
+        else:
+            positional.append(args[i])
+            i += 1
+    port = int(positional[0])
+    expected_route = open(positional[1], encoding="utf-8").read()
+    nodrain = len(positional) > 2 and positional[2] == "nodrain"
     client = Client(connect(port))
 
     health = expect_ok(client.rpc({"op": "health"}), "health")
@@ -109,6 +237,13 @@ def main():
     if batch != again:
         sys.exit("route_batch is not deterministic across identical requests")
 
+    # Mid-run telemetry scrape, while the connection is hot.
+    mid = expect_ok(client.rpc({"op": "stats-server"}), "stats-server")
+    mid_counters = check_server_stats(mid, "mid-run")
+    # health + route + batch x2 + this stats-server = 5 accepted so far.
+    if mid_counters.get("server.accepted", 0) < 5:
+        sys.exit(f"stats-server (mid-run): accepted lost requests: {mid_counters!r}")
+
     oversized = [[i, i + 1] for i in range(0, 18, 2)]  # 9 pairs > --max-batch 8
     expect_error(
         client.rpc({"op": "route_batch", "instance": "net", "pairs": oversized}),
@@ -140,6 +275,42 @@ def main():
     if stats["vertices"] <= 0 or stats["edges"] <= 0:
         sys.exit(f"implausible stats reply: {stats!r}")
 
+    if admin_port is not None:
+        status, body = http_get(admin_port, "/metrics")
+        if "200" not in status:
+            sys.exit(f"admin /metrics: expected 200, got {status!r}")
+        if mid["obs_live"]:
+            if "smallworld_server_accepted" not in body:
+                sys.exit("admin /metrics: missing the server counters")
+            if "_bucket{le=" not in body:
+                sys.exit("admin /metrics: no cumulative histogram buckets")
+        status, body = http_get(admin_port, "/stats")
+        if "200" not in status:
+            sys.exit(f"admin /stats: expected 200, got {status!r}")
+        admin_stats = json.loads(body)
+        if not admin_stats.get("ok"):
+            sys.exit(f"admin /stats: not a success reply: {admin_stats!r}")
+        check_server_stats_result = admin_stats["result"]
+        # Admin scrapes are out-of-band: they must not inflate the
+        # request counters the workers maintain.
+        if (
+            check_server_stats_result["counters"]["server.accepted"]
+            < mid_counters["server.accepted"]
+        ):
+            sys.exit("admin /stats: counters went backwards")
+        status, _ = http_get(admin_port, "/definitely-not-a-path")
+        if "404" not in status:
+            sys.exit(f"admin unknown path: expected 404, got {status!r}")
+        admin_client = Client(connect(admin_port))
+        expect_ok(admin_client.rpc({"op": "stats-server"}), "admin stats-server")
+        expect_error(
+            admin_client.rpc(
+                {"op": "route", "instance": "net", "source": 0, "target": 1}
+            ),
+            "bad-request",
+            "compute op on admin port",
+        )
+
     health = expect_ok(client.rpc({"op": "health"}), "health")
     counters = health["counters"]
     # Only backpressure refusals (overloaded / draining) count as
@@ -151,10 +322,15 @@ def main():
     if counters.get("server.served", 0) < 5:
         sys.exit(f"served requests not counted: {counters!r}")
 
-    if len(sys.argv) < 4 or sys.argv[3] != "nodrain":
+    if not nodrain:
         drained = expect_ok(client.rpc({"op": "drain"}), "drain")
         if not drained.get("draining"):
             sys.exit(f"drain not acknowledged: {drained!r}")
+        if access_log is not None:
+            # Everything this script sent on the main connection:
+            # 2x health, route, 2x batch, stats-server, 3 refusals,
+            # stats, drain = 11 requests.
+            check_access_log(access_log, 11)
 
     print("serve smoke: all checks passed")
 

@@ -87,6 +87,7 @@ let sample_envelopes =
          });
     V1.envelope (V1.Stats { instance = "net" });
     V1.envelope ~id:99 V1.Health;
+    V1.envelope ~id:5 V1.Server_stats;
     V1.envelope V1.Drain;
   ]
 
@@ -171,6 +172,40 @@ let sample_replies =
             V1.draining = false;
             instances = [ "a"; "b" ];
             counters = [ ("server.accepted", 10); ("server.served", 9) ];
+          };
+    };
+    {
+      V1.reply_id = Some 5;
+      response =
+        V1.Server_stats_reply
+          {
+            V1.uptime_s = 12.5;
+            s_draining = false;
+            obs_live = true;
+            s_counters = [ ("server.accepted", 10); ("server.served", 9) ];
+            gauges = [ ("server.queue_depth", 2.0); ("server.inflight", 1.0) ];
+            stages =
+              [
+                {
+                  V1.stage = "stage.compute";
+                  s_count = 9;
+                  p50 = 0.001;
+                  p90 = 0.0025;
+                  p99 = 0.005;
+                  p999 = 0.005;
+                  s_max = 0.00475;
+                };
+                {
+                  V1.stage = "latency.route";
+                  s_count = 4;
+                  p50 = 0.002;
+                  p90 = 0.002;
+                  p99 = 0.002;
+                  p999 = 0.002;
+                  s_max = 0.002;
+                };
+              ];
+            prometheus = "# TYPE smallworld_server_accepted counter\n";
           };
     };
     { V1.reply_id = None; response = V1.Drain_ack };
@@ -291,7 +326,7 @@ let test_schema_dump () =
         (List.assoc_opt "schema" fields = Some (Obs.Export.Str "smallworld.api.v1"));
       (match List.assoc_opt "ops" fields with
       | Some (Obs.Export.Arr ops) ->
-          Alcotest.(check int) "seven ops" 7 (List.length ops)
+          Alcotest.(check int) "eight ops" 8 (List.length ops)
       | _ -> Alcotest.fail "schema has no ops array");
       Alcotest.(check bool) "error codes listed" true
         (List.mem_assoc "error_codes" fields)

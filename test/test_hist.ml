@@ -1,0 +1,157 @@
+(* Obs.Hist: pinned bucket boundaries, quantile error bounds, merge
+   associativity, multi-domain recording, and the OBS=0 no-op path of
+   the Metrics histograms built on top of it. *)
+
+module H = Obs.Hist
+module M = Obs.Metrics
+
+let test_boundaries_pinned () =
+  (* The scheme is a wire-adjacent contract (manifests and Prometheus
+     dumps carry the bounds), so pin representative edges exactly. *)
+  Alcotest.(check (float 0.0)) "bucket 0 bound" 0.0 (H.bound 0);
+  Alcotest.(check (float 0.0)) "underflow bound" (Float.ldexp 1.0 (-31)) (H.bound 1);
+  Alcotest.(check (float 0.0)) "last bound is +inf" infinity
+    (H.bound (H.bucket_count - 1));
+  let lands v expect =
+    Alcotest.(check (float 0.0)) (Printf.sprintf "%g lands under %g" v expect)
+      expect (H.bound (H.index v))
+  in
+  lands 1.0 1.0;
+  (* first subbucket past 1.0: 1 + 1/8 *)
+  lands 1.01 1.125;
+  lands 3.0 3.0;
+  lands 0.7 0.75;
+  lands 2.1 2.25;
+  lands 100.0 104.0;
+  lands 1e-12 (Float.ldexp 1.0 (-31));
+  lands 1e9 infinity;
+  lands 0.0 0.0;
+  lands (-5.0) 0.0;
+  lands Float.nan 0.0;
+  (* Upper bounds are inclusive: every bound indexes to its own bucket,
+     and the bound array is strictly increasing. *)
+  for i = 0 to H.bucket_count - 1 do
+    Alcotest.(check int) (Printf.sprintf "bound %d self-indexes" i) i
+      (H.index (H.bound i));
+    if i > 0 && not (H.bound (i - 1) < H.bound i) then
+      Alcotest.failf "bounds not increasing at %d" i
+  done
+
+let test_quantile_error_bounds () =
+  let h = H.create () in
+  for v = 1 to 1000 do
+    H.record h (float_of_int v)
+  done;
+  Alcotest.(check int) "count" 1000 (H.count h);
+  List.iter
+    (fun (p, true_q) ->
+      let est = H.quantile h p in
+      let rel = Float.abs (est -. true_q) /. true_q in
+      if rel > 0.125 then
+        Alcotest.failf "p%g: estimate %g vs true %g (rel err %.3f > 0.125)"
+          (p *. 100.) est true_q rel)
+    [ (0.5, 500.0); (0.9, 900.0); (0.99, 990.0); (0.999, 999.0) ]
+
+let test_quantile_edges () =
+  let h = H.create () in
+  Alcotest.(check (float 0.0)) "empty -> 0" 0.0 (H.quantile h 0.5);
+  H.record h (-3.0);
+  H.record h 0.0;
+  Alcotest.(check (float 0.0)) "all non-positive -> 0" 0.0 (H.quantile h 0.99);
+  H.reset h;
+  H.record h 1e12;
+  (* Overflow reports the top finite edge, never infinity. *)
+  let q = H.quantile h 0.5 in
+  Alcotest.(check bool) "overflow quantile finite" true (Float.is_finite q)
+
+let buckets_equal a b =
+  Alcotest.(check (list (pair (float 0.0) int))) "buckets equal" (H.buckets a) (H.buckets b)
+
+let fill h values = List.iter (H.record h) values
+
+let test_merge_associative () =
+  let va = [ 0.1; 1.0; 1.0; 7.5 ]
+  and vb = [ 0.0; 2.0; 1e-20; 3.3 ]
+  and vc = [ 100.0; 1e30; 0.5 ] in
+  (* (a + b) + c *)
+  let left = H.create () in
+  let ab = H.create () in
+  let a = H.create () and b = H.create () and c = H.create () in
+  fill a va; fill b vb; fill c vc;
+  H.merge_into ~dst:ab a;
+  H.merge_into ~dst:ab b;
+  H.merge_into ~dst:left ab;
+  H.merge_into ~dst:left c;
+  (* a + (b + c) *)
+  let right = H.create () in
+  let bc = H.create () in
+  H.merge_into ~dst:bc b;
+  H.merge_into ~dst:bc c;
+  H.merge_into ~dst:right a;
+  H.merge_into ~dst:right bc;
+  buckets_equal left right;
+  (* and both equal recording everything into one histogram *)
+  let direct = H.create () in
+  fill direct (va @ vb @ vc);
+  buckets_equal left direct;
+  Alcotest.(check int) "merge count" 11 (H.count left)
+
+let test_multi_domain_record () =
+  let h = H.create () in
+  let per_domain = 10_000 in
+  let domains =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to per_domain do
+              H.record h (float_of_int ((d * per_domain) + i) /. 1000.0)
+            done))
+  in
+  List.iter Domain.join domains;
+  Alcotest.(check int) "no lost updates" (4 * per_domain) (H.count h);
+  Alcotest.(check int) "bucket mass matches"
+    (4 * per_domain)
+    (List.fold_left (fun acc (_, c) -> acc + c) 0 (H.buckets h))
+
+let test_metrics_quantile_roundtrip () =
+  (* Metrics histograms share the Hist bucket scheme, so quantiles
+     estimated from their snapshots match the raw histogram. *)
+  let r = M.create () in
+  let mh = M.histogram ~registry:r "t.hist.q" in
+  let raw = H.create () in
+  let values = List.init 500 (fun i -> 0.001 *. float_of_int (i + 1)) in
+  List.iter (fun v -> M.observe mh v; H.record raw v) values;
+  match M.find_value r "t.hist.q" with
+  | Some (M.Histogram_v snap) ->
+      List.iter
+        (fun p ->
+          Alcotest.(check (float 1e-12))
+            (Printf.sprintf "p%g agrees" (p *. 100.))
+            (H.quantile raw p) (M.hist_quantile snap p))
+        [ 0.5; 0.9; 0.99; 0.999 ]
+  | _ -> Alcotest.fail "snapshot missing"
+
+let test_noop_mode () =
+  (* A dead registry keeps the no-op guarantee end to end: observing
+     costs nothing, snapshots are zeroed, quantiles are 0. *)
+  let r = M.create ~live:false () in
+  let mh = M.histogram ~registry:r "t.dead.hist.q" in
+  for _ = 1 to 100 do
+    M.observe mh 3.0
+  done;
+  Alcotest.(check int) "count stays 0" 0 (M.hist_count mh);
+  match M.find_value r "t.dead.hist.q" with
+  | Some (M.Histogram_v snap) ->
+      Alcotest.(check int) "snapshot count 0" 0 snap.M.count;
+      Alcotest.(check (float 0.0)) "quantile 0" 0.0 (M.hist_quantile snap 0.99)
+  | _ -> Alcotest.fail "dead histogram still listed"
+
+let suite =
+  [
+    Alcotest.test_case "bucket boundaries pinned" `Quick test_boundaries_pinned;
+    Alcotest.test_case "quantile within bucket error" `Quick test_quantile_error_bounds;
+    Alcotest.test_case "quantile edge cases" `Quick test_quantile_edges;
+    Alcotest.test_case "merge is associative" `Quick test_merge_associative;
+    Alcotest.test_case "multi-domain record" `Quick test_multi_domain_record;
+    Alcotest.test_case "metrics snapshot quantiles agree" `Quick test_metrics_quantile_roundtrip;
+    Alcotest.test_case "OBS=0 no-op" `Quick test_noop_mode;
+  ]

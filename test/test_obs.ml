@@ -55,10 +55,12 @@ let test_histogram_arithmetic () =
       Alcotest.(check (float 0.0)) "max" 100.0 snap.M.max;
       Alcotest.(check int) "bucket mass = count" 6
         (List.fold_left (fun acc (_, c) -> acc + c) 0 snap.M.buckets);
-      (* Exact powers of two land on their own bound; 3.0 rounds up to 4. *)
+      (* Exact subbucket edges land on their own bound (powers of two
+         and 3.0 = 2 * (1 + 4/8)); 100 rounds up to 104, the next
+         subbucket edge of the (64, 128] binade. *)
       let bounds = List.map fst snap.M.buckets in
       List.iter
-        (fun ub -> if not (List.mem ub [ 0.0; 0.5; 1.0; 2.0; 4.0; 128.0 ]) then
+        (fun ub -> if not (List.mem ub [ 0.0; 0.5; 1.0; 2.0; 3.0; 104.0 ]) then
             Alcotest.failf "unexpected bucket bound %g" ub)
         bounds;
       (* Bounds are increasing and each value fits under some bound. *)

@@ -168,9 +168,11 @@ let rpc fd env =
   let line = recv_line fd in
   (ok ~what:line (V1.reply_of_line line)).V1.response
 
-let with_daemon ?(workers = 2) ?(queue_cap = 8) ?(registry_cap = 4) ?(max_batch = 256) f =
+let with_daemon ?(workers = 2) ?(queue_cap = 8) ?(registry_cap = 4) ?(max_batch = 256)
+    ?admin_port ?access_log ?(access_sample = 1) ?obs_out ?(obs_interval = 60.0) f =
   let config =
-    { Server.Daemon.default_config with port = 0; workers; queue_cap; registry_cap; max_batch }
+    { Server.Daemon.default_config with port = 0; workers; queue_cap; registry_cap;
+      max_batch; admin_port; access_log; access_sample; obs_out; obs_interval }
   in
   let t = Server.Daemon.create config in
   let server = Domain.spawn (fun () -> Server.Daemon.serve t) in
@@ -359,6 +361,349 @@ let test_daemon_drain_completes_in_flight () =
          would mask a hang here, so observe the counters first). *)
       Alcotest.(check bool) "drain flag" true (Server.Exec.draining (Server.Daemon.exec t)))
 
+(* ------------------------------------------------------------------ *)
+(* Telemetry: stats-server, admin port, access log, manifest timer     *)
+
+let get_stats response =
+  match response with
+  | V1.Server_stats_reply s -> s
+  | r ->
+      check_code "stats-server" E.Internal r;
+      Alcotest.fail "stats-server did not reply with Server_stats_reply"
+
+let counter_of (s : V1.server_stats_reply) name =
+  match List.assoc_opt name s.V1.s_counters with
+  | Some v -> v
+  | None -> Alcotest.failf "stats-server reply is missing counter %s" name
+
+let gauge_of (s : V1.server_stats_reply) name =
+  match List.assoc_opt name s.V1.gauges with
+  | Some v -> v
+  | None -> Alcotest.failf "stats-server reply is missing gauge %s" name
+
+let test_server_stats_over_tcp () =
+  (* The obs registry is process-global; clear what earlier daemon
+     tests recorded so stage counts here are exact. *)
+  Obs.Metrics.reset Obs.Metrics.default;
+  with_daemon (fun _t port ->
+      let fd = connect port in
+      Fun.protect ~finally:(fun () -> Unix.close fd) (fun () ->
+          (match rpc fd (V1.envelope (sample_req "net" 11)) with
+          | V1.Sampled _ -> ()
+          | r -> check_code "sample" E.Internal r);
+          List.iter
+            (fun p ->
+              match rpc fd (V1.envelope (route_req "net" p)) with
+              | V1.Routed _ -> ()
+              | r -> check_code "route" E.Internal r)
+            [ (0, 1); (2, 3); (4, 5) ];
+          let s = get_stats (rpc fd (V1.envelope ~id:5 V1.Server_stats)) in
+          Alcotest.(check bool) "uptime non-negative" true (s.V1.uptime_s >= 0.0);
+          Alcotest.(check bool) "not draining" false s.V1.s_draining;
+          Alcotest.(check bool) "obs_live reports the env" (Obs.Metrics.enabled)
+            s.V1.obs_live;
+          (* 1 sample + 3 routes + this stats-server request. *)
+          Alcotest.(check int) "accepted" 5 (counter_of s "server.accepted");
+          Alcotest.(check int) "served so far" 4 (counter_of s "server.served");
+          Alcotest.(check (float 0.0)) "registry size gauge" 1.0
+            (gauge_of s "server.registry.size");
+          Alcotest.(check (float 0.0)) "inflight is this request" 1.0
+            (gauge_of s "server.inflight");
+          ignore (gauge_of s "server.queue_depth");
+          ignore (gauge_of s "server.registry.cap");
+          if Obs.Metrics.enabled then begin
+            let stage name =
+              match List.find_opt (fun st -> st.V1.stage = name) s.V1.stages with
+              | Some st -> st
+              | None -> Alcotest.failf "no %s stage in stats-server reply" name
+            in
+            let compute = stage "stage.compute" in
+            (* Sample + 3 routes were fully traced before this request. *)
+            Alcotest.(check bool) "compute count >= 4" true (compute.V1.s_count >= 4);
+            Alcotest.(check bool) "quantiles ordered" true
+              (compute.V1.p50 <= compute.V1.p90 && compute.V1.p90 <= compute.V1.p99
+             && compute.V1.p99 <= compute.V1.p999);
+            let lat = stage "latency.route" in
+            Alcotest.(check int) "route latency count" 3 lat.V1.s_count;
+            Alcotest.(check bool) "prometheus dump mentions the counters" true
+              (let substr hay needle =
+                 let nl = String.length needle and hl = String.length hay in
+                 let rec at i = i + nl <= hl && (String.sub hay i nl = needle || at (i + 1)) in
+                 at 0
+               in
+               substr s.V1.prometheus "smallworld_server_accepted")
+          end))
+
+let test_server_stats_under_load () =
+  with_daemon ~workers:4 (fun _t port ->
+      let fd = connect port in
+      Fun.protect ~finally:(fun () -> Unix.close fd) (fun () ->
+          (match rpc fd (V1.envelope (sample_req "net" 12)) with
+          | V1.Sampled _ -> ()
+          | r -> check_code "sample" E.Internal r));
+      (* Route traffic on three connections while a fourth polls
+         stats-server: every scrape must answer, and the counters must
+         be monotone across scrapes. *)
+      let stop_flag = Atomic.make false in
+      let clients =
+        List.init 3 (fun i ->
+            Domain.spawn (fun () ->
+                let fd = connect port in
+                Fun.protect ~finally:(fun () -> Unix.close fd) (fun () ->
+                    let n = ref 0 in
+                    while not (Atomic.get stop_flag) do
+                      (match rpc fd (V1.envelope (route_req "net" (i, 100 + i))) with
+                      | V1.Routed _ -> incr n
+                      | r -> check_code "route under load" E.Internal r)
+                    done;
+                    !n)))
+      in
+      let fd = connect port in
+      let served =
+        Fun.protect ~finally:(fun () -> Unix.close fd) (fun () ->
+            List.init 10 (fun _ ->
+                let s = get_stats (rpc fd (V1.envelope V1.Server_stats)) in
+                counter_of s "server.served"))
+      in
+      Atomic.set stop_flag true;
+      let routed = List.fold_left (fun acc d -> acc + Domain.join d) 0 clients in
+      Alcotest.(check bool) "clients routed" true (routed > 0);
+      Alcotest.(check int) "10 scrapes all answered" 10 (List.length served);
+      Alcotest.(check bool) "served counter is monotone" true
+        (fst
+           (List.fold_left (fun (mono, prev) v -> (mono && v >= prev, v)) (true, 0) served)))
+
+let recv_all fd =
+  let buf = Buffer.create 1024 in
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> Buffer.contents buf
+    | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        go ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+let substr hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec at i = i + nl <= hl && (String.sub hay i nl = needle || at (i + 1)) in
+  at 0
+
+let test_admin_port () =
+  with_daemon ~admin_port:0 (fun t port ->
+      let admin =
+        match Server.Daemon.admin_port t with
+        | Some p -> p
+        | None -> Alcotest.fail "admin_port configured but not bound"
+      in
+      Alcotest.(check bool) "admin port is its own listener" true (admin <> port);
+      (* Load an instance over the main port first. *)
+      let fd = connect port in
+      Fun.protect ~finally:(fun () -> Unix.close fd) (fun () ->
+          match rpc fd (V1.envelope (sample_req "net" 13)) with
+          | V1.Sampled _ -> ()
+          | r -> check_code "sample" E.Internal r);
+      (* HTTP: GET /stats returns the stats-server reply as JSON. *)
+      let fd = connect admin in
+      send_all fd "GET /stats HTTP/1.0\r\n\r\n";
+      let body = recv_all fd in
+      Unix.close fd;
+      Alcotest.(check bool) "/stats is 200" true (substr body "HTTP/1.0 200 OK");
+      Alcotest.(check bool) "/stats carries the op" true (substr body "stats-server");
+      Alcotest.(check bool) "/stats carries counters" true (substr body "server.accepted");
+      (* HTTP: GET /metrics returns the Prometheus text dump. *)
+      let fd = connect admin in
+      send_all fd "GET /metrics HTTP/1.0\r\n\r\n";
+      let dump = recv_all fd in
+      Unix.close fd;
+      Alcotest.(check bool) "/metrics is 200" true (substr dump "HTTP/1.0 200 OK");
+      if Obs.Metrics.enabled then begin
+        Alcotest.(check bool) "/metrics has the accepted counter" true
+          (substr dump "smallworld_server_accepted");
+        Alcotest.(check bool) "/metrics has cumulative buckets" true
+          (substr dump "_bucket{le=")
+      end;
+      (* HTTP: unknown path is a 404. *)
+      let fd = connect admin in
+      send_all fd "GET /nope HTTP/1.0\r\n\r\n";
+      let nf = recv_all fd in
+      Unix.close fd;
+      Alcotest.(check bool) "404 on unknown path" true (substr nf "404");
+      (* JSON: stats-server and health answer; compute ops are refused. *)
+      let fd = connect admin in
+      Fun.protect ~finally:(fun () -> Unix.close fd) (fun () ->
+          let s = get_stats (rpc fd (V1.envelope ~id:9 V1.Server_stats)) in
+          Alcotest.(check bool) "json stats over admin" true (s.V1.uptime_s >= 0.0);
+          (match rpc fd (V1.envelope V1.Health) with
+          | V1.Health_reply h ->
+              Alcotest.(check (list string)) "health over admin" [ "net" ] h.V1.instances
+          | r -> check_code "admin health" E.Internal r);
+          check_code "compute refused on admin" E.Bad_request
+            (rpc fd (V1.envelope (route_req "net" (0, 1)))));
+      (* Admin traffic must not move the serving counters: only the one
+         sample request above was accepted. *)
+      let ex = Server.Daemon.exec t in
+      Alcotest.(check int) "admin requests uncounted" 1 (Server.Exec.accepted ex))
+
+let test_access_log_sampling_unit () =
+  let path = Filename.temp_file "smallworld_access" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () ->
+      let alog = Server.Access_log.create ~path ~sample:3 () in
+      for req_id = 1 to 9 do
+        Server.Access_log.log alog
+          {
+            Server.Access_log.req_id;
+            client_id = (if req_id mod 2 = 0 then Some req_id else None);
+            op = "route";
+            instance = Some "net";
+            outcome = "ok";
+            t_unix = 1754650000.0;
+            queue_s = 0.001;
+            compute_s = 0.002;
+            render_s = 0.0005;
+            write_s = 0.0005;
+          }
+      done;
+      Server.Access_log.close alog;
+      let lines =
+        In_channel.with_open_text path In_channel.input_lines
+        |> List.filter (fun l -> String.trim l <> "")
+      in
+      (* Deterministic 1-in-3: exactly req ids 3, 6, 9. *)
+      Alcotest.(check int) "1-in-3 sampling" 3 (List.length lines);
+      List.iteri
+        (fun i line ->
+          match Obs.Export.json_of_string line with
+          | Error e -> Alcotest.failf "access line is not JSON: %s (%s)" line e
+          | Ok j ->
+              Alcotest.(check bool) "schema field" true
+                (Obs.Export.member "schema" j
+                = Some (Obs.Export.Str Server.Access_log.schema_version));
+              Alcotest.(check bool) "req id" true
+                (Obs.Export.member "req" j = Some (Obs.Export.Int ((i + 1) * 3)));
+              Alcotest.(check bool) "op" true
+                (Obs.Export.member "op" j = Some (Obs.Export.Str "route"));
+              Alcotest.(check bool) "total_ms present" true
+                (Obs.Export.member "total_ms" j <> None))
+        lines)
+
+let test_daemon_access_log () =
+  let path = Filename.temp_file "smallworld_access" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () ->
+      with_daemon ~access_log:path (fun _t port ->
+          let fd = connect port in
+          Fun.protect ~finally:(fun () -> Unix.close fd) (fun () ->
+              (match rpc fd (V1.envelope (sample_req "net" 14)) with
+              | V1.Sampled _ -> ()
+              | r -> check_code "sample" E.Internal r);
+              (match rpc fd (V1.envelope ~id:77 (route_req "net" (1, 2))) with
+              | V1.Routed _ -> ()
+              | r -> check_code "route" E.Internal r);
+              (* A parse failure must still be logged, as op=invalid. *)
+              send_all fd "this is not json\n";
+              match (ok (V1.reply_of_line (recv_line fd))).V1.response with
+              | V1.Failed _ -> ()
+              | _ -> Alcotest.fail "garbage line did not fail"));
+      (* with_daemon drained and joined: the log is flushed and closed. *)
+      let lines =
+        In_channel.with_open_text path In_channel.input_lines
+        |> List.filter (fun l -> String.trim l <> "")
+      in
+      Alcotest.(check int) "one line per request" 3 (List.length lines);
+      let ops =
+        List.map
+          (fun line ->
+            match Obs.Export.json_of_string line with
+            | Error e -> Alcotest.failf "bad access line %s (%s)" line e
+            | Ok j -> (
+                match Obs.Export.member "op" j with
+                | Some (Obs.Export.Str op) -> op
+                | _ -> Alcotest.failf "no op in %s" line))
+          lines
+      in
+      Alcotest.(check (list string)) "ops in order" [ "sample"; "route"; "invalid" ] ops;
+      List.iter
+        (fun line ->
+          match Obs.Export.json_of_string line with
+          | Ok j ->
+              Alcotest.(check bool) "schema pinned" true
+                (Obs.Export.member "schema" j
+                = Some (Obs.Export.Str "smallworld.access.v1"))
+          | Error _ -> ())
+        lines)
+
+let test_manifest_on_request () =
+  let path = Filename.temp_file "smallworld_manifest" ".jsonl" in
+  Sys.remove path;
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      (* Huge obs_interval: only request_manifest (the SIGHUP path) can
+         produce the file before drain. *)
+      with_daemon ~obs_out:path ~obs_interval:1e9 (fun t port ->
+          let fd = connect port in
+          Fun.protect ~finally:(fun () -> Unix.close fd) (fun () ->
+              match rpc fd (V1.envelope V1.Health) with
+              | V1.Health_reply _ -> ()
+              | r -> check_code "health" E.Internal r);
+          Server.Daemon.request_manifest t;
+          (* Poll for the counters, not bare existence: the file is
+             visible from the moment the writer opens it, before the
+             line lands. *)
+          let deadline = Unix.gettimeofday () +. 5.0 in
+          let rec wait () =
+            let written =
+              Sys.file_exists path
+              && substr
+                   (In_channel.with_open_text path In_channel.input_all)
+                   "\"server.accepted\""
+            in
+            if written then ()
+            else if Unix.gettimeofday () > deadline then
+              Alcotest.fail "request_manifest produced no manifest within 5s"
+            else begin
+              Unix.sleepf 0.05;
+              wait ()
+            end
+          in
+          wait ()))
+
+let test_exec_tracing_unit () =
+  Obs.Metrics.reset Obs.Metrics.default;
+  let ex = Server.Exec.create ~registry_cap:2 ~max_batch:8 () in
+  let id1 = Server.Exec.next_request_id ex in
+  let id2 = Server.Exec.next_request_id ex in
+  Alcotest.(check bool) "ids are monotone" true (id2 = id1 + 1);
+  Alcotest.(check int) "idle inflight" 0 (Server.Exec.inflight ex);
+  Server.Exec.begin_request ex;
+  Server.Exec.begin_request ex;
+  Alcotest.(check int) "two in flight" 2 (Server.Exec.inflight ex);
+  Server.Exec.end_request ex;
+  Alcotest.(check int) "one left" 1 (Server.Exec.inflight ex);
+  Server.Exec.set_queue_depth_source ex (fun () -> 7);
+  Server.Exec.observe_stages ex ~op:"route" ~compute:0.002 ~render:0.0001
+    ~write:0.0001 ();
+  let s = Server.Exec.server_stats ex in
+  Alcotest.(check (float 0.0)) "queue depth from source" 7.0
+    (List.assoc "server.queue_depth" s.V1.gauges);
+  Alcotest.(check (float 0.0)) "inflight gauge" 1.0
+    (List.assoc "server.inflight" s.V1.gauges);
+  if Obs.Metrics.enabled then begin
+    match List.find_opt (fun st -> st.V1.stage = "latency.route") s.V1.stages with
+    | Some st ->
+        Alcotest.(check int) "one observation" 1 st.V1.s_count;
+        (* The single observation is 0.0022 s; the estimate must be
+           within the histogram's 1/8 relative-error guarantee. *)
+        Alcotest.(check bool) "p50 within 12.5% of the observation" true
+          (Float.abs (st.V1.p50 -. 0.0022) <= 0.0022 /. 8.0)
+    | None -> Alcotest.fail "latency.route stage missing"
+  end
+  else
+    Alcotest.(check bool) "stages silent under OBS=0" true
+      (List.for_all (fun st -> st.V1.s_count = 0) s.V1.stages)
+
 let suite =
   [
     Alcotest.test_case "registry LRU eviction" `Quick test_registry_lru;
@@ -377,4 +722,15 @@ let suite =
       test_daemon_burst_overload;
     Alcotest.test_case "drain completes in-flight work" `Quick
       test_daemon_drain_completes_in_flight;
+    Alcotest.test_case "exec request tracing" `Quick test_exec_tracing_unit;
+    Alcotest.test_case "stats-server over TCP" `Quick test_server_stats_over_tcp;
+    Alcotest.test_case "stats-server under concurrent load" `Quick
+      test_server_stats_under_load;
+    Alcotest.test_case "admin port: HTTP scrape + restricted JSON" `Quick
+      test_admin_port;
+    Alcotest.test_case "access log sampling is deterministic" `Quick
+      test_access_log_sampling_unit;
+    Alcotest.test_case "daemon writes the access log" `Quick test_daemon_access_log;
+    Alcotest.test_case "request_manifest writes mid-run" `Quick
+      test_manifest_on_request;
   ]
