@@ -3,7 +3,7 @@
      experiments_cli list
      experiments_cli list-metrics
      experiments_cli run [-e E3] [-e E5] [--quick] [--seed N] [--csv DIR]
-                         [--obs-out FILE] [--jobs N]                        *)
+                         [--obs-out FILE] [--events-out FILE] [--jobs N]    *)
 
 open Cmdliner
 
@@ -52,7 +52,16 @@ let run_cmd =
            ~doc:"Also write every table as a CSV file into $(docv).")
   in
   let obs_out = Api.Cli.obs_out in
-  let run ids quick seed csv_dir obs_out jobs =
+  let events_out =
+    Arg.(value & opt (some string) None & info [ "events-out" ] ~docv:"FILE"
+           ~doc:"Dump the flight-recorder event ring as smallworld.events.v1 \
+                 JSONL after each experiment.  The ring is cleared per \
+                 experiment, so the file holds the $(i,last) selected \
+                 experiment's stream — select one with -e for a coherent dump \
+                 (feed it to `obs_cli events analyze`).  Empty under \
+                 SMALLWORLD_OBS=0.")
+  in
+  let run ids quick seed csv_dir obs_out events_out jobs =
     match apply_jobs jobs with
     | Error e -> Error e
     | Ok () ->
@@ -106,6 +115,11 @@ let run_cmd =
                 output_char oc '\n';
                 flush oc)
               manifest_oc;
+            Option.iter
+              (fun file ->
+                Out_channel.with_open_text file (fun oc ->
+                    Obs.Export.write_events oc (Obs.Events.events ())))
+              events_out;
             match span with
             | Some s -> Printf.printf "(%s finished in %.1fs)\n\n%!" e.id s.Obs.Span.wall_s
             | None -> Printf.printf "(%s finished in %.1fs)\n\n%!" e.id (Sys.time () -. t0))
@@ -115,7 +129,10 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc)
-    Term.(term_result (const run $ ids $ quick $ seed $ csv_dir $ obs_out $ jobs_arg))
+    Term.(
+      term_result
+        (const run $ ids $ quick $ seed $ csv_dir $ obs_out $ events_out
+       $ jobs_arg))
 
 let main =
   let doc = "Reproduction suite for 'Greedy Routing and the Algorithmic Small-World Phenomenon'" in

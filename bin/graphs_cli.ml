@@ -84,11 +84,51 @@ let run_sample (exec : Api.V1.exec_opts) ~model ~seed =
         (Sparse_graph.Graph.n inst.graph)
         (Sparse_graph.Graph.m inst.graph)
 
-let run_route (exec : Api.V1.exec_opts) ~path ~source ~target ~protocol ~max_steps =
+(* Client-side tracing: wrap the work in a probe span and append one
+   smallworld.trace.v1 record to FILE.  With --trace-id the record
+   adopts the declared context — its span id is the one the client
+   announced, so a daemon-side record written for the same request
+   grafts under this one when the files are merged (obs_cli trace).
+   Without --trace-id a fresh trace id is generated, making the local
+   CLI run a one-record trace of its own. *)
+let with_client_trace ~name ~(trace : Api.V1.trace_ctx option) trace_out f =
+  match trace_out with
+  | None -> f ()
+  | Some file ->
+      let t0 = Unix.gettimeofday () in
+      let result, tree = Obs.Span.probe ~name f in
+      (match tree with
+      | None ->
+          print_endline
+            "note: observability is off (SMALLWORLD_OBS=0); no trace record written"
+      | Some root ->
+          let trace_id, span =
+            match trace with
+            | Some t -> (t.Api.V1.trace_id, t.Api.V1.parent_span)
+            | None ->
+                (Printf.sprintf "cli-%d-%x" (Unix.getpid ())
+                   (int_of_float (t0 *. 1000.0) land 0xffffff), 1)
+          in
+          let record =
+            { Obs.Profile.tr_trace = trace_id; tr_span = span; tr_parent = None;
+              tr_origin = "cli"; tr_t0 = t0; tr_root = root }
+          in
+          Out_channel.with_open_gen
+            [ Open_append; Open_creat; Open_wronly; Open_text ]
+            0o644 file
+            (fun oc ->
+              output_string oc (Obs.Export.trace_line record);
+              output_char oc '\n');
+          Printf.printf "trace %s written to %s\n" trace_id file);
+      result
+
+let run_route (exec : Api.V1.exec_opts) ~trace ~path ~source ~target ~protocol
+    ~max_steps =
   with_manifest ~command:"route" ~seed:0 exec.obs_out @@ fun () ->
   let inst = load_instance path in
   if exec.events_out <> None then Obs.Events.clear ();
   let reply =
+    with_client_trace ~name:"client.route" ~trace exec.trace_out @@ fun () ->
     ok_or_fail (Api.Render.route ~inst ~protocol ?max_steps ~source ~target ())
   in
   Option.iter
@@ -101,11 +141,14 @@ let run_route (exec : Api.V1.exec_opts) ~path ~source ~target ~protocol ~max_ste
     exec.events_out;
   print_string reply.Api.V1.text
 
-let run_route_batch (exec : Api.V1.exec_opts) ~path ~pairs ~protocol ~max_steps =
+let run_route_batch (exec : Api.V1.exec_opts) ~trace ~path ~pairs ~protocol
+    ~max_steps =
   with_manifest ~command:"route-batch" ~seed:0 exec.obs_out @@ fun () ->
   let inst = load_instance path in
   let resolved = ok_or_fail (Api.Render.resolve_pairs ~inst pairs) in
   let replies =
+    with_client_trace ~name:"client.route_batch" ~trace exec.trace_out
+    @@ fun () ->
     ok_or_fail (Api.Render.route_batch ~inst ~protocol ?max_steps ~pairs:resolved ())
   in
   List.iter (fun r -> print_string r.Api.V1.text) replies
@@ -142,9 +185,11 @@ let run_v1 args =
   match env.Api.V1.request with
   | Api.V1.Sample { name = _; model; seed } -> run_sample exec ~model ~seed
   | Api.V1.Route { instance; source; target; protocol; max_steps } ->
-      run_route exec ~path:instance ~source ~target ~protocol ~max_steps
+      run_route exec ~trace:env.Api.V1.trace ~path:instance ~source ~target
+        ~protocol ~max_steps
   | Api.V1.Route_batch { instance; pairs; protocol; max_steps } ->
-      run_route_batch exec ~path:instance ~pairs ~protocol ~max_steps
+      run_route_batch exec ~trace:env.Api.V1.trace ~path:instance ~pairs
+        ~protocol ~max_steps
   | Api.V1.Stats { instance } -> run_stats exec ~path:instance
   | Api.V1.Load { name; path } -> run_load exec ~name ~path
   | Api.V1.Server_stats ->

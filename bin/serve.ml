@@ -3,7 +3,7 @@
      serve [--port P] [--workers N] [--queue-cap N] [--registry-cap N]
            [--max-batch N] [--load NAME=FILE]... [--obs-out FILE] [-j N]
            [--admin-port P] [--access-log FILE [--access-log-sample N]]
-           [--obs-interval SECS]
+           [--obs-interval SECS] [--events-out FILE] [--trace-out FILE]
 
    Newline-delimited JSON over TCP; the request schema is
    `graphs_cli api-schema`.  SIGTERM / SIGINT (or a client `drain`
@@ -68,6 +68,20 @@ let obs_interval_arg =
                SECS seconds, not only at drain; <= 0 disables the timer. \
                SIGHUP forces a rewrite at any time.")
 
+let events_out_arg =
+  Arg.(value & opt (some string) None
+         & info [ "events-out" ] ~docv:"FILE"
+         ~doc:"Dump the flight-recorder event ring as smallworld.events.v1 JSONL \
+               when the daemon drains (empty under SMALLWORLD_OBS=0).")
+
+let trace_out_arg =
+  Arg.(value & opt (some string) None
+         & info [ "trace-out" ] ~docv:"FILE"
+         ~doc:"Append one smallworld.trace.v1 record per request that carries a \
+               trace context (the envelope's trace field / --trace-id), linking \
+               server stage spans and algorithm spans under the client's span. \
+               Requires observability on.")
+
 let load_arg =
   Arg.(value & opt_all string [] & info [ "load" ] ~docv:"NAME=FILE"
          ~doc:"Preload a saved instance into the registry before serving; repeatable.")
@@ -85,7 +99,7 @@ let preload ex spec =
           Ok ())
 
 let run host port workers queue_cap registry_cap max_batch admin_port access_log
-    access_sample obs_interval loads obs_out jobs =
+    access_sample obs_interval events_out trace_out loads obs_out jobs =
   match Api.Cli.apply_jobs jobs with
   | Error e -> Error e
   | Ok () -> (
@@ -102,6 +116,8 @@ let run host port workers queue_cap registry_cap max_batch admin_port access_log
           admin_port;
           access_log;
           access_sample;
+          events_out;
+          trace_out;
         }
       in
       let t = Server.Daemon.create config in
@@ -145,7 +161,7 @@ let main =
       term_result
         (const run $ host_arg $ port_arg $ workers_arg $ queue_cap_arg
        $ registry_cap_arg $ max_batch_arg $ admin_port_arg $ access_log_arg
-       $ access_sample_arg $ obs_interval_arg $ load_arg $ Api.Cli.obs_out
-       $ Api.Cli.jobs))
+       $ access_sample_arg $ obs_interval_arg $ events_out_arg $ trace_out_arg
+       $ load_arg $ Api.Cli.obs_out $ Api.Cli.jobs))
 
 let () = exit (Cmd.eval main)

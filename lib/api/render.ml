@@ -53,7 +53,10 @@ let route ~(inst : Girg.Instance.t) ~protocol ?max_steps ~source ~target () =
     let outcome =
       Greedy_routing.Protocol.run protocol ~graph:inst.graph ~objective ~source ?max_steps ()
     in
-    let shortest = Sparse_graph.Bfs.distance inst.graph ~source ~target in
+    let shortest =
+      Obs.Span.with_ ~name:"route.bfs" @@ fun () ->
+      Sparse_graph.Bfs.distance inst.graph ~source ~target
+    in
     Ok (reply_of_outcome ~protocol ~source ~target ~outcome ~shortest)
 
 let route_batch ?pool ~(inst : Girg.Instance.t) ~protocol ?max_steps ~pairs () =

@@ -41,9 +41,19 @@ type request =
   | Server_stats
   | Drain
 
-type envelope = { id : int option; deadline_ms : int option; request : request }
+(* Distributed-trace context: the client names the trace and the span
+   id its own record will carry, so the server's smallworld.trace.v1
+   record can hang under it (see Obs.Profile) with no clock agreement. *)
+type trace_ctx = { trace_id : string; parent_span : int }
 
-let envelope ?id ?deadline_ms request = { id; deadline_ms; request }
+type envelope = {
+  id : int option;
+  deadline_ms : int option;
+  trace : trace_ctx option;
+  request : request;
+}
+
+let envelope ?id ?deadline_ms ?trace request = { id; deadline_ms; trace; request }
 
 type instance_info = { name : string; params : string; vertices : int; edges : int }
 
@@ -250,6 +260,10 @@ let envelope_to_json e =
     ([ ("v", J.Int version); ("op", J.Str (op_of_request e.request)) ]
     @ (match e.id with Some i -> [ ("id", J.Int i) ] | None -> [])
     @ (match e.deadline_ms with Some d -> [ ("deadline_ms", J.Int d) ] | None -> [])
+    @ (match e.trace with
+      | Some t ->
+          [ ("trace", J.Obj [ ("id", J.Str t.trace_id); ("span", J.Int t.parent_span) ]) ]
+      | None -> [])
     @ request_fields e.request)
 
 (* Field accessors over a parsed JSON object. *)
@@ -388,6 +402,15 @@ let envelope_of_json j =
   let* op = req_field ~what:"any" "op" jstr j in
   let* id = opt_field ~what:op "id" jint j in
   let* deadline_ms = opt_field ~what:op "deadline_ms" jint j in
+  let* trace =
+    match J.member "trace" j with
+    | None -> Ok None
+    | Some (J.Obj _ as t) ->
+        let* trace_id = req_field ~what:"trace" "id" jstr t in
+        let* parent_span = opt_field ~what:"trace" "span" jint t in
+        Ok (Some { trace_id; parent_span = Option.value parent_span ~default:0 })
+    | Some _ -> err_bad "field \"trace\" of a %s request must be an object" op
+  in
   let* request =
     match op with
     | "load" ->
@@ -424,7 +447,7 @@ let envelope_of_json j =
            stats-server | drain)"
           other
   in
-  Ok { id; deadline_ms; request }
+  Ok { id; deadline_ms; trace; request }
 
 let envelope_of_line line =
   match J.json_of_string line with
@@ -707,10 +730,12 @@ type exec_opts = {
   output : string option;
   obs_out : string option;
   events_out : string option;
+  trace_out : string option;
   jobs : int option;
 }
 
-let no_exec = { output = None; obs_out = None; events_out = None; jobs = None }
+let no_exec =
+  { output = None; obs_out = None; events_out = None; trace_out = None; jobs = None }
 
 (* Flag tables.  [aliases] are the deprecation shims: pre-v1 spellings
    that keep parsing but are never printed; the canonical flag is the
@@ -734,6 +759,11 @@ let envelope_flags =
     fld "--deadline-ms" ~ftyp:"int"
       ~fdoc:"deadline in milliseconds from request receipt; expiry returns the \
              'deadline' error";
+    fld "--trace-id" ~ftyp:"string"
+      ~fdoc:"distributed-trace id: the server's smallworld.trace.v1 record joins \
+             the trace of this id";
+    fld "--trace-parent" ~ftyp:"int" ~fdefault:"0"
+      ~fdoc:"span id (within --trace-id) the server's spans hang under";
   ]
 
 let exec_flags =
@@ -743,6 +773,9 @@ let exec_flags =
     fld "--obs-out" ~ftyp:"string" ~fdoc:"CLI only: write a JSONL run manifest";
     fld "--events-out" ~ftyp:"string"
       ~fdoc:"CLI only (route): write flight-recorder events (smallworld.events.v1)";
+    fld "--trace-out" ~ftyp:"string"
+      ~fdoc:"CLI only (route, route-batch): write this run's span tree as a \
+             smallworld.trace.v1 record";
     fld "--jobs" ~als:[ "-j" ] ~ftyp:"int"
       ~fdoc:"worker domains (0 = all cores); overrides SMALLWORLD_JOBS";
   ]
@@ -992,6 +1025,7 @@ let exec_of_seen ~op seen =
       output = get seen "--output";
       obs_out = get seen "--obs-out";
       events_out = get seen "--events-out";
+      trace_out = get seen "--trace-out";
       jobs;
     }
 
@@ -1036,6 +1070,14 @@ let of_args args =
             let* exec = exec_of_seen ~op seen in
             let* id = opt_int ~op seen "--id" in
             let* deadline_ms = opt_int ~op seen "--deadline-ms" in
+            let* trace =
+              let* parent = opt_int ~op seen "--trace-parent" in
+              match (get seen "--trace-id", parent) with
+              | Some trace_id, parent ->
+                  Ok (Some { trace_id; parent_span = Option.value parent ~default:0 })
+              | None, Some _ -> err_bad "--trace-parent requires --trace-id"
+              | None, None -> Ok None
+            in
             let* request =
               match op with
               | "load" -> (
@@ -1150,7 +1192,7 @@ let of_args args =
               | "drain" -> Ok Drain
               | _ -> assert false
             in
-            Ok ({ id; deadline_ms; request }, exec)
+            Ok ({ id; deadline_ms; trace; request }, exec)
           in
           match op with
           | "sample" -> (
@@ -1172,9 +1214,14 @@ let to_args ?(exec = no_exec) e =
   let tail =
     opt_fl "--id" (Option.map string_of_int e.id)
     @ opt_fl "--deadline-ms" (Option.map string_of_int e.deadline_ms)
+    @ (match e.trace with
+      | Some t ->
+          [ "--trace-id"; t.trace_id; "--trace-parent"; string_of_int t.parent_span ]
+      | None -> [])
     @ opt_fl "--output" exec.output
     @ opt_fl "--obs-out" exec.obs_out
     @ opt_fl "--events-out" exec.events_out
+    @ opt_fl "--trace-out" exec.trace_out
     @ opt_fl "--jobs" (Option.map string_of_int exec.jobs)
   in
   match e.request with

@@ -70,15 +70,24 @@ type request =
           load. *)
   | Drain
 
+(** Distributed-trace context ([{"trace":{"id":...,"span":...}}] on the
+    wire, [--trace-id]/[--trace-parent] as flags): the client names the
+    trace and the span id its own [smallworld.trace.v1] record carries,
+    and the traced server hangs its record under that span — see
+    {!Obs.Profile.merge}.  Purely advisory: a server without a trace
+    sink ignores it. *)
+type trace_ctx = { trace_id : string; parent_span : int }
+
 type envelope = {
   id : int option;  (** echoed verbatim in the reply *)
   deadline_ms : int option;
       (** request-scoped deadline, measured from the moment the server
           reads the request; expiry yields the [deadline] error code *)
+  trace : trace_ctx option;
   request : request;
 }
 
-val envelope : ?id:int -> ?deadline_ms:int -> request -> envelope
+val envelope : ?id:int -> ?deadline_ms:int -> ?trace:trace_ctx -> request -> envelope
 
 (** {1 Response types} *)
 
@@ -205,6 +214,9 @@ type exec_opts = {
   output : string option;  (** [--output]/[-o]: where the CLI writes an instance *)
   obs_out : string option;  (** [--obs-out]: JSONL run manifest *)
   events_out : string option;  (** [--events-out]: flight-recorder JSONL *)
+  trace_out : string option;
+      (** [--trace-out]: where the CLI appends this run's
+          [smallworld.trace.v1] record *)
   jobs : int option;  (** [--jobs]/[-j]: worker domains *)
 }
 

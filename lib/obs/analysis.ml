@@ -1,0 +1,292 @@
+(* Algorithmic analytics over the flight recorder's event stream.
+
+   Turns a smallworld.events.v1 stream (or an in-memory event list) into
+   the quantities the paper reasons about: hop-count distribution vs
+   log log n, per-hop objective-progress curves, gravity/pressure phase
+   occupancy, dead-end and patch-entry rates.
+
+   Interpretation notes, pinned here because tests rely on them:
+   - A route is one route id; its hop count is the largest hop index
+     seen (hop 0 is the source, so max index = steps taken).
+   - A route with a dead_end event failed; every other route counts as
+     completed.  For pure greedy (no step cutoff) this matches the
+     protocol's delivered/dropped split exactly, so the completed-route
+     hop mean equals Workload's mean_steps.
+   - Phase occupancy only aggregates routes that emitted at least one
+     phase_switch (gravity–pressure); hops before the first switch are
+     in the implicit starting phase "gravity".
+   - A route whose smallest hop index is positive lost its prefix to
+     ring overwrite and is counted as truncated (still analyzed). *)
+
+type route_stats = {
+  mutable min_hop : int;
+  mutable max_hop : int;
+  mutable hop_events : int;
+  mutable dead_end : bool;
+  mutable patch_enters : int;
+  mutable patch_exits : int;
+  mutable switches : int;
+  mutable phase : string;
+  mutable hops_gravity : int;
+  mutable hops_pressure : int;
+}
+
+type progress_point = { hop : int; routes : int; mean_objective : float }
+
+type t = {
+  events : int;
+  msg_events : int;
+  routes : int;
+  truncated : int;
+  completed : int;
+  dead_ends : int;
+  dead_end_rate : float;  (* nan when no routes *)
+  hop_mean : float;  (* over completed routes; nan when none *)
+  hop_p50 : float;
+  hop_p90 : float;
+  hop_max : int;
+  hop_mean_all : float;
+  log_log_n : float option;  (* ln ln n when [analyze ~n] was given *)
+  progress : progress_point list;  (* by hop index, ascending *)
+  switches : int;
+  phased_routes : int;
+  hops_gravity : int;  (* over phased routes only *)
+  hops_pressure : int;
+  patch_enters : int;
+  patch_exits : int;
+  routes_with_patch : int;
+}
+
+(* Nearest-rank percentile on a sorted array; 0 when empty. *)
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else begin
+    let rank = int_of_float (Float.ceil (p *. float_of_int n)) in
+    float_of_int sorted.(max 0 (min (n - 1) (rank - 1)))
+  end
+
+let analyze ?n events =
+  let routes : (int, route_stats) Hashtbl.t = Hashtbl.create 64 in
+  let order = ref [] in
+  let stats route =
+    match Hashtbl.find_opt routes route with
+    | Some r -> r
+    | None ->
+        let r =
+          {
+            min_hop = max_int;
+            max_hop = -1;
+            hop_events = 0;
+            dead_end = false;
+            patch_enters = 0;
+            patch_exits = 0;
+            switches = 0;
+            phase = "gravity";
+            hops_gravity = 0;
+            hops_pressure = 0;
+          }
+        in
+        Hashtbl.add routes route r;
+        order := route :: !order;
+        r
+  in
+  (* hop index -> (routes reaching it, finite-objective count, sum).
+     Objectives can be non-finite at the walk's end (phi diverges at the
+     target, where the distance is 0), so the mean is taken over finite
+     values only — one infinite arrival would otherwise poison the
+     whole hop's mean. *)
+  let progress : (int, int ref * int ref * float ref) Hashtbl.t = Hashtbl.create 64 in
+  let msg_events = ref 0 and events_n = ref 0 in
+  List.iter
+    (fun (e : Events.event) ->
+      incr events_n;
+      match e.payload with
+      | Events.Route_hop { route; hop; objective; _ } ->
+          let r = stats route in
+          r.min_hop <- min r.min_hop hop;
+          r.max_hop <- max r.max_hop hop;
+          r.hop_events <- r.hop_events + 1;
+          (* Hop 0 is the source placement, not a step in a phase. *)
+          if hop > 0 then
+            if r.phase = "pressure" then r.hops_pressure <- r.hops_pressure + 1
+            else r.hops_gravity <- r.hops_gravity + 1;
+          let np, nfinite, sum =
+            match Hashtbl.find_opt progress hop with
+            | Some cell -> cell
+            | None ->
+                let cell = (ref 0, ref 0, ref 0.0) in
+                Hashtbl.add progress hop cell;
+                cell
+          in
+          incr np;
+          if Float.is_finite objective then begin
+            incr nfinite;
+            sum := !sum +. objective
+          end
+      | Events.Dead_end { route; _ } -> (stats route).dead_end <- true
+      | Events.Patch_enter { route; _ } ->
+          let r = stats route in
+          r.patch_enters <- r.patch_enters + 1
+      | Events.Patch_exit { route; _ } ->
+          let r = stats route in
+          r.patch_exits <- r.patch_exits + 1
+      | Events.Phase_switch { route; phase; _ } ->
+          let r = stats route in
+          r.switches <- r.switches + 1;
+          r.phase <- phase
+      | Events.Msg_send _ | Events.Msg_recv _ -> incr msg_events)
+    events;
+  let all = List.rev_map (fun id -> Hashtbl.find routes id) !order in
+  let routes_n = List.length all in
+  let completed = List.filter (fun r -> not r.dead_end) all in
+  let hops_of r = max r.max_hop 0 in
+  let completed_hops =
+    Array.of_list (List.map hops_of (List.filter (fun r -> r.max_hop >= 0) completed))
+  in
+  Array.sort compare completed_hops;
+  let mean a =
+    let n = Array.length a in
+    if n = 0 then Float.nan
+    else float_of_int (Array.fold_left ( + ) 0 a) /. float_of_int n
+  in
+  let all_hops = Array.of_list (List.map hops_of all) in
+  let sum_over f = List.fold_left (fun acc r -> acc + f r) 0 all in
+  let phased = List.filter (fun (r : route_stats) -> r.switches > 0) all in
+  let progress_points =
+    Hashtbl.fold
+      (fun hop (np, nfinite, sum) acc ->
+        let mean_objective =
+          if !nfinite = 0 then Float.nan else !sum /. float_of_int !nfinite
+        in
+        { hop; routes = !np; mean_objective } :: acc)
+      progress []
+    |> List.sort (fun a b -> compare a.hop b.hop)
+  in
+  {
+    events = !events_n;
+    msg_events = !msg_events;
+    routes = routes_n;
+    truncated = List.length (List.filter (fun r -> r.min_hop > 0 && r.max_hop >= 0) all);
+    completed = List.length completed;
+    dead_ends = routes_n - List.length completed;
+    dead_end_rate =
+      (if routes_n = 0 then Float.nan
+       else float_of_int (routes_n - List.length completed) /. float_of_int routes_n);
+    hop_mean = mean completed_hops;
+    hop_p50 = percentile completed_hops 0.50;
+    hop_p90 = percentile completed_hops 0.90;
+    hop_max = Array.fold_left max 0 completed_hops;
+    hop_mean_all = mean all_hops;
+    log_log_n =
+      Option.map (fun n -> Float.log (Float.log (float_of_int n))) n;
+    progress = progress_points;
+    switches = sum_over (fun r -> r.switches);
+    phased_routes = List.length phased;
+    hops_gravity = List.fold_left (fun acc (r : route_stats) -> acc + r.hops_gravity) 0 phased;
+    hops_pressure = List.fold_left (fun acc (r : route_stats) -> acc + r.hops_pressure) 0 phased;
+    patch_enters = sum_over (fun r -> r.patch_enters);
+    patch_exits = sum_over (fun r -> r.patch_exits);
+    routes_with_patch = List.length (List.filter (fun (r : route_stats) -> r.patch_enters > 0) all);
+  }
+
+let schema_version = "smallworld.analysis.v1"
+
+let to_json t =
+  (* Bind before [open Export]: Export has its own (manifest)
+     [schema_version] that would shadow ours. *)
+  let schema = schema_version in
+  let open Export in
+  let fopt f = if Float.is_finite f then Float f else Null in
+  Obj
+    [
+      ("schema", Str schema);
+      ("events", Int t.events);
+      ("msg_events", Int t.msg_events);
+      ("routes", Int t.routes);
+      ("truncated_routes", Int t.truncated);
+      ( "hops",
+        Obj
+          [
+            ("completed_routes", Int t.completed);
+            ("dead_end_routes", Int t.dead_ends);
+            ("dead_end_rate", fopt t.dead_end_rate);
+            ("mean", fopt t.hop_mean);
+            ("p50", fopt t.hop_p50);
+            ("p90", fopt t.hop_p90);
+            ("max", Int t.hop_max);
+            ("mean_all", fopt t.hop_mean_all);
+            ("log_log_n", match t.log_log_n with Some x -> fopt x | None -> Null);
+            ( "mean_over_log_log_n",
+              match t.log_log_n with
+              | Some ll when Float.is_finite t.hop_mean && ll > 0.0 ->
+                  Float (t.hop_mean /. ll)
+              | _ -> Null );
+          ] );
+      ( "progress",
+        Arr
+          (List.map
+             (fun p ->
+               Obj
+                 [
+                   ("hop", Int p.hop);
+                   ("routes", Int p.routes);
+                   ("mean_objective", fopt p.mean_objective);
+                 ])
+             t.progress) );
+      ( "phases",
+        Obj
+          [
+            ("switches", Int t.switches);
+            ("phased_routes", Int t.phased_routes);
+            ("hops_gravity", Int t.hops_gravity);
+            ("hops_pressure", Int t.hops_pressure);
+            ( "pressure_share",
+              let total = t.hops_gravity + t.hops_pressure in
+              if total = 0 then Null
+              else Float (float_of_int t.hops_pressure /. float_of_int total) );
+          ] );
+      ( "patching",
+        Obj
+          [
+            ("enters", Int t.patch_enters);
+            ("exits", Int t.patch_exits);
+            ("routes_with_patch", Int t.routes_with_patch);
+            ( "entry_rate",
+              if t.routes = 0 then Null
+              else Float (float_of_int t.routes_with_patch /. float_of_int t.routes) );
+          ] );
+    ]
+
+let render t =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  let num f = if Float.is_finite f then Printf.sprintf "%.3f" f else "-" in
+  line "events            %d (%d netsim msg events)" t.events t.msg_events;
+  line "routes            %d (%d truncated by ring overwrite)" t.routes t.truncated;
+  line "  completed       %d" t.completed;
+  line "  dead ends       %d (rate %s)" t.dead_ends (num t.dead_end_rate);
+  line "hops (completed)  mean %s  p50 %s  p90 %s  max %d" (num t.hop_mean)
+    (num t.hop_p50) (num t.hop_p90) t.hop_max;
+  (match t.log_log_n with
+  | Some ll ->
+      line "  log log n       %s  (mean/loglog %s)" (num ll)
+        (num (t.hop_mean /. ll))
+  | None -> ());
+  if t.switches > 0 then begin
+    line "phases            %d switches over %d routes" t.switches t.phased_routes;
+    line "  occupancy       gravity %d hops, pressure %d hops" t.hops_gravity
+      t.hops_pressure
+  end;
+  if t.patch_enters > 0 then
+    line "patching          %d enters / %d exits, %d routes (entry rate %s)"
+      t.patch_enters t.patch_exits t.routes_with_patch
+      (num (float_of_int t.routes_with_patch /. float_of_int t.routes));
+  if t.progress <> [] then begin
+    line "per-hop objective progress:";
+    line "  %4s  %7s  %14s" "hop" "routes" "mean objective";
+    List.iter
+      (fun p -> line "  %4d  %7d  %14.6g" p.hop p.routes p.mean_objective)
+      t.progress
+  end;
+  Buffer.contents buf

@@ -1,0 +1,57 @@
+(** Algorithmic analytics over {!Events} streams.
+
+    Computes the paper's trajectory-shaped quantities from a
+    [smallworld.events.v1] stream (or the live ring): hop-count
+    distribution vs [log log n], per-hop objective-progress curves,
+    gravity/pressure phase occupancy, dead-end and patch-entry rates.
+
+    Conventions (pinned, tested): a route's hop count is its largest
+    hop index (hop 0 = source, so max index = steps); a route with a
+    [dead_end] event failed and every other route is "completed" — for
+    pure greedy this matches the delivered/dropped split, so the
+    completed hop mean equals [Workload]'s [mean_steps]; phase
+    occupancy aggregates only routes with at least one [phase_switch],
+    with the implicit starting phase ["gravity"]; a route whose
+    smallest hop index is positive was truncated by ring overwrite. *)
+
+type progress_point = { hop : int; routes : int; mean_objective : float }
+(** [routes] counts every route that reached the hop; [mean_objective]
+    averages the finite objective values only (phi diverges at the
+    target, where the distance is 0) and is [nan] when none were. *)
+
+type t = {
+  events : int;
+  msg_events : int;  (** netsim send/recv events (not route-scoped) *)
+  routes : int;
+  truncated : int;
+  completed : int;
+  dead_ends : int;
+  dead_end_rate : float;  (** [nan] when no routes *)
+  hop_mean : float;  (** over completed routes; [nan] when none *)
+  hop_p50 : float;  (** nearest-rank *)
+  hop_p90 : float;
+  hop_max : int;
+  hop_mean_all : float;
+  log_log_n : float option;  (** [ln (ln n)] when [analyze ~n] was given *)
+  progress : progress_point list;  (** by hop index, ascending *)
+  switches : int;
+  phased_routes : int;
+  hops_gravity : int;
+  hops_pressure : int;
+  patch_enters : int;
+  patch_exits : int;
+  routes_with_patch : int;
+}
+
+val analyze : ?n:int -> Events.event list -> t
+(** Single ordered pass; [n] (vertex count) enables the [log log n]
+    comparison. *)
+
+val schema_version : string
+(** Currently ["smallworld.analysis.v1"]. *)
+
+val to_json : t -> Export.json
+(** The [smallworld.analysis.v1] document (non-finite rates as null). *)
+
+val render : t -> string
+(** Human-readable multi-line table of the same quantities. *)

@@ -116,7 +116,16 @@ let json_of_string s =
                | 'f' -> Buffer.add_char buf '\012'
                | 'u' ->
                    if !pos + 4 >= n then error "truncated \\u escape";
-                   let code = int_of_string ("0x" ^ String.sub s (!pos + 1) 4) in
+                   let hex = String.sub s (!pos + 1) 4 in
+                   if
+                     not
+                       (String.for_all
+                          (function
+                            | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true
+                            | _ -> false)
+                          hex)
+                   then error "bad \\u escape \\u%s at offset %d" hex (!pos - 1);
+                   let code = int_of_string ("0x" ^ hex) in
                    pos := !pos + 4;
                    (* The emitter only writes \u for control characters;
                       anything outside one byte degrades to '?'. *)
@@ -350,6 +359,203 @@ let write_events oc events =
       output_string oc (event_line e);
       output_char oc '\n')
     events
+
+(* Field accessors for the decoders below: each one fails with the field
+   name so a bad record pinpoints what was missing or mistyped. *)
+let get_field what key j =
+  match member key j with
+  | Some v -> v
+  | None -> failwith (Printf.sprintf "%s: missing field %S" what key)
+
+let as_int what key = function
+  | Int i -> i
+  | _ -> failwith (Printf.sprintf "%s: field %S is not an int" what key)
+
+let as_float what key = function
+  | Int i -> float_of_int i
+  | Float f -> f
+  | Null -> Float.nan  (* the emitter writes non-finite floats as null *)
+  | _ -> failwith (Printf.sprintf "%s: field %S is not a number" what key)
+
+let as_str what key = function
+  | Str s -> s
+  | _ -> failwith (Printf.sprintf "%s: field %S is not a string" what key)
+
+let int_field what key j = as_int what key (get_field what key j)
+let float_field what key j = as_float what key (get_field what key j)
+let str_field what key j = as_str what key (get_field what key j)
+
+let event_of_json j =
+  let what = "smallworld.events.v1" in
+  match
+    (match member "schema" j with
+    | Some (Str s) when s <> events_schema_version ->
+        failwith (Printf.sprintf "%s: unexpected schema %S" what s)
+    | _ -> ());
+    let i k = int_field what k j and f k = float_field what k j in
+    let s k = str_field what k j in
+    let route () = i "route" and vertex () = i "vertex" in
+    let msg con =
+      let parent = match member "parent" j with Some (Int p) -> p | _ -> -1 in
+      con ~trace:(i "trace") ~msg:(i "msg") ~parent ~src:(i "src") ~dst:(i "dst")
+        ~kind:(s "kind") ~sim_time:(f "sim_time")
+    in
+    let payload =
+      match s "type" with
+      | "route_hop" ->
+          Events.Route_hop
+            { route = route (); hop = i "hop"; vertex = vertex (); objective = f "objective" }
+      | "dead_end" -> Events.Dead_end { route = route (); vertex = vertex () }
+      | "patch_enter" ->
+          Events.Patch_enter { route = route (); vertex = vertex (); phi = f "phi" }
+      | "patch_exit" ->
+          Events.Patch_exit { route = route (); vertex = vertex (); phi = f "phi" }
+      | "phase_switch" ->
+          Events.Phase_switch { route = route (); vertex = vertex (); phase = s "phase" }
+      | "msg_send" ->
+          msg (fun ~trace ~msg ~parent ~src ~dst ~kind ~sim_time ->
+              Events.Msg_send { trace; msg; parent; src; dst; kind; sim_time })
+      | "msg_recv" ->
+          msg (fun ~trace ~msg ~parent ~src ~dst ~kind ~sim_time ->
+              Events.Msg_recv { trace; msg; parent; src; dst; kind; sim_time })
+      | other -> failwith (Printf.sprintf "%s: unknown event type %S" what other)
+    in
+    { Events.seq = int_field what "seq" j; time = float_field what "t" j; payload }
+  with
+  | e -> Ok e
+  | exception Failure m -> Error m
+
+let rec span_of_json j =
+  let what = "span" in
+  let children =
+    match member "children" j with
+    | Some (Arr xs) -> List.map span_of_json xs
+    | Some _ -> failwith "span: field \"children\" is not an array"
+    | None -> []
+  in
+  (* self_s is derived, so the decoder ignores it; the emitter writes it
+     for human readers and jq pipelines only. *)
+  {
+    Span.name = str_field what "name" j;
+    count = int_field what "count" j;
+    wall_s = float_field what "wall_s" j;
+    alloc_bytes = float_field what "alloc_bytes" j;
+    children;
+  }
+
+(* One span tree captured for one request, addressable within a trace:
+   [root] hangs under span [parent] of some other record of the same
+   [trace], letting client and server records merge offline into one
+   tree (see {!Profile}). *)
+let trace_schema_version = "smallworld.trace.v1"
+
+type trace_record = {
+  tr_trace : string;
+  tr_span : int;
+  tr_parent : int option;
+  tr_origin : string;
+  tr_t0 : float;
+  tr_root : Span.t;
+}
+
+let trace_to_json r =
+  Obj
+    [
+      ("schema", Str trace_schema_version);
+      ("trace", Str r.tr_trace);
+      ("span", Int r.tr_span);
+      ("parent", (match r.tr_parent with Some p -> Int p | None -> Null));
+      ("origin", Str r.tr_origin);
+      ("t0", Float r.tr_t0);
+      ("root", span_to_json r.tr_root);
+    ]
+
+let trace_line r = json_to_string (trace_to_json r)
+
+let trace_of_json j =
+  let what = trace_schema_version in
+  match
+    (match member "schema" j with
+    | Some (Str s) when s = trace_schema_version -> ()
+    | Some (Str s) -> failwith (Printf.sprintf "%s: unexpected schema %S" what s)
+    | _ -> failwith (Printf.sprintf "%s: missing field \"schema\"" what));
+    {
+      tr_trace = str_field what "trace" j;
+      tr_span = int_field what "span" j;
+      tr_parent =
+        (match member "parent" j with
+        | Some (Int p) -> Some p
+        | Some Null | None -> None
+        | Some _ -> failwith (Printf.sprintf "%s: field \"parent\" is not an int" what));
+      tr_origin = str_field what "origin" j;
+      tr_t0 = float_field what "t0" j;
+      tr_root = span_of_json (get_field what "root" j);
+    }
+  with
+  | r -> Ok r
+  | exception Failure m -> Error m
+
+(* Chrome trace-event JSON (the chrome://tracing / Perfetto "JSON Array
+   Format"): one complete ("X") event per span node.  Span trees are
+   rolled-up profiles without per-invocation timestamps, so a synthetic
+   timeline is laid out instead: the root starts at t0 and each child
+   starts where its previous sibling ended, clamped so children never
+   overrun their parent (sibling walls can sum past the parent's wall
+   when clocks jitter). *)
+let chrome_trace ?(t0 = 0.0) (root : Span.t) =
+  let events = ref [] in
+  let rec layout start (s : Span.t) =
+    let dur = Float.max 0.0 s.wall_s in
+    events :=
+      Obj
+        [
+          ("name", Str s.name);
+          ("ph", Str "X");
+          ("ts", Float (start *. 1e6));
+          ("dur", Float (dur *. 1e6));
+          ("pid", Int 1);
+          ("tid", Int 1);
+          ( "args",
+            Obj
+              [
+                ("count", Int s.count);
+                ("self_s", Float (Span.self_s s));
+                ("alloc_bytes", Float s.alloc_bytes);
+              ] );
+        ]
+      :: !events;
+    let stop = start +. dur in
+    ignore
+      (List.fold_left
+         (fun at (c : Span.t) ->
+           let at = Float.min at stop in
+           let c_dur = Float.min (Float.max 0.0 c.wall_s) (stop -. at) in
+           layout at { c with wall_s = c_dur };
+           at +. c_dur)
+         start s.children)
+  in
+  layout t0 root;
+  json_to_string
+    (Obj [ ("traceEvents", Arr (List.rev !events)); ("displayTimeUnit", Str "ms") ])
+
+(* Folded-stack flamegraph text (flamegraph.pl / speedscope): one line
+   per tree node, "root;child;leaf <count>", where the count is the
+   node's self time in integer microseconds.  Frame separators in span
+   names are sanitized since ';' and ' ' are the grammar's delimiters. *)
+let folded_stacks (root : Span.t) =
+  let sanitize name =
+    String.map (function ';' -> ':' | ' ' -> '_' | c -> c) name
+  in
+  let buf = Buffer.create 256 in
+  let rec go prefix (s : Span.t) =
+    let frame = match prefix with "" -> sanitize s.name | p -> p ^ ";" ^ sanitize s.name in
+    let self_us = int_of_float (Float.round (Span.self_s s *. 1e6)) in
+    if self_us > 0 || s.children = [] then
+      Buffer.add_string buf (Printf.sprintf "%s %d\n" frame (max 0 self_us));
+    List.iter (go frame) s.children
+  in
+  go "" root;
+  Buffer.contents buf
 
 (* Prometheus text format: dots and other separators become underscores,
    everything is prefixed with smallworld_.  Histograms are emitted with

@@ -50,10 +50,17 @@ val buckets : t -> (float * int) list
     carries. *)
 
 val quantile : t -> float -> float
-(** [quantile t p] for [p] in [[0, 1]] (clamped), [0.] when empty.
-    Linear interpolation inside the target bucket; the overflow
-    bucket reports its lower edge. *)
+(** [quantile t p] for [p] in [[0, 1]] (clamped).  Linear interpolation
+    inside the target bucket; the overflow bucket reports its lower
+    edge.
+
+    Empty histogram: the result is pinned to [0.] for every [p] — not
+    [nan] — so latency dashboards and the server-stats snapshot render
+    a quiet (or obs-off) process as zeros rather than poisoning
+    downstream arithmetic.  A NaN [p] also yields [0.]. *)
 
 val quantile_of_buckets : (float * int) list -> float -> float
 (** {!quantile} over a {!buckets}-shaped snapshot list, for callers
-    that hold a {!Metrics.hist_snapshot} rather than a live [t]. *)
+    that hold a {!Metrics.hist_snapshot} rather than a live [t].  Same
+    pinned empty behavior: all-zero (or empty) bucket lists yield [0.]
+    for every [p]. *)

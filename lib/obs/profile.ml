@@ -1,0 +1,113 @@
+(* Offline assembly of smallworld.trace.v1 records into one tree.
+
+   Each record is one process's span tree for one request, addressed by
+   (trace id, span id); a record whose [tr_parent] names another
+   record's [tr_span] grafts its root under that record's root span.
+   The daemon writes server-side records with [tr_span] = the request
+   id the client put in its trace context, so a client record that
+   declared that id as a span links up without any clock agreement. *)
+
+type record = Export.trace_record = {
+  tr_trace : string;
+  tr_span : int;
+  tr_parent : int option;
+  tr_origin : string;
+  tr_t0 : float;
+  tr_root : Span.t;
+}
+
+let read_line line =
+  match Export.json_of_string line with
+  | Error e -> Error e
+  | Ok j -> Export.trace_of_json j
+
+let read_channel ic =
+  let records = ref [] and errors = ref [] in
+  let lineno = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lineno;
+       if String.trim line <> "" then
+         match read_line line with
+         | Ok r -> records := r :: !records
+         | Error e -> errors := Printf.sprintf "line %d: %s" !lineno e :: !errors
+     done
+   with End_of_file -> ());
+  (List.rev !records, List.rev !errors)
+
+let trace_ids records =
+  List.fold_left
+    (fun acc r -> if List.mem r.tr_trace acc then acc else acc @ [ r.tr_trace ])
+    [] records
+
+let merge ?trace_id records =
+  match records with
+  | [] -> Error "no trace records"
+  | first :: _ -> (
+      let tid = Option.value trace_id ~default:first.tr_trace in
+      match List.filter (fun r -> r.tr_trace = tid) records with
+      | [] -> Error (Printf.sprintf "no records for trace %S" tid)
+      | records -> (
+          (* Work on copies: grafting mutates children lists. *)
+          let records =
+            List.map (fun r -> { r with tr_root = Span.copy r.tr_root }) records
+          in
+          let holder_of ?exclude span_id =
+            List.find_opt
+              (fun r ->
+                r.tr_span = span_id
+                && match exclude with Some c -> r != c | None -> true)
+              records
+          in
+          let roots, children =
+            List.partition
+              (fun r ->
+                match r.tr_parent with
+                | None -> true
+                | Some p -> p <> r.tr_span && holder_of p = None)
+              records
+          in
+          List.iter
+            (fun child ->
+              match child.tr_parent with
+              | None -> assert false
+              | Some p -> (
+                  match holder_of ~exclude:child p with
+                  | Some parent ->
+                      parent.tr_root.children <-
+                        parent.tr_root.children @ [ child.tr_root ]
+                  | None -> ()))
+            children;
+          match roots with
+          | [ root ] -> Ok root
+          | [] -> Error (Printf.sprintf "trace %S has no root record (cycle?)" tid)
+          | many ->
+              Error
+                (Printf.sprintf "trace %S has %d root records (origins: %s)" tid
+                   (List.length many)
+                   (String.concat ", " (List.map (fun r -> r.tr_origin) many)))))
+
+type hop = { cp_name : string; cp_wall_s : float; cp_self_s : float }
+
+let critical_path (root : Span.t) =
+  let heaviest children =
+    List.fold_left
+      (fun acc (c : Span.t) ->
+        match acc with
+        | Some (best : Span.t) when best.wall_s >= c.wall_s -> acc
+        | _ -> Some c)
+      None children
+  in
+  let rec go (s : Span.t) =
+    match heaviest s.children with
+    | None -> [ { cp_name = s.name; cp_wall_s = s.wall_s; cp_self_s = s.wall_s } ]
+    | Some next ->
+        (* Self contribution telescopes: (wall - next.wall) summed along
+           the chain plus the leaf's wall equals the root's wall. *)
+        { cp_name = s.name; cp_wall_s = s.wall_s; cp_self_s = s.wall_s -. next.wall_s }
+        :: go next
+  in
+  go root
+
+let total path = List.fold_left (fun acc h -> acc +. h.cp_self_s) 0.0 path

@@ -1,0 +1,46 @@
+(** Offline assembly and analysis of [smallworld.trace.v1] records.
+
+    A trace is a set of records — one span tree per process per request
+    — linked by ids rather than clocks: a record whose [tr_parent]
+    equals another record's [tr_span] (same [tr_trace]) hangs under
+    that record's root.  {!merge} rebuilds the single end-to-end tree;
+    {!critical_path} walks its heaviest chain. *)
+
+type record = Export.trace_record = {
+  tr_trace : string;
+  tr_span : int;
+  tr_parent : int option;
+  tr_origin : string;
+  tr_t0 : float;
+  tr_root : Span.t;
+}
+
+val read_line : string -> (record, string) result
+(** Parse one JSONL line. *)
+
+val read_channel : in_channel -> record list * string list
+(** All records in a JSONL stream (blank lines skipped), plus one
+    ["line N: ..."] message per undecodable line. *)
+
+val trace_ids : record list -> string list
+(** Distinct trace ids, first-seen order. *)
+
+val merge : ?trace_id:string -> record list -> (record, string) result
+(** Link the records of one trace ([trace_id] defaults to the first
+    record's) into a single tree: every record whose parent span is
+    found gets its root grafted under that record's root span, and the
+    one remaining root record — whose parent is [None] or dangling — is
+    returned with the merged tree.  The inputs are deep-copied, not
+    mutated.  Errors when the records form zero or several trees. *)
+
+(** One link of a critical path: a span's wall time and the share of it
+    not covered by the chain's next (heaviest) child. *)
+type hop = { cp_name : string; cp_wall_s : float; cp_self_s : float }
+
+val critical_path : Span.t -> hop list
+(** Root-first chain following the heaviest child at every level.  The
+    self contributions telescope: {!total} of the result equals the
+    root's wall time exactly. *)
+
+val total : hop list -> float
+(** Sum of [cp_self_s] along a path. *)

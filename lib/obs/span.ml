@@ -49,9 +49,8 @@ and merge_into siblings span =
       (siblings, dst)
   | None -> (siblings @ [ span ], span)
 
+(* Merge a finalized frame into the enclosing scope (or the root list). *)
 let finish stack fr =
-  fr.span.wall_s <- Unix.gettimeofday () -. fr.t0;
-  fr.span.alloc_bytes <- Gc.allocated_bytes () -. fr.a0;
   match !stack with
   | parent :: _ ->
       let siblings, dst = merge_into parent.span.children fr.span in
@@ -64,27 +63,50 @@ let finish stack fr =
       Mutex.unlock roots_lock;
       dst
 
+let rec copy t = { t with children = List.map copy t.children }
+
+(* Shared driver for [time] and [probe].  [capture] runs on the frame's
+   own span after its clocks are finalized but before it merges into a
+   same-name sibling — the only moment the tree still belongs to this
+   invocation alone. *)
+let run_frame ~name ~capture f =
+  let stack = Domain.DLS.get stack_key in
+  let fr =
+    {
+      span = { name; count = 1; wall_s = 0.0; alloc_bytes = 0.0; children = [] };
+      t0 = Unix.gettimeofday ();
+      a0 = Gc.allocated_bytes ();
+    }
+  in
+  stack := fr :: !stack;
+  let dst = ref fr.span in
+  let result =
+    Fun.protect
+      ~finally:(fun () ->
+        (match !stack with [] -> () | _ :: rest -> stack := rest);
+        fr.span.wall_s <- Unix.gettimeofday () -. fr.t0;
+        fr.span.alloc_bytes <- Gc.allocated_bytes () -. fr.a0;
+        capture fr.span;
+        dst := finish stack fr)
+      f
+  in
+  (result, !dst)
+
 let time ~name f =
   if not enabled then (f (), None)
   else begin
-    let stack = Domain.DLS.get stack_key in
-    let fr =
-      {
-        span = { name; count = 1; wall_s = 0.0; alloc_bytes = 0.0; children = [] };
-        t0 = Unix.gettimeofday ();
-        a0 = Gc.allocated_bytes ();
-      }
+    let result, dst = run_frame ~name ~capture:ignore f in
+    (result, Some dst)
+  end
+
+let probe ~name f =
+  if not enabled then (f (), None)
+  else begin
+    let captured = ref None in
+    let result, _ =
+      run_frame ~name ~capture:(fun span -> captured := Some (copy span)) f
     in
-    stack := fr :: !stack;
-    let dst = ref fr.span in
-    let result =
-      Fun.protect
-        ~finally:(fun () ->
-          (match !stack with [] -> () | _ :: rest -> stack := rest);
-          dst := finish stack fr)
-        f
-    in
-    (result, Some !dst)
+    (result, !captured)
   end
 
 let with_ ~name f = fst (time ~name f)

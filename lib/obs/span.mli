@@ -27,6 +27,21 @@ val time : name:string -> (unit -> 'a) -> 'a * t option
 (** Like {!with_} but also returns the node the span merged into
     ([None] when disabled). *)
 
+val probe : name:string -> (unit -> 'a) -> 'a * t option
+(** Like {!time}, but the returned tree is a private deep copy of
+    {e this invocation alone}, snapshotted before the span merges into
+    the rolled-up profile (which it still does).  Unlike the node
+    returned by {!time} — which is shared with the global tree and keeps
+    accumulating as later same-name spans merge into it — a probe's tree
+    is frozen, so it can be exported as one request's trace.  Only spans
+    opened on the calling domain nest under the probe; work fanned out
+    to pool domains lands in the global roots instead.  [None] when
+    disabled. *)
+
+val copy : t -> t
+(** Deep copy (children included); the result shares no mutable state
+    with the original. *)
+
 val roots : unit -> t list
 (** Completed top-level spans, oldest first. *)
 

@@ -13,6 +13,10 @@ type config = {
   admin_port : int option;
   access_log : string option;
   access_sample : int;
+  events_out : string option;
+      (* flight-recorder ring, dumped once at drain (smallworld.events.v1) *)
+  trace_out : string option;
+      (* smallworld.trace.v1 sink: one record per traced request *)
 }
 
 let default_config =
@@ -28,6 +32,8 @@ let default_config =
     admin_port = None;
     access_log = None;
     access_sample = 1;
+    events_out = None;
+    trace_out = None;
   }
 
 type t = {
@@ -42,6 +48,9 @@ type t = {
   qmutex : Mutex.t;
   qcond : Condition.t;
   alog : Access_log.t option;
+  (* Mutex-guarded JSONL sink for per-request trace records; workers on
+     any domain may append. *)
+  trace_log : (Mutex.t * out_channel) option;
   manifest_now : bool Atomic.t;
   (* Stage clocks cost one gettimeofday each; skip them entirely when
      neither obs nor the access log can consume the result. *)
@@ -142,6 +151,52 @@ let outcome_of = function
   | V1.Failed e -> Error.code_string e.Error.code
   | _ -> "ok"
 
+(* A synthesized span for a stage the span machinery did not itself
+   time (queue wait, render, write): the trace record shows them as
+   leaf children of the request root. *)
+let stage_span name wall_s =
+  { Obs.Span.name; count = 1; wall_s; alloc_bytes = 0.0; children = [] }
+
+(* One smallworld.trace.v1 record for a traced request.  The server's
+   span id is the negated request id: request ids are positive and
+   clients declare positive span ids, so the two namespaces can never
+   collide inside one merged trace file. *)
+let write_trace_record t ~ctx ~req_id ~compute_tree ~queue_s ~compute_s ~render_s
+    ~write_s ~t_start =
+  Option.iter
+    (fun (mu, oc) ->
+      let root =
+        {
+          Obs.Span.name = "server.request";
+          count = 1;
+          wall_s = queue_s +. compute_s +. render_s +. write_s;
+          alloc_bytes = compute_tree.Obs.Span.alloc_bytes;
+          children =
+            [
+              stage_span "stage.queue_wait" queue_s;
+              compute_tree;
+              stage_span "stage.render" render_s;
+              stage_span "stage.write" write_s;
+            ];
+        }
+      in
+      let record =
+        {
+          Obs.Export.tr_trace = ctx.V1.trace_id;
+          tr_span = -req_id;
+          tr_parent = Some ctx.V1.parent_span;
+          tr_origin = "server";
+          tr_t0 = t_start;
+          tr_root = root;
+        }
+      in
+      Mutex.lock mu;
+      output_string oc (Obs.Export.trace_line record);
+      output_char oc '\n';
+      flush oc;
+      Mutex.unlock mu)
+    t.trace_log
+
 let serve_connection t ~queue_wait fd =
   let buf = Buffer.create 256 in
   (* The first request on a connection is charged the time the
@@ -161,21 +216,47 @@ let serve_connection t ~queue_wait fd =
           pending_wait := 0.0;
           let clock () = if t.timing then Unix.gettimeofday () else 0.0 in
           let t_start = clock () in
-          let client_id, op, instance, reply =
+          let client_id, op, instance, reply, traced =
             match V1.envelope_of_line line with
             | Error e ->
-                (None, None, None, { V1.reply_id = None; response = V1.Failed e })
+                (None, None, None, { V1.reply_id = None; response = V1.Failed e }, None)
             | Ok env ->
                 let deadline =
                   Option.map
                     (fun ms -> Unix.gettimeofday () +. (float_of_int ms /. 1000.0))
                     env.deadline_ms
                 in
-                let response = Exec.handle t.ex ?deadline env.request in
+                (* GC deltas around the compute stage; the reads only
+                   happen with obs on, preserving the zero-GC-read
+                   contract of SMALLWORLD_OBS=0. *)
+                let gc0 = if Obs.Metrics.enabled then Some (Gc.quick_stat ()) else None in
+                let handle () = Exec.handle t.ex ?deadline env.request in
+                let response, traced =
+                  match env.trace with
+                  | Some ctx when t.trace_log <> None ->
+                      (* The probe snapshots this request's span tree
+                         (Exec's server.<op> span plus the algorithm
+                         spans beneath it) before it merges into the
+                         rolled-up profile. *)
+                      let response, tree = Obs.Span.probe ~name:"stage.compute" handle in
+                      (response, Option.map (fun tree -> (ctx, tree)) tree)
+                  | Some _ | None -> (handle (), None)
+                in
+                Option.iter
+                  (fun (g0 : Gc.stat) ->
+                    let g1 = Gc.quick_stat () in
+                    Exec.observe_gc t.ex
+                      ~minor_words:(g1.minor_words -. g0.minor_words)
+                      ~major_words:(g1.major_words -. g0.major_words)
+                      ~collections:
+                        (g1.minor_collections - g0.minor_collections
+                        + (g1.major_collections - g0.major_collections)))
+                  gc0;
                 ( env.id,
                   Some (V1.op_of_request env.request),
                   V1.instance_of_request env.request,
-                  { V1.reply_id = env.id; response } )
+                  { V1.reply_id = env.id; response },
+                  traced )
           in
           let t_computed = clock () in
           let out = V1.reply_line reply ^ "\n" in
@@ -188,6 +269,11 @@ let serve_connection t ~queue_wait fd =
           if t.timing then
             Exec.observe_stages t.ex ?op ~compute:compute_s ~render:render_s
               ~write:write_s ();
+          Option.iter
+            (fun (ctx, compute_tree) ->
+              write_trace_record t ~ctx ~req_id ~compute_tree ~queue_s ~compute_s
+                ~render_s ~write_s ~t_start)
+            traced;
           Option.iter
             (fun alog ->
               Access_log.log alog
@@ -417,6 +503,9 @@ let create config =
       (fun path -> Access_log.create ~path ~sample:config.access_sample ())
       config.access_log
   in
+  let trace_log =
+    Option.map (fun path -> (Mutex.create (), Out_channel.open_text path)) config.trace_out
+  in
   let t =
     {
       config;
@@ -428,6 +517,7 @@ let create config =
       qmutex = Mutex.create ();
       qcond = Condition.create ();
       alog;
+      trace_log;
       manifest_now = Atomic.make false;
       timing = Obs.Metrics.enabled || config.access_log <> None;
       worker_domains = [];
@@ -494,4 +584,12 @@ let serve t =
       t.aux_domains <- [];
       (try Unix.close t.listen_fd with Unix.Unix_error _ -> ()));
   write_manifest t;
+  (* Drain-time finalization: the event ring (whatever survived the
+     ring's overwrite window) lands alongside the access log. *)
+  Option.iter
+    (fun path ->
+      Out_channel.with_open_text path (fun oc ->
+          Obs.Export.write_events oc (Obs.Events.events ())))
+    t.config.events_out;
+  Option.iter (fun (_, oc) -> Out_channel.close oc) t.trace_log;
   Option.iter Access_log.close t.alog

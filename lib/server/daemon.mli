@@ -49,12 +49,25 @@ type config = {
   admin_port : int option;  (** telemetry listener; 0 picks ephemeral *)
   access_log : string option;  (** JSONL access-log path (appended) *)
   access_sample : int;  (** log 1 request in [n] (by request id), >= 1 *)
+  events_out : string option;
+      (** flight-recorder destination: the {!Obs.Events} ring is dumped
+          once as [smallworld.events.v1] JSONL when {!serve} returns at
+          drain (empty under [SMALLWORLD_OBS=0]) *)
+  trace_out : string option;
+      (** distributed-trace sink: every request carrying a
+          [trace] context gets its span tree — server stages plus the
+          algorithm spans under [server.<op>] — appended as one
+          [smallworld.trace.v1] record.  Server records use the negated
+          request id as their span id, so they never collide with
+          client-declared (positive) span ids.  Requires obs on;
+          with [SMALLWORLD_OBS=0] no records are written. *)
 }
 
 val default_config : config
 (** host 127.0.0.1, port 7441, 4 workers, queue_cap 16,
     registry_cap 8, max_batch 4096, no manifest, obs_interval 60 s,
-    no admin port, no access log, access_sample 1. *)
+    no admin port, no access log, access_sample 1, no events or trace
+    sink. *)
 
 type t
 

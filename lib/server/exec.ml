@@ -39,6 +39,11 @@ type t = {
   h_render : Obs.Metrics.histogram;
   h_write : Obs.Metrics.histogram;
   h_ops : (string * Obs.Metrics.histogram) list;
+  (* Per-request GC deltas around the compute stage (Gc.quick_stat
+     diffs taken by the daemon, obs-on only). *)
+  h_gc_minor : Obs.Metrics.histogram;
+  h_gc_major : Obs.Metrics.histogram;
+  h_gc_coll : Obs.Metrics.histogram;
 }
 
 let create ?(registry_cap = 8) ?(max_batch = 4096) () =
@@ -72,6 +77,9 @@ let create ?(registry_cap = 8) ?(max_batch = 4096) () =
         (fun op ->
           (op, Obs.Metrics.histogram ("server.latency." ^ metric_op_suffix op)))
         all_ops;
+    h_gc_minor = Obs.Metrics.histogram "server.gc.compute.minor_words";
+    h_gc_major = Obs.Metrics.histogram "server.gc.compute.major_words";
+    h_gc_coll = Obs.Metrics.histogram "server.gc.compute.collections";
   }
 
 let registry t = t.reg
@@ -124,6 +132,15 @@ let observe_stages t ?op ~compute ~render ~write () =
       match List.assoc_opt op t.h_ops with
       | Some h -> Obs.Metrics.observe h (compute +. render +. write)
       | None -> ())
+
+(* Stage-labelled GC deltas for one request's compute stage.  The
+   daemon only calls this when [Obs.Metrics.enabled] — the Gc reads
+   themselves live behind that guard, so SMALLWORLD_OBS=0 keeps its
+   zero-GC-read contract. *)
+let observe_gc t ~minor_words ~major_words ~collections =
+  Obs.Metrics.observe t.h_gc_minor minor_words;
+  Obs.Metrics.observe t.h_gc_major major_words;
+  Obs.Metrics.observe t.h_gc_coll (float_of_int collections)
 
 let counter_pairs t =
   [

@@ -2,7 +2,7 @@
 """CI smoke for the route-serving daemon (API v1, stdlib only).
 
 Usage: serve_smoke.py PORT EXPECTED_ROUTE_FILE [nodrain]
-                      [--admin PORT] [--access-log FILE]
+                      [--admin PORT] [--access-log FILE] [--trace-out FILE]
        serve_smoke.py check-access-log FILE MIN_LINES
 
 Connects to a running `serve` daemon on 127.0.0.1:PORT (started with
@@ -11,6 +11,11 @@ Connects to a running `serve` daemon on 127.0.0.1:PORT (started with
 - health: the preloaded instance is registered;
 - route: the reply's `text` field is byte-identical to what
   `graphs_cli route` printed for the same pair (EXPECTED_ROUTE_FILE);
+- traced route: the same pair with a trace context in the envelope;
+  with --trace-out (the file the daemon was started with) and obs on,
+  the daemon must append one smallworld.trace.v1 record whose parent
+  is the client's declared span and whose tree holds the server stages
+  plus an algorithm span;
 - route_batch (sampled pairs): right count, deterministic across a
   repeat request;
 - route_batch beyond --max-batch: refused with the `overloaded` code;
@@ -174,6 +179,46 @@ def check_access_log(path, min_lines, attempts=50):
     print(f"access log ok: {len(entries)} records, ops {sorted(ops)}")
 
 
+def check_trace_file(path, trace_id, attempts=50):
+    """The daemon appends one smallworld.trace.v1 record per traced
+    request (flushed synchronously); poll briefly for the file."""
+    records = []
+    for _ in range(attempts):
+        try:
+            with open(path, encoding="utf-8") as f:
+                lines = [l for l in f.read().splitlines() if l.strip()]
+        except OSError:
+            lines = []
+        if lines:
+            records = [json.loads(l) for l in lines]
+            break
+        time.sleep(0.2)
+    ours = [r for r in records if r.get("trace") == trace_id]
+    if not ours:
+        sys.exit(f"trace file {path}: no record for trace {trace_id!r}")
+    rec = ours[0]
+    if rec.get("schema") != "smallworld.trace.v1":
+        sys.exit(f"trace record has wrong schema: {rec!r}")
+    if rec.get("origin") != "server":
+        sys.exit(f"trace record origin is not the server: {rec!r}")
+    if rec.get("parent") != 1:
+        sys.exit(f"trace record does not parent the client span: {rec!r}")
+    if rec.get("span", 0) >= 0:
+        sys.exit(f"server trace span ids must be negative: {rec!r}")
+    root = rec.get("root", {})
+    if root.get("name") != "server.request":
+        sys.exit(f"trace root is not server.request: {root!r}")
+    children = {c["name"] for c in root.get("children", [])}
+    for stage in ("stage.queue_wait", "stage.compute", "stage.render", "stage.write"):
+        if stage not in children:
+            sys.exit(f"trace root lacks the {stage} span: {sorted(children)!r}")
+    compute = next(c for c in root["children"] if c["name"] == "stage.compute")
+    algo = {c["name"] for c in compute.get("children", [])}
+    if not any(n.startswith("server.") for n in algo):
+        sys.exit(f"stage.compute holds no server op span: {sorted(algo)!r}")
+    print(f"trace file ok: {len(ours)} record(s) for trace {trace_id!r}")
+
+
 def main():
     args = sys.argv[1:]
     if args and args[0] == "check-access-log":
@@ -182,6 +227,7 @@ def main():
 
     admin_port = None
     access_log = None
+    trace_out = None
     positional = []
     i = 0
     while i < len(args):
@@ -190,6 +236,9 @@ def main():
             i += 2
         elif args[i] == "--access-log":
             access_log = args[i + 1]
+            i += 2
+        elif args[i] == "--trace-out":
+            trace_out = args[i + 1]
             i += 2
         else:
             positional.append(args[i])
@@ -222,6 +271,25 @@ def main():
             f"served:   {route['text']!r}\nexpected: {expected_route!r}"
         )
 
+    # The same route again, now carrying a trace context: the reply is
+    # unchanged, and (with --trace-out + obs on) the daemon appends a
+    # smallworld.trace.v1 record parented under our declared span.
+    traced = expect_ok(
+        client.rpc(
+            {
+                "op": "route",
+                "instance": "net",
+                "source": 4,
+                "target": 93,
+                "protocol": "phi-dfs",
+                "trace": {"id": "smoke-trace", "span": 1},
+            }
+        ),
+        "traced route",
+    )
+    if traced["text"] != expected_route:
+        sys.exit("traced route text differs from the untraced reply")
+
     batch_req = {
         "op": "route_batch",
         "instance": "net",
@@ -240,8 +308,9 @@ def main():
     # Mid-run telemetry scrape, while the connection is hot.
     mid = expect_ok(client.rpc({"op": "stats-server"}), "stats-server")
     mid_counters = check_server_stats(mid, "mid-run")
-    # health + route + batch x2 + this stats-server = 5 accepted so far.
-    if mid_counters.get("server.accepted", 0) < 5:
+    # health + route + traced route + batch x2 + this stats-server
+    # = 6 accepted so far.
+    if mid_counters.get("server.accepted", 0) < 6:
         sys.exit(f"stats-server (mid-run): accepted lost requests: {mid_counters!r}")
 
     oversized = [[i, i + 1] for i in range(0, 18, 2)]  # 9 pairs > --max-batch 8
@@ -322,15 +391,18 @@ def main():
     if counters.get("server.served", 0) < 5:
         sys.exit(f"served requests not counted: {counters!r}")
 
+    if trace_out is not None and mid["obs_live"]:
+        check_trace_file(trace_out, "smoke-trace")
+
     if not nodrain:
         drained = expect_ok(client.rpc({"op": "drain"}), "drain")
         if not drained.get("draining"):
             sys.exit(f"drain not acknowledged: {drained!r}")
         if access_log is not None:
             # Everything this script sent on the main connection:
-            # 2x health, route, 2x batch, stats-server, 3 refusals,
-            # stats, drain = 11 requests.
-            check_access_log(access_log, 11)
+            # 2x health, route, traced route, 2x batch, stats-server,
+            # 3 refusals, stats, drain = 12 requests.
+            check_access_log(access_log, 12)
 
     print("serve smoke: all checks passed")
 

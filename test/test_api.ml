@@ -85,6 +85,26 @@ let sample_envelopes =
            protocol = Greedy_routing.Protocol.Greedy;
            max_steps = None;
          });
+    (* Trace contexts ride in the envelope; both spellings (explicit
+       parent span and the 0 default) must survive the codecs. *)
+    V1.envelope ~id:12 ~trace:{ V1.trace_id = "cli-1f2e"; parent_span = 1 }
+      (V1.Route
+         {
+           instance = "net";
+           source = 2;
+           target = 7;
+           protocol = Greedy_routing.Protocol.Greedy;
+           max_steps = None;
+         });
+    V1.envelope ~deadline_ms:100
+      ~trace:{ V1.trace_id = "batch-trace"; parent_span = 0 }
+      (V1.Route_batch
+         {
+           instance = "net";
+           pairs = V1.Pairs [ (9, 10) ];
+           protocol = Greedy_routing.Protocol.Greedy;
+           max_steps = None;
+         });
     V1.envelope (V1.Stats { instance = "net" });
     V1.envelope ~id:99 V1.Health;
     V1.envelope ~id:5 V1.Server_stats;
@@ -107,6 +127,7 @@ let test_args_round_trip () =
         V1.output = Some "/tmp/out.girg";
         obs_out = Some "/tmp/manifest.jsonl";
         events_out = Some "/tmp/events.jsonl";
+        trace_out = Some "/tmp/trace.jsonl";
         jobs = Some 4;
       };
     ]

@@ -64,6 +64,29 @@ let test_quantile_edges () =
   let q = H.quantile h 0.5 in
   Alcotest.(check bool) "overflow quantile finite" true (Float.is_finite q)
 
+let test_empty_quantile_pinned () =
+  (* The mli pins empty quantiles to 0. (not nan) for every p — latency
+     dashboards must render a quiet process as zeros.  Pin the whole
+     contract: every p (including NaN and out-of-range), both on a live
+     histogram and on the snapshot-shaped bucket lists. *)
+  let h = H.create () in
+  List.iter
+    (fun p ->
+      let q = H.quantile h p in
+      Alcotest.(check (float 0.0)) (Printf.sprintf "empty quantile p=%g" p) 0.0 q;
+      Alcotest.(check bool) "never nan" false (Float.is_nan q))
+    [ 0.0; 0.5; 0.9; 0.999; 1.0; -1.0; 2.0; Float.nan ];
+  Alcotest.(check (float 0.0)) "empty bucket list" 0.0
+    (H.quantile_of_buckets [] 0.5);
+  Alcotest.(check (float 0.0)) "all-zero bucket counts" 0.0
+    (H.quantile_of_buckets [ (1.0, 0); (2.0, 0) ] 0.9);
+  Alcotest.(check (float 0.0)) "nan p on empty buckets" 0.0
+    (H.quantile_of_buckets [] Float.nan);
+  (* Reset returns a used histogram to the pinned empty behavior. *)
+  H.record h 5.0;
+  H.reset h;
+  Alcotest.(check (float 0.0)) "pinned again after reset" 0.0 (H.quantile h 0.99)
+
 let buckets_equal a b =
   Alcotest.(check (list (pair (float 0.0) int))) "buckets equal" (H.buckets a) (H.buckets b)
 
@@ -150,6 +173,7 @@ let suite =
     Alcotest.test_case "bucket boundaries pinned" `Quick test_boundaries_pinned;
     Alcotest.test_case "quantile within bucket error" `Quick test_quantile_error_bounds;
     Alcotest.test_case "quantile edge cases" `Quick test_quantile_edges;
+    Alcotest.test_case "empty quantiles pinned to 0" `Quick test_empty_quantile_pinned;
     Alcotest.test_case "merge is associative" `Quick test_merge_associative;
     Alcotest.test_case "multi-domain record" `Quick test_multi_domain_record;
     Alcotest.test_case "metrics snapshot quantiles agree" `Quick test_metrics_quantile_roundtrip;

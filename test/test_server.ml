@@ -169,10 +169,12 @@ let rpc fd env =
   (ok ~what:line (V1.reply_of_line line)).V1.response
 
 let with_daemon ?(workers = 2) ?(queue_cap = 8) ?(registry_cap = 4) ?(max_batch = 256)
-    ?admin_port ?access_log ?(access_sample = 1) ?obs_out ?(obs_interval = 60.0) f =
+    ?admin_port ?access_log ?(access_sample = 1) ?obs_out ?(obs_interval = 60.0)
+    ?events_out ?trace_out f =
   let config =
     { Server.Daemon.default_config with port = 0; workers; queue_cap; registry_cap;
-      max_batch; admin_port; access_log; access_sample; obs_out; obs_interval }
+      max_batch; admin_port; access_log; access_sample; obs_out; obs_interval;
+      events_out; trace_out }
   in
   let t = Server.Daemon.create config in
   let server = Domain.spawn (fun () -> Server.Daemon.serve t) in
@@ -670,6 +672,152 @@ let test_manifest_on_request () =
           in
           wait ()))
 
+let test_daemon_trace_roundtrip () =
+  (* End to end through the distributed-trace plumbing: a client-traced
+     request must leave exactly one server-side trace.v1 record that
+     merges under the client's own span into a single tree whose
+     critical path accounts for the wall time the client measured, and
+     that both profile exporters accept.  The drain must also dump the
+     flight-recorder ring to [events_out]. *)
+  let trace_path = Filename.temp_file "smallworld_trace" ".jsonl" in
+  let events_path = Filename.temp_file "smallworld_events" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove trace_path;
+      Sys.remove events_path)
+    (fun () ->
+      let measured = ref 0.0 in
+      let client_tree = ref None in
+      with_daemon ~trace_out:trace_path ~events_out:events_path (fun _t port ->
+          let fd = connect port in
+          Fun.protect ~finally:(fun () -> Unix.close fd) (fun () ->
+              (match rpc fd (V1.envelope (sample_req "net" 21)) with
+              | V1.Sampled _ -> ()
+              | r -> check_code "sample" E.Internal r);
+              let t0 = Unix.gettimeofday () in
+              let response, tree =
+                Obs.Span.probe ~name:"client.request" (fun () ->
+                    rpc fd
+                      (V1.envelope ~id:42
+                         ~trace:{ V1.trace_id = "t-e2e"; parent_span = 1 }
+                         (route_req "net" (1, 2))))
+              in
+              measured := Unix.gettimeofday () -. t0;
+              client_tree := tree;
+              match response with
+              | V1.Routed reply ->
+                  (* Tracing must not perturb the served bytes. *)
+                  let expected =
+                    ok
+                      (Api.Render.route ~inst:(tiny_instance 21)
+                         ~protocol:Greedy_routing.Protocol.Patch_dfs ~source:1 ~target:2 ())
+                  in
+                  Alcotest.(check string) "traced route text" expected.V1.text reply.V1.text
+              | r -> check_code "traced route" E.Internal r));
+      (* with_daemon drained and joined: both sinks are flushed and closed. *)
+      let records, errs =
+        In_channel.with_open_text trace_path Obs.Profile.read_channel
+      in
+      Alcotest.(check (list string)) "trace file fully decodable" [] errs;
+      let event_lines =
+        In_channel.with_open_text events_path In_channel.input_lines
+        |> List.filter (fun l -> String.trim l <> "")
+      in
+      if not Obs.Span.enabled then begin
+        Alcotest.(check int) "no trace records under OBS=0" 0 (List.length records);
+        Alcotest.(check int) "empty event dump under OBS=0" 0 (List.length event_lines)
+      end
+      else begin
+        (* The untraced sample request must not have produced a record. *)
+        let server_record =
+          match records with
+          | [ r ] -> r
+          | rs -> Alcotest.failf "expected 1 trace record, got %d" (List.length rs)
+        in
+        Alcotest.(check string) "trace id adopted" "t-e2e" server_record.Obs.Profile.tr_trace;
+        Alcotest.(check string) "origin" "server" server_record.Obs.Profile.tr_origin;
+        Alcotest.(check bool) "server span id is a negated request id" true
+          (server_record.Obs.Profile.tr_span < 0);
+        Alcotest.(check bool) "hangs under the client's span" true
+          (server_record.Obs.Profile.tr_parent = Some 1);
+        Alcotest.(check string) "server root stage" "server.request"
+          server_record.Obs.Profile.tr_root.Obs.Span.name;
+        let client_root =
+          match !client_tree with
+          | Some s -> s
+          | None -> Alcotest.fail "span probe returned no tree with obs on"
+        in
+        let client_record =
+          { Obs.Profile.tr_trace = "t-e2e"; tr_span = 1; tr_parent = None;
+            tr_origin = "test"; tr_t0 = 0.0; tr_root = client_root }
+        in
+        let merged =
+          match Obs.Profile.merge (client_record :: records) with
+          | Ok r -> r
+          | Error e -> Alcotest.failf "merge failed: %s" e
+        in
+        let root = merged.Obs.Profile.tr_root in
+        Alcotest.(check string) "merged root is the client span" "client.request"
+          root.Obs.Span.name;
+        Alcotest.(check bool) "server tree grafted under the client" true
+          (List.exists
+             (fun (c : Obs.Span.t) -> c.Obs.Span.name = "server.request")
+             root.Obs.Span.children);
+        (* The critical path telescopes to the root wall, which the
+           probe measured around the same rpc we clocked by hand; allow
+           10% plus a tiny absolute floor for very fast calls. *)
+        let path = Obs.Profile.critical_path root in
+        (match path with
+        | { Obs.Profile.cp_name = "client.request"; _ } :: _ :: _ -> ()
+        | _ -> Alcotest.fail "critical path must start at the client span and descend");
+        let total = Obs.Profile.total path in
+        Alcotest.(check bool)
+          (Printf.sprintf "critical path total %.6fs within 10%% of measured %.6fs" total
+             !measured)
+          true
+          (Float.abs (total -. !measured) <= (0.1 *. !measured) +. 1e-4);
+        (* Both exporters must accept the merged end-to-end tree. *)
+        List.iter
+          (fun line ->
+            match String.split_on_char ' ' line with
+            | [ _; n ] when int_of_string_opt n <> None -> ()
+            | _ -> Alcotest.failf "bad folded line: %s" line)
+          (String.split_on_char '\n' (String.trim (Obs.Export.folded_stacks root)));
+        (match Obs.Export.json_of_string (Obs.Export.chrome_trace root) with
+        | Error e -> Alcotest.failf "chrome trace is not JSON: %s" e
+        | Ok doc -> (
+            match Obs.Export.member "traceEvents" doc with
+            | Some (Obs.Export.Arr events) ->
+                Alcotest.(check bool) "chrome events present" true (events <> []);
+                let names =
+                  List.filter_map
+                    (fun e ->
+                      match Obs.Export.member "name" e with
+                      | Some (Obs.Export.Str s) -> Some s
+                      | _ -> None)
+                    events
+                in
+                Alcotest.(check bool) "client and server spans on one timeline" true
+                  (List.mem "client.request" names && List.mem "server.request" names)
+            | _ -> Alcotest.fail "chrome trace has no traceEvents array"));
+        (* Per-request GC deltas landed in the stage-labelled histograms. *)
+        (match Obs.Metrics.find_value Obs.Metrics.default "server.gc.compute.minor_words" with
+        | Some (Obs.Metrics.Histogram_v snap) ->
+            Alcotest.(check bool) "gc histogram populated" true (snap.Obs.Metrics.count >= 1)
+        | _ -> Alcotest.fail "server.gc.compute.minor_words histogram missing");
+        (* The drain dumped a decodable smallworld.events.v1 stream. *)
+        Alcotest.(check bool) "event dump non-empty" true (event_lines <> []);
+        List.iter
+          (fun line ->
+            match Obs.Export.json_of_string line with
+            | Error e -> Alcotest.failf "event line is not JSON: %s (%s)" line e
+            | Ok j -> (
+                match Obs.Export.event_of_json j with
+                | Ok _ -> ()
+                | Error e -> Alcotest.failf "event line does not decode: %s (%s)" line e))
+          event_lines
+      end)
+
 let test_exec_tracing_unit () =
   Obs.Metrics.reset Obs.Metrics.default;
   let ex = Server.Exec.create ~registry_cap:2 ~max_batch:8 () in
@@ -733,4 +881,6 @@ let suite =
     Alcotest.test_case "daemon writes the access log" `Quick test_daemon_access_log;
     Alcotest.test_case "request_manifest writes mid-run" `Quick
       test_manifest_on_request;
+    Alcotest.test_case "end-to-end distributed trace" `Quick
+      test_daemon_trace_roundtrip;
   ]
