@@ -327,6 +327,131 @@ let load_report path =
       | Ok r -> r
       | Error e -> die Api.Error.Io "cannot read %s: %s" path e)
 
+(* --- serving-SLO diffs over smallworld.load.v1 --------------------- *)
+
+(* `diff` gates loadgen reports with the same interface it gates bench
+   reports: relative regressions against a baseline (throughput drop /
+   p99 growth beyond --threshold) plus absolute SLOs on the current
+   report (--max-p50-ms / --max-p99-ms / --max-refusal-rate) and an
+   improvement requirement (--expect-speedup R: >= R x throughput or
+   <= p99 / R vs the baseline).  --advisory-time downgrades every
+   timing verdict to a warning; the refusal-rate SLO always gates. *)
+
+let raw_json path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error e -> die Api.Error.Io "%s" e
+  | contents -> (
+      match Obs.Export.json_of_string (String.trim contents) with
+      | Ok j -> j
+      | Error e -> die Api.Error.Io "cannot parse %s: %s" path e)
+
+let json_schema = function
+  | Obs.Export.Obj _ as doc -> (
+      match Obs.Export.member "schema" doc with
+      | Some (Obs.Export.Str s) -> s
+      | _ -> "")
+  | _ -> ""
+
+let load_schema_version = "smallworld.load.v1"
+
+let diff_load args ~advisory_time ~threshold_pct base_path cur_path baseline current =
+  let number ~path doc name =
+    match Obs.Export.member name doc with
+    | Some (Obs.Export.Float f) -> f
+    | Some (Obs.Export.Int i) -> float_of_int i
+    | _ -> die Api.Error.Io "%s: missing %s field" path name
+  in
+  let text ~path doc name =
+    match Obs.Export.member name doc with
+    | Some (Obs.Export.Str s) -> s
+    | _ -> die Api.Error.Io "%s: missing %s field" path name
+  in
+  let lat ~path doc q =
+    match Obs.Export.member "latency_ms" doc with
+    | Some l -> number ~path l q
+    | None -> die Api.Error.Io "%s: missing latency_ms" path
+  in
+  let opt_gate key =
+    match opt_value args key ~default:"" with
+    | "" -> None
+    | v -> (
+        match float_of_string_opt v with
+        | Some f -> Some f
+        | None -> die Api.Error.Usage "%s expects a number, got %S" key v)
+  in
+  let b_label = text ~path:base_path baseline "label"
+  and c_label = text ~path:cur_path current "label" in
+  Printf.printf "schema %s\n" load_schema_version;
+  Printf.printf "baseline %s (%s codec, %d conns, rate %g)  vs  current %s (%s codec, %d conns, rate %g)\n"
+    b_label (text ~path:base_path baseline "codec")
+    (int_of_float (number ~path:base_path baseline "connections"))
+    (number ~path:base_path baseline "rate")
+    c_label (text ~path:cur_path current "codec")
+    (int_of_float (number ~path:cur_path current "connections"))
+    (number ~path:cur_path current "rate");
+  (* Throughput scales with the connection count and pacing, so a diff
+     across those knobs would gate on an apples-to-oranges comparison
+     (mirroring the bench-report cross-jobs refusal). *)
+  List.iter
+    (fun key ->
+      let b = number ~path:base_path baseline key
+      and c = number ~path:cur_path current key in
+      if b <> c then
+        die Api.Error.Incomparable "cannot compare: baseline %s %g, current %s %g" key b
+          key c)
+    [ "connections"; "rate" ];
+  let b_tp = number ~path:base_path baseline "throughput_rps"
+  and c_tp = number ~path:cur_path current "throughput_rps"
+  and b_p99 = lat ~path:base_path baseline "p99"
+  and c_p99 = lat ~path:cur_path current "p99"
+  and c_p50 = lat ~path:cur_path current "p50"
+  and c_refusal = number ~path:cur_path current "refusal_rate" in
+  Printf.printf "  throughput %10.0f -> %10.0f req/s\n" b_tp c_tp;
+  Printf.printf "  p50        %10.3f -> %10.3f ms\n" (lat ~path:base_path baseline "p50") c_p50;
+  Printf.printf "  p99        %10.3f -> %10.3f ms\n" b_p99 c_p99;
+  Printf.printf "  refusals   %10.4f -> %10.4f\n"
+    (number ~path:base_path baseline "refusal_rate") c_refusal;
+  let timing_failures = ref [] and hard_failures = ref [] in
+  let timing_gate cond fmt =
+    Printf.ksprintf (fun msg -> if cond then timing_failures := msg :: !timing_failures) fmt
+  in
+  if b_tp > 0.0 then
+    timing_gate ((b_tp -. c_tp) /. b_tp *. 100.0 > threshold_pct)
+      "throughput dropped %.0f%% (beyond %.0f%%)" ((b_tp -. c_tp) /. b_tp *. 100.0)
+      threshold_pct;
+  if b_p99 > 0.0 then
+    timing_gate ((c_p99 -. b_p99) /. b_p99 *. 100.0 > threshold_pct)
+      "p99 grew %.0f%% (beyond %.0f%%)" ((c_p99 -. b_p99) /. b_p99 *. 100.0) threshold_pct;
+  Option.iter
+    (fun bound -> timing_gate (c_p50 > bound) "p50 %.3f ms over the %.3f ms SLO" c_p50 bound)
+    (opt_gate "--max-p50-ms");
+  Option.iter
+    (fun bound -> timing_gate (c_p99 > bound) "p99 %.3f ms over the %.3f ms SLO" c_p99 bound)
+    (opt_gate "--max-p99-ms");
+  Option.iter
+    (fun r ->
+      timing_gate
+        (not (c_tp >= r *. b_tp || (b_p99 > 0.0 && c_p99 <= b_p99 /. r)))
+        "expected %gx speedup: throughput %.0f vs %.0f req/s and p99 %.3f vs %.3f ms" r c_tp
+        b_tp c_p99 b_p99)
+    (opt_gate "--expect-speedup");
+  Option.iter
+    (fun bound ->
+      if c_refusal > bound then
+        hard_failures :=
+          Printf.sprintf "refusal rate %.4f over the %.4f SLO" c_refusal bound
+          :: !hard_failures)
+    (opt_gate "--max-refusal-rate");
+  List.iter (Printf.printf "FAIL: %s\n") !hard_failures;
+  List.iter
+    (fun msg ->
+      if advisory_time then Printf.printf "WARN: %s (advisory: timing not gated)\n" msg
+      else Printf.printf "FAIL: %s\n" msg)
+    !timing_failures;
+  if !hard_failures <> [] || ((not advisory_time) && !timing_failures <> []) then
+    exit (Api.Error.exit_code Api.Error.Regression)
+  else print_endline "OK: serving SLOs met"
+
 let diff args =
   let threshold_pct = float_of_string (opt_value args "--threshold" ~default:"25") in
   let alloc_threshold_pct =
@@ -336,8 +461,28 @@ let diff args =
      allocation stays deterministic: --advisory-time reports timing
      verdicts but only allocation regressions affect the exit code. *)
   let advisory_time = List.mem "--advisory-time" args in
-  let positional = List.filter (fun a -> String.length a = 0 || a.[0] <> '-') args in
-  match positional with
+  (* Skip the values of value-taking flags when collecting the two
+     positional report paths. *)
+  let value_keys =
+    [ "--threshold"; "--alloc-threshold"; "--max-p50-ms"; "--max-p99-ms";
+      "--max-refusal-rate"; "--expect-speedup"; "--jobs" ]
+  in
+  let rec positionals = function
+    | [] -> []
+    | k :: _ :: rest when List.mem k value_keys -> positionals rest
+    | a :: rest when String.length a > 0 && a.[0] = '-' -> positionals rest
+    | a :: rest -> a :: positionals rest
+  in
+  match positionals args with
+  | [ base_path; cur_path ]
+    when json_schema (raw_json base_path) = load_schema_version
+         || json_schema (raw_json cur_path) = load_schema_version ->
+      let base_doc = raw_json base_path and cur_doc = raw_json cur_path in
+      let bs = json_schema base_doc and cs = json_schema cur_doc in
+      if bs <> cs then
+        die Api.Error.Incomparable "cannot compare: %s has schema %S, %s has %S" base_path
+          bs cur_path cs;
+      diff_load args ~advisory_time ~threshold_pct base_path cur_path base_doc cur_doc
   | [ base_path; cur_path ] ->
       let baseline = load_report base_path and current = load_report cur_path in
       (* The header goes out before any comparability refusal, so an
@@ -380,7 +525,8 @@ let diff args =
   | _ ->
       die Api.Error.Usage
         "usage: bench diff BASELINE CURRENT [--threshold PCT] [--alloc-threshold PCT] \
-         [--advisory-time]"
+         [--advisory-time] [--max-p50-ms X] [--max-p99-ms X] [--max-refusal-rate R] \
+         [--expect-speedup R]  (load reports use the serving-SLO gates)"
 
 let () =
   match Array.to_list Sys.argv with

@@ -1,0 +1,357 @@
+(* Load generator for the routing daemon:
+
+     loadgen --port P [--host H] [--codec json|binary] [--connections N]
+             [--duration SECS] [--rate RPS] [--instance NAME]
+             [--protocol NAME] [--max-steps N] [--hot-pairs K]
+             [--pair-seed N] [--warmup N] [--deadline-ms N]
+             [--label S] [--out FILE]
+
+   Each connection is a domain running a closed loop (one request in
+   flight); --rate > 0 paces the fleet to a total target request rate
+   (open-loop arrivals, but never more than one outstanding request
+   per connection, so an overloaded daemon slows the generator down
+   instead of queueing unboundedly inside it).  Requests are routes
+   over a --hot-pairs sized pair set drawn from a seeded PRNG, so
+   reruns hit the same keys (and a route cache, when present, sees a
+   steady hot set).  Reports throughput, refusal rate and latency
+   quantiles as one smallworld.load.v1 JSON document. *)
+
+module V1 = Api.V1
+module J = Obs.Export
+open Cmdliner
+
+let schema_version = "smallworld.load.v1"
+
+(* ------------------------------------------------------------------ *)
+(* Codec-agnostic client connection (blocking, one request in flight)  *)
+
+type conn = {
+  fd : Unix.file_descr;
+  codec : [ `Json | `Binary ];
+  mutable rbuf : Bytes.t;
+  mutable rlen : int;
+}
+
+let connect ~host ~port ~codec =
+  let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
+  let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+  Unix.setsockopt fd TCP_NODELAY true;
+  Unix.connect fd addr;
+  { fd; codec; rbuf = Bytes.create 65536; rlen = 0 }
+
+let send_all fd s =
+  let n = String.length s in
+  let sent = ref 0 in
+  while !sent < n do
+    sent := !sent + Unix.write_substring fd s !sent (n - !sent)
+  done
+
+let refill c =
+  if c.rlen = Bytes.length c.rbuf then
+    c.rbuf <- Bytes.extend c.rbuf 0 (Bytes.length c.rbuf);
+  let n = Unix.read c.fd c.rbuf c.rlen (Bytes.length c.rbuf - c.rlen) in
+  if n = 0 then failwith "connection closed by daemon";
+  c.rlen <- c.rlen + n
+
+let consume c n =
+  Bytes.blit c.rbuf n c.rbuf 0 (c.rlen - n);
+  c.rlen <- c.rlen - n
+
+let rec read_reply c =
+  match c.codec with
+  | `Json -> (
+      match Bytes.index_opt (Bytes.sub c.rbuf 0 c.rlen) '\n' with
+      | Some i ->
+          let line = Bytes.sub_string c.rbuf 0 i in
+          consume c (i + 1);
+          V1.reply_of_line line
+      | None ->
+          refill c;
+          read_reply c)
+  | `Binary -> (
+      match
+        Api.Binary.parse (Bytes.unsafe_to_string c.rbuf) ~pos:0 ~len:c.rlen
+      with
+      | Api.Binary.Frame { payload; consumed } ->
+          consume c consumed;
+          Api.Binary.reply_of_payload payload
+      | Api.Binary.Need ->
+          refill c;
+          read_reply c
+      | Api.Binary.Oversized { declared; _ } ->
+          Error (Api.Error.make Api.Error.Internal "oversized reply (%d bytes)" declared)
+      | Api.Binary.Bad msg -> Error (Api.Error.make Api.Error.Internal "bad frame: %s" msg))
+
+let rpc c envelope =
+  (match c.codec with
+  | `Json -> send_all c.fd (V1.request_line envelope ^ "\n")
+  | `Binary -> send_all c.fd (Api.Binary.request_frame envelope));
+  read_reply c
+
+(* ------------------------------------------------------------------ *)
+(* Per-connection worker                                               *)
+
+type tally = {
+  mutable sent : int;
+  mutable ok : int;
+  mutable refused : int;
+  mutable failed : int;
+  mutable lat : float list;  (** seconds, post-warmup only *)
+}
+
+let classify tally = function
+  | Ok (V1.Routed _) -> tally.ok <- tally.ok + 1
+  | Ok (V1.Failed e) -> (
+      match e.Api.Error.code with
+      | Api.Error.Overloaded | Api.Error.Draining | Api.Error.Deadline ->
+          tally.refused <- tally.refused + 1
+      | _ -> tally.failed <- tally.failed + 1)
+  | Ok _ | Error _ -> tally.failed <- tally.failed + 1
+
+(* One closed loop.  With pacing, request k is due at [start + k*gap];
+   sleeping until the due time (when we are early) yields the target
+   rate, and lateness is not compensated by bursts. *)
+let worker ~host ~port ~codec ~instance ~protocol ~max_steps ~deadline_ms ~pairs
+    ~warmup ~duration ~gap ~conn_id =
+  let c = connect ~host ~port ~codec in
+  let tally = { sent = 0; ok = 0; refused = 0; failed = 0; lat = [] } in
+  let npairs = Array.length pairs in
+  let start = Unix.gettimeofday () in
+  let stop_at = start +. duration in
+  (try
+     let k = ref 0 in
+     let now = ref start in
+     while !now < stop_at do
+       (if gap > 0.0 then
+          let due = start +. (float_of_int !k *. gap) in
+          if due > !now then Unix.sleepf (due -. !now));
+       let source, target = pairs.((conn_id + !k) mod npairs) in
+       let req = V1.Route { instance; source; target; protocol; max_steps } in
+       let e = V1.envelope ~id:!k ?deadline_ms req in
+       let t0 = Unix.gettimeofday () in
+       let reply = Result.map (fun r -> r.V1.response) (rpc c e) in
+       let t1 = Unix.gettimeofday () in
+       tally.sent <- tally.sent + 1;
+       if !k >= warmup then begin
+         classify tally reply;
+         tally.lat <- (t1 -. t0) :: tally.lat
+       end;
+       (match reply with Error _ -> raise Exit | Ok _ -> ());
+       incr k;
+       now := t1
+     done
+   with
+  | Exit -> ()
+  | Unix.Unix_error _ | Failure _ -> tally.failed <- tally.failed + 1);
+  (try Unix.close c.fd with Unix.Unix_error _ -> ());
+  tally
+
+(* ------------------------------------------------------------------ *)
+(* Report                                                              *)
+
+let quantile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0 else sorted.(min (n - 1) (int_of_float (float_of_int n *. p)))
+
+let report ~label ~host ~port ~codec ~connections ~rate ~duration ~instance
+    ~protocol ~hot_pairs ~tallies ~elapsed =
+  let sum f = List.fold_left (fun acc t -> acc + f t) 0 tallies in
+  let sent = sum (fun t -> t.sent)
+  and ok = sum (fun t -> t.ok)
+  and refused = sum (fun t -> t.refused)
+  and failed = sum (fun t -> t.failed) in
+  let lats =
+    List.concat_map (fun t -> t.lat) tallies |> Array.of_list
+  in
+  Array.sort compare lats;
+  let count = Array.length lats in
+  let mean =
+    if count = 0 then 0.0
+    else Array.fold_left ( +. ) 0.0 lats /. float_of_int count
+  in
+  let ms x = x *. 1e3 in
+  let measured = ok + refused + failed in
+  let throughput = if elapsed > 0.0 then float_of_int measured /. elapsed else 0.0 in
+  let refusal_rate =
+    if measured = 0 then 0.0 else float_of_int refused /. float_of_int measured
+  in
+  J.Obj
+    [
+      ("schema", J.Str schema_version);
+      ("label", J.Str label);
+      ("git_rev", J.Str (J.git_rev ()));
+      ("host", J.Str host);
+      ("port", J.Int port);
+      ("codec", J.Str (match codec with `Json -> "json" | `Binary -> "binary"));
+      ("connections", J.Int connections);
+      ("rate", J.Float rate);
+      ("duration_s", J.Float duration);
+      ("elapsed_s", J.Float elapsed);
+      ("instance", J.Str instance);
+      ("protocol", J.Str (Greedy_routing.Protocol.name protocol));
+      ("hot_pairs", J.Int hot_pairs);
+      ("sent", J.Int sent);
+      ("ok", J.Int ok);
+      ("refused", J.Int refused);
+      ("failed", J.Int failed);
+      ("throughput_rps", J.Float throughput);
+      ("refusal_rate", J.Float refusal_rate);
+      ( "latency_ms",
+        J.Obj
+          [
+            ("count", J.Int count);
+            ("mean", J.Float (ms mean));
+            ("p50", J.Float (ms (quantile lats 0.50)));
+            ("p90", J.Float (ms (quantile lats 0.90)));
+            ("p99", J.Float (ms (quantile lats 0.99)));
+            ("p999", J.Float (ms (quantile lats 0.999)));
+            ("max", J.Float (ms (quantile lats 1.0)));
+          ] );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Main                                                                *)
+
+let fail e =
+  prerr_endline (Api.Error.to_string e);
+  exit (Api.Error.exit_code e.Api.Error.code)
+
+let run host port codec_s connections duration rate instance protocol_s max_steps
+    hot_pairs pair_seed warmup deadline_ms label out =
+  let codec =
+    match codec_s with
+    | "json" -> `Json
+    | "binary" -> `Binary
+    | s -> fail (Api.Error.make Api.Error.Usage "--codec must be json or binary, got %S" s)
+  in
+  let protocol =
+    match V1.protocol_of_string protocol_s with Ok p -> p | Error e -> fail e
+  in
+  if connections < 1 then
+    fail (Api.Error.make Api.Error.Usage "--connections must be >= 1");
+  (* One probe request up front: resolves the instance (fail fast on a
+     wrong name) and learns the vertex count the pair set draws from. *)
+  let vertices =
+    let c = try connect ~host ~port ~codec
+      with Unix.Unix_error (err, _, _) ->
+        fail (Api.Error.make Api.Error.Io "cannot connect to %s:%d: %s" host port
+                (Unix.error_message err))
+    in
+    let reply = rpc c (V1.envelope (V1.Stats { instance })) in
+    (try Unix.close c.fd with Unix.Unix_error _ -> ());
+    match reply with
+    | Ok { V1.response = V1.Stats_reply s; _ } -> s.V1.vertices
+    | Ok { V1.response = V1.Failed e; _ } -> fail e
+    | Ok _ -> fail (Api.Error.make Api.Error.Internal "unexpected stats reply shape")
+    | Error e -> fail e
+  in
+  if vertices < 2 then
+    fail (Api.Error.make Api.Error.Usage "instance %S has %d vertices; need >= 2"
+            instance vertices);
+  let npairs = if hot_pairs > 0 then hot_pairs else 4096 in
+  let rng = Prng.Rng.create ~seed:pair_seed in
+  let pairs =
+    Array.init npairs (fun _ -> Prng.Dist.sample_distinct_pair rng ~n:vertices)
+  in
+  let gap =
+    if rate > 0.0 then float_of_int connections /. rate else 0.0
+  in
+  let start = Unix.gettimeofday () in
+  let domains =
+    List.init connections (fun conn_id ->
+        Domain.spawn (fun () ->
+            worker ~host ~port ~codec ~instance ~protocol ~max_steps ~deadline_ms
+              ~pairs ~warmup ~duration ~gap ~conn_id))
+  in
+  let tallies = List.map Domain.join domains in
+  let elapsed = Unix.gettimeofday () -. start in
+  let doc =
+    report ~label ~host ~port ~codec ~connections ~rate ~duration ~instance
+      ~protocol ~hot_pairs ~tallies ~elapsed
+  in
+  let line = J.json_to_string doc in
+  (match out with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (line ^ "\n");
+      close_out oc);
+  let get name =
+    match J.member name doc with
+    | Some (J.Float f) -> f
+    | Some (J.Int i) -> float_of_int i
+    | _ -> 0.0
+  in
+  let lat name =
+    match J.member "latency_ms" doc with
+    | Some l -> ( match J.member name l with Some (J.Float f) -> f | _ -> 0.0)
+    | None -> 0.0
+  in
+  Printf.printf
+    "%s: %.0f req/s over %d conns (%s codec), %d ok / %d refused / %d failed, \
+     p50 %.3f ms, p99 %.3f ms\n%!"
+    label (get "throughput_rps") connections codec_s
+    (int_of_float (get "ok")) (int_of_float (get "refused"))
+    (int_of_float (get "failed")) (lat "p50") (lat "p99");
+  if out = None then print_endline line;
+  let failed = int_of_float (get "failed") in
+  if failed > 0 then
+    fail (Api.Error.make Api.Error.Io "%d requests failed outright" failed)
+
+let main =
+  let doc = "Drive the routing daemon at a target load and report serving SLOs." in
+  let host = Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR" ~doc:"Daemon address.") in
+  let port = Arg.(required & opt (some int) None & info [ "port" ] ~docv:"P" ~doc:"Daemon port.") in
+  let codec =
+    Arg.(value & opt string "json"
+           & info [ "codec" ] ~docv:"NAME" ~doc:"Wire codec: json (newline-delimited) or binary (length-prefixed frames).")
+  in
+  let connections =
+    Arg.(value & opt int 4 & info [ "connections" ] ~docv:"N" ~doc:"Concurrent connections (one domain each).")
+  in
+  let duration =
+    Arg.(value & opt float 10.0 & info [ "duration" ] ~docv:"SECS" ~doc:"Run length in seconds.")
+  in
+  let rate =
+    Arg.(value & opt float 0.0
+           & info [ "rate" ] ~docv:"RPS"
+           ~doc:"Total target request rate across all connections; 0 = closed loop (as fast as replies come back).")
+  in
+  let instance =
+    Arg.(value & opt string "net" & info [ "instance" ] ~docv:"NAME" ~doc:"Served instance to route on.")
+  in
+  let protocol =
+    Arg.(value & opt string "greedy" & info [ "protocol" ] ~docv:"NAME" ~doc:"Routing protocol for the generated requests.")
+  in
+  let max_steps =
+    Arg.(value & opt (some int) None & info [ "max-steps" ] ~docv:"N" ~doc:"Per-route step budget.")
+  in
+  let hot_pairs =
+    Arg.(value & opt int 16
+           & info [ "hot-pairs" ] ~docv:"K"
+           ~doc:"Size of the cycled source/target pair set (0 = a 4096-pair cold set).")
+  in
+  let pair_seed =
+    Arg.(value & opt int 42 & info [ "pair-seed" ] ~docv:"N" ~doc:"Seed for the pair set.")
+  in
+  let warmup =
+    Arg.(value & opt int 5
+           & info [ "warmup" ] ~docv:"N"
+           ~doc:"Per-connection requests excluded from the tallies (connection + cache warmup).")
+  in
+  let deadline_ms =
+    Arg.(value & opt (some int) None & info [ "deadline-ms" ] ~docv:"N" ~doc:"Deadline attached to every request.")
+  in
+  let label =
+    Arg.(value & opt string "loadgen" & info [ "label" ] ~docv:"S" ~doc:"Label recorded in the report.")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Write the smallworld.load.v1 report here (else stdout).")
+  in
+  Cmd.v (Cmd.info "smallworld-loadgen" ~doc)
+    Term.(
+      const run $ host $ port $ codec $ connections $ duration $ rate $ instance
+      $ protocol $ max_steps $ hot_pairs $ pair_seed $ warmup $ deadline_ms
+      $ label $ out)
+
+let () = exit (Cmd.eval main)

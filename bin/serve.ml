@@ -30,8 +30,20 @@ let workers_arg =
 let queue_cap_arg =
   Arg.(value & opt int Server.Daemon.default_config.queue_cap
          & info [ "queue-cap" ] ~docv:"N"
-         ~doc:"Pending-connection bound; beyond it connections get the \
+         ~doc:"Pending-request bound; beyond it requests get the \
                'overloaded' error instead of queueing.")
+
+let json_only_arg =
+  Arg.(value & flag
+         & info [ "json-only" ]
+         ~doc:"Refuse binary-framed clients: a connection opening with the \
+               0xB1 magic byte gets a JSON bad-request reply and is closed.")
+
+let cache_cap_arg =
+  Arg.(value & opt int Server.Daemon.default_config.cache_cap
+         & info [ "cache-cap" ] ~docv:"N"
+         ~doc:"Route-cache capacity in entries (LRU, keyed on instance \
+               generation); 0 disables caching.")
 
 let registry_cap_arg =
   Arg.(value & opt int Server.Daemon.default_config.registry_cap
@@ -99,7 +111,8 @@ let preload ex spec =
           Ok ())
 
 let run host port workers queue_cap registry_cap max_batch admin_port access_log
-    access_sample obs_interval events_out trace_out loads obs_out jobs =
+    access_sample obs_interval events_out trace_out json_only cache_cap loads
+    obs_out jobs =
   match Api.Cli.apply_jobs jobs with
   | Error e -> Error e
   | Ok () -> (
@@ -118,6 +131,8 @@ let run host port workers queue_cap registry_cap max_batch admin_port access_log
           access_sample;
           events_out;
           trace_out;
+          json_only;
+          cache_cap;
         }
       in
       let t = Server.Daemon.create config in
@@ -162,6 +177,7 @@ let main =
         (const run $ host_arg $ port_arg $ workers_arg $ queue_cap_arg
        $ registry_cap_arg $ max_batch_arg $ admin_port_arg $ access_log_arg
        $ access_sample_arg $ obs_interval_arg $ events_out_arg $ trace_out_arg
-       $ load_arg $ Api.Cli.obs_out $ Api.Cli.jobs))
+       $ json_only_arg $ cache_cap_arg $ load_arg $ Api.Cli.obs_out
+       $ Api.Cli.jobs))
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,205 @@
+module J = Obs.Export
+
+let magic = '\xB1'
+let version = 1
+let max_frame_bytes = 16 * 1024 * 1024
+
+(* --- varints ----------------------------------------------------------- *)
+
+let add_varint buf n =
+  (* Unsigned LEB128 over the non-negative int [n]. *)
+  let n = ref n in
+  let continue = ref true in
+  while !continue do
+    let low = !n land 0x7f in
+    n := !n lsr 7;
+    if !n = 0 then (
+      Buffer.add_char buf (Char.chr low);
+      continue := false)
+    else Buffer.add_char buf (Char.chr (low lor 0x80))
+  done
+
+let zigzag n = (n lsl 1) lxor (n asr (Sys.int_size - 1))
+let unzigzag n = (n lsr 1) lxor (-(n land 1))
+
+exception Truncated
+exception Malformed of string
+
+(* [read_varint s pos limit] returns [(value, next_pos)]; raises
+   [Truncated] when the buffer ends mid-varint and [Malformed] on a
+   varint wider than an OCaml int. *)
+let read_varint s pos limit =
+  let v = ref 0 and shift = ref 0 and pos = ref pos and fin = ref (-1) in
+  while !fin < 0 do
+    if !pos >= limit then raise Truncated;
+    let b = Char.code s.[!pos] in
+    incr pos;
+    if !shift >= Sys.int_size then raise (Malformed "varint overflow");
+    v := !v lor ((b land 0x7f) lsl !shift);
+    shift := !shift + 7;
+    if b land 0x80 = 0 then fin := !pos
+  done;
+  (!v, !fin)
+
+(* --- payload encoding -------------------------------------------------- *)
+
+let add_string buf s =
+  add_varint buf (String.length s);
+  Buffer.add_string buf s
+
+let rec add_json buf (j : J.json) =
+  match j with
+  | J.Null -> Buffer.add_char buf '\x00'
+  | J.Bool true -> Buffer.add_char buf '\x01'
+  | J.Bool false -> Buffer.add_char buf '\x02'
+  | J.Int n ->
+      Buffer.add_char buf '\x03';
+      add_varint buf (zigzag n)
+  | J.Float f ->
+      Buffer.add_char buf '\x04';
+      let bits = Int64.bits_of_float f in
+      for i = 0 to 7 do
+        Buffer.add_char buf
+          (Char.chr (Int64.to_int (Int64.shift_right_logical bits (8 * i)) land 0xff))
+      done
+  | J.Str s ->
+      Buffer.add_char buf '\x05';
+      add_string buf s
+  | J.Arr items ->
+      Buffer.add_char buf '\x06';
+      add_varint buf (List.length items);
+      List.iter (add_json buf) items
+  | J.Obj fields ->
+      Buffer.add_char buf '\x07';
+      add_varint buf (List.length fields);
+      List.iter
+        (fun (k, v) ->
+          add_string buf k;
+          add_json buf v)
+        fields
+
+let encode_json j =
+  let buf = Buffer.create 256 in
+  add_json buf j;
+  Buffer.contents buf
+
+let read_string s pos limit =
+  let n, pos = read_varint s pos limit in
+  if n < 0 || pos + n > limit then raise Truncated;
+  (String.sub s pos n, pos + n)
+
+let rec read_json s pos limit =
+  if pos >= limit then raise Truncated;
+  let tag = Char.code s.[pos] in
+  let pos = pos + 1 in
+  match tag with
+  | 0 -> (J.Null, pos)
+  | 1 -> (J.Bool true, pos)
+  | 2 -> (J.Bool false, pos)
+  | 3 ->
+      let v, pos = read_varint s pos limit in
+      (J.Int (unzigzag v), pos)
+  | 4 ->
+      if pos + 8 > limit then raise Truncated;
+      let bits = ref 0L in
+      for i = 7 downto 0 do
+        bits :=
+          Int64.logor
+            (Int64.shift_left !bits 8)
+            (Int64.of_int (Char.code s.[pos + i]))
+      done;
+      (J.Float (Int64.float_of_bits !bits), pos + 8)
+  | 5 ->
+      let v, pos = read_string s pos limit in
+      (J.Str v, pos)
+  | 6 ->
+      let n, pos = read_varint s pos limit in
+      if n < 0 then raise (Malformed "negative array length");
+      let pos = ref pos in
+      let items = ref [] in
+      for _ = 1 to n do
+        let item, p = read_json s !pos limit in
+        items := item :: !items;
+        pos := p
+      done;
+      (J.Arr (List.rev !items), !pos)
+  | 7 ->
+      let n, pos = read_varint s pos limit in
+      if n < 0 then raise (Malformed "negative object length");
+      let pos = ref pos in
+      let fields = ref [] in
+      for _ = 1 to n do
+        let k, p = read_string s !pos limit in
+        let v, p = read_json s p limit in
+        fields := (k, v) :: !fields;
+        pos := p
+      done;
+      (J.Obj (List.rev !fields), !pos)
+  | t -> raise (Malformed (Printf.sprintf "unknown tag %d" t))
+
+let decode_json payload =
+  match read_json payload 0 (String.length payload) with
+  | j, consumed ->
+      if consumed <> String.length payload then
+        Error
+          (Printf.sprintf "trailing bytes: %d of %d consumed" consumed
+             (String.length payload))
+      else Ok j
+  | exception Truncated -> Error "truncated payload"
+  | exception Malformed msg -> Error msg
+
+(* --- framing ----------------------------------------------------------- *)
+
+let frame payload =
+  let buf = Buffer.create (String.length payload + 8) in
+  Buffer.add_char buf magic;
+  Buffer.add_char buf (Char.chr version);
+  add_varint buf (String.length payload);
+  Buffer.add_string buf payload;
+  Buffer.contents buf
+
+let request_frame e = frame (encode_json (V1.envelope_to_json e))
+let reply_frame r = frame (encode_json (V1.reply_to_json r))
+
+let decode_error what msg = Result.Error (Error.make Error.Bad_request "%s: %s" what msg)
+
+let envelope_of_payload payload =
+  match decode_json payload with
+  | Error msg -> decode_error "binary request" msg
+  | Ok j -> V1.envelope_of_json j
+
+let reply_of_payload payload =
+  match decode_json payload with
+  | Error msg -> decode_error "binary reply" msg
+  | Ok j -> V1.reply_of_json j
+
+(* --- incremental parser ------------------------------------------------ *)
+
+type parse_result =
+  | Need
+  | Frame of { payload : string; consumed : int }
+  | Oversized of { declared : int; consumed : int }
+  | Bad of string
+
+let parse ?(max_len = max_frame_bytes) buf ~pos ~len =
+  let limit = pos + len in
+  if len < 1 then Need
+  else if buf.[pos] <> magic then
+    Bad (Printf.sprintf "bad magic byte 0x%02x" (Char.code buf.[pos]))
+  else if len < 2 then Need
+  else if Char.code buf.[pos + 1] <> version then
+    Bad (Printf.sprintf "unsupported binary protocol version %d" (Char.code buf.[pos + 1]))
+  else
+    match read_varint buf (pos + 2) limit with
+    | exception Truncated -> Need
+    | exception Malformed msg -> Bad msg
+    | declared, body_pos ->
+        if declared > max_len then
+          Oversized { declared; consumed = body_pos - pos }
+        else if body_pos + declared > limit then Need
+        else
+          Frame
+            {
+              payload = String.sub buf body_pos declared;
+              consumed = body_pos + declared - pos;
+            }

@@ -1,0 +1,83 @@
+(** Length-prefixed binary framing for {!V1}.
+
+    A binary frame is
+
+    {v
+      offset  size  field
+      0       1     magic    0xB1 (distinct from '{' = 0x7B, so the first
+                             byte of a connection selects the codec)
+      1       1     version  0x01
+      2       1..10 length   payload byte count, LEB128 varint
+      ..      n     payload  binary-encoded JSON document
+    v}
+
+    and the payload is a tagged pre-order encoding of the same
+    {!Obs.Export.json} tree the JSON line codec serialises, so the two
+    codecs are exactly interconvertible: [decode_json (encode_json j) = Ok j]
+    for every tree, and a reply decoded from a binary frame re-renders to
+    the byte-identical JSON line the JSON codec would have sent.
+
+    Payload node encoding (one tag byte, then tag-specific data):
+
+    {v
+      tag  node        data
+      0    Null        -
+      1    Bool true   -
+      2    Bool false  -
+      3    Int         zigzag LEB128 varint
+      4    Float       8 bytes, IEEE-754 bits little-endian (exact)
+      5    Str         varint byte count, then the bytes
+      6    Arr         varint element count, then each element
+      7    Obj         varint field count, then (key, value) pairs where
+                       the key is a bare varint-prefixed string (no tag)
+    v} *)
+
+val magic : char
+(** [0xB1]. *)
+
+val version : int
+(** [1]. *)
+
+val max_frame_bytes : int
+(** Default refusal bound for incoming payloads (16 MiB, matching the
+    daemon's JSON [max_line_bytes]). *)
+
+(** {1 Payload codec} *)
+
+val encode_json : Obs.Export.json -> string
+val decode_json : string -> (Obs.Export.json, string) result
+
+(** {1 Framing} *)
+
+val frame : string -> string
+(** [frame payload] prepends magic, version and varint length. *)
+
+val request_frame : V1.envelope -> string
+val reply_frame : V1.reply -> string
+
+val envelope_of_payload : string -> (V1.envelope, Error.t) result
+val reply_of_payload : string -> (V1.reply, Error.t) result
+
+(** {1 Incremental frame parser}
+
+    Feed the accumulated unconsumed bytes of a connection; the parser
+    never consumes a partial frame, so callers retry with a longer
+    buffer as reads complete. *)
+
+type parse_result =
+  | Need
+      (** Not enough bytes yet for a full header + payload. *)
+  | Frame of { payload : string; consumed : int }
+      (** One complete frame; drop [consumed] bytes from the buffer. *)
+  | Oversized of { declared : int; consumed : int }
+      (** Valid header but the declared payload exceeds [max_len]; the
+          header's [consumed] bytes can be dropped and the next
+          [declared] payload bytes discarded as they arrive, keeping
+          the connection alive. *)
+  | Bad of string
+      (** Malformed header (wrong magic / version / varint): the
+          connection cannot be resynchronised. *)
+
+val parse : ?max_len:int -> string -> pos:int -> len:int -> parse_result
+(** [parse buf ~pos ~len] examines [len] bytes of [buf] starting at
+    [pos].  [max_len] defaults to {!max_frame_bytes}. *)

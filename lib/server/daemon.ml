@@ -1,5 +1,6 @@
 module V1 = Api.V1
 module Error = Api.Error
+module B = Api.Binary
 
 type config = {
   host : string;
@@ -17,6 +18,10 @@ type config = {
       (* flight-recorder ring, dumped once at drain (smallworld.events.v1) *)
   trace_out : string option;
       (* smallworld.trace.v1 sink: one record per traced request *)
+  json_only : bool;
+      (* refuse binary-framed clients with a JSON caller error *)
+  cache_cap : int;
+      (* route-cache capacity, 0 disables (see Cache) *)
 }
 
 let default_config =
@@ -34,7 +39,55 @@ let default_config =
     access_sample = 1;
     events_out = None;
     trace_out = None;
+    json_only = false;
+    cache_cap = 4096;
   }
+
+type codec = C_unknown | C_json | C_binary
+
+(* Everything needed to finish a request's bookkeeping once its reply
+   bytes hit the socket: stage timings, trace context, access-log
+   fields.  Produced by the worker, consumed by the event loop when
+   the reply chunk finishes flushing. *)
+type fin = {
+  f_req_id : int;
+  f_client_id : int option;
+  f_op : string option;
+  f_instance : string option;
+  f_outcome : string;
+  f_t_start : float;
+  f_queue_s : float;
+  f_compute_s : float;
+  f_render_s : float;
+  f_traced : (V1.trace_ctx * Obs.Span.t) option;
+  mutable f_flush_t0 : float;
+}
+
+type wchunk = { w_bytes : Bytes.t; mutable w_off : int; w_fin : fin option }
+
+type conn = {
+  c_fd : Unix.file_descr;
+  mutable c_codec : codec;
+  mutable c_rbuf : Bytes.t;
+  mutable c_rlen : int;
+  mutable c_scanned : int;  (* newline scan resume point (JSON codec) *)
+  c_wq : wchunk Queue.t;
+  mutable c_inflight : bool;  (* one dispatched request at a time *)
+  mutable c_skip : int;  (* oversized-frame payload bytes left to discard *)
+  mutable c_eof : bool;
+  mutable c_dead : bool;
+  mutable c_close_after_flush : bool;
+}
+
+type job = {
+  j_conn : conn;
+  j_payload : string;  (* JSON line (sans newline) or binary frame payload *)
+  j_codec : codec;
+  j_req_id : int;
+  j_enqueued : float;
+}
+
+type completion = { d_conn : conn; d_bytes : Bytes.t; d_fin : fin option }
 
 type t = {
   config : config;
@@ -42,14 +95,20 @@ type t = {
   bound_port : int;
   admin : (Unix.file_descr * int) option;
   ex : Exec.t;
-  (* Connections carry their enqueue instant so the worker that pops
-     one can charge the wait to the queue_wait stage. *)
-  queue : (Unix.file_descr * float) Queue.t;
+  ev : Evloop.t;
+  (* Pending *requests* (not connections): the event loop refuses with
+     [overloaded] past [queue_cap], workers pop. *)
+  jobs : job Queue.t;
   qmutex : Mutex.t;
   qcond : Condition.t;
+  (* Finished requests travelling back to the event loop for writing. *)
+  completions : completion Queue.t;
+  cmutex : Mutex.t;
+  (* Connection table; owned exclusively by the event-loop domain. *)
+  conns : (Unix.file_descr, conn) Hashtbl.t;
+  mutable outstanding : int;  (* dispatched jobs without a collected completion *)
   alog : Access_log.t option;
-  (* Mutex-guarded JSONL sink for per-request trace records; workers on
-     any domain may append. *)
+  (* Mutex-guarded JSONL sink for per-request trace records. *)
   trace_log : (Mutex.t * out_channel) option;
   manifest_now : bool Atomic.t;
   (* Stage clocks cost one gettimeofday each; skip them entirely when
@@ -59,12 +118,18 @@ type t = {
   mutable aux_domains : unit Domain.t list;
 }
 
-(* How often blocked loops re-check the drain flag. *)
+(* Fallback tick for blocked loops (drain-flag checks in the admin and
+   housekeeping domains; event-loop safety net).  The request path
+   never waits on it: completions wake the event loop through the
+   self-pipe. *)
 let poll_interval = 0.2
 
 (* A request line larger than this is hostile; drop the connection
    rather than buffer without bound. *)
 let max_line_bytes = 16 * 1024 * 1024
+
+(* Read-buffer ceiling: one maximal frame or line plus header slack. *)
+let buf_cap_limit = max_line_bytes + 64
 
 (* How long an admin connection may sit idle before it is dropped —
    the admin loop serves connections one at a time, so a silent client
@@ -83,8 +148,8 @@ let write_all fd s =
   in
   go 0
 
-(* Best effort: the peer may already be gone; that must not take a
-   worker down. *)
+(* Best effort: the peer may already be gone; that must not take the
+   admin loop down. *)
 let try_write fd s =
   match write_all fd s with
   | () -> true
@@ -92,20 +157,31 @@ let try_write fd s =
 
 let try_write_reply fd reply = try_write fd (V1.reply_line reply ^ "\n")
 
-let refuse fd err =
-  ignore (try_write_reply fd { V1.reply_id = None; response = V1.Failed err });
-  (try Unix.close fd with Unix.Unix_error _ -> ())
-
 let overloaded_error cap =
-  Error.make Error.Overloaded
-    "request queue full (%d pending connections); retry later" cap
+  Error.make Error.Overloaded "request queue full (%d pending requests); retry later"
+    cap
 
 let draining_error =
   Error.make Error.Draining "server is draining and no longer accepts work"
 
+let json_only_error =
+  Error.make Error.Bad_request
+    "binary framing is disabled on this server; send newline-delimited JSON"
+
+let oversized_frame_error declared =
+  Error.make Error.Bad_request
+    "frame payload of %d bytes exceeds the %d-byte limit; split the request"
+    declared B.max_frame_bytes
+
+let render_reply codec reply =
+  match codec with
+  | C_json -> V1.reply_line reply ^ "\n"
+  | C_binary | C_unknown -> B.reply_frame reply
+
 (* Read one newline-terminated line, polling the drain flag while
    blocked.  [None] on EOF, drain, oversized line, socket error, or an
-   exceeded [give_up] instant. *)
+   exceeded [give_up] instant.  Admin plane only — the main plane is
+   event-driven. *)
 let read_line_poll ?give_up t fd buf =
   let chunk = Bytes.create 8192 in
   let take_line () =
@@ -197,138 +273,482 @@ let write_trace_record t ~ctx ~req_id ~compute_tree ~queue_s ~compute_s ~render_
       Mutex.unlock mu)
     t.trace_log
 
-let serve_connection t ~queue_wait fd =
-  let buf = Buffer.create 256 in
-  (* The first request on a connection is charged the time the
-     connection spent in the accept queue; follow-ups on the same
-     connection never queued. *)
-  let pending_wait = ref queue_wait in
-  let rec loop () =
-    if Exec.draining t.ex then ()
-    else
-      match read_line_poll t fd buf with
-      | None -> ()
-      | Some line ->
-          let req_id = Exec.next_request_id t.ex in
-          Exec.begin_request t.ex;
-          Exec.note_accepted t.ex;
-          let queue_s = !pending_wait in
-          pending_wait := 0.0;
-          let clock () = if t.timing then Unix.gettimeofday () else 0.0 in
-          let t_start = clock () in
-          let client_id, op, instance, reply, traced =
-            match V1.envelope_of_line line with
-            | Error e ->
-                (None, None, None, { V1.reply_id = None; response = V1.Failed e }, None)
-            | Ok env ->
-                let deadline =
-                  Option.map
-                    (fun ms -> Unix.gettimeofday () +. (float_of_int ms /. 1000.0))
-                    env.deadline_ms
-                in
-                (* GC deltas around the compute stage; the reads only
-                   happen with obs on, preserving the zero-GC-read
-                   contract of SMALLWORLD_OBS=0. *)
-                let gc0 = if Obs.Metrics.enabled then Some (Gc.quick_stat ()) else None in
-                let handle () = Exec.handle t.ex ?deadline env.request in
-                let response, traced =
-                  match env.trace with
-                  | Some ctx when t.trace_log <> None ->
-                      (* The probe snapshots this request's span tree
-                         (Exec's server.<op> span plus the algorithm
-                         spans beneath it) before it merges into the
-                         rolled-up profile. *)
-                      let response, tree = Obs.Span.probe ~name:"stage.compute" handle in
-                      (response, Option.map (fun tree -> (ctx, tree)) tree)
-                  | Some _ | None -> (handle (), None)
-                in
-                Option.iter
-                  (fun (g0 : Gc.stat) ->
-                    let g1 = Gc.quick_stat () in
-                    Exec.observe_gc t.ex
-                      ~minor_words:(g1.minor_words -. g0.minor_words)
-                      ~major_words:(g1.major_words -. g0.major_words)
-                      ~collections:
-                        (g1.minor_collections - g0.minor_collections
-                        + (g1.major_collections - g0.major_collections)))
-                  gc0;
-                ( env.id,
-                  Some (V1.op_of_request env.request),
-                  V1.instance_of_request env.request,
-                  { V1.reply_id = env.id; response },
-                  traced )
+(* ------------------------------------------------------------------ *)
+(* Event-loop side: connection I/O, framing, dispatch.  Everything in
+   this section runs on the single event-loop domain unless noted. *)
+
+let finalize t fin ~write_s =
+  if t.timing then
+    Exec.observe_stages t.ex ?op:fin.f_op ~compute:fin.f_compute_s
+      ~render:fin.f_render_s ~write:write_s ();
+  Option.iter
+    (fun (ctx, compute_tree) ->
+      write_trace_record t ~ctx ~req_id:fin.f_req_id ~compute_tree
+        ~queue_s:fin.f_queue_s ~compute_s:fin.f_compute_s ~render_s:fin.f_render_s
+        ~write_s ~t_start:fin.f_t_start)
+    fin.f_traced;
+  Option.iter
+    (fun alog ->
+      Access_log.log alog
+        {
+          Access_log.req_id = fin.f_req_id;
+          client_id = fin.f_client_id;
+          op = Option.value fin.f_op ~default:"invalid";
+          instance = fin.f_instance;
+          outcome = fin.f_outcome;
+          t_unix = fin.f_t_start;
+          queue_s = fin.f_queue_s;
+          compute_s = fin.f_compute_s;
+          render_s = fin.f_render_s;
+          write_s;
+        })
+    t.alog;
+  Exec.end_request t.ex
+
+(* Killing a connection must still retire its unflushed requests, or
+   the inflight gauge (begin/end_request) never balances. *)
+let mark_dead t conn =
+  if not conn.c_dead then begin
+    conn.c_dead <- true;
+    Queue.iter
+      (fun ch -> Option.iter (fun fin -> finalize t fin ~write_s:0.0) ch.w_fin)
+      conn.c_wq;
+    Queue.clear conn.c_wq
+  end
+
+let rec try_flush t conn =
+  if not conn.c_dead then
+    match Queue.peek_opt conn.c_wq with
+    | None -> ()
+    | Some ch -> (
+        let remaining = Bytes.length ch.w_bytes - ch.w_off in
+        match Unix.write conn.c_fd ch.w_bytes ch.w_off remaining with
+        | n ->
+            ch.w_off <- ch.w_off + n;
+            if ch.w_off = Bytes.length ch.w_bytes then begin
+              ignore (Queue.pop conn.c_wq);
+              Option.iter
+                (fun fin ->
+                  let write_s =
+                    if t.timing then
+                      Float.max 0.0 (Unix.gettimeofday () -. fin.f_flush_t0)
+                    else 0.0
+                  in
+                  finalize t fin ~write_s)
+                ch.w_fin;
+              try_flush t conn
+            end
+            (* partial write: the socket buffer is full; select tells us
+               when to resume *)
+        | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
+        | exception Unix.Unix_error (EINTR, _, _) -> try_flush t conn
+        | exception Unix.Unix_error _ -> mark_dead t conn)
+
+let enqueue_reply t conn ~codec reply =
+  if not conn.c_dead then begin
+    Queue.push
+      { w_bytes = Bytes.of_string (render_reply codec reply); w_off = 0; w_fin = None }
+      conn.c_wq;
+    try_flush t conn
+  end
+
+let close_conn t conn =
+  mark_dead t conn;
+  Hashtbl.remove t.conns conn.c_fd;
+  try Unix.close conn.c_fd with Unix.Unix_error _ -> ()
+
+(* Backpressure: stop reading while a request is dispatched or a reply
+   is still flushing — a client cannot pump unbounded pipelined work
+   into the daemon.  Oversized-frame discards keep reading regardless
+   (the bytes are thrown away, not buffered). *)
+let want_read conn =
+  (not conn.c_dead) && (not conn.c_eof)
+  && (not conn.c_close_after_flush)
+  && (conn.c_skip > 0 || ((not conn.c_inflight) && Queue.is_empty conn.c_wq))
+
+let should_close t conn =
+  conn.c_dead
+  || ((not conn.c_inflight)
+     && Queue.is_empty conn.c_wq
+     && (conn.c_eof || conn.c_close_after_flush || Exec.draining t.ex))
+
+(* Worker -> event loop.  Wake only on the empty->non-empty
+   transition: a non-empty queue already has an unconsumed wakeup byte
+   in flight, so back-to-back completions cost one pipe write. *)
+let push_completion t c =
+  Mutex.lock t.cmutex;
+  let was_empty = Queue.is_empty t.completions in
+  Queue.push c t.completions;
+  Mutex.unlock t.cmutex;
+  if was_empty then Evloop.wakeup t.ev
+
+(* Event loop -> workers.  Request ids are assigned here, on the one
+   domain that reads sockets, so ids are ordered by arrival. *)
+let dispatch t conn ~payload ~codec =
+  Mutex.lock t.qmutex;
+  if Queue.length t.jobs >= t.config.queue_cap then begin
+    Mutex.unlock t.qmutex;
+    (* Answer right here on the event loop — an overload can never
+       wedge the daemon, and the connection survives to retry. *)
+    Exec.note_rejected t.ex;
+    enqueue_reply t conn ~codec
+      { V1.reply_id = None; response = V1.Failed (overloaded_error t.config.queue_cap) }
+  end
+  else begin
+    let job =
+      {
+        j_conn = conn;
+        j_payload = payload;
+        j_codec = codec;
+        j_req_id = Exec.next_request_id t.ex;
+        j_enqueued = Unix.gettimeofday ();
+      }
+    in
+    Queue.push job t.jobs;
+    Exec.note_queue_depth t.ex (Queue.length t.jobs);
+    Condition.signal t.qcond;
+    Mutex.unlock t.qmutex;
+    conn.c_inflight <- true;
+    t.outstanding <- t.outstanding + 1
+  end
+
+let consume conn n =
+  Bytes.blit conn.c_rbuf n conn.c_rbuf 0 (conn.c_rlen - n);
+  conn.c_rlen <- conn.c_rlen - n;
+  conn.c_scanned <- 0
+
+(* The first byte of a connection selects the codec: 0xB1 is binary
+   framing, anything else (in particular '{') stays on the JSON line
+   codec, so old clients keep working unchanged. *)
+let negotiate t conn =
+  if conn.c_codec = C_unknown && conn.c_rlen > 0 then begin
+    if Bytes.get conn.c_rbuf 0 = B.magic then
+      if t.config.json_only then begin
+        enqueue_reply t conn ~codec:C_json
+          { V1.reply_id = None; response = V1.Failed json_only_error };
+        conn.c_close_after_flush <- true
+      end
+      else conn.c_codec <- C_binary
+    else conn.c_codec <- C_json
+  end
+
+(* Extract at most one request from the connection's read buffer and
+   dispatch it.  At most one, because a dispatch flips [c_inflight]
+   and the next request waits for the reply (FIFO per connection);
+   oversized binary frames are refused inline and parsing continues. *)
+let rec pump t conn =
+  if not (conn.c_dead || conn.c_close_after_flush || Exec.draining t.ex) then begin
+    if conn.c_skip > 0 && conn.c_rlen > 0 then begin
+      let d = min conn.c_skip conn.c_rlen in
+      consume conn d;
+      conn.c_skip <- conn.c_skip - d
+    end;
+    if
+      conn.c_skip = 0
+      && (not conn.c_inflight)
+      && Queue.is_empty conn.c_wq
+      && conn.c_rlen > 0
+    then begin
+      negotiate t conn;
+      match conn.c_codec with
+      | C_unknown -> ()  (* json-only refusal queued above *)
+      | C_json ->
+          let rec find_nl i =
+            if i >= conn.c_rlen then None
+            else if Bytes.get conn.c_rbuf i = '\n' then Some i
+            else find_nl (i + 1)
           in
-          let t_computed = clock () in
-          let out = V1.reply_line reply ^ "\n" in
-          let t_rendered = clock () in
-          let ok = try_write fd out in
-          let t_written = clock () in
-          let compute_s = t_computed -. t_start
-          and render_s = t_rendered -. t_computed
-          and write_s = t_written -. t_rendered in
-          if t.timing then
-            Exec.observe_stages t.ex ?op ~compute:compute_s ~render:render_s
-              ~write:write_s ();
-          Option.iter
-            (fun (ctx, compute_tree) ->
-              write_trace_record t ~ctx ~req_id ~compute_tree ~queue_s ~compute_s
-                ~render_s ~write_s ~t_start)
-            traced;
-          Option.iter
-            (fun alog ->
-              Access_log.log alog
+          (match find_nl conn.c_scanned with
+          | Some i ->
+              let line = Bytes.sub_string conn.c_rbuf 0 i in
+              consume conn (i + 1);
+              dispatch t conn ~payload:line ~codec:C_json
+          | None ->
+              conn.c_scanned <- conn.c_rlen;
+              if conn.c_rlen > max_line_bytes then mark_dead t conn)
+      | C_binary -> (
+          (* unsafe_to_string: [parse] only reads, and only within
+             [0, c_rlen) while we hold the buffer. *)
+          match
+            B.parse (Bytes.unsafe_to_string conn.c_rbuf) ~pos:0 ~len:conn.c_rlen
+          with
+          | B.Need -> ()
+          | B.Frame { payload; consumed } ->
+              consume conn consumed;
+              dispatch t conn ~payload ~codec:C_binary
+          | B.Oversized { declared; consumed } ->
+              consume conn consumed;
+              conn.c_skip <- declared;
+              enqueue_reply t conn ~codec:C_binary
                 {
-                  Access_log.req_id;
-                  client_id;
-                  op = Option.value op ~default:"invalid";
-                  instance;
-                  outcome = outcome_of reply.V1.response;
-                  t_unix = t_start;
-                  queue_s;
-                  compute_s;
-                  render_s;
-                  write_s;
-                })
-            t.alog;
-          Exec.end_request t.ex;
-          (* A drain ack must wake parked workers so they can observe
-             the flag and exit. *)
-          if reply.V1.response = V1.Drain_ack then wake_all t;
-          if ok then loop ()
+                  V1.reply_id = None;
+                  response = V1.Failed (oversized_frame_error declared);
+                };
+              (* discard whatever payload bytes already arrived *)
+              pump t conn
+          | B.Bad msg ->
+              enqueue_reply t conn ~codec:C_binary
+                {
+                  V1.reply_id = None;
+                  response = V1.Failed (Error.make Error.Bad_request "bad frame: %s" msg);
+                };
+              conn.c_close_after_flush <- true)
+    end
+  end
+
+let accept_new t =
+  let rec go () =
+    match Unix.accept ~cloexec:true t.listen_fd with
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (EINTR, _, _) -> go ()
+    | exception Unix.Unix_error _ -> ()
+    | fd, _ ->
+        Unix.set_nonblock fd;
+        (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+        Hashtbl.replace t.conns fd
+          {
+            c_fd = fd;
+            c_codec = C_unknown;
+            c_rbuf = Bytes.create 8192;
+            c_rlen = 0;
+            c_scanned = 0;
+            c_wq = Queue.create ();
+            c_inflight = false;
+            c_skip = 0;
+            c_eof = false;
+            c_dead = false;
+            c_close_after_flush = false;
+          };
+        go ()
   in
-  Fun.protect
-    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
-    loop
+  go ()
+
+let ensure_space conn =
+  let cap = Bytes.length conn.c_rbuf in
+  if cap - conn.c_rlen < 8192 && cap < buf_cap_limit then begin
+    let ncap = min buf_cap_limit (max (cap * 2) (conn.c_rlen + 65536)) in
+    let nb = Bytes.create ncap in
+    Bytes.blit conn.c_rbuf 0 nb 0 conn.c_rlen;
+    conn.c_rbuf <- nb
+  end
+
+let read_conn t conn =
+  ensure_space conn;
+  let free = Bytes.length conn.c_rbuf - conn.c_rlen in
+  if free = 0 then
+    (* only reachable past the buffer ceiling: hostile input *)
+    mark_dead t conn
+  else
+    match Unix.read conn.c_fd conn.c_rbuf conn.c_rlen free with
+    | 0 -> conn.c_eof <- true
+    | n -> conn.c_rlen <- conn.c_rlen + n
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+    | exception Unix.Unix_error _ -> mark_dead t conn
+
+let process_completions t =
+  let batch = Queue.create () in
+  Mutex.lock t.cmutex;
+  Queue.transfer t.completions batch;
+  Mutex.unlock t.cmutex;
+  if not (Queue.is_empty batch) then begin
+    let now = if t.timing then Unix.gettimeofday () else 0.0 in
+    Queue.iter
+      (fun c ->
+        t.outstanding <- t.outstanding - 1;
+        let conn = c.d_conn in
+        conn.c_inflight <- false;
+        if conn.c_dead then
+          (* the peer vanished mid-request; retire the bookkeeping *)
+          Option.iter (fun fin -> finalize t fin ~write_s:0.0) c.d_fin
+        else begin
+          Option.iter (fun fin -> fin.f_flush_t0 <- now) c.d_fin;
+          Queue.push { w_bytes = c.d_bytes; w_off = 0; w_fin = c.d_fin } conn.c_wq;
+          try_flush t conn
+        end)
+      batch
+  end
+
+(* At drain, jobs may be left in the queue after the workers exit (a
+   dispatch can race the drain flag); refuse them from here so nothing
+   is stranded. *)
+let refuse_leftover_jobs t =
+  let leftovers = ref [] in
+  Mutex.lock t.qmutex;
+  Queue.iter (fun j -> leftovers := j :: !leftovers) t.jobs;
+  Queue.clear t.jobs;
+  Mutex.unlock t.qmutex;
+  List.iter
+    (fun job ->
+      t.outstanding <- t.outstanding - 1;
+      job.j_conn.c_inflight <- false;
+      Exec.note_rejected t.ex;
+      enqueue_reply t job.j_conn ~codec:job.j_codec
+        { V1.reply_id = None; response = V1.Failed draining_error })
+    (List.rev !leftovers)
+
+let queues_empty t =
+  Mutex.lock t.qmutex;
+  let jobs_empty = Queue.is_empty t.jobs in
+  Mutex.unlock t.qmutex;
+  Mutex.lock t.cmutex;
+  let comps_empty = Queue.is_empty t.completions in
+  Mutex.unlock t.cmutex;
+  jobs_empty && comps_empty
+
+(* The connection plane: one domain, readiness-driven.  Never blocks
+   on a socket — reads and writes are non-blocking, replies produced
+   by worker domains arrive through [completions] plus a self-pipe
+   wakeup. *)
+let event_loop t =
+  Unix.set_nonblock t.listen_fd;
+  let finished = ref false in
+  while not !finished do
+    process_completions t;
+    let draining = Exec.draining t.ex in
+    if draining then begin
+      refuse_leftover_jobs t;
+      (* parked workers must observe the flag and exit *)
+      wake_all t
+    end;
+    Hashtbl.iter (fun _ conn -> pump t conn) t.conns;
+    let doomed =
+      Hashtbl.fold (fun _ c acc -> if should_close t c then c :: acc else acc) t.conns []
+    in
+    List.iter (close_conn t) doomed;
+    if draining && t.outstanding = 0 && Hashtbl.length t.conns = 0 && queues_empty t
+    then finished := true
+    else begin
+      let read = ref (if draining then [] else [ t.listen_fd ]) in
+      let write = ref [] in
+      Hashtbl.iter
+        (fun fd conn ->
+          if want_read conn then read := fd :: !read;
+          if (not conn.c_dead) && not (Queue.is_empty conn.c_wq) then
+            write := fd :: !write)
+        t.conns;
+      let readable, writable =
+        Evloop.wait t.ev ~read:!read ~write:!write ~timeout:poll_interval
+      in
+      List.iter
+        (fun fd ->
+          match Hashtbl.find_opt t.conns fd with
+          | Some conn -> try_flush t conn
+          | None -> ())
+        writable;
+      List.iter
+        (fun fd ->
+          if fd == t.listen_fd then accept_new t
+          else
+            match Hashtbl.find_opt t.conns fd with
+            | Some conn ->
+                read_conn t conn;
+                pump t conn
+            | None -> ())
+        readable
+    end
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Worker side: parse, execute, render.  Runs on the worker domains. *)
+
+let process t (job : job) =
+  let conn = job.j_conn in
+  let queue_wait =
+    if t.timing then Float.max 0.0 (Unix.gettimeofday () -. job.j_enqueued) else 0.0
+  in
+  if t.timing then Exec.note_queue_wait t.ex queue_wait;
+  Exec.begin_request t.ex;
+  Exec.note_accepted t.ex;
+  let clock () = if t.timing then Unix.gettimeofday () else 0.0 in
+  let t_start = clock () in
+  let parsed =
+    match job.j_codec with
+    | C_json -> V1.envelope_of_line job.j_payload
+    | C_binary | C_unknown -> B.envelope_of_payload job.j_payload
+  in
+  let client_id, op, instance, reply, traced =
+    match parsed with
+    | Error e -> (None, None, None, { V1.reply_id = None; response = V1.Failed e }, None)
+    | Ok env ->
+        let deadline =
+          Option.map
+            (fun ms -> Unix.gettimeofday () +. (float_of_int ms /. 1000.0))
+            env.V1.deadline_ms
+        in
+        (* GC deltas around the compute stage; the reads only happen
+           with obs on, preserving the zero-GC-read contract of
+           SMALLWORLD_OBS=0. *)
+        let gc0 = if Obs.Metrics.enabled then Some (Gc.quick_stat ()) else None in
+        let handle () = Exec.handle t.ex ?deadline env.request in
+        let response, traced =
+          match env.trace with
+          | Some ctx when t.trace_log <> None ->
+              (* The probe snapshots this request's span tree (Exec's
+                 server.<op> span plus the algorithm spans beneath it)
+                 before it merges into the rolled-up profile. *)
+              let response, tree = Obs.Span.probe ~name:"stage.compute" handle in
+              (response, Option.map (fun tree -> (ctx, tree)) tree)
+          | Some _ | None -> (handle (), None)
+        in
+        Option.iter
+          (fun (g0 : Gc.stat) ->
+            let g1 = Gc.quick_stat () in
+            Exec.observe_gc t.ex
+              ~minor_words:(g1.minor_words -. g0.minor_words)
+              ~major_words:(g1.major_words -. g0.major_words)
+              ~collections:
+                (g1.minor_collections - g0.minor_collections
+                + (g1.major_collections - g0.major_collections)))
+          gc0;
+        ( env.id,
+          Some (V1.op_of_request env.request),
+          V1.instance_of_request env.request,
+          { V1.reply_id = env.id; response },
+          traced )
+  in
+  let t_computed = clock () in
+  let out = render_reply job.j_codec reply in
+  let t_rendered = clock () in
+  let fin =
+    {
+      f_req_id = job.j_req_id;
+      f_client_id = client_id;
+      f_op = op;
+      f_instance = instance;
+      f_outcome = outcome_of reply.V1.response;
+      f_t_start = t_start;
+      f_queue_s = queue_wait;
+      f_compute_s = t_computed -. t_start;
+      f_render_s = t_rendered -. t_computed;
+      f_traced = traced;
+      f_flush_t0 = 0.0;
+    }
+  in
+  push_completion t { d_conn = conn; d_bytes = Bytes.of_string out; d_fin = Some fin };
+  (* A drain ack must wake parked workers so they can observe the flag
+     and exit. *)
+  if reply.V1.response = V1.Drain_ack then wake_all t
+
+let refuse_job t (job : job) =
+  Exec.note_rejected t.ex;
+  let out =
+    render_reply job.j_codec { V1.reply_id = None; response = V1.Failed draining_error }
+  in
+  push_completion t { d_conn = job.j_conn; d_bytes = Bytes.of_string out; d_fin = None }
 
 let worker_loop t =
   let rec next () =
     Mutex.lock t.qmutex;
-    while Queue.is_empty t.queue && not (Exec.draining t.ex) do
+    while Queue.is_empty t.jobs && not (Exec.draining t.ex) do
       Condition.wait t.qcond t.qmutex
     done;
-    if Exec.draining t.ex then begin
-      (* Connections still queued never got to send a request: refuse
-         them explicitly instead of dropping them on the floor. *)
-      let leftovers = Queue.fold (fun acc (fd, _) -> fd :: acc) [] t.queue in
-      Queue.clear t.queue;
-      Mutex.unlock t.qmutex;
-      List.iter
-        (fun fd ->
-          Exec.note_rejected t.ex;
-          refuse fd draining_error)
-        leftovers
-    end
-    else begin
-      let fd, enqueued = Queue.pop t.queue in
-      Exec.note_queue_depth t.ex (Queue.length t.queue);
-      Mutex.unlock t.qmutex;
-      let queue_wait =
-        if t.timing then Float.max 0.0 (Unix.gettimeofday () -. enqueued) else 0.0
-      in
-      if t.timing then Exec.note_queue_wait t.ex queue_wait;
-      serve_connection t ~queue_wait fd;
-      next ()
-    end
+    match Queue.take_opt t.jobs with
+    | None -> Mutex.unlock t.qmutex  (* draining and nothing queued: exit *)
+    | Some job ->
+        Exec.note_queue_depth t.ex (Queue.length t.jobs);
+        Mutex.unlock t.qmutex;
+        if Exec.draining t.ex then refuse_job t job else process t job;
+        next ()
   in
   next ()
 
@@ -484,6 +904,7 @@ let create config =
   if config.queue_cap < 1 then invalid_arg "Daemon.create: queue_cap must be >= 1";
   if config.access_sample < 1 then
     invalid_arg "Daemon.create: access_sample must be >= 1";
+  if config.cache_cap < 0 then invalid_arg "Daemon.create: cache_cap must be >= 0";
   let listen_fd, bound_port =
     listen_on ~host:config.host ~port:config.port
       ~backlog:(config.queue_cap + config.workers)
@@ -512,10 +933,17 @@ let create config =
       listen_fd;
       bound_port;
       admin;
-      ex = Exec.create ~registry_cap:config.registry_cap ~max_batch:config.max_batch ();
-      queue = Queue.create ();
+      ex =
+        Exec.create ~registry_cap:config.registry_cap ~max_batch:config.max_batch
+          ~cache_cap:config.cache_cap ();
+      ev = Evloop.create ();
+      jobs = Queue.create ();
       qmutex = Mutex.create ();
       qcond = Condition.create ();
+      completions = Queue.create ();
+      cmutex = Mutex.create ();
+      conns = Hashtbl.create 64;
+      outstanding = 0;
       alog;
       trace_log;
       manifest_now = Atomic.make false;
@@ -526,7 +954,7 @@ let create config =
   in
   Exec.set_queue_depth_source t.ex (fun () ->
       Mutex.lock t.qmutex;
-      let n = Queue.length t.queue in
+      let n = Queue.length t.jobs in
       Mutex.unlock t.qmutex;
       n);
   t.worker_domains <-
@@ -544,44 +972,22 @@ let port t = t.bound_port
 let admin_port t = Option.map snd t.admin
 let exec t = t.ex
 
+(* Safe from a signal handler: one atomic store and one self-pipe
+   write; the event loop broadcasts to the workers on its next
+   iteration. *)
 let stop t =
   Exec.start_drain t.ex;
-  wake_all t
-
-let accept_loop t =
-  while not (Exec.draining t.ex) do
-    let readable, _, _ =
-      restart_on_intr (fun () -> Unix.select [ t.listen_fd ] [] [] poll_interval)
-    in
-    if readable <> [] && not (Exec.draining t.ex) then begin
-      match restart_on_intr (fun () -> Unix.accept t.listen_fd) with
-      | exception Unix.Unix_error _ -> ()
-      | fd, _ ->
-          Mutex.lock t.qmutex;
-          if Queue.length t.queue >= t.config.queue_cap then begin
-            Mutex.unlock t.qmutex;
-            (* Backpressure: answer right here on the accept path, so
-               an overload can never wedge the daemon. *)
-            Exec.note_rejected t.ex;
-            refuse fd (overloaded_error t.config.queue_cap)
-          end
-          else begin
-            Queue.push (fd, Unix.gettimeofday ()) t.queue;
-            Exec.note_queue_depth t.ex (Queue.length t.queue);
-            Condition.signal t.qcond;
-            Mutex.unlock t.qmutex
-          end
-    end
-  done
+  Evloop.wakeup t.ev
 
 let serve t =
   Obs.Span.with_ ~name:"server.serve" (fun () ->
-      accept_loop t;
+      event_loop t;
       wake_all t;
       List.iter Domain.join t.worker_domains;
       t.worker_domains <- [];
       List.iter Domain.join t.aux_domains;
       t.aux_domains <- [];
+      Evloop.close t.ev;
       (try Unix.close t.listen_fd with Unix.Unix_error _ -> ()));
   write_manifest t;
   (* Drain-time finalization: the event ring (whatever survived the

@@ -1,27 +1,50 @@
-(** The route-serving TCP daemon: newline-delimited JSON over a
-    loopback (or any) TCP socket, stdlib [Unix] only.
+(** The route-serving TCP daemon: newline-delimited JSON or
+    length-prefixed binary frames (see {!Api.Binary}) over a loopback
+    (or any) TCP socket, stdlib [Unix] only.
 
-    Concurrency model: the domain that calls {!serve} runs the accept
-    loop; [workers] spawned domains each own one client connection at a
-    time, popped from a bounded queue.  When the queue is full the
-    accept loop answers with the [overloaded] taxonomy error and closes
-    — backpressure is explicit, nothing buffers without bound.  Worker
-    domains poll the drain flag (200 ms granularity) between requests
-    and while waiting for input, so a SIGTERM (or a [drain] request)
-    stops new work, lets every in-flight request finish and reply, and
-    then {!serve} returns — after appending the run manifest when
-    [obs_out] is set.
+    Concurrency model: the domain that calls {!serve} runs a
+    single-threaded readiness event loop (see {!Evloop}) that owns
+    every client socket — non-blocking accepts, reads, framing, and
+    reply writes all happen there, so an idle or slow client costs one
+    table entry, not a domain.  Parsed requests are dispatched to a
+    bounded job queue that [workers] spawned domains pop from; each
+    finished reply travels back to the event loop as a completion (a
+    self-pipe wakeup breaks the [select], so replies flush immediately
+    rather than on a poll tick).  When the job queue is full the event
+    loop answers with the [overloaded] taxonomy error in the client's
+    own codec and the connection survives to retry — backpressure is
+    explicit, nothing buffers without bound (at most one request per
+    connection is in flight; pipelined bytes wait in the read buffer).
+    A SIGTERM (or a [drain] request) stops new work, lets every
+    in-flight request finish and reply, and then {!serve} returns —
+    after appending the run manifest when [obs_out] is set.
+
+    Codec negotiation is per connection, by first byte: [0xB1] selects
+    binary framing (unless [json_only] is set, which refuses it with a
+    JSON caller error), anything else — in particular ['{'] — keeps
+    the JSON line codec, so old clients work unchanged.  Replies are
+    rendered in the codec of their request, and mixed-codec clients
+    can be served concurrently.  Oversized binary frames are refused
+    as a caller error and the connection survives (the declared
+    payload is discarded as it arrives); malformed frames cannot be
+    resynchronised and close the connection after the error reply.
 
     {2 Telemetry}
 
-    Every request gets a server-assigned id at read time and is traced
-    through four lifecycle stages — queue_wait (connection sat in the
-    accept queue), compute ({!Exec.handle}), render (reply
-    serialisation), write (socket send) — recorded into stage-labelled
-    {!Obs.Metrics} histograms and, when [access_log] is set, one
-    [smallworld.access.v1] JSONL line per request (see {!Access_log}).
-    Stage clocks are skipped entirely when obs is off and no access log
-    is configured.
+    Every request gets a server-assigned id at dispatch (ordered by
+    arrival on the event loop) and is traced through four lifecycle
+    stages — queue_wait (request sat in the job queue), compute
+    ({!Exec.handle}), render (reply serialisation), write (queued
+    until the last reply byte is flushed) — recorded into
+    stage-labelled {!Obs.Metrics} histograms and, when [access_log] is
+    set, one [smallworld.access.v1] JSONL line per request (see
+    {!Access_log}).  Stage clocks are skipped entirely when obs is off
+    and no access log is configured.
+
+    Single route requests are answered through the {!Cache} keyed on
+    the instance's registry generation, with single-flight coalescing
+    of concurrent identical requests; [server.cache.*] counters land
+    in [health] and [stats-server] replies.
 
     When [admin_port] is set, a separate listener domain serves the
     telemetry plane without touching the worker queue or the compute
@@ -39,8 +62,8 @@
 type config = {
   host : string;  (** bind address, default "127.0.0.1" *)
   port : int;  (** 0 picks an ephemeral port (see {!port}) *)
-  workers : int;  (** connection-serving domains, >= 1 *)
-  queue_cap : int;  (** pending-connection queue bound, >= 1 *)
+  workers : int;  (** request-executing domains, >= 1 *)
+  queue_cap : int;  (** pending-request job queue bound, >= 1 *)
   registry_cap : int;  (** LRU capacity of the instance registry *)
   max_batch : int;  (** largest accepted [route_batch], else [overloaded] *)
   obs_out : string option;  (** manifest destination, written at drain *)
@@ -61,13 +84,20 @@ type config = {
           request id as their span id, so they never collide with
           client-declared (positive) span ids.  Requires obs on;
           with [SMALLWORLD_OBS=0] no records are written. *)
+  json_only : bool;
+      (** refuse binary framing at negotiation: a connection opening
+          with the [0xB1] magic gets a JSON [bad-request] reply and is
+          closed.  For deployments that want a text-only wire. *)
+  cache_cap : int;
+      (** route-cache capacity in entries ({!Cache}); [0] disables
+          caching (every route recomputes). *)
 }
 
 val default_config : config
 (** host 127.0.0.1, port 7441, 4 workers, queue_cap 16,
     registry_cap 8, max_batch 4096, no manifest, obs_interval 60 s,
     no admin port, no access log, access_sample 1, no events or trace
-    sink. *)
+    sink, binary framing accepted, cache_cap 4096. *)
 
 type t
 
@@ -78,7 +108,7 @@ val create : config -> t
     {!serve} starts accepting).
     @raise Unix.Unix_error when an address cannot be bound.
     @raise Invalid_argument on a non-positive [workers], [queue_cap] or
-    [access_sample]. *)
+    [access_sample], or a negative [cache_cap]. *)
 
 val port : t -> int
 (** The actually bound port (useful with [port = 0]). *)
@@ -102,7 +132,7 @@ val stop : t -> unit
     once the drain completes. *)
 
 val serve : t -> unit
-(** Run the accept loop in the calling domain until drained (via
+(** Run the event loop in the calling domain until drained (via
     {!stop}, SIGTERM wired to it, or a client's [drain] request), then
     join the worker/admin/housekeeping domains, close the sockets,
     write the final manifest, and close the access log. *)

@@ -1,0 +1,50 @@
+type t = {
+  rpipe : Unix.file_descr;
+  wpipe : Unix.file_descr;
+  closed : bool Atomic.t;
+}
+
+let create () =
+  let rpipe, wpipe = Unix.pipe ~cloexec:true () in
+  Unix.set_nonblock rpipe;
+  Unix.set_nonblock wpipe;
+  { rpipe; wpipe; closed = Atomic.make false }
+
+let wakeup_byte = Bytes.make 1 '!'
+
+(* Unconditional one-byte write: a flag-guarded "write only if not
+   already pending" scheme can lose wakeups (the reader may consume a
+   byte written after it cleared the flag, leaving the flag set and
+   the pipe empty).  A full pipe means plenty of unread wakeups, so
+   dropping the write on EAGAIN is correct; callers wanting fewer
+   syscalls coalesce at their own queue (wake only on empty->non-empty
+   transitions). *)
+let wakeup t =
+  if not (Atomic.get t.closed) then
+    try ignore (Unix.write t.wpipe wakeup_byte 0 1) with
+    | Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EBADF | EPIPE | EINTR), _, _) -> ()
+
+let drain t =
+  let buf = Bytes.create 256 in
+  let rec loop () =
+    match Unix.read t.rpipe buf 0 256 with
+    | 0 -> ()
+    | _ -> loop ()
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (EINTR, _, _) -> loop ()
+  in
+  loop ()
+
+let wait t ~read ~write ~timeout =
+  match Unix.select (t.rpipe :: read) write [] timeout with
+  | exception Unix.Unix_error (EINTR, _, _) -> ([], [])
+  | readable, writable, _ ->
+      let self, readable = List.partition (fun fd -> fd == t.rpipe) readable in
+      if self <> [] then drain t;
+      (readable, writable)
+
+let close t =
+  if not (Atomic.exchange t.closed true) then begin
+    (try Unix.close t.wpipe with Unix.Unix_error _ -> ());
+    try Unix.close t.rpipe with Unix.Unix_error _ -> ()
+  end

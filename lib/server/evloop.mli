@@ -1,0 +1,33 @@
+(** A select(2)-based readiness loop with a self-pipe wakeup.
+
+    The daemon's connection plane is single-threaded: one domain owns
+    every socket and runs [wait] in a loop, while worker domains that
+    finish a request call {!wakeup} (async-signal-safe: at most one
+    non-blocking byte written to a pipe) to break the
+    [select] so the loop can flush their replies immediately instead
+    of waiting out the poll timeout. *)
+
+type t
+
+val create : unit -> t
+(** Opens the self-pipe (both ends non-blocking, close-on-exec). *)
+
+val wakeup : t -> unit
+(** Make the current or next {!wait} return immediately (one
+    non-blocking self-pipe write; a full pipe already holds unread
+    wakeups, so the write is then dropped).  Safe to call from any
+    domain or from a signal handler. *)
+
+val wait :
+  t ->
+  read:Unix.file_descr list ->
+  write:Unix.file_descr list ->
+  timeout:float ->
+  Unix.file_descr list * Unix.file_descr list
+(** Block until some fd is ready, a wakeup arrives, or [timeout]
+    (seconds; negative = forever) elapses.  Returns the ready subsets
+    of [read] and [write] — the self-pipe is managed internally and
+    never appears in the result.  [EINTR] returns [([], [])]. *)
+
+val close : t -> unit
+(** Close the self-pipe.  Calling {!wakeup} afterwards is a no-op. *)

@@ -11,6 +11,7 @@ let metric_op_suffix op = String.map (fun c -> if c = '-' then '_' else c) op
 
 type t = {
   reg : Registry.t;
+  cache : Cache.t;
   compute : Mutex.t;
   max_batch : int;
   drain_flag : bool Atomic.t;
@@ -46,9 +47,10 @@ type t = {
   h_gc_coll : Obs.Metrics.histogram;
 }
 
-let create ?(registry_cap = 8) ?(max_batch = 4096) () =
+let create ?(registry_cap = 8) ?(max_batch = 4096) ?(cache_cap = 4096) () =
   {
     reg = Registry.create ~cap:registry_cap;
+    cache = Cache.create ~cap:cache_cap;
     compute = Mutex.create ();
     max_batch;
     drain_flag = Atomic.make false;
@@ -83,6 +85,7 @@ let create ?(registry_cap = 8) ?(max_batch = 4096) () =
   }
 
 let registry t = t.reg
+let cache t = t.cache
 let draining t = Atomic.get t.drain_flag
 let start_drain t = Atomic.set t.drain_flag true
 
@@ -149,6 +152,7 @@ let counter_pairs t =
     ("server.rejected", rejected t);
     ("server.deadline_missed", deadline_missed t);
   ]
+  @ Cache.counter_pairs t.cache
 
 let locked m f =
   Mutex.lock m;
@@ -221,7 +225,13 @@ let server_stats t =
         ("server.registry.size", float_of_int reg_size);
         ("server.registry.pinned", float_of_int reg_pinned);
         ("server.registry.cap", float_of_int (Registry.cap t.reg));
-      ];
+        ("server.cache.size", float_of_int (Cache.size t.cache));
+        ("server.cache.cap", float_of_int (Cache.cap t.cache));
+      ]
+      @ List.map
+          (fun (name, gen) ->
+            ("server.registry.gen." ^ name, float_of_int gen))
+          (Registry.generations t.reg);
     stages;
     prometheus = Obs.Export.prometheus Obs.Metrics.default;
   }
@@ -243,20 +253,37 @@ let run t ?deadline request =
         | Ok inst -> (
             match Registry.insert t.reg ~name inst with
             | Error e -> V1.Failed e
-            | Ok info -> V1.Loaded info))
+            | Ok info ->
+                Cache.invalidate_name t.cache ~name;
+                V1.Loaded info))
     | V1.Sample { name; model; seed } -> (
         let inst = locked t.compute (fun () -> Api.Render.instantiate ~model ~seed) in
         match Registry.insert t.reg ~name inst with
         | Error e -> V1.Failed e
-        | Ok info -> V1.Sampled info)
+        | Ok info ->
+            Cache.invalidate_name t.cache ~name;
+            V1.Sampled info)
     | V1.Route { instance; source; target; protocol; max_steps } ->
-        with_instance t instance (fun h ->
-            match
-              Api.Render.route ~inst:(Registry.instance h) ~protocol ?max_steps
-                ~source ~target ()
-            with
-            | Error e -> V1.Failed e
-            | Ok reply -> V1.Routed reply)
+        let compute () =
+          with_instance t instance (fun h ->
+              match
+                Api.Render.route ~inst:(Registry.instance h) ~protocol ?max_steps
+                  ~source ~target ()
+              with
+              | Error e -> V1.Failed e
+              | Ok reply -> V1.Routed reply)
+        in
+        if Cache.cap t.cache = 0 then compute ()
+        else
+          (* Keyed on the name's current generation: a replace bumps the
+             generation, so post-replace requests key (and miss) freshly
+             and pre-replace entries can never be served to them. *)
+          let key =
+            Cache.route_key ~name:instance
+              ~generation:(Registry.generation t.reg instance)
+              ~protocol ~max_steps ~source ~target
+          in
+          Cache.find_or_compute t.cache ~key compute
     | V1.Route_batch { instance; pairs; protocol; max_steps } ->
         with_instance t instance (fun h ->
             let inst = Registry.instance h in

@@ -11,10 +11,17 @@
 
 type t
 
-val create : ?registry_cap:int -> ?max_batch:int -> unit -> t
-(** Defaults: [registry_cap = 8], [max_batch = 4096]. *)
+val create : ?registry_cap:int -> ?max_batch:int -> ?cache_cap:int -> unit -> t
+(** Defaults: [registry_cap = 8], [max_batch = 4096],
+    [cache_cap = 4096] ([cache_cap = 0] disables the route cache). *)
 
 val registry : t -> Registry.t
+
+val cache : t -> Cache.t
+(** The hot-pair route cache; single routes are answered through
+    {!Cache.find_or_compute} keyed on the instance's registry
+    generation, and [load] / [sample] over an existing name sweep the
+    name's entries. *)
 
 val draining : t -> bool
 val start_drain : t -> unit
@@ -36,7 +43,8 @@ val note_rejected : t -> unit
 val counter_pairs : t -> (string * int) list
 (** The snapshot [health] replies carry, and the [extra] fields of the
     drain manifest: [server.accepted], [server.served],
-    [server.rejected], [server.deadline_missed]. *)
+    [server.rejected], [server.deadline_missed], plus the
+    [server.cache.*] hit/miss/coalesced/eviction counters. *)
 
 (** {1 Request tracing}
 

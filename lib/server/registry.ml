@@ -2,6 +2,7 @@ type entry = {
   e_name : string;
   e_inst : Girg.Instance.t;
   e_info : Api.V1.instance_info;
+  e_gen : int;
   mutable refs : int;
   mutable stamp : int;
 }
@@ -10,6 +11,10 @@ type t = {
   cap : int;
   mutex : Mutex.t;
   table : (string, entry) Hashtbl.t;
+  (* Per-name insert counter.  Never evicted, so a generation observed
+     for a name is monotone across evict + reinsert cycles — the route
+     cache and clients key on it to detect staleness. *)
+  gens : (string, int) Hashtbl.t;
   mutable clock : int;
 }
 
@@ -17,7 +22,13 @@ type handle = entry
 
 let create ~cap =
   if cap < 1 then invalid_arg "Registry.create: cap must be >= 1";
-  { cap; mutex = Mutex.create (); table = Hashtbl.create 16; clock = 0 }
+  {
+    cap;
+    mutex = Mutex.create ();
+    table = Hashtbl.create 16;
+    gens = Hashtbl.create 16;
+    clock = 0;
+  }
 
 let locked t f =
   Mutex.lock t.mutex;
@@ -57,7 +68,11 @@ let insert t ~name inst =
   | Error e -> Error e
   | Ok () ->
       let info = Api.Render.instance_info ~name inst in
-      let e = { e_name = name; e_inst = inst; e_info = info; refs = 0; stamp = 0 } in
+      let gen = 1 + Option.value ~default:0 (Hashtbl.find_opt t.gens name) in
+      Hashtbl.replace t.gens name gen;
+      let e =
+        { e_name = name; e_inst = inst; e_info = info; e_gen = gen; refs = 0; stamp = 0 }
+      in
       touch t e;
       (* Replace, not add: a shadowed old entry is dropped from the
          table here but survives as long as some handle still pins it. *)
@@ -78,6 +93,17 @@ let acquire t name =
 
 let instance (e : handle) = e.e_inst
 let info (e : handle) = e.e_info
+let handle_generation (e : handle) = e.e_gen
+
+let generation t name =
+  locked t @@ fun () -> Option.value ~default:0 (Hashtbl.find_opt t.gens name)
+
+let generations t =
+  locked t @@ fun () ->
+  Hashtbl.fold
+    (fun name e acc -> (name, e.e_gen) :: acc)
+    t.table []
+  |> List.sort compare
 
 let release t (e : handle) =
   locked t @@ fun () ->

@@ -30,6 +30,21 @@ val acquire : t -> string -> (handle, Api.Error.t) result
 val instance : handle -> Girg.Instance.t
 val info : handle -> Api.V1.instance_info
 
+val handle_generation : handle -> int
+(** The generation the held instance was inserted at (see
+    {!generation}). *)
+
+val generation : t -> string -> int
+(** Monotonically increasing per-name insert counter: 0 before the
+    first insert, bumped by every [insert] over the name, and — unlike
+    the entry itself — never reset by eviction, so the route cache and
+    clients can detect staleness across replace and evict/reinsert
+    cycles. *)
+
+val generations : t -> (string * int) list
+(** [(name, generation)] for every currently registered instance,
+    sorted by name (for [stats-server] output). *)
+
 val release : t -> handle -> unit
 
 val names : t -> string list

@@ -3,6 +3,7 @@
 
 Usage: serve_smoke.py PORT EXPECTED_ROUTE_FILE [nodrain]
                       [--admin PORT] [--access-log FILE] [--trace-out FILE]
+                      [--json-only]
        serve_smoke.py check-access-log FILE MIN_LINES
 
 Connects to a running `serve` daemon on 127.0.0.1:PORT (started with
@@ -18,6 +19,11 @@ Connects to a running `serve` daemon on 127.0.0.1:PORT (started with
   plus an algorithm span;
 - route_batch (sampled pairs): right count, deterministic across a
   repeat request;
+- binary codec (skipped with --json-only): the same route over the
+  length-prefixed binary framing decodes to the byte-identical reply a
+  JSON client gets;
+- route cache: a repeated (instance, pair, protocol) route bumps the
+  `server.cache.hits` counter and returns the identical reply;
 - route_batch beyond --max-batch: refused with the `overloaded` code;
 - deadline_ms=0: refused with the `deadline` code;
 - unknown instance: refused with the `unknown-instance` code;
@@ -42,6 +48,7 @@ Exits non-zero (with a message) on the first deviation.
 
 import json
 import socket
+import struct
 import sys
 import time
 
@@ -68,6 +75,143 @@ class Client:
         if not line:
             sys.exit(f"connection closed answering {request!r}")
         return json.loads(line)
+
+
+def _leb(n):
+    """Unsigned LEB128."""
+    out = bytearray()
+    while True:
+        low = n & 0x7F
+        n >>= 7
+        if n == 0:
+            out.append(low)
+            return bytes(out)
+        out.append(low | 0x80)
+
+
+def _enc(v, out):
+    """Encode one JSON value in the Api.Binary tagged format."""
+    if v is None:
+        out.append(0)
+    elif v is True:
+        out.append(1)
+    elif v is False:
+        out.append(2)
+    elif isinstance(v, int):
+        zz = (v << 1) ^ (v >> 63)  # zigzag; Python >> is arithmetic
+        out += b"\x03" + _leb(zz)
+    elif isinstance(v, float):
+        out += b"\x04" + struct.pack("<d", v)
+    elif isinstance(v, str):
+        b = v.encode()
+        out += b"\x05" + _leb(len(b)) + b
+    elif isinstance(v, list):
+        out += b"\x06" + _leb(len(v))
+        for x in v:
+            _enc(x, out)
+    elif isinstance(v, dict):
+        out += b"\x07" + _leb(len(v))
+        for k, x in v.items():
+            kb = k.encode()
+            out += _leb(len(kb)) + kb
+            _enc(x, out)
+    else:
+        sys.exit(f"binary encode: unsupported value {v!r}")
+
+
+def _rleb(buf, p):
+    v = shift = 0
+    while True:
+        c = buf[p]
+        p += 1
+        v |= (c & 0x7F) << shift
+        shift += 7
+        if not c & 0x80:
+            return v, p
+
+
+def _dec(buf, p):
+    """Decode one tagged value; returns (value, next_pos)."""
+    tag = buf[p]
+    p += 1
+    if tag == 0:
+        return None, p
+    if tag == 1:
+        return True, p
+    if tag == 2:
+        return False, p
+    if tag == 3:
+        v, p = _rleb(buf, p)
+        return (v >> 1) ^ -(v & 1), p
+    if tag == 4:
+        return struct.unpack_from("<d", buf, p)[0], p + 8
+    if tag == 5:
+        n, p = _rleb(buf, p)
+        return buf[p : p + n].decode(), p + n
+    if tag == 6:
+        n, p = _rleb(buf, p)
+        items = []
+        for _ in range(n):
+            x, p = _dec(buf, p)
+            items.append(x)
+        return items, p
+    if tag == 7:
+        n, p = _rleb(buf, p)
+        fields = {}
+        for _ in range(n):
+            klen, p = _rleb(buf, p)
+            key = buf[p : p + klen].decode()
+            p += klen
+            fields[key], p = _dec(buf, p)
+        return fields, p
+    sys.exit(f"binary decode: unknown tag {tag}")
+
+
+class BinaryClient:
+    """Speaks the length-prefixed binary framing of Api.Binary:
+    magic 0xB1, version 0x01, LEB128 payload length, tagged payload."""
+
+    def __init__(self, sock):
+        self.sock = sock
+        self.buf = b""
+
+    def rpc(self, request):
+        request.setdefault("v", 1)
+        payload = bytearray()
+        _enc(request, payload)
+        self.sock.sendall(b"\xb1\x01" + _leb(len(payload)) + bytes(payload))
+        while True:
+            frame = self._take_frame()
+            if frame is not None:
+                reply, consumed = _dec(frame, 0)
+                if consumed != len(frame):
+                    sys.exit(f"binary reply: {len(frame) - consumed} trailing bytes")
+                return reply
+            data = self.sock.recv(65536)
+            if not data:
+                sys.exit(f"connection closed answering {request!r} (binary)")
+            self.buf += data
+
+    def _take_frame(self):
+        buf = self.buf
+        if len(buf) < 2:
+            return None
+        if buf[0] != 0xB1 or buf[1] != 0x01:
+            sys.exit(f"binary reply: bad frame header {buf[:2]!r}")
+        p, n, shift = 2, 0, 0
+        while True:
+            if p >= len(buf):
+                return None
+            c = buf[p]
+            p += 1
+            n |= (c & 0x7F) << shift
+            shift += 7
+            if not c & 0x80:
+                break
+        if len(buf) < p + n:
+            return None
+        self.buf = buf[p + n :]
+        return buf[p : p + n]
 
 
 def expect_ok(reply, op):
@@ -109,11 +253,16 @@ def check_server_stats(stats, when):
     counters = stats["counters"]
     if counters.get("server.accepted", 0) < counters.get("server.served", 0):
         sys.exit(f"stats-server ({when}): served exceeds accepted: {counters!r}")
+    for key in ("server.cache.hits", "server.cache.misses"):
+        if key not in counters:
+            sys.exit(f"stats-server ({when}): missing counter {key!r}")
     for gauge in (
         "server.queue_depth",
         "server.inflight",
         "server.registry.size",
         "server.registry.pinned",
+        "server.cache.size",
+        "server.cache.cap",
     ):
         if gauge not in stats["gauges"]:
             sys.exit(f"stats-server ({when}): missing gauge {gauge!r}")
@@ -228,6 +377,7 @@ def main():
     admin_port = None
     access_log = None
     trace_out = None
+    json_only = False
     positional = []
     i = 0
     while i < len(args):
@@ -240,6 +390,9 @@ def main():
         elif args[i] == "--trace-out":
             trace_out = args[i + 1]
             i += 2
+        elif args[i] == "--json-only":
+            json_only = True
+            i += 1
         else:
             positional.append(args[i])
             i += 1
@@ -344,6 +497,52 @@ def main():
     if stats["vertices"] <= 0 or stats["edges"] <= 0:
         sys.exit(f"implausible stats reply: {stats!r}")
 
+    if not json_only:
+        # Binary wire codec: the identical route over the framed binary
+        # protocol must decode to exactly the reply a JSON client gets.
+        breq = {
+            "op": "route",
+            "instance": "net",
+            "source": 4,
+            "target": 93,
+            "protocol": "phi-dfs",
+            "id": 41,
+        }
+        jreply = client.rpc(dict(breq))
+        bsock = connect(port)
+        breply = BinaryClient(bsock).rpc(dict(breq))
+        if breply != jreply:
+            sys.exit(
+                "binary reply differs from the JSON reply:\n"
+                f"binary: {breply!r}\njson:   {jreply!r}"
+            )
+        if expect_ok(breply, "binary route")["text"] != expected_route:
+            sys.exit("binary route text differs from graphs_cli output")
+        bsock.close()
+        print("binary codec ok: reply matches the JSON codec")
+
+    # Route cache: the (4, 93) phi-dfs pair is now warm, so two more
+    # repeats must come from the cache and bump server.cache.hits.
+    pre = expect_ok(client.rpc({"op": "stats-server"}), "stats-server (cache pre)")
+    pre_hits = pre["counters"]["server.cache.hits"]
+    if pre["counters"]["server.cache.misses"] < 1:
+        sys.exit(f"cache: the first route was not counted as a miss: {pre['counters']!r}")
+    cached_req = {"op": "route", "instance": "net", "source": 4, "target": 93,
+                  "protocol": "phi-dfs"}
+    first = expect_ok(client.rpc(dict(cached_req)), "route (cached)")
+    second = expect_ok(client.rpc(dict(cached_req)), "route (cached repeat)")
+    if first != second or first["text"] != expected_route:
+        sys.exit("cached route reply differs from the computed one")
+    post = expect_ok(client.rpc({"op": "stats-server"}), "stats-server (cache post)")
+    if post["counters"]["server.cache.hits"] < pre_hits + 2:
+        sys.exit(
+            f"cache hits did not advance: {pre_hits} -> "
+            f"{post['counters']['server.cache.hits']}"
+        )
+    if post["gauges"]["server.cache.size"] < 1:
+        sys.exit(f"cache size gauge empty after hits: {post['gauges']!r}")
+    print(f"route cache ok: hits {pre_hits} -> {post['counters']['server.cache.hits']}")
+
     if admin_port is not None:
         status, body = http_get(admin_port, "/metrics")
         if "200" not in status:
@@ -353,6 +552,15 @@ def main():
                 sys.exit("admin /metrics: missing the server counters")
             if "_bucket{le=" not in body:
                 sys.exit("admin /metrics: no cumulative histogram buckets")
+            # The cache-hit leg ran before this scrape: the Prometheus
+            # mirror of server.cache.hits must be non-zero.
+            hits_line = next(
+                (l for l in body.splitlines()
+                 if l.startswith("smallworld_server_cache_hits")), None)
+            if hits_line is None:
+                sys.exit("admin /metrics: no cache-hit counter")
+            if float(hits_line.split()[-1]) < 2:
+                sys.exit(f"admin /metrics: cache hits not visible: {hits_line!r}")
         status, body = http_get(admin_port, "/stats")
         if "200" not in status:
             sys.exit(f"admin /stats: expected 200, got {status!r}")
@@ -367,6 +575,13 @@ def main():
             < mid_counters["server.accepted"]
         ):
             sys.exit("admin /stats: counters went backwards")
+        # The cache-hit leg above ran before this scrape: its hits must
+        # be visible on the out-of-band admin plane too.
+        if check_server_stats_result["counters"].get("server.cache.hits", 0) < 2:
+            sys.exit(
+                "admin /stats: cache hits not visible: "
+                f"{check_server_stats_result['counters']!r}"
+            )
         status, _ = http_get(admin_port, "/definitely-not-a-path")
         if "404" not in status:
             sys.exit(f"admin unknown path: expected 404, got {status!r}")
@@ -401,8 +616,10 @@ def main():
         if access_log is not None:
             # Everything this script sent on the main connection:
             # 2x health, route, traced route, 2x batch, stats-server,
-            # 3 refusals, stats, drain = 12 requests.
-            check_access_log(access_log, 12)
+            # 3 refusals, stats, 2x cache stats-server, 2x cached
+            # route, drain = 16 requests; the binary leg adds its JSON
+            # twin plus one binary request.
+            check_access_log(access_log, 16 if json_only else 18)
 
     print("serve smoke: all checks passed")
 

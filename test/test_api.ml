@@ -340,6 +340,152 @@ let test_float_arg () =
       Alcotest.(check (float 0.0)) ("float_arg " ^ s) f (float_of_string s))
     cases
 
+(* --- binary codec ------------------------------------------------------ *)
+
+module B = Api.Binary
+module J = Obs.Export
+
+let parse_one ?max_len bytes =
+  match B.parse ?max_len bytes ~pos:0 ~len:(String.length bytes) with
+  | B.Frame { payload; consumed } -> (payload, consumed)
+  | B.Need -> Alcotest.fail "parser wants more bytes of a complete frame"
+  | B.Oversized _ -> Alcotest.fail "unexpected oversized verdict"
+  | B.Bad msg -> Alcotest.failf "bad frame: %s" msg
+
+(* Every request shape survives framing, and the decoded payload
+   re-renders to the byte-identical JSON line the JSON codec sends —
+   the two codecs are the same document in two framings. *)
+let test_binary_request_round_trip () =
+  List.iter
+    (fun e ->
+      let line = V1.request_line e in
+      let payload, consumed = parse_one (B.request_frame e) in
+      Alcotest.(check int) (line ^ " consumed") (String.length (B.request_frame e)) consumed;
+      let e' = ok ~what:line (B.envelope_of_payload payload) in
+      Alcotest.check envelope_t line e e';
+      match B.decode_json payload with
+      | Ok tree -> Alcotest.(check string) (line ^ " bytes") line (J.json_to_string tree)
+      | Error m -> Alcotest.failf "%s: decode_json: %s" line m)
+    sample_envelopes
+
+let test_binary_reply_round_trip () =
+  List.iter
+    (fun r ->
+      let line = V1.reply_line r in
+      let payload, _ = parse_one (B.reply_frame r) in
+      let r' = ok ~what:line (B.reply_of_payload payload) in
+      Alcotest.check reply_t line r r';
+      match B.decode_json payload with
+      | Ok tree -> Alcotest.(check string) (line ^ " bytes") line (J.json_to_string tree)
+      | Error m -> Alcotest.failf "%s: decode_json: %s" line m)
+    sample_replies
+
+(* The incremental parser never consumes a partial frame, finds frame
+   boundaries in a pipelined buffer, and survives oversized payloads
+   by reporting how many bytes to skip. *)
+let test_binary_partial_frames () =
+  let e = List.hd sample_envelopes in
+  let frame = B.request_frame e in
+  let n = String.length frame in
+  for keep = 0 to n - 1 do
+    match B.parse frame ~pos:0 ~len:keep with
+    | B.Need -> ()
+    | _ -> Alcotest.failf "prefix of %d/%d bytes should be Need" keep n
+  done;
+  (* Two pipelined frames in one buffer parse in order at moving pos. *)
+  let e2 = List.nth sample_envelopes 1 in
+  let buf = frame ^ B.request_frame e2 in
+  let p1, c1 = parse_one buf in
+  Alcotest.check envelope_t "first of pipeline" e (ok (B.envelope_of_payload p1));
+  (match B.parse buf ~pos:c1 ~len:(String.length buf - c1) with
+  | B.Frame { payload; _ } ->
+      Alcotest.check envelope_t "second of pipeline" e2 (ok (B.envelope_of_payload payload))
+  | _ -> Alcotest.fail "second pipelined frame did not parse")
+
+let test_binary_oversized_and_bad () =
+  let big = B.frame (String.make 100 'x') in
+  (match B.parse ~max_len:10 big ~pos:0 ~len:(String.length big) with
+  | B.Oversized { declared; consumed } ->
+      Alcotest.(check int) "declared" 100 declared;
+      (* Skipping header + declared payload resynchronises on the next
+         frame — the connection survives an oversized request. *)
+      let skip = consumed + declared in
+      let next = B.request_frame (List.hd sample_envelopes) in
+      let buf = big ^ next in
+      (match B.parse buf ~pos:skip ~len:(String.length buf - skip) with
+      | B.Frame _ -> ()
+      | _ -> Alcotest.fail "did not resynchronise after oversized frame")
+  | _ -> Alcotest.fail "oversized frame not flagged");
+  (match B.parse "zzzz" ~pos:0 ~len:4 with
+  | B.Bad _ -> ()
+  | _ -> Alcotest.fail "bad magic not flagged");
+  let bad_version = Printf.sprintf "%c\x07rest" B.magic in
+  match B.parse bad_version ~pos:0 ~len:(String.length bad_version) with
+  | B.Bad _ -> ()
+  | _ -> Alcotest.fail "bad version not flagged"
+
+let test_binary_scalar_edges () =
+  let rt j =
+    match B.decode_json (B.encode_json j) with
+    | Ok j' -> Alcotest.(check bool) (J.json_to_string j) true (j = j')
+    | Error m -> Alcotest.failf "%s: %s" (J.json_to_string j) m
+  in
+  List.iter rt
+    [
+      J.Int max_int;
+      J.Int min_int;
+      J.Int 0;
+      J.Int (-1);
+      J.Str (String.init 256 Char.chr);
+      J.Float infinity;
+      J.Float neg_infinity;
+      J.Float Float.max_float;
+      J.Float (-0.);
+      J.Arr [];
+      J.Obj [];
+    ];
+  (* NaN has no structural equality; the bit pattern must survive. *)
+  match B.decode_json (B.encode_json (J.Float Float.nan)) with
+  | Ok (J.Float f) ->
+      Alcotest.(check bool) "nan bits" true
+        (Int64.bits_of_float f = Int64.bits_of_float Float.nan)
+  | _ -> Alcotest.fail "nan did not round-trip as a float"
+
+let binary_json_tree_prop =
+  let gen =
+    QCheck2.Gen.(
+      sized
+      @@ fix (fun self n ->
+             let leaf =
+               oneof
+                 [
+                   return J.Null;
+                   map (fun b -> J.Bool b) bool;
+                   map (fun i -> J.Int i) int;
+                   map
+                     (fun f -> J.Float f)
+                     (oneofl
+                        [ 0.0; -0.0; 1.5; -2.25; 0.1; 1e300; 1e-300; 12345.6789 ]);
+                   map (fun s -> J.Str s) (string_size (int_bound 16));
+                 ]
+             in
+             if n <= 0 then leaf
+             else
+               oneof
+                 [
+                   leaf;
+                   map (fun l -> J.Arr l) (list_size (int_bound 4) (self (n / 2)));
+                   map
+                     (fun l -> J.Obj l)
+                     (list_size (int_bound 4)
+                        (pair (string_size (int_bound 8)) (self (n / 2))));
+                 ]))
+  in
+  QCheck2.Test.make ~name:"binary codec round-trips random json trees" ~count:300
+    ~print:(fun j -> J.json_to_string j)
+    gen
+    (fun j -> B.decode_json (B.encode_json j) = Ok j)
+
 let test_schema_dump () =
   match V1.schema_json () with
   | Obs.Export.Obj fields ->
@@ -364,5 +510,15 @@ let suite =
     Alcotest.test_case "argument errors are bad-request" `Quick test_arg_errors;
     Alcotest.test_case "error taxonomy is pinned" `Quick test_error_taxonomy;
     Alcotest.test_case "float args round-trip exactly" `Quick test_float_arg;
+    Alcotest.test_case "binary frames round-trip every request shape" `Quick
+      test_binary_request_round_trip;
+    Alcotest.test_case "binary frames round-trip every reply shape" `Quick
+      test_binary_reply_round_trip;
+    Alcotest.test_case "binary parser handles partial and pipelined frames" `Quick
+      test_binary_partial_frames;
+    Alcotest.test_case "binary parser flags oversized and malformed frames" `Quick
+      test_binary_oversized_and_bad;
+    Alcotest.test_case "binary scalar edge cases" `Quick test_binary_scalar_edges;
+    QCheck_alcotest.to_alcotest binary_json_tree_prop;
     Alcotest.test_case "schema dump" `Quick test_schema_dump;
   ]

@@ -84,6 +84,35 @@ let test_registry_replace_keeps_old_alive () =
   Server.Registry.release reg h;
   Server.Registry.release reg h'
 
+(* Generations are monotone per name: bumped by every insert (replace
+   included), never reset by eviction, and carried on handles so a
+   holder can tell which epoch it pinned. *)
+let test_registry_generation () =
+  let reg = Server.Registry.create ~cap:2 in
+  Alcotest.(check int) "unknown name is gen 0" 0 (Server.Registry.generation reg "a");
+  ignore (ok (Server.Registry.insert reg ~name:"a" (tiny_instance 1)));
+  Alcotest.(check int) "first insert" 1 (Server.Registry.generation reg "a");
+  let h1 = ok (Server.Registry.acquire reg "a") in
+  ignore (ok (Server.Registry.insert reg ~name:"a" (tiny_instance 2)));
+  let h2 = ok (Server.Registry.acquire reg "a") in
+  Alcotest.(check int) "replace bumps" 2 (Server.Registry.generation reg "a");
+  Alcotest.(check int) "old holder's epoch" 1 (Server.Registry.handle_generation h1);
+  Alcotest.(check int) "new holder's epoch" 2 (Server.Registry.handle_generation h2);
+  Server.Registry.release reg h1;
+  Server.Registry.release reg h2;
+  (* Evict a (cap 2: inserting b and c pushes the oldest out), then
+     reinsert it: the generation keeps counting from where it left off. *)
+  ignore (ok (Server.Registry.insert reg ~name:"b" (tiny_instance 3)));
+  ignore (ok (Server.Registry.insert reg ~name:"c" (tiny_instance 4)));
+  Alcotest.(check bool) "a evicted" true
+    (Result.is_error (Server.Registry.acquire reg "a"));
+  ignore (ok (Server.Registry.insert reg ~name:"a" (tiny_instance 5)));
+  Alcotest.(check int) "monotone across evict/reinsert" 3
+    (Server.Registry.generation reg "a");
+  Alcotest.(check (list (pair string int))) "generations listing"
+    [ ("a", 3); ("c", 1) ]
+    (Server.Registry.generations reg)
+
 (* ------------------------------------------------------------------ *)
 (* Exec                                                                *)
 
@@ -170,11 +199,11 @@ let rpc fd env =
 
 let with_daemon ?(workers = 2) ?(queue_cap = 8) ?(registry_cap = 4) ?(max_batch = 256)
     ?admin_port ?access_log ?(access_sample = 1) ?obs_out ?(obs_interval = 60.0)
-    ?events_out ?trace_out f =
+    ?events_out ?trace_out ?(json_only = false) f =
   let config =
     { Server.Daemon.default_config with port = 0; workers; queue_cap; registry_cap;
       max_batch; admin_port; access_log; access_sample; obs_out; obs_interval;
-      events_out; trace_out }
+      events_out; trace_out; json_only }
   in
   let t = Server.Daemon.create config in
   let server = Domain.spawn (fun () -> Server.Daemon.serve t) in
@@ -306,30 +335,36 @@ let test_daemon_deadline_and_batch_limit () =
 
 let test_daemon_burst_overload () =
   with_daemon ~workers:1 ~queue_cap:1 (fun _t port ->
-      (* One worker, queue of one: client A owns the worker, B fills the
-         queue, so C must be refused with 'overloaded' on accept — and
-         A and (once A closes) B still serve correctly. *)
-      let a = connect port in
-      (match rpc a (V1.envelope V1.Health) with
-      | V1.Health_reply _ -> ()
-      | r -> check_code "A health" E.Internal r);
-      let b = connect port in
-      Unix.sleepf 0.5 (* let the accept loop queue B *);
-      let c = connect port in
-      (match recv_line_opt c with
-      | None -> Alcotest.fail "burst connection closed without the overloaded reply"
-      | Some line -> (
-          match (ok ~what:line (V1.reply_of_line line)).V1.response with
-          | V1.Failed e -> Alcotest.(check bool) "C refused" true (e.E.code = E.Overloaded)
-          | _ -> Alcotest.fail "burst connection got a success reply"));
-      Alcotest.(check bool) "refusal closes C" true (recv_line_opt c = None);
-      Unix.close c;
-      Unix.close a;
-      (* Worker freed: the queued connection now serves. *)
-      (match rpc b (V1.envelope V1.Health) with
+      (* One worker, job queue of one: client A's slow sample owns the
+         worker, B's request fills the queue, so C's request must be
+         refused with 'overloaded' — answered by the event loop itself,
+         and the connection survives to retry once the burst passes. *)
+      let slow_model = V1.Girg (Girg.Params.make ~poisson_count:false ~n:100_000 ()) in
+      let a = connect port and b = connect port and c = connect port in
+      send_all a
+        (V1.request_line (V1.envelope (V1.Sample { name = "big"; model = slow_model; seed = 1 }))
+        ^ "\n");
+      Unix.sleepf 0.25 (* the worker pops A's sample and is computing *);
+      send_all b (V1.request_line (V1.envelope V1.Health) ^ "\n");
+      Unix.sleepf 0.25 (* B's request reaches the job queue (depth 1 = cap) *);
+      (match rpc c (V1.envelope V1.Health) with
+      | V1.Failed e ->
+          Alcotest.(check bool) "C refused" true (e.E.code = E.Overloaded)
+      | _ -> Alcotest.fail "burst request got a success reply");
+      (* Refusal happens per request now: the connection stays open, and
+         once A's sample releases the worker C serves normally. *)
+      (match (ok (V1.reply_of_line (recv_line a))).V1.response with
+      | V1.Sampled _ -> ()
+      | r -> check_code "A sample" E.Internal r);
+      (match (ok (V1.reply_of_line (recv_line b))).V1.response with
       | V1.Health_reply _ -> ()
       | r -> check_code "B health after burst" E.Internal r);
-      Unix.close b)
+      (match rpc c (V1.envelope V1.Health) with
+      | V1.Health_reply _ -> ()
+      | r -> check_code "C health after burst" E.Internal r);
+      Unix.close a;
+      Unix.close b;
+      Unix.close c)
 
 let test_daemon_drain_completes_in_flight () =
   with_daemon (fun t port ->
@@ -362,6 +397,270 @@ let test_daemon_drain_completes_in_flight () =
       (* serve must now return on its own (stop in the harness finally
          would mask a hang here, so observe the counters first). *)
       Alcotest.(check bool) "drain flag" true (Server.Exec.draining (Server.Daemon.exec t)))
+
+(* ------------------------------------------------------------------ *)
+(* Binary wire codec against the live daemon                           *)
+
+module B = Api.Binary
+
+(* One request frame out, one reply frame back.  Returns the decoded
+   reply record (not just the response) so callers can compare its
+   re-rendered JSON line byte-for-byte with the JSON codec's output. *)
+let brpc_reply fd env =
+  send_all fd (B.request_frame env);
+  let buf = Buffer.create 512 in
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    match B.parse (Buffer.contents buf) ~pos:0 ~len:(Buffer.length buf) with
+    | B.Frame { payload; _ } -> ok ~what:"reply frame" (B.reply_of_payload payload)
+    | B.Need -> (
+        match Unix.read fd chunk 0 4096 with
+        | 0 -> Alcotest.fail "connection closed before a binary reply arrived"
+        | n ->
+            Buffer.add_subbytes buf chunk 0 n;
+            go ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ())
+    | B.Oversized _ | B.Bad _ -> Alcotest.fail "daemon sent a malformed reply frame"
+  in
+  go ()
+
+let brpc fd env = (brpc_reply fd env).V1.response
+
+let rpc_raw_line fd env =
+  send_all fd (V1.request_line env ^ "\n");
+  recv_line fd
+
+(* A JSON client and a binary client on the same daemon: codecs are
+   negotiated per connection, replies are byte-equivalent — the binary
+   reply re-renders to exactly the line the JSON codec served. *)
+let test_daemon_binary_codec () =
+  with_daemon (fun _t port ->
+      let fdj = connect port and fdb = connect port in
+      Fun.protect
+        ~finally:(fun () ->
+          Unix.close fdj;
+          Unix.close fdb)
+        (fun () ->
+          (match brpc fdb (V1.envelope (sample_req "net" 5)) with
+          | V1.Sampled info -> Alcotest.(check int) "binary sample n" 400 info.V1.vertices
+          | r -> check_code "binary sample" E.Internal r);
+          List.iter
+            (fun pair ->
+              let env = V1.envelope ~id:7 (route_req "net" pair) in
+              let json_line = rpc_raw_line fdj env in
+              let breply = brpc_reply fdb env in
+              Alcotest.(check string) "binary reply re-renders to the JSON line"
+                json_line (V1.reply_line breply);
+              match breply.V1.response with
+              | V1.Routed _ -> ()
+              | r -> check_code "binary route" E.Internal r)
+            [ (0, 399); (17, 42); (100, 101) ]))
+
+(* A frame delivered in tiny pieces across many TCP segments must
+   parse exactly once the last byte lands. *)
+let test_daemon_binary_partial_frames () =
+  with_daemon (fun _t port ->
+      let fd = connect port in
+      Fun.protect ~finally:(fun () -> Unix.close fd) (fun () ->
+          (match brpc fd (V1.envelope (sample_req "net" 5)) with
+          | V1.Sampled _ -> ()
+          | r -> check_code "sample" E.Internal r);
+          let frame = B.request_frame (V1.envelope (route_req "net" (3, 300))) in
+          let n = String.length frame in
+          let third = max 1 (n / 3) in
+          let rec drip off =
+            if off < n then begin
+              let len = min third (n - off) in
+              send_all fd (String.sub frame off len);
+              Unix.sleepf 0.05;
+              drip (off + len)
+            end
+          in
+          drip 0;
+          let buf = Buffer.create 512 in
+          let chunk = Bytes.create 4096 in
+          let rec await () =
+            match B.parse (Buffer.contents buf) ~pos:0 ~len:(Buffer.length buf) with
+            | B.Frame { payload; _ } ->
+                (ok ~what:"reply" (B.reply_of_payload payload)).V1.response
+            | B.Need -> (
+                match Unix.read fd chunk 0 4096 with
+                | 0 -> Alcotest.fail "connection closed mid-drip"
+                | n ->
+                    Buffer.add_subbytes buf chunk 0 n;
+                    await ())
+            | B.Oversized _ | B.Bad _ -> Alcotest.fail "malformed reply frame"
+          in
+          (match await () with
+          | V1.Routed _ -> ()
+          | r -> check_code "dripped route" E.Internal r)))
+
+(* A frame declaring a payload past the 16 MiB bound is a caller
+   error: the daemon answers bad-request, discards the declared bytes
+   as they arrive, and the connection keeps serving. *)
+let test_daemon_binary_oversized () =
+  with_daemon (fun _t port ->
+      let fd = connect port in
+      Fun.protect ~finally:(fun () -> Unix.close fd) (fun () ->
+          (match brpc fd (V1.envelope (sample_req "net" 5)) with
+          | V1.Sampled _ -> ()
+          | r -> check_code "sample" E.Internal r);
+          let declared = B.max_frame_bytes + 1 in
+          send_all fd (B.frame (String.make declared 'x'));
+          (match brpc fd (V1.envelope V1.Health) with
+          | V1.Failed e ->
+              Alcotest.(check bool) "oversized is a caller error" true
+                (e.E.code = E.Bad_request)
+          | _ -> Alcotest.fail "oversized frame was not refused");
+          (* ^ that reply answered the oversized frame; the pipelined
+             health now serves on the same connection. *)
+          (match brpc fd (V1.envelope V1.Health) with
+          | V1.Health_reply _ -> ()
+          | r -> check_code "health after oversized" E.Internal r)))
+
+(* --json-only refuses the binary magic with a JSON caller error and
+   closes after flushing it. *)
+let test_daemon_json_only () =
+  with_daemon ~json_only:true (fun _t port ->
+      let fd = connect port in
+      Fun.protect ~finally:(fun () -> Unix.close fd) (fun () ->
+          send_all fd (B.request_frame (V1.envelope V1.Health));
+          (match (ok (V1.reply_of_line (recv_line fd))).V1.response with
+          | V1.Failed e ->
+              Alcotest.(check bool) "refused as caller error" true
+                (e.E.code = E.Bad_request)
+          | _ -> Alcotest.fail "json-only daemon accepted a binary frame");
+          Alcotest.(check bool) "connection closed after refusal" true
+            (recv_line_opt fd = None));
+      (* JSON clients are unaffected. *)
+      let fdj = connect port in
+      Fun.protect ~finally:(fun () -> Unix.close fdj) (fun () ->
+          match rpc fdj (V1.envelope V1.Health) with
+          | V1.Health_reply _ -> ()
+          | r -> check_code "json client" E.Internal r))
+
+(* ------------------------------------------------------------------ *)
+(* Route cache                                                         *)
+
+let local_route_text seed (source, target) =
+  (ok
+     (Api.Render.route ~inst:(tiny_instance seed)
+        ~protocol:Greedy_routing.Protocol.Patch_dfs ~source ~target ()))
+    .V1.text
+
+let routed_text what = function
+  | V1.Routed r -> r.V1.text
+  | r ->
+      check_code what E.Internal r;
+      ""
+
+let test_exec_route_cache () =
+  let ex = Server.Exec.create ~registry_cap:2 ~cache_cap:8 () in
+  let cache = Server.Exec.cache ex in
+  (match Server.Exec.handle ex (sample_req "net" 1) with
+  | V1.Sampled _ -> ()
+  | r -> check_code "sample" E.Internal r);
+  (* Find a pair whose route differs between the two epochs, so a
+     stale cache hit after replace cannot pass by coincidence. *)
+  let pair =
+    List.find
+      (fun p -> local_route_text 1 p <> local_route_text 2 p)
+      [ (0, 399); (17, 42); (100, 101); (3, 300); (50, 250); (9, 99) ]
+  in
+  let t1 = routed_text "first route" (Server.Exec.handle ex (route_req "net" pair)) in
+  Alcotest.(check string) "served = local" (local_route_text 1 pair) t1;
+  Alcotest.(check int) "one miss" 1 (Server.Cache.misses cache);
+  Alcotest.(check int) "no hits yet" 0 (Server.Cache.hits cache);
+  let t2 = routed_text "second route" (Server.Exec.handle ex (route_req "net" pair)) in
+  Alcotest.(check string) "hit equals miss" t1 t2;
+  Alcotest.(check int) "one hit" 1 (Server.Cache.hits cache);
+  Alcotest.(check int) "still one miss" 1 (Server.Cache.misses cache);
+  (* Replace the instance: the sweep empties the name's entries and the
+     generation bump re-keys new requests — never a stale route. *)
+  (match Server.Exec.handle ex (sample_req "net" 2) with
+  | V1.Sampled _ -> ()
+  | r -> check_code "replace" E.Internal r);
+  Alcotest.(check int) "invalidated on replace" 0 (Server.Cache.size cache);
+  let t3 = routed_text "route after replace" (Server.Exec.handle ex (route_req "net" pair)) in
+  Alcotest.(check string) "post-replace route is the new epoch's"
+    (local_route_text 2 pair) t3;
+  Alcotest.(check bool) "no stale bytes" true (t3 <> t1);
+  Alcotest.(check int) "replace recomputes" 2 (Server.Cache.misses cache);
+  (* Counters ride the health/stats channels; generations land in the
+     stats gauges. *)
+  let counters = Server.Exec.counter_pairs ex in
+  Alcotest.(check (option int)) "cache hits in counter_pairs" (Some 1)
+    (List.assoc_opt "server.cache.hits" counters);
+  let stats = Server.Exec.server_stats ex in
+  (match List.assoc_opt "server.registry.gen.net" stats.V1.gauges with
+  | Some g -> Alcotest.(check (float 0.0)) "generation gauge" 2.0 g
+  | None -> Alcotest.fail "stats-server gauges are missing server.registry.gen.net");
+  (match List.assoc_opt "server.cache.size" stats.V1.gauges with
+  | Some g -> Alcotest.(check (float 0.0)) "cache size gauge" 1.0 g
+  | None -> Alcotest.fail "stats-server gauges are missing server.cache.size");
+  (* cache_cap = 0 disables caching entirely. *)
+  let ex0 = Server.Exec.create ~cache_cap:0 () in
+  (match Server.Exec.handle ex0 (sample_req "net" 1) with
+  | V1.Sampled _ -> ()
+  | r -> check_code "sample (nocache)" E.Internal r);
+  ignore (Server.Exec.handle ex0 (route_req "net" pair));
+  ignore (Server.Exec.handle ex0 (route_req "net" pair));
+  Alcotest.(check int) "disabled cache counts nothing" 0
+    (Server.Cache.misses (Server.Exec.cache ex0) + Server.Cache.hits (Server.Exec.cache ex0))
+
+(* N concurrent identical requests compute once: one leader (miss),
+   everyone else coalesces onto its result. *)
+let test_cache_single_flight () =
+  let routed =
+    match
+      Api.Render.route ~inst:(tiny_instance 1)
+        ~protocol:Greedy_routing.Protocol.Greedy ~source:0 ~target:1 ()
+    with
+    | Ok r -> V1.Routed r
+    | Error e -> Alcotest.failf "local route failed: %s" (E.to_string e)
+  in
+  let cache = Server.Cache.create ~cap:4 in
+  let computes = Atomic.make 0 in
+  let compute () =
+    Atomic.incr computes;
+    Unix.sleepf 0.3;
+    routed
+  in
+  let n = 8 in
+  let domains =
+    List.init n (fun _ ->
+        Domain.spawn (fun () -> Server.Cache.find_or_compute cache ~key:"k" compute))
+  in
+  let results = List.map Domain.join domains in
+  List.iter
+    (fun r -> Alcotest.(check bool) "shared result" true (r == routed))
+    results;
+  Alcotest.(check int) "computed once" 1 (Atomic.get computes);
+  Alcotest.(check int) "one miss" 1 (Server.Cache.misses cache);
+  Alcotest.(check int) "everyone else hit or coalesced" (n - 1)
+    (Server.Cache.hits cache + Server.Cache.coalesced cache);
+  (* A failed leader releases its followers and the first retries as
+     the new leader — failures are never shared or cached. *)
+  let cache2 = Server.Cache.create ~cap:4 in
+  let calls = Atomic.make 0 in
+  let flaky () =
+    if Atomic.fetch_and_add calls 1 = 0 then begin
+      Unix.sleepf 0.2;
+      V1.Failed (E.make E.Internal "transient")
+    end
+    else routed
+  in
+  let domains2 =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () -> Server.Cache.find_or_compute cache2 ~key:"k" flaky))
+  in
+  let results2 = List.map Domain.join domains2 in
+  let failures =
+    List.length (List.filter (function V1.Failed _ -> true | _ -> false) results2)
+  in
+  Alcotest.(check int) "only the first leader sees the failure" 1 failures;
+  Alcotest.(check int) "failure triggered exactly one recompute" 2
+    (Server.Cache.misses cache2)
 
 (* ------------------------------------------------------------------ *)
 (* Telemetry: stats-server, admin port, access log, manifest timer     *)
@@ -858,6 +1157,8 @@ let suite =
     Alcotest.test_case "registry pinning" `Quick test_registry_pinning;
     Alcotest.test_case "registry replace keeps old alive" `Quick
       test_registry_replace_keeps_old_alive;
+    Alcotest.test_case "registry generations are monotone" `Quick
+      test_registry_generation;
     Alcotest.test_case "exec deadlines, limits, counters" `Quick test_exec_deadline_and_limits;
     Alcotest.test_case "daemon serves byte-identical routes" `Quick
       test_daemon_route_byte_identity;
@@ -870,6 +1171,18 @@ let suite =
       test_daemon_burst_overload;
     Alcotest.test_case "drain completes in-flight work" `Quick
       test_daemon_drain_completes_in_flight;
+    Alcotest.test_case "binary codec end to end, mixed with JSON" `Quick
+      test_daemon_binary_codec;
+    Alcotest.test_case "binary partial frames over TCP" `Quick
+      test_daemon_binary_partial_frames;
+    Alcotest.test_case "oversized frame refused, connection survives" `Quick
+      test_daemon_binary_oversized;
+    Alcotest.test_case "json-only refuses binary framing" `Quick
+      test_daemon_json_only;
+    Alcotest.test_case "route cache: hits, invalidation, generations" `Quick
+      test_exec_route_cache;
+    Alcotest.test_case "route cache single-flight coalescing" `Quick
+      test_cache_single_flight;
     Alcotest.test_case "exec request tracing" `Quick test_exec_tracing_unit;
     Alcotest.test_case "stats-server over TCP" `Quick test_server_stats_over_tcp;
     Alcotest.test_case "stats-server under concurrent load" `Quick
