@@ -194,7 +194,12 @@ let parse ?(max_len = max_frame_bytes) buf ~pos ~len =
     | exception Truncated -> Need
     | exception Malformed msg -> Bad msg
     | declared, body_pos ->
-        if declared > max_len then
+        (* A 9-byte varint can set the sign bit of an OCaml int; a
+           negative length would slip past both range checks below and
+           blow up String.sub, so it is rejected as malformed (not
+           Oversized — there is no payload to skip). *)
+        if declared < 0 then Bad (Printf.sprintf "negative frame length %d" declared)
+        else if declared > max_len then
           Oversized { declared; consumed = body_pos - pos }
         else if body_pos + declared > limit then Need
         else

@@ -75,8 +75,8 @@ type parse_result =
           [declared] payload bytes discarded as they arrive, keeping
           the connection alive. *)
   | Bad of string
-      (** Malformed header (wrong magic / version / varint): the
-          connection cannot be resynchronised. *)
+      (** Malformed header (wrong magic / version, overwide or negative
+          length varint): the connection cannot be resynchronised. *)
 
 val parse : ?max_len:int -> string -> pos:int -> len:int -> parse_result
 (** [parse buf ~pos ~len] examines [len] bytes of [buf] starting at

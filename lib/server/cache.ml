@@ -104,7 +104,7 @@ let evict_over_cap t =
 
 let cacheable = function V1.Routed _ -> true | _ -> false
 
-let find_or_compute t ~key f =
+let find_or_compute t ?(cache_if = fun _ -> true) ~key f =
   if t.cache_cap = 0 then f ()
   else begin
     Mutex.lock t.mutex;
@@ -142,7 +142,7 @@ let find_or_compute t ~key f =
         let result = try Ok (f ()) with exn -> Error exn in
         Mutex.lock t.mutex;
         (match result with
-        | Ok r when cacheable r ->
+        | Ok r when cacheable r && cache_if r ->
             let s = Value { v = r; stamp = 0 } in
             Hashtbl.replace t.table key s;
             touch t s;

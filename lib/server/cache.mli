@@ -33,12 +33,22 @@ val route_key :
   string
 (** The canonical cache key for a single-route request. *)
 
-val find_or_compute : t -> key:string -> (unit -> Api.V1.response) -> Api.V1.response
+val find_or_compute :
+  t ->
+  ?cache_if:(Api.V1.response -> bool) ->
+  key:string ->
+  (unit -> Api.V1.response) ->
+  Api.V1.response
 (** Return the cached response for [key], or run the computation
     exactly once across all concurrent callers of the same key.  A
     leader whose result is not cacheable (anything but [Routed])
     releases its followers, and the first of them retries as the new
-    leader (a failure is never shared). *)
+    leader (a failure is never shared).  [cache_if] (default: always)
+    is consulted on the leader's result after the computation: when it
+    returns [false] the result is returned but not stored — used by
+    the executor to drop results whose instance generation no longer
+    matches the generation baked into [key] (a replace raced the
+    lookup), which would otherwise survive {!invalidate_name}. *)
 
 val invalidate_name : t -> name:string -> unit
 (** Eagerly drop every cached route for the named instance (all

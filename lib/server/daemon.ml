@@ -124,6 +124,14 @@ type t = {
    self-pipe. *)
 let poll_interval = 0.2
 
+(* select(2) rejects any fd >= FD_SETSIZE (1024 on Linux) with EINVAL,
+   so the connection table must stay comfortably below it — the slack
+   covers the listen fds, the self-pipe, log files, and stdio.  At the
+   cap the listen fd is dropped from the readiness set (fresh
+   connections wait in the accept backlog) and any burst that was
+   already accepted is refused with [overloaded] and closed. *)
+let max_conns = 960
+
 (* A request line larger than this is hostile; drop the connection
    rather than buffer without bound. *)
 let max_line_bytes = 16 * 1024 * 1024
@@ -160,6 +168,10 @@ let try_write_reply fd reply = try_write fd (V1.reply_line reply ^ "\n")
 let overloaded_error cap =
   Error.make Error.Overloaded "request queue full (%d pending requests); retry later"
     cap
+
+let conn_limit_error cap =
+  Error.make Error.Overloaded
+    "connection limit reached (%d concurrent connections); retry later" cap
 
 let draining_error =
   Error.make Error.Draining "server is draining and no longer accepts work"
@@ -315,6 +327,13 @@ let mark_dead t conn =
       conn.c_wq;
     Queue.clear conn.c_wq
   end
+
+(* Per-connection blast shield for the event loop: nothing above the
+   loop catches, so an unexpected exception while parsing or flushing
+   one connection must cost that connection, not the daemon. *)
+let conn_protect t conn f =
+  try f ()
+  with _ -> mark_dead t conn
 
 let rec try_flush t conn =
   if not conn.c_dead then
@@ -502,6 +521,16 @@ let accept_new t =
     | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
     | exception Unix.Unix_error (EINTR, _, _) -> go ()
     | exception Unix.Unix_error _ -> ()
+    | fd, _ when Hashtbl.length t.conns >= max_conns ->
+        (* The listen fd leaves the readiness set at the cap, but a
+           burst accepted in this very loop can still overshoot: refuse
+           (best-effort JSON — the codec was never negotiated) and
+           close, keeping every selected fd below FD_SETSIZE. *)
+        Exec.note_rejected t.ex;
+        ignore
+          (try_write_reply fd
+             { V1.reply_id = None; response = V1.Failed (conn_limit_error max_conns) });
+        (try Unix.close fd with Unix.Unix_error _ -> ())
     | fd, _ ->
         Unix.set_nonblock fd;
         (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
@@ -563,7 +592,7 @@ let process_completions t =
         else begin
           Option.iter (fun fin -> fin.f_flush_t0 <- now) c.d_fin;
           Queue.push { w_bytes = c.d_bytes; w_off = 0; w_fin = c.d_fin } conn.c_wq;
-          try_flush t conn
+          conn_protect t conn (fun () -> try_flush t conn)
         end)
       batch
   end
@@ -610,7 +639,7 @@ let event_loop t =
       (* parked workers must observe the flag and exit *)
       wake_all t
     end;
-    Hashtbl.iter (fun _ conn -> pump t conn) t.conns;
+    Hashtbl.iter (fun _ conn -> conn_protect t conn (fun () -> pump t conn)) t.conns;
     let doomed =
       Hashtbl.fold (fun _ c acc -> if should_close t c then c :: acc else acc) t.conns []
     in
@@ -618,7 +647,11 @@ let event_loop t =
     if draining && t.outstanding = 0 && Hashtbl.length t.conns = 0 && queues_empty t
     then finished := true
     else begin
-      let read = ref (if draining then [] else [ t.listen_fd ]) in
+      let read =
+        ref
+          (if draining || Hashtbl.length t.conns >= max_conns then []
+           else [ t.listen_fd ])
+      in
       let write = ref [] in
       Hashtbl.iter
         (fun fd conn ->
@@ -632,7 +665,7 @@ let event_loop t =
       List.iter
         (fun fd ->
           match Hashtbl.find_opt t.conns fd with
-          | Some conn -> try_flush t conn
+          | Some conn -> conn_protect t conn (fun () -> try_flush t conn)
           | None -> ())
         writable;
       List.iter
@@ -641,8 +674,9 @@ let event_loop t =
           else
             match Hashtbl.find_opt t.conns fd with
             | Some conn ->
-                read_conn t conn;
-                pump t conn
+                conn_protect t conn (fun () ->
+                    read_conn t conn;
+                    pump t conn)
             | None -> ())
         readable
     end

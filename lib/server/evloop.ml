@@ -38,6 +38,14 @@ let drain t =
 let wait t ~read ~write ~timeout =
   match Unix.select (t.rpipe :: read) write [] timeout with
   | exception Unix.Unix_error (EINTR, _, _) -> ([], [])
+  | exception Unix.Unix_error (EINVAL, _, _) ->
+      (* An fd >= FD_SETSIZE slipped into the set (select's hard
+         limit).  Callers cap their connection count to keep fds below
+         it, so this is a last-resort shed: report nothing ready and
+         pace the retry rather than crash the loop or spin hot. *)
+      (try Unix.sleepf (Float.min 0.05 (Float.max 0.0 timeout))
+       with Unix.Unix_error _ -> ());
+      ([], [])
   | readable, writable, _ ->
       let self, readable = List.partition (fun fd -> fd == t.rpipe) readable in
       if self <> [] then drain t;

@@ -27,7 +27,10 @@ val wait :
 (** Block until some fd is ready, a wakeup arrives, or [timeout]
     (seconds; negative = forever) elapses.  Returns the ready subsets
     of [read] and [write] — the self-pipe is managed internally and
-    never appears in the result.  [EINTR] returns [([], [])]. *)
+    never appears in the result.  [EINTR] returns [([], [])], as does
+    [EINVAL] (an fd past select's FD_SETSIZE limit) after a short
+    pacing sleep — callers must cap their fd count below FD_SETSIZE;
+    the [EINVAL] path only sheds load instead of crashing. *)
 
 val close : t -> unit
 (** Close the self-pipe.  Calling {!wakeup} afterwards is a no-op. *)

@@ -264,26 +264,37 @@ let run t ?deadline request =
             Cache.invalidate_name t.cache ~name;
             V1.Sampled info)
     | V1.Route { instance; source; target; protocol; max_steps } ->
-        let compute () =
-          with_instance t instance (fun h ->
-              match
-                Api.Render.route ~inst:(Registry.instance h) ~protocol ?max_steps
-                  ~source ~target ()
-              with
-              | Error e -> V1.Failed e
-              | Ok reply -> V1.Routed reply)
+        let route h =
+          match
+            Api.Render.route ~inst:(Registry.instance h) ~protocol ?max_steps
+              ~source ~target ()
+          with
+          | Error e -> V1.Failed e
+          | Ok reply -> V1.Routed reply
         in
-        if Cache.cap t.cache = 0 then compute ()
+        if Cache.cap t.cache = 0 then with_instance t instance route
         else
           (* Keyed on the name's current generation: a replace bumps the
              generation, so post-replace requests key (and miss) freshly
              and pre-replace entries can never be served to them. *)
+          let gen = Registry.generation t.reg instance in
           let key =
-            Cache.route_key ~name:instance
-              ~generation:(Registry.generation t.reg instance)
-              ~protocol ~max_steps ~source ~target
+            Cache.route_key ~name:instance ~generation:gen ~protocol ~max_steps
+              ~source ~target
           in
-          Cache.find_or_compute t.cache ~key compute
+          (* A replace can land between the generation read above and
+             the leader's acquire below; the result then belongs to a
+             newer instance than the key claims and must not be stored
+             (it would outlive the replace's invalidation sweep and be
+             served to old-generation keys).  Returning it uncached is
+             fine — the request overlapped the replace. *)
+          let fresh = ref true in
+          let compute () =
+            with_instance t instance (fun h ->
+                if Registry.handle_generation h <> gen then fresh := false;
+                route h)
+          in
+          Cache.find_or_compute t.cache ~cache_if:(fun _ -> !fresh) ~key compute
     | V1.Route_batch { instance; pairs; protocol; max_steps } ->
         with_instance t instance (fun h ->
             let inst = Registry.instance h in

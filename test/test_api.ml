@@ -419,10 +419,21 @@ let test_binary_oversized_and_bad () =
   (match B.parse "zzzz" ~pos:0 ~len:4 with
   | B.Bad _ -> ()
   | _ -> Alcotest.fail "bad magic not flagged");
-  let bad_version = Printf.sprintf "%c\x07rest" B.magic in
-  match B.parse bad_version ~pos:0 ~len:(String.length bad_version) with
+  (let bad_version = Printf.sprintf "%c\x07rest" B.magic in
+   match B.parse bad_version ~pos:0 ~len:(String.length bad_version) with
+   | B.Bad _ -> ()
+   | _ -> Alcotest.fail "bad version not flagged");
+  (* A 9-byte varint setting bit 62 decodes to a negative OCaml int
+     (2^62 = min_int on 64-bit); it must be rejected as Bad, never
+     reach String.sub with a negative length. *)
+  let neg_len =
+    Printf.sprintf "%c%c%s" B.magic (Char.chr B.version)
+      (String.make 8 '\x80' ^ "\x40")
+  in
+  match B.parse neg_len ~pos:0 ~len:(String.length neg_len) with
   | B.Bad _ -> ()
-  | _ -> Alcotest.fail "bad version not flagged"
+  | B.Frame _ | B.Need | B.Oversized _ ->
+      Alcotest.fail "negative frame length not flagged as Bad"
 
 let test_binary_scalar_edges () =
   let rt j =

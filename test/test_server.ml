@@ -518,6 +518,54 @@ let test_daemon_binary_oversized () =
           | V1.Health_reply _ -> ()
           | r -> check_code "health after oversized" E.Internal r)))
 
+(* A frame whose 9-byte length varint sets bit 62 decodes to a
+   negative OCaml int.  The daemon must answer bad-frame and drop the
+   connection — and, crucially, survive: this exact frame used to
+   raise Invalid_argument inside the event-loop domain and kill the
+   whole server. *)
+let test_daemon_binary_negative_length () =
+  with_daemon (fun _t port ->
+      let fd = connect port in
+      Fun.protect ~finally:(fun () -> Unix.close fd) (fun () ->
+          send_all fd
+            (Printf.sprintf "%c%c%s" B.magic (Char.chr B.version)
+               (String.make 8 '\x80' ^ "\x40"));
+          let buf = Buffer.create 256 in
+          let chunk = Bytes.create 4096 in
+          let rec await () =
+            match B.parse (Buffer.contents buf) ~pos:0 ~len:(Buffer.length buf) with
+            | B.Frame { payload; _ } ->
+                (ok ~what:"reply" (B.reply_of_payload payload)).V1.response
+            | B.Need -> (
+                match Unix.read fd chunk 0 4096 with
+                | 0 -> Alcotest.fail "daemon closed before refusing the bad frame"
+                | n ->
+                    Buffer.add_subbytes buf chunk 0 n;
+                    await ()
+                | exception Unix.Unix_error (Unix.EINTR, _, _) -> await ())
+            | B.Oversized _ | B.Bad _ -> Alcotest.fail "malformed reply frame"
+          in
+          (match await () with
+          | V1.Failed e ->
+              Alcotest.(check bool) "negative length is a caller error" true
+                (e.E.code = E.Bad_request)
+          | _ -> Alcotest.fail "negative frame length was not refused");
+          (* The connection is unsynchronisable and closes after the
+             refusal flushes. *)
+          let rec drain () =
+            match Unix.read fd chunk 0 4096 with
+            | 0 -> ()
+            | _ -> drain ()
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> drain ()
+          in
+          drain ());
+      (* The daemon survived and serves fresh connections. *)
+      let fd2 = connect port in
+      Fun.protect ~finally:(fun () -> Unix.close fd2) (fun () ->
+          match rpc fd2 (V1.envelope V1.Health) with
+          | V1.Health_reply _ -> ()
+          | r -> check_code "health after bad frame" E.Internal r))
+
 (* --json-only refuses the binary magic with a JSON caller error and
    closes after flushing it. *)
 let test_daemon_json_only () =
@@ -661,6 +709,35 @@ let test_cache_single_flight () =
   Alcotest.(check int) "only the first leader sees the failure" 1 failures;
   Alcotest.(check int) "failure triggered exactly one recompute" 2
     (Server.Cache.misses cache2)
+
+(* [cache_if] gates the store, not the reply: a leader whose result
+   fails the predicate still returns it, but the next lookup misses
+   again.  The executor uses this to drop results computed on an
+   instance whose generation no longer matches the key (a replace
+   raced the generation read), which would otherwise survive the
+   replace's invalidation sweep. *)
+let test_cache_if_gates_store () =
+  let routed =
+    match
+      Api.Render.route ~inst:(tiny_instance 1)
+        ~protocol:Greedy_routing.Protocol.Greedy ~source:0 ~target:1 ()
+    with
+    | Ok r -> V1.Routed r
+    | Error e -> Alcotest.failf "local route failed: %s" (E.to_string e)
+  in
+  let cache = Server.Cache.create ~cap:4 in
+  let computes = ref 0 in
+  let compute () = incr computes; routed in
+  let stale = Server.Cache.find_or_compute cache ~cache_if:(fun _ -> false) ~key:"k" compute in
+  Alcotest.(check bool) "stale result still returned" true (stale == routed);
+  Alcotest.(check int) "stale result not stored" 0 (Server.Cache.size cache);
+  ignore (Server.Cache.find_or_compute cache ~cache_if:(fun _ -> true) ~key:"k" compute);
+  Alcotest.(check int) "second lookup recomputed" 2 !computes;
+  Alcotest.(check int) "fresh result stored" 1 (Server.Cache.size cache);
+  ignore (Server.Cache.find_or_compute cache ~key:"k" compute);
+  Alcotest.(check int) "third lookup hit" 2 !computes;
+  Alcotest.(check int) "two misses, one hit" 2 (Server.Cache.misses cache);
+  Alcotest.(check int) "one hit" 1 (Server.Cache.hits cache)
 
 (* ------------------------------------------------------------------ *)
 (* Telemetry: stats-server, admin port, access log, manifest timer     *)
@@ -1175,6 +1252,8 @@ let suite =
       test_daemon_binary_codec;
     Alcotest.test_case "binary partial frames over TCP" `Quick
       test_daemon_binary_partial_frames;
+    Alcotest.test_case "negative frame length refused, daemon survives" `Quick
+      test_daemon_binary_negative_length;
     Alcotest.test_case "oversized frame refused, connection survives" `Quick
       test_daemon_binary_oversized;
     Alcotest.test_case "json-only refuses binary framing" `Quick
@@ -1183,6 +1262,8 @@ let suite =
       test_exec_route_cache;
     Alcotest.test_case "route cache single-flight coalescing" `Quick
       test_cache_single_flight;
+    Alcotest.test_case "route cache cache_if gates the store" `Quick
+      test_cache_if_gates_store;
     Alcotest.test_case "exec request tracing" `Quick test_exec_tracing_unit;
     Alcotest.test_case "stats-server over TCP" `Quick test_server_stats_over_tcp;
     Alcotest.test_case "stats-server under concurrent load" `Quick
