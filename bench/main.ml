@@ -13,15 +13,29 @@
 
    Record/diff modes — continuous-benchmark telemetry over the
    smallworld.bench.v1 schema (Obs.Bench): `record` runs each experiment
-   k times and writes BENCH_<label>.json (median/min wall time, allocated
-   bytes, counter snapshots, git revision); `diff` compares two such
-   files and exits non-zero on a noise-adjusted median regression.
+   k times (plus the text-vs-binary snapshot-load pair) and writes
+   BENCH_<label>.json (median/min wall time, allocated bytes, counter
+   snapshots, git revision); `diff` compares two such files and exits
+   non-zero on a noise-adjusted median regression.
+
+   Scale mode — the out-of-core axis: for each n (doubling from --n,
+   fixed seed) the sweep runs generate (heap cell sampler), spill
+   (sharded generation), merge (spills -> binary snapshot), heap-route
+   and mmap-route as separate forked phases, recording wall time,
+   allocation and peak RSS (VmHWM) per phase into the same report
+   schema, so `diff` gates the memory ceiling alongside time and
+   allocation (--rss-threshold).
 
      dune exec bench/main.exe -- [--obs-out FILE] [--jobs N]
      dune exec bench/main.exe -- record [--runs K] [--label L] [--seed N]
                                         [--out FILE] [--jobs N]
+     dune exec bench/main.exe -- scale [--n N] [--doublings K] [--shards S]
+                                       [--routes R] [--label L] [--seed N]
+                                       [--out FILE] [--dir DIR] [--keep]
+                                       [--max-mmap-rss-ratio X] [--jobs N]
      dune exec bench/main.exe -- diff BASELINE CURRENT [--threshold PCT]
-                                      [--alloc-threshold PCT] [--advisory-time]
+                                      [--alloc-threshold PCT] [--rss-threshold PCT]
+                                      [--advisory-time]
 
    --jobs N (0 = all cores) sizes the shared Parallel pool; otherwise
    SMALLWORLD_JOBS applies.  Reports remember the job count and `diff`
@@ -297,13 +311,47 @@ let record args =
         done;
         let entry =
           Obs.Bench.make_entry ~id ~wall_s:!walls ~alloc_bytes:!alloc
-            ~counters:(Obs.Bench.counters_of_registry Obs.Metrics.default)
+            ~counters:(Obs.Bench.counters_of_registry Obs.Metrics.default) ()
         in
         Printf.printf "  %-4s median %7.3fs  min %7.3fs  (%d runs)\n%!" id entry.Obs.Bench.median_s
           entry.Obs.Bench.min_s runs;
         entry)
       Experiments.Registry.all
   in
+  (* Snapshot-codec pair: load the same instance through the v1 text and
+     v2 binary codecs.  Committing both entries in the baseline pins the
+     binary loader's speedup — if binary load ever drifts toward text
+     parsing speed, `bench diff` flags it like any other regression. *)
+  let codec_entries =
+    let params = Girg.Params.make ~dim:2 ~beta:2.5 ~c:0.15 ~n:30_000 () in
+    let inst = Girg.Instance.generate ~rng:(Prng.Rng.create ~seed:rseed) params in
+    let text_path = Filename.temp_file "bench-snap" ".girg" in
+    let bin_path = Filename.temp_file "bench-snap" ".girgb" in
+    Girg.Store.save ~path:text_path inst;
+    Girg.Store.save_binary ~path:bin_path inst;
+    let time_load id path =
+      let walls = ref [] and alloc = ref 0.0 in
+      for _ = 1 to runs do
+        let a0 = Gc.allocated_bytes () in
+        let t0 = Unix.gettimeofday () in
+        (match Girg.Store.load ~path with
+        | Ok _ -> ()
+        | Error e -> die Api.Error.Io "%s: %s" path e);
+        walls := (Unix.gettimeofday () -. t0) :: !walls;
+        alloc := Gc.allocated_bytes () -. a0
+      done;
+      let entry = Obs.Bench.make_entry ~id ~wall_s:!walls ~alloc_bytes:!alloc ~counters:[] () in
+      Printf.printf "  %-11s median %7.3fs  min %7.3fs  (%d runs)\n%!" id
+        entry.Obs.Bench.median_s entry.Obs.Bench.min_s runs;
+      entry
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        Sys.remove text_path;
+        Sys.remove bin_path)
+      (fun () -> [ time_load "load/text" text_path; time_load "load/binary" bin_path ])
+  in
+  let entries = entries @ codec_entries in
   let report =
     {
       Obs.Bench.label;
@@ -326,6 +374,247 @@ let load_report path =
       match Obs.Bench.of_string contents with
       | Ok r -> r
       | Error e -> die Api.Error.Io "cannot read %s: %s" path e)
+
+(* --- scale: the out-of-core sweep ---------------------------------- *)
+
+(* Peak resident set of this process in bytes, from /proc/self/status
+   VmHWM (0 when the file or the field is unavailable, e.g. non-Linux —
+   entries then carry rss_bytes = 0 = "not recorded" and the RSS gate
+   stays off). *)
+let peak_rss_bytes () =
+  match In_channel.with_open_text "/proc/self/status" In_channel.input_all with
+  | exception Sys_error _ -> 0.0
+  | contents ->
+      let value_kb line key =
+        let kl = String.length key in
+        if String.length line >= kl && String.sub line 0 kl = key then (
+          (* "VmHWM:   123456 kB" — keep the digits, ignore tabs/unit. *)
+          let buf = Buffer.create 12 in
+          String.iter (fun c -> if c >= '0' && c <= '9' then Buffer.add_char buf c) line;
+          int_of_string_opt (Buffer.contents buf))
+        else None
+      in
+      String.split_on_char '\n' contents
+      |> List.find_map (fun l -> value_kb l "VmHWM:")
+      |> Option.fold ~none:0.0 ~some:(fun kb -> float_of_int kb *. 1024.0)
+
+(* Run one sweep phase in a forked child so its peak RSS is isolated:
+   VmHWM is monotone within a process, so phases measured in-process
+   would all inherit the largest predecessor's peak (and a freed heap
+   instance would still count against the mmap phase).  The child
+   reports wall time, allocated bytes, peak RSS and a few labelled
+   counts over a pipe; file artifacts (spills, snapshots) land on disk
+   where the next phase finds them. *)
+let run_phase ~id f =
+  flush stdout;
+  flush stderr;
+  let r, w = Unix.pipe () in
+  match Unix.fork () with
+  | 0 ->
+      Unix.close r;
+      let oc = Unix.out_channel_of_descr w in
+      let t0 = Unix.gettimeofday () in
+      let a0 = Gc.allocated_bytes () in
+      (match f () with
+      | counters ->
+          Printf.fprintf oc "ok %.17g %.17g %.17g %s\n%!"
+            (Unix.gettimeofday () -. t0)
+            (Gc.allocated_bytes () -. a0)
+            (peak_rss_bytes ())
+            (String.concat " " (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) counters))
+      | exception e -> Printf.fprintf oc "err %s\n%!" (Printexc.to_string e));
+      exit 0
+  | pid -> (
+      Unix.close w;
+      let ic = Unix.in_channel_of_descr r in
+      let line = try input_line ic with End_of_file -> "err child produced no result" in
+      close_in ic;
+      let _, status = Unix.waitpid [] pid in
+      match (status, String.split_on_char ' ' line) with
+      | Unix.WEXITED 0, "ok" :: wall :: alloc :: rss :: counters ->
+          let num what s =
+            match float_of_string_opt s with
+            | Some f -> f
+            | None -> die Api.Error.Io "scale phase %s: bad %s %S from child" id what s
+          in
+          let counter kv =
+            match String.index_opt kv '=' with
+            | Some i ->
+                Option.map
+                  (fun v -> (String.sub kv 0 i, v))
+                  (int_of_string_opt (String.sub kv (i + 1) (String.length kv - i - 1)))
+            | None -> None
+          in
+          (num "wall" wall, num "alloc" alloc, num "rss" rss, List.filter_map counter counters)
+      | _, "err" :: rest ->
+          die Api.Error.Io "scale phase %s failed: %s" id (String.concat " " rest)
+      | _, _ -> die Api.Error.Io "scale phase %s: child died (%s)" id line)
+
+(* The routed workload both load paths share: [routes] greedy routes
+   between uniform distinct pairs.  Failures (dead ends outside the
+   giant) are fine — the phase measures traversal cost and residency,
+   not delivery rates. *)
+let route_workload inst ~routes ~seed =
+  let g = inst.Girg.Instance.graph in
+  let n = Sparse_graph.Graph.n g in
+  let rng = Prng.Rng.create ~seed in
+  let delivered = ref 0 in
+  for _ = 1 to routes do
+    let i, j = Prng.Dist.sample_distinct_pair rng ~n in
+    let objective = Greedy_routing.Objective.girg_phi inst ~target:j in
+    let outcome =
+      Greedy_routing.Protocol.run Greedy_routing.Protocol.Greedy ~graph:g ~objective
+        ~source:i ()
+    in
+    if outcome.Greedy_routing.Outcome.status = Greedy_routing.Outcome.Delivered then
+      incr delivered
+  done;
+  [ ("routes", routes); ("delivered", !delivered) ]
+
+let scale_sweep args =
+  let int_arg key ~default =
+    match int_of_string_opt (opt_value args key ~default:(string_of_int default)) with
+    | Some v when v > 0 -> v
+    | Some _ | None -> die Api.Error.Usage "%s expects a positive integer" key
+  in
+  let n0 = int_arg "--n" ~default:65_536 in
+  let doublings =
+    match int_of_string_opt (opt_value args "--doublings" ~default:"2") with
+    | Some v when v >= 0 -> v
+    | Some _ | None -> die Api.Error.Usage "--doublings expects a non-negative integer"
+  in
+  let shards = int_arg "--shards" ~default:4 in
+  let routes = int_arg "--routes" ~default:256 in
+  let sseed = int_arg "--seed" ~default:seed in
+  let label = opt_value args "--label" ~default:"scale" in
+  let out = opt_value args "--out" ~default:("BENCH_" ^ label ^ ".json") in
+  let max_mmap_ratio =
+    match opt_value args "--max-mmap-rss-ratio" ~default:"" with
+    | "" -> None
+    | v -> (
+        match float_of_string_opt v with
+        | Some f when f > 0.0 -> Some f
+        | Some _ | None -> die Api.Error.Usage "--max-mmap-rss-ratio expects a positive number")
+  in
+  let keep = List.mem "--keep" args in
+  let dir =
+    match opt_value args "--dir" ~default:"" with
+    | "" ->
+        let d =
+          Filename.concat (Filename.get_temp_dir_name ())
+            (Printf.sprintf "smallworld-scale.%d" (Unix.getpid ()))
+        in
+        (try Unix.mkdir d 0o700
+         with Unix.Unix_error (e, _, _) ->
+           die Api.Error.Io "cannot create %s: %s" d (Unix.error_message e));
+        d
+    | d ->
+        if not (Sys.file_exists d && Sys.is_directory d) then
+          die Api.Error.Io "--dir %s: not a directory" d;
+        d
+  in
+  (* Worker domains do not survive fork, so the parent pool must be
+     joined before the first phase child; each child re-creates a pool
+     at the requested parallelism for itself. *)
+  let jobs = Parallel.Global.jobs () in
+  Parallel.Global.set_jobs 1;
+  let made = ref [] in
+  let artifact name =
+    let p = Filename.concat dir name in
+    if not (List.mem p !made) then made := p :: !made;
+    p
+  in
+  let entries = ref [] in
+  let rss_of = Hashtbl.create 16 in
+  let phase ~nv name f =
+    let id = Printf.sprintf "scale/n%d/%s" nv name in
+    let wall, alloc, rss, counters =
+      run_phase ~id (fun () ->
+          Parallel.Global.set_jobs jobs;
+          f ())
+    in
+    Hashtbl.replace rss_of (nv, name) rss;
+    Printf.printf "  %-28s %8.3fs  alloc %8.1fMB  peak rss %8.1fMB%s\n%!" id wall
+      (alloc /. 1_048_576.0) (rss /. 1_048_576.0)
+      (match List.assoc_opt "edges" counters with
+      | Some e -> Printf.sprintf "  (%d edges)" e
+      | None -> "");
+    entries :=
+      Obs.Bench.make_entry ~rss_bytes:rss ~id ~wall_s:[ wall ] ~alloc_bytes:alloc ~counters ()
+      :: !entries
+  in
+  let gate_failures = ref [] in
+  let ns = List.init (doublings + 1) (fun i -> n0 lsl i) in
+  List.iter
+    (fun nv ->
+      let params = Girg.Params.make ~dim:2 ~beta:2.5 ~c:0.15 ~n:nv () in
+      let snap = artifact (Printf.sprintf "n%d.girgb" nv) in
+      let spills =
+        List.init shards (fun i -> artifact (Printf.sprintf "n%d.shard%d.spill" nv i))
+      in
+      phase ~nv "generate" (fun () ->
+          let inst = Girg.Instance.generate ~rng:(Prng.Rng.create ~seed:sseed) params in
+          [ ("edges", Sparse_graph.Graph.m inst.Girg.Instance.graph) ]);
+      phase ~nv "spill" (fun () ->
+          let edges = ref 0 in
+          List.iteri
+            (fun i path ->
+              let h = Girg.Shard.generate_spill ~path ~seed:sseed ~shards ~shard:i params in
+              edges := !edges + h.Girg.Shard.edges)
+            spills;
+          [ ("edges", !edges); ("shards", shards) ]);
+      phase ~nv "merge" (fun () ->
+          match Girg.Shard.merge ~paths:spills () with
+          | Error e -> failwith e
+          | Ok inst ->
+              Girg.Store.save_binary ~path:snap inst;
+              [ ("edges", Sparse_graph.Graph.m inst.Girg.Instance.graph) ]);
+      phase ~nv "heap-route" (fun () ->
+          match Girg.Store.load ~path:snap with
+          | Error e -> failwith e
+          | Ok inst -> route_workload inst ~routes ~seed:sseed);
+      phase ~nv "mmap-route" (fun () ->
+          match Girg.Store.load_mmap ~path:snap with
+          | Error e -> failwith e
+          | Ok inst -> route_workload inst ~routes ~seed:sseed);
+      match (Hashtbl.find_opt rss_of (nv, "mmap-route"), Hashtbl.find_opt rss_of (nv, "heap-route")) with
+      | Some m, Some h when m > 0.0 && h > 0.0 ->
+          let ratio = m /. h in
+          Printf.printf "  n=%-10d mmap-route peak rss is %.2fx the heap-route path\n%!" nv ratio;
+          Option.iter
+            (fun bound ->
+              if ratio > bound then
+                gate_failures :=
+                  Printf.sprintf "n=%d: mmap-route rss %.1fMB is %.2fx heap-route (bound %.2fx)"
+                    nv (m /. 1_048_576.0) ratio bound
+                  :: !gate_failures)
+            max_mmap_ratio
+      | _ -> Printf.printf "  n=%-10d rss not measured (no /proc); ratio gate skipped\n%!" nv)
+    ns;
+  let report =
+    {
+      Obs.Bench.label;
+      git_rev = Obs.Export.git_rev ();
+      scale = Printf.sprintf "scale:n%d..%d:shards%d" n0 (n0 lsl doublings) shards;
+      seed = sseed;
+      jobs;
+      entries = List.rev !entries;
+    }
+  in
+  Out_channel.with_open_text out (fun oc ->
+      output_string oc (Obs.Bench.to_string report);
+      output_char oc '\n');
+  Printf.printf "scale report (%s) written to %s\n" Obs.Bench.schema_version out;
+  if not keep then begin
+    List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) !made;
+    try Unix.rmdir dir with Unix.Unix_error _ -> ()
+  end
+  else Printf.printf "artifacts kept under %s\n" dir;
+  match !gate_failures with
+  | [] -> ()
+  | fs ->
+      List.iter (Printf.printf "FAIL: %s\n") (List.rev fs);
+      exit (Api.Error.exit_code Api.Error.Regression)
 
 (* --- serving-SLO diffs over smallworld.load.v1 --------------------- *)
 
@@ -457,6 +746,7 @@ let diff args =
   let alloc_threshold_pct =
     float_of_string (opt_value args "--alloc-threshold" ~default:"100")
   in
+  let rss_threshold_pct = float_of_string (opt_value args "--rss-threshold" ~default:"50") in
   (* On shared CI runners wall time flaps with machine load while
      allocation stays deterministic: --advisory-time reports timing
      verdicts but only allocation regressions affect the exit code. *)
@@ -464,7 +754,7 @@ let diff args =
   (* Skip the values of value-taking flags when collecting the two
      positional report paths. *)
   let value_keys =
-    [ "--threshold"; "--alloc-threshold"; "--max-p50-ms"; "--max-p99-ms";
+    [ "--threshold"; "--alloc-threshold"; "--rss-threshold"; "--max-p50-ms"; "--max-p99-ms";
       "--max-refusal-rate"; "--expect-speedup"; "--jobs" ]
   in
   let rec positionals = function
@@ -501,16 +791,24 @@ let diff args =
           "cannot compare: baseline recorded with --jobs %d, current with --jobs %d"
           baseline.Obs.Bench.jobs current.Obs.Bench.jobs;
       let comparisons =
-        Obs.Bench.diff ~threshold_pct ~alloc_threshold_pct ~baseline ~current ()
+        Obs.Bench.diff ~threshold_pct ~alloc_threshold_pct ~rss_threshold_pct ~baseline
+          ~current ()
       in
       if baseline.Obs.Bench.scale <> current.Obs.Bench.scale then
         print_endline "warning: reports were recorded at different scales";
       print_string (Obs.Bench.render_diff comparisons);
       let time_bad = Obs.Bench.time_regressed comparisons in
       let alloc_bad = Obs.Bench.alloc_regressed comparisons in
+      let rss_bad = Obs.Bench.rss_regressed comparisons in
       if alloc_bad then begin
         Printf.printf "FAIL: allocation regression beyond %.0f%% (or missing experiment)\n"
           alloc_threshold_pct;
+        exit (Api.Error.exit_code Api.Error.Regression)
+      end
+      else if rss_bad then begin
+        (* Like allocation, peak RSS is structural at a fixed seed, so
+           --advisory-time does not downgrade it. *)
+        Printf.printf "FAIL: peak-RSS regression beyond %.0f%%\n" rss_threshold_pct;
         exit (Api.Error.exit_code Api.Error.Regression)
       end
       else if time_bad && not advisory_time then begin
@@ -525,12 +823,14 @@ let diff args =
   | _ ->
       die Api.Error.Usage
         "usage: bench diff BASELINE CURRENT [--threshold PCT] [--alloc-threshold PCT] \
-         [--advisory-time] [--max-p50-ms X] [--max-p99-ms X] [--max-refusal-rate R] \
-         [--expect-speedup R]  (load reports use the serving-SLO gates)"
+         [--rss-threshold PCT] [--advisory-time] [--max-p50-ms X] [--max-p99-ms X] \
+         [--max-refusal-rate R] [--expect-speedup R]  (load reports use the serving-SLO \
+         gates)"
 
 let () =
   match Array.to_list Sys.argv with
   | _ :: "record" :: rest -> record rest
+  | _ :: "scale" :: rest -> scale_sweep rest
   | _ :: "diff" :: rest -> diff rest
   | _ ->
       run_experiment_tables ();

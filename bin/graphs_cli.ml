@@ -18,6 +18,11 @@
 let usage =
   "usage: graphs_cli <op> [args]\n\
    ops: gen <girg|hrg|kleinberg> -o FILE ...   sample and save an instance\n\
+  \     gen girg --shards S --shard I --spill-out FILE ...\n\
+  \                                            sample one shard, spill its edges\n\
+  \     merge-shards SPILL,SPILL,.. --name N -o FILE\n\
+  \                                            merge spills -> binary snapshot\n\
+  \     snapshot FILE --out FILE               re-encode as a binary snapshot\n\
   \     route FILE --source V --target V       route one message\n\
   \     route-batch FILE --count N | --pairs S route many pairs\n\
   \     stats FILE                             structural statistics\n\
@@ -83,6 +88,42 @@ let run_sample (exec : Api.V1.exec_opts) ~model ~seed =
         output p.side p.long_range p.exponent
         (Sparse_graph.Graph.n inst.graph)
         (Sparse_graph.Graph.m inst.graph)
+
+(* Out-of-core pipeline: gen --spill-out / merge-shards / snapshot.
+   A shard run re-derives everything from (seed, params), so S
+   independent processes can each produce one spill and a final merge
+   rebuilds the exact single-process instance (see Girg.Shard). *)
+
+let run_gen_shard (exec : Api.V1.exec_opts) ~params ~seed ~shards ~shard ~out =
+  with_manifest ~command:"gen.shard" ~seed exec.obs_out @@ fun () ->
+  let header = Girg.Shard.generate_spill ~path:out ~seed ~shards ~shard params in
+  Printf.printf "wrote %s: shard %d/%d of %s -> %d vertices, %d edges in this shard\n"
+    out shard shards
+    (Girg.Params.to_string params)
+    header.Girg.Shard.count header.Girg.Shard.edges
+
+let run_merge_shards (exec : Api.V1.exec_opts) ~spills =
+  let output = required_output exec in
+  with_manifest ~command:"merge-shards" ~seed:0 exec.obs_out @@ fun () ->
+  match Girg.Shard.merge ~paths:spills () with
+  | Error e -> fail (Api.Error.make Api.Error.Io "merge failed: %s" e)
+  | Ok inst ->
+      Girg.Store.save_binary ~path:output inst;
+      Printf.printf
+        "merged %d spills -> %s: %d vertices, %d edges (v2 binary snapshot)\n"
+        (List.length spills) output
+        (Sparse_graph.Graph.n inst.Girg.Instance.graph)
+        (Sparse_graph.Graph.m inst.Girg.Instance.graph)
+
+let run_snapshot (exec : Api.V1.exec_opts) ~path ~out =
+  with_manifest ~command:"snapshot" ~seed:0 exec.obs_out @@ fun () ->
+  let inst = load_instance path in
+  Girg.Store.save_binary ~path:out inst;
+  Printf.printf
+    "snapshotted %s -> %s: %d vertices, %d edges, %d bytes (mmap-ready)\n" path out
+    (Sparse_graph.Graph.n inst.Girg.Instance.graph)
+    (Sparse_graph.Graph.m inst.Girg.Instance.graph)
+    (Unix.stat out).Unix.st_size
 
 (* Client-side tracing: wrap the work in a probe span and append one
    smallworld.trace.v1 record to FILE.  With --trace-id the record
@@ -191,6 +232,10 @@ let run_v1 args =
       run_route_batch exec ~trace:env.Api.V1.trace ~path:instance ~pairs
         ~protocol ~max_steps
   | Api.V1.Stats { instance } -> run_stats exec ~path:instance
+  | Api.V1.Gen_shard { params; seed; shards; shard; out } ->
+      run_gen_shard exec ~params ~seed ~shards ~shard ~out
+  | Api.V1.Merge_shards { name = _; spills } -> run_merge_shards exec ~spills
+  | Api.V1.Snapshot { instance; out } -> run_snapshot exec ~path:instance ~out
   | Api.V1.Load { name; path } -> run_load exec ~name ~path
   | Api.V1.Server_stats ->
       fail_usage

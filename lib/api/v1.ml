@@ -37,6 +37,15 @@ type request =
       max_steps : int option;
     }
   | Stats of { instance : string }
+  | Gen_shard of {
+      params : Girg.Params.t;
+      seed : int;
+      shards : int;
+      shard : int;
+      out : string;
+    }
+  | Merge_shards of { name : string; spills : string list }
+  | Snapshot of { instance : string; out : string }
   | Health
   | Server_stats
   | Drain
@@ -77,6 +86,21 @@ type stats_reply = {
   giant : int;
 }
 
+type spill_info = {
+  sp_path : string;
+  sp_shard : int;
+  sp_shards : int;
+  sp_vertices : int;
+  sp_edges : int;
+}
+
+type snapshot_info = {
+  sn_path : string;
+  sn_bytes : int;
+  sn_vertices : int;
+  sn_edges : int;
+}
+
 type health_reply = {
   draining : bool;
   instances : string list;
@@ -109,6 +133,9 @@ type response =
   | Routed of route_reply
   | Routed_batch of route_reply list
   | Stats_reply of stats_reply
+  | Spilled of spill_info
+  | Merged of instance_info
+  | Snapshotted of snapshot_info
   | Health_reply of health_reply
   | Server_stats_reply of server_stats_reply
   | Drain_ack
@@ -168,6 +195,13 @@ let float_arg f =
     let s = Printf.sprintf "%.9g" f in
     if float_of_string s = f then s else Printf.sprintf "%.17g" f
 
+(* Shared by both codecs: a shard index names one band of [0, shards). *)
+let check_shard_range ~what ~shards ~shard =
+  if shards < 1 then err_bad "%s: shards must be >= 1, got %d" what shards
+  else if shard < 0 || shard >= shards then
+    err_bad "%s: shard must be in [0, %d), got %d" what shards shard
+  else Ok ()
+
 let pool_to_string = function Any -> "any" | Giant -> "giant"
 
 let pool_of_string = function
@@ -226,15 +260,21 @@ let op_of_request = function
   | Route _ -> "route"
   | Route_batch _ -> "route_batch"
   | Stats _ -> "stats"
+  | Gen_shard _ -> "gen_shard"
+  | Merge_shards _ -> "merge_shards"
+  | Snapshot _ -> "snapshot"
   | Health -> "health"
   | Server_stats -> "stats-server"
   | Drain -> "drain"
 
 let instance_of_request = function
-  | Load { name; _ } | Sample { name; _ } -> Some name
-  | Route { instance; _ } | Route_batch { instance; _ } | Stats { instance } ->
+  | Load { name; _ } | Sample { name; _ } | Merge_shards { name; _ } -> Some name
+  | Route { instance; _ }
+  | Route_batch { instance; _ }
+  | Stats { instance }
+  | Snapshot { instance; _ } ->
       Some instance
-  | Health | Server_stats | Drain -> None
+  | Gen_shard _ | Health | Server_stats | Drain -> None
 
 let request_fields = function
   | Load { name; path } -> [ ("name", J.Str name); ("path", J.Str path) ]
@@ -253,6 +293,20 @@ let request_fields = function
       @ [ ("protocol", J.Str (protocol_to_string protocol)) ]
       @ (match max_steps with Some m -> [ ("max_steps", J.Int m) ] | None -> [])
   | Stats { instance } -> [ ("instance", J.Str instance) ]
+  | Gen_shard { params; seed; shards; shard; out } ->
+      model_fields (Girg params)
+      @ [
+          ("seed", J.Int seed);
+          ("shards", J.Int shards);
+          ("shard", J.Int shard);
+          ("out", J.Str out);
+        ]
+  | Merge_shards { name; spills } ->
+      [
+        ("name", J.Str name);
+        ("spills", J.Arr (List.map (fun p -> J.Str p) spills));
+      ]
+  | Snapshot { instance; out } -> [ ("instance", J.Str instance); ("out", J.Str out) ]
   | Health | Server_stats | Drain -> []
 
 let envelope_to_json e =
@@ -438,13 +492,44 @@ let envelope_of_json j =
     | "stats" ->
         let* instance = req_field ~what:op "instance" jstr j in
         Ok (Stats { instance })
+    | "gen_shard" | "gen-shard" -> (
+        let* model = model_of_json ~what:op j in
+        match model with
+        | Girg params ->
+            let* seed = opt_field ~what:op "seed" jint j in
+            let* shards = req_field ~what:op "shards" jint j in
+            let* shard = req_field ~what:op "shard" jint j in
+            let* out = req_field ~what:op "out" jstr j in
+            let* () = check_shard_range ~what:op ~shards ~shard in
+            Ok
+              (Gen_shard
+                 { params; seed = Option.value seed ~default:42; shards; shard; out })
+        | Hrg _ | Kleinberg _ ->
+            err_bad "gen_shard supports the girg model only")
+    | "merge_shards" | "merge-shards" -> (
+        let* name = req_field ~what:op "name" jstr j in
+        match J.member "spills" j with
+        | Some (J.Arr items) ->
+            let rec go acc = function
+              | [] ->
+                  if acc = [] then err_bad "merge_shards needs at least one spill"
+                  else Ok (Merge_shards { name; spills = List.rev acc })
+              | J.Str p :: rest -> go (p :: acc) rest
+              | _ -> err_bad "\"spills\" entries must be path strings"
+            in
+            go [] items
+        | _ -> err_bad "merge_shards request is missing array field \"spills\"")
+    | "snapshot" ->
+        let* instance = req_field ~what:op "instance" jstr j in
+        let* out = req_field ~what:op "out" jstr j in
+        Ok (Snapshot { instance; out })
     | "health" -> Ok Health
     | "stats-server" | "server-stats" -> Ok Server_stats
     | "drain" -> Ok Drain
     | other ->
         err_bad
-          "unknown op %S (load | sample | route | route_batch | stats | health | \
-           stats-server | drain)"
+          "unknown op %S (load | sample | route | route_batch | stats | gen_shard | \
+           merge_shards | snapshot | health | stats-server | drain)"
           other
   in
   Ok { id; deadline_ms; trace; request }
@@ -478,7 +563,24 @@ let instance_info_to_json (i : instance_info) =
     ]
 
 let result_to_json = function
-  | Loaded i | Sampled i -> instance_info_to_json i
+  | Loaded i | Sampled i | Merged i -> instance_info_to_json i
+  | Spilled s ->
+      J.Obj
+        [
+          ("path", J.Str s.sp_path);
+          ("shard", J.Int s.sp_shard);
+          ("shards", J.Int s.sp_shards);
+          ("vertices", J.Int s.sp_vertices);
+          ("edges", J.Int s.sp_edges);
+        ]
+  | Snapshotted s ->
+      J.Obj
+        [
+          ("path", J.Str s.sn_path);
+          ("bytes", J.Int s.sn_bytes);
+          ("vertices", J.Int s.sn_vertices);
+          ("edges", J.Int s.sn_edges);
+        ]
   | Routed r -> route_reply_to_json r
   | Routed_batch rs -> J.Obj [ ("routes", J.Arr (List.map route_reply_to_json rs)) ]
   | Stats_reply s ->
@@ -531,6 +633,9 @@ let op_of_response = function
   | Routed _ -> "route"
   | Routed_batch _ -> "route_batch"
   | Stats_reply _ -> "stats"
+  | Spilled _ -> "gen_shard"
+  | Merged _ -> "merge_shards"
+  | Snapshotted _ -> "snapshot"
   | Health_reply _ -> "health"
   | Server_stats_reply _ -> "stats-server"
   | Drain_ack -> "drain"
@@ -605,6 +710,22 @@ let reply_of_json j =
       | "sample" ->
           let* i = instance_info_of_json ~what result in
           Ok (Sampled i)
+      | "gen_shard" ->
+          let* sp_path = req_field ~what "path" jstr result in
+          let* sp_shard = req_field ~what "shard" jint result in
+          let* sp_shards = req_field ~what "shards" jint result in
+          let* sp_vertices = req_field ~what "vertices" jint result in
+          let* sp_edges = req_field ~what "edges" jint result in
+          Ok (Spilled { sp_path; sp_shard; sp_shards; sp_vertices; sp_edges })
+      | "merge_shards" ->
+          let* i = instance_info_of_json ~what result in
+          Ok (Merged i)
+      | "snapshot" ->
+          let* sn_path = req_field ~what "path" jstr result in
+          let* sn_bytes = req_field ~what "bytes" jint result in
+          let* sn_vertices = req_field ~what "vertices" jint result in
+          let* sn_edges = req_field ~what "edges" jint result in
+          Ok (Snapshotted { sn_path; sn_bytes; sn_vertices; sn_edges })
       | "route" ->
           let* r = route_reply_of_json ~what result in
           Ok (Routed r)
@@ -790,6 +911,11 @@ let girg_flags =
     fld "--c" ~als:[ "-c" ] ~ftyp:"float" ~fdefault:"0.25" ~fdoc:"edge probability constant";
     fld "--norm" ~ftyp:"norm" ~fdefault:"linf" ~fdoc:"torus norm: linf | l2 | l1";
     fld "--fixed-count" ~ftyp:"flag" ~fdoc:"exactly n vertices instead of Poisson(n)";
+    fld "--shards" ~ftyp:"int" ~fdefault:"1"
+      ~fdoc:"split edge generation into this many deterministic shards (with --spill-out)";
+    fld "--shard" ~ftyp:"int" ~fdefault:"0" ~fdoc:"which shard to generate, in [0, --shards)";
+    fld "--spill-out" ~ftyp:"string"
+      ~fdoc:"write this shard's edges as a binary spill file instead of a full instance";
   ]
 
 let hrg_flags =
@@ -850,6 +976,22 @@ let stats_flags =
       ~fdoc:"instance name (daemon) or file (CLI); also the positional argument";
   ]
 
+let merge_flags =
+  [
+    fld "--name" ~ftyp:"string" ~freq:true ~fdoc:"registry name for the merged instance";
+    fld "--spills" ~ftyp:"paths" ~freq:true
+      ~fdoc:"comma-separated spill files, one per shard index; also the positional \
+             argument";
+  ]
+
+let snapshot_flags =
+  [
+    fld "--instance" ~ftyp:"string" ~freq:true
+      ~fdoc:"instance name (daemon) or file (CLI); also the positional argument";
+    fld "--out" ~ftyp:"string" ~freq:true
+      ~fdoc:"where the v2 binary snapshot is written";
+  ]
+
 type ospec = {
   op : string;
   op_als : string list;
@@ -893,6 +1035,20 @@ let ops =
       op_als = [];
       odoc = "structural statistics of an instance";
       oflags = stats_flags;
+      positional = Some "--instance";
+    };
+    {
+      op = "merge-shards";
+      op_als = [ "merge_shards" ];
+      odoc = "merge per-shard spill files into one instance and register it";
+      oflags = merge_flags;
+      positional = Some "--spills";
+    };
+    {
+      op = "snapshot";
+      op_als = [];
+      odoc = "re-encode a saved instance as a v2 binary (mmap-ready) snapshot";
+      oflags = snapshot_flags;
       positional = Some "--instance";
     };
     { op = "health"; op_als = []; odoc = "server liveness, counters, registry contents";
@@ -1040,15 +1196,15 @@ let of_args args =
   match args with
   | [] ->
       err_bad
-        "missing operation (load | sample | route | route-batch | stats | health | \
-         stats-server | drain)"
+        "missing operation (load | sample | route | route-batch | stats | merge-shards | \
+         snapshot | health | stats-server | drain)"
   | op_tok :: rest -> (
       let known_ops = List.map (fun o -> { o with op_als = o.op :: o.op_als }) ops in
       match List.find_opt (fun o -> List.mem op_tok o.op_als) known_ops with
       | None ->
           err_bad
-            "unknown operation %S (load | sample | route | route-batch | stats | health | \
-             stats-server | drain)"
+            "unknown operation %S (load | sample | route | route-batch | stats | \
+             merge-shards | snapshot | health | stats-server | drain)"
             op_tok
       | Some o -> (
           let op = o.op in
@@ -1088,7 +1244,9 @@ let of_args args =
                   )
               | "sample" -> (
                   let* seed = get_int ~op seen "--seed" ~default:42 in
-                  let* name =
+                  (* Spill-mode girg generation needs no registry name, so
+                     the name requirement is resolved lazily per branch. *)
+                  let name_res =
                     match (get seen "--name", exec.output) with
                     | Some n, _ -> Ok n
                     | None, Some out -> Ok out
@@ -1121,8 +1279,22 @@ let of_args args =
                         validate_girg ~what:"sample"
                           { Girg.Params.n; dim; beta; w_min; alpha; c; norm; poisson_count }
                       in
-                      Ok (Sample { name; model = Girg p; seed })
+                      (match get seen "--spill-out" with
+                      | Some out ->
+                          let* shards = get_int ~op seen "--shards" ~default:1 in
+                          let* shard = get_int ~op seen "--shard" ~default:0 in
+                          let* () = check_shard_range ~what:op ~shards ~shard in
+                          Ok (Gen_shard { params = p; seed; shards; shard; out })
+                      | None ->
+                          if Hashtbl.mem seen "--shards" || Hashtbl.mem seen "--shard"
+                          then
+                            err_bad
+                              "sharded generation writes a spill file: add --spill-out FILE"
+                          else
+                            let* name = name_res in
+                            Ok (Sample { name; model = Girg p; seed }))
                   | Some "hrg" ->
+                      let* name = name_res in
                       let* n = get_int ~op seen "--n" ~default:10_000 in
                       let* alpha_h = get_float ~op seen "--alpha-h" ~default:0.75 in
                       let* radius_c = get_float ~op seen "--radius-c" ~default:0.0 in
@@ -1134,6 +1306,7 @@ let of_args args =
                       | exception Invalid_argument m ->
                           err_bad "invalid hrg parameters: %s" m)
                   | Some "kleinberg" ->
+                      let* name = name_res in
                       let* side = req_int ~op seen "--side" in
                       let* long_range = get_int ~op seen "--long-range" ~default:1 in
                       let* exponent = get_float ~op seen "--exponent" ~default:2.0 in
@@ -1187,6 +1360,38 @@ let of_args args =
                     | None -> err_bad "stats requires --instance (or a positional file)"
                   in
                   Ok (Stats { instance })
+              | "merge-shards" ->
+                  let* name =
+                    match get seen "--name" with
+                    | Some n -> Ok n
+                    | None -> err_bad "merge-shards requires --name"
+                  in
+                  let* spills =
+                    match get seen "--spills" with
+                    | Some s -> (
+                        match
+                          List.filter (fun p -> p <> "") (String.split_on_char ',' s)
+                        with
+                        | [] -> err_bad "--spills needs at least one path"
+                        | paths -> Ok paths)
+                    | None ->
+                        err_bad
+                          "merge-shards requires --spills (comma-separated spill files, \
+                           or one positional argument)"
+                  in
+                  Ok (Merge_shards { name; spills })
+              | "snapshot" ->
+                  let* instance =
+                    match get seen "--instance" with
+                    | Some i -> Ok i
+                    | None -> err_bad "snapshot requires --instance (or a positional file)"
+                  in
+                  let* out =
+                    match get seen "--out" with
+                    | Some o -> Ok o
+                    | None -> err_bad "snapshot requires --out FILE"
+                  in
+                  Ok (Snapshot { instance; out })
               | "health" -> Ok Health
               | "stats-server" -> Ok Server_stats
               | "drain" -> Ok Drain
@@ -1211,6 +1416,19 @@ let of_args args =
 let to_args ?(exec = no_exec) e =
   let fl flag v = [ flag; v ] in
   let opt_fl flag v = match v with Some v -> [ flag; v ] | None -> [] in
+  let girg_args (p : Girg.Params.t) =
+    fl "--n" (string_of_int p.Girg.Params.n)
+    @ fl "--dim" (string_of_int p.dim)
+    @ fl "--beta" (float_arg p.beta)
+    @ fl "--w-min" (float_arg p.w_min)
+    @ fl "--alpha"
+        (match p.alpha with
+        | Girg.Params.Infinite -> "inf"
+        | Girg.Params.Finite a -> float_arg a)
+    @ fl "--c" (float_arg p.c)
+    @ fl "--norm" (Girg.Params.norm_to_string p.norm)
+    @ if p.poisson_count then [] else [ "--fixed-count" ]
+  in
   let tail =
     opt_fl "--id" (Option.map string_of_int e.id)
     @ opt_fl "--deadline-ms" (Option.map string_of_int e.deadline_ms)
@@ -1229,19 +1447,7 @@ let to_args ?(exec = no_exec) e =
   | Sample { name; model; seed } ->
       let model_args =
         match model with
-        | Girg p ->
-            [ "girg" ]
-            @ fl "--n" (string_of_int p.Girg.Params.n)
-            @ fl "--dim" (string_of_int p.dim)
-            @ fl "--beta" (float_arg p.beta)
-            @ fl "--w-min" (float_arg p.w_min)
-            @ fl "--alpha"
-                (match p.alpha with
-                | Girg.Params.Infinite -> "inf"
-                | Girg.Params.Finite a -> float_arg a)
-            @ fl "--c" (float_arg p.c)
-            @ fl "--norm" (Girg.Params.norm_to_string p.norm)
-            @ (if p.poisson_count then [] else [ "--fixed-count" ])
+        | Girg p -> "girg" :: girg_args p
         | Hrg p ->
             [ "hrg" ]
             @ fl "--n" (string_of_int p.Hyperbolic.Hrg.n)
@@ -1285,6 +1491,21 @@ let to_args ?(exec = no_exec) e =
       @ opt_fl "--max-steps" (Option.map string_of_int max_steps)
       @ tail
   | Stats { instance } -> [ "stats" ] @ fl "--instance" instance @ tail
+  | Gen_shard { params; seed; shards; shard; out } ->
+      [ "sample"; "girg" ]
+      @ girg_args params
+      @ fl "--seed" (string_of_int seed)
+      @ fl "--shards" (string_of_int shards)
+      @ fl "--shard" (string_of_int shard)
+      @ fl "--spill-out" out
+      @ tail
+  | Merge_shards { name; spills } ->
+      [ "merge-shards" ]
+      @ fl "--name" name
+      @ fl "--spills" (String.concat "," spills)
+      @ tail
+  | Snapshot { instance; out } ->
+      [ "snapshot" ] @ fl "--instance" instance @ fl "--out" out @ tail
   | Health -> "health" :: tail
   | Server_stats -> "stats-server" :: tail
   | Drain -> "drain" :: tail

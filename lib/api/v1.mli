@@ -61,6 +61,26 @@ type request =
       max_steps : int option;
     }
   | Stats of { instance : string }
+  | Gen_shard of {
+      params : Girg.Params.t;
+      seed : int;
+      shards : int;
+      shard : int;
+      out : string;
+    }
+      (** sample shard [shard] of [shards] of a GIRG's deterministic
+          edge enumeration and spill it to [out]
+          ({!Girg.Shard.generate_spill}) — the out-of-core half of
+          [sample].  On the CLI this is
+          [gen girg ... --shards S --shard I --spill-out FILE]. *)
+  | Merge_shards of { name : string; spills : string list }
+      (** validate a complete spill set, concatenate the shard streams
+          in shard order (bit-identical to single-process generation)
+          and register the rebuilt instance under [name] *)
+  | Snapshot of { instance : string; out : string }
+      (** re-encode a registered (daemon) or on-disk (CLI) instance as
+          a v2 binary snapshot at [out], ready for
+          {!Girg.Store.load_mmap} *)
   | Health
   | Server_stats
       (** live serving telemetry ([stats-server] on the wire): counter
@@ -115,6 +135,21 @@ type stats_reply = {
   giant : int;
 }
 
+type spill_info = {
+  sp_path : string;
+  sp_shard : int;
+  sp_shards : int;
+  sp_vertices : int;  (** realised vertex count (identical across the set) *)
+  sp_edges : int;  (** edges in this shard's spill *)
+}
+
+type snapshot_info = {
+  sn_path : string;
+  sn_bytes : int;  (** size of the written snapshot file *)
+  sn_vertices : int;
+  sn_edges : int;
+}
+
 type health_reply = {
   draining : bool;
   instances : string list;  (** registry contents, most recently used first *)
@@ -154,6 +189,9 @@ type response =
   | Routed of route_reply
   | Routed_batch of route_reply list
   | Stats_reply of stats_reply
+  | Spilled of spill_info
+  | Merged of instance_info
+  | Snapshotted of snapshot_info
   | Health_reply of health_reply
   | Server_stats_reply of server_stats_reply
   | Drain_ack
@@ -169,6 +207,9 @@ val op_of_request : request -> string
 
 val instance_of_request : request -> string option
 (** The registry name a request touches, when it names one. *)
+
+val op_of_response : response -> string
+(** The wire op a response answers ([error] for {!Failed}). *)
 
 val protocol_to_string : Greedy_routing.Protocol.t -> string
 
@@ -225,7 +266,9 @@ val no_exec : exec_opts
 val of_args : string list -> (envelope * exec_opts, Error.t) result
 (** Parse an argument vector: the leading token selects the op
     ([load], [sample] + model, [route], [route-batch], [stats],
-    [health], [drain]); the rest are flags from {!schema_json}.
+    [merge-shards], [snapshot], [health], [drain]); the rest are flags
+    from {!schema_json}.  [sample girg --spill-out FILE] selects
+    sharded spill generation ({!Gen_shard}).
     Deprecated spellings ([-s], [-t], [-n], [-o], [-j], [-c]) keep
     working through a shim table; an unknown flag fails with
     [bad-request] and the message names the nearest canonical (new)

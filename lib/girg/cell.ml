@@ -120,9 +120,12 @@ let task_count tb = tb.t_len / 8
 let task_rng ~base ~kind ~level ~a ~b =
   Prng.Rng.of_mixed_triple ~base ~a ~b ~c:((level lsl 2) lor kind)
 
-let sample_edges_buf_stats ?pool ~rng ~kernel ~weights ~positions () =
+let sample_edges_buf_stats ?pool ?(shard = (0, 1)) ~rng ~kernel ~weights ~positions () =
   let n = Array.length weights in
   if Array.length positions <> n then invalid_arg "Cell.sample_edges: length mismatch";
+  let shard_idx, shards = shard in
+  if shards < 1 || shard_idx < 0 || shard_idx >= shards then
+    invalid_arg "Cell.sample_edges: shard index out of range";
   let pool = match pool with Some p -> p | None -> Parallel.Global.get () in
   let dim = kernel.Kernel.dim in
   let type1_pairs = ref 0 and type2_trials = ref 0 and cells_visited = ref 0 in
@@ -256,11 +259,20 @@ let sample_edges_buf_stats ?pool ~rng ~kernel ~weights ~positions () =
       visit 0 0 0 ~alo:0 ~ahi:sz ~blo:0 ~bhi:sz
     end;
     (* ---------------- sampling (parallel over task chunks) ---------------- *)
+    (* Shard [i] of [S] owns the contiguous task-index band
+       [i*nt/S, (i+1)*nt/S) of the canonical enumeration — a contiguous run
+       of cell pairs in recursion (Morton/DFS) order.  Because edges are
+       emitted in task order regardless of chunking, concatenating the
+       shards' outputs in shard order reproduces the single-process edge
+       stream byte for byte: the same argument that makes the output
+       invariant under the job count makes it invariant under sharding. *)
     let nt = task_count tasks in
-    if nt > 0 then begin
-      let nchunks = min nt (max 1 (Parallel.Pool.jobs pool * 8)) in
+    let shard_lo = shard_idx * nt / shards and shard_hi = (shard_idx + 1) * nt / shards in
+    let nst = shard_hi - shard_lo in
+    if nst > 0 then begin
+      let nchunks = min nst (max 1 (Parallel.Pool.jobs pool * 8)) in
       let process_chunk c =
-        let lo = c * nt / nchunks and hi = (c + 1) * nt / nchunks in
+        let lo = shard_lo + (c * nst / nchunks) and hi = shard_lo + ((c + 1) * nst / nchunks) in
         let out = Edge_buf.create ~capacity:256 () in
         let t1 = ref 0 and t2 = ref 0 in
         let sa = buckets_create num_layers and sb = buckets_create num_layers in

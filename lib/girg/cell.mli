@@ -43,6 +43,7 @@ type stats = {
 
 val sample_edges_buf_stats :
   ?pool:Parallel.Pool.t ->
+  ?shard:int * int ->
   rng:Prng.Rng.t ->
   kernel:Kernel.t ->
   weights:float array ->
@@ -51,7 +52,19 @@ val sample_edges_buf_stats :
   Edge_buf.t * stats
 (** The primary entry point: the sampled edges stay in their flat interleaved
     buffer, which {!Sparse_graph.Graph.of_flat_halves} consumes directly —
-    no boxed [(u, v) array] is materialised on the generation path. *)
+    no boxed [(u, v) array] is materialised on the generation path.
+
+    [?shard:(i, s)] (default [(0, 1)]) restricts sampling to shard [i] of
+    [s]: the contiguous band [i*nt/s, (i+1)*nt/s) of the canonical task
+    enumeration (a run of cell pairs in recursion order).  The cheap
+    enumeration phase still runs in full — it consumes no randomness — so
+    independent processes given the same inputs and distinct shard indices
+    partition the work exactly: concatenating their edge buffers in shard
+    order is byte-identical to the [(0, 1)] output, for {e any} combination
+    of shard count and job count.  Note [stats.cells_visited] counts the
+    full enumeration in every shard (it is not partitioned), while
+    [type1_pairs]/[type2_trials] cover only the shard's own tasks.
+    @raise Invalid_argument unless [0 <= i < s]. *)
 
 val sample_edges :
   ?pool:Parallel.Pool.t ->

@@ -1,0 +1,236 @@
+(* Little-endian binary primitives shared by the spill and snapshot formats.
+   Reads raise [Corrupt] with a diagnostic; format entry points catch it at
+   the API boundary and return [Error] (same discipline as the wire codec's
+   frame validation in PR 8). *)
+
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+
+(* The endianness/width sentinel: a reader on a platform whose native int
+   layout disagrees with the file sees a mangled sentinel and refuses early
+   instead of mis-decoding every word after it. *)
+let endian_tag = 0x01020304
+
+let scratch = 8
+
+let write_i64 oc x =
+  let b = Bytes.create scratch in
+  Bytes.set_int64_le b 0 (Int64.of_int x);
+  Out_channel.output oc b 0 8
+
+let write_i32 oc x =
+  if x < Int32.to_int Int32.min_int || x > Int32.to_int Int32.max_int then
+    invalid_arg (Printf.sprintf "Codec.write_i32: %d out of range" x);
+  let b = Bytes.create 4 in
+  Bytes.set_int32_le b 0 (Int32.of_int x);
+  Out_channel.output oc b 0 4
+
+let write_u8 oc x =
+  if x < 0 || x > 0xff then invalid_arg "Codec.write_u8: out of range";
+  Out_channel.output_byte oc x
+
+let write_f64 oc x =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 (Int64.bits_of_float x);
+  Out_channel.output oc b 0 8
+
+let write_magic oc magic = Out_channel.output_string oc magic
+
+let read_exact ic len what =
+  match really_input_string ic len with
+  | s -> s
+  | exception End_of_file -> corrupt "truncated file: expected %d bytes of %s" len what
+
+let read_i64 ic what =
+  let s = read_exact ic 8 what in
+  let v = String.get_int64_le s 0 in
+  (* Values are produced from OCaml ints, so a word outside the native int
+     range marks corruption, not a big count. *)
+  if Int64.compare v (Int64.of_int max_int) > 0 || Int64.compare v (Int64.of_int min_int) < 0
+  then corrupt "%s = %Ld does not fit a native int" what v
+  else Int64.to_int v
+
+let read_i32 ic what = Int32.to_int (String.get_int32_le (read_exact ic 4 what) 0)
+
+let read_u8 ic what =
+  match In_channel.input_byte ic with
+  | Some b -> b
+  | None -> corrupt "truncated file: expected 1 byte of %s" what
+
+let read_f64 ic what = Int64.float_of_bits (String.get_int64_le (read_exact ic 8 what) 0)
+
+let read_magic ic expected =
+  let got = read_exact ic (String.length expected) "magic" in
+  if not (String.equal got expected) then
+    corrupt "bad magic: expected %S, got %S" expected got
+
+let check_endian_tag ic =
+  let tag = read_i32 ic "endian tag" in
+  if tag <> endian_tag then corrupt "endianness mismatch: tag %#x, expected %#x" tag endian_tag
+
+(* ---- bulk float/int sections, staged through one scratch buffer ---- *)
+
+let chunk_floats = 8192
+
+let write_f64_array oc (a : float array) =
+  let b = Bytes.create (8 * chunk_floats) in
+  let n = Array.length a in
+  let i = ref 0 in
+  while !i < n do
+    let k = min chunk_floats (n - !i) in
+    for j = 0 to k - 1 do
+      Bytes.set_int64_le b (8 * j) (Int64.bits_of_float a.(!i + j))
+    done;
+    Out_channel.output oc b 0 (8 * k);
+    i := !i + k
+  done
+
+let read_f64_array ic n what =
+  if n < 0 || n > Sys.max_array_length then corrupt "%s: bad length %d" what n;
+  let a = Array.make (max 1 n) 0.0 in
+  let b = Bytes.create (8 * chunk_floats) in
+  let i = ref 0 in
+  (try
+     while !i < n do
+       let k = min chunk_floats (n - !i) in
+       really_input ic b 0 (8 * k);
+       for j = 0 to k - 1 do
+         a.(!i + j) <- Int64.float_of_bits (Bytes.get_int64_le b (8 * j))
+       done;
+       i := !i + k
+     done
+   with End_of_file -> corrupt "truncated file while reading %s (%d of %d values)" what !i n);
+  if n = 0 then [||] else a
+
+(* Edge sections: interleaved endpoints as int32 LE pairs (vertex ids stay
+   well under 2^31 at any target scale; halving the word size halves spill
+   I/O).  The writer validates the range so the reader can trust it. *)
+
+let chunk_ints = 16384
+
+let write_edges_i32 oc (flat : int array) ~len =
+  let b = Bytes.create (4 * chunk_ints) in
+  let i = ref 0 in
+  while !i < len do
+    let k = min chunk_ints (len - !i) in
+    for j = 0 to k - 1 do
+      let x = flat.(!i + j) in
+      if x < 0 || x > 0x3fffffff then
+        invalid_arg (Printf.sprintf "Codec.write_edges_i32: endpoint %d out of range" x);
+      Bytes.set_int32_le b (4 * j) (Int32.of_int x)
+    done;
+    Out_channel.output oc b 0 (4 * k);
+    i := !i + k
+  done
+
+let read_edges_i32 ic buf ~edges ~max_vertex =
+  let b = Bytes.create (4 * chunk_ints) in
+  let remaining = ref (2 * edges) in
+  let u = ref (-1) in
+  (try
+     while !remaining > 0 do
+       let k = min chunk_ints !remaining in
+       really_input ic b 0 (4 * k);
+       for j = 0 to k - 1 do
+         let x = Int32.to_int (Bytes.get_int32_le b (4 * j)) in
+         if x < 0 || x >= max_vertex then
+           corrupt "edge endpoint %d out of range [0, %d)" x max_vertex;
+         if !u < 0 then u := x
+         else begin
+           Edge_buf.push buf !u x;
+           u := -1
+         end
+       done;
+       remaining := !remaining - k
+     done
+   with End_of_file -> corrupt "truncated edge section (%d halves missing)" !remaining)
+
+(* ---- parameter block, shared by the spill and snapshot headers ---- *)
+
+let norm_code = function Geometry.Torus.Linf -> 0 | Geometry.Torus.L2 -> 1 | Geometry.Torus.L1 -> 2
+
+let norm_of_code = function
+  | 0 -> Geometry.Torus.Linf
+  | 1 -> Geometry.Torus.L2
+  | 2 -> Geometry.Torus.L1
+  | c -> corrupt "unknown norm code %d" c
+
+let params_block_size = 8 + 4 + 8 + 8 + (1 + 8) + 8 + 1 + 1
+
+let write_params oc (p : Params.t) =
+  write_i64 oc p.Params.n;
+  write_i32 oc p.Params.dim;
+  write_f64 oc p.Params.beta;
+  write_f64 oc p.Params.w_min;
+  (match p.Params.alpha with
+  | Params.Infinite ->
+      write_u8 oc 0;
+      write_f64 oc 0.0
+  | Params.Finite a ->
+      write_u8 oc 1;
+      write_f64 oc a);
+  write_f64 oc p.Params.c;
+  write_u8 oc (norm_code p.Params.norm);
+  write_u8 oc (if p.Params.poisson_count then 1 else 0)
+
+let read_params ic =
+  let n = read_i64 ic "params.n" in
+  let dim = read_i32 ic "params.dim" in
+  let beta = read_f64 ic "params.beta" in
+  let w_min = read_f64 ic "params.w_min" in
+  let alpha_kind = read_u8 ic "params.alpha kind" in
+  let alpha_val = read_f64 ic "params.alpha" in
+  let alpha =
+    match alpha_kind with
+    | 0 -> Params.Infinite
+    | 1 -> Params.Finite alpha_val
+    | k -> corrupt "unknown alpha kind %d" k
+  in
+  let c = read_f64 ic "params.c" in
+  let norm = norm_of_code (read_u8 ic "params.norm") in
+  let poisson =
+    match read_u8 ic "params.poisson" with
+    | 0 -> false
+    | 1 -> true
+    | b -> corrupt "bad poisson flag %d" b
+  in
+  match Params.validate { Params.n; dim; beta; w_min; alpha; c; norm; poisson_count = poisson } with
+  | Ok p -> p
+  | Error e -> corrupt "invalid parameters: %s" e
+
+(* ---- int64 sections staged through Bigarrays (CSR arrays) ---- *)
+
+type int_ba = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let chunk_words = 8192
+
+let write_int_ba oc (a : int_ba) =
+  let b = Bytes.create (8 * chunk_words) in
+  let n = Bigarray.Array1.dim a in
+  let i = ref 0 in
+  while !i < n do
+    let k = min chunk_words (n - !i) in
+    for j = 0 to k - 1 do
+      Bytes.set_int64_le b (8 * j) (Int64.of_int a.{!i + j})
+    done;
+    Out_channel.output oc b 0 (8 * k);
+    i := !i + k
+  done
+
+let read_int_ba ic n what =
+  if n < 0 then corrupt "%s: negative length %d" what n;
+  let a = Bigarray.Array1.create Bigarray.int Bigarray.c_layout n in
+  let b = Bytes.create (8 * chunk_words) in
+  let i = ref 0 in
+  (try
+     while !i < n do
+       let k = min chunk_words (n - !i) in
+       really_input ic b 0 (8 * k);
+       for j = 0 to k - 1 do
+         a.{!i + j} <- Int64.to_int (Bytes.get_int64_le b (8 * j))
+       done;
+       i := !i + k
+     done
+   with End_of_file -> corrupt "truncated file while reading %s (%d of %d words)" what !i n);
+  a

@@ -1,0 +1,63 @@
+(** Little-endian binary primitives for the spill and snapshot formats.
+
+    All multi-byte values are little-endian.  Integers are written as int64
+    (or int32 where noted) from native OCaml [int]s; floats as IEEE-754
+    binary64 bit patterns, so values round-trip exactly.  Readers raise
+    {!Corrupt} on truncation, range violations, or sentinel mismatches —
+    format entry points catch it and surface [Error]. *)
+
+exception Corrupt of string
+
+val corrupt : ('a, unit, string, 'b) format4 -> 'a
+(** [corrupt fmt ...] raises {!Corrupt} with the formatted diagnostic. *)
+
+val endian_tag : int
+(** Sentinel word written after each magic ([0x01020304] as int32 LE); a
+    reader that decodes anything else refuses the file early. *)
+
+val write_i64 : Out_channel.t -> int -> unit
+val write_i32 : Out_channel.t -> int -> unit
+val write_u8 : Out_channel.t -> int -> unit
+val write_f64 : Out_channel.t -> float -> unit
+val write_magic : Out_channel.t -> string -> unit
+val write_f64_array : Out_channel.t -> float array -> unit
+
+val write_edges_i32 : Out_channel.t -> int array -> len:int -> unit
+(** First [len] entries of an interleaved half-edge array as int32 LE.
+    @raise Invalid_argument if an entry exceeds the int32-safe range. *)
+
+val read_i64 : In_channel.t -> string -> int
+(** [read_i64 ic what] reads one int64 LE word; [what] names the field in
+    diagnostics.  Words outside the native [int] range are {!Corrupt}. *)
+
+val read_i32 : In_channel.t -> string -> int
+val read_u8 : In_channel.t -> string -> int
+val read_f64 : In_channel.t -> string -> float
+val read_magic : In_channel.t -> string -> unit
+val check_endian_tag : In_channel.t -> unit
+val read_f64_array : In_channel.t -> int -> string -> float array
+
+val read_edges_i32 : In_channel.t -> Edge_buf.t -> edges:int -> max_vertex:int -> unit
+(** Reads [edges] int32-LE endpoint pairs onto the buffer, validating each
+    endpoint against [max_vertex]. *)
+
+val params_block_size : int
+(** Encoded byte size of a parameter block (fixed). *)
+
+val write_params : Out_channel.t -> Params.t -> unit
+(** Fixed-size parameter block: n i64, dim i32, beta f64, w_min f64, alpha
+    (kind u8 + value f64), c f64, norm u8, poisson u8. *)
+
+val read_params : In_channel.t -> Params.t
+(** Decodes and {e validates} a parameter block ({!Corrupt} on failure). *)
+
+type int_ba = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+val write_int_ba : Out_channel.t -> int_ba -> unit
+(** Each element as one int64 LE word. *)
+
+val read_int_ba : In_channel.t -> int -> string -> int_ba
+(** [read_int_ba ic n what] reads [n] int64 LE words into a fresh Bigarray.
+    Words outside the native int range decode truncated — callers must
+    validate the resulting values (e.g. {!Sparse_graph.Graph.of_bigarrays}
+    range-checks every entry). *)

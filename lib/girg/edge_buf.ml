@@ -1,13 +1,28 @@
 type t = { mutable data : int array; mutable len : int (* in ints, 2 per edge *) }
 
-let create ?(capacity = 1024) () = { data = Array.make (max 2 (2 * capacity)) 0; len = 0 }
+(* Largest usable backing length, kept even so it always holds whole edges. *)
+let max_len = Sys.max_array_length land lnot 1
+
+let create ?(capacity = 1024) () =
+  if capacity < 0 || capacity > max_len / 2 then
+    invalid_arg "Edge_buf.create: capacity out of range";
+  { data = Array.make (max 2 (2 * capacity)) 0; len = 0 }
+
+(* Doubling growth, saturating at [max_len] instead of wrapping past
+   [max_int]: [2 * cap] on a near-maximal capacity would overflow to a
+   negative length and crash [Array.make] with a confusing error. *)
+let grow_to t need =
+  if need > max_len then invalid_arg "Edge_buf: buffer would exceed Sys.max_array_length";
+  let cap = ref (max 2 (Array.length t.data)) in
+  while !cap < need do
+    cap := if !cap > max_len / 2 then max_len else 2 * !cap
+  done;
+  let bigger = Array.make !cap 0 in
+  Array.blit t.data 0 bigger 0 t.len;
+  t.data <- bigger
 
 let push t u v =
-  if t.len + 2 > Array.length t.data then begin
-    let bigger = Array.make (2 * Array.length t.data) 0 in
-    Array.blit t.data 0 bigger 0 t.len;
-    t.data <- bigger
-  end;
+  if t.len + 2 > Array.length t.data then grow_to t (t.len + 2);
   t.data.(t.len) <- u;
   t.data.(t.len + 1) <- v;
   t.len <- t.len + 2
@@ -18,15 +33,7 @@ let length t = t.len / 2
 let append dst src =
   if src.len > 0 then begin
     let need = dst.len + src.len in
-    if need > Array.length dst.data then begin
-      let cap = ref (max 2 (Array.length dst.data)) in
-      while !cap < need do
-        cap := 2 * !cap
-      done;
-      let bigger = Array.make !cap 0 in
-      Array.blit dst.data 0 bigger 0 dst.len;
-      dst.data <- bigger
-    end;
+    if need > Array.length dst.data then grow_to dst need;
     Array.blit src.data 0 dst.data dst.len src.len;
     dst.len <- need
   end

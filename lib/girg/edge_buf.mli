@@ -3,6 +3,12 @@
 type t
 
 val create : ?capacity:int -> unit -> t
+(** [create ~capacity ()] pre-sizes the buffer for [capacity] edges.
+    @raise Invalid_argument if [capacity] is negative or so large that the
+    backing array would exceed [Sys.max_array_length] — callers reading a
+    capacity from an untrusted header must validate it first.  Growth on
+    [push]/[append] doubles the backing array, saturating at
+    [Sys.max_array_length] rather than wrapping past [max_int]. *)
 
 val push : t -> int -> int -> unit
 
@@ -20,8 +26,13 @@ val to_array : t -> (int * int) array
 
 val flat : t -> int array
 (** The backing buffer: endpoints interleaved as [u0; v0; u1; v1; ...].
-    Only the first {!flat_len} entries are meaningful; treat as read-only
-    (the buffer is reused and may be over-allocated). *)
+
+    Aliasing contract: the returned array is the buffer's {e live} backing
+    store, not a copy.  Only the first {!flat_len} entries are meaningful
+    (the array is over-allocated).  Callers must not mutate it, and must
+    not retain it across a subsequent {!push}/{!append} — growth replaces
+    the backing array, after which the old reference is a stale snapshot
+    that no longer reflects the buffer. *)
 
 val flat_len : t -> int
 (** Number of valid ints in {!flat} (twice {!length}). *)

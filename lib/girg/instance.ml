@@ -62,23 +62,40 @@ let generate_with ?(sampler = Auto) ?pool ~rng ~params ~weights ~positions () =
   let packed = Geometry.Torus.Packed.of_points ~dim:params.Params.dim positions in
   { params; weights; positions; packed; graph }
 
+type vertex_data = {
+  count : int;
+  v_weights : float array;
+  v_positions : Geometry.Torus.point array;
+  rng_edges : Prng.Rng.t;
+}
+
+(* The deterministic prefix of [generate]: split the caller's rng into the
+   per-stage substreams and draw count/weights/positions.  Factored out so a
+   shard process can reproduce, from (seed, params) alone, exactly the
+   vertex data and edge-rng that single-process generation would use. *)
+let derive_vertex_data ~rng params =
+  let params = Params.validate_exn params in
+  let rng_count = Prng.Rng.split rng in
+  let rng_weights = Prng.Rng.split rng in
+  let rng_positions = Prng.Rng.split rng in
+  let rng_edges = Prng.Rng.split rng in
+  let count = vertex_count ~rng:rng_count ~params in
+  let v_weights =
+    Obs.Span.with_ ~name:"girg.sample_weights" (fun () ->
+        sample_weights ~rng:rng_weights ~params ~count)
+  in
+  let v_positions =
+    Obs.Span.with_ ~name:"girg.sample_positions" (fun () ->
+        sample_positions ~rng:rng_positions ~params ~count)
+  in
+  { count; v_weights; v_positions; rng_edges }
+
 let generate ?(sampler = Auto) ?pool ~rng params =
   Obs.Span.with_ ~name:"girg.generate" (fun () ->
       let params = Params.validate_exn params in
-      let rng_count = Prng.Rng.split rng in
-      let rng_weights = Prng.Rng.split rng in
-      let rng_positions = Prng.Rng.split rng in
-      let rng_edges = Prng.Rng.split rng in
-      let count = vertex_count ~rng:rng_count ~params in
-      let weights =
-        Obs.Span.with_ ~name:"girg.sample_weights" (fun () ->
-            sample_weights ~rng:rng_weights ~params ~count)
-      in
-      let positions =
-        Obs.Span.with_ ~name:"girg.sample_positions" (fun () ->
-            sample_positions ~rng:rng_positions ~params ~count)
-      in
-      generate_with ~sampler ?pool ~rng:rng_edges ~params ~weights ~positions ())
+      let vd = derive_vertex_data ~rng params in
+      generate_with ~sampler ?pool ~rng:vd.rng_edges ~params ~weights:vd.v_weights
+        ~positions:vd.v_positions ())
 
 let generate_pinned ?(sampler = Auto) ?pool ~rng ~params ~pinned () =
   let params = Params.validate_exn params in

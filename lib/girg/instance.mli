@@ -33,6 +33,20 @@ val sample_positions :
 val vertex_count : rng:Prng.Rng.t -> params:Params.t -> int
 (** Poisson(n) when [params.poisson_count], else exactly [n]. *)
 
+type vertex_data = {
+  count : int;  (** realised vertex count (after any Poisson draw) *)
+  v_weights : float array;
+  v_positions : Geometry.Torus.point array;
+  rng_edges : Prng.Rng.t;  (** the substream edge sampling consumes *)
+}
+
+val derive_vertex_data : rng:Prng.Rng.t -> Params.t -> vertex_data
+(** The deterministic prefix of {!generate}: splits [rng] into the
+    per-stage substreams and draws count, weights and positions.  A shard
+    process calls this with [Prng.Rng.create ~seed] to reproduce exactly
+    the vertex data and edge-rng that single-process generation uses —
+    the foundation of the sharded pipeline's bit-identity guarantee. *)
+
 val generate : ?sampler:sampler -> ?pool:Parallel.Pool.t -> rng:Prng.Rng.t -> Params.t -> t
 (** Sample a complete instance: vertex count, weights, positions, edges.
     The rng is split into independent substreams per stage, so e.g. the

@@ -1,0 +1,76 @@
+(** Sharded out-of-core GIRG generation.
+
+    A shard process re-derives the instance's vertex data from
+    [(seed, params)] alone, samples shard [i] of [S] of the cell sampler's
+    deterministic task enumeration (see {!Cell.sample_edges_buf_stats}),
+    and spills its edges to a binary file.  {!merge} validates the spill
+    set and concatenates the edge streams in shard order — the result is
+    byte-identical to single-process generation with the cell sampler, for
+    any combination of shard count and job count.
+
+    Spill layout (little-endian): magic ["SWGSPIL1"], endian tag (i32
+    [0x01020304]), seed (i64), shards (i32), shard (i32), vertex count
+    (i64), parameter block ({!Codec.write_params}), edge count (i64), then
+    [edge count] pairs of (u, v) as int32 — in sampling order.  Readers
+    reject bad magic, endianness mismatches, out-of-range counts, and any
+    file whose edge section does not match the promised byte size. *)
+
+type header = {
+  params : Params.t;
+  seed : int;
+  shards : int;
+  shard : int;  (** this spill's index, in [0, shards) *)
+  count : int;  (** realised vertex count (identical across the set) *)
+  edges : int;  (** edges in this spill *)
+}
+
+val header_bytes : int
+(** Encoded size of a spill header (edge section follows immediately). *)
+
+val sample :
+  ?pool:Parallel.Pool.t ->
+  seed:int ->
+  shards:int ->
+  shard:int ->
+  Params.t ->
+  Edge_buf.t * int
+(** [sample ~seed ~shards ~shard params] re-derives the vertex data from
+    the seed and samples just this shard's task band; returns the edge
+    buffer and the realised vertex count.
+    @raise Invalid_argument unless [0 <= shard < shards]. *)
+
+val generate_spill :
+  ?pool:Parallel.Pool.t ->
+  path:string ->
+  seed:int ->
+  shards:int ->
+  shard:int ->
+  Params.t ->
+  header
+(** {!sample} followed by an atomic single-file spill write to [path]. *)
+
+val write_spill :
+  path:string ->
+  seed:int ->
+  shards:int ->
+  shard:int ->
+  params:Params.t ->
+  count:int ->
+  Edge_buf.t ->
+  unit
+
+val read_header : path:string -> (header, string) result
+(** Reads and validates a spill header without touching the edge section
+    (beyond checking its byte size against the header's promise). *)
+
+val read_spill : path:string -> (header * Edge_buf.t, string) result
+
+val merge_edges : paths:string list -> (header * Edge_buf.t, string) result
+(** Validates the spill set (one spill per shard index [0..S-1], all
+    stamped with the same seed/params/count) and concatenates the edge
+    streams in shard order.  The returned header is shard 0's. *)
+
+val merge : paths:string list -> unit -> (Instance.t, string) result
+(** {!merge_edges}, then re-derives weights/positions from the recorded
+    seed and builds the CSR graph — a complete instance equal to what
+    [Instance.generate ~sampler:Use_cell] yields for the same seed. *)

@@ -64,17 +64,26 @@ let parse_header line =
     end
   | _ -> fail "not a smallworld-girg file"
 
-let load ~path =
-  let parse ic =
-    let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
-    match In_channel.input_line ic with
-    | None -> Error "empty file"
-    | Some header -> begin
-        match parse_header header with
-        | Error e -> Error e
-        | Ok (params, count) -> begin
-            let weights = Array.make count 0.0 in
-            let positions = Array.make count [||] in
+(* Edge counts come from an untrusted header: cap them so the buffer
+   allocation below cannot blow up with [Invalid_argument] from
+   [Array.make] — a malformed file must yield [Error], never a crash. *)
+let max_edge_count = (Sys.max_array_length / 2) - 1
+
+let load_text ic =
+  let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  match In_channel.input_line ic with
+  | None -> Error "empty file"
+  | Some header -> begin
+      match parse_header header with
+      | Error e -> Error e
+      | Ok (params, count) -> begin
+          if count < 0 || count > Sys.max_array_length then
+            fail "vertex count %d out of range" count
+          else begin
+            let weights = Array.make (max 1 count) 0.0 in
+            let positions = Array.make (max 1 count) [||] in
+            let weights = if count = 0 then [||] else weights in
+            let positions = if count = 0 then [||] else positions in
             let error = ref None in
             (try
                for v = 0 to count - 1 do
@@ -112,6 +121,8 @@ let load ~path =
                     match String.split_on_char ' ' (String.trim sep) with
                     | [ "edges"; m_str ] -> begin
                         match int_of_string_opt m_str with
+                        | Some m when m < 0 || m > max_edge_count ->
+                            fail "edge count %d out of range" m
                         | Some m -> begin
                             let buf = Edge_buf.create ~capacity:(max 1 m) () in
                             let ok = ref true in
@@ -158,8 +169,175 @@ let load ~path =
                 | None -> Error "missing edge section"
               end
           end
+        end
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Binary snapshot (v2, auto-detected alongside the v1 text format).
+
+   Layout, all integers little-endian, all sections 8-byte aligned:
+
+     offset  size          field
+     0       8             magic "SWGIRGB1"
+     8       4             endian tag 0x01020304 (i32)
+     12      38            parameter block (see Codec.write_params)
+     50      8             count: realised vertex count (i64)
+     58      8             m: undirected edge count (i64)
+     66      6             zero padding (aligns the data sections)
+     72      8*count       weights (f64)
+     ..      8*count*dim   positions, dim-strided per vertex (f64)
+     ..      8*(count+1)   CSR offsets (i64)
+     ..      8*2m          CSR targets (i64)
+
+   The CSR words are nonnegative OCaml ints, so on a little-endian 64-bit
+   host the offsets/targets sections can be [Unix.map_file]'d as
+   native-int Bigarrays and traversed zero-copy ([load_mmap]). *)
+
+let binary_magic = "SWGIRGB1"
+let binary_fixed_bytes = 8 + 4 + Codec.params_block_size + 8 + 8
+let binary_pad = (8 - (binary_fixed_bytes mod 8)) mod 8
+let binary_header_bytes = binary_fixed_bytes + binary_pad
+
+let save_binary ~path (inst : Instance.t) =
+  Out_channel.with_open_bin path (fun oc ->
+      let g = inst.graph in
+      let count = Array.length inst.weights in
+      Codec.write_magic oc binary_magic;
+      Codec.write_i32 oc Codec.endian_tag;
+      Codec.write_params oc inst.params;
+      Codec.write_i64 oc count;
+      Codec.write_i64 oc (Sparse_graph.Graph.m g);
+      for _ = 1 to binary_pad do
+        Codec.write_u8 oc 0
+      done;
+      Codec.write_f64_array oc inst.weights;
+      Codec.write_f64_array oc (Geometry.Torus.Packed.data inst.packed);
+      Codec.write_int_ba oc (Sparse_graph.Graph.offsets_ba g);
+      Codec.write_int_ba oc (Sparse_graph.Graph.targets_ba g))
+
+(* Reads and fully validates the fixed part.  Returns (params, count, m);
+   afterwards [ic] is positioned at the weights section. *)
+let read_binary_header ic =
+  Codec.read_magic ic binary_magic;
+  Codec.check_endian_tag ic;
+  let params = Codec.read_params ic in
+  let count = Codec.read_i64 ic "count" in
+  let m = Codec.read_i64 ic "m" in
+  if count < 0 || count > Sys.max_array_length then
+    Codec.corrupt "vertex count %d out of range" count;
+  if m < 0 || m > max_edge_count then Codec.corrupt "edge count %d out of range" m;
+  for _ = 1 to binary_pad do
+    ignore (Codec.read_u8 ic "padding")
+  done;
+  (* Oversized/truncated rejection: the data sections' byte size must match
+     the header's promise exactly, before anything is allocated from it. *)
+  let dim = params.Params.dim in
+  let expected =
+    let ( + ) = Int64.add and ( * ) = Int64.mul in
+    let i = Int64.of_int in
+    (8L * i count) + (8L * i count * i dim) + (8L * (i count + 1L)) + (16L * i m)
+  in
+  let remaining = Int64.sub (In_channel.length ic) (In_channel.pos ic) in
+  if Int64.compare remaining expected <> 0 then
+    Codec.corrupt "data sections are %Ld bytes, header promises %Ld" remaining expected;
+  (params, count, m)
+
+let positions_of_flat ~count ~dim flat =
+  Array.init count (fun v -> Array.sub flat (v * dim) dim)
+
+let instance_of_sections ~params ~count weights positions offsets targets =
+  match Sparse_graph.Graph.of_bigarrays ~n:count ~offsets ~targets () with
+  | Error e -> Codec.corrupt "%s" e
+  | Ok graph ->
+      {
+        Instance.params;
+        weights;
+        positions;
+        packed = Geometry.Torus.Packed.of_points ~dim:params.Params.dim positions;
+        graph;
+      }
+
+let load_binary ic =
+  let params, count, m = read_binary_header ic in
+  let dim = params.Params.dim in
+  let weights = Codec.read_f64_array ic count "weights" in
+  let flat_pos = Codec.read_f64_array ic (count * dim) "positions" in
+  let positions = positions_of_flat ~count ~dim flat_pos in
+  let offsets = Codec.read_int_ba ic (count + 1) "offsets" in
+  let targets = Codec.read_int_ba ic (2 * m) "targets" in
+  instance_of_sections ~params ~count weights positions offsets targets
+
+let load ~path =
+  let dispatch ic =
+    match In_channel.input_char ic with
+    | None -> Error "empty file"
+    | Some first -> begin
+        In_channel.seek ic 0L;
+        if first = '#' then load_text ic
+        else
+          match load_binary ic with
+          | inst -> Ok inst
+          | exception Codec.Corrupt msg -> Error msg
       end
   in
-  match In_channel.with_open_text path parse with
+  match In_channel.with_open_bin path dispatch with
   | result -> result
   | exception Sys_error msg -> Error msg
+
+(* Binary-only load that maps the CSR sections instead of reading them:
+   the graph pages in lazily from the file and stays off the OCaml heap.
+   Weights and positions are still materialised (routing needs them in
+   heap form); the CSR dominates the footprint at scale.  The mapping's
+   lifetime is tied to the returned Bigarrays — the fd is closed before
+   returning, and the kernel drops the mapping when the graph's arrays are
+   collected. *)
+let load_mmap ~path =
+  let header ic =
+    let params, count, m = read_binary_header ic in
+    let dim = params.Params.dim in
+    let weights = Codec.read_f64_array ic count "weights" in
+    let flat_pos = Codec.read_f64_array ic (count * dim) "positions" in
+    (params, count, m, weights, positions_of_flat ~count ~dim flat_pos, In_channel.pos ic)
+  in
+  match In_channel.with_open_bin path header with
+  | exception Sys_error msg -> Error msg
+  | exception Codec.Corrupt msg -> Error msg
+  | params, count, m, weights, positions, csr_pos -> begin
+      let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+      let map ~pos len =
+        Bigarray.array1_of_genarray
+          (Unix.map_file fd ~pos Bigarray.int Bigarray.c_layout false [| len |])
+      in
+      match
+        let offsets = map ~pos:csr_pos (count + 1) in
+        let targets =
+          map ~pos:(Int64.add csr_pos (Int64.of_int (8 * (count + 1)))) (2 * m)
+        in
+        (offsets, targets)
+      with
+      | exception e ->
+          Unix.close fd;
+          Error (Printexc.to_string e)
+      | offsets, targets -> begin
+          Unix.close fd;
+          (* No content validation: the full scan would fault the whole
+             mapping resident, which is exactly what load_mmap exists to
+             avoid.  Section sizes were already checked against the
+             header, and Bigarray bounds checks contain any residual
+             corruption. *)
+          match
+            Sparse_graph.Graph.of_bigarrays ~validate:false ~n:count ~offsets ~targets ()
+          with
+          | Error e -> Error e
+          | Ok graph ->
+              Ok
+                {
+                  Instance.params;
+                  weights;
+                  positions;
+                  packed =
+                    Geometry.Torus.Packed.of_points ~dim:params.Params.dim positions;
+                  graph;
+                }
+        end
+    end

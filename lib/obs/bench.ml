@@ -12,6 +12,7 @@ type entry = {
   median_s : float;
   min_s : float;
   alloc_bytes : float;
+  rss_bytes : float;
   counters : (string * int) list;
 }
 
@@ -34,7 +35,7 @@ let median values =
       if n mod 2 = 1 then List.nth sorted (n / 2)
       else (List.nth sorted ((n / 2) - 1) +. List.nth sorted (n / 2)) /. 2.0
 
-let make_entry ~id ~wall_s ~alloc_bytes ~counters =
+let make_entry ?(rss_bytes = 0.0) ~id ~wall_s ~alloc_bytes ~counters () =
   if wall_s = [] then invalid_arg "Obs.Bench.make_entry: no samples";
   {
     id;
@@ -42,6 +43,7 @@ let make_entry ~id ~wall_s ~alloc_bytes ~counters =
     median_s = median wall_s;
     min_s = List.fold_left Float.min infinity wall_s;
     alloc_bytes;
+    rss_bytes;
     counters;
   }
 
@@ -55,14 +57,17 @@ let counters_of_registry registry =
 
 let entry_to_json e =
   Export.Obj
-    [
-      ("id", Export.Str e.id);
-      ("runs", Export.Int e.runs);
-      ("median_s", Export.Float e.median_s);
-      ("min_s", Export.Float e.min_s);
-      ("alloc_bytes", Export.Float e.alloc_bytes);
-      ("counters", Export.Obj (List.map (fun (k, v) -> (k, Export.Int v)) e.counters));
-    ]
+    ([
+       ("id", Export.Str e.id);
+       ("runs", Export.Int e.runs);
+       ("median_s", Export.Float e.median_s);
+       ("min_s", Export.Float e.min_s);
+       ("alloc_bytes", Export.Float e.alloc_bytes);
+     ]
+    (* Emitted only when measured, so time/alloc-only reports keep their
+       v1 byte layout and old readers never see the field. *)
+    @ (if e.rss_bytes > 0.0 then [ ("rss_bytes", Export.Float e.rss_bytes) ] else [])
+    @ [ ("counters", Export.Obj (List.map (fun (k, v) -> (k, Export.Int v)) e.counters)) ])
 
 let to_json r =
   Export.Obj
@@ -107,6 +112,12 @@ let entry_of_json j =
   let* median_s = Result.bind (field "median_s" j) as_float in
   let* min_s = Result.bind (field "min_s" j) as_float in
   let* alloc_bytes = Result.bind (field "alloc_bytes" j) as_float in
+  (* [rss_bytes] joined the schema with the out-of-core scale sweep;
+     entries written before it (and in-process experiment entries, whose
+     RSS would be meaningless) parse as 0 = "not recorded". *)
+  let* rss_bytes =
+    match field "rss_bytes" j with Ok v -> as_float v | Error _ -> Ok 0.0
+  in
   let* counters =
     match field "counters" j with
     | Ok (Export.Obj fields) ->
@@ -114,7 +125,7 @@ let entry_of_json j =
     | Ok _ -> Error "counters: expected an object"
     | Error _ -> Ok []
   in
-  Ok { id; runs; median_s; min_s; alloc_bytes; counters }
+  Ok { id; runs; median_s; min_s; alloc_bytes; rss_bytes; counters }
 
 let of_json j =
   let* schema = Result.bind (field "schema" j) as_str in
@@ -154,6 +165,10 @@ type comparison = {
   cur_alloc_bytes : float;
   alloc_ratio : float;
   alloc_verdict : verdict;
+  base_rss_bytes : float;
+  cur_rss_bytes : float;
+  rss_ratio : float;
+  rss_verdict : verdict;
 }
 
 let default_threshold_pct = 25.0
@@ -170,9 +185,18 @@ let default_min_delta_s = 0.005
 let default_alloc_threshold_pct = 100.0
 let default_min_delta_bytes = 1_000_000.0
 
+(* Peak RSS is reproducible at a fixed seed (it is dominated by the data
+   structures, not the allocator), but page-cache accounting and GC heap
+   sizing add slack, so the gate sits between the timing and allocation
+   ones.  The floor ignores instances too small for pages to matter. *)
+let default_rss_threshold_pct = 50.0
+let default_min_delta_rss_bytes = 16_777_216.0
+
 let diff ?(threshold_pct = default_threshold_pct) ?(min_delta_s = default_min_delta_s)
     ?(alloc_threshold_pct = default_alloc_threshold_pct)
-    ?(min_delta_bytes = default_min_delta_bytes) ~baseline ~current () =
+    ?(min_delta_bytes = default_min_delta_bytes)
+    ?(rss_threshold_pct = default_rss_threshold_pct)
+    ?(min_delta_rss_bytes = default_min_delta_rss_bytes) ~baseline ~current () =
   List.map
     (fun (b : entry) ->
       match List.find_opt (fun (c : entry) -> c.id = b.id) current.entries with
@@ -187,6 +211,12 @@ let diff ?(threshold_pct = default_threshold_pct) ?(min_delta_s = default_min_de
             cur_alloc_bytes = nan;
             alloc_ratio = nan;
             alloc_verdict = Missing;
+            base_rss_bytes = b.rss_bytes;
+            cur_rss_bytes = nan;
+            rss_ratio = nan;
+            (* The timing axis already fails a missing experiment; the
+               RSS axis only ever judges measurements that exist. *)
+            rss_verdict = Ok_within_noise;
           }
       | Some c ->
           let ratio = if b.median_s > 0.0 then c.median_s /. b.median_s else nan in
@@ -207,6 +237,21 @@ let diff ?(threshold_pct = default_threshold_pct) ?(min_delta_s = default_min_de
               Improved
             else Ok_within_noise
           in
+          (* RSS is only comparable when both reports recorded it: a
+             report from before the field (or an in-process entry)
+             carries 0, and gating 0-vs-measured would fail every
+             baseline refresh. *)
+          let rss_comparable = b.rss_bytes > 0.0 && c.rss_bytes > 0.0 in
+          let rss_ratio = if rss_comparable then c.rss_bytes /. b.rss_bytes else nan in
+          let rss_delta = c.rss_bytes -. b.rss_bytes in
+          let rss_growth = 1.0 +. (rss_threshold_pct /. 100.0) in
+          let rss_verdict =
+            if not rss_comparable then Ok_within_noise
+            else if rss_delta > min_delta_rss_bytes && rss_ratio > rss_growth then Regressed
+            else if -.rss_delta > min_delta_rss_bytes && rss_ratio < 1.0 /. rss_growth then
+              Improved
+            else Ok_within_noise
+          in
           {
             c_id = b.id;
             base_median_s = b.median_s;
@@ -217,6 +262,10 @@ let diff ?(threshold_pct = default_threshold_pct) ?(min_delta_s = default_min_de
             cur_alloc_bytes = c.alloc_bytes;
             alloc_ratio;
             alloc_verdict;
+            base_rss_bytes = b.rss_bytes;
+            cur_rss_bytes = c.rss_bytes;
+            rss_ratio;
+            rss_verdict;
           })
     baseline.entries
 
@@ -226,7 +275,12 @@ let time_regressed comparisons =
 let alloc_regressed comparisons =
   List.exists (fun c -> c.alloc_verdict = Regressed || c.alloc_verdict = Missing) comparisons
 
-let regressed comparisons = time_regressed comparisons || alloc_regressed comparisons
+(* No [Missing] arm: entries without RSS data come back [Ok_within_noise]
+   on this axis by construction. *)
+let rss_regressed comparisons = List.exists (fun c -> c.rss_verdict = Regressed) comparisons
+
+let regressed comparisons =
+  time_regressed comparisons || alloc_regressed comparisons || rss_regressed comparisons
 
 let verdict_to_string = function
   | Ok_within_noise -> "ok"
@@ -237,19 +291,38 @@ let verdict_to_string = function
 let mib bytes =
   if Float.is_nan bytes then "-" else Printf.sprintf "%.1fMB" (bytes /. 1_048_576.0)
 
+(* 0 means "not recorded" for RSS, so it renders as absent. *)
+let mib_rss bytes = if bytes <= 0.0 then "-" else mib bytes
+
 let render_diff comparisons =
+  (* The RSS columns only appear when some entry recorded RSS (scale
+     reports); plain experiment diffs keep the narrower v1 table. *)
+  let with_rss =
+    List.exists (fun c -> c.base_rss_bytes > 0.0 || c.cur_rss_bytes > 0.0) comparisons
+  in
   let buf = Buffer.create 512 in
   Buffer.add_string buf
-    (Printf.sprintf "  %-6s %12s %12s %8s %-10s %10s %10s %8s %s\n" "exp" "base median"
+    (Printf.sprintf "  %-24s %12s %12s %8s %-10s %10s %10s %8s %-13s" "exp" "base median"
        "cur median" "ratio" "verdict" "base alloc" "cur alloc" "aratio" "alloc verdict");
+  if with_rss then
+    Buffer.add_string buf
+      (Printf.sprintf " %10s %10s %8s %s" "base rss" "cur rss" "rratio" "rss verdict");
+  Buffer.add_char buf '\n';
   List.iter
     (fun c ->
       Buffer.add_string buf
-        (Printf.sprintf "  %-6s %11.3fs %11.3fs %8s %-10s %10s %10s %8s %s\n" c.c_id
+        (Printf.sprintf "  %-24s %11.3fs %11.3fs %8s %-10s %10s %10s %8s %-13s" c.c_id
            c.base_median_s c.cur_median_s
            (if Float.is_nan c.ratio then "-" else Printf.sprintf "%.2fx" c.ratio)
            (verdict_to_string c.verdict) (mib c.base_alloc_bytes) (mib c.cur_alloc_bytes)
            (if Float.is_nan c.alloc_ratio then "-" else Printf.sprintf "%.2fx" c.alloc_ratio)
-           (verdict_to_string c.alloc_verdict)))
+           (verdict_to_string c.alloc_verdict));
+      if with_rss then
+        Buffer.add_string buf
+          (Printf.sprintf " %10s %10s %8s %s" (mib_rss c.base_rss_bytes)
+             (mib_rss c.cur_rss_bytes)
+             (if Float.is_nan c.rss_ratio then "-" else Printf.sprintf "%.2fx" c.rss_ratio)
+             (verdict_to_string c.rss_verdict));
+      Buffer.add_char buf '\n')
     comparisons;
   Buffer.contents buf

@@ -14,6 +14,11 @@ type entry = {
   median_s : float;
   min_s : float;
   alloc_bytes : float;  (** major+minor allocation of the last run *)
+  rss_bytes : float;
+      (** peak resident-set bytes of the phase ([VmHWM] of a per-phase
+          child process in `bench scale`); [0.] when not recorded —
+          in-process experiment entries and reports predating the field
+          parse as such, and the RSS axis then never gates *)
   counters : (string * int) list;  (** counter snapshot of the last run *)
 }
 
@@ -37,8 +42,15 @@ val median : float list -> float
 (** [nan] on an empty list; mean of the middle pair on even lengths. *)
 
 val make_entry :
-  id:string -> wall_s:float list -> alloc_bytes:float -> counters:(string * int) list -> entry
-(** @raise Invalid_argument when [wall_s] is empty. *)
+  ?rss_bytes:float ->
+  id:string ->
+  wall_s:float list ->
+  alloc_bytes:float ->
+  counters:(string * int) list ->
+  unit ->
+  entry
+(** [rss_bytes] defaults to [0.] (not recorded).
+    @raise Invalid_argument when [wall_s] is empty. *)
 
 val counters_of_registry : Metrics.registry -> (string * int) list
 (** Counter-kind metrics only, sorted by name. *)
@@ -65,6 +77,14 @@ type comparison = {
   alloc_verdict : verdict;
       (** allocation verdict; allocation is deterministic at fixed seed and
           job count, so this gate is trustworthy even on noisy CI boxes *)
+  base_rss_bytes : float;
+  cur_rss_bytes : float;
+  rss_ratio : float;  (** [nan] unless both entries recorded RSS *)
+  rss_verdict : verdict;
+      (** peak-RSS verdict; [Ok_within_noise] whenever either side did
+          not record RSS, so refreshing a pre-RSS baseline never fails
+          on this axis.  Never [Missing] — absent experiments are
+          already failed by the timing axis. *)
 }
 
 val default_threshold_pct : float
@@ -80,11 +100,21 @@ val default_alloc_threshold_pct : float
 val default_min_delta_bytes : float
 (** 1MB: allocation deltas below this are ignored regardless of ratio. *)
 
+val default_rss_threshold_pct : float
+(** 50%: looser than allocation (page-cache accounting and GC heap
+    sizing add slack) but tight enough to catch an mmap path that
+    started materialising its sections. *)
+
+val default_min_delta_rss_bytes : float
+(** 16MB: RSS deltas below this are ignored regardless of ratio. *)
+
 val diff :
   ?threshold_pct:float ->
   ?min_delta_s:float ->
   ?alloc_threshold_pct:float ->
   ?min_delta_bytes:float ->
+  ?rss_threshold_pct:float ->
+  ?min_delta_rss_bytes:float ->
   baseline:report ->
   current:report ->
   unit ->
@@ -97,7 +127,8 @@ val diff :
     Experiments absent from [current] come back [Missing] on both axes. *)
 
 val regressed : comparison list -> bool
-(** {!time_regressed} or {!alloc_regressed} — the full CI gate. *)
+(** {!time_regressed}, {!alloc_regressed} or {!rss_regressed} — the
+    full CI gate. *)
 
 val time_regressed : comparison list -> bool
 (** True if any wall-time verdict is [Regressed] or [Missing]. *)
@@ -105,6 +136,10 @@ val time_regressed : comparison list -> bool
 val alloc_regressed : comparison list -> bool
 (** True if any allocation verdict is [Regressed] or [Missing].  CI legs
     on noisy shared runners can gate on this alone (advisory time). *)
+
+val rss_regressed : comparison list -> bool
+(** True if any peak-RSS verdict is [Regressed].  Entries without RSS
+    data never trip this. *)
 
 val verdict_to_string : verdict -> string
 val render_diff : comparison list -> string

@@ -5,7 +5,10 @@ module Error = Api.Error
    with '-' mapped to '_' so the Prometheus rendering stays a valid
    metric name. *)
 let all_ops =
-  [ "load"; "sample"; "route"; "route_batch"; "stats"; "health"; "stats-server"; "drain" ]
+  [
+    "load"; "sample"; "route"; "route_batch"; "stats"; "gen_shard"; "merge_shards";
+    "snapshot"; "health"; "stats-server"; "drain";
+  ]
 
 let metric_op_suffix op = String.map (fun c -> if c = '-' then '_' else c) op
 
@@ -321,6 +324,46 @@ let run t ?deadline request =
     | V1.Stats { instance } ->
         with_instance t instance (fun h ->
             V1.Stats_reply (Api.Render.stats (Registry.instance h)))
+    | V1.Gen_shard { params; seed; shards; shard; out } -> (
+        match
+          locked t.compute (fun () ->
+              Girg.Shard.generate_spill ~path:out ~seed ~shards ~shard params)
+        with
+        | header ->
+            V1.Spilled
+              {
+                V1.sp_path = out;
+                sp_shard = header.Girg.Shard.shard;
+                sp_shards = header.Girg.Shard.shards;
+                sp_vertices = header.Girg.Shard.count;
+                sp_edges = header.Girg.Shard.edges;
+              }
+        | exception Sys_error m ->
+            V1.Failed (Error.make Error.Io "cannot write spill %s: %s" out m)
+        | exception Invalid_argument m -> V1.Failed (Error.make Error.Bad_request "%s" m))
+    | V1.Merge_shards { name; spills } -> (
+        match locked t.compute (fun () -> Girg.Shard.merge ~paths:spills ()) with
+        | Error e -> V1.Failed (Error.make Error.Io "merge failed: %s" e)
+        | Ok inst -> (
+            match Registry.insert t.reg ~name inst with
+            | Error e -> V1.Failed e
+            | Ok info ->
+                Cache.invalidate_name t.cache ~name;
+                V1.Merged info))
+    | V1.Snapshot { instance; out } ->
+        with_instance t instance (fun h ->
+            let inst = Registry.instance h in
+            match Girg.Store.save_binary ~path:out inst with
+            | () ->
+                V1.Snapshotted
+                  {
+                    V1.sn_path = out;
+                    sn_bytes = (Unix.stat out).Unix.st_size;
+                    sn_vertices = Sparse_graph.Graph.n inst.Girg.Instance.graph;
+                    sn_edges = Sparse_graph.Graph.m inst.Girg.Instance.graph;
+                  }
+            | exception Sys_error m ->
+                V1.Failed (Error.make Error.Io "cannot write snapshot %s: %s" out m))
     | V1.Health ->
         V1.Health_reply
           {

@@ -1,9 +1,19 @@
+module A1 = Bigarray.Array1
+
+type int_bigarray = (int, Bigarray.int_elt, Bigarray.c_layout) A1.t
+
+(* CSR arrays live in Bigarrays rather than heap [int array]s: the payload is
+   outside the OCaml heap (the GC neither copies nor scans hundreds of
+   millions of words), and a snapshot's CSR section can be [Unix.map_file]'d
+   and traversed zero-copy through the exact same representation. *)
 type t = {
   n : int;
   m : int;
-  offsets : int array; (* length n+1 *)
-  targets : int array; (* length 2m, neighbours of v at offsets.(v)..offsets.(v+1)-1 *)
+  offsets : int_bigarray; (* length n+1 *)
+  targets : int_bigarray; (* length 2m, neighbours of v at offsets.{v}..offsets.{v+1}-1 *)
 }
+
+let ba_create len = A1.create Bigarray.int Bigarray.c_layout len
 
 (* Insertion sort of a slice of an int array; adjacency slices are short on
    sparse graphs, so this beats a general comparison sort. *)
@@ -29,7 +39,10 @@ let sort_slice arr lo hi =
    [u0; v0; u1; v1; ...] — the native output format of the edge samplers'
    [Edge_buf], so generation feeds the graph build without materialising a
    boxed [(u, v) array].  Bucket raw half-edges per vertex, sort each short
-   adjacency slice, then compact away self-loops/duplicates. *)
+   adjacency slice, compact away self-loops/duplicates in place, then copy
+   the survivors into the final Bigarrays.  Scratch stays in heap [int
+   array]s — it is transient and the final arrays are what must be
+   Bigarray-shaped. *)
 let of_flat_halves ~n ~len flat =
   if n < 0 then invalid_arg "Graph.of_edges: negative n";
   if len < 0 || len > Array.length flat then invalid_arg "Graph.of_flat_halves: bad length";
@@ -65,23 +78,27 @@ let of_flat_halves ~n ~len flat =
     end;
     k := !k + 2
   done;
-  let offsets = Array.make (n + 1) 0 in
-  let targets = Array.make raw_offsets.(n) 0 in
+  let offsets = ba_create (n + 1) in
   let write = ref 0 in
   for v = 0 to n - 1 do
     let lo = raw_offsets.(v) and hi = raw_offsets.(v + 1) in
     sort_slice raw_targets lo hi;
-    offsets.(v) <- !write;
+    offsets.{v} <- !write;
+    (* In-place compaction is safe: the write cursor never overtakes the
+       read cursor ([!write <= lo <= k] throughout). *)
     for k = lo to hi - 1 do
       let w = raw_targets.(k) in
       if k = lo || raw_targets.(k - 1) <> w then begin
-        targets.(!write) <- w;
+        raw_targets.(!write) <- w;
         incr write
       end
     done
   done;
-  offsets.(n) <- !write;
-  let targets = if !write = Array.length targets then targets else Array.sub targets 0 !write in
+  offsets.{n} <- !write;
+  let targets = ba_create !write in
+  for k = 0 to !write - 1 do
+    targets.{k} <- raw_targets.(k)
+  done;
   { n; m = !write / 2; offsets; targets }
 
 let of_edges ~n edges =
@@ -96,43 +113,94 @@ let of_edges ~n edges =
 
 let of_edge_list ~n edges = of_edges ~n (Array.of_list edges)
 
+(* Adopt externally produced CSR arrays — typically views into an mmap'd
+   snapshot.  One sequential validation pass keeps corrupt files from
+   surfacing later as out-of-range vertex ids deep inside BFS or routing;
+   for a mapped file it merely pages the data in once, in order. *)
+let of_bigarrays ?(validate = true) ~n ~offsets ~targets () =
+  if n < 0 then Error "negative n"
+  else if A1.dim offsets <> n + 1 then
+    Error
+      (Printf.sprintf "offsets length %d, expected n+1 = %d" (A1.dim offsets) (n + 1))
+  else begin
+    let half = A1.dim targets in
+    if half land 1 <> 0 then Error (Printf.sprintf "odd half-edge count %d" half)
+    else if n = 0 && half > 0 then Error "targets nonempty on empty graph"
+    else begin
+      let err = ref None in
+      if offsets.{0} <> 0 then err := Some "offsets must start at 0";
+      (* The content scans fault every page of a mapped snapshot into
+         residency, so [~validate:false] keeps only the O(1) endpoint
+         checks (see the interface for why that stays memory-safe). *)
+      if validate then begin
+        let v = ref 0 in
+        while !err = None && !v < n do
+          if offsets.{!v + 1} < offsets.{!v} then
+            err := Some (Printf.sprintf "offsets not monotone at vertex %d" !v);
+          incr v
+        done
+      end;
+      if !err = None && offsets.{n} <> half then
+        err :=
+          Some
+            (Printf.sprintf "offsets end at %d, targets length %d" offsets.{n} half);
+      if validate then begin
+        let k = ref 0 in
+        while !err = None && !k < half do
+          let w = targets.{!k} in
+          if w < 0 || w >= n then
+            err := Some (Printf.sprintf "target %d out of range at index %d" w !k);
+          incr k
+        done
+      end;
+      match !err with
+      | Some e -> Error ("Graph.of_bigarrays: " ^ e)
+      | None -> Ok { n; m = half / 2; offsets; targets }
+    end
+  end
+
+let offsets_ba t = t.offsets
+let targets_ba t = t.targets
+
 let n t = t.n
 let m t = t.m
 
-let degree t v = t.offsets.(v + 1) - t.offsets.(v)
+let degree t v = t.offsets.{v + 1} - t.offsets.{v}
 
 let iter_neighbors t v f =
-  for k = t.offsets.(v) to t.offsets.(v + 1) - 1 do
-    f t.targets.(k)
+  for k = t.offsets.{v} to t.offsets.{v + 1} - 1 do
+    f t.targets.{k}
   done
 
 let fold_neighbors t v ~init ~f =
   let acc = ref init in
-  for k = t.offsets.(v) to t.offsets.(v + 1) - 1 do
-    acc := f !acc t.targets.(k)
+  for k = t.offsets.{v} to t.offsets.{v + 1} - 1 do
+    acc := f !acc t.targets.{k}
   done;
   !acc
 
 let exists_neighbor t v pred =
-  let rec scan k = k < t.offsets.(v + 1) && (pred t.targets.(k) || scan (k + 1)) in
-  scan t.offsets.(v)
+  let rec scan k = k < t.offsets.{v + 1} && (pred t.targets.{k} || scan (k + 1)) in
+  scan t.offsets.{v}
 
-let neighbors t v = Array.sub t.targets t.offsets.(v) (degree t v)
+let neighbors t v =
+  let lo = t.offsets.{v} in
+  Array.init (degree t v) (fun i -> t.targets.{lo + i})
 
 let has_edge t u v =
-  let lo = ref t.offsets.(u) and hi = ref t.offsets.(u + 1) in
+  let lo = ref t.offsets.{u} and hi = ref t.offsets.{u + 1} in
   let found = ref false in
   while !lo < !hi && not !found do
     let mid = (!lo + !hi) / 2 in
-    let w = t.targets.(mid) in
+    let w = t.targets.{mid} in
     if w = v then found := true else if w < v then lo := mid + 1 else hi := mid
   done;
   !found
 
 let iter_edges t f =
   for u = 0 to t.n - 1 do
-    for k = t.offsets.(u) to t.offsets.(u + 1) - 1 do
-      let v = t.targets.(k) in
+    for k = t.offsets.{u} to t.offsets.{u + 1} - 1 do
+      let v = t.targets.{k} in
       if u < v then f u v
     done
   done

@@ -2,9 +2,18 @@
 
     Vertices are integers [0 .. n-1].  The representation stores each
     undirected edge in both directions, sorted per vertex, which gives cache-
-    friendly neighbour scans — the inner loop of every routing protocol. *)
+    friendly neighbour scans — the inner loop of every routing protocol.
+
+    The CSR arrays are {!Bigarray.Array1} values (native-int elements,
+    C layout) rather than heap [int array]s: the payload lives outside the
+    OCaml heap, and the same representation serves both freshly built
+    graphs and zero-copy views into an [Unix.map_file]'d snapshot. *)
 
 type t
+
+type int_bigarray = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** Element type of the CSR arrays: one native-width OCaml [int] per cell
+    (8 bytes on 64-bit), so an int64-LE snapshot section maps directly. *)
 
 val of_edges : n:int -> (int * int) array -> t
 (** [of_edges ~n edges] builds the graph on [n] vertices.  Self-loops and
@@ -22,6 +31,34 @@ val of_flat_halves : n:int -> len:int -> int array -> t
 
 val of_edge_list : n:int -> (int * int) list -> t
 (** List variant of {!of_edges}. *)
+
+val of_bigarrays :
+  ?validate:bool -> n:int -> offsets:int_bigarray -> targets:int_bigarray -> unit ->
+  (t, string) result
+(** [of_bigarrays ~n ~offsets ~targets ()] adopts already-built CSR arrays —
+    typically views into an mmap'd snapshot — without copying.  One
+    sequential pass validates the invariants ([offsets] has length [n+1],
+    starts at 0, is monotone, ends at the [targets] length; every target in
+    [0, n)); corrupt input yields [Error] rather than a crash deep inside a
+    traversal.  The graph aliases the given arrays: they must not be
+    mutated afterwards, and for mapped files the mapping must outlive the
+    graph (the [Bigarray] finaliser unmaps when the last view is
+    collected).
+
+    [~validate:false] skips the sequential pass over the array contents
+    (the length/endpoint checks stay).  That pass touches every page, so
+    it would fault a lazily-mapped snapshot fully resident and defeat
+    {!Girg.Store.load_mmap}; callers may skip it only when the arrays
+    were already validated structurally (e.g. a snapshot whose section
+    sizes matched its header).  Even then corruption cannot corrupt
+    memory: [Bigarray] accesses are bounds-checked, so a bad offset or
+    target raises during traversal instead of reading wild. *)
+
+val offsets_ba : t -> int_bigarray
+(** The live offsets array (length [n+1]).  Read-only; aliases the graph. *)
+
+val targets_ba : t -> int_bigarray
+(** The live targets array (length [2m]).  Read-only; aliases the graph. *)
 
 val n : t -> int
 (** Number of vertices. *)

@@ -106,6 +106,18 @@ let sample_envelopes =
            max_steps = None;
          });
     V1.envelope (V1.Stats { instance = "net" });
+    (* Out-of-core ops: spill one shard, merge a spill set, re-encode
+       as a binary snapshot. *)
+    V1.envelope ~id:21
+      (V1.Gen_shard
+         { params = girg; seed = 9; shards = 4; shard = 2; out = "/tmp/s2.spill" });
+    V1.envelope
+      (V1.Gen_shard
+         { params = girg_inf; seed = 42; shards = 1; shard = 0; out = "s.spill" });
+    V1.envelope
+      (V1.Merge_shards
+         { name = "big"; spills = [ "/tmp/s0.spill"; "/tmp/s1.spill"; "/tmp/s2.spill" ] });
+    V1.envelope ~id:22 (V1.Snapshot { instance = "net"; out = "/tmp/net.bin" });
     V1.envelope ~id:99 V1.Health;
     V1.envelope ~id:5 V1.Server_stats;
     V1.envelope V1.Drain;
@@ -228,6 +240,25 @@ let sample_replies =
               ];
             prometheus = "# TYPE smallworld_server_accepted counter\n";
           };
+    };
+    {
+      V1.reply_id = Some 21;
+      response =
+        V1.Spilled
+          {
+            V1.sp_path = "/tmp/s2.spill";
+            sp_shard = 2;
+            sp_shards = 4;
+            sp_vertices = 1234;
+            sp_edges = 999;
+          };
+    };
+    { V1.reply_id = None; response = V1.Merged info };
+    {
+      V1.reply_id = Some 22;
+      response =
+        V1.Snapshotted
+          { V1.sn_path = "/tmp/net.bin"; sn_bytes = 123_456; sn_vertices = 100; sn_edges = 321 };
     };
     { V1.reply_id = None; response = V1.Drain_ack };
     {
@@ -504,7 +535,7 @@ let test_schema_dump () =
         (List.assoc_opt "schema" fields = Some (Obs.Export.Str "smallworld.api.v1"));
       (match List.assoc_opt "ops" fields with
       | Some (Obs.Export.Arr ops) ->
-          Alcotest.(check int) "eight ops" 8 (List.length ops)
+          Alcotest.(check int) "ten ops" 10 (List.length ops)
       | _ -> Alcotest.fail "schema has no ops array");
       Alcotest.(check bool) "error codes listed" true
         (List.mem_assoc "error_codes" fields)

@@ -3,8 +3,8 @@
 
 module B = Obs.Bench
 
-let entry ?(runs = 3) ?(counters = []) id median_s =
-  { B.id; runs; median_s; min_s = median_s *. 0.9; alloc_bytes = 1e6; counters }
+let entry ?(runs = 3) ?(counters = []) ?(rss = 0.0) id median_s =
+  { B.id; runs; median_s; min_s = median_s *. 0.9; alloc_bytes = 1e6; rss_bytes = rss; counters }
 
 let report ?(label = "test") ?(jobs = 1) entries =
   { B.label; git_rev = "deadbeef"; scale = "quick"; seed = 42; jobs; entries }
@@ -17,14 +17,15 @@ let test_median () =
 let test_make_entry () =
   let e =
     B.make_entry ~id:"E1" ~wall_s:[ 0.3; 0.1; 0.2 ] ~alloc_bytes:5.0
-      ~counters:[ ("route.greedy.steps", 7) ]
+      ~counters:[ ("route.greedy.steps", 7) ] ()
   in
   Alcotest.(check (float 1e-9)) "median" 0.2 e.B.median_s;
   Alcotest.(check (float 1e-9)) "min" 0.1 e.B.min_s;
   Alcotest.(check int) "runs" 3 e.B.runs;
+  Alcotest.(check (float 1e-9)) "rss defaults to unrecorded" 0.0 e.B.rss_bytes;
   Alcotest.check_raises "empty samples rejected"
     (Invalid_argument "Obs.Bench.make_entry: no samples") (fun () ->
-      ignore (B.make_entry ~id:"E1" ~wall_s:[] ~alloc_bytes:0.0 ~counters:[]))
+      ignore (B.make_entry ~id:"E1" ~wall_s:[] ~alloc_bytes:0.0 ~counters:[] ()))
 
 let test_roundtrip () =
   let r =
@@ -47,6 +48,18 @@ let test_roundtrip () =
   (match B.of_string (B.to_string (report ~jobs:4 [ entry "E1" 0.5 ])) with
   | Ok r' -> Alcotest.(check int) "jobs roundtrip" 4 r'.B.jobs
   | Error e -> Alcotest.failf "parse failed: %s" e);
+  (* rss_bytes round-trips when recorded and is omitted when not. *)
+  (match B.of_string (B.to_string (report [ entry "S1" 0.5 ~rss:2e8 ])) with
+  | Ok r' ->
+      Alcotest.(check (float 1.0)) "rss roundtrip" 2e8
+        (List.hd r'.B.entries).B.rss_bytes
+  | Error e -> Alcotest.failf "parse failed: %s" e);
+  Alcotest.(check bool) "rss omitted when unrecorded" false
+    (let s = B.to_string (report [ entry "E1" 0.5 ]) in
+     let rec contains i =
+       i + 9 <= String.length s && (String.sub s i 9 = "rss_bytes" || contains (i + 1))
+     in
+     contains 0);
   match
     B.of_string
       "{\"schema\":\"smallworld.bench.v1\",\"label\":\"old\",\"git_rev\":\"x\",\
@@ -113,6 +126,37 @@ let test_diff_missing_experiment () =
   Alcotest.(check bool) "missing flagged" true (e2.B.verdict = B.Missing);
   Alcotest.(check bool) "missing fails the gate" true (B.regressed comparisons)
 
+let test_diff_rss_gate () =
+  (* An mmap phase that started materialising its sections: RSS triples
+     at unchanged wall time. *)
+  let baseline = report [ entry "scale/n1048576/mmap-route" 1.0 ~rss:1e8 ] in
+  let current = report [ entry "scale/n1048576/mmap-route" 1.0 ~rss:3e8 ] in
+  let comparisons = B.diff ~baseline ~current () in
+  Alcotest.(check bool) "rss regression detected" true (B.rss_regressed comparisons);
+  Alcotest.(check bool) "full gate fails" true (B.regressed comparisons);
+  let c = List.hd comparisons in
+  Alcotest.(check bool) "verdict regressed" true (c.B.rss_verdict = B.Regressed);
+  Alcotest.(check (float 1e-9)) "ratio 3x" 3.0 c.B.rss_ratio;
+  Alcotest.(check bool) "looser threshold forgives" false
+    (B.rss_regressed (B.diff ~rss_threshold_pct:250.0 ~baseline ~current ()));
+  (* 3x ratio but only 8MB absolute: below the 16MB floor, so noise. *)
+  let baseline = report [ entry "S" 1.0 ~rss:4e6 ] in
+  let current = report [ entry "S" 1.0 ~rss:1.2e7 ] in
+  Alcotest.(check bool) "sub-floor rss ignored" false
+    (B.rss_regressed (B.diff ~baseline ~current ()));
+  (* A pre-RSS baseline (rss 0) must not fail against a recording
+     current report, in either direction. *)
+  let old = report [ entry "E1" 1.0 ] in
+  let recorded = report [ entry "E1" 1.0 ~rss:5e8 ] in
+  Alcotest.(check bool) "unrecorded baseline never gates" false
+    (B.rss_regressed (B.diff ~baseline:old ~current:recorded ()));
+  Alcotest.(check bool) "unrecorded current never gates" false
+    (B.rss_regressed (B.diff ~baseline:recorded ~current:old ()));
+  (* A missing experiment fails the timing axis, not the RSS one. *)
+  let cs = B.diff ~baseline:(report [ entry "S" 1.0 ~rss:1e8 ]) ~current:(report []) () in
+  Alcotest.(check bool) "missing is not an rss failure" false (B.rss_regressed cs);
+  Alcotest.(check bool) "missing still fails overall" true (B.regressed cs)
+
 let suite =
   [
     Alcotest.test_case "median" `Quick test_median;
@@ -123,4 +167,5 @@ let suite =
     Alcotest.test_case "diff: synthetic regression fails" `Quick test_diff_flags_regression;
     Alcotest.test_case "diff: noise floor" `Quick test_diff_noise_floor;
     Alcotest.test_case "diff: missing experiment fails" `Quick test_diff_missing_experiment;
+    Alcotest.test_case "diff: rss gate" `Quick test_diff_rss_gate;
   ]

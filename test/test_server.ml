@@ -158,6 +158,62 @@ let test_exec_deadline_and_limits () =
   | _ -> Alcotest.fail "drain failed");
   Alcotest.(check bool) "draining flag set" true (Server.Exec.draining ex)
 
+(* The out-of-core ops: spill shards, merge them into the registry,
+   snapshot a registered instance, and reject broken inputs with the
+   right error codes. *)
+let test_exec_out_of_core () =
+  let dir = Filename.temp_file "smallworld-exec-ooc" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Unix.rmdir dir)
+  @@ fun () ->
+  let ex = Server.Exec.create ~registry_cap:2 () in
+  let params = Girg.Params.make ~poisson_count:false ~n:400 () in
+  let spill shard =
+    let out = Filename.concat dir (Printf.sprintf "s%d.spill" shard) in
+    (match
+       Server.Exec.handle ex (V1.Gen_shard { params; seed = 3; shards = 2; shard; out })
+     with
+    | V1.Spilled info ->
+        Alcotest.(check int) "spill shard" shard info.V1.sp_shard;
+        Alcotest.(check int) "spill vertices" 400 info.V1.sp_vertices
+    | r -> Alcotest.failf "gen_shard %d failed: %s" shard (V1.op_of_response r));
+    out
+  in
+  let s0 = spill 0 and s1 = spill 1 in
+  (match Server.Exec.handle ex (V1.Merge_shards { name = "ooc"; spills = [ s0; s1 ] }) with
+  | V1.Merged info ->
+      Alcotest.(check string) "merged name" "ooc" info.V1.name;
+      Alcotest.(check int) "merged vertices" 400 info.V1.vertices
+  | r -> Alcotest.failf "merge_shards failed: %s" (V1.op_of_response r));
+  (* The registered instance serves like any other. *)
+  (match Server.Exec.handle ex (V1.Stats { instance = "ooc" }) with
+  | V1.Stats_reply s -> Alcotest.(check int) "stats vertices" 400 s.V1.vertices
+  | _ -> Alcotest.fail "stats on merged instance failed");
+  (* Snapshot, then mmap-load the file and compare shapes. *)
+  let snap = Filename.concat dir "ooc.bin" in
+  (match Server.Exec.handle ex (V1.Snapshot { instance = "ooc"; out = snap }) with
+  | V1.Snapshotted info ->
+      Alcotest.(check int) "snapshot bytes" (Unix.stat snap).Unix.st_size info.V1.sn_bytes;
+      Alcotest.(check int) "snapshot vertices" 400 info.V1.sn_vertices
+  | r -> Alcotest.failf "snapshot failed: %s" (V1.op_of_response r));
+  (match Girg.Store.load_mmap ~path:snap with
+  | Error e -> Alcotest.failf "mmap of served snapshot failed: %s" e
+  | Ok inst ->
+      Alcotest.(check int) "mmap vertices" 400 (Sparse_graph.Graph.n inst.Girg.Instance.graph));
+  (* Error paths: incomplete spill set, unknown instance, bad shard range. *)
+  check_code "incomplete spill set" E.Io
+    (Server.Exec.handle ex (V1.Merge_shards { name = "bad"; spills = [ s0 ] }));
+  check_code "snapshot of unknown instance" E.Unknown_instance
+    (Server.Exec.handle ex (V1.Snapshot { instance = "ghost"; out = snap ^ ".x" }));
+  check_code "shard out of range" E.Bad_request
+    (Server.Exec.handle ex
+       (V1.Gen_shard
+          { params; seed = 3; shards = 2; shard = 7; out = Filename.concat dir "x.spill" }))
+
 (* ------------------------------------------------------------------ *)
 (* Daemon over loopback                                                *)
 
@@ -1237,6 +1293,8 @@ let suite =
     Alcotest.test_case "registry generations are monotone" `Quick
       test_registry_generation;
     Alcotest.test_case "exec deadlines, limits, counters" `Quick test_exec_deadline_and_limits;
+    Alcotest.test_case "exec out-of-core ops (spill, merge, snapshot)" `Quick
+      test_exec_out_of_core;
     Alcotest.test_case "daemon serves byte-identical routes" `Quick
       test_daemon_route_byte_identity;
     Alcotest.test_case "batch replies invariant under jobs 1/2/4" `Quick

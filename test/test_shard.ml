@@ -1,0 +1,199 @@
+(* Sharded generation: bit-identity across the (shards x jobs) matrix, spill
+   round-trips, and malformed-spill rejection. *)
+
+let with_pool jobs f =
+  let pool = Parallel.Pool.create ~jobs () in
+  Fun.protect ~finally:(fun () -> Parallel.Pool.shutdown pool) (fun () -> f pool)
+
+let with_tmp_dir f =
+  let dir = Filename.temp_file "smallworld-shard" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Unix.rmdir dir)
+    (fun () -> f dir)
+
+(* Two parameterisations exercising distinct dimensions, alpha regimes and
+   count models. *)
+let param_cases =
+  [
+    ("p1", Girg.Params.make ~n:800 ~dim:1 ~poisson_count:false (), 42);
+    ( "p2",
+      Girg.Params.make ~n:1200 ~dim:2 ~beta:2.7 ~alpha:(Girg.Params.Finite 3.0)
+        ~poisson_count:true (),
+      7 );
+  ]
+
+let flat_edges buf = Array.sub (Girg.Edge_buf.flat buf) 0 (Girg.Edge_buf.flat_len buf)
+
+let baseline ~seed params =
+  with_pool 1 (fun pool -> fst (Girg.Shard.sample ~pool ~seed ~shards:1 ~shard:0 params))
+
+let check_same_edges what expected got =
+  Alcotest.(check (array int)) what (flat_edges expected) (flat_edges got)
+
+(* The tentpole guarantee: concatenating per-shard edge buffers in shard
+   order is byte-identical to single-process output, for every combination
+   of shards in {1,2,8} and jobs in {1,2,4}, on both parameterisations. *)
+let test_shard_jobs_invariance () =
+  List.iter
+    (fun (label, params, seed) ->
+      let expected = baseline ~seed params in
+      List.iter
+        (fun shards ->
+          List.iter
+            (fun jobs ->
+              with_pool jobs (fun pool ->
+                  let merged = Girg.Edge_buf.create () in
+                  for shard = 0 to shards - 1 do
+                    let buf, _count = Girg.Shard.sample ~pool ~seed ~shards ~shard params in
+                    Girg.Edge_buf.append merged buf
+                  done;
+                  check_same_edges
+                    (Printf.sprintf "%s shards=%d jobs=%d" label shards jobs)
+                    expected merged))
+            [ 1; 2; 4 ])
+        [ 1; 2; 8 ])
+    param_cases
+
+let graphs_equal what a b =
+  let module G = Sparse_graph.Graph in
+  Alcotest.(check int) (what ^ ": n") (G.n a) (G.n b);
+  Alcotest.(check int) (what ^ ": m") (G.m a) (G.m b);
+  for v = 0 to G.n a - 1 do
+    if G.neighbors a v <> G.neighbors b v then
+      Alcotest.failf "%s: adjacency of vertex %d differs" what v
+  done
+
+(* Spill files written by independent shard runs merge back to the exact
+   instance single-process generation produces. *)
+let test_spill_merge_round_trip () =
+  List.iter
+    (fun (label, params, seed) ->
+      with_tmp_dir (fun dir ->
+          let shards = 3 in
+          let paths =
+            List.init shards (fun shard ->
+                let path = Filename.concat dir (Printf.sprintf "shard-%d.spill" shard) in
+                let header = Girg.Shard.generate_spill ~path ~seed ~shards ~shard params in
+                Alcotest.(check int) (label ^ ": header shard") shard header.Girg.Shard.shard;
+                Alcotest.(check int) (label ^ ": header shards") shards header.Girg.Shard.shards;
+                path)
+          in
+          (* Edge stream identical to the single-process stream. *)
+          (match Girg.Shard.merge_edges ~paths with
+          | Error e -> Alcotest.failf "%s: merge_edges failed: %s" label e
+          | Ok (_, buf) -> check_same_edges (label ^ ": merged edges") (baseline ~seed params) buf);
+          (* Merge order should not depend on the argument order. *)
+          (match Girg.Shard.merge_edges ~paths:(List.rev paths) with
+          | Error e -> Alcotest.failf "%s: reversed merge failed: %s" label e
+          | Ok (_, buf) ->
+              check_same_edges (label ^ ": reversed-arg merge") (baseline ~seed params) buf);
+          match Girg.Shard.merge ~paths () with
+          | Error e -> Alcotest.failf "%s: merge failed: %s" label e
+          | Ok inst ->
+              let reference =
+                Girg.Instance.generate ~sampler:Girg.Instance.Use_cell
+                  ~rng:(Prng.Rng.create ~seed) params
+              in
+              Alcotest.(check (array (float 0.0)))
+                (label ^ ": weights") reference.Girg.Instance.weights inst.Girg.Instance.weights;
+              graphs_equal (label ^ ": graph") reference.Girg.Instance.graph
+                inst.Girg.Instance.graph))
+    param_cases
+
+let small_params = Girg.Params.make ~n:700 ~dim:1 ~poisson_count:false ()
+
+let write_small_spill dir =
+  let path = Filename.concat dir "s.spill" in
+  let (_ : Girg.Shard.header) =
+    Girg.Shard.generate_spill ~path ~seed:5 ~shards:1 ~shard:0 small_params
+  in
+  path
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let write_file path s = Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s)
+
+let expect_error what = function
+  | Ok _ -> Alcotest.failf "%s: expected Error, got Ok" what
+  | Error (_ : string) -> ()
+
+let test_spill_rejection () =
+  with_tmp_dir (fun dir ->
+      let path = write_small_spill dir in
+      let original = read_file path in
+      (match Girg.Shard.read_spill ~path with
+      | Error e -> Alcotest.failf "pristine spill rejected: %s" e
+      | Ok (h, buf) ->
+          Alcotest.(check int) "edges field" h.Girg.Shard.edges (Girg.Edge_buf.length buf));
+      (* Truncation: cut the last 4 bytes. *)
+      let t = Filename.concat dir "trunc.spill" in
+      write_file t (String.sub original 0 (String.length original - 4));
+      expect_error "truncated spill" (Girg.Shard.read_spill ~path:t);
+      (* Bad magic. *)
+      let b = Bytes.of_string original in
+      Bytes.set b 0 'X';
+      let bm = Filename.concat dir "magic.spill" in
+      write_file bm (Bytes.to_string b);
+      expect_error "bad magic" (Girg.Shard.read_header ~path:bm);
+      (* Oversized edge count: forge the header's promise. *)
+      let b = Bytes.of_string original in
+      Bytes.set_int64_le b (Girg.Shard.header_bytes - 8) 0x1000000000L;
+      let ov = Filename.concat dir "oversized.spill" in
+      write_file ov (Bytes.to_string b);
+      expect_error "oversized edge count" (Girg.Shard.read_spill ~path:ov);
+      (* Endianness mismatch tag. *)
+      let b = Bytes.of_string original in
+      Bytes.set_int32_le b 8 0x04030201l;
+      let en = Filename.concat dir "endian.spill" in
+      write_file en (Bytes.to_string b);
+      expect_error "endian tag" (Girg.Shard.read_header ~path:en))
+
+let test_merge_set_validation () =
+  with_tmp_dir (fun dir ->
+      let shards = 2 in
+      let spill ?(seed = 5) shard name =
+        let path = Filename.concat dir name in
+        let (_ : Girg.Shard.header) =
+          Girg.Shard.generate_spill ~path ~seed ~shards ~shard small_params
+        in
+        path
+      in
+      let s0 = spill 0 "a.spill" and s1 = spill 1 "b.spill" in
+      expect_error "empty set" (Girg.Shard.merge_edges ~paths:[]);
+      expect_error "missing shard" (Girg.Shard.merge_edges ~paths:[ s0 ]);
+      expect_error "duplicate shard" (Girg.Shard.merge_edges ~paths:[ s0; s0 ]);
+      let other_seed = spill ~seed:6 1 "c.spill" in
+      expect_error "mixed seeds" (Girg.Shard.merge_edges ~paths:[ s0; other_seed ]);
+      match Girg.Shard.merge_edges ~paths:[ s0; s1 ] with
+      | Error e -> Alcotest.failf "valid set rejected: %s" e
+      | Ok _ -> ())
+
+(* Edge_buf growth guards (satellite): adversarial capacities fail cleanly. *)
+let test_edge_buf_guards () =
+  Alcotest.check_raises "negative capacity"
+    (Invalid_argument "Edge_buf.create: capacity out of range") (fun () ->
+      ignore (Girg.Edge_buf.create ~capacity:(-1) ()));
+  Alcotest.check_raises "huge capacity"
+    (Invalid_argument "Edge_buf.create: capacity out of range") (fun () ->
+      ignore (Girg.Edge_buf.create ~capacity:max_int ()));
+  (* Normal growth still works across several doublings. *)
+  let buf = Girg.Edge_buf.create ~capacity:1 () in
+  for i = 0 to 9999 do
+    Girg.Edge_buf.push buf i (i + 1)
+  done;
+  Alcotest.(check int) "length after growth" 10_000 (Girg.Edge_buf.length buf)
+
+let suite =
+  [
+    Alcotest.test_case "edges bit-identical across shards x jobs" `Slow
+      test_shard_jobs_invariance;
+    Alcotest.test_case "spill merge round-trips to the reference instance" `Quick
+      test_spill_merge_round_trip;
+    Alcotest.test_case "malformed spills are rejected cleanly" `Quick test_spill_rejection;
+    Alcotest.test_case "merge validates the spill set" `Quick test_merge_set_validation;
+    Alcotest.test_case "edge buffer growth guards" `Quick test_edge_buf_guards;
+  ]
