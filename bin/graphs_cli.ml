@@ -26,6 +26,10 @@ let usage =
   \     route FILE --source V --target V       route one message\n\
   \     route-batch FILE --count N | --pairs S route many pairs\n\
   \     stats FILE                             structural statistics\n\
+  \     mutate FILE --ops leave:5,drop:3:7 -o FILE\n\
+  \                                            apply a mutation script (one epoch)\n\
+  \     churn FILE --scenario uniform --epochs 3 [--events N] [-o FILE]\n\
+  \                                            mutate + re-route per epoch\n\
   \     load --name N --path FILE              check a file loads as an instance\n\
   \     embed FILE -o FILE                     re-embed from connectivity\n\
   \     import FILE -o FILE                    edge list -> routable instance\n\
@@ -220,6 +224,51 @@ let run_load (exec : Api.V1.exec_opts) ~name ~path =
   Printf.printf "loaded %s: %s -> %d vertices, %d edges\n" name info.Api.V1.params
     info.vertices info.edges
 
+let run_mutate (exec : Api.V1.exec_opts) ~path ~ops ~seed =
+  let output = required_output exec in
+  with_manifest ~command:"mutate" ~seed exec.obs_out @@ fun () ->
+  let inst = load_instance path in
+  (match
+     Girg.Mutate.validate ~n:(Sparse_graph.Graph.n inst.Girg.Instance.graph) ops
+   with
+  | Error m -> fail (Api.Error.make Api.Error.Bad_request "%s" m)
+  | Ok () -> ());
+  let mutated = Girg.Mutate.apply ~seed inst ops in
+  (* The store formats carry a plain CSR, so fold the overlay before
+     writing; traversal is identical by the compact contract. *)
+  let folded =
+    {
+      mutated with
+      Girg.Instance.graph = Sparse_graph.Graph.compact mutated.Girg.Instance.graph;
+    }
+  in
+  Girg.Store.save ~path:output folded;
+  let g = folded.Girg.Instance.graph in
+  Printf.printf "mutated %s -> %s: epoch %d, %d ops, %d/%d live, %d edges\n" path
+    output
+    (Sparse_graph.Graph.epoch g)
+    (List.length ops)
+    (Sparse_graph.Graph.live_count g)
+    (Sparse_graph.Graph.n g) (Sparse_graph.Graph.m g)
+
+let run_churn (exec : Api.V1.exec_opts) ~path ~(config : Experiments.Churn.config) =
+  with_manifest ~command:"churn" ~seed:config.seed exec.obs_out @@ fun () ->
+  let inst = load_instance path in
+  let _final, rows = Experiments.Churn.run_local config inst in
+  print_string (Stats.Table.render (Experiments.Churn.table config rows));
+  Option.iter
+    (fun file ->
+      Out_channel.with_open_text file (fun oc ->
+          List.iter
+            (fun row ->
+              output_string oc
+                (Obs.Export.json_to_string (Experiments.Churn.record_json config row));
+              output_char oc '\n')
+            rows);
+      Printf.printf "wrote %d smallworld.churn.v1 records to %s\n" (List.length rows)
+        file)
+    exec.output
+
 let run_v1 args =
   let env, exec = ok_or_fail (Api.V1.of_args args) in
   apply_jobs exec;
@@ -236,6 +285,8 @@ let run_v1 args =
       run_gen_shard exec ~params ~seed ~shards ~shard ~out
   | Api.V1.Merge_shards { name = _; spills } -> run_merge_shards exec ~spills
   | Api.V1.Snapshot { instance; out } -> run_snapshot exec ~path:instance ~out
+  | Api.V1.Mutate { instance; ops; seed } -> run_mutate exec ~path:instance ~ops ~seed
+  | Api.V1.Churn { instance; config } -> run_churn exec ~path:instance ~config
   | Api.V1.Load { name; path } -> run_load exec ~name ~path
   | Api.V1.Server_stats ->
       fail_usage

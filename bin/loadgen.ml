@@ -80,6 +80,9 @@ let rec read_reply c =
           read_reply c
       | Api.Binary.Oversized { declared; _ } ->
           Error (Api.Error.make Api.Error.Internal "oversized reply (%d bytes)" declared)
+      | Api.Binary.Bad_version v ->
+          Error
+            (Api.Error.make Api.Error.Internal "server replied in binary protocol v%d" v)
       | Api.Binary.Bad msg -> Error (Api.Error.make Api.Error.Internal "bad frame: %s" msg))
 
 let rpc c envelope =

@@ -179,6 +179,7 @@ type parse_result =
   | Need
   | Frame of { payload : string; consumed : int }
   | Oversized of { declared : int; consumed : int }
+  | Bad_version of int
   | Bad of string
 
 let parse ?(max_len = max_frame_bytes) buf ~pos ~len =
@@ -188,7 +189,7 @@ let parse ?(max_len = max_frame_bytes) buf ~pos ~len =
     Bad (Printf.sprintf "bad magic byte 0x%02x" (Char.code buf.[pos]))
   else if len < 2 then Need
   else if Char.code buf.[pos + 1] <> version then
-    Bad (Printf.sprintf "unsupported binary protocol version %d" (Char.code buf.[pos + 1]))
+    Bad_version (Char.code buf.[pos + 1])
   else
     match read_varint buf (pos + 2) limit with
     | exception Truncated -> Need

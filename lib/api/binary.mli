@@ -74,9 +74,15 @@ type parse_result =
           header's [consumed] bytes can be dropped and the next
           [declared] payload bytes discarded as they arrive, keeping
           the connection alive. *)
+  | Bad_version of int
+      (** Right magic, wrong version byte — the value is the version the
+          client asked for.  The daemon answers with a structured
+          [unsupported-version] error naming the supported range (the
+          reply is sent in v{!version} framing, the only one it can
+          speak) and closes. *)
   | Bad of string
-      (** Malformed header (wrong magic / version, overwide or negative
-          length varint): the connection cannot be resynchronised. *)
+      (** Malformed header (wrong magic, overwide or negative length
+          varint): the connection cannot be resynchronised. *)
 
 val parse : ?max_len:int -> string -> pos:int -> len:int -> parse_result
 (** [parse buf ~pos ~len] examines [len] bytes of [buf] starting at

@@ -1,5 +1,6 @@
 type code =
   | Bad_request
+  | Unsupported_version
   | Unknown_instance
   | Overloaded
   | Deadline
@@ -13,6 +14,7 @@ type code =
 let all_codes =
   [
     Bad_request;
+    Unsupported_version;
     Unknown_instance;
     Overloaded;
     Deadline;
@@ -26,6 +28,7 @@ let all_codes =
 
 let code_string = function
   | Bad_request -> "bad-request"
+  | Unsupported_version -> "unsupported-version"
   | Unknown_instance -> "unknown-instance"
   | Overloaded -> "overloaded"
   | Deadline -> "deadline"
@@ -40,7 +43,7 @@ let code_of_string s = List.find_opt (fun c -> code_string c = s) all_codes
 
 let exit_code = function
   | Regression -> 1
-  | Bad_request | Unknown_instance | Io | Usage | Incomparable -> 2
+  | Bad_request | Unsupported_version | Unknown_instance | Io | Usage | Incomparable -> 2
   | Overloaded | Deadline | Draining -> 75
   | Internal -> 70
 

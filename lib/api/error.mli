@@ -9,6 +9,9 @@
 
 type code =
   | Bad_request  (** malformed request: unparseable JSON, unknown flag, bad value *)
+  | Unsupported_version
+      (** the request declared an API or framing version this server
+          does not speak; the message names the supported range *)
   | Unknown_instance  (** request names an instance the registry does not hold *)
   | Overloaded
       (** bounded queue or batch limit exceeded; retry later (the
@@ -35,9 +38,10 @@ val code_of_string : string -> code option
 val exit_code : code -> int
 (** Fixed process exit status per code.  [Regression] is 1 (a gate
     verdict), caller errors ([Usage], [Io], [Incomparable],
-    [Bad_request], [Unknown_instance]) are 2, transient server-side
-    conditions ([Overloaded], [Deadline], [Draining]) are 75
-    (EX_TEMPFAIL: retryable), [Internal] is 70 (EX_SOFTWARE). *)
+    [Bad_request], [Unsupported_version], [Unknown_instance]) are 2,
+    transient server-side conditions ([Overloaded], [Deadline],
+    [Draining]) are 75 (EX_TEMPFAIL: retryable), [Internal] is 70
+    (EX_SOFTWARE). *)
 
 type t = { code : code; message : string }
 

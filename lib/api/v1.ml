@@ -46,6 +46,8 @@ type request =
     }
   | Merge_shards of { name : string; spills : string list }
   | Snapshot of { instance : string; out : string }
+  | Mutate of { instance : string; ops : Girg.Mutate.op list; seed : int }
+  | Churn of { instance : string; config : Experiments.Churn.config }
   | Health
   | Server_stats
   | Drain
@@ -101,6 +103,23 @@ type snapshot_info = {
   sn_edges : int;
 }
 
+type mutate_reply = {
+  mu_name : string;
+  mu_epoch : int;
+  mu_generation : int;
+  mu_live : int;
+  mu_vertices : int;
+  mu_edges : int;
+  mu_applied : int;
+}
+
+type churn_reply = {
+  ch_name : string;
+  ch_scenario : Experiments.Churn.scenario;
+  ch_generation : int;
+  ch_rows : Experiments.Churn.epoch_row list;
+}
+
 type health_reply = {
   draining : bool;
   instances : string list;
@@ -136,6 +155,8 @@ type response =
   | Spilled of spill_info
   | Merged of instance_info
   | Snapshotted of snapshot_info
+  | Mutated of mutate_reply
+  | Churned of churn_reply
   | Health_reply of health_reply
   | Server_stats_reply of server_stats_reply
   | Drain_ack
@@ -253,72 +274,6 @@ let pairs_fields = function
         ("pair_seed", J.Int pair_seed);
         ("pair_pool", J.Str (pool_to_string pool));
       ]
-
-let op_of_request = function
-  | Load _ -> "load"
-  | Sample _ -> "sample"
-  | Route _ -> "route"
-  | Route_batch _ -> "route_batch"
-  | Stats _ -> "stats"
-  | Gen_shard _ -> "gen_shard"
-  | Merge_shards _ -> "merge_shards"
-  | Snapshot _ -> "snapshot"
-  | Health -> "health"
-  | Server_stats -> "stats-server"
-  | Drain -> "drain"
-
-let instance_of_request = function
-  | Load { name; _ } | Sample { name; _ } | Merge_shards { name; _ } -> Some name
-  | Route { instance; _ }
-  | Route_batch { instance; _ }
-  | Stats { instance }
-  | Snapshot { instance; _ } ->
-      Some instance
-  | Gen_shard _ | Health | Server_stats | Drain -> None
-
-let request_fields = function
-  | Load { name; path } -> [ ("name", J.Str name); ("path", J.Str path) ]
-  | Sample { name; model; seed } ->
-      (("name", J.Str name) :: model_fields model) @ [ ("seed", J.Int seed) ]
-  | Route { instance; source; target; protocol; max_steps } ->
-      [
-        ("instance", J.Str instance);
-        ("source", J.Int source);
-        ("target", J.Int target);
-        ("protocol", J.Str (protocol_to_string protocol));
-      ]
-      @ (match max_steps with Some m -> [ ("max_steps", J.Int m) ] | None -> [])
-  | Route_batch { instance; pairs; protocol; max_steps } ->
-      (("instance", J.Str instance) :: pairs_fields pairs)
-      @ [ ("protocol", J.Str (protocol_to_string protocol)) ]
-      @ (match max_steps with Some m -> [ ("max_steps", J.Int m) ] | None -> [])
-  | Stats { instance } -> [ ("instance", J.Str instance) ]
-  | Gen_shard { params; seed; shards; shard; out } ->
-      model_fields (Girg params)
-      @ [
-          ("seed", J.Int seed);
-          ("shards", J.Int shards);
-          ("shard", J.Int shard);
-          ("out", J.Str out);
-        ]
-  | Merge_shards { name; spills } ->
-      [
-        ("name", J.Str name);
-        ("spills", J.Arr (List.map (fun p -> J.Str p) spills));
-      ]
-  | Snapshot { instance; out } -> [ ("instance", J.Str instance); ("out", J.Str out) ]
-  | Health | Server_stats | Drain -> []
-
-let envelope_to_json e =
-  J.Obj
-    ([ ("v", J.Int version); ("op", J.Str (op_of_request e.request)) ]
-    @ (match e.id with Some i -> [ ("id", J.Int i) ] | None -> [])
-    @ (match e.deadline_ms with Some d -> [ ("deadline_ms", J.Int d) ] | None -> [])
-    @ (match e.trace with
-      | Some t ->
-          [ ("trace", J.Obj [ ("id", J.Str t.trace_id); ("span", J.Int t.parent_span) ]) ]
-      | None -> [])
-    @ request_fields e.request)
 
 (* Field accessors over a parsed JSON object. *)
 
@@ -445,102 +400,6 @@ let protocol_of_json ~what j =
   | Some (J.Str s) -> protocol_of_string s
   | Some _ -> err_bad "field \"protocol\" of a %s request has the wrong type" what
 
-let envelope_of_json j =
-  let* () =
-    match J.member "v" j with
-    | Some (J.Int v) when v = version -> Ok ()
-    | Some (J.Int v) -> err_bad "unsupported API version %d (this server speaks v%d)" v version
-    | Some _ -> err_bad "field \"v\" must be an integer"
-    | None -> err_bad "request is missing field \"v\" (API version, currently %d)" version
-  in
-  let* op = req_field ~what:"any" "op" jstr j in
-  let* id = opt_field ~what:op "id" jint j in
-  let* deadline_ms = opt_field ~what:op "deadline_ms" jint j in
-  let* trace =
-    match J.member "trace" j with
-    | None -> Ok None
-    | Some (J.Obj _ as t) ->
-        let* trace_id = req_field ~what:"trace" "id" jstr t in
-        let* parent_span = opt_field ~what:"trace" "span" jint t in
-        Ok (Some { trace_id; parent_span = Option.value parent_span ~default:0 })
-    | Some _ -> err_bad "field \"trace\" of a %s request must be an object" op
-  in
-  let* request =
-    match op with
-    | "load" ->
-        let* name = req_field ~what:op "name" jstr j in
-        let* path = req_field ~what:op "path" jstr j in
-        Ok (Load { name; path })
-    | "sample" ->
-        let* name = req_field ~what:op "name" jstr j in
-        let* model = model_of_json ~what:op j in
-        let* seed = opt_field ~what:op "seed" jint j in
-        Ok (Sample { name; model; seed = Option.value seed ~default:42 })
-    | "route" ->
-        let* instance = req_field ~what:op "instance" jstr j in
-        let* source = req_field ~what:op "source" jint j in
-        let* target = req_field ~what:op "target" jint j in
-        let* protocol = protocol_of_json ~what:op j in
-        let* max_steps = opt_field ~what:op "max_steps" jint j in
-        Ok (Route { instance; source; target; protocol; max_steps })
-    | "route_batch" | "route-batch" ->
-        let* instance = req_field ~what:op "instance" jstr j in
-        let* pairs = pairs_of_json ~what:op j in
-        let* protocol = protocol_of_json ~what:op j in
-        let* max_steps = opt_field ~what:op "max_steps" jint j in
-        Ok (Route_batch { instance; pairs; protocol; max_steps })
-    | "stats" ->
-        let* instance = req_field ~what:op "instance" jstr j in
-        Ok (Stats { instance })
-    | "gen_shard" | "gen-shard" -> (
-        let* model = model_of_json ~what:op j in
-        match model with
-        | Girg params ->
-            let* seed = opt_field ~what:op "seed" jint j in
-            let* shards = req_field ~what:op "shards" jint j in
-            let* shard = req_field ~what:op "shard" jint j in
-            let* out = req_field ~what:op "out" jstr j in
-            let* () = check_shard_range ~what:op ~shards ~shard in
-            Ok
-              (Gen_shard
-                 { params; seed = Option.value seed ~default:42; shards; shard; out })
-        | Hrg _ | Kleinberg _ ->
-            err_bad "gen_shard supports the girg model only")
-    | "merge_shards" | "merge-shards" -> (
-        let* name = req_field ~what:op "name" jstr j in
-        match J.member "spills" j with
-        | Some (J.Arr items) ->
-            let rec go acc = function
-              | [] ->
-                  if acc = [] then err_bad "merge_shards needs at least one spill"
-                  else Ok (Merge_shards { name; spills = List.rev acc })
-              | J.Str p :: rest -> go (p :: acc) rest
-              | _ -> err_bad "\"spills\" entries must be path strings"
-            in
-            go [] items
-        | _ -> err_bad "merge_shards request is missing array field \"spills\"")
-    | "snapshot" ->
-        let* instance = req_field ~what:op "instance" jstr j in
-        let* out = req_field ~what:op "out" jstr j in
-        Ok (Snapshot { instance; out })
-    | "health" -> Ok Health
-    | "stats-server" | "server-stats" -> Ok Server_stats
-    | "drain" -> Ok Drain
-    | other ->
-        err_bad
-          "unknown op %S (load | sample | route | route_batch | stats | gen_shard | \
-           merge_shards | snapshot | health | stats-server | drain)"
-          other
-  in
-  Ok { id; deadline_ms; trace; request }
-
-let envelope_of_line line =
-  match J.json_of_string line with
-  | Error m -> err_bad "unparseable request line: %s" m
-  | Ok j -> envelope_of_json j
-
-let request_line e = J.json_to_string (envelope_to_json e)
-
 let route_reply_to_json (r : route_reply) =
   J.Obj
     [
@@ -560,6 +419,18 @@ let instance_info_to_json (i : instance_info) =
       ("params", J.Str i.params);
       ("vertices", J.Int i.vertices);
       ("edges", J.Int i.edges);
+    ]
+
+let churn_row_to_json (r : Experiments.Churn.epoch_row) =
+  J.Obj
+    [
+      ("epoch", J.Int r.epoch);
+      ("live", J.Int r.live);
+      ("edges", J.Int r.edges);
+      ("attempted", J.Int r.attempted);
+      ("delivered", J.Int r.delivered);
+      ("mean_steps", J.Float r.mean_steps);
+      ("mean_stretch", J.Float r.mean_stretch);
     ]
 
 let result_to_json = function
@@ -583,6 +454,25 @@ let result_to_json = function
         ]
   | Routed r -> route_reply_to_json r
   | Routed_batch rs -> J.Obj [ ("routes", J.Arr (List.map route_reply_to_json rs)) ]
+  | Mutated m ->
+      J.Obj
+        [
+          ("name", J.Str m.mu_name);
+          ("epoch", J.Int m.mu_epoch);
+          ("generation", J.Int m.mu_generation);
+          ("live", J.Int m.mu_live);
+          ("vertices", J.Int m.mu_vertices);
+          ("edges", J.Int m.mu_edges);
+          ("applied", J.Int m.mu_applied);
+        ]
+  | Churned c ->
+      J.Obj
+        [
+          ("name", J.Str c.ch_name);
+          ("scenario", J.Str (Experiments.Churn.scenario_to_string c.ch_scenario));
+          ("generation", J.Int c.ch_generation);
+          ("epochs", J.Arr (List.map churn_row_to_json c.ch_rows));
+        ]
   | Stats_reply s ->
       J.Obj
         [
@@ -636,6 +526,8 @@ let op_of_response = function
   | Spilled _ -> "gen_shard"
   | Merged _ -> "merge_shards"
   | Snapshotted _ -> "snapshot"
+  | Mutated _ -> "mutate"
+  | Churned _ -> "churn"
   | Health_reply _ -> "health"
   | Server_stats_reply _ -> "stats-server"
   | Drain_ack -> "drain"
@@ -726,6 +618,60 @@ let reply_of_json j =
           let* sn_vertices = req_field ~what "vertices" jint result in
           let* sn_edges = req_field ~what "edges" jint result in
           Ok (Snapshotted { sn_path; sn_bytes; sn_vertices; sn_edges })
+      | "mutate" ->
+          let* mu_name = req_field ~what "name" jstr result in
+          let* mu_epoch = req_field ~what "epoch" jint result in
+          let* mu_generation = req_field ~what "generation" jint result in
+          let* mu_live = req_field ~what "live" jint result in
+          let* mu_vertices = req_field ~what "vertices" jint result in
+          let* mu_edges = req_field ~what "edges" jint result in
+          let* mu_applied = req_field ~what "applied" jint result in
+          Ok
+            (Mutated
+               { mu_name; mu_epoch; mu_generation; mu_live; mu_vertices; mu_edges; mu_applied })
+      | "churn" ->
+          let* ch_name = req_field ~what "name" jstr result in
+          let* scenario_s = req_field ~what "scenario" jstr result in
+          let* ch_scenario =
+            match Experiments.Churn.scenario_of_string scenario_s with
+            | Ok s -> Ok s
+            | Error m -> err_bad "%s" m
+          in
+          let* ch_generation = req_field ~what "generation" jint result in
+          (* Means over zero delivered runs serialise as null (nan). *)
+          let row_of_json j =
+            let nullable_float name =
+              match J.member name j with
+              | Some J.Null | None -> Ok nan
+              | Some v -> (
+                  match jfloat v with
+                  | Some f -> Ok f
+                  | None -> err_bad "churn field %S must be a number or null" name)
+            in
+            let* epoch = req_field ~what "epoch" jint j in
+            let* live = req_field ~what "live" jint j in
+            let* edges = req_field ~what "edges" jint j in
+            let* attempted = req_field ~what "attempted" jint j in
+            let* delivered = req_field ~what "delivered" jint j in
+            let* mean_steps = nullable_float "mean_steps" in
+            let* mean_stretch = nullable_float "mean_stretch" in
+            Ok
+              ({ epoch; live; edges; attempted; delivered; mean_steps; mean_stretch }
+                : Experiments.Churn.epoch_row)
+          in
+          let* ch_rows =
+            match J.member "epochs" result with
+            | Some (J.Arr items) ->
+                let rec go acc = function
+                  | [] -> Ok (List.rev acc)
+                  | r :: rest ->
+                      let* r = row_of_json r in
+                      go (r :: acc) rest
+                in
+                go [] items
+            | _ -> err_bad "churn reply is missing array field \"epochs\""
+          in
+          Ok (Churned { ch_name; ch_scenario; ch_generation; ch_rows })
       | "route" ->
           let* r = route_reply_of_json ~what result in
           Ok (Routed r)
@@ -992,73 +938,34 @@ let snapshot_flags =
       ~fdoc:"where the v2 binary snapshot is written";
   ]
 
-type ospec = {
-  op : string;
-  op_als : string list;
-  odoc : string;
-  oflags : fspec list;
-  positional : string option;  (* canonical flag a bare argument maps to *)
-}
-
-let ops =
+let mutate_flags =
   [
-    {
-      op = "load";
-      op_als = [];
-      odoc = "load a saved instance into the registry";
-      oflags = load_flags;
-      positional = Some "--path";
-    };
-    {
-      op = "sample";
-      op_als = [ "gen" ];
-      odoc = "sample an instance (sample <girg|hrg|kleinberg> ...) and register it";
-      oflags = sample_common_flags;  (* model flags are listed per model in the schema *)
-      positional = None;
-    };
-    {
-      op = "route";
-      op_als = [];
-      odoc = "route one message and return the walk summary";
-      oflags = route_flags;
-      positional = Some "--instance";
-    };
-    {
-      op = "route-batch";
-      op_als = [ "route_batch" ];
-      odoc = "route a batch of pairs (explicit or sampled) in one request";
-      oflags = batch_flags;
-      positional = Some "--instance";
-    };
-    {
-      op = "stats";
-      op_als = [];
-      odoc = "structural statistics of an instance";
-      oflags = stats_flags;
-      positional = Some "--instance";
-    };
-    {
-      op = "merge-shards";
-      op_als = [ "merge_shards" ];
-      odoc = "merge per-shard spill files into one instance and register it";
-      oflags = merge_flags;
-      positional = Some "--spills";
-    };
-    {
-      op = "snapshot";
-      op_als = [];
-      odoc = "re-encode a saved instance as a v2 binary (mmap-ready) snapshot";
-      oflags = snapshot_flags;
-      positional = Some "--instance";
-    };
-    { op = "health"; op_als = []; odoc = "server liveness, counters, registry contents";
-      oflags = []; positional = None };
-    { op = "stats-server"; op_als = [ "server-stats" ];
-      odoc = "live telemetry snapshot: counters, gauges, per-stage latency quantiles, \
-              Prometheus text dump";
-      oflags = []; positional = None };
-    { op = "drain"; op_als = []; odoc = "stop accepting work, finish in-flight requests, exit";
-      oflags = []; positional = None };
+    fld "--instance" ~ftyp:"string" ~freq:true
+      ~fdoc:"instance name (daemon) or file (CLI); also the positional argument";
+    fld "--ops" ~ftyp:"mutations" ~freq:true
+      ~fdoc:"comma-separated mutations: leave:V | rejoin:V | drop:U:V | resample:V";
+    fld "--seed" ~ftyp:"int" ~fdefault:"42"
+      ~fdoc:"seed of the resample substreams (replay-deterministic per epoch)";
+  ]
+
+let churn_flags =
+  [
+    fld "--instance" ~ftyp:"string" ~freq:true
+      ~fdoc:"instance name (daemon) or file (CLI); also the positional argument";
+    fld "--scenario" ~ftyp:"scenario" ~fdefault:"uniform"
+      ~fdoc:"uniform | adversarial | milgram";
+    fld "--epochs" ~ftyp:"int" ~fdefault:"3" ~fdoc:"mutation rounds after the baseline";
+    fld "--events" ~ftyp:"int" ~fdefault:"16"
+      ~fdoc:"structural events per epoch (ignored by milgram)";
+    fld "--quit" ~ftyp:"float" ~fdefault:"0"
+      ~fdoc:"per-hop quit probability (Milgram attrition), 0 disables";
+    fld "--seed" ~ftyp:"int" ~fdefault:"42"
+      ~fdoc:"seed of churn planning, resampling and quit coins";
+    fld "--count" ~ftyp:"int" ~fdefault:"200" ~fdoc:"measurement pairs per epoch";
+    fld "--pair-seed" ~ftyp:"int" ~fdefault:"0" ~fdoc:"seed of the pair-sampling substream";
+    fld "--protocol" ~ftyp:"protocol" ~fdefault:"greedy"
+      ~fdoc:"greedy | phi-dfs | history | gravity-pressure";
+    fld "--max-steps" ~ftyp:"int" ~fdoc:"step budget (default: unlimited)";
   ]
 
 let model_flag_table =
@@ -1192,243 +1099,850 @@ let protocol_of_seen ~op seen =
       let _ = op in
       protocol_of_string v
 
+(* ------------------------------------------------------------------ *)
+(* The op table                                                        *)
+
+(* Argument-list fragments shared by the printers. *)
+let fl flag v = [ flag; v ]
+let opt_fl flag v = match v with Some v -> [ flag; v ] | None -> []
+
+let girg_model_args (p : Girg.Params.t) =
+  fl "--n" (string_of_int p.Girg.Params.n)
+  @ fl "--dim" (string_of_int p.dim)
+  @ fl "--beta" (float_arg p.beta)
+  @ fl "--w-min" (float_arg p.w_min)
+  @ fl "--alpha"
+      (match p.alpha with
+      | Girg.Params.Infinite -> "inf"
+      | Girg.Params.Finite a -> float_arg a)
+  @ fl "--c" (float_arg p.c)
+  @ fl "--norm" (Girg.Params.norm_to_string p.norm)
+  @ if p.poisson_count then [] else [ "--fixed-count" ]
+
+(* What an op's argv parser sees: the scanned flags, the already-parsed
+   exec options (sample's default name is the --output path), and the
+   model token sample consumed before its flags. *)
+type argctx = {
+  ax_op : string;
+  ax_seen : (string, string) Hashtbl.t;
+  ax_exec : exec_opts;
+  ax_model : string option;
+}
+
+(* One row per operation.  Every accepted spelling, the flag table, and
+   all four codec directions live here, so the JSON parser, the argv
+   parser, the printers, the schema dump, the daemon's op inventory and
+   the did-you-mean suggestions are all read off the same table and
+   cannot drift apart.  [r_public = false] hides an op from the CLI and
+   the schema (gen_shard rides under [sample ... --spill-out]) while
+   keeping it a first-class wire op. *)
+type row = {
+  r_wire : string;  (* canonical wire spelling (spans, logs, metrics) *)
+  r_cli : string;  (* canonical CLI token *)
+  r_names : string list;  (* every accepted spelling, wire and CLI *)
+  r_public : bool;
+  r_doc : string;
+  r_flags : fspec list;
+  r_positional : string option;  (* canonical flag a bare argument maps to *)
+  r_instance : request -> string option;
+  r_fields : request -> (string * J.json) list;
+  r_of_json : what:string -> J.json -> (request, Error.t) result;
+  r_of_seen : argctx -> (request, Error.t) result;
+  r_to_args : request -> string list;  (* op tokens + flags, no envelope tail *)
+}
+
+let req_instance ~op seen =
+  match get seen "--instance" with
+  | Some i -> Ok i
+  | None -> err_bad "%s requires --instance (or a positional file)" op
+
+let scenario_of_string_err s =
+  match Experiments.Churn.scenario_of_string s with
+  | Ok s -> Ok s
+  | Error m -> err_bad "%s" m
+
+let mutation_ops_of_string s =
+  match
+    Girg.Mutate.ops_of_strings (List.filter (fun p -> p <> "") (String.split_on_char ',' s))
+  with
+  | Ok [] -> err_bad "--ops needs at least one mutation"
+  | Ok ops -> Ok ops
+  | Error m -> err_bad "%s" m
+
+let table =
+  [
+    {
+      r_wire = "load";
+      r_cli = "load";
+      r_names = [ "load" ];
+      r_public = true;
+      r_doc = "load a saved instance into the registry";
+      r_flags = load_flags;
+      r_positional = Some "--path";
+      r_instance = (function Load { name; _ } -> Some name | _ -> None);
+      r_fields =
+        (function
+        | Load { name; path } -> [ ("name", J.Str name); ("path", J.Str path) ]
+        | _ -> []);
+      r_of_json =
+        (fun ~what j ->
+          let* name = req_field ~what "name" jstr j in
+          let* path = req_field ~what "path" jstr j in
+          Ok (Load { name; path }));
+      r_of_seen =
+        (fun cx ->
+          match (get cx.ax_seen "--name", get cx.ax_seen "--path") with
+          | Some name, Some path -> Ok (Load { name; path })
+          | None, _ -> err_bad "load requires --name"
+          | _, None -> err_bad "load requires --path (or a positional file)");
+      r_to_args =
+        (function
+        | Load { name; path } -> ("load" :: fl "--name" name) @ fl "--path" path
+        | _ -> []);
+    };
+    {
+      r_wire = "sample";
+      r_cli = "sample";
+      r_names = [ "sample"; "gen" ];
+      r_public = true;
+      r_doc = "sample an instance (sample <girg|hrg|kleinberg> ...) and register it";
+      r_flags = sample_common_flags;  (* model flags are listed per model in the schema *)
+      r_positional = None;
+      r_instance = (function Sample { name; _ } -> Some name | _ -> None);
+      r_fields =
+        (function
+        | Sample { name; model; seed } ->
+            (("name", J.Str name) :: model_fields model) @ [ ("seed", J.Int seed) ]
+        | _ -> []);
+      r_of_json =
+        (fun ~what j ->
+          let* name = req_field ~what "name" jstr j in
+          let* model = model_of_json ~what j in
+          let* seed = opt_field ~what "seed" jint j in
+          Ok (Sample { name; model; seed = Option.value seed ~default:42 }));
+      r_of_seen =
+        (fun cx ->
+          let op = cx.ax_op and seen = cx.ax_seen in
+          let* seed = get_int ~op seen "--seed" ~default:42 in
+          (* Spill-mode girg generation needs no registry name, so the
+             name requirement is resolved lazily per branch. *)
+          let name_res =
+            match (get seen "--name", cx.ax_exec.output) with
+            | Some n, _ -> Ok n
+            | None, Some out -> Ok out
+            | None, None ->
+                err_bad "sample requires --name (or --output, whose path names the instance)"
+          in
+          match cx.ax_model with
+          | Some "girg" ->
+              let dflt = Girg.Params.default in
+              let* n = get_int ~op seen "--n" ~default:10_000 in
+              let* dim = get_int ~op seen "--dim" ~default:2 in
+              let* beta = get_float ~op seen "--beta" ~default:2.5 in
+              let* w_min = get_float ~op seen "--w-min" ~default:1.0 in
+              let* alpha =
+                match get seen "--alpha" with
+                | None -> Ok (Girg.Params.Finite 2.0)
+                | Some v -> alpha_of_string v
+              in
+              let* c = get_float ~op seen "--c" ~default:0.25 in
+              let* norm =
+                match get seen "--norm" with
+                | None -> Ok dflt.Girg.Params.norm
+                | Some v -> (
+                    match Girg.Params.norm_of_string v with
+                    | Some n -> Ok n
+                    | None -> err_bad "bad --norm %S (linf | l2 | l1)" v)
+              in
+              let poisson_count = not (Hashtbl.mem seen "--fixed-count") in
+              let* p =
+                validate_girg ~what:"sample"
+                  { Girg.Params.n; dim; beta; w_min; alpha; c; norm; poisson_count }
+              in
+              (match get seen "--spill-out" with
+              | Some out ->
+                  let* shards = get_int ~op seen "--shards" ~default:1 in
+                  let* shard = get_int ~op seen "--shard" ~default:0 in
+                  let* () = check_shard_range ~what:op ~shards ~shard in
+                  Ok (Gen_shard { params = p; seed; shards; shard; out })
+              | None ->
+                  if Hashtbl.mem seen "--shards" || Hashtbl.mem seen "--shard" then
+                    err_bad "sharded generation writes a spill file: add --spill-out FILE"
+                  else
+                    let* name = name_res in
+                    Ok (Sample { name; model = Girg p; seed }))
+          | Some "hrg" ->
+              let* name = name_res in
+              let* n = get_int ~op seen "--n" ~default:10_000 in
+              let* alpha_h = get_float ~op seen "--alpha-h" ~default:0.75 in
+              let* radius_c = get_float ~op seen "--radius-c" ~default:0.0 in
+              let* temperature = get_float ~op seen "--temperature" ~default:0.0 in
+              (match Hyperbolic.Hrg.make ~alpha_h ~radius_c ~temperature ~n () with
+              | p -> Ok (Sample { name; model = Hrg p; seed })
+              | exception Invalid_argument m -> err_bad "invalid hrg parameters: %s" m)
+          | Some "kleinberg" ->
+              let* name = name_res in
+              let* side = req_int ~op seen "--side" in
+              let* long_range = get_int ~op seen "--long-range" ~default:1 in
+              let* exponent = get_float ~op seen "--exponent" ~default:2.0 in
+              (match Kleinberg.Lattice.make ~long_range ~exponent ~side () with
+              | p -> Ok (Sample { name; model = Kleinberg p; seed })
+              | exception Invalid_argument m ->
+                  err_bad "invalid kleinberg parameters: %s" m)
+          | Some other -> err_bad "unknown model %S (girg | hrg | kleinberg)" other
+          | None -> err_bad "sample needs a model: sample <girg|hrg|kleinberg> ...");
+      r_to_args =
+        (function
+        | Sample { name; model; seed } ->
+            let model_args =
+              match model with
+              | Girg p -> "girg" :: girg_model_args p
+              | Hrg p ->
+                  [ "hrg" ]
+                  @ fl "--n" (string_of_int p.Hyperbolic.Hrg.n)
+                  @ fl "--alpha-h" (float_arg p.alpha_h)
+                  @ fl "--radius-c" (float_arg p.radius_c)
+                  @ fl "--temperature" (float_arg p.temperature)
+              | Kleinberg p ->
+                  [ "kleinberg" ]
+                  @ fl "--side" (string_of_int p.Kleinberg.Lattice.side)
+                  @ fl "--long-range" (string_of_int p.long_range)
+                  @ fl "--exponent" (float_arg p.exponent)
+            in
+            ("sample" :: model_args) @ fl "--name" name @ fl "--seed" (string_of_int seed)
+        | _ -> []);
+    };
+    {
+      r_wire = "route";
+      r_cli = "route";
+      r_names = [ "route" ];
+      r_public = true;
+      r_doc = "route one message and return the walk summary";
+      r_flags = route_flags;
+      r_positional = Some "--instance";
+      r_instance = (function Route { instance; _ } -> Some instance | _ -> None);
+      r_fields =
+        (function
+        | Route { instance; source; target; protocol; max_steps } ->
+            [
+              ("instance", J.Str instance);
+              ("source", J.Int source);
+              ("target", J.Int target);
+              ("protocol", J.Str (protocol_to_string protocol));
+            ]
+            @ (match max_steps with Some m -> [ ("max_steps", J.Int m) ] | None -> [])
+        | _ -> []);
+      r_of_json =
+        (fun ~what j ->
+          let* instance = req_field ~what "instance" jstr j in
+          let* source = req_field ~what "source" jint j in
+          let* target = req_field ~what "target" jint j in
+          let* protocol = protocol_of_json ~what j in
+          let* max_steps = opt_field ~what "max_steps" jint j in
+          Ok (Route { instance; source; target; protocol; max_steps }));
+      r_of_seen =
+        (fun cx ->
+          let op = cx.ax_op and seen = cx.ax_seen in
+          let* instance = req_instance ~op seen in
+          let* source = req_int ~op seen "--source" in
+          let* target = req_int ~op seen "--target" in
+          let* protocol = protocol_of_seen ~op seen in
+          let* max_steps = opt_int ~op seen "--max-steps" in
+          Ok (Route { instance; source; target; protocol; max_steps }));
+      r_to_args =
+        (function
+        | Route { instance; source; target; protocol; max_steps } ->
+            [ "route" ]
+            @ fl "--instance" instance
+            @ fl "--source" (string_of_int source)
+            @ fl "--target" (string_of_int target)
+            @ fl "--protocol" (protocol_to_string protocol)
+            @ opt_fl "--max-steps" (Option.map string_of_int max_steps)
+        | _ -> []);
+    };
+    {
+      r_wire = "route_batch";
+      r_cli = "route-batch";
+      r_names = [ "route_batch"; "route-batch" ];
+      r_public = true;
+      r_doc = "route a batch of pairs (explicit or sampled) in one request";
+      r_flags = batch_flags;
+      r_positional = Some "--instance";
+      r_instance = (function Route_batch { instance; _ } -> Some instance | _ -> None);
+      r_fields =
+        (function
+        | Route_batch { instance; pairs; protocol; max_steps } ->
+            (("instance", J.Str instance) :: pairs_fields pairs)
+            @ [ ("protocol", J.Str (protocol_to_string protocol)) ]
+            @ (match max_steps with Some m -> [ ("max_steps", J.Int m) ] | None -> [])
+        | _ -> []);
+      r_of_json =
+        (fun ~what j ->
+          let* instance = req_field ~what "instance" jstr j in
+          let* pairs = pairs_of_json ~what j in
+          let* protocol = protocol_of_json ~what j in
+          let* max_steps = opt_field ~what "max_steps" jint j in
+          Ok (Route_batch { instance; pairs; protocol; max_steps }));
+      r_of_seen =
+        (fun cx ->
+          let op = cx.ax_op and seen = cx.ax_seen in
+          let* instance = req_instance ~op seen in
+          let* protocol = protocol_of_seen ~op seen in
+          let* max_steps = opt_int ~op seen "--max-steps" in
+          let* pairs =
+            match (get seen "--pairs", get seen "--count") with
+            | Some _, Some _ -> err_bad "route-batch takes --pairs or --count, not both"
+            | Some ps, None ->
+                let* ps = parse_pairs ~op ps in
+                Ok (Pairs ps)
+            | None, Some _ ->
+                let* count = req_int ~op seen "--count" in
+                let* pair_seed = get_int ~op seen "--pair-seed" ~default:0 in
+                let* pool =
+                  match get seen "--pool" with
+                  | None -> Ok Giant
+                  | Some v -> pool_of_string v
+                in
+                Ok (Drawn { count; pair_seed; pool })
+            | None, None -> err_bad "route-batch requires --pairs or --count"
+          in
+          Ok (Route_batch { instance; pairs; protocol; max_steps }));
+      r_to_args =
+        (function
+        | Route_batch { instance; pairs; protocol; max_steps } ->
+            let pair_args =
+              match pairs with
+              | Pairs ps ->
+                  fl "--pairs"
+                    (String.concat ","
+                       (List.map (fun (s, t) -> Printf.sprintf "%d:%d" s t) ps))
+              | Drawn { count; pair_seed; pool } ->
+                  fl "--count" (string_of_int count)
+                  @ fl "--pair-seed" (string_of_int pair_seed)
+                  @ fl "--pool" (pool_to_string pool)
+            in
+            [ "route-batch" ]
+            @ fl "--instance" instance
+            @ pair_args
+            @ fl "--protocol" (protocol_to_string protocol)
+            @ opt_fl "--max-steps" (Option.map string_of_int max_steps)
+        | _ -> []);
+    };
+    {
+      r_wire = "stats";
+      r_cli = "stats";
+      r_names = [ "stats" ];
+      r_public = true;
+      r_doc = "structural statistics of an instance";
+      r_flags = stats_flags;
+      r_positional = Some "--instance";
+      r_instance = (function Stats { instance } -> Some instance | _ -> None);
+      r_fields =
+        (function Stats { instance } -> [ ("instance", J.Str instance) ] | _ -> []);
+      r_of_json =
+        (fun ~what j ->
+          let* instance = req_field ~what "instance" jstr j in
+          Ok (Stats { instance }));
+      r_of_seen =
+        (fun cx ->
+          let* instance = req_instance ~op:cx.ax_op cx.ax_seen in
+          Ok (Stats { instance }));
+      r_to_args =
+        (function Stats { instance } -> "stats" :: fl "--instance" instance | _ -> []);
+    };
+    {
+      r_wire = "gen_shard";
+      r_cli = "sample";
+      r_names = [ "gen_shard"; "gen-shard" ];
+      r_public = false;  (* rides under [sample girg ... --spill-out] on the CLI *)
+      r_doc =
+        "sample one shard of a GIRG's deterministic edge enumeration and spill it";
+      r_flags = [];
+      r_positional = None;
+      r_instance = (fun _ -> None);
+      r_fields =
+        (function
+        | Gen_shard { params; seed; shards; shard; out } ->
+            model_fields (Girg params)
+            @ [
+                ("seed", J.Int seed);
+                ("shards", J.Int shards);
+                ("shard", J.Int shard);
+                ("out", J.Str out);
+              ]
+        | _ -> []);
+      r_of_json =
+        (fun ~what j ->
+          let* model = model_of_json ~what j in
+          match model with
+          | Girg params ->
+              let* seed = opt_field ~what "seed" jint j in
+              let* shards = req_field ~what "shards" jint j in
+              let* shard = req_field ~what "shard" jint j in
+              let* out = req_field ~what "out" jstr j in
+              let* () = check_shard_range ~what ~shards ~shard in
+              Ok
+                (Gen_shard
+                   { params; seed = Option.value seed ~default:42; shards; shard; out })
+          | Hrg _ | Kleinberg _ -> err_bad "gen_shard supports the girg model only");
+      r_of_seen =
+        (fun _ -> err_bad "gen_shard rides under: sample girg ... --spill-out FILE");
+      r_to_args =
+        (function
+        | Gen_shard { params; seed; shards; shard; out } ->
+            [ "sample"; "girg" ]
+            @ girg_model_args params
+            @ fl "--seed" (string_of_int seed)
+            @ fl "--shards" (string_of_int shards)
+            @ fl "--shard" (string_of_int shard)
+            @ fl "--spill-out" out
+        | _ -> []);
+    };
+    {
+      r_wire = "merge_shards";
+      r_cli = "merge-shards";
+      r_names = [ "merge_shards"; "merge-shards" ];
+      r_public = true;
+      r_doc = "merge per-shard spill files into one instance and register it";
+      r_flags = merge_flags;
+      r_positional = Some "--spills";
+      r_instance = (function Merge_shards { name; _ } -> Some name | _ -> None);
+      r_fields =
+        (function
+        | Merge_shards { name; spills } ->
+            [
+              ("name", J.Str name);
+              ("spills", J.Arr (List.map (fun p -> J.Str p) spills));
+            ]
+        | _ -> []);
+      r_of_json =
+        (fun ~what j ->
+          let* name = req_field ~what "name" jstr j in
+          match J.member "spills" j with
+          | Some (J.Arr items) ->
+              let rec go acc = function
+                | [] ->
+                    if acc = [] then err_bad "merge_shards needs at least one spill"
+                    else Ok (Merge_shards { name; spills = List.rev acc })
+                | J.Str p :: rest -> go (p :: acc) rest
+                | _ -> err_bad "\"spills\" entries must be path strings"
+              in
+              go [] items
+          | _ -> err_bad "merge_shards request is missing array field \"spills\"");
+      r_of_seen =
+        (fun cx ->
+          let seen = cx.ax_seen in
+          let* name =
+            match get seen "--name" with
+            | Some n -> Ok n
+            | None -> err_bad "merge-shards requires --name"
+          in
+          let* spills =
+            match get seen "--spills" with
+            | Some s -> (
+                match List.filter (fun p -> p <> "") (String.split_on_char ',' s) with
+                | [] -> err_bad "--spills needs at least one path"
+                | paths -> Ok paths)
+            | None ->
+                err_bad
+                  "merge-shards requires --spills (comma-separated spill files, or one \
+                   positional argument)"
+          in
+          Ok (Merge_shards { name; spills }));
+      r_to_args =
+        (function
+        | Merge_shards { name; spills } ->
+            [ "merge-shards" ]
+            @ fl "--name" name
+            @ fl "--spills" (String.concat "," spills)
+        | _ -> []);
+    };
+    {
+      r_wire = "snapshot";
+      r_cli = "snapshot";
+      r_names = [ "snapshot" ];
+      r_public = true;
+      r_doc = "re-encode a saved instance as a v2 binary (mmap-ready) snapshot";
+      r_flags = snapshot_flags;
+      r_positional = Some "--instance";
+      r_instance = (function Snapshot { instance; _ } -> Some instance | _ -> None);
+      r_fields =
+        (function
+        | Snapshot { instance; out } ->
+            [ ("instance", J.Str instance); ("out", J.Str out) ]
+        | _ -> []);
+      r_of_json =
+        (fun ~what j ->
+          let* instance = req_field ~what "instance" jstr j in
+          let* out = req_field ~what "out" jstr j in
+          Ok (Snapshot { instance; out }));
+      r_of_seen =
+        (fun cx ->
+          let op = cx.ax_op and seen = cx.ax_seen in
+          let* instance = req_instance ~op seen in
+          let* out =
+            match get seen "--out" with
+            | Some o -> Ok o
+            | None -> err_bad "snapshot requires --out FILE"
+          in
+          Ok (Snapshot { instance; out }));
+      r_to_args =
+        (function
+        | Snapshot { instance; out } ->
+            ("snapshot" :: fl "--instance" instance) @ fl "--out" out
+        | _ -> []);
+    };
+    {
+      r_wire = "mutate";
+      r_cli = "mutate";
+      r_names = [ "mutate" ];
+      r_public = true;
+      r_doc =
+        "apply a live-mutation script (leave/rejoin/drop/resample) as one new graph \
+         epoch";
+      r_flags = mutate_flags;
+      r_positional = Some "--instance";
+      r_instance = (function Mutate { instance; _ } -> Some instance | _ -> None);
+      r_fields =
+        (function
+        | Mutate { instance; ops; seed } ->
+            [
+              ("instance", J.Str instance);
+              ( "ops",
+                J.Arr (List.map (fun o -> J.Str (Girg.Mutate.op_to_string o)) ops) );
+              ("seed", J.Int seed);
+            ]
+        | _ -> []);
+      r_of_json =
+        (fun ~what j ->
+          let* instance = req_field ~what "instance" jstr j in
+          let* ops =
+            match J.member "ops" j with
+            | Some (J.Arr items) ->
+                let rec go acc = function
+                  | [] -> Ok (List.rev acc)
+                  | J.Str s :: rest -> (
+                      match Girg.Mutate.op_of_string s with
+                      | Ok op -> go (op :: acc) rest
+                      | Error m -> err_bad "%s" m)
+                  | _ -> err_bad "\"ops\" entries must be mutation strings"
+                in
+                let* ops = go [] items in
+                if ops = [] then err_bad "mutate needs at least one op" else Ok ops
+            | Some _ -> err_bad "field \"ops\" of a %s request must be an array" what
+            | None -> err_bad "%s request is missing array field \"ops\"" what
+          in
+          let* seed = opt_field ~what "seed" jint j in
+          Ok (Mutate { instance; ops; seed = Option.value seed ~default:42 }));
+      r_of_seen =
+        (fun cx ->
+          let op = cx.ax_op and seen = cx.ax_seen in
+          let* instance = req_instance ~op seen in
+          let* ops =
+            match get seen "--ops" with
+            | Some s -> mutation_ops_of_string s
+            | None -> err_bad "mutate requires --ops (comma-separated, e.g. leave:5,drop:3:7)"
+          in
+          let* seed = get_int ~op seen "--seed" ~default:42 in
+          Ok (Mutate { instance; ops; seed }));
+      r_to_args =
+        (function
+        | Mutate { instance; ops; seed } ->
+            [ "mutate" ]
+            @ fl "--instance" instance
+            @ fl "--ops" (String.concat "," (List.map Girg.Mutate.op_to_string ops))
+            @ fl "--seed" (string_of_int seed)
+        | _ -> []);
+    };
+    {
+      r_wire = "churn";
+      r_cli = "churn";
+      r_names = [ "churn" ];
+      r_public = true;
+      r_doc =
+        "run a churn scenario (mutate, re-route, repeat) and report per-epoch delivery";
+      r_flags = churn_flags;
+      r_positional = Some "--instance";
+      r_instance = (function Churn { instance; _ } -> Some instance | _ -> None);
+      r_fields =
+        (function
+        | Churn { instance; config = c } ->
+            [
+              ("instance", J.Str instance);
+              ("scenario", J.Str (Experiments.Churn.scenario_to_string c.scenario));
+              ("epochs", J.Int c.epochs);
+              ("events", J.Int c.events);
+              ("quit", J.Float c.quit);
+              ("seed", J.Int c.seed);
+              ("count", J.Int c.count);
+              ("pair_seed", J.Int c.pair_seed);
+              ("protocol", J.Str (protocol_to_string c.protocol));
+            ]
+            @ (match c.max_steps with Some m -> [ ("max_steps", J.Int m) ] | None -> [])
+        | _ -> []);
+      r_of_json =
+        (fun ~what j ->
+          let* instance = req_field ~what "instance" jstr j in
+          let* scenario =
+            match J.member "scenario" j with
+            | None -> Ok Experiments.Churn.Uniform
+            | Some (J.Str s) -> scenario_of_string_err s
+            | Some _ -> err_bad "field \"scenario\" of a %s request has the wrong type" what
+          in
+          let* epochs = opt_field ~what "epochs" jint j in
+          let* events = opt_field ~what "events" jint j in
+          let* quit = opt_field ~what "quit" jfloat j in
+          let* seed = opt_field ~what "seed" jint j in
+          let* count = opt_field ~what "count" jint j in
+          let* pair_seed = opt_field ~what "pair_seed" jint j in
+          let* protocol = protocol_of_json ~what j in
+          let* max_steps = opt_field ~what "max_steps" jint j in
+          Ok
+            (Churn
+               {
+                 instance;
+                 config =
+                   {
+                     Experiments.Churn.scenario;
+                     epochs = Option.value epochs ~default:3;
+                     events = Option.value events ~default:16;
+                     quit = Option.value quit ~default:0.0;
+                     seed = Option.value seed ~default:42;
+                     count = Option.value count ~default:200;
+                     pair_seed = Option.value pair_seed ~default:0;
+                     protocol;
+                     max_steps;
+                   };
+               }));
+      r_of_seen =
+        (fun cx ->
+          let op = cx.ax_op and seen = cx.ax_seen in
+          let* instance = req_instance ~op seen in
+          let* scenario =
+            match get seen "--scenario" with
+            | None -> Ok Experiments.Churn.Uniform
+            | Some s -> scenario_of_string_err s
+          in
+          let* epochs = get_int ~op seen "--epochs" ~default:3 in
+          let* events = get_int ~op seen "--events" ~default:16 in
+          let* quit = get_float ~op seen "--quit" ~default:0.0 in
+          let* seed = get_int ~op seen "--seed" ~default:42 in
+          let* count = get_int ~op seen "--count" ~default:200 in
+          let* pair_seed = get_int ~op seen "--pair-seed" ~default:0 in
+          let* protocol = protocol_of_seen ~op seen in
+          let* max_steps = opt_int ~op seen "--max-steps" in
+          Ok
+            (Churn
+               {
+                 instance;
+                 config =
+                   {
+                     Experiments.Churn.scenario;
+                     epochs;
+                     events;
+                     quit;
+                     seed;
+                     count;
+                     pair_seed;
+                     protocol;
+                     max_steps;
+                   };
+               }));
+      r_to_args =
+        (function
+        | Churn { instance; config = c } ->
+            [ "churn" ]
+            @ fl "--instance" instance
+            @ fl "--scenario" (Experiments.Churn.scenario_to_string c.scenario)
+            @ fl "--epochs" (string_of_int c.epochs)
+            @ fl "--events" (string_of_int c.events)
+            @ fl "--quit" (float_arg c.quit)
+            @ fl "--seed" (string_of_int c.seed)
+            @ fl "--count" (string_of_int c.count)
+            @ fl "--pair-seed" (string_of_int c.pair_seed)
+            @ fl "--protocol" (protocol_to_string c.protocol)
+            @ opt_fl "--max-steps" (Option.map string_of_int c.max_steps)
+        | _ -> []);
+    };
+    {
+      r_wire = "health";
+      r_cli = "health";
+      r_names = [ "health" ];
+      r_public = true;
+      r_doc = "server liveness, counters, registry contents";
+      r_flags = [];
+      r_positional = None;
+      r_instance = (fun _ -> None);
+      r_fields = (fun _ -> []);
+      r_of_json = (fun ~what:_ _ -> Ok Health);
+      r_of_seen = (fun _ -> Ok Health);
+      r_to_args = (fun _ -> [ "health" ]);
+    };
+    {
+      r_wire = "stats-server";
+      r_cli = "stats-server";
+      r_names = [ "stats-server"; "server-stats" ];
+      r_public = true;
+      r_doc =
+        "live telemetry snapshot: counters, gauges, per-stage latency quantiles, \
+         Prometheus text dump";
+      r_flags = [];
+      r_positional = None;
+      r_instance = (fun _ -> None);
+      r_fields = (fun _ -> []);
+      r_of_json = (fun ~what:_ _ -> Ok Server_stats);
+      r_of_seen = (fun _ -> Ok Server_stats);
+      r_to_args = (fun _ -> [ "stats-server" ]);
+    };
+    {
+      r_wire = "drain";
+      r_cli = "drain";
+      r_names = [ "drain" ];
+      r_public = true;
+      r_doc = "stop accepting work, finish in-flight requests, exit";
+      r_flags = [];
+      r_positional = None;
+      r_instance = (fun _ -> None);
+      r_fields = (fun _ -> []);
+      r_of_json = (fun ~what:_ _ -> Ok Drain);
+      r_of_seen = (fun _ -> Ok Drain);
+      r_to_args = (fun _ -> [ "drain" ]);
+    };
+  ]
+
+(* The one remaining constructor match: everything else about an op is
+   read off its row. *)
+let row_of_request r =
+  let wire =
+    match r with
+    | Load _ -> "load"
+    | Sample _ -> "sample"
+    | Route _ -> "route"
+    | Route_batch _ -> "route_batch"
+    | Stats _ -> "stats"
+    | Gen_shard _ -> "gen_shard"
+    | Merge_shards _ -> "merge_shards"
+    | Snapshot _ -> "snapshot"
+    | Mutate _ -> "mutate"
+    | Churn _ -> "churn"
+    | Health -> "health"
+    | Server_stats -> "stats-server"
+    | Drain -> "drain"
+  in
+  List.find (fun row -> row.r_wire = wire) table
+
+let op_names = List.map (fun r -> r.r_wire) table
+let op_of_request r = (row_of_request r).r_wire
+let instance_of_request r = (row_of_request r).r_instance r
+let request_fields r = (row_of_request r).r_fields r
+
+(* ------------------------------------------------------------------ *)
+(* Envelope codecs (both directions derive from the table)             *)
+
+let envelope_to_json e =
+  J.Obj
+    ([ ("v", J.Int version); ("op", J.Str (op_of_request e.request)) ]
+    @ (match e.id with Some i -> [ ("id", J.Int i) ] | None -> [])
+    @ (match e.deadline_ms with Some d -> [ ("deadline_ms", J.Int d) ] | None -> [])
+    @ (match e.trace with
+      | Some t ->
+          [ ("trace", J.Obj [ ("id", J.Str t.trace_id); ("span", J.Int t.parent_span) ]) ]
+      | None -> [])
+    @ request_fields e.request)
+
+let envelope_of_json j =
+  let* () =
+    match J.member "v" j with
+    | Some (J.Int v) when v = version -> Ok ()
+    | Some (J.Int v) ->
+        Error
+          (Error.make Error.Unsupported_version
+             "unsupported API version %d (this server speaks v%d only)" v version)
+    | Some _ -> err_bad "field \"v\" must be an integer"
+    | None -> err_bad "request is missing field \"v\" (API version, currently %d)" version
+  in
+  let* op = req_field ~what:"any" "op" jstr j in
+  let* id = opt_field ~what:op "id" jint j in
+  let* deadline_ms = opt_field ~what:op "deadline_ms" jint j in
+  let* trace =
+    match J.member "trace" j with
+    | None -> Ok None
+    | Some (J.Obj _ as t) ->
+        let* trace_id = req_field ~what:"trace" "id" jstr t in
+        let* parent_span = opt_field ~what:"trace" "span" jint t in
+        Ok (Some { trace_id; parent_span = Option.value parent_span ~default:0 })
+    | Some _ -> err_bad "field \"trace\" of a %s request must be an object" op
+  in
+  let* request =
+    match List.find_opt (fun r -> List.mem op r.r_names) table with
+    | Some row -> row.r_of_json ~what:op j
+    | None -> err_bad "unknown op %S (%s)" op (String.concat " | " op_names)
+  in
+  Ok { id; deadline_ms; trace; request }
+
+let envelope_of_line line =
+  match J.json_of_string line with
+  | Error m -> err_bad "unparseable request line: %s" m
+  | Ok j -> envelope_of_json j
+
+let request_line e = J.json_to_string (envelope_to_json e)
+
+let cli_ops_doc () =
+  String.concat " | "
+    (List.filter_map (fun r -> if r.r_public then Some r.r_cli else None) table)
+
 let of_args args =
   match args with
-  | [] ->
-      err_bad
-        "missing operation (load | sample | route | route-batch | stats | merge-shards | \
-         snapshot | health | stats-server | drain)"
+  | [] -> err_bad "missing operation (%s)" (cli_ops_doc ())
   | op_tok :: rest -> (
-      let known_ops = List.map (fun o -> { o with op_als = o.op :: o.op_als }) ops in
-      match List.find_opt (fun o -> List.mem op_tok o.op_als) known_ops with
-      | None ->
-          err_bad
-            "unknown operation %S (load | sample | route | route-batch | stats | \
-             merge-shards | snapshot | health | stats-server | drain)"
-            op_tok
-      | Some o -> (
-          let op = o.op in
-          let base_known = o.oflags @ envelope_flags @ exec_flags in
-          let finish ~known ~model rest =
-            let* seen, positionals = scan ~op ~known rest in
-            let* () =
-              match (positionals, o.positional) with
-              | [], _ -> Ok ()
-              | [ p ], Some flag ->
-                  if Hashtbl.mem seen flag then
-                    err_bad "%s got both a positional argument and %s" op flag
-                  else begin
-                    Hashtbl.replace seen flag p;
-                    Ok ()
-                  end
-              | p :: _, _ -> err_bad "unexpected argument %S for %s" p op
-            in
-            let* exec = exec_of_seen ~op seen in
-            let* id = opt_int ~op seen "--id" in
-            let* deadline_ms = opt_int ~op seen "--deadline-ms" in
-            let* trace =
-              let* parent = opt_int ~op seen "--trace-parent" in
-              match (get seen "--trace-id", parent) with
-              | Some trace_id, parent ->
-                  Ok (Some { trace_id; parent_span = Option.value parent ~default:0 })
-              | None, Some _ -> err_bad "--trace-parent requires --trace-id"
-              | None, None -> Ok None
-            in
-            let* request =
-              match op with
-              | "load" -> (
-                  match (get seen "--name", get seen "--path") with
-                  | Some name, Some path -> Ok (Load { name; path })
-                  | None, _ -> err_bad "load requires --name"
-                  | _, None -> err_bad "load requires --path (or a positional file)"
-                  )
-              | "sample" -> (
-                  let* seed = get_int ~op seen "--seed" ~default:42 in
-                  (* Spill-mode girg generation needs no registry name, so
-                     the name requirement is resolved lazily per branch. *)
-                  let name_res =
-                    match (get seen "--name", exec.output) with
-                    | Some n, _ -> Ok n
-                    | None, Some out -> Ok out
-                    | None, None ->
-                        err_bad "sample requires --name (or --output, whose path names the instance)"
-                  in
-                  match model with
-                  | Some "girg" ->
-                      let dflt = Girg.Params.default in
-                      let* n = get_int ~op seen "--n" ~default:10_000 in
-                      let* dim = get_int ~op seen "--dim" ~default:2 in
-                      let* beta = get_float ~op seen "--beta" ~default:2.5 in
-                      let* w_min = get_float ~op seen "--w-min" ~default:1.0 in
-                      let* alpha =
-                        match get seen "--alpha" with
-                        | None -> Ok (Girg.Params.Finite 2.0)
-                        | Some v -> alpha_of_string v
-                      in
-                      let* c = get_float ~op seen "--c" ~default:0.25 in
-                      let* norm =
-                        match get seen "--norm" with
-                        | None -> Ok dflt.Girg.Params.norm
-                        | Some v -> (
-                            match Girg.Params.norm_of_string v with
-                            | Some n -> Ok n
-                            | None -> err_bad "bad --norm %S (linf | l2 | l1)" v)
-                      in
-                      let poisson_count = not (Hashtbl.mem seen "--fixed-count") in
-                      let* p =
-                        validate_girg ~what:"sample"
-                          { Girg.Params.n; dim; beta; w_min; alpha; c; norm; poisson_count }
-                      in
-                      (match get seen "--spill-out" with
-                      | Some out ->
-                          let* shards = get_int ~op seen "--shards" ~default:1 in
-                          let* shard = get_int ~op seen "--shard" ~default:0 in
-                          let* () = check_shard_range ~what:op ~shards ~shard in
-                          Ok (Gen_shard { params = p; seed; shards; shard; out })
-                      | None ->
-                          if Hashtbl.mem seen "--shards" || Hashtbl.mem seen "--shard"
-                          then
-                            err_bad
-                              "sharded generation writes a spill file: add --spill-out FILE"
-                          else
-                            let* name = name_res in
-                            Ok (Sample { name; model = Girg p; seed }))
-                  | Some "hrg" ->
-                      let* name = name_res in
-                      let* n = get_int ~op seen "--n" ~default:10_000 in
-                      let* alpha_h = get_float ~op seen "--alpha-h" ~default:0.75 in
-                      let* radius_c = get_float ~op seen "--radius-c" ~default:0.0 in
-                      let* temperature = get_float ~op seen "--temperature" ~default:0.0 in
-                      (match
-                         Hyperbolic.Hrg.make ~alpha_h ~radius_c ~temperature ~n ()
-                       with
-                      | p -> Ok (Sample { name; model = Hrg p; seed })
-                      | exception Invalid_argument m ->
-                          err_bad "invalid hrg parameters: %s" m)
-                  | Some "kleinberg" ->
-                      let* name = name_res in
-                      let* side = req_int ~op seen "--side" in
-                      let* long_range = get_int ~op seen "--long-range" ~default:1 in
-                      let* exponent = get_float ~op seen "--exponent" ~default:2.0 in
-                      (match Kleinberg.Lattice.make ~long_range ~exponent ~side () with
-                      | p -> Ok (Sample { name; model = Kleinberg p; seed })
-                      | exception Invalid_argument m ->
-                          err_bad "invalid kleinberg parameters: %s" m)
-                  | Some other -> err_bad "unknown model %S (girg | hrg | kleinberg)" other
-                  | None -> err_bad "sample needs a model: sample <girg|hrg|kleinberg> ...")
-              | "route" ->
-                  let* instance =
-                    match get seen "--instance" with
-                    | Some i -> Ok i
-                    | None -> err_bad "route requires --instance (or a positional file)"
-                  in
-                  let* source = req_int ~op seen "--source" in
-                  let* target = req_int ~op seen "--target" in
-                  let* protocol = protocol_of_seen ~op seen in
-                  let* max_steps = opt_int ~op seen "--max-steps" in
-                  Ok (Route { instance; source; target; protocol; max_steps })
-              | "route-batch" ->
-                  let* instance =
-                    match get seen "--instance" with
-                    | Some i -> Ok i
-                    | None -> err_bad "route-batch requires --instance (or a positional file)"
-                  in
-                  let* protocol = protocol_of_seen ~op seen in
-                  let* max_steps = opt_int ~op seen "--max-steps" in
-                  let* pairs =
-                    match (get seen "--pairs", get seen "--count") with
-                    | Some _, Some _ -> err_bad "route-batch takes --pairs or --count, not both"
-                    | Some ps, None ->
-                        let* ps = parse_pairs ~op ps in
-                        Ok (Pairs ps)
-                    | None, Some _ ->
-                        let* count = req_int ~op seen "--count" in
-                        let* pair_seed = get_int ~op seen "--pair-seed" ~default:0 in
-                        let* pool =
-                          match get seen "--pool" with
-                          | None -> Ok Giant
-                          | Some v -> pool_of_string v
-                        in
-                        Ok (Drawn { count; pair_seed; pool })
-                    | None, None -> err_bad "route-batch requires --pairs or --count"
-                  in
-                  Ok (Route_batch { instance; pairs; protocol; max_steps })
-              | "stats" ->
-                  let* instance =
-                    match get seen "--instance" with
-                    | Some i -> Ok i
-                    | None -> err_bad "stats requires --instance (or a positional file)"
-                  in
-                  Ok (Stats { instance })
-              | "merge-shards" ->
-                  let* name =
-                    match get seen "--name" with
-                    | Some n -> Ok n
-                    | None -> err_bad "merge-shards requires --name"
-                  in
-                  let* spills =
-                    match get seen "--spills" with
-                    | Some s -> (
-                        match
-                          List.filter (fun p -> p <> "") (String.split_on_char ',' s)
-                        with
-                        | [] -> err_bad "--spills needs at least one path"
-                        | paths -> Ok paths)
-                    | None ->
-                        err_bad
-                          "merge-shards requires --spills (comma-separated spill files, \
-                           or one positional argument)"
-                  in
-                  Ok (Merge_shards { name; spills })
-              | "snapshot" ->
-                  let* instance =
-                    match get seen "--instance" with
-                    | Some i -> Ok i
-                    | None -> err_bad "snapshot requires --instance (or a positional file)"
-                  in
-                  let* out =
-                    match get seen "--out" with
-                    | Some o -> Ok o
-                    | None -> err_bad "snapshot requires --out FILE"
-                  in
-                  Ok (Snapshot { instance; out })
-              | "health" -> Ok Health
-              | "stats-server" -> Ok Server_stats
-              | "drain" -> Ok Drain
-              | _ -> assert false
-            in
-            Ok ({ id; deadline_ms; trace; request }, exec)
-          in
-          match op with
-          | "sample" -> (
+      match List.find_opt (fun r -> r.r_public && List.mem op_tok r.r_names) table with
+      | None -> err_bad "unknown operation %S (%s)" op_tok (cli_ops_doc ())
+      | Some row ->
+          let op = row.r_cli in
+          (* sample's leading bare token picks the model and swaps that
+             model's flag table into the scanner. *)
+          let* model, op_flags, rest =
+            if row.r_wire <> "sample" then Ok (None, row.r_flags, rest)
+            else
               match rest with
               | model :: rest when String.length model > 0 && model.[0] <> '-' ->
                   let mflags =
-                    match List.assoc_opt model model_flag_table with
-                    | Some fs -> fs
-                    | None -> []
+                    Option.value (List.assoc_opt model model_flag_table) ~default:[]
                   in
-                  finish ~known:(mflags @ sample_common_flags @ envelope_flags @ exec_flags)
-                    ~model:(Some model) rest
-              | _ -> err_bad "sample needs a model: sample <girg|hrg|kleinberg> ...")
-          | _ -> finish ~known:base_known ~model:None rest))
+                  Ok (Some model, mflags @ row.r_flags, rest)
+              | _ -> err_bad "sample needs a model: sample <girg|hrg|kleinberg> ..."
+          in
+          let known = op_flags @ envelope_flags @ exec_flags in
+          let* seen, positionals = scan ~op ~known rest in
+          let* () =
+            match (positionals, row.r_positional) with
+            | [], _ -> Ok ()
+            | [ p ], Some flag ->
+                if Hashtbl.mem seen flag then
+                  err_bad "%s got both a positional argument and %s" op flag
+                else begin
+                  Hashtbl.replace seen flag p;
+                  Ok ()
+                end
+            | p :: _, _ -> err_bad "unexpected argument %S for %s" p op
+          in
+          let* exec = exec_of_seen ~op seen in
+          let* id = opt_int ~op seen "--id" in
+          let* deadline_ms = opt_int ~op seen "--deadline-ms" in
+          let* trace =
+            let* parent = opt_int ~op seen "--trace-parent" in
+            match (get seen "--trace-id", parent) with
+            | Some trace_id, parent ->
+                Ok (Some { trace_id; parent_span = Option.value parent ~default:0 })
+            | None, Some _ -> err_bad "--trace-parent requires --trace-id"
+            | None, None -> Ok None
+          in
+          let* request =
+            row.r_of_seen { ax_op = op; ax_seen = seen; ax_exec = exec; ax_model = model }
+          in
+          Ok ({ id; deadline_ms; trace; request }, exec))
 
 let to_args ?(exec = no_exec) e =
-  let fl flag v = [ flag; v ] in
-  let opt_fl flag v = match v with Some v -> [ flag; v ] | None -> [] in
-  let girg_args (p : Girg.Params.t) =
-    fl "--n" (string_of_int p.Girg.Params.n)
-    @ fl "--dim" (string_of_int p.dim)
-    @ fl "--beta" (float_arg p.beta)
-    @ fl "--w-min" (float_arg p.w_min)
-    @ fl "--alpha"
-        (match p.alpha with
-        | Girg.Params.Infinite -> "inf"
-        | Girg.Params.Finite a -> float_arg a)
-    @ fl "--c" (float_arg p.c)
-    @ fl "--norm" (Girg.Params.norm_to_string p.norm)
-    @ if p.poisson_count then [] else [ "--fixed-count" ]
-  in
   let tail =
     opt_fl "--id" (Option.map string_of_int e.id)
     @ opt_fl "--deadline-ms" (Option.map string_of_int e.deadline_ms)
@@ -1442,73 +1956,8 @@ let to_args ?(exec = no_exec) e =
     @ opt_fl "--trace-out" exec.trace_out
     @ opt_fl "--jobs" (Option.map string_of_int exec.jobs)
   in
-  match e.request with
-  | Load { name; path } -> [ "load" ] @ fl "--name" name @ fl "--path" path @ tail
-  | Sample { name; model; seed } ->
-      let model_args =
-        match model with
-        | Girg p -> "girg" :: girg_args p
-        | Hrg p ->
-            [ "hrg" ]
-            @ fl "--n" (string_of_int p.Hyperbolic.Hrg.n)
-            @ fl "--alpha-h" (float_arg p.alpha_h)
-            @ fl "--radius-c" (float_arg p.radius_c)
-            @ fl "--temperature" (float_arg p.temperature)
-        | Kleinberg p ->
-            [ "kleinberg" ]
-            @ fl "--side" (string_of_int p.Kleinberg.Lattice.side)
-            @ fl "--long-range" (string_of_int p.long_range)
-            @ fl "--exponent" (float_arg p.exponent)
-      in
-      ("sample" :: model_args)
-      @ fl "--name" name
-      @ fl "--seed" (string_of_int seed)
-      @ tail
-  | Route { instance; source; target; protocol; max_steps } ->
-      [ "route" ]
-      @ fl "--instance" instance
-      @ fl "--source" (string_of_int source)
-      @ fl "--target" (string_of_int target)
-      @ fl "--protocol" (protocol_to_string protocol)
-      @ opt_fl "--max-steps" (Option.map string_of_int max_steps)
-      @ tail
-  | Route_batch { instance; pairs; protocol; max_steps } ->
-      let pair_args =
-        match pairs with
-        | Pairs ps ->
-            fl "--pairs"
-              (String.concat ","
-                 (List.map (fun (s, t) -> Printf.sprintf "%d:%d" s t) ps))
-        | Drawn { count; pair_seed; pool } ->
-            fl "--count" (string_of_int count)
-            @ fl "--pair-seed" (string_of_int pair_seed)
-            @ fl "--pool" (pool_to_string pool)
-      in
-      [ "route-batch" ]
-      @ fl "--instance" instance
-      @ pair_args
-      @ fl "--protocol" (protocol_to_string protocol)
-      @ opt_fl "--max-steps" (Option.map string_of_int max_steps)
-      @ tail
-  | Stats { instance } -> [ "stats" ] @ fl "--instance" instance @ tail
-  | Gen_shard { params; seed; shards; shard; out } ->
-      [ "sample"; "girg" ]
-      @ girg_args params
-      @ fl "--seed" (string_of_int seed)
-      @ fl "--shards" (string_of_int shards)
-      @ fl "--shard" (string_of_int shard)
-      @ fl "--spill-out" out
-      @ tail
-  | Merge_shards { name; spills } ->
-      [ "merge-shards" ]
-      @ fl "--name" name
-      @ fl "--spills" (String.concat "," spills)
-      @ tail
-  | Snapshot { instance; out } ->
-      [ "snapshot" ] @ fl "--instance" instance @ fl "--out" out @ tail
-  | Health -> "health" :: tail
-  | Server_stats -> "stats-server" :: tail
-  | Drain -> "drain" :: tail
+  (row_of_request e.request).r_to_args e.request @ tail
+
 
 (* ------------------------------------------------------------------ *)
 (* Schema dump                                                         *)
@@ -1525,9 +1974,9 @@ let fspec_json f =
     ]
 
 let schema_json () =
-  let op_json o =
+  let op_json r =
     let extra =
-      if o.op = "sample" then
+      if r.r_wire = "sample" then
         [
           ( "models",
             J.Arr
@@ -1540,12 +1989,16 @@ let schema_json () =
     in
     J.Obj
       ([
-         ("op", J.Str o.op);
-         ("aliases", J.Arr (List.map (fun a -> J.Str a) o.op_als));
-         ("doc", J.Str o.odoc);
+         ("op", J.Str r.r_cli);
+         ( "aliases",
+           J.Arr
+             (List.filter_map
+                (fun a -> if a = r.r_cli then None else Some (J.Str a))
+                r.r_names) );
+         ("doc", J.Str r.r_doc);
          ( "positional",
-           match o.positional with Some p -> J.Str p | None -> J.Null );
-         ("args", J.Arr (List.map fspec_json o.oflags));
+           match r.r_positional with Some p -> J.Str p | None -> J.Null );
+         ("args", J.Arr (List.map fspec_json r.r_flags));
        ]
       @ extra)
   in
@@ -1553,7 +2006,11 @@ let schema_json () =
     [
       ("schema", J.Str "smallworld.api.v1");
       ("version", J.Int version);
-      ("ops", J.Arr (List.map op_json ops));
+      ( "ops",
+        J.Arr
+          (List.filter_map
+             (fun r -> if r.r_public then Some (op_json r) else None)
+             table) );
       ("envelope_args", J.Arr (List.map fspec_json envelope_flags));
       ("exec_args", J.Arr (List.map fspec_json exec_flags));
       ( "error_codes",

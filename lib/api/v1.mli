@@ -81,6 +81,18 @@ type request =
       (** re-encode a registered (daemon) or on-disk (CLI) instance as
           a v2 binary snapshot at [out], ready for
           {!Girg.Store.load_mmap} *)
+  | Mutate of { instance : string; ops : Girg.Mutate.op list; seed : int }
+      (** apply a live-mutation script as ONE new graph epoch
+          ({!Girg.Mutate.apply}): vertices leave/rejoin, edges drop, a
+          vertex's incident edges re-sample from the instance's own
+          connection kernel.  Deterministic given [(seed, epoch)]; on
+          the daemon the mutated instance replaces the old one under the
+          same name with a bumped registry generation, so cached routes
+          for the old version can never be served again. *)
+  | Churn of { instance : string; config : Experiments.Churn.config }
+      (** run a churn scenario server-side: per epoch, plan mutations
+          ({!Experiments.Churn.plan}), apply them as above, then measure
+          delivery on the new version.  Returns one row per epoch. *)
   | Health
   | Server_stats
       (** live serving telemetry ([stats-server] on the wire): counter
@@ -150,6 +162,24 @@ type snapshot_info = {
   sn_edges : int;
 }
 
+type mutate_reply = {
+  mu_name : string;
+  mu_epoch : int;  (** graph epoch after the script (always old + 1) *)
+  mu_generation : int;  (** registry generation after the swap *)
+  mu_live : int;  (** live (non-departed) vertices *)
+  mu_vertices : int;  (** base vertex-id space, departed included *)
+  mu_edges : int;  (** edges among live vertices *)
+  mu_applied : int;  (** ops in the applied script *)
+}
+
+type churn_reply = {
+  ch_name : string;
+  ch_scenario : Experiments.Churn.scenario;
+  ch_generation : int;  (** registry generation after the final epoch *)
+  ch_rows : Experiments.Churn.epoch_row list;
+      (** baseline epoch first, then one row per mutation epoch *)
+}
+
 type health_reply = {
   draining : bool;
   instances : string list;  (** registry contents, most recently used first *)
@@ -192,6 +222,8 @@ type response =
   | Spilled of spill_info
   | Merged of instance_info
   | Snapshotted of snapshot_info
+  | Mutated of mutate_reply
+  | Churned of churn_reply
   | Health_reply of health_reply
   | Server_stats_reply of server_stats_reply
   | Drain_ack
@@ -204,6 +236,11 @@ type reply = { reply_id : int option; response : response }
 val op_of_request : request -> string
 (** The wire op name ([load], [route_batch], [stats-server], ...) —
     what spans, access-log lines and latency metrics are keyed on. *)
+
+val op_names : string list
+(** Every wire op, in table order — the daemon's op inventory for
+    metric pre-registration and docs, read off the same declarative op
+    table that drives both codecs. *)
 
 val instance_of_request : request -> string option
 (** The registry name a request touches, when it names one. *)
@@ -266,7 +303,8 @@ val no_exec : exec_opts
 val of_args : string list -> (envelope * exec_opts, Error.t) result
 (** Parse an argument vector: the leading token selects the op
     ([load], [sample] + model, [route], [route-batch], [stats],
-    [merge-shards], [snapshot], [health], [drain]); the rest are flags
+    [merge-shards], [snapshot], [mutate], [churn], [health], [drain]);
+    the rest are flags
     from {!schema_json}.  [sample girg --spill-out FILE] selects
     sharded spill generation ({!Gen_shard}).
     Deprecated spellings ([-s], [-t], [-n], [-o], [-j], [-c]) keep

@@ -1,0 +1,69 @@
+(** Greedy routing under churn (the dynamic counterpart of the static
+    experiments).
+
+    A churn run drives a mutation scenario over a live {!Girg.Instance.t}
+    one epoch at a time — plan events, apply them through
+    {!Girg.Mutate.apply}, measure delivery — and reports one
+    {!epoch_row} per graph version, baseline included.
+
+    Determinism: planning, pair sampling and Milgram quit coins draw
+    from disjoint [of_mixed_triple] substreams keyed on [(seed, epoch)],
+    so a run replays bit-identically for any job count and for both
+    heap-built and mmap'd base graphs. *)
+
+type scenario =
+  | Uniform  (** each event flips a uniformly drawn vertex (leave/rejoin) *)
+  | Adversarial
+      (** each epoch removes the [events] highest-weight live vertices —
+          the targeted-attack setting *)
+  | Milgram
+      (** no structural churn; the per-hop [quit] probability models
+          Milgram's letter holders giving up *)
+
+val scenario_to_string : scenario -> string
+(** ["uniform" | "adversarial" | "milgram"] — wire-stable. *)
+
+val scenario_of_string : string -> (scenario, string) result
+
+type config = {
+  scenario : scenario;
+  epochs : int;  (** mutation rounds after the baseline measurement *)
+  events : int;  (** structural events per epoch (ignored by [Milgram]) *)
+  quit : float;  (** per-hop quit probability, [0.0] disables *)
+  seed : int;  (** keys mutation planning, resampling and quit coins *)
+  count : int;  (** measurement pairs per epoch *)
+  pair_seed : int;  (** keys pair sampling, independently of [seed] *)
+  protocol : Greedy_routing.Protocol.t;
+  max_steps : int option;
+}
+
+type epoch_row = {
+  epoch : int;
+  live : int;
+  edges : int;
+  attempted : int;
+  delivered : int;
+  mean_steps : float;  (** over delivered runs; [nan] if none *)
+  mean_stretch : float;  (** over delivered runs; [nan] if none *)
+}
+
+val plan : config -> inst:Girg.Instance.t -> epoch:int -> Girg.Mutate.op list
+(** The structural events of one epoch against the current graph.
+    Pure — the instance is not touched. *)
+
+val measure :
+  ?pool:Parallel.Pool.t -> config -> inst:Girg.Instance.t -> epoch:int -> epoch_row
+(** Sample [count] giant-component pairs, route them, apply the quit
+    coins, and aggregate. *)
+
+val run_local :
+  ?pool:Parallel.Pool.t -> config -> Girg.Instance.t -> Girg.Instance.t * epoch_row list
+(** Baseline measurement, then [epochs] rounds of plan/apply/measure.
+    Returns the final instance and one row per measured version
+    ([epochs + 1] rows, ascending). *)
+
+val record_json : config -> epoch_row -> Obs.Export.json
+(** One [smallworld.churn.v1] record (a JSONL line per epoch). *)
+
+val table : config -> epoch_row list -> Stats.Table.t
+(** Render rows as the standard experiment table. *)

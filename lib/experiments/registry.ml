@@ -84,6 +84,7 @@ let all =
       claim = Exp_geometry_needed.claim;
       run = Exp_geometry_needed.run;
     };
+    { id = Exp_churn.id; title = Exp_churn.title; claim = Exp_churn.claim; run = Exp_churn.run };
   ]
 
 let find id =

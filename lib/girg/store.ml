@@ -200,7 +200,9 @@ let binary_header_bytes = binary_fixed_bytes + binary_pad
 
 let save_binary ~path (inst : Instance.t) =
   Out_channel.with_open_bin path (fun oc ->
-      let g = inst.graph in
+      (* A mutated graph's base arrays do not describe the merged view;
+         fold any live delta into a plain CSR before serialising. *)
+      let g = Sparse_graph.Graph.compact inst.graph in
       let count = Array.length inst.weights in
       Codec.write_magic oc binary_magic;
       Codec.write_i32 oc Codec.endian_tag;

@@ -505,6 +505,20 @@ let rec pump t conn =
                 };
               (* discard whatever payload bytes already arrived *)
               pump t conn
+          | B.Bad_version v ->
+              (* Structured refusal naming the supported range, framed
+                 in the one version this server speaks, then close. *)
+              enqueue_reply t conn ~codec:C_binary
+                {
+                  V1.reply_id = None;
+                  response =
+                    V1.Failed
+                      (Error.make Error.Unsupported_version
+                         "unsupported binary protocol version %d (this server \
+                          speaks v%d only)"
+                         v B.version);
+                };
+              conn.c_close_after_flush <- true
           | B.Bad msg ->
               enqueue_reply t conn ~codec:C_binary
                 {

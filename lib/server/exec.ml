@@ -1,14 +1,12 @@
 module V1 = Api.V1
 module Error = Api.Error
+module Graph = Sparse_graph.Graph
 
 (* Stage and per-op latency histograms are registered by wire op name
    with '-' mapped to '_' so the Prometheus rendering stays a valid
-   metric name. *)
-let all_ops =
-  [
-    "load"; "sample"; "route"; "route_batch"; "stats"; "gen_shard"; "merge_shards";
-    "snapshot"; "health"; "stats-server"; "drain";
-  ]
+   metric name.  The inventory is read off the V1 op table, so a new op
+   gets its latency histogram without touching this module. *)
+let all_ops = V1.op_names
 
 let metric_op_suffix op = String.map (fun c -> if c = '-' then '_' else c) op
 
@@ -38,6 +36,7 @@ type t = {
   m_queue_depth : Obs.Metrics.gauge;
   m_reg_size : Obs.Metrics.gauge;
   m_reg_pinned : Obs.Metrics.gauge;
+  m_reg_orphaned : Obs.Metrics.gauge;
   h_queue_wait : Obs.Metrics.histogram;
   h_compute : Obs.Metrics.histogram;
   h_render : Obs.Metrics.histogram;
@@ -73,6 +72,7 @@ let create ?(registry_cap = 8) ?(max_batch = 4096) ?(cache_cap = 4096) () =
     m_queue_depth = Obs.Metrics.gauge "server.queue_depth";
     m_reg_size = Obs.Metrics.gauge "server.registry.size";
     m_reg_pinned = Obs.Metrics.gauge "server.registry.pinned";
+    m_reg_orphaned = Obs.Metrics.gauge "server.registry.orphaned";
     h_queue_wait = Obs.Metrics.histogram "server.stage.queue_wait";
     h_compute = Obs.Metrics.histogram "server.stage.compute";
     h_render = Obs.Metrics.histogram "server.stage.render";
@@ -191,12 +191,14 @@ let server_stats t =
   let infl = inflight t in
   let reg_size = Registry.size t.reg in
   let reg_pinned = Registry.pinned t.reg in
+  let reg_orphaned = Registry.orphaned t.reg in
   (* Refresh the gauge mirrors so the Prometheus dump below carries
      current values. *)
   note_queue_depth t queue_depth;
   Obs.Metrics.set t.m_inflight (float_of_int infl);
   Obs.Metrics.set t.m_reg_size (float_of_int reg_size);
   Obs.Metrics.set t.m_reg_pinned (float_of_int reg_pinned);
+  Obs.Metrics.set t.m_reg_orphaned (float_of_int reg_orphaned);
   let stages =
     List.filter_map
       (fun stage ->
@@ -227,6 +229,7 @@ let server_stats t =
         ("server.inflight", float_of_int infl);
         ("server.registry.size", float_of_int reg_size);
         ("server.registry.pinned", float_of_int reg_pinned);
+        ("server.registry.orphaned", float_of_int reg_orphaned);
         ("server.registry.cap", float_of_int (Registry.cap t.reg));
         ("server.cache.size", float_of_int (Cache.size t.cache));
         ("server.cache.cap", float_of_int (Cache.cap t.cache));
@@ -364,6 +367,80 @@ let run t ?deadline request =
                   }
             | exception Sys_error m ->
                 V1.Failed (Error.make Error.Io "cannot write snapshot %s: %s" out m))
+    | V1.Mutate { instance; ops; seed } ->
+        with_instance t instance (fun h ->
+            let inst = Registry.instance h in
+            match
+              Girg.Mutate.validate ~n:(Graph.n inst.Girg.Instance.graph) ops
+            with
+            | Error m -> V1.Failed (Error.make Error.Bad_request "%s" m)
+            | Ok () -> (
+                let mutated =
+                  locked t.compute (fun () -> Girg.Mutate.apply ~seed inst ops)
+                in
+                (* The insert bumps the name's generation, so every
+                   cached route keyed on the old generation is dead by
+                   key construction; the sweep below just reclaims the
+                   slots eagerly. *)
+                match Registry.insert t.reg ~name:instance mutated with
+                | Error e -> V1.Failed e
+                | Ok _info ->
+                    Cache.invalidate_name t.cache ~name:instance;
+                    let g = mutated.Girg.Instance.graph in
+                    V1.Mutated
+                      {
+                        V1.mu_name = instance;
+                        mu_epoch = Graph.epoch g;
+                        mu_generation = Registry.generation t.reg instance;
+                        mu_live = Graph.live_count g;
+                        mu_vertices = Graph.n g;
+                        mu_edges = Graph.m g;
+                        mu_applied = List.length ops;
+                      }))
+    | V1.Churn { instance; config } ->
+        (* One epoch = plan against the current version, apply as a
+           fresh insert (generation bump + cache sweep, exactly like a
+           standalone mutate), then measure on the new version.  The
+           compute mutex is held per stage, not across the whole
+           scenario, so health and stats answer between epochs. *)
+        let measure inst =
+          locked t.compute (fun () ->
+              Experiments.Churn.measure config ~inst
+                ~epoch:(Graph.epoch inst.Girg.Instance.graph))
+        in
+        let rec epochs inst rows left =
+          if left = 0 then Ok (List.rev rows)
+          else if expired ?deadline () then begin
+            note_deadline t;
+            Error deadline_error
+          end
+          else
+            let ops =
+              Experiments.Churn.plan config ~inst
+                ~epoch:(Graph.epoch inst.Girg.Instance.graph + 1)
+            in
+            let mutated =
+              locked t.compute (fun () ->
+                  Girg.Mutate.apply ~seed:config.seed inst ops)
+            in
+            match Registry.insert t.reg ~name:instance mutated with
+            | Error e -> Error e
+            | Ok _info ->
+                Cache.invalidate_name t.cache ~name:instance;
+                epochs mutated (measure mutated :: rows) (left - 1)
+        in
+        with_instance t instance (fun h ->
+            let inst = Registry.instance h in
+            match epochs inst [ measure inst ] config.epochs with
+            | Error e -> V1.Failed e
+            | Ok rows ->
+                V1.Churned
+                  {
+                    V1.ch_name = instance;
+                    ch_scenario = config.scenario;
+                    ch_generation = Registry.generation t.reg instance;
+                    ch_rows = rows;
+                  })
     | V1.Health ->
         V1.Health_reply
           {

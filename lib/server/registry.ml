@@ -15,6 +15,11 @@ type t = {
      for a name is monotone across evict + reinsert cycles — the route
      cache and clients key on it to detect staleness. *)
   gens : (string, int) Hashtbl.t;
+  (* Replaced-but-still-pinned entries: dropped from [table] by an
+     insert over their name while some handle still held them.  Pruned
+     lazily on read — an entry leaves the list once its last holder
+     releases it. *)
+  mutable orphans : entry list;
   mutable clock : int;
 }
 
@@ -27,6 +32,7 @@ let create ~cap =
     mutex = Mutex.create ();
     table = Hashtbl.create 16;
     gens = Hashtbl.create 16;
+    orphans = [];
     clock = 0;
   }
 
@@ -75,7 +81,11 @@ let insert t ~name inst =
       in
       touch t e;
       (* Replace, not add: a shadowed old entry is dropped from the
-         table here but survives as long as some handle still pins it. *)
+         table here but survives as long as some handle still pins it —
+         track it so [orphaned] can report live-but-replaced holders. *)
+      (match Hashtbl.find_opt t.table name with
+      | Some old when old.refs > 0 -> t.orphans <- old :: t.orphans
+      | _ -> ());
       Hashtbl.replace t.table name e;
       Ok info
 
@@ -121,5 +131,10 @@ let size t = locked t @@ fun () -> Hashtbl.length t.table
 let pinned t =
   locked t @@ fun () ->
   Hashtbl.fold (fun _ e acc -> if e.refs > 0 then acc + 1 else acc) t.table 0
+
+let orphaned t =
+  locked t @@ fun () ->
+  t.orphans <- List.filter (fun e -> e.refs > 0) t.orphans;
+  List.length t.orphans
 
 let cap t = t.cap

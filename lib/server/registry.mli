@@ -55,4 +55,13 @@ val size : t -> int
 val pinned : t -> int
 (** Entries currently held by at least one in-flight query. *)
 
+val orphaned : t -> int
+(** Replaced-but-still-pinned entries: an insert (load, sample or
+    mutate) over an existing name drops the old entry from the table,
+    but in-flight holders keep it alive until release.  Each such
+    zombie counts here until its last holder lets go — exported as the
+    [server.registry.orphaned] gauge, it makes replace-under-load
+    visible (a persistently non-zero value means long queries are
+    pinning superseded graph versions). *)
+
 val cap : t -> int

@@ -5,12 +5,26 @@ type int_bigarray = (int, Bigarray.int_elt, Bigarray.c_layout) A1.t
 (* CSR arrays live in Bigarrays rather than heap [int array]s: the payload is
    outside the OCaml heap (the GC neither copies nor scans hundreds of
    millions of words), and a snapshot's CSR section can be [Unix.map_file]'d
-   and traversed zero-copy through the exact same representation. *)
+   and traversed zero-copy through the exact same representation.
+
+   Live graphs layer a copy-on-write delta over the immutable base CSR:
+   departed vertices and dropped base edges are masked at read time, and
+   added edges live in small per-vertex sorted overlays.  The base arrays
+   are never written — an mmap'd snapshot stays safely shared — and a
+   graph with [delta = None] pays only one branch per accessor. *)
+type delta = {
+  removed : Bytes.t;  (* length n; '\001' = vertex departed *)
+  dropped : (int, unit) Hashtbl.t;  (* masked base edges, keyed min*n+max *)
+  added : int array array;  (* per-vertex sorted overlay neighbours *)
+}
+
 type t = {
   n : int;
-  m : int;
+  m : int;  (* undirected edge count of the merged view *)
+  epoch : int;  (* 0 for a freshly built graph; bumped by [apply] *)
   offsets : int_bigarray; (* length n+1 *)
   targets : int_bigarray; (* length 2m, neighbours of v at offsets.{v}..offsets.{v+1}-1 *)
+  delta : delta option;
 }
 
 let ba_create len = A1.create Bigarray.int Bigarray.c_layout len
@@ -99,7 +113,7 @@ let of_flat_halves ~n ~len flat =
   for k = 0 to !write - 1 do
     targets.{k} <- raw_targets.(k)
   done;
-  { n; m = !write / 2; offsets; targets }
+  { n; m = !write / 2; epoch = 0; offsets; targets; delta = None }
 
 let of_edges ~n edges =
   let len = 2 * Array.length edges in
@@ -155,39 +169,128 @@ let of_bigarrays ?(validate = true) ~n ~offsets ~targets () =
       end;
       match !err with
       | Some e -> Error ("Graph.of_bigarrays: " ^ e)
-      | None -> Ok { n; m = half / 2; offsets; targets }
+      | None -> Ok { n; m = half / 2; epoch = 0; offsets; targets; delta = None }
     end
   end
 
-let offsets_ba t = t.offsets
-let targets_ba t = t.targets
+let offsets_ba t =
+  if t.delta <> None then
+    invalid_arg "Graph.offsets_ba: graph carries a live delta; compact it first";
+  t.offsets
+
+let targets_ba t =
+  if t.delta <> None then
+    invalid_arg "Graph.targets_ba: graph carries a live delta; compact it first";
+  t.targets
 
 let n t = t.n
 let m t = t.m
+let epoch t = t.epoch
 
-let degree t v = t.offsets.{v + 1} - t.offsets.{v}
+let live t v =
+  match t.delta with None -> true | Some d -> Bytes.get d.removed v = '\000'
+
+let live_count t =
+  match t.delta with
+  | None -> t.n
+  | Some d ->
+      let c = ref 0 in
+      for v = 0 to t.n - 1 do
+        if Bytes.get d.removed v = '\000' then incr c
+      done;
+      !c
+
+let edge_key n u v = if u < v then (u * n) + v else (v * n) + u
+
+(* Is base target [w] visible from [v] under delta [d]?  [v] itself is
+   assumed live. *)
+let base_visible t d v w =
+  Bytes.get d.removed w = '\000' && not (Hashtbl.mem d.dropped (edge_key t.n v w))
+
+let degree t v =
+  match t.delta with
+  | None -> t.offsets.{v + 1} - t.offsets.{v}
+  | Some d ->
+      if Bytes.get d.removed v <> '\000' then 0
+      else begin
+        let c = ref (Array.length d.added.(v)) in
+        for k = t.offsets.{v} to t.offsets.{v + 1} - 1 do
+          if base_visible t d v t.targets.{k} then incr c
+        done;
+        !c
+      end
 
 let iter_neighbors t v f =
-  for k = t.offsets.{v} to t.offsets.{v + 1} - 1 do
-    f t.targets.{k}
-  done
+  match t.delta with
+  | None ->
+      for k = t.offsets.{v} to t.offsets.{v + 1} - 1 do
+        f t.targets.{k}
+      done
+  | Some d ->
+      if Bytes.get d.removed v = '\000' then begin
+        (* Merge the filtered base slice with the sorted overlay; both
+           streams ascend and never share an element (an [Add_edge] over
+           a live base edge is a no-op), so the merged view ascends —
+           the tie-break order every routing protocol relies on. *)
+        let add = d.added.(v) in
+        let na = Array.length add in
+        let ai = ref 0 in
+        for k = t.offsets.{v} to t.offsets.{v + 1} - 1 do
+          let w = t.targets.{k} in
+          if base_visible t d v w then begin
+            while !ai < na && add.(!ai) < w do
+              f add.(!ai);
+              incr ai
+            done;
+            f w
+          end
+        done;
+        while !ai < na do
+          f add.(!ai);
+          incr ai
+        done
+      end
 
 let fold_neighbors t v ~init ~f =
-  let acc = ref init in
-  for k = t.offsets.{v} to t.offsets.{v + 1} - 1 do
-    acc := f !acc t.targets.{k}
-  done;
-  !acc
+  match t.delta with
+  | None ->
+      let acc = ref init in
+      for k = t.offsets.{v} to t.offsets.{v + 1} - 1 do
+        acc := f !acc t.targets.{k}
+      done;
+      !acc
+  | Some _ ->
+      let acc = ref init in
+      iter_neighbors t v (fun w -> acc := f !acc w);
+      !acc
+
+exception Found_neighbor
 
 let exists_neighbor t v pred =
-  let rec scan k = k < t.offsets.{v + 1} && (pred t.targets.{k} || scan (k + 1)) in
-  scan t.offsets.{v}
+  match t.delta with
+  | None ->
+      let rec scan k = k < t.offsets.{v + 1} && (pred t.targets.{k} || scan (k + 1)) in
+      scan t.offsets.{v}
+  | Some _ -> (
+      try
+        iter_neighbors t v (fun w -> if pred w then raise_notrace Found_neighbor);
+        false
+      with Found_neighbor -> true)
 
 let neighbors t v =
-  let lo = t.offsets.{v} in
-  Array.init (degree t v) (fun i -> t.targets.{lo + i})
+  match t.delta with
+  | None ->
+      let lo = t.offsets.{v} in
+      Array.init (t.offsets.{v + 1} - lo) (fun i -> t.targets.{lo + i})
+  | Some _ ->
+      let out = Array.make (degree t v) 0 in
+      let i = ref 0 in
+      iter_neighbors t v (fun w ->
+          out.(!i) <- w;
+          incr i);
+      out
 
-let has_edge t u v =
+let base_has_edge t u v =
   let lo = ref t.offsets.{u} and hi = ref t.offsets.{u + 1} in
   let found = ref false in
   while !lo < !hi && not !found do
@@ -197,13 +300,38 @@ let has_edge t u v =
   done;
   !found
 
+let mem_sorted arr x =
+  let lo = ref 0 and hi = ref (Array.length arr) in
+  let found = ref false in
+  while !lo < !hi && not !found do
+    let mid = (!lo + !hi) / 2 in
+    let w = arr.(mid) in
+    if w = x then found := true else if w < x then lo := mid + 1 else hi := mid
+  done;
+  !found
+
+let has_edge t u v =
+  match t.delta with
+  | None -> base_has_edge t u v
+  | Some d ->
+      Bytes.get d.removed u = '\000'
+      && Bytes.get d.removed v = '\000'
+      && ((base_has_edge t u v && not (Hashtbl.mem d.dropped (edge_key t.n u v)))
+         || mem_sorted d.added.(u) v)
+
 let iter_edges t f =
-  for u = 0 to t.n - 1 do
-    for k = t.offsets.{u} to t.offsets.{u + 1} - 1 do
-      let v = t.targets.{k} in
-      if u < v then f u v
-    done
-  done
+  match t.delta with
+  | None ->
+      for u = 0 to t.n - 1 do
+        for k = t.offsets.{u} to t.offsets.{u + 1} - 1 do
+          let v = t.targets.{k} in
+          if u < v then f u v
+        done
+      done
+  | Some _ ->
+      for u = 0 to t.n - 1 do
+        iter_neighbors t u (fun v -> if u < v then f u v)
+      done
 
 let max_degree t =
   let best = ref 0 in
@@ -214,3 +342,124 @@ let max_degree t =
   !best
 
 let avg_degree t = if t.n = 0 then 0.0 else 2.0 *. float_of_int t.m /. float_of_int t.n
+
+(* ------------------------------------------------------------------ *)
+(* Mutations: the copy-on-write write path.                            *)
+
+type mutation =
+  | Remove_vertex of int
+  | Restore_vertex of int
+  | Remove_edge of int * int
+  | Add_edge of int * int
+
+let fresh_delta n =
+  { removed = Bytes.make n '\000'; dropped = Hashtbl.create 16; added = Array.make (max 1 n) [||] }
+
+(* The overlay arrays are never mutated in place — slots are replaced
+   wholesale — so a shallow copy of the outer array suffices and readers
+   of the previous epoch keep a consistent view. *)
+let copy_delta n = function
+  | None -> fresh_delta n
+  | Some d ->
+      {
+        removed = Bytes.copy d.removed;
+        dropped = Hashtbl.copy d.dropped;
+        added = Array.copy d.added;
+      }
+
+let insert_sorted arr x =
+  let n = Array.length arr in
+  let out = Array.make (n + 1) x in
+  let i = ref 0 in
+  while !i < n && arr.(!i) < x do
+    out.(!i) <- arr.(!i);
+    incr i
+  done;
+  Array.blit arr !i out (!i + 1) (n - !i);
+  out
+
+let remove_sorted arr x =
+  if not (mem_sorted arr x) then arr
+  else begin
+    let n = Array.length arr in
+    let out = Array.make (n - 1) 0 in
+    let j = ref 0 in
+    for i = 0 to n - 1 do
+      if arr.(i) <> x then begin
+        out.(!j) <- arr.(i);
+        incr j
+      end
+    done;
+    out
+  end
+
+let recount t =
+  let total = ref 0 in
+  for v = 0 to t.n - 1 do
+    total := !total + degree t v
+  done;
+  !total / 2
+
+let apply ?epoch t mutations =
+  let n = t.n in
+  let epoch = match epoch with Some e -> e | None -> t.epoch + 1 in
+  let d = copy_delta n t.delta in
+  let check what v =
+    if v < 0 || v >= n then
+      invalid_arg (Printf.sprintf "Graph.apply: %s vertex %d out of range [0, %d)" what v n)
+  in
+  let is_removed v = Bytes.get d.removed v <> '\000' in
+  List.iter
+    (fun mu ->
+      match mu with
+      | Remove_vertex v ->
+          check "remove" v;
+          if not (is_removed v) then begin
+            (* Overlay edges of a departing vertex are stripped for good:
+               a later [Restore_vertex] brings only its base edges back. *)
+            Array.iter (fun u -> d.added.(u) <- remove_sorted d.added.(u) v) d.added.(v);
+            d.added.(v) <- [||];
+            Bytes.set d.removed v '\001'
+          end
+      | Restore_vertex v ->
+          check "restore" v;
+          Bytes.set d.removed v '\000'
+      | Remove_edge (u, v) ->
+          check "remove-edge" u;
+          check "remove-edge" v;
+          if u <> v && (not (is_removed u)) && not (is_removed v) then begin
+            if mem_sorted d.added.(u) v then begin
+              d.added.(u) <- remove_sorted d.added.(u) v;
+              d.added.(v) <- remove_sorted d.added.(v) u
+            end
+            else if base_has_edge t u v then
+              Hashtbl.replace d.dropped (edge_key n u v) ()
+          end
+      | Add_edge (u, v) ->
+          check "add-edge" u;
+          check "add-edge" v;
+          if u = v then invalid_arg "Graph.apply: cannot add a self-loop";
+          if is_removed u || is_removed v then
+            invalid_arg "Graph.apply: cannot add an edge to a departed vertex";
+          let key = edge_key n u v in
+          if Hashtbl.mem d.dropped key then Hashtbl.remove d.dropped key
+          else if (not (base_has_edge t u v)) && not (mem_sorted d.added.(u) v) then begin
+            d.added.(u) <- insert_sorted d.added.(u) v;
+            d.added.(v) <- insert_sorted d.added.(v) u
+          end)
+    mutations;
+  let t' = { t with epoch; delta = Some d } in
+  { t' with m = recount t' }
+
+let compact t =
+  match t.delta with
+  | None -> t
+  | Some _ ->
+      let flat = Array.make (max 1 (2 * t.m)) 0 in
+      let k = ref 0 in
+      iter_edges t (fun u v ->
+          flat.(!k) <- u;
+          flat.(!k + 1) <- v;
+          k := !k + 2);
+      let g = of_flat_halves ~n:t.n ~len:!k flat in
+      { g with epoch = t.epoch }

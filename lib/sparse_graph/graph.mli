@@ -1,4 +1,5 @@
-(** Immutable undirected graphs in compressed sparse row (CSR) form.
+(** Undirected graphs in compressed sparse row (CSR) form, with an
+    epoch-based copy-on-write overlay for live mutation.
 
     Vertices are integers [0 .. n-1].  The representation stores each
     undirected edge in both directions, sorted per vertex, which gives cache-
@@ -7,7 +8,15 @@
     The CSR arrays are {!Bigarray.Array1} values (native-int elements,
     C layout) rather than heap [int array]s: the payload lives outside the
     OCaml heap, and the same representation serves both freshly built
-    graphs and zero-copy views into an [Unix.map_file]'d snapshot. *)
+    graphs and zero-copy views into an [Unix.map_file]'d snapshot.
+
+    {!apply} layers a per-epoch delta (departed vertices, dropped base
+    edges, added overlay edges) over the immutable base arrays; every
+    traversal accessor serves the merged view, still in ascending
+    neighbour order, so routing protocols run unchanged on a mutated
+    graph.  The base arrays are never written — mutating a graph whose
+    CSR section is an mmap'd snapshot is safe — and {!compact} folds the
+    delta back into a fresh heap CSR. *)
 
 type t
 
@@ -55,16 +64,21 @@ val of_bigarrays :
     target raises during traversal instead of reading wild. *)
 
 val offsets_ba : t -> int_bigarray
-(** The live offsets array (length [n+1]).  Read-only; aliases the graph. *)
+(** The live offsets array (length [n+1]).  Read-only; aliases the graph.
+    @raise Invalid_argument when the graph carries a delta ({!apply} was
+    used and {!compact} has not folded it): the base arrays alone do not
+    describe the merged view. *)
 
 val targets_ba : t -> int_bigarray
-(** The live targets array (length [2m]).  Read-only; aliases the graph. *)
+(** The live targets array (length [2m]).  Read-only; aliases the graph.
+    @raise Invalid_argument when the graph carries a delta — see
+    {!offsets_ba}. *)
 
 val n : t -> int
-(** Number of vertices. *)
+(** Number of vertices (including departed ones, which read as isolated). *)
 
 val m : t -> int
-(** Number of undirected edges. *)
+(** Number of undirected edges in the merged view. *)
 
 val degree : t -> int -> int
 
@@ -88,3 +102,55 @@ val iter_edges : t -> (int -> int -> unit) -> unit
 val max_degree : t -> int
 
 val avg_degree : t -> float
+(** [2m / n] of the merged view; departed vertices stay in the
+    denominator (they are isolated, not renumbered). *)
+
+(** {1 Live mutation}
+
+    The write path of the live-graph subsystem.  Mutations never touch
+    the base CSR arrays; they build a fresh delta (copy-on-write, so
+    holders of the previous value keep a consistent snapshot) and stamp
+    the result with a new epoch. *)
+
+type mutation =
+  | Remove_vertex of int
+      (** The vertex departs: its base edges are masked and its overlay
+          edges are stripped {e permanently} (a later {!Restore_vertex}
+          brings only the base edges back).  No-op if already departed. *)
+  | Restore_vertex of int
+      (** The vertex rejoins with its base edges, minus any that were
+          explicitly dropped.  No-op if live. *)
+  | Remove_edge of int * int
+      (** Drops the edge from the merged view, whether it is a base or
+          an overlay edge.  No-op if absent or if either endpoint has
+          departed. *)
+  | Add_edge of int * int
+      (** Adds the edge: un-drops a masked base edge, otherwise inserts
+          an overlay edge.  No-op if already present.
+          @raise Invalid_argument on a self-loop or a departed endpoint
+          (checked by {!apply}). *)
+
+val epoch : t -> int
+(** [0] for a freshly built graph; each {!apply} stamps its result. *)
+
+val live : t -> int -> bool
+(** False exactly for departed vertices. *)
+
+val live_count : t -> int
+(** Number of live vertices ([n t] minus departures). *)
+
+val apply : ?epoch:int -> t -> mutation list -> t
+(** [apply ?epoch t ms] applies the mutations in order and returns the
+    new view; [t] itself is unchanged and remains valid (readers pin
+    the epoch they hold).  [epoch] defaults to [epoch t + 1]; callers
+    batching several {!apply} calls into one logical version pass the
+    same epoch explicitly.  Cost: O(changes) for the delta plus one
+    O(n + m) recount of the merged edge total.
+    @raise Invalid_argument on an out-of-range vertex, a self-loop
+    [Add_edge], or an [Add_edge] touching a departed endpoint. *)
+
+val compact : t -> t
+(** Folds the delta into a fresh heap CSR with no delta, preserving the
+    vertex numbering (departed vertices become permanently isolated live
+    vertices) and the epoch.  Identity when the graph has no delta.
+    Traversal results are identical before and after. *)

@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""CI smoke for live-graph serving: mutate, churn, cache invalidation.
+
+Usage: churn_smoke.py PORT PRE_ROUTE_FILE POST_ROUTE_FILE
+
+Connects to a running `serve` daemon on 127.0.0.1:PORT (started with
+`--load net=...`) and drives the live-graph op mix:
+
+- route a fixed pair twice: the second reply is a cache hit and
+  byte-identical to PRE_ROUTE_FILE (what `graphs_cli route` printed
+  for the same pair on the same instance);
+- mutate (JSON codec) with a fixed (seed, script): the reply reports
+  the new epoch / bumped generation, and the route cache is swept —
+  `server.cache.size` drops to 0 and re-routing the warmed pair is a
+  miss, never a stale hit;
+- the re-routed pair is byte-identical to POST_ROUTE_FILE (what
+  `graphs_cli route` printed after `graphs_cli mutate` applied the
+  same script locally — the serving path and the CLI replay the same
+  deterministic mutation);
+- the same route over the binary codec decodes to the identical reply
+  and lands as a cache hit (both codecs share one cache);
+- mutate again over the *binary* codec: generation and epoch advance
+  once more and the cache is swept again;
+- churn (JSON codec): per-epoch rows with the right shape, epoch ids
+  ascending from the baseline, and the generation advanced once per
+  churned epoch;
+- drain: acknowledged, so the daemon exits cleanly after us.
+
+Exits non-zero (with a message) on the first deviation.
+"""
+
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from serve_smoke import BinaryClient, Client, connect, expect_ok
+
+PAIR = {"source": 4, "target": 93, "protocol": "phi-dfs"}
+MUTATE_OPS = ["leave:450", "drop:3:7", "resample:12"]
+MUTATE_SEED = 9
+
+
+def read_file(path):
+    with open(path, encoding="utf-8") as f:
+        return f.read()
+
+
+def stats(client):
+    return expect_ok(client.rpc({"op": "stats-server"}), "stats-server")
+
+
+def cache_counters(client):
+    st = stats(client)
+    c = st["counters"]
+    return c["server.cache.hits"], c["server.cache.misses"], st["gauges"]
+
+
+def main():
+    if len(sys.argv) != 4:
+        sys.exit(__doc__)
+    port = int(sys.argv[1])
+    pre_route = read_file(sys.argv[2])
+    post_route = read_file(sys.argv[3])
+
+    cj = Client(connect(port))
+    cb = BinaryClient(connect(port))
+
+    health = expect_ok(cj.rpc({"op": "health"}), "health")
+    if "net" not in health["instances"]:
+        sys.exit(f"health: preloaded instance missing: {health!r}")
+
+    # Warm the cache on a fixed pair; the bytes are the CLI's bytes.
+    route_req = {"op": "route", "instance": "net", **PAIR}
+    first = expect_ok(cj.rpc(route_req), "route (cold)")
+    if first["text"] != pre_route:
+        sys.exit(
+            "pre-mutation route differs from the CLI reference:\n"
+            f"served: {first['text']!r}\nexpected: {pre_route!r}"
+        )
+    hits0, misses0, _ = cache_counters(cj)
+    second = expect_ok(cj.rpc(route_req), "route (warm)")
+    if second != first:
+        sys.exit("warm route reply differs from the cold one")
+    hits1, misses1, _ = cache_counters(cj)
+    if hits1 != hits0 + 1 or misses1 != misses0:
+        sys.exit(f"warm route was not a cache hit: {hits0},{misses0} -> {hits1},{misses1}")
+    print(f"route cache warm: hits {hits1}, misses {misses1}")
+
+    # Mutate over JSON: fixed (seed, script) => deterministic epoch 1.
+    mutated = expect_ok(
+        cj.rpc({"op": "mutate", "instance": "net", "ops": MUTATE_OPS,
+                "seed": MUTATE_SEED}),
+        "mutate",
+    )
+    if mutated["epoch"] != 1 or mutated["applied"] != len(MUTATE_OPS):
+        sys.exit(f"mutate reply off: {mutated!r}")
+    if mutated["live"] != mutated["vertices"] - 1:
+        sys.exit(f"leave:450 should depart exactly one vertex: {mutated!r}")
+    gen_after_mutate = mutated["generation"]
+    if gen_after_mutate < 2:
+        sys.exit(f"mutation did not bump the generation: {mutated!r}")
+
+    # The sweep emptied the cache; the warmed pair must now miss.
+    hits2, misses2, gauges = cache_counters(cj)
+    if gauges["server.cache.size"] != 0:
+        sys.exit(f"mutation did not sweep the route cache: {gauges!r}")
+    if hits2 != hits1:
+        sys.exit(f"cache hits moved without a route: {hits1} -> {hits2}")
+    third = expect_ok(cj.rpc(route_req), "route (post-mutation)")
+    hits3, misses3, _ = cache_counters(cj)
+    if misses3 != misses2 + 1 or hits3 != hits2:
+        sys.exit(
+            "post-mutation route was served from a stale cache entry: "
+            f"{hits2},{misses2} -> {hits3},{misses3}"
+        )
+    if third["text"] != post_route:
+        sys.exit(
+            "post-mutation route differs from the CLI replay of the same script:\n"
+            f"served: {third['text']!r}\nexpected: {post_route!r}"
+        )
+    if third["text"] == first["text"]:
+        sys.exit("mutation script did not change the reference route; smoke is vacuous")
+    print(f"mutate ok: epoch 1, generation {gen_after_mutate}, cache swept and re-missed")
+
+    # Binary codec: identical reply, shared cache (this one is a hit).
+    btext = expect_ok(cb.rpc({"id": 5, **route_req}), "route (binary)")
+    if btext != third:
+        sys.exit(f"binary route reply differs from JSON: {btext!r} vs {third!r}")
+    hits4, misses4, _ = cache_counters(cj)
+    if hits4 != hits3 + 1 or misses4 != misses3:
+        sys.exit(f"binary route did not share the cache: {hits3},{misses3} -> {hits4},{misses4}")
+
+    # Mutate over the binary codec too: one more epoch, swept again.
+    bmut = expect_ok(
+        cb.rpc({"op": "mutate", "instance": "net", "ops": ["resample:40"], "seed": 5}),
+        "mutate (binary)",
+    )
+    if bmut["epoch"] != 2 or bmut["generation"] != gen_after_mutate + 1:
+        sys.exit(f"binary mutate did not advance epoch/generation: {bmut!r}")
+    _, _, gauges = cache_counters(cj)
+    if gauges["server.cache.size"] != 0:
+        sys.exit(f"binary mutation did not sweep the route cache: {gauges!r}")
+    print(f"binary mutate ok: epoch 2, generation {bmut['generation']}")
+
+    # Churn: baseline + one row per epoch, generation bumped per epoch.
+    epochs = 2
+    churned = expect_ok(
+        cj.rpc({"op": "churn", "instance": "net", "scenario": "uniform",
+                "epochs": epochs, "events": 8, "count": 20, "seed": 21,
+                "pair_seed": 2}),
+        "churn",
+    )
+    if churned["scenario"] != "uniform":
+        sys.exit(f"churn echoed the wrong scenario: {churned!r}")
+    rows = churned["epochs"]
+    if len(rows) != epochs + 1:
+        sys.exit(f"churn: expected baseline + {epochs} rows, got {len(rows)}")
+    for i, row in enumerate(rows):
+        for key in ("epoch", "live", "edges", "attempted", "delivered",
+                    "mean_steps", "mean_stretch"):
+            if key not in row:
+                sys.exit(f"churn row missing {key!r}: {row!r}")
+        if row["attempted"] != 20 or row["delivered"] > row["attempted"]:
+            sys.exit(f"churn row counts off: {row!r}")
+        if i > 0 and row["epoch"] != rows[i - 1]["epoch"] + 1:
+            sys.exit(f"churn epochs not ascending: {rows!r}")
+    if churned["generation"] != bmut["generation"] + epochs:
+        sys.exit(
+            f"churn generation should advance once per epoch: "
+            f"{bmut['generation']} -> {churned['generation']}"
+        )
+    print(f"churn ok: {len(rows)} rows, generation {churned['generation']}")
+
+    expect_ok(cj.rpc({"op": "drain"}), "drain")
+    print("churn smoke passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -118,6 +118,55 @@ let sample_envelopes =
       (V1.Merge_shards
          { name = "big"; spills = [ "/tmp/s0.spill"; "/tmp/s1.spill"; "/tmp/s2.spill" ] });
     V1.envelope ~id:22 (V1.Snapshot { instance = "net"; out = "/tmp/net.bin" });
+    (* Live-graph ops: a mutation script and a churn scenario. *)
+    V1.envelope ~id:30
+      (V1.Mutate
+         {
+           instance = "net";
+           ops =
+             [
+               Girg.Mutate.Leave 5;
+               Girg.Mutate.Drop (3, 7);
+               Girg.Mutate.Resample 2;
+               Girg.Mutate.Rejoin 1;
+             ];
+           seed = 13;
+         });
+    V1.envelope (V1.Mutate { instance = "net"; ops = [ Girg.Mutate.Leave 0 ]; seed = 42 });
+    V1.envelope ~id:31
+      (V1.Churn
+         {
+           instance = "net";
+           config =
+             {
+               Experiments.Churn.scenario = Experiments.Churn.Adversarial;
+               epochs = 2;
+               events = 9;
+               quit = 0.25;
+               seed = 7;
+               count = 40;
+               pair_seed = 3;
+               protocol = Greedy_routing.Protocol.Patch_dfs;
+               max_steps = Some 500;
+             };
+         });
+    V1.envelope
+      (V1.Churn
+         {
+           instance = "net";
+           config =
+             {
+               Experiments.Churn.scenario = Experiments.Churn.Milgram;
+               epochs = 3;
+               events = 16;
+               quit = 0.0;
+               seed = 42;
+               count = 200;
+               pair_seed = 0;
+               protocol = Greedy_routing.Protocol.Greedy;
+               max_steps = None;
+             };
+         });
     V1.envelope ~id:99 V1.Health;
     V1.envelope ~id:5 V1.Server_stats;
     V1.envelope V1.Drain;
@@ -260,6 +309,51 @@ let sample_replies =
         V1.Snapshotted
           { V1.sn_path = "/tmp/net.bin"; sn_bytes = 123_456; sn_vertices = 100; sn_edges = 321 };
     };
+    {
+      V1.reply_id = Some 30;
+      response =
+        V1.Mutated
+          {
+            V1.mu_name = "net";
+            mu_epoch = 3;
+            mu_generation = 4;
+            mu_live = 1995;
+            mu_vertices = 2000;
+            mu_edges = 10_412;
+            mu_applied = 4;
+          };
+    };
+    {
+      V1.reply_id = Some 31;
+      response =
+        V1.Churned
+          {
+            V1.ch_name = "net";
+            ch_scenario = Experiments.Churn.Adversarial;
+            ch_generation = 6;
+            ch_rows =
+              [
+                {
+                  Experiments.Churn.epoch = 0;
+                  live = 2000;
+                  edges = 10_412;
+                  attempted = 40;
+                  delivered = 38;
+                  mean_steps = 5.25;
+                  mean_stretch = 1.5;
+                };
+                {
+                  Experiments.Churn.epoch = 1;
+                  live = 1991;
+                  edges = 10_007;
+                  attempted = 40;
+                  delivered = 31;
+                  mean_steps = 6.0;
+                  mean_stretch = 1.75;
+                };
+              ];
+          };
+    };
     { V1.reply_id = None; response = V1.Drain_ack };
     {
       V1.reply_id = Some 3;
@@ -341,6 +435,7 @@ let test_error_taxonomy () =
   let expect =
     [
       (E.Bad_request, "bad-request", 2);
+      (E.Unsupported_version, "unsupported-version", 2);
       (E.Unknown_instance, "unknown-instance", 2);
       (E.Overloaded, "overloaded", 75);
       (E.Deadline, "deadline", 75);
@@ -363,6 +458,85 @@ let test_error_taxonomy () =
       | Error m -> Alcotest.failf "error json round-trip: %s" m)
     expect
 
+(* Envelope versioning is first-class: a request carrying a "v" we do
+   not speak gets a structured error naming the supported range, not a
+   generic parse failure.  The message text is part of the contract. *)
+let test_unsupported_version () =
+  let e =
+    err ~what:"v2 envelope" (V1.envelope_of_line {|{"v":2,"op":"health"}|})
+  in
+  Alcotest.(check bool) "code" true (e.E.code = E.Unsupported_version);
+  Alcotest.(check string) "message names the supported range"
+    "unsupported API version 2 (this server speaks v1 only)" e.E.message;
+  let e = err ~what:"v0 envelope" (V1.envelope_of_line {|{"v":0,"op":"health"}|}) in
+  Alcotest.(check bool) "v0 also refused" true (e.E.code = E.Unsupported_version);
+  let e = err ~what:"missing v" (V1.envelope_of_line {|{"op":"health"}|}) in
+  Alcotest.(check bool) "missing v is bad-request" true (e.E.code = E.Bad_request);
+  let contains hay needle =
+    let lh = String.length hay and ln = String.length needle in
+    let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "missing v names the field" true
+    (contains e.E.message "\"v\"");
+  let e = err ~what:"string v" (V1.envelope_of_line {|{"v":"one","op":"health"}|}) in
+  Alcotest.(check bool) "non-integer v is bad-request" true (e.E.code = E.Bad_request)
+
+(* Churn rows from an epoch with zero deliveries carry NaN means; on
+   the wire those become JSON null and must come back as NaN (generic
+   equality can't see this — nan <> nan). *)
+let test_churn_nan_round_trip () =
+  let reply =
+    {
+      V1.reply_id = Some 7;
+      response =
+        V1.Churned
+          {
+            V1.ch_name = "net";
+            ch_scenario = Experiments.Churn.Milgram;
+            ch_generation = 2;
+            ch_rows =
+              [
+                {
+                  Experiments.Churn.epoch = 1;
+                  live = 100;
+                  edges = 400;
+                  attempted = 10;
+                  delivered = 0;
+                  mean_steps = Float.nan;
+                  mean_stretch = Float.nan;
+                };
+              ];
+          };
+    }
+  in
+  let check_round what r =
+    match r with
+    | V1.Churned { V1.ch_rows = [ row ]; _ } ->
+        Alcotest.(check bool) (what ^ ": steps nan") true
+          (Float.is_nan row.Experiments.Churn.mean_steps);
+        Alcotest.(check bool) (what ^ ": stretch nan") true
+          (Float.is_nan row.Experiments.Churn.mean_stretch)
+    | _ -> Alcotest.fail (what ^ ": reply shape changed in flight")
+  in
+  let line = V1.reply_line reply in
+  let contains hay needle =
+    let lh = String.length hay and ln = String.length needle in
+    let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "nan encodes as null" true (contains line "null");
+  (match V1.reply_of_line line with
+  | Ok r -> check_round "json" r.V1.response
+  | Error e -> Alcotest.failf "json round-trip: %s" (E.to_string e));
+  let frame = Api.Binary.reply_frame reply in
+  match Api.Binary.parse frame ~pos:0 ~len:(String.length frame) with
+  | Api.Binary.Frame { payload; _ } -> (
+      match Api.Binary.reply_of_payload payload with
+      | Ok r -> check_round "binary" r.V1.response
+      | Error e -> Alcotest.failf "binary round-trip: %s" (E.to_string e))
+  | _ -> Alcotest.fail "binary framing failed"
+
 let test_float_arg () =
   let cases = [ 0.25; 2.5; 1.0; 0.1; 3.0; 1e-9; 123456.789; -0.75; Float.pi ] in
   List.iter
@@ -381,6 +555,7 @@ let parse_one ?max_len bytes =
   | B.Frame { payload; consumed } -> (payload, consumed)
   | B.Need -> Alcotest.fail "parser wants more bytes of a complete frame"
   | B.Oversized _ -> Alcotest.fail "unexpected oversized verdict"
+  | B.Bad_version v -> Alcotest.failf "unexpected version verdict: v%d" v
   | B.Bad msg -> Alcotest.failf "bad frame: %s" msg
 
 (* Every request shape survives framing, and the decoded payload
@@ -452,7 +627,8 @@ let test_binary_oversized_and_bad () =
   | _ -> Alcotest.fail "bad magic not flagged");
   (let bad_version = Printf.sprintf "%c\x07rest" B.magic in
    match B.parse bad_version ~pos:0 ~len:(String.length bad_version) with
-   | B.Bad _ -> ()
+   | B.Bad_version 7 -> ()
+   | B.Bad_version v -> Alcotest.failf "wrong version reported: %d" v
    | _ -> Alcotest.fail "bad version not flagged");
   (* A 9-byte varint setting bit 62 decodes to a negative OCaml int
      (2^62 = min_int on 64-bit); it must be rejected as Bad, never
@@ -463,7 +639,7 @@ let test_binary_oversized_and_bad () =
   in
   match B.parse neg_len ~pos:0 ~len:(String.length neg_len) with
   | B.Bad _ -> ()
-  | B.Frame _ | B.Need | B.Oversized _ ->
+  | B.Frame _ | B.Need | B.Oversized _ | B.Bad_version _ ->
       Alcotest.fail "negative frame length not flagged as Bad"
 
 let test_binary_scalar_edges () =
@@ -535,7 +711,7 @@ let test_schema_dump () =
         (List.assoc_opt "schema" fields = Some (Obs.Export.Str "smallworld.api.v1"));
       (match List.assoc_opt "ops" fields with
       | Some (Obs.Export.Arr ops) ->
-          Alcotest.(check int) "ten ops" 10 (List.length ops)
+          Alcotest.(check int) "twelve ops" 12 (List.length ops)
       | _ -> Alcotest.fail "schema has no ops array");
       Alcotest.(check bool) "error codes listed" true
         (List.mem_assoc "error_codes" fields)
@@ -551,6 +727,10 @@ let suite =
       test_unknown_flag_suggestion;
     Alcotest.test_case "argument errors are bad-request" `Quick test_arg_errors;
     Alcotest.test_case "error taxonomy is pinned" `Quick test_error_taxonomy;
+    Alcotest.test_case "unsupported envelope version is structured" `Quick
+      test_unsupported_version;
+    Alcotest.test_case "churn nan means survive both codecs" `Quick
+      test_churn_nan_round_trip;
     Alcotest.test_case "float args round-trip exactly" `Quick test_float_arg;
     Alcotest.test_case "binary frames round-trip every request shape" `Quick
       test_binary_request_round_trip;

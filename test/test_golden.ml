@@ -53,7 +53,7 @@ let check_or_regen ~name actual =
 (* ------------------------------------------------------------------ *)
 (* Experiment tables *)
 
-let golden_experiments = [ "E4"; "E5"; "E6"; "E7"; "E8"; "E11"; "E15" ]
+let golden_experiments = [ "E4"; "E5"; "E6"; "E7"; "E8"; "E11"; "E15"; "E18" ]
 
 let table_test id () =
   match Experiments.Registry.find id with

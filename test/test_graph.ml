@@ -168,6 +168,109 @@ let test_flat_halves_ignores_tail () =
   Alcotest.(check bool) "edge kept" true (Graph.has_edge g 0 1);
   Alcotest.(check bool) "tail dropped" false (Graph.has_edge g 2 3)
 
+(* --- live mutation overlay ----------------------------------------- *)
+
+let test_overlay_departure () =
+  let g0 = Graph.of_edge_list ~n:4 [ (0, 1); (1, 2); (2, 3); (0, 3) ] in
+  let g1 = Graph.apply g0 [ Graph.Remove_vertex 1 ] in
+  Alcotest.(check int) "epoch bumped" 1 (Graph.epoch g1);
+  Alcotest.(check int) "base epoch unchanged" 0 (Graph.epoch g0);
+  Alcotest.(check bool) "departed" false (Graph.live g1 1);
+  Alcotest.(check int) "live count" 3 (Graph.live_count g1);
+  Alcotest.(check int) "degree of departed" 0 (Graph.degree g1 1);
+  Alcotest.(check (array int)) "departed iterates empty" [||] (Graph.neighbors g1 1);
+  Alcotest.(check (array int)) "neighbour masked" [| 3 |] (Graph.neighbors g1 0);
+  Alcotest.(check int) "m drops incident edges" 2 (Graph.m g1);
+  (* The base graph is copy-on-write: untouched. *)
+  Alcotest.(check int) "base m" 4 (Graph.m g0);
+  Alcotest.(check (array int)) "base adjacency" [| 1; 3 |] (Graph.neighbors g0 0);
+  let g2 = Graph.apply g1 [ Graph.Restore_vertex 1 ] in
+  Alcotest.(check int) "restored live count" 4 (Graph.live_count g2);
+  Alcotest.(check (array int)) "base edges back" [| 0; 2 |] (Graph.neighbors g2 1);
+  Alcotest.(check int) "m restored" 4 (Graph.m g2)
+
+let test_overlay_edges () =
+  let g0 = Graph.of_edge_list ~n:5 [ (0, 1); (1, 2) ] in
+  let g1 = Graph.apply g0 [ Graph.Remove_edge (0, 1); Graph.Add_edge (0, 4) ] in
+  Alcotest.(check bool) "dropped" false (Graph.has_edge g1 0 1);
+  Alcotest.(check bool) "dropped reverse" false (Graph.has_edge g1 1 0);
+  Alcotest.(check bool) "added" true (Graph.has_edge g1 0 4);
+  Alcotest.(check bool) "added reverse" true (Graph.has_edge g1 4 0);
+  Alcotest.(check int) "m" 2 (Graph.m g1);
+  (* Merged iteration stays ascending with overlay adds interleaved. *)
+  let g2 = Graph.apply g1 [ Graph.Add_edge (0, 2); Graph.Add_edge (0, 3) ] in
+  Alcotest.(check (array int)) "ascending merge" [| 2; 3; 4 |] (Graph.neighbors g2 0);
+  (* Un-drop through Add_edge. *)
+  let g3 = Graph.apply g2 [ Graph.Add_edge (1, 0) ] in
+  Alcotest.(check (array int)) "undropped" [| 1; 2; 3; 4 |] (Graph.neighbors g3 0)
+
+let test_overlay_departure_strips_overlay () =
+  (* Overlay edges are lost for good on departure; restore brings back
+     only the base edges. *)
+  let g0 = Graph.of_edge_list ~n:4 [ (0, 1) ] in
+  let g1 = Graph.apply g0 [ Graph.Add_edge (1, 3) ] in
+  Alcotest.(check (array int)) "overlay present" [| 0; 3 |] (Graph.neighbors g1 1);
+  let g2 = Graph.apply g1 [ Graph.Remove_vertex 1 ] in
+  let g3 = Graph.apply g2 [ Graph.Restore_vertex 1 ] in
+  Alcotest.(check (array int)) "base only after rejoin" [| 0 |] (Graph.neighbors g3 1)
+
+let test_overlay_validation () =
+  let g = Graph.of_edge_list ~n:3 [ (0, 1) ] in
+  Alcotest.(check bool) "out of range raises" true
+    (match Graph.apply g [ Graph.Remove_vertex 3 ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "self-loop add raises" true
+    (match Graph.apply g [ Graph.Add_edge (1, 1) ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  let departed = Graph.apply g [ Graph.Remove_vertex 2 ] in
+  Alcotest.(check bool) "add to departed raises" true
+    (match Graph.apply departed [ Graph.Add_edge (0, 2) ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_explicit_epoch_batching () =
+  let g0 = Graph.of_edge_list ~n:3 [ (0, 1) ] in
+  let g1 = Graph.apply ~epoch:7 g0 [ Graph.Remove_edge (0, 1) ] in
+  let g2 = Graph.apply ~epoch:7 g1 [ Graph.Add_edge (1, 2) ] in
+  Alcotest.(check int) "same logical version" 7 (Graph.epoch g2)
+
+(* compact must be traversal-equivalent to the overlay view on random
+   mutation scripts. *)
+let compact_equivalence_prop =
+  QCheck2.Test.make ~name:"compact equals overlay view" ~count:100
+    QCheck2.Gen.(
+      pair
+        (pair (int_range 2 12) (list_size (int_bound 20) (pair (int_bound 11) (int_bound 11))))
+        (list_size (int_bound 25) (pair (int_bound 3) (pair (int_bound 11) (int_bound 11)))))
+    (fun ((n, raw_edges), raw_muts) ->
+      let edges =
+        List.filter (fun (u, v) -> u < n && v < n && u <> v) raw_edges |> Array.of_list
+      in
+      let g0 = Graph.of_edges ~n edges in
+      (* Interpret the random script, skipping ops apply would reject. *)
+      let g =
+        List.fold_left
+          (fun g (kind, (u, v)) ->
+            if u >= n || v >= n then g
+            else
+              match kind with
+              | 0 -> Graph.apply g [ Graph.Remove_vertex u ]
+              | 1 -> Graph.apply g [ Graph.Restore_vertex u ]
+              | 2 when u <> v -> Graph.apply g [ Graph.Remove_edge (u, v) ]
+              | 3 when u <> v && Graph.live g u && Graph.live g v ->
+                  Graph.apply g [ Graph.Add_edge (u, v) ]
+              | _ -> g)
+          g0 raw_muts
+      in
+      let c = Graph.compact g in
+      Graph.epoch c = Graph.epoch g
+      && Graph.m c = Graph.m g
+      && List.for_all
+           (fun v -> Graph.neighbors c v = Graph.neighbors g v)
+           (List.init n Fun.id))
+
 let suite =
   [
     Alcotest.test_case "empty graph" `Quick test_empty;
@@ -186,4 +289,11 @@ let suite =
     QCheck_alcotest.to_alcotest flat_halves_vs_of_edges_prop;
     Alcotest.test_case "flat halves validation" `Quick test_flat_halves_validation;
     Alcotest.test_case "flat halves ignores tail" `Quick test_flat_halves_ignores_tail;
+    Alcotest.test_case "overlay departure and rejoin" `Quick test_overlay_departure;
+    Alcotest.test_case "overlay edge drop/add" `Quick test_overlay_edges;
+    Alcotest.test_case "departure strips overlay edges" `Quick
+      test_overlay_departure_strips_overlay;
+    Alcotest.test_case "overlay validation" `Quick test_overlay_validation;
+    Alcotest.test_case "explicit epoch batching" `Quick test_explicit_epoch_batching;
+    QCheck_alcotest.to_alcotest compact_equivalence_prop;
   ]

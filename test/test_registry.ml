@@ -2,9 +2,9 @@ open Experiments
 
 let test_ids_unique_and_ordered () =
   let ids = List.map (fun e -> e.Registry.id) Registry.all in
-  Alcotest.(check int) "seventeen experiments" 17 (List.length ids);
+  Alcotest.(check int) "eighteen experiments" 18 (List.length ids);
   Alcotest.(check (list string)) "expected ids"
-    [ "E1"; "E2"; "E3"; "E4"; "E5"; "E6"; "E7"; "E8"; "E9"; "E10"; "E11"; "E12"; "E13"; "E14"; "E15"; "E16"; "E17" ]
+    [ "E1"; "E2"; "E3"; "E4"; "E5"; "E6"; "E7"; "E8"; "E9"; "E10"; "E11"; "E12"; "E13"; "E14"; "E15"; "E16"; "E17"; "E18" ]
     ids
 
 let test_find () =

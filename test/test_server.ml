@@ -113,6 +113,29 @@ let test_registry_generation () =
     [ ("a", 3); ("c", 1) ]
     (Server.Registry.generations reg)
 
+(* Replaced-but-pinned entries are orphans: live heaps no new request
+   can reach.  The gauge counts them; releasing the last pin drops
+   them out. *)
+let test_registry_orphaned () =
+  let reg = Server.Registry.create ~cap:4 in
+  ignore (ok (Server.Registry.insert reg ~name:"a" (tiny_instance 1)));
+  Alcotest.(check int) "empty registry" 0 (Server.Registry.orphaned reg);
+  let h = ok (Server.Registry.acquire reg "a") in
+  ignore (ok (Server.Registry.insert reg ~name:"a" (tiny_instance 2)));
+  Alcotest.(check int) "pinned old entry is orphaned" 1 (Server.Registry.orphaned reg);
+  (* A second replace while the first orphan is still pinned: the new
+     old entry is unpinned, so it is garbage, not an orphan. *)
+  ignore (ok (Server.Registry.insert reg ~name:"a" (tiny_instance 3)));
+  Alcotest.(check int) "unpinned victims are not orphans" 1
+    (Server.Registry.orphaned reg);
+  Server.Registry.release reg h;
+  Alcotest.(check int) "released orphan is swept" 0 (Server.Registry.orphaned reg);
+  (* Eviction (refs = 0) never creates an orphan. *)
+  let reg2 = Server.Registry.create ~cap:1 in
+  ignore (ok (Server.Registry.insert reg2 ~name:"x" (tiny_instance 1)));
+  ignore (ok (Server.Registry.insert reg2 ~name:"y" (tiny_instance 2)));
+  Alcotest.(check int) "eviction is not orphaning" 0 (Server.Registry.orphaned reg2)
+
 (* ------------------------------------------------------------------ *)
 (* Exec                                                                *)
 
@@ -476,7 +499,8 @@ let brpc_reply fd env =
             Buffer.add_subbytes buf chunk 0 n;
             go ()
         | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ())
-    | B.Oversized _ | B.Bad _ -> Alcotest.fail "daemon sent a malformed reply frame"
+    | B.Oversized _ | B.Bad _ | B.Bad_version _ ->
+        Alcotest.fail "daemon sent a malformed reply frame"
   in
   go ()
 
@@ -545,7 +569,7 @@ let test_daemon_binary_partial_frames () =
                 | n ->
                     Buffer.add_subbytes buf chunk 0 n;
                     await ())
-            | B.Oversized _ | B.Bad _ -> Alcotest.fail "malformed reply frame"
+            | B.Oversized _ | B.Bad _ | B.Bad_version _ -> Alcotest.fail "malformed reply frame"
           in
           (match await () with
           | V1.Routed _ -> ()
@@ -599,7 +623,7 @@ let test_daemon_binary_negative_length () =
                     Buffer.add_subbytes buf chunk 0 n;
                     await ()
                 | exception Unix.Unix_error (Unix.EINTR, _, _) -> await ())
-            | B.Oversized _ | B.Bad _ -> Alcotest.fail "malformed reply frame"
+            | B.Oversized _ | B.Bad _ | B.Bad_version _ -> Alcotest.fail "malformed reply frame"
           in
           (match await () with
           | V1.Failed e ->
@@ -642,6 +666,125 @@ let test_daemon_json_only () =
           match rpc fdj (V1.envelope V1.Health) with
           | V1.Health_reply _ -> ()
           | r -> check_code "json client" E.Internal r))
+
+(* A frame carrying the right magic but a version byte we do not
+   speak gets a structured unsupported-version error naming the
+   supported range — in v1 framing, the only one the daemon can emit —
+   and then the connection closes. *)
+let test_daemon_binary_bad_version () =
+  with_daemon (fun _t port ->
+      let fd = connect port in
+      Fun.protect ~finally:(fun () -> Unix.close fd) (fun () ->
+          let good = B.request_frame (V1.envelope V1.Health) in
+          let bad = Bytes.of_string good in
+          Bytes.set bad 1 (Char.chr 9);
+          send_all fd (Bytes.to_string bad);
+          let buf = Buffer.create 256 in
+          let chunk = Bytes.create 4096 in
+          let rec await () =
+            match B.parse (Buffer.contents buf) ~pos:0 ~len:(Buffer.length buf) with
+            | B.Frame { payload; _ } ->
+                (ok ~what:"reply" (B.reply_of_payload payload)).V1.response
+            | B.Need -> (
+                match Unix.read fd chunk 0 4096 with
+                | 0 -> Alcotest.fail "daemon closed before refusing the version"
+                | n ->
+                    Buffer.add_subbytes buf chunk 0 n;
+                    await ()
+                | exception Unix.Unix_error (Unix.EINTR, _, _) -> await ())
+            | B.Oversized _ | B.Bad _ | B.Bad_version _ -> Alcotest.fail "malformed reply frame"
+          in
+          (match await () with
+          | V1.Failed e ->
+              Alcotest.(check bool) "unsupported-version code" true
+                (e.E.code = E.Unsupported_version);
+              Alcotest.(check string) "message names the range"
+                "unsupported binary protocol version 9 (this server speaks v1 only)"
+                e.E.message
+          | _ -> Alcotest.fail "wrong version byte was not refused");
+          (* The refusal flushes, then the connection closes. *)
+          let rec drain () =
+            match Unix.read fd chunk 0 4096 with
+            | 0 -> ()
+            | _ -> drain ()
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> drain ()
+          in
+          drain ());
+      (* The daemon survived and still speaks v1. *)
+      let fd2 = connect port in
+      Fun.protect ~finally:(fun () -> Unix.close fd2) (fun () ->
+          match brpc fd2 (V1.envelope V1.Health) with
+          | V1.Health_reply _ -> ()
+          | r -> check_code "health after bad version" E.Internal r))
+
+(* Live-graph ops end to end over the wire: mutate through one codec,
+   observe the bumped generation through the other, and run a churn
+   scenario whose rows match a local replay byte for byte. *)
+let test_daemon_mutate_churn () =
+  with_daemon (fun _t port ->
+      let fdj = connect port and fdb = connect port in
+      Fun.protect
+        ~finally:(fun () ->
+          Unix.close fdj;
+          Unix.close fdb)
+        (fun () ->
+          (match rpc fdj (V1.envelope (sample_req "net" 1)) with
+          | V1.Sampled _ -> ()
+          | r -> check_code "sample" E.Internal r);
+          let ops = [ Girg.Mutate.Leave 7; Girg.Mutate.Resample 3 ] in
+          (match
+             brpc fdb (V1.envelope (V1.Mutate { instance = "net"; ops; seed = 4 }))
+           with
+          | V1.Mutated m ->
+              Alcotest.(check int) "binary mutate epoch" 1 m.V1.mu_epoch;
+              Alcotest.(check int) "binary mutate generation" 2 m.V1.mu_generation
+          | r -> check_code "binary mutate" E.Internal r);
+          (* The JSON connection routes on the mutated graph: byte
+             identity with a local replay of the same script. *)
+          let mutated = Girg.Mutate.apply ~seed:4 (tiny_instance 1) ops in
+          let expected =
+            (ok
+               (Api.Render.route ~inst:mutated
+                  ~protocol:Greedy_routing.Protocol.Patch_dfs ~source:0 ~target:399 ()))
+              .V1.text
+          in
+          (match rpc fdj (V1.envelope (route_req "net" (0, 399))) with
+          | V1.Routed r ->
+              Alcotest.(check string) "served = local replay" expected r.V1.text
+          | r -> check_code "route after mutate" E.Internal r);
+          let config =
+            {
+              Experiments.Churn.scenario = Experiments.Churn.Uniform;
+              epochs = 2;
+              events = 10;
+              quit = 0.0;
+              seed = 21;
+              count = 15;
+              pair_seed = 2;
+              protocol = Greedy_routing.Protocol.Greedy;
+              max_steps = None;
+            }
+          in
+          let local_rows = snd (Experiments.Churn.run_local config mutated) in
+          let float_eq a b = (Float.is_nan a && Float.is_nan b) || a = b in
+          let rows_eq (a : Experiments.Churn.epoch_row)
+              (b : Experiments.Churn.epoch_row) =
+            a.epoch = b.epoch && a.live = b.live && a.edges = b.edges
+            && a.attempted = b.attempted
+            && a.delivered = b.delivered
+            && float_eq a.mean_steps b.mean_steps
+            && float_eq a.mean_stretch b.mean_stretch
+          in
+          match rpc fdj (V1.envelope (V1.Churn { instance = "net"; config })) with
+          | V1.Churned c ->
+              Alcotest.(check int) "baseline + one row per epoch" 3
+                (List.length c.V1.ch_rows);
+              Alcotest.(check bool) "rows match a local replay" true
+                (List.for_all2 rows_eq c.V1.ch_rows local_rows);
+              (* Two mutation epochs on top of generation 2. *)
+              Alcotest.(check int) "churn bumped the generation twice" 4
+                c.V1.ch_generation
+          | r -> check_code "churn" E.Internal r))
 
 (* ------------------------------------------------------------------ *)
 (* Route cache                                                         *)
@@ -794,6 +937,111 @@ let test_cache_if_gates_store () =
   Alcotest.(check int) "third lookup hit" 2 !computes;
   Alcotest.(check int) "two misses, one hit" 2 (Server.Cache.misses cache);
   Alcotest.(check int) "one hit" 1 (Server.Cache.hits cache)
+
+(* Mutate is a registry replace in disguise: the generation bump
+   re-keys every future route and the invalidation sweep empties the
+   name's cached entries, so a (gen, s, t) route cached before the
+   mutation is never served after it. *)
+let test_exec_mutate_invalidates_cache () =
+  let ex = Server.Exec.create ~registry_cap:2 ~cache_cap:8 () in
+  let cache = Server.Exec.cache ex in
+  (match Server.Exec.handle ex (sample_req "net" 1) with
+  | V1.Sampled _ -> ()
+  | r -> check_code "sample" E.Internal r);
+  let pair = (17, 42) in
+  let before =
+    routed_text "pre-mutation route" (Server.Exec.handle ex (route_req "net" pair))
+  in
+  ignore (routed_text "warm hit" (Server.Exec.handle ex (route_req "net" pair)));
+  Alcotest.(check int) "warm" 1 (Server.Cache.hits cache);
+  (* Pin the pre-mutation instance: the mutation must replace, not
+     destroy, what a concurrent request may still be routing on. *)
+  let h = ok (Server.Registry.acquire (Server.Exec.registry ex) "net") in
+  let ops = [ Girg.Mutate.Leave 5; Girg.Mutate.Resample 17 ] in
+  (match Server.Exec.handle ex (V1.Mutate { instance = "net"; ops; seed = 9 }) with
+  | V1.Mutated m ->
+      Alcotest.(check string) "name" "net" m.V1.mu_name;
+      Alcotest.(check int) "epoch advanced" 1 m.V1.mu_epoch;
+      Alcotest.(check int) "generation bumped" 2 m.V1.mu_generation;
+      Alcotest.(check int) "one departure" 399 m.V1.mu_live;
+      Alcotest.(check int) "n unchanged" 400 m.V1.mu_vertices;
+      Alcotest.(check int) "both ops applied" 2 m.V1.mu_applied
+  | r -> check_code "mutate" E.Internal r);
+  Alcotest.(check int) "cache swept by mutation" 0 (Server.Cache.size cache);
+  Alcotest.(check int) "pinned pre-mutation holder is orphaned" 1
+    (Server.Registry.orphaned (Server.Exec.registry ex));
+  (* The post-mutation route must be byte-identical to a local replay
+     of the same mutation script — and a recompute, not a stale hit. *)
+  let expected =
+    let mutated = Girg.Mutate.apply ~seed:9 (tiny_instance 1) ops in
+    (ok
+       (Api.Render.route ~inst:mutated ~protocol:Greedy_routing.Protocol.Patch_dfs
+          ~source:(fst pair) ~target:(snd pair) ()))
+      .V1.text
+  in
+  let after =
+    routed_text "post-mutation route" (Server.Exec.handle ex (route_req "net" pair))
+  in
+  Alcotest.(check string) "served = local replay of the mutation" expected after;
+  Alcotest.(check bool) "route actually changed" true (after <> before);
+  Alcotest.(check int) "recomputed, not served stale" 2 (Server.Cache.misses cache);
+  Alcotest.(check int) "no new hits" 1 (Server.Cache.hits cache);
+  (* The orphan shows up in the stats-server gauges and clears on
+     release. *)
+  let stats = Server.Exec.server_stats ex in
+  (match List.assoc_opt "server.registry.orphaned" stats.V1.gauges with
+  | Some g -> Alcotest.(check (float 0.0)) "orphaned gauge" 1.0 g
+  | None -> Alcotest.fail "gauges are missing server.registry.orphaned");
+  Server.Registry.release (Server.Exec.registry ex) h;
+  Alcotest.(check int) "release sweeps the orphan" 0
+    (Server.Registry.orphaned (Server.Exec.registry ex));
+  (* Mutations validate before touching anything. *)
+  check_code "out-of-range vertex" E.Bad_request
+    (Server.Exec.handle ex
+       (V1.Mutate { instance = "net"; ops = [ Girg.Mutate.Leave 400 ]; seed = 1 }));
+  check_code "unknown instance" E.Unknown_instance
+    (Server.Exec.handle ex
+       (V1.Mutate { instance = "ghost"; ops = [ Girg.Mutate.Leave 1 ]; seed = 1 }))
+
+(* An expired (gen, s, t) entry must not be servable even through the
+   single-flight path: a follower that coalesced onto a leader keyed
+   at the old generation gets the leader's result, but the store is
+   gated, so nothing keyed stale survives for later requests. *)
+let test_mutate_single_flight_race () =
+  let ex = Server.Exec.create ~registry_cap:2 ~cache_cap:8 () in
+  (match Server.Exec.handle ex (sample_req "net" 1) with
+  | V1.Sampled _ -> ()
+  | r -> check_code "sample" E.Internal r);
+  let pair = (17, 42) in
+  (* Race N routers against one mutator.  Whatever the interleaving,
+     the cache must end up empty of pre-mutation keys: a final route
+     must serve the mutated instance's bytes. *)
+  let routers =
+    List.init 6 (fun _ ->
+        Domain.spawn (fun () -> Server.Exec.handle ex (route_req "net" pair)))
+  in
+  let mutator =
+    Domain.spawn (fun () ->
+        Server.Exec.handle ex
+          (V1.Mutate { instance = "net"; ops = [ Girg.Mutate.Resample 17 ]; seed = 3 }))
+  in
+  List.iter (fun d -> ignore (Domain.join d)) routers;
+  (match Domain.join mutator with
+  | V1.Mutated _ -> ()
+  | r -> check_code "racing mutate" E.Internal r);
+  let expected =
+    let mutated =
+      Girg.Mutate.apply ~seed:3 (tiny_instance 1) [ Girg.Mutate.Resample 17 ]
+    in
+    (ok
+       (Api.Render.route ~inst:mutated ~protocol:Greedy_routing.Protocol.Patch_dfs
+          ~source:(fst pair) ~target:(snd pair) ()))
+      .V1.text
+  in
+  let served =
+    routed_text "route after the race" (Server.Exec.handle ex (route_req "net" pair))
+  in
+  Alcotest.(check string) "no stale entry survived the race" expected served
 
 (* ------------------------------------------------------------------ *)
 (* Telemetry: stats-server, admin port, access log, manifest timer     *)
@@ -1290,6 +1538,7 @@ let suite =
     Alcotest.test_case "registry pinning" `Quick test_registry_pinning;
     Alcotest.test_case "registry replace keeps old alive" `Quick
       test_registry_replace_keeps_old_alive;
+    Alcotest.test_case "registry orphan gauge" `Quick test_registry_orphaned;
     Alcotest.test_case "registry generations are monotone" `Quick
       test_registry_generation;
     Alcotest.test_case "exec deadlines, limits, counters" `Quick test_exec_deadline_and_limits;
@@ -1316,12 +1565,20 @@ let suite =
       test_daemon_binary_oversized;
     Alcotest.test_case "json-only refuses binary framing" `Quick
       test_daemon_json_only;
+    Alcotest.test_case "binary wrong version byte is refused structurally" `Quick
+      test_daemon_binary_bad_version;
+    Alcotest.test_case "mutate and churn end to end over the wire" `Quick
+      test_daemon_mutate_churn;
     Alcotest.test_case "route cache: hits, invalidation, generations" `Quick
       test_exec_route_cache;
     Alcotest.test_case "route cache single-flight coalescing" `Quick
       test_cache_single_flight;
     Alcotest.test_case "route cache cache_if gates the store" `Quick
       test_cache_if_gates_store;
+    Alcotest.test_case "mutate invalidates cached routes" `Quick
+      test_exec_mutate_invalidates_cache;
+    Alcotest.test_case "mutate vs single-flight race" `Quick
+      test_mutate_single_flight_race;
     Alcotest.test_case "exec request tracing" `Quick test_exec_tracing_unit;
     Alcotest.test_case "stats-server over TCP" `Quick test_server_stats_over_tcp;
     Alcotest.test_case "stats-server under concurrent load" `Quick
